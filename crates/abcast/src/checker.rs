@@ -1,0 +1,299 @@
+//! Correctness checkers for atomic broadcast and atomic multicast.
+//!
+//! Protocol tests share a [`DeliveryLog`]: every learner appends the ids of
+//! messages as it delivers them, and the checkers verify the properties of
+//! §2.2.3/§2.2.4 — uniform integrity, uniform agreement (modulo still-
+//! running learners), and uniform total/partial order.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// Globally unique id of a broadcast message.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgId(pub u64);
+
+/// Per-learner delivery sequences, appended as the simulation runs.
+#[derive(Debug, Default)]
+pub struct DeliveryLog {
+    sequences: Vec<Vec<MsgId>>,
+}
+
+/// Shared handle protocols use to record deliveries.
+pub type SharedLog = Rc<RefCell<DeliveryLog>>;
+
+/// Creates a shared log for `learners` learners.
+pub fn shared_log(learners: usize) -> SharedLog {
+    Rc::new(RefCell::new(DeliveryLog::new(learners)))
+}
+
+impl DeliveryLog {
+    /// Creates a log with one sequence per learner.
+    pub fn new(learners: usize) -> DeliveryLog {
+        DeliveryLog { sequences: vec![Vec::new(); learners] }
+    }
+
+    /// Records that `learner` delivered `msg`.
+    pub fn deliver(&mut self, learner: usize, msg: MsgId) {
+        self.sequences[learner].push(msg);
+    }
+
+    /// The delivery sequence of one learner.
+    pub fn sequence(&self, learner: usize) -> &[MsgId] {
+        &self.sequences[learner]
+    }
+
+    /// Number of learners tracked.
+    pub fn learners(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Total deliveries across learners.
+    pub fn total_deliveries(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).sum()
+    }
+
+    /// Uniform integrity: no learner delivers the same message twice, and
+    /// every delivered message was broadcast.
+    pub fn check_integrity(&self, broadcast: &HashSet<MsgId>) -> Result<(), OrderViolation> {
+        for (l, seq) in self.sequences.iter().enumerate() {
+            let mut seen = HashSet::with_capacity(seq.len());
+            for &m in seq {
+                if !seen.insert(m) {
+                    return Err(OrderViolation::Duplicate { learner: l, msg: m });
+                }
+                if !broadcast.contains(&m) {
+                    return Err(OrderViolation::Phantom { learner: l, msg: m });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Uniform total order for atomic *broadcast*: every learner's sequence
+    /// must be a prefix of the longest sequence (learners may lag, but may
+    /// not reorder or skip).
+    pub fn check_total_order(&self) -> Result<(), OrderViolation> {
+        let longest = match self.sequences.iter().max_by_key(|s| s.len()) {
+            Some(s) => s,
+            None => return Ok(()),
+        };
+        for (l, seq) in self.sequences.iter().enumerate() {
+            for (pos, (&a, &b)) in seq.iter().zip(longest.iter()).enumerate() {
+                if a != b {
+                    return Err(OrderViolation::Diverged { learner: l, position: pos, got: a, expected: b });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Uniform partial order for atomic *multicast*: any two learners that
+    /// both deliver messages `m` and `m'` deliver them in the same relative
+    /// order (§2.2.4). Quadratic in common messages — intended for tests.
+    pub fn check_partial_order(&self) -> Result<(), OrderViolation> {
+        let positions: Vec<HashMap<MsgId, usize>> = self
+            .sequences
+            .iter()
+            .map(|seq| seq.iter().enumerate().map(|(i, &m)| (m, i)).collect())
+            .collect();
+        for a in 0..self.sequences.len() {
+            for b in (a + 1)..self.sequences.len() {
+                let common: Vec<MsgId> = self.sequences[a]
+                    .iter()
+                    .copied()
+                    .filter(|m| positions[b].contains_key(m))
+                    .collect();
+                for i in 0..common.len() {
+                    for j in (i + 1)..common.len() {
+                        let (m1, m2) = (common[i], common[j]);
+                        // m1 precedes m2 at a (by construction); check b.
+                        if positions[b][&m1] > positions[b][&m2] {
+                            return Err(OrderViolation::PartialOrder {
+                                learner_a: a,
+                                learner_b: b,
+                                first: m1,
+                                second: m2,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Uniform agreement at quiescence: every learner in `expected` has
+    /// delivered the same number of messages as the most advanced one.
+    pub fn check_agreement_at_quiescence(&self, expected: &[usize]) -> Result<(), OrderViolation> {
+        let max = expected.iter().map(|&l| self.sequences[l].len()).max().unwrap_or(0);
+        for &l in expected {
+            if self.sequences[l].len() != max {
+                return Err(OrderViolation::Lagging {
+                    learner: l,
+                    delivered: self.sequences[l].len(),
+                    expected: max,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A violated broadcast property, with enough context to debug it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrderViolation {
+    /// A learner delivered the same message twice.
+    Duplicate {
+        /// Offending learner.
+        learner: usize,
+        /// Duplicated message.
+        msg: MsgId,
+    },
+    /// A learner delivered a message nobody broadcast.
+    Phantom {
+        /// Offending learner.
+        learner: usize,
+        /// Unknown message.
+        msg: MsgId,
+    },
+    /// Two learners disagree at a log position.
+    Diverged {
+        /// Offending learner.
+        learner: usize,
+        /// Log position of the disagreement.
+        position: usize,
+        /// What the learner delivered there.
+        got: MsgId,
+        /// What the reference sequence has there.
+        expected: MsgId,
+    },
+    /// Two learners deliver a common pair in opposite orders.
+    PartialOrder {
+        /// First learner.
+        learner_a: usize,
+        /// Second learner.
+        learner_b: usize,
+        /// Message `learner_a` delivered first.
+        first: MsgId,
+        /// Message `learner_a` delivered second.
+        second: MsgId,
+    },
+    /// A learner stopped short of the others at quiescence.
+    Lagging {
+        /// Offending learner.
+        learner: usize,
+        /// How many messages it delivered.
+        delivered: usize,
+        /// How many it should have delivered.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for OrderViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrderViolation::Duplicate { learner, msg } => {
+                write!(f, "learner {learner} delivered {msg:?} twice")
+            }
+            OrderViolation::Phantom { learner, msg } => {
+                write!(f, "learner {learner} delivered unbroadcast {msg:?}")
+            }
+            OrderViolation::Diverged { learner, position, got, expected } => write!(
+                f,
+                "learner {learner} diverged at position {position}: got {got:?}, expected {expected:?}"
+            ),
+            OrderViolation::PartialOrder { learner_a, learner_b, first, second } => write!(
+                f,
+                "learners {learner_a}/{learner_b} order {first:?},{second:?} inconsistently"
+            ),
+            OrderViolation::Lagging { learner, delivered, expected } => {
+                write!(f, "learner {learner} delivered {delivered} of {expected} messages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrderViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u64]) -> Vec<MsgId> {
+        v.iter().map(|&x| MsgId(x)).collect()
+    }
+
+    fn log_from(seqs: &[&[u64]]) -> DeliveryLog {
+        let mut log = DeliveryLog::new(seqs.len());
+        for (l, s) in seqs.iter().enumerate() {
+            for &m in *s {
+                log.deliver(l, MsgId(m));
+            }
+        }
+        log
+    }
+
+    #[test]
+    fn total_order_accepts_prefixes() {
+        let log = log_from(&[&[1, 2, 3], &[1, 2], &[]]);
+        assert!(log.check_total_order().is_ok());
+    }
+
+    #[test]
+    fn total_order_rejects_divergence() {
+        let log = log_from(&[&[1, 2, 3], &[1, 3]]);
+        let err = log.check_total_order().unwrap_err();
+        assert!(matches!(err, OrderViolation::Diverged { learner: 1, position: 1, .. }));
+    }
+
+    #[test]
+    fn integrity_rejects_duplicates_and_phantoms() {
+        let broadcast: HashSet<MsgId> = ids(&[1, 2]).into_iter().collect();
+        let dup = log_from(&[&[1, 1]]);
+        assert!(matches!(
+            dup.check_integrity(&broadcast),
+            Err(OrderViolation::Duplicate { .. })
+        ));
+        let phantom = log_from(&[&[1, 9]]);
+        assert!(matches!(
+            phantom.check_integrity(&broadcast),
+            Err(OrderViolation::Phantom { .. })
+        ));
+        let ok = log_from(&[&[1, 2], &[2, 1]]);
+        assert!(ok.check_integrity(&broadcast).is_ok());
+    }
+
+    #[test]
+    fn partial_order_accepts_disjoint_and_consistent() {
+        // Learner 0 subscribes to groups {A,B}, learner 1 only to B;
+        // common messages 10,11 are ordered the same way.
+        let log = log_from(&[&[1, 10, 2, 11], &[10, 11]]);
+        assert!(log.check_partial_order().is_ok());
+    }
+
+    #[test]
+    fn partial_order_rejects_inversion() {
+        let log = log_from(&[&[10, 11], &[11, 10]]);
+        assert!(matches!(
+            log.check_partial_order(),
+            Err(OrderViolation::PartialOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn agreement_at_quiescence() {
+        let log = log_from(&[&[1, 2], &[1, 2], &[1]]);
+        assert!(log.check_agreement_at_quiescence(&[0, 1]).is_ok());
+        assert!(matches!(
+            log.check_agreement_at_quiescence(&[0, 1, 2]),
+            Err(OrderViolation::Lagging { learner: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let v = OrderViolation::Duplicate { learner: 3, msg: MsgId(7) };
+        assert!(v.to_string().contains("learner 3"));
+    }
+}

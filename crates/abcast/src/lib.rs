@@ -1,0 +1,35 @@
+//! # abcast — shared atomic broadcast/multicast infrastructure
+//!
+//! Common vocabulary for every ordering protocol in this workspace
+//! (`ringpaxos`, `baselines`, `multiring`):
+//!
+//! * [`checker`] — delivery logs plus checkers for the properties of
+//!   thesis §2.2.3 (atomic broadcast) and §2.2.4 (atomic multicast);
+//! * [`workload`] — open-loop pacing and the paper's B⁺-tree workloads;
+//! * standard metric names, so experiment drivers can read any protocol's
+//!   throughput and latency the same way.
+//!
+//! Protocols deliver through both channels: they append to a
+//! [`checker::SharedLog`] (correctness) and bump the [`metric`] counters
+//! (performance).
+
+pub mod checker;
+pub mod workload;
+
+/// Standard metric names recorded by every ordering protocol.
+pub mod metric {
+    /// Payload bytes delivered to the application, per learner node.
+    pub const DELIVERED_BYTES: &str = "abcast.delivered_bytes";
+    /// Messages delivered to the application, per learner node.
+    pub const DELIVERED_MSGS: &str = "abcast.delivered_msgs";
+    /// Broadcast-to-delivery latency samples (recorded at the proposer's
+    /// learner, as the paper measures).
+    pub const LATENCY: &str = "abcast.latency";
+    /// Consensus instances decided (coordinator side).
+    pub const INSTANCES: &str = "abcast.instances";
+    /// Messages a learner had to buffer out of order.
+    pub const BUFFERED: &str = "abcast.buffered";
+}
+
+pub use checker::{shared_log, DeliveryLog, MsgId, OrderViolation, SharedLog};
+pub use workload::{Pacer, TreeWorkload};

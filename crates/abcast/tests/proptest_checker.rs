@@ -1,0 +1,80 @@
+//! Property tests for the order checkers: they must accept everything a
+//! correct broadcast can produce and reject every violation we can
+//! construct.
+
+use abcast::{DeliveryLog, MsgId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Prefixes of a common sequence always satisfy total order and
+    /// integrity.
+    #[test]
+    fn prefixes_always_pass(
+        base in prop::collection::vec(0u64..1000, 1..100),
+        cuts in prop::collection::vec(0usize..100, 1..6),
+    ) {
+        // Deduplicate while preserving order (a broadcast run delivers
+        // each message once).
+        let mut seen = HashSet::new();
+        let base: Vec<u64> = base.into_iter().filter(|m| seen.insert(*m)).collect();
+        let mut log = DeliveryLog::new(cuts.len());
+        for (l, cut) in cuts.iter().enumerate() {
+            let n = cut % (base.len() + 1);
+            for &m in &base[..n] {
+                log.deliver(l, MsgId(m));
+            }
+        }
+        prop_assert!(log.check_total_order().is_ok());
+        prop_assert!(log.check_partial_order().is_ok());
+        let broadcast: HashSet<MsgId> = base.iter().map(|&m| MsgId(m)).collect();
+        prop_assert!(log.check_integrity(&broadcast).is_ok());
+    }
+
+    /// Swapping two adjacent distinct messages in one learner's sequence
+    /// is always caught by the total-order checker (when another learner
+    /// has the original order at those positions).
+    #[test]
+    fn swaps_always_fail(
+        base in prop::collection::vec(0u64..1000, 2..80),
+        at in 0usize..80,
+    ) {
+        let mut seen = HashSet::new();
+        let base: Vec<u64> = base.into_iter().filter(|m| seen.insert(*m)).collect();
+        prop_assume!(base.len() >= 2);
+        let at = at % (base.len() - 1);
+        let mut swapped = base.clone();
+        swapped.swap(at, at + 1);
+        prop_assume!(base[at] != base[at + 1]);
+
+        let mut log = DeliveryLog::new(2);
+        for &m in &base {
+            log.deliver(0, MsgId(m));
+        }
+        for &m in &swapped {
+            log.deliver(1, MsgId(m));
+        }
+        prop_assert!(log.check_total_order().is_err());
+        prop_assert!(log.check_partial_order().is_err());
+    }
+
+    /// A duplicated delivery is always caught by the integrity checker.
+    #[test]
+    fn duplicates_always_fail(
+        base in prop::collection::vec(0u64..1000, 1..80),
+        dup in 0usize..80,
+    ) {
+        let mut seen = HashSet::new();
+        let base: Vec<u64> = base.into_iter().filter(|m| seen.insert(*m)).collect();
+        let dup = dup % base.len();
+        let mut log = DeliveryLog::new(1);
+        for &m in &base {
+            log.deliver(0, MsgId(m));
+        }
+        log.deliver(0, MsgId(base[dup]));
+        let broadcast: HashSet<MsgId> = base.iter().map(|&m| MsgId(m)).collect();
+        prop_assert!(log.check_integrity(&broadcast).is_err());
+    }
+}

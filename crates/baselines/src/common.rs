@@ -1,0 +1,62 @@
+//! Shared plumbing for the baseline protocols.
+//!
+//! Every baseline is a *message-pattern-faithful* model of the system the
+//! paper compares against (Fig. 3.7, Table 3.2): it exchanges the same
+//! kinds of messages over the same transports, with per-message protocol
+//! CPU costs calibrated to the published efficiency numbers. They are
+//! performance baselines, not reimplementations of those codebases.
+
+use abcast::{metric, MsgId, SharedLog};
+use simnet::prelude::*;
+
+/// One application message travelling through a baseline protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct BValue {
+    /// Globally unique id.
+    pub id: MsgId,
+    /// Originating node.
+    pub origin: NodeId,
+    /// Payload size in bytes.
+    pub bytes: u32,
+    /// Submission time (latency measurement).
+    pub submitted: Time,
+}
+
+impl BValue {
+    /// Creates the `seq`-th value of `origin`.
+    pub fn new(origin: NodeId, seq: u64, bytes: u32, now: Time) -> BValue {
+        BValue { id: MsgId(((origin.0 as u64) << 40) | seq), origin, bytes, submitted: now }
+    }
+}
+
+/// Records one delivery into the metrics and the shared log.
+pub fn deliver_value(
+    ctx: &mut Ctx,
+    log: &Option<SharedLog>,
+    learner_index: usize,
+    v: &BValue,
+    me: NodeId,
+) {
+    if let Some(log) = log {
+        log.borrow_mut().deliver(learner_index, v.id);
+    }
+    ctx.counter_add(metric::DELIVERED_BYTES, v.bytes as u64);
+    ctx.counter_add(metric::DELIVERED_MSGS, 1);
+    if v.origin == me {
+        ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_ids_are_unique_per_origin() {
+        let a = BValue::new(NodeId(1), 0, 10, Time::ZERO);
+        let b = BValue::new(NodeId(1), 1, 10, Time::ZERO);
+        let c = BValue::new(NodeId(2), 0, 10, Time::ZERO);
+        assert_ne!(a.id, b.id);
+        assert_ne!(a.id, c.id);
+    }
+}

@@ -1,0 +1,35 @@
+//! # baselines — the atomic broadcast protocols Ring Paxos is compared to
+//!
+//! Message-pattern-faithful models of the five systems in the thesis's
+//! Fig. 3.7 / Table 3.2 comparison, each deployed on the same simulated
+//! cluster as Ring Paxos:
+//!
+//! | Protocol | Module | Pattern | Paper efficiency |
+//! |---|---|---|---|
+//! | LCR | [`lcr`] | ring, payload + commit revolutions | 91% |
+//! | U/M-Ring Paxos | (`ringpaxos` crate) | ring + multicast | 90% |
+//! | S-Paxos | [`spaxos`] | all-to-all dissemination + id ordering | 31.2% |
+//! | Spread/Totem | [`totem`] | privilege token ring via daemons | 18% |
+//! | PFSB | [`pfsb`] | unicast star, 200 B messages | 4% |
+//! | Libpaxos | [`libpaxos`] | multicast Paxos, no batching | 3% |
+//!
+//! The models reproduce each system's *resource profile* (who burns CPU,
+//! which links carry each payload how many times, what serializes), with
+//! per-message protocol costs calibrated once against the published
+//! numbers. They are comparison baselines, not ports of the original
+//! codebases; safety-critical corner cases (view changes, token loss) are
+//! out of scope.
+
+pub mod common;
+pub mod lcr;
+pub mod libpaxos;
+pub mod pfsb;
+pub mod spaxos;
+pub mod totem;
+
+pub use common::BValue;
+pub use lcr::deploy_lcr;
+pub use libpaxos::deploy_libpaxos;
+pub use pfsb::deploy_pfsb;
+pub use spaxos::deploy_spaxos;
+pub use totem::deploy_totem;

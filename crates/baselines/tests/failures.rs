@@ -1,0 +1,76 @@
+//! Failure behaviour of the comparison protocols — the architectural
+//! lessons ch. 7 draws from its EC2 study, pinned as regression tests.
+
+use baselines::{deploy_libpaxos, deploy_pfsb, deploy_spaxos};
+use simnet::prelude::*;
+
+use abcast::metric;
+
+#[test]
+fn spaxos_survives_a_replica_failure_with_degraded_throughput() {
+    // Fig 7.3: S-Paxos keeps running at f failures — dissemination loses
+    // the dead replica's share, ordering and stability survive on the
+    // f+1 quorum.
+    let mut sim = Sim::new(SimConfig::default());
+    let (replicas, log) = deploy_spaxos(&mut sim, 1, 150_000_000, 32 * 1024);
+    sim.run_until(Time::from_millis(800));
+    let before = sim.metrics().counter(replicas[0], metric::DELIVERED_BYTES);
+    assert!(before > 0, "no deliveries before the crash");
+
+    sim.set_node_up(replicas[2], false);
+    sim.run_until(Time::from_millis(1000)); // settle
+    let at = sim.metrics().counter(replicas[0], metric::DELIVERED_BYTES);
+    sim.run_until(Time::from_millis(2000));
+    let after = sim.metrics().counter(replicas[0], metric::DELIVERED_BYTES);
+
+    let rate = mbps(after - at, Dur::secs(1));
+    assert!(rate > 200.0, "S-Paxos should keep running at f failures: {rate:.0} Mbps");
+    assert!(rate < 400.0, "the dead replica's dissemination share is gone: {rate:.0} Mbps");
+    log.borrow().check_total_order().expect("order across the failure");
+}
+
+#[test]
+fn spaxos_leader_failure_halts_ordering() {
+    // The flip side the chapter highlights: S-Paxos (like the library it
+    // models) has a single ordering leader; losing it stops the system
+    // until a view change this model does not implement.
+    let mut sim = Sim::new(SimConfig::default());
+    let (replicas, _log) = deploy_spaxos(&mut sim, 1, 150_000_000, 32 * 1024);
+    sim.run_until(Time::from_millis(500));
+    sim.set_node_up(replicas[0], false); // the leader
+    sim.run_until(Time::from_millis(700));
+    let at = sim.metrics().counter(replicas[1], metric::DELIVERED_BYTES);
+    sim.run_until(Time::from_millis(1500));
+    let after = sim.metrics().counter(replicas[1], metric::DELIVERED_BYTES);
+    assert!(after - at < 100_000, "ordering must stall without the leader");
+}
+
+#[test]
+fn libpaxos_coordinator_failure_halts_until_nothing_recovers_it() {
+    // Libpaxos (as modelled, matching the chapter's observations about
+    // the original's default configuration) has no failover: the fixed
+    // coordinator is a single point of ordering.
+    let mut sim = Sim::new(SimConfig::default());
+    let (cfg, learners, _log) = deploy_libpaxos(&mut sim, 1, 2, 2, 100_000_000, 4096);
+    sim.run_until(Time::from_millis(500));
+    sim.set_node_up(cfg.coordinator, false);
+    sim.run_until(Time::from_millis(700));
+    let at = sim.metrics().counter(learners[0], metric::DELIVERED_BYTES);
+    sim.run_until(Time::from_millis(1500));
+    let after = sim.metrics().counter(learners[0], metric::DELIVERED_BYTES);
+    assert!(after - at < 100_000, "no recovery without a takeover protocol");
+}
+
+#[test]
+fn pfsb_star_is_leader_bound() {
+    // The OpenReplica-architecture stand-in: all traffic through one
+    // leader caps far below wire speed even in steady state.
+    let mut sim = Sim::new(SimConfig::default());
+    let (learners, log) = deploy_pfsb(&mut sim, 1, 2, 2, 50_000_000, 200);
+    sim.run_until(Time::from_secs(2));
+    let bytes = sim.metrics().counter(learners[0], metric::DELIVERED_BYTES);
+    let rate = mbps(bytes, Dur::secs(2));
+    assert!(rate > 1.0, "pfsb should make progress: {rate:.1} Mbps");
+    assert!(rate < 100.0, "leader-centric unicast star cannot approach wire speed");
+    log.borrow().check_total_order().expect("total order");
+}

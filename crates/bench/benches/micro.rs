@@ -1,0 +1,183 @@
+//! Criterion micro-benchmarks for the hot paths under every experiment:
+//! B⁺-tree operations, Paxos role state machines, the deterministic
+//! merge, and a short end-to-end M-Ring Paxos simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use abcast::MsgId;
+use btree::{BPlusTree, TreeCommand, TreeService};
+use psmr::{Engine, EngineCosts, ExecModel, PCommand, PStored};
+use multiring::{DeterministicMerge, MergeEntry};
+use paxos::prelude::*;
+use ringpaxos::cluster::{deploy_mring, MRingOptions};
+use simnet::prelude::*;
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.sample_size(20);
+    g.bench_function("insert_10k", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new();
+            for k in 0..10_000u64 {
+                t.insert(black_box(k * 7 % 10_000), k);
+            }
+            black_box(t.len())
+        })
+    });
+    let mut tree = BPlusTree::new();
+    for k in 0..100_000u64 {
+        tree.insert(k, k);
+    }
+    g.bench_function("range_1000_of_100k", |b| {
+        b.iter(|| black_box(tree.range(black_box(40_000), black_box(40_999)).len()))
+    });
+    g.bench_function("get_of_100k", |b| {
+        b.iter(|| black_box(tree.get(black_box(77_777))))
+    });
+    g.finish();
+}
+
+fn bench_service_undo(c: &mut Criterion) {
+    c.bench_function("service/apply_rollback_100", |b| {
+        b.iter(|| {
+            let mut s = TreeService::new();
+            for k in 0..100u64 {
+                s.apply(TreeCommand::Insert { key: k, value: k });
+            }
+            s.rollback(100);
+            black_box(s.tree().len())
+        })
+    });
+}
+
+fn bench_paxos_roles(c: &mut Criterion) {
+    c.bench_function("paxos/phase2_roundtrip", |b| {
+        let mut coord: Coordinator<u64> = Coordinator::new(0, 3);
+        let mut accs: Vec<Acceptor<u64>> = (0..3).map(|_| Acceptor::new()).collect();
+        let PaxosMsg::Phase1a { round } = coord.start_phase1(Round::ZERO) else { unreachable!() };
+        for (i, a) in accs.iter_mut().enumerate() {
+            if let Some(PaxosMsg::Phase1b { round, votes }) = a.receive_1a(round) {
+                coord.receive_1b(i as u32, round, &votes);
+            }
+        }
+        b.iter(|| {
+            let (inst, msg) = coord.propose(black_box(42)).expect("ready");
+            let PaxosMsg::Phase2a { round, value, .. } = msg else { unreachable!() };
+            for (i, a) in accs.iter_mut().enumerate() {
+                if a.receive_2a(inst, round, value).is_some() {
+                    let _ = coord.receive_2b(i as u32, inst, round);
+                }
+            }
+            black_box(inst)
+        })
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    c.bench_function("multiring/merge_4rings_1k", |b| {
+        b.iter(|| {
+            let mut m = DeterministicMerge::new(4, 1);
+            for i in 0..1000u64 {
+                let entry = MergeEntry { batch: std::rc::Rc::new(Vec::new()), weight: 1 };
+                m.push((i % 4) as usize, entry);
+            }
+            let mut n = 0;
+            while m.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+}
+
+fn bench_psmr_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("psmr_engine");
+    let mk = |i: u64, groups: Vec<u8>| PStored {
+        cmd: PCommand {
+            writes: groups.iter().map(|&x| (x as u64, i)).collect(),
+            groups,
+            cost: Dur::micros(100),
+        },
+        client: NodeId(0),
+        reply_bytes: 64,
+    };
+    g.bench_function("psmr_10k_independent", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(ExecModel::Psmr { workers: 8 }, EngineCosts::default());
+            let mut last = Time::ZERO;
+            for i in 0..10_000u64 {
+                let grp = (i % 8) as u8;
+                if let Some((_, s)) =
+                    e.deliver(MsgId(i), &mk(i, vec![grp]), Some(grp), Time::ZERO).pop()
+                {
+                    last = s.done;
+                }
+            }
+            black_box(last)
+        })
+    });
+    g.bench_function("sdpe_10k_mixed", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(ExecModel::Sdpe { workers: 8 }, EngineCosts::default());
+            let mut last = Time::ZERO;
+            for i in 0..10_000u64 {
+                let groups = if i % 10 == 0 { vec![0u8, 1, 2, 3] } else { vec![(i % 8) as u8] };
+                if let Some((_, s)) = e.deliver(MsgId(i), &mk(i, groups), None, Time::ZERO).pop() {
+                    last = s.done;
+                }
+            }
+            black_box(last)
+        })
+    });
+    g.bench_function("psmr_barriers_2k_dependent", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(ExecModel::Psmr { workers: 4 }, EngineCosts::default());
+            let all = vec![0u8, 1, 2, 3];
+            let mut last = Time::ZERO;
+            for i in 0..2_000u64 {
+                for g in 0..4u8 {
+                    if let Some((_, s)) =
+                        e.deliver(MsgId(i), &mk(i, all.clone()), Some(g), Time::ZERO).pop()
+                    {
+                        last = s.done;
+                    }
+                }
+            }
+            black_box(last)
+        })
+    });
+    g.finish();
+}
+
+fn bench_mring_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim");
+    g.sample_size(10);
+    g.bench_function("mring_100ms_sim", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig::default());
+            let opts = MRingOptions {
+                ring_size: 3,
+                n_learners: 2,
+                n_proposers: 2,
+                proposer_rate_bps: 200_000_000,
+                ..MRingOptions::default()
+            };
+            let d = deploy_mring(&mut sim, &opts, |_| {});
+            sim.run_until(Time::from_millis(100));
+            black_box(sim.metrics().counter(d.learners[0], "abcast.delivered_msgs"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_btree,
+    bench_service_undo,
+    bench_paxos_roles,
+    bench_merge,
+    bench_psmr_engine,
+    bench_mring_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! figures list            # enumerate experiments
+//! figures fig3_07         # run one
+//! figures ch4             # run a chapter
+//! figures all             # run everything
+//! ```
+
+use bench::all_experiments;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    let experiments = all_experiments();
+    match arg.as_str() {
+        "list" => {
+            println!("available experiments:");
+            for e in &experiments {
+                println!("  {:<8} {}", e.id, e.title);
+            }
+            println!("  all      run everything");
+            println!("  ch3..ch7 run one chapter");
+        }
+        "all" => {
+            for e in &experiments {
+                banner(e.id, e.title);
+                (e.run)();
+            }
+        }
+        ch @ ("ch3" | "ch4" | "ch5" | "ch6" | "ch7") => {
+            let prefix = format!("fig{}", &ch[2..]);
+            let tprefix = format!("tab{}", &ch[2..]);
+            for e in experiments.iter().filter(|e| e.id.starts_with(&prefix) || e.id.starts_with(&tprefix)) {
+                banner(e.id, e.title);
+                (e.run)();
+            }
+        }
+        id => match experiments.iter().find(|e| e.id == id) {
+            Some(e) => {
+                banner(e.id, e.title);
+                (e.run)();
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; try 'list'");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn banner(id: &str, title: &str) {
+    println!("\n================================================================");
+    println!("{id} — {title}");
+    println!("================================================================");
+}

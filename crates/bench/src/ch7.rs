@@ -1,0 +1,230 @@
+//! Chapter 7 experiments — "Paxos in the cloud", substituted onto the
+//! simulated cluster: the thesis benchmarks four *third-party* open-source
+//! Paxos libraries on Amazon EC2 (S-Paxos, OpenReplica, U-Ring Paxos,
+//! Libpaxos/Libpaxos+) with and without failures. The binaries and EC2
+//! are out of reach, so we run the same study over this repository's own
+//! implementations of the corresponding protocol architectures and
+//! reproduce the chapter's *lessons*: peak ranking, and how differently
+//! each architecture behaves when a process fails.
+//!
+//! Substitutions (see DESIGN.md):
+//! * S-Paxos → `baselines::spaxos` (replica dissemination + id ordering).
+//! * OpenReplica → `baselines::pfsb` (unicast star around the leader —
+//!   the same all-unicast, leader-centric architecture).
+//! * U-Ring Paxos → `ringpaxos::uring`.
+//! * Libpaxos → `baselines::libpaxos`; Libpaxos+ (the chapter's improved
+//!   variant) → `ringpaxos::mring`, which embodies the same fixes the
+//!   chapter proposes (windowing, batching, ring-based votes, failover).
+
+use baselines::{deploy_libpaxos, deploy_pfsb, deploy_spaxos};
+use ringpaxos::cluster::{deploy_mring, deploy_uring, MRingOptions, URingOptions};
+use simnet::prelude::*;
+
+use abcast::metric;
+
+use crate::harness::{header, Window};
+use crate::Experiment;
+
+/// All ch. 7 experiments in paper order.
+pub fn experiments() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "tab7_01", title: "evaluated systems and configurations", run: tab7_01 },
+        Experiment { id: "fig7_02", title: "peak performance of the Paxos stacks", run: fig7_02 },
+        Experiment { id: "fig7_03", title: "S-Paxos under a replica failure", run: fig7_03 },
+        Experiment { id: "fig7_05", title: "U-Ring Paxos under a ring-process failure", run: fig7_05 },
+        Experiment { id: "fig7_06", title: "coordinator failure and takeover (Libpaxos+ policy)", run: fig7_06 },
+        Experiment { id: "fig7_07", title: "acceptor failure and spare replacement", run: fig7_07 },
+    ]
+}
+
+fn tab7_01() {
+    println!("Table 7.1 — systems under study (EC2 originals → this repository's stand-ins)");
+    header(&["paper system", "stand-in", "architecture", "failure policy"]);
+    for row in [
+        ("S-Paxos", "baselines::spaxos", "all replicas disseminate; leader orders ids", "continues at f failures"),
+        ("OpenReplica", "baselines::pfsb", "leader-centric unicast star", "blocks on leader loss"),
+        ("U-Ring Paxos", "ringpaxos::uring", "all-unicast pipelined ring", "ring stalls until reconfigured"),
+        ("Libpaxos", "baselines::libpaxos", "ip-multicast Paxos, full payloads ordered", "new coordinator election"),
+        ("Libpaxos+", "ringpaxos::mring", "multicast dissemination + ring votes", "failover + spare promotion"),
+    ] {
+        println!("  {:<12} | {:<19} | {:<44} | {}", row.0, row.1, row.2, row.3);
+    }
+}
+
+/// Deploys one stack offering `total_bps` of application load, returning
+/// the learner node whose delivery we observe.
+fn deploy_stack(sim: &mut Sim, stack: &str, total_bps: u64) -> NodeId {
+    match stack {
+        "spaxos" => deploy_spaxos(sim, 1, total_bps / 3, 32 * 1024).0[0],
+        "openreplica" => deploy_pfsb(sim, 1, 2, 2, total_bps / 2, 200).0[0],
+        "uring" => {
+            let opts = URingOptions {
+                ring_len: 5,
+                n_acceptors: 3,
+                proposer_positions: (0..5).collect(),
+                proposer_rate_bps: total_bps / 5,
+                msg_bytes: 32 * 1024,
+                ..URingOptions::default()
+            };
+            deploy_uring(sim, &opts, |_| {}).ring[2]
+        }
+        "libpaxos" => deploy_libpaxos(sim, 1, 2, 2, total_bps / 2, 4096).1[0],
+        "mring" => {
+            let opts = MRingOptions {
+                ring_size: 3,
+                n_learners: 2,
+                n_proposers: 2,
+                proposer_rate_bps: total_bps / 2,
+                msg_bytes: 8192,
+                ..MRingOptions::default()
+            };
+            deploy_mring(sim, &opts, |_| {}).learners[0]
+        }
+        _ => unreachable!("unknown stack"),
+    }
+}
+
+/// Delivered throughput (Mbps) and mean latency at `total_bps` offered.
+fn measure_stack(stack: &str, total_bps: u64) -> (f64, Dur) {
+    let mut sim = Sim::new(SimConfig::default());
+    let node = deploy_stack(&mut sim, stack, total_bps);
+    let w = Window::open(&mut sim, Dur::secs(1), Dur::secs(2), &[metric::LATENCY]);
+    let before = sim.metrics().counter(node, metric::DELIVERED_BYTES);
+    w.close(&mut sim);
+    let after = sim.metrics().counter(node, metric::DELIVERED_BYTES);
+    (w.mbps_of(before, after), sim.metrics().latency(metric::LATENCY).mean)
+}
+
+fn fig7_02() {
+    println!("Fig 7.2 — peak throughput (saturated) and latency at 70% of peak");
+    header(&["system", "peak Mbps", "latency @70%"]);
+    for (label, stack, saturate_bps) in [
+        ("S-Paxos", "spaxos", 450_000_000u64),
+        ("OpenReplica*", "openreplica", 100_000_000),
+        ("U-Ring Paxos", "uring", 1_100_000_000),
+        ("Libpaxos", "libpaxos", 200_000_000),
+        ("Libpaxos+ (M-RP)", "mring", 950_000_000),
+    ] {
+        // Pass 1: offer each stack's saturating load to find its peak
+        // throughput (§7.3.2's methodology; offering far beyond the
+        // peak makes the weaker stacks collapse rather than saturate,
+        // exactly the overload behaviour ch. 7 warns about).
+        let (peak_mbps, _) = measure_stack(stack, saturate_bps);
+        // Pass 2: latency at a sustainable fraction of the peak.
+        let offered = ((peak_mbps * 0.7) as u64 * 1_000_000).max(5_000_000);
+        let (_, lat) = measure_stack(stack, offered);
+        println!("  {label:<16} | {peak_mbps:9.0} | {lat}");
+    }
+    println!("  shape: ring/multicast stacks sit near wire speed; leader-centric unicast");
+    println!("  stacks an order of magnitude below (paper Fig 7.2's ranking).");
+}
+
+/// Prints a per-interval delivered-Mbps trace from `observer`, applying
+/// `at_step` before each step (failure/recovery injection).
+fn trace(
+    sim: &mut Sim,
+    observer: NodeId,
+    steps: u64,
+    step_len: Dur,
+    mut at_step: impl FnMut(&mut Sim, u64),
+) {
+    header(&["t (s)", "delivered Mbps"]);
+    let mut prev = sim.metrics().counter(observer, metric::DELIVERED_BYTES);
+    for step in 1..=steps {
+        at_step(sim, step);
+        sim.run_until(Time::ZERO + step_len * step);
+        let cur = sim.metrics().counter(observer, metric::DELIVERED_BYTES);
+        println!(
+            "  {:5.1} | {:14.0}",
+            (step_len * step).as_secs_f64(),
+            mbps(cur.saturating_sub(prev), step_len)
+        );
+        prev = cur;
+    }
+}
+
+fn fig7_03() {
+    println!("Fig 7.3 — S-Paxos, 3 replicas: replica 2 crashes at t=1.5s");
+    let mut sim = Sim::new(SimConfig::default());
+    let (replicas, log) = deploy_spaxos(&mut sim, 1, 150_000_000, 32 * 1024);
+    let victim = replicas[2];
+    trace(&mut sim, replicas[0], 8, Dur::millis(500), |sim, step| {
+        if step == 4 {
+            sim.set_node_up(victim, false);
+        }
+    });
+    log.borrow().check_total_order().expect("order preserved across the failure");
+    println!("  shape: throughput dips by the dead replica's dissemination share and");
+    println!("  stabilizes — S-Paxos keeps running at f failures (paper Fig 7.3).");
+}
+
+fn fig7_05() {
+    println!("Fig 7.5 — U-Ring Paxos, 5 processes: ring position 3 crashes at t=1.5s");
+    let mut sim = Sim::new(SimConfig::default());
+    let opts = URingOptions {
+        ring_len: 5,
+        n_acceptors: 3,
+        proposer_positions: (0..5).collect(),
+        proposer_rate_bps: 180_000_000,
+        msg_bytes: 32 * 1024,
+        ..URingOptions::default()
+    };
+    let d = deploy_uring(&mut sim, &opts, |_| {});
+    let victim = d.ring[3];
+    trace(&mut sim, d.ring[1], 8, Dur::millis(500), |sim, step| {
+        if step == 4 {
+            sim.set_node_up(victim, false);
+        }
+    });
+    println!("  shape: delivery collapses to zero and stays there — a broken unicast ring");
+    println!("  moves no traffic until it is reconfigured, the chapter's U-Ring lesson");
+    println!("  (paper Fig 7.5; its library needed an external reconfiguration service).");
+}
+
+fn fig7_06() {
+    println!("Fig 7.6 — M-Ring Paxos (the Libpaxos+ policy): coordinator crashes at t=1.5s");
+    let mut sim = Sim::new(SimConfig::default());
+    let opts = MRingOptions {
+        ring_size: 3,
+        n_learners: 2,
+        n_proposers: 2,
+        proposer_rate_bps: 200_000_000,
+        msg_bytes: 8192,
+        ..MRingOptions::default()
+    };
+    let d = deploy_mring(&mut sim, &opts, |_| {});
+    let coord = d.coordinator();
+    trace(&mut sim, d.learners[0], 10, Dur::millis(500), |sim, step| {
+        if step == 4 {
+            sim.set_node_up(coord, false);
+        }
+    });
+    d.log.borrow().check_total_order().expect("order preserved across failover");
+    println!("  shape: a short outage (suspicion timeout), then a surviving acceptor takes");
+    println!("  over, re-runs Phase 1, and throughput recovers (paper Figs 7.6/7.7).");
+}
+
+fn fig7_07() {
+    println!("Fig 7.7 — M-Ring Paxos: mid-ring acceptor crashes at t=1.5s, spare promoted");
+    let mut sim = Sim::new(SimConfig::default());
+    let opts = MRingOptions {
+        ring_size: 3,
+        spares: 1,
+        n_learners: 2,
+        n_proposers: 2,
+        proposer_rate_bps: 200_000_000,
+        msg_bytes: 8192,
+        ..MRingOptions::default()
+    };
+    let d = deploy_mring(&mut sim, &opts, |_| {});
+    let victim = d.ring[1];
+    trace(&mut sim, d.learners[0], 10, Dur::millis(500), |sim, step| {
+        if step == 4 {
+            sim.set_node_up(victim, false);
+        }
+    });
+    d.log.borrow().check_total_order().expect("order preserved across ring repair");
+    println!("  shape: the coordinator suspects the silent acceptor, lays out a new ring");
+    println!("  pulling in the spare, and throughput recovers (ch. 3 §3.3.5's policy —");
+    println!("  the failure handling the chapter finds missing in most libraries).");
+}

@@ -1,0 +1,84 @@
+//! Shared measurement plumbing for the experiment runners.
+
+use simnet::prelude::*;
+
+/// Steady-state measurement: runs `sim` through `warmup`, snapshots the
+/// interesting counters, runs a further `window`, and reports the diffs.
+pub struct Window {
+    start: Time,
+    len: Dur,
+}
+
+impl Window {
+    /// Advances `sim` past `warmup` and opens a measurement window of
+    /// `window`. Latency samples recorded before the window are drained
+    /// so `latency` reports the window only.
+    pub fn open(sim: &mut Sim, warmup: Dur, window: Dur, latency_names: &[&'static str]) -> Window {
+        let start = Time::ZERO + warmup;
+        sim.run_until(start);
+        for name in latency_names {
+            let _ = sim.metrics_mut().take_latency(name);
+        }
+        Window { start, len: window }
+    }
+
+    /// The counter value of `(node, name)` at the window start must be
+    /// captured by the caller *before* calling [`Window::close`]; this
+    /// helper snapshots a set of counters.
+    pub fn snapshot(&self, sim: &Sim, nodes: &[NodeId], name: &'static str) -> Vec<u64> {
+        nodes.iter().map(|&n| sim.metrics().counter(n, name)).collect()
+    }
+
+    /// Runs the simulation to the end of the window.
+    pub fn close(&self, sim: &mut Sim) {
+        sim.run_until(self.start + self.len);
+    }
+
+    /// Window length.
+    pub fn len(&self) -> Dur {
+        self.len
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == Dur::ZERO
+    }
+
+    /// Throughput in Mbps for a counter diff.
+    pub fn mbps_of(&self, before: u64, after: u64) -> f64 {
+        mbps(after.saturating_sub(before), self.len)
+    }
+
+    /// Rate per second for a counter diff.
+    pub fn rate_of(&self, before: u64, after: u64) -> f64 {
+        per_sec(after.saturating_sub(before), self.len)
+    }
+}
+
+/// CPU utilization (%) of one core over an interval, from busy-time diffs.
+pub fn cpu_pct(busy_before: Dur, busy_after: Dur, window: Dur) -> f64 {
+    (busy_after.saturating_sub(busy_before)).as_secs_f64() / window.as_secs_f64() * 100.0
+}
+
+/// Prints a table header: `name | col col col`.
+pub fn header(cols: &[&str]) {
+    println!("  {}", cols.join(" | "));
+    println!("  {}", cols.iter().map(|c| "-".repeat(c.len())).collect::<Vec<_>>().join("-|-"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_pct_diffs() {
+        assert!((cpu_pct(Dur::millis(100), Dur::millis(600), Dur::secs(1)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_rates() {
+        let w = Window { start: Time::ZERO, len: Dur::secs(2) };
+        assert!((w.rate_of(100, 300) - 100.0).abs() < 1e-9);
+        assert!(!w.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! # bench — the experiment harness
+//!
+//! One runner per table and figure of the thesis's ch. 3–5 evaluation.
+//! Each experiment deploys the relevant system on the simulated cluster,
+//! warms it up, measures a steady-state window, and prints the same rows
+//! or series the paper reports. Run them through the `figures` binary:
+//!
+//! ```text
+//! cargo run --release -p bench --bin figures -- list
+//! cargo run --release -p bench --bin figures -- fig3_07
+//! cargo run --release -p bench --bin figures -- all
+//! ```
+//!
+//! Absolute numbers come from a calibrated simulator, so they are not
+//! expected to equal the paper's testbed measurements; the *shapes* (who
+//! wins, scaling trends, crossover points) are the reproduction target.
+//! EXPERIMENTS.md records paper-vs-measured for every experiment.
+
+pub mod ablations;
+pub mod ch3;
+pub mod ch4;
+pub mod ch5;
+pub mod ch6;
+pub mod ch7;
+pub mod harness;
+
+/// One runnable experiment.
+pub struct Experiment {
+    /// Identifier (`fig3_07`, `tab3_03`, …).
+    pub id: &'static str,
+    /// What the paper shows there.
+    pub title: &'static str,
+    /// Runs the experiment, printing its rows.
+    pub run: fn(),
+}
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    let mut v = Vec::new();
+    v.extend(ch3::experiments());
+    v.extend(ch4::experiments());
+    v.extend(ch5::experiments());
+    v.extend(ch6::experiments());
+    v.extend(ch7::experiments());
+    v.extend(ablations::experiments());
+    v
+}

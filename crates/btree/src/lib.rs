@@ -1,0 +1,35 @@
+//! # btree — the replicated B⁺-tree service (thesis §4.4.2)
+//!
+//! The application used throughout the DSN 2011 evaluation: an in-memory
+//! B⁺-tree of `(u64, u64)` tuples with `insert`, `delete`, and 1000-key
+//! range `query` operations. This crate provides:
+//!
+//! * [`tree::BPlusTree`] — a from-scratch B⁺-tree with splits, borrow or
+//!   merge rebalancing, and inclusive range scans;
+//! * [`service::TreeService`] — command execution with an undo log (for
+//!   the paper's speculative rollback) and a virtual-time cost model
+//!   calibrated against Fig. 4.3's single-server plateaus;
+//! * [`service::Partitioning`] — the key-range partitioning and
+//!   command-splitting rules of §4.2.2;
+//! * [`workload::WorkloadGen`] — the `Queries` / `Ins/Del (single)` /
+//!   `Ins/Del (batch)` client workloads.
+//!
+//! ```
+//! use btree::{TreeCommand, TreeOutput, TreeService};
+//!
+//! let mut svc = TreeService::new();
+//! svc.apply(TreeCommand::Insert { key: 7, value: 70 });
+//! let (out, _cost) = svc.apply(TreeCommand::Query { lo: 0, hi: 10 });
+//! assert_eq!(out, TreeOutput::Matched(1));
+//! // Speculative rollback: undo the insert.
+//! svc.rollback(2);
+//! assert!(svc.tree().is_empty());
+//! ```
+
+pub mod service;
+pub mod tree;
+pub mod workload;
+
+pub use service::{CostModel, Partitioning, TreeCommand, TreeOutput, TreeService, UndoOp};
+pub use tree::BPlusTree;
+pub use workload::{WorkloadGen, WorkloadKind};

@@ -1,0 +1,437 @@
+//! An in-memory B⁺-tree over `u64` keys and values.
+//!
+//! The paper's replicated service (§4.4.2) is a B⁺-tree storing
+//! `(key, value)` tuples of 8-byte integers with three operations:
+//! `insert`, `delete`, and `query(key_min, key_max)`. This implementation
+//! keeps all values in the leaves (internal nodes hold separator keys
+//! only), splits on overflow, and rebalances by borrowing or merging on
+//! underflow, so the tree stays height-balanced under any workload.
+
+/// Maximum entries per leaf / children per internal node.
+const ORDER: usize = 32;
+/// Underflow threshold.
+const MIN: usize = ORDER / 2;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]`.
+        keys: Vec<u64>,
+        children: Vec<Node>,
+    },
+    Leaf {
+        entries: Vec<(u64, u64)>,
+    },
+}
+
+impl Node {
+    fn size(&self) -> usize {
+        match self {
+            Node::Internal { children, .. } => children.len(),
+            Node::Leaf { entries } => entries.len(),
+        }
+    }
+}
+
+/// The split result bubbling up after an insert: a separator key and the
+/// new right sibling.
+struct Split {
+    sep: u64,
+    right: Node,
+}
+
+/// An in-memory B⁺-tree mapping `u64` keys to `u64` values.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    root: Node,
+    len: usize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// Creates an empty tree.
+    pub fn new() -> BPlusTree {
+        BPlusTree { root: Node::Leaf { entries: Vec::new() }, len: 0 }
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up the value stored under `key`.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|&k| k <= key);
+                    node = &children[idx];
+                }
+                Node::Leaf { entries } => {
+                    return entries
+                        .binary_search_by_key(&key, |&(k, _)| k)
+                        .ok()
+                        .map(|i| entries[i].1);
+                }
+            }
+        }
+    }
+
+    /// Inserts `key → value`, returning the previous value if any.
+    pub fn insert(&mut self, key: u64, value: u64) -> Option<u64> {
+        let (old, split) = Self::insert_rec(&mut self.root, key, value);
+        if let Some(s) = split {
+            let old_root = std::mem::replace(&mut self.root, Node::Leaf { entries: Vec::new() });
+            self.root = Node::Internal { keys: vec![s.sep], children: vec![old_root, s.right] };
+        }
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn insert_rec(node: &mut Node, key: u64, value: u64) -> (Option<u64>, Option<Split>) {
+        match node {
+            Node::Leaf { entries } => match entries.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(i) => (Some(std::mem::replace(&mut entries[i].1, value)), None),
+                Err(i) => {
+                    entries.insert(i, (key, value));
+                    if entries.len() > ORDER {
+                        let right = entries.split_off(entries.len() / 2);
+                        let sep = right[0].0;
+                        (None, Some(Split { sep, right: Node::Leaf { entries: right } }))
+                    } else {
+                        (None, None)
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let (old, split) = Self::insert_rec(&mut children[idx], key, value);
+                let split = split.and_then(|s| {
+                    keys.insert(idx, s.sep);
+                    children.insert(idx + 1, s.right);
+                    if children.len() > ORDER {
+                        let mid = children.len() / 2;
+                        // keys[mid-1] moves up as the separator.
+                        let sep = keys[mid - 1];
+                        let right_keys = keys.split_off(mid);
+                        keys.pop(); // drop the promoted separator
+                        let right_children = children.split_off(mid);
+                        Some(Split {
+                            sep,
+                            right: Node::Internal { keys: right_keys, children: right_children },
+                        })
+                    } else {
+                        None
+                    }
+                });
+                (old, split)
+            }
+        }
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: u64) -> Option<u64> {
+        let old = Self::remove_rec(&mut self.root, key);
+        if old.is_some() {
+            self.len -= 1;
+        }
+        // Collapse a root with a single child.
+        if let Node::Internal { children, .. } = &mut self.root {
+            if children.len() == 1 {
+                self.root = children.pop().expect("one child");
+            }
+        }
+        old
+    }
+
+    fn remove_rec(node: &mut Node, key: u64) -> Option<u64> {
+        match node {
+            Node::Leaf { entries } => match entries.binary_search_by_key(&key, |&(k, _)| k) {
+                Ok(i) => Some(entries.remove(i).1),
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|&k| k <= key);
+                let old = Self::remove_rec(&mut children[idx], key);
+                if children[idx].size() < MIN {
+                    Self::rebalance(keys, children, idx);
+                }
+                old
+            }
+        }
+    }
+
+    /// Restores the invariant for `children[idx]` by borrowing from a
+    /// sibling or merging with one.
+    fn rebalance(keys: &mut Vec<u64>, children: &mut Vec<Node>, idx: usize) {
+        // Prefer borrowing from the left sibling, then right; merge when
+        // neither can spare an element.
+        if idx > 0 && children[idx - 1].size() > MIN {
+            let (left, right) = children.split_at_mut(idx);
+            let left = &mut left[idx - 1];
+            match (left, &mut right[0]) {
+                (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
+                    let moved = le.pop().expect("size > MIN");
+                    re.insert(0, moved);
+                    keys[idx - 1] = moved.0;
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { keys: rk, children: rc },
+                ) => {
+                    let child = lc.pop().expect("size > MIN");
+                    let sep = lk.pop().expect("keys track children");
+                    rk.insert(0, keys[idx - 1]);
+                    rc.insert(0, child);
+                    keys[idx - 1] = sep;
+                }
+                _ => unreachable!("siblings share a level"),
+            }
+        } else if idx + 1 < children.len() && children[idx + 1].size() > MIN {
+            let (left, right) = children.split_at_mut(idx + 1);
+            let left = &mut left[idx];
+            match (left, &mut right[0]) {
+                (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
+                    let moved = re.remove(0);
+                    le.push(moved);
+                    keys[idx] = re[0].0;
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { keys: rk, children: rc },
+                ) => {
+                    lk.push(keys[idx]);
+                    lc.push(rc.remove(0));
+                    keys[idx] = rk.remove(0);
+                }
+                _ => unreachable!("siblings share a level"),
+            }
+        } else {
+            // Merge with a sibling.
+            let (li, ri) = if idx > 0 { (idx - 1, idx) } else { (idx, idx + 1) };
+            if ri >= children.len() {
+                return; // root with a single child: handled by caller
+            }
+            let right = children.remove(ri);
+            let sep = keys.remove(li);
+            match (&mut children[li], right) {
+                (Node::Leaf { entries: le }, Node::Leaf { entries: mut re }) => {
+                    le.append(&mut re);
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { keys: mut rk, children: mut rc },
+                ) => {
+                    lk.push(sep);
+                    lk.append(&mut rk);
+                    lc.append(&mut rc);
+                }
+                _ => unreachable!("siblings share a level"),
+            }
+        }
+    }
+
+    /// Returns all `(key, value)` tuples with `lo <= key <= hi`, in key
+    /// order — the paper's `query(key_min, key_max)`.
+    pub fn range(&self, lo: u64, hi: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        Self::range_rec(&self.root, lo, hi, &mut out);
+        out
+    }
+
+    fn range_rec(node: &Node, lo: u64, hi: u64, out: &mut Vec<(u64, u64)>) {
+        match node {
+            Node::Leaf { entries } => {
+                let start = entries.partition_point(|&(k, _)| k < lo);
+                for &(k, v) in &entries[start..] {
+                    if k > hi {
+                        break;
+                    }
+                    out.push((k, v));
+                }
+            }
+            Node::Internal { keys, children } => {
+                let first = keys.partition_point(|&k| k <= lo);
+                let last = keys.partition_point(|&k| k <= hi);
+                for child in &children[first..=last] {
+                    Self::range_rec(child, lo, hi, out);
+                }
+            }
+        }
+    }
+
+    /// Tree height (leaves are height 1) — used by tests to check balance.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            h += 1;
+            node = &children[0];
+        }
+        h
+    }
+
+    /// Validates structural invariants (sorted keys, child separation,
+    /// balance); used by tests.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let h = self.height();
+        Self::check_rec(&self.root, None, None, h, 1, true)?;
+        Ok(())
+    }
+
+    fn check_rec(
+        node: &Node,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        height: usize,
+        depth: usize,
+        is_root: bool,
+    ) -> Result<(), String> {
+        match node {
+            Node::Leaf { entries } => {
+                if depth != height {
+                    return Err(format!("leaf at depth {depth}, height {height}"));
+                }
+                if !entries.windows(2).all(|w| w[0].0 < w[1].0) {
+                    return Err("leaf keys not strictly sorted".into());
+                }
+                for &(k, _) in entries {
+                    if lo.is_some_and(|l| k < l) || hi.is_some_and(|h| k >= h) {
+                        return Err(format!("leaf key {k} out of bounds {lo:?}..{hi:?}"));
+                    }
+                }
+                Ok(())
+            }
+            Node::Internal { keys, children } => {
+                if children.len() != keys.len() + 1 {
+                    return Err("child/key count mismatch".into());
+                }
+                if !is_root && children.len() < MIN {
+                    return Err(format!("internal underflow: {}", children.len()));
+                }
+                if !keys.windows(2).all(|w| w[0] < w[1]) {
+                    return Err("internal keys not sorted".into());
+                }
+                for (i, child) in children.iter().enumerate() {
+                    let clo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                    let chi = if i == keys.len() { hi } else { Some(keys[i]) };
+                    Self::check_rec(child, clo, chi, height, depth + 1, false)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(5, 50), None);
+        assert_eq!(t.insert(5, 51), Some(50));
+        assert_eq!(t.get(5), Some(51));
+        assert_eq!(t.get(6), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn splits_keep_everything_reachable() {
+        let mut t = BPlusTree::new();
+        for k in 0..10_000u64 {
+            t.insert(k * 7 % 10_000, k);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 10_000);
+        for k in 0..10_000u64 {
+            assert!(t.get(k).is_some(), "lost key {k}");
+        }
+        assert!(t.height() >= 3, "tree should have split: height {}", t.height());
+    }
+
+    #[test]
+    fn remove_rebalances() {
+        let mut t = BPlusTree::new();
+        for k in 0..5_000u64 {
+            t.insert(k, k);
+        }
+        for k in (0..5_000u64).step_by(2) {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 2_500);
+        assert_eq!(t.remove(1), Some(1));
+        assert_eq!(t.remove(0), None, "already removed");
+        for k in (3..5_000u64).step_by(2) {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_tree() {
+        let mut t = BPlusTree::new();
+        for k in 0..2_000u64 {
+            t.insert(k, k);
+        }
+        for k in 0..2_000u64 {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn range_query_returns_sorted_window() {
+        let mut t = BPlusTree::new();
+        for k in (0..1_000u64).rev() {
+            t.insert(k * 3, k);
+        }
+        let r = t.range(30, 60);
+        let keys: Vec<u64> = r.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![30, 33, 36, 39, 42, 45, 48, 51, 54, 57, 60]);
+    }
+
+    #[test]
+    fn range_is_inclusive_and_handles_empty_windows() {
+        let mut t = BPlusTree::new();
+        t.insert(10, 1);
+        t.insert(20, 2);
+        assert_eq!(t.range(10, 20).len(), 2);
+        assert_eq!(t.range(11, 19).len(), 0);
+        assert_eq!(t.range(0, 9).len(), 0);
+        assert_eq!(t.range(21, u64::MAX).len(), 0);
+        assert_eq!(BPlusTree::new().range(0, u64::MAX).len(), 0);
+    }
+
+    #[test]
+    fn interleaved_workload_keeps_invariants() {
+        let mut t = BPlusTree::new();
+        let mut x = 12345u64;
+        for i in 0..30_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x % 5_000;
+            if i % 3 == 0 {
+                t.remove(k);
+            } else {
+                t.insert(k, i);
+            }
+        }
+        t.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,173 @@
+//! The three client workloads of thesis §4.4.2, with deterministic
+//! random key selection.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::service::{Partitioning, TreeCommand, QUERY_SPAN};
+
+/// Which workload a client generates (§4.4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkloadKind {
+    /// Range queries over intervals of 1000 keys, uniform keys.
+    Queries,
+    /// One insert-or-delete per command.
+    InsDelSingle,
+    /// Seven updates per command (the coordinator batches packets).
+    InsDelBatch,
+}
+
+impl WorkloadKind {
+    /// Command size on the wire (256 bytes in the paper).
+    pub fn command_bytes(self) -> u32 {
+        256
+    }
+
+    /// Reply size: 8 KB for range results, 256 B for update acks.
+    pub fn reply_bytes(self) -> u32 {
+        match self {
+            WorkloadKind::Queries => 8192,
+            _ => 256,
+        }
+    }
+
+    /// Tree operations executed per command.
+    pub fn ops_per_command(self) -> u32 {
+        match self {
+            WorkloadKind::Queries => 1,
+            WorkloadKind::InsDelSingle => 1,
+            WorkloadKind::InsDelBatch => 7,
+        }
+    }
+}
+
+/// Generates commands for one client.
+#[derive(Debug)]
+pub struct WorkloadGen {
+    kind: WorkloadKind,
+    key_space: u64,
+    /// Fraction (0–100) of queries spanning two partitions (§4.4.5).
+    cross_pct: u32,
+    partitioning: Option<Partitioning>,
+    flip: bool,
+}
+
+impl WorkloadGen {
+    /// Creates a generator over `key_space` keys.
+    pub fn new(kind: WorkloadKind, key_space: u64) -> WorkloadGen {
+        WorkloadGen { kind, key_space, cross_pct: 0, partitioning: None, flip: false }
+    }
+
+    /// Enables partition-aware generation: `cross_pct`% of queries are
+    /// laid across a partition boundary (they touch exactly two
+    /// partitions, as in the paper's Figs. 4.8/4.9).
+    pub fn with_partitions(mut self, p: Partitioning, cross_pct: u32) -> WorkloadGen {
+        self.partitioning = Some(p);
+        self.cross_pct = cross_pct.min(100);
+        self
+    }
+
+    /// The workload kind.
+    pub fn kind(&self) -> WorkloadKind {
+        self.kind
+    }
+
+    /// Draws the operations of the next command. `InsDelBatch` yields 7
+    /// updates; the others one operation.
+    pub fn next_command(&mut self, rng: &mut SmallRng) -> Vec<TreeCommand> {
+        match self.kind {
+            WorkloadKind::Queries => vec![self.next_query(rng)],
+            WorkloadKind::InsDelSingle => vec![self.next_update(rng)],
+            WorkloadKind::InsDelBatch => (0..7).map(|_| self.next_update(rng)).collect(),
+        }
+    }
+
+    fn next_update(&mut self, rng: &mut SmallRng) -> TreeCommand {
+        // Alternate inserts and deletes so the tree size stays constant
+        // over time (§4.4.2).
+        let key = rng.gen_range(0..self.key_space);
+        self.flip = !self.flip;
+        if self.flip {
+            TreeCommand::Insert { key, value: rng.gen() }
+        } else {
+            TreeCommand::Delete { key }
+        }
+    }
+
+    fn next_query(&mut self, rng: &mut SmallRng) -> TreeCommand {
+        if let Some(p) = self.partitioning {
+            if rng.gen_range(0..100) < self.cross_pct && p.n > 1 {
+                // A query straddling a random partition boundary.
+                let boundary = p.span * rng.gen_range(1..p.n) as u64;
+                let lo = boundary - QUERY_SPAN / 2;
+                return TreeCommand::Query { lo, hi: lo + QUERY_SPAN - 1 };
+            }
+            // Single-partition query: keep the window inside a partition.
+            let part = rng.gen_range(0..p.n) as u64;
+            let lo = part * p.span + rng.gen_range(0..p.span - QUERY_SPAN);
+            return TreeCommand::Query { lo, hi: lo + QUERY_SPAN - 1 };
+        }
+        let lo = rng.gen_range(0..self.key_space.saturating_sub(QUERY_SPAN).max(1));
+        TreeCommand::Query { lo, hi: lo + QUERY_SPAN - 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_workload_yields_seven_updates() {
+        let mut g = WorkloadGen::new(WorkloadKind::InsDelBatch, 1000);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cmds = g.next_command(&mut rng);
+        assert_eq!(cmds.len(), 7);
+        assert!(cmds.iter().all(|c| c.is_update()));
+    }
+
+    #[test]
+    fn updates_alternate_insert_delete() {
+        let mut g = WorkloadGen::new(WorkloadKind::InsDelSingle, 1000);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let a = g.next_command(&mut rng)[0];
+        let b = g.next_command(&mut rng)[0];
+        assert!(matches!(a, TreeCommand::Insert { .. }));
+        assert!(matches!(b, TreeCommand::Delete { .. }));
+    }
+
+    #[test]
+    fn cross_partition_fraction_is_respected() {
+        let p = Partitioning::new(2);
+        let mut g =
+            WorkloadGen::new(WorkloadKind::Queries, 2 * p.span).with_partitions(p, 50);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut cross = 0;
+        for _ in 0..1000 {
+            let c = g.next_command(&mut rng)[0];
+            if p.mask_of(c).count_ones() == 2 {
+                cross += 1;
+            }
+        }
+        assert!((400..600).contains(&cross), "cross-partition count {cross}");
+    }
+
+    #[test]
+    fn zero_cross_means_single_partition_queries() {
+        let p = Partitioning::new(4);
+        let mut g = WorkloadGen::new(WorkloadKind::Queries, 4 * p.span).with_partitions(p, 0);
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let c = g.next_command(&mut rng)[0];
+            assert_eq!(p.mask_of(c).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn queries_span_1000_keys() {
+        let mut g = WorkloadGen::new(WorkloadKind::Queries, 1_000_000);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let TreeCommand::Query { lo, hi } = g.next_command(&mut rng)[0] else { panic!() };
+        assert_eq!(hi - lo + 1, QUERY_SPAN);
+    }
+}

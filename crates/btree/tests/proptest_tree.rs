@@ -1,0 +1,78 @@
+//! Property tests: the B+-tree agrees with the standard library's
+//! BTreeMap under arbitrary operation sequences, and the undo log is an
+//! exact inverse.
+
+use btree::{BPlusTree, TreeCommand, TreeService};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Range(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..500u64, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0..500u64).prop_map(Op::Remove),
+        (0..500u64, 0..500u64).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tree_agrees_with_model(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut tree = BPlusTree::new();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(tree.remove(k), model.remove(&k));
+                }
+                Op::Range(lo, hi) => {
+                    let got = tree.range(lo, hi);
+                    let want: Vec<(u64, u64)> =
+                        model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            tree.check_invariants().map_err(TestCaseError::fail)?;
+            prop_assert_eq!(tree.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn rollback_is_exact_inverse(
+        setup in prop::collection::vec((0..200u64, any::<u64>()), 0..50),
+        updates in prop::collection::vec(op_strategy(), 1..100),
+    ) {
+        let mut svc = TreeService::new();
+        for (k, v) in setup {
+            svc.apply(TreeCommand::Insert { key: k, value: v });
+        }
+        svc.commit();
+        let snapshot: Vec<(u64, u64)> = svc.tree().range(0, u64::MAX);
+
+        let mut applied = 0;
+        for op in updates {
+            let cmd = match op {
+                Op::Insert(k, v) => TreeCommand::Insert { key: k, value: v },
+                Op::Remove(k) => TreeCommand::Delete { key: k },
+                Op::Range(lo, hi) => TreeCommand::Query { lo, hi },
+            };
+            svc.apply(cmd);
+            if cmd.is_update() {
+                applied += 1;
+            }
+        }
+        svc.rollback(applied);
+        prop_assert_eq!(svc.tree().range(0, u64::MAX), snapshot);
+    }
+}

@@ -1,0 +1,180 @@
+//! Closed-loop clients: each client keeps exactly one command
+//! outstanding, as in the paper's latency/throughput experiments.
+
+use std::collections::HashMap;
+
+use abcast::MsgId;
+use btree::{Partitioning, TreeCommand, WorkloadGen};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use ringpaxos::msg::MMsg;
+use ringpaxos::value::{Value, ALL_PARTITIONS};
+use simnet::prelude::*;
+
+use crate::msg::{CsRequest, SmrResponse};
+use crate::replica::{SMR_COMPLETED, SMR_LATENCY};
+use crate::service::{Registry, StoredCommand};
+
+const T_RETRY: u64 = 41 << 56;
+
+/// Where the client sends its commands.
+#[derive(Clone, Copy, Debug)]
+pub enum Target {
+    /// Directly to a stand-alone server (the CS baseline, Fig. 4.1).
+    ClientServer {
+        /// The server node.
+        server: NodeId,
+    },
+    /// Through the ordering layer (state-machine replication).
+    Replicated {
+        /// The Ring Paxos coordinator.
+        coordinator: NodeId,
+    },
+}
+
+/// A closed-loop client issuing the B⁺-tree workloads.
+pub struct SmrClient {
+    me: NodeId,
+    target: Target,
+    registry: Registry<TreeCommand>,
+    workload: WorkloadGen,
+    rng: SmallRng,
+    partitioning: Option<Partitioning>,
+    /// Outstanding command and the replies still expected from partitions.
+    expected: HashMap<MsgId, u32>,
+    outstanding: Option<(MsgId, Time)>,
+    next_seq: u64,
+    stop_at: Option<Time>,
+}
+
+impl SmrClient {
+    /// Creates a client for node `me` with its own deterministic RNG.
+    pub fn new(
+        me: NodeId,
+        target: Target,
+        registry: Registry<TreeCommand>,
+        workload: WorkloadGen,
+        partitioning: Option<Partitioning>,
+        seed: u64,
+        stop_at: Option<Time>,
+    ) -> SmrClient {
+        SmrClient {
+            me,
+            target,
+            registry,
+            workload,
+            rng: SmallRng::seed_from_u64(seed),
+            partitioning,
+            expected: HashMap::new(),
+            outstanding: None,
+            next_seq: 0,
+            stop_at,
+        }
+    }
+
+    fn send_next(&mut self, ctx: &mut Ctx) {
+        if self.stop_at.is_some_and(|t| ctx.now() >= t) {
+            self.outstanding = None;
+            return;
+        }
+        let raw_ops = self.workload.next_command(&mut self.rng);
+        let kind = self.workload.kind();
+        // Pre-split into per-partition sub-commands (§4.2.2): a
+        // cross-partition query is cut at the boundary, each partition
+        // executing its slice; updates always land in one partition.
+        let (ops, mask, replies) = match self.partitioning {
+            Some(p) => {
+                let mut ops = Vec::new();
+                let mut mask = 0u32;
+                for op in &raw_ops {
+                    for (part, sub) in p.split(*op) {
+                        ops.push((1u32 << part, sub));
+                        mask |= 1 << part;
+                    }
+                }
+                (ops, mask, mask.count_ones())
+            }
+            None => (
+                raw_ops.into_iter().map(|op| (ALL_PARTITIONS, op)).collect(),
+                ALL_PARTITIONS,
+                1,
+            ),
+        };
+        let id = MsgId(((self.me.0 as u64) << 40) | self.next_seq);
+        self.next_seq += 1;
+        self.registry.put(
+            id,
+            StoredCommand { ops, client: self.me, mask, reply_bytes: kind.reply_bytes() },
+        );
+        self.expected.insert(id, replies);
+        self.outstanding = Some((id, ctx.now()));
+        self.submit(id, mask, kind.command_bytes(), ctx);
+        ctx.counter_add("smr.submitted", 1);
+    }
+
+    fn submit(&mut self, id: MsgId, mask: u32, bytes: u32, ctx: &mut Ctx) {
+        match self.target {
+            Target::ClientServer { server } => {
+                ctx.udp_send(server, CsRequest { id }, bytes);
+            }
+            Target::Replicated { coordinator } => {
+                let v = Value {
+                    id,
+                    proposer: self.me,
+                    seq: id.0 & 0xff_ffff_ffff,
+                    bytes,
+                    submitted: ctx.now(),
+                    mask,
+                };
+                ctx.udp_send(coordinator, MMsg::Propose(v), bytes);
+            }
+        }
+    }
+}
+
+impl Actor for SmrClient {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.send_next(ctx);
+        ctx.set_timer(Dur::millis(500), TimerToken(T_RETRY));
+    }
+
+    fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
+        let Some(&SmrResponse { id, .. }) = env.payload.downcast_ref::<SmrResponse>() else {
+            return;
+        };
+        let Some(remaining) = self.expected.get_mut(&id) else { return };
+        *remaining = remaining.saturating_sub(1);
+        if *remaining > 0 {
+            return;
+        }
+        self.expected.remove(&id);
+        self.registry.remove(id);
+        if let Some((oid, started)) = self.outstanding.take() {
+            if oid == id {
+                ctx.record_latency(SMR_LATENCY, ctx.now().saturating_since(started));
+                ctx.counter_add(SMR_COMPLETED, 1);
+            }
+        }
+        self.send_next(ctx);
+    }
+
+    fn on_timer(&mut self, _token: TimerToken, ctx: &mut Ctx) {
+        // Re-submit a command that has been outstanding implausibly long
+        // (its proposal was dropped by an overloaded coordinator — the
+        // paper's proposers "submit new requests and re-submit pending
+        // requests", §3.5.8).
+        if let Some((id, started)) = self.outstanding {
+            if ctx.now().saturating_since(started) > Dur::millis(400) {
+                if let Some(cmd) = self.registry.get(id) {
+                    ctx.counter_add("smr.retries", 1);
+                    let kind = self.workload.kind();
+                    self.submit(id, cmd.mask, kind.command_bytes(), ctx);
+                }
+            }
+        } else if self.stop_at.is_none_or(|t| ctx.now() < t) && self.expected.is_empty() {
+            // Closed loop stalled (should not happen): restart it.
+            self.send_next(ctx);
+        }
+        ctx.set_timer(Dur::millis(500), TimerToken(T_RETRY));
+    }
+}

@@ -1,0 +1,250 @@
+//! Deployment builders for the ch. 4 experiment topologies: the CS
+//! baseline, full state-machine replication (plain or speculative), and
+//! partitioned SMR over the modified M-Ring Paxos.
+
+use abcast::{shared_log, SharedLog};
+use btree::{Partitioning, TreeCommand, TreeService, WorkloadGen, WorkloadKind};
+use ringpaxos::mring::MRingProcess;
+use ringpaxos::{MRingConfig, StorageMode};
+use simnet::prelude::*;
+
+use crate::client::{SmrClient, Target};
+use crate::cs::CsServer;
+use crate::replica::{ReplicaConfig, SmrReplica};
+use crate::service::Registry;
+
+struct Idle;
+impl Actor for Idle {
+    fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+}
+
+/// Tuples pre-loaded into each partition's tree. The paper loads 12 M
+/// keys; the simulation's cost model is size-independent, so a smaller
+/// population keeps deployment fast while preserving behaviour.
+pub const POPULATE_COUNT: u64 = 12_000;
+
+/// Partitioned-deployment options (§4.2.2).
+#[derive(Clone, Copy, Debug)]
+pub struct PartitionOptions {
+    /// Number of partitions.
+    pub n: u32,
+    /// Replicas per partition.
+    pub replicas_per: usize,
+    /// Percentage of queries that cross a partition boundary.
+    pub cross_pct: u32,
+}
+
+/// Options for [`deploy_smr`].
+#[derive(Clone, Debug)]
+pub struct SmrOptions {
+    /// Replicas (full replication) — ignored when `partitions` is set.
+    pub n_replicas: usize,
+    /// Ring acceptors, coordinator included.
+    pub ring_size: usize,
+    /// The client workload.
+    pub workload: WorkloadKind,
+    /// Closed-loop clients.
+    pub n_clients: usize,
+    /// Execute speculatively on payload arrival (§4.2.1).
+    pub speculative: bool,
+    /// State partitioning (§4.2.2); `None` = full replication.
+    pub partitions: Option<PartitionOptions>,
+    /// Stop issuing commands at this time.
+    pub stop_at: Option<Time>,
+    /// Acceptor storage.
+    pub storage: StorageMode,
+}
+
+impl Default for SmrOptions {
+    fn default() -> Self {
+        SmrOptions {
+            n_replicas: 2,
+            ring_size: 3,
+            workload: WorkloadKind::Queries,
+            n_clients: 20,
+            speculative: false,
+            partitions: None,
+            stop_at: None,
+            storage: StorageMode::InMemory,
+        }
+    }
+}
+
+/// A deployed SMR system.
+pub struct SmrDeployment {
+    /// Ring acceptors (last = coordinator).
+    pub ring: Vec<NodeId>,
+    /// Replicas, grouped by partition (one group when unpartitioned).
+    pub replicas: Vec<Vec<NodeId>>,
+    /// Clients.
+    pub clients: Vec<NodeId>,
+    /// The shared command registry.
+    pub registry: Registry<TreeCommand>,
+    /// The ring's delivery log (per replica, in `cfg.learners` order).
+    pub log: SharedLog,
+    /// Key partitioning, when enabled.
+    pub partitioning: Option<Partitioning>,
+    /// The ring configuration.
+    pub cfg: MRingConfig,
+}
+
+impl SmrDeployment {
+    /// The ring coordinator.
+    pub fn coordinator(&self) -> NodeId {
+        self.cfg.coordinator()
+    }
+
+    /// All replica nodes, flattened.
+    pub fn all_replicas(&self) -> Vec<NodeId> {
+        self.replicas.iter().flatten().copied().collect()
+    }
+}
+
+/// Deploys state-machine replication per `opts`.
+pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
+    let n_partitions = opts.partitions.map(|p| p.n).unwrap_or(1);
+    let replicas_per =
+        opts.partitions.map(|p| p.replicas_per).unwrap_or(opts.n_replicas);
+
+    let ring: Vec<NodeId> = (0..opts.ring_size).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let replicas: Vec<Vec<NodeId>> = (0..n_partitions)
+        .map(|_| (0..replicas_per).map(|_| sim.add_node(Box::new(Idle))).collect())
+        .collect();
+    let clients: Vec<NodeId> = (0..opts.n_clients).map(|_| sim.add_node(Box::new(Idle))).collect();
+
+    // Groups: the base group (heartbeats, NewRing) plus, when
+    // partitioned, one group per partition and the decision group.
+    let base_group = sim.add_group();
+    let flat_replicas: Vec<NodeId> = replicas.iter().flatten().copied().collect();
+    let mut cfg = MRingConfig::new(ring.clone(), flat_replicas.clone(), base_group);
+    cfg.storage = opts.storage;
+    // The single-update workload is not batched in the paper (§4.4.2);
+    // batching into 8 KB packets is specific to Ins/Del (batch). Queries
+    // (256 B commands) also go one per instance.
+    cfg.packet_bytes = match opts.workload {
+        WorkloadKind::InsDelBatch => 8192,
+        _ => 256,
+    };
+    cfg.batch_timeout = Dur::micros(100);
+
+    for &n in ring.iter().chain(&flat_replicas) {
+        sim.subscribe(n, base_group);
+    }
+
+    let partitioning = opts.partitions.map(|p| Partitioning::new(p.n));
+    if let Some(p) = opts.partitions {
+        let groups: Vec<GroupId> = (0..p.n).map(|_| sim.add_group()).collect();
+        let decision_group = sim.add_group();
+        for &a in &ring {
+            for &g in &groups {
+                sim.subscribe(a, g);
+            }
+            sim.subscribe(a, decision_group);
+        }
+        let mut learner_masks = Vec::new();
+        for (pi, part) in replicas.iter().enumerate() {
+            for &r in part {
+                sim.subscribe(r, groups[pi]);
+                sim.subscribe(r, decision_group);
+                learner_masks.push(1u32 << pi);
+            }
+        }
+        cfg.partitions = Some(ringpaxos::config::PartitionConfig {
+            groups,
+            decision_group,
+            learner_masks,
+        });
+    }
+
+    let log = shared_log(flat_replicas.len());
+    for &a in &ring {
+        sim.replace_actor(a, Box::new(MRingProcess::new(cfg.clone(), a, None, None)));
+    }
+
+    let registry: Registry<TreeCommand> = Registry::new();
+    let span = Partitioning::new(n_partitions.max(1)).span;
+    let mut log_index = 0;
+    for (pi, part) in replicas.iter().enumerate() {
+        for &r in part {
+            let inner = MRingProcess::new(cfg.clone(), r, None, Some(log.clone()));
+            let service =
+                TreeService::populated(pi as u64 * span, span, POPULATE_COUNT);
+            let rcfg = ReplicaConfig {
+                partition: pi as u32,
+                mask: if opts.partitions.is_some() {
+                    1 << pi
+                } else {
+                    ringpaxos::value::ALL_PARTITIONS
+                },
+                peers: part.clone(),
+                speculative: opts.speculative,
+                ..ReplicaConfig::default()
+            };
+            let actor =
+                SmrReplica::new(inner, log.clone(), log_index, r, service, registry.clone(), rcfg);
+            sim.replace_actor(r, Box::new(actor));
+            log_index += 1;
+        }
+    }
+
+    let coordinator = cfg.coordinator();
+    let key_space = span * n_partitions as u64;
+    for (ci, &c) in clients.iter().enumerate() {
+        let mut workload = WorkloadGen::new(opts.workload, key_space);
+        if let (Some(p), Some(po)) = (partitioning, opts.partitions) {
+            workload = workload.with_partitions(p, po.cross_pct);
+        }
+        let client = SmrClient::new(
+            c,
+            Target::Replicated { coordinator },
+            registry.clone(),
+            workload,
+            partitioning,
+            0xc11e47 + ci as u64,
+            opts.stop_at,
+        );
+        sim.replace_actor(c, Box::new(client));
+    }
+
+    SmrDeployment { ring, replicas, clients, registry, log, partitioning, cfg }
+}
+
+/// A deployed client-server baseline.
+pub struct CsDeployment {
+    /// The stand-alone server.
+    pub server: NodeId,
+    /// Clients.
+    pub clients: Vec<NodeId>,
+    /// Shared command registry.
+    pub registry: Registry<TreeCommand>,
+}
+
+/// Deploys the non-replicated baseline: one server, `n_clients`
+/// closed-loop clients.
+pub fn deploy_cs(
+    sim: &mut Sim,
+    n_clients: usize,
+    workload: WorkloadKind,
+    stop_at: Option<Time>,
+) -> CsDeployment {
+    let server = sim.add_node(Box::new(Idle));
+    let clients: Vec<NodeId> = (0..n_clients).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let registry: Registry<TreeCommand> = Registry::new();
+    let span = Partitioning::new(1).span;
+    let service = TreeService::populated(0, span, POPULATE_COUNT);
+    sim.replace_actor(server, Box::new(CsServer::new(service, registry.clone())));
+    for (ci, &c) in clients.iter().enumerate() {
+        let workload = WorkloadGen::new(workload, span);
+        let client = SmrClient::new(
+            c,
+            Target::ClientServer { server },
+            registry.clone(),
+            workload,
+            None,
+            0xc5 + ci as u64,
+            stop_at,
+        );
+        sim.replace_actor(c, Box::new(client));
+    }
+    CsDeployment { server, clients, registry }
+}

@@ -1,0 +1,19 @@
+//! Client ↔ server messages of the SMR layer.
+
+use abcast::MsgId;
+
+/// A direct request in the non-replicated client-server baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct CsRequest {
+    /// Command id (contents in the [`crate::service::Registry`]).
+    pub id: MsgId,
+}
+
+/// A reply from a server or replica to the issuing client.
+#[derive(Clone, Copy, Debug)]
+pub struct SmrResponse {
+    /// Command id being answered.
+    pub id: MsgId,
+    /// The responding partition (0 when unpartitioned).
+    pub partition: u32,
+}

@@ -1,0 +1,296 @@
+//! The SMR replica: an M-Ring Paxos learner feeding a deterministic
+//! service, with optional speculative execution (§4.2.1).
+//!
+//! The replica mirrors the paper's server organization (§4.4.2): network
+//! delivery runs on core 0 (shared with the protocol), command execution
+//! on a pinned execution core, and response marshalling on a response
+//! core — the two threads whose CPU split Fig. 4.8 reports.
+//!
+//! # Speculation
+//!
+//! A speculative replica executes a command when its Phase 2A payload
+//! *arrives*, before the decision confirms its order. The response is
+//! released once both the execution has finished and the order is
+//! confirmed — `max(Δe, Δo)` instead of `Δe + Δo` (§4.2.1). If the
+//! confirmed order disagrees with the arrival order (coordinator
+//! replacement), the speculated updates are rolled back through the
+//! service's undo log and re-executed in the confirmed order.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use abcast::{MsgId, SharedLog};
+use ringpaxos::mring::MRingProcess;
+use ringpaxos::msg::MMsg;
+use ringpaxos::value::ALL_PARTITIONS;
+use simnet::prelude::*;
+
+use crate::msg::SmrResponse;
+use crate::service::{Registry, Service, StoredCommand};
+
+/// Latency samples recorded at clients.
+pub const SMR_LATENCY: &str = "smr.latency";
+/// Commands completed (all expected replies received), per client.
+pub const SMR_COMPLETED: &str = "smr.completed";
+/// Commands executed speculatively, per replica.
+pub const SMR_SPEC_EXEC: &str = "smr.spec_exec";
+/// Updates rolled back after a speculation mis-order, per replica.
+pub const SMR_ROLLBACKS: &str = "smr.rollbacks";
+
+const T_RESP: u64 = 40 << 56;
+const KIND_MASK: u64 = 0xff << 56;
+
+/// Per-replica configuration.
+#[derive(Clone, Debug)]
+pub struct ReplicaConfig {
+    /// This replica's partition (0 when unpartitioned).
+    pub partition: u32,
+    /// Partition mask (`ALL_PARTITIONS` when unpartitioned).
+    pub mask: u32,
+    /// The replicas of this partition, in a fixed order shared by all —
+    /// determines which replica answers which command.
+    pub peers: Vec<NodeId>,
+    /// Execute commands on payload arrival (speculation, §4.2.1).
+    pub speculative: bool,
+    /// Core running the execution thread.
+    pub exec_core: usize,
+    /// Core running the response thread.
+    pub resp_core: usize,
+    /// Per-delivered-instance dispatch cost on the execution core.
+    pub dispatch: Dur,
+    /// Response marshalling cost per reply on the response core.
+    pub marshal: Dur,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            partition: 0,
+            mask: ALL_PARTITIONS,
+            peers: Vec::new(),
+            speculative: false,
+            exec_core: 1,
+            resp_core: 2,
+            dispatch: Dur::micros(10),
+            marshal: Dur::micros(4),
+        }
+    }
+}
+
+/// A state-machine-replication replica over service `S`.
+pub struct SmrReplica<S: Service> {
+    inner: MRingProcess,
+    log: SharedLog,
+    log_index: usize,
+    cursor: usize,
+    me: NodeId,
+    service: S,
+    registry: Registry<S::Command>,
+    rcfg: ReplicaConfig,
+    // Speculation state.
+    spec_q: VecDeque<(MsgId, usize)>,
+    spec_done: HashMap<MsgId, Time>,
+    spec_executed: HashSet<MsgId>,
+    // Responses awaiting their virtual completion time.
+    resp_q: VecDeque<(Time, MsgId, NodeId, u32)>,
+}
+
+impl<S: Service> SmrReplica<S> {
+    /// Creates a replica wrapping the given ring learner. `log` must be
+    /// the same delivery log handed to `inner`, and `log_index` the
+    /// learner index of this node in the ring configuration.
+    pub fn new(
+        inner: MRingProcess,
+        log: SharedLog,
+        log_index: usize,
+        me: NodeId,
+        service: S,
+        registry: Registry<S::Command>,
+        rcfg: ReplicaConfig,
+    ) -> SmrReplica<S> {
+        SmrReplica {
+            inner,
+            log,
+            log_index,
+            cursor: 0,
+            me,
+            service,
+            registry,
+            rcfg,
+            spec_q: VecDeque::new(),
+            spec_done: HashMap::new(),
+            spec_executed: HashSet::new(),
+            resp_q: VecDeque::new(),
+        }
+    }
+
+    /// Whether this replica answers command `id` (one replica per
+    /// partition responds, chosen deterministically — §4.4.2).
+    fn is_designated(&self, id: MsgId) -> bool {
+        if self.rcfg.peers.is_empty() {
+            return true;
+        }
+        let idx = (id.0 as usize) % self.rcfg.peers.len();
+        self.rcfg.peers[idx] == self.me
+    }
+
+    /// The operations of `cmd` this replica's partition must run.
+    fn my_ops<'a>(&self, cmd: &'a StoredCommand<S::Command>) -> Vec<&'a S::Command> {
+        cmd.ops
+            .iter()
+            .filter(|(m, _)| m & self.rcfg.mask != 0)
+            .map(|(_, op)| op)
+            .collect()
+    }
+
+    /// Whether this replica executes the command: updates run everywhere
+    /// (state must stay identical); queries only on the designated
+    /// replica ("only one replica executes the command and responds").
+    fn should_execute(&self, cmd: &StoredCommand<S::Command>, id: MsgId) -> bool {
+        let any_update = self.my_ops(cmd).into_iter().any(S::is_update);
+        any_update || self.is_designated(id)
+    }
+
+    /// Speculative path: execute on Phase 2A arrival (§4.2.1).
+    fn speculate(&mut self, batch: &ringpaxos::Batch, ctx: &mut Ctx) {
+        for v in batch.iter() {
+            if v.mask & self.rcfg.mask == 0 || self.spec_executed.contains(&v.id) {
+                continue;
+            }
+            let Some(cmd) = self.registry.get(v.id) else { continue };
+            if !self.should_execute(&cmd, v.id) {
+                continue; // not executed here: no speculation to track
+            }
+            self.spec_executed.insert(v.id);
+            let mut cost = self.rcfg.dispatch;
+            let mut updates = 0;
+            let ops: Vec<S::Command> = self.my_ops(&cmd).into_iter().cloned().collect();
+            for op in &ops {
+                cost += self.service.execute(op);
+                if S::is_update(op) {
+                    updates += 1;
+                }
+            }
+            ctx.charge_cpu(self.rcfg.exec_core, cost);
+            self.spec_done.insert(v.id, ctx.core_free_at(self.rcfg.exec_core));
+            self.spec_q.push_back((v.id, updates));
+            ctx.counter_add(SMR_SPEC_EXEC, 1);
+        }
+    }
+
+    /// Processes newly confirmed (ordered) commands from the ring log.
+    fn drain(&mut self, ctx: &mut Ctx) {
+        loop {
+            let next = {
+                let log = self.log.borrow();
+                let seq = log.sequence(self.log_index);
+                if self.cursor >= seq.len() {
+                    break;
+                }
+                seq[self.cursor]
+            };
+            self.cursor += 1;
+            self.confirm(next, ctx);
+        }
+    }
+
+    fn confirm(&mut self, id: MsgId, ctx: &mut Ctx) {
+        let Some(cmd) = self.registry.get(id) else { return };
+        if self.rcfg.speculative {
+            if self.spec_q.front().map(|&(sid, _)| sid) == Some(id) {
+                // The speculation matched the decided order: release the
+                // response at max(execution done, order known).
+                self.spec_q.pop_front();
+                self.service.commit();
+                let done = self.spec_done.remove(&id).unwrap_or(ctx.now());
+                self.queue_response(id, &cmd, done.max(ctx.now()), ctx);
+                return;
+            }
+            // A confirmed command that was never speculated overtakes the
+            // speculated ones in the decided order. Speculation stays
+            // valid only if neither side mutates shared state: the
+            // overtaker executes no updates here, and — when the
+            // overtaker executes at all — no speculated updates could
+            // have polluted what it reads (§4.2.1).
+            let spec_has_updates = self.spec_q.iter().any(|&(_, u)| u > 0);
+            let my_ops = self.my_ops(&cmd);
+            let overtaker_updates = my_ops.into_iter().any(S::is_update);
+            let overtaker_executes = self.should_execute(&cmd, id);
+            let conflict = self.spec_executed.contains(&id)
+                || overtaker_updates
+                || (overtaker_executes && spec_has_updates);
+            if conflict && (!self.spec_q.is_empty() || self.spec_executed.contains(&id)) {
+                // Mis-ordered speculation (rare: coordinator change or a
+                // lost payload): roll everything back and fall through
+                // to in-order execution (§4.2.1).
+                let undo: usize = self.spec_q.iter().map(|&(_, u)| u).sum();
+                self.service.rollback(undo);
+                ctx.counter_add(SMR_ROLLBACKS, self.spec_q.len() as u64);
+                for (sid, _) in self.spec_q.drain(..) {
+                    self.spec_done.remove(&sid);
+                    self.spec_executed.remove(&sid);
+                }
+                self.spec_executed.remove(&id);
+            }
+        }
+        // In-order (non-speculative) execution.
+        let mut cost = self.rcfg.dispatch;
+        if self.should_execute(&cmd, id) {
+            let ops: Vec<S::Command> = self.my_ops(&cmd).into_iter().cloned().collect();
+            for op in &ops {
+                cost += self.service.execute(op);
+            }
+            self.service.commit();
+        }
+        ctx.charge_cpu(self.rcfg.exec_core, cost);
+        let done = ctx.core_free_at(self.rcfg.exec_core);
+        self.queue_response(id, &cmd, done, ctx);
+    }
+
+    fn queue_response(&mut self, id: MsgId, cmd: &StoredCommand<S::Command>, at: Time, ctx: &mut Ctx) {
+        if !self.is_designated(id) {
+            return;
+        }
+        self.resp_q.push_back((at, id, cmd.client, cmd.reply_bytes));
+        ctx.set_timer(at.saturating_since(ctx.now()), TimerToken(T_RESP));
+    }
+
+    fn flush_responses(&mut self, ctx: &mut Ctx) {
+        while let Some(&(at, id, client, bytes)) = self.resp_q.front() {
+            if at > ctx.now() {
+                break;
+            }
+            self.resp_q.pop_front();
+            ctx.charge_cpu(self.rcfg.resp_core, self.rcfg.marshal);
+            let partition = self.rcfg.partition;
+            ctx.udp_send(client, SmrResponse { id, partition }, bytes);
+        }
+    }
+}
+
+impl<S: Service> Actor for SmrReplica<S> {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.inner.on_start(ctx);
+    }
+
+    fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
+        if self.rcfg.speculative {
+            if let Some(MMsg::Phase2a { batch, .. }) = env.payload.downcast_ref::<MMsg>() {
+                let batch = batch.clone();
+                self.speculate(&batch, ctx);
+            }
+        }
+        self.inner.on_message(env, ctx);
+        self.drain(ctx);
+        self.flush_responses(ctx);
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
+        if token.0 & KIND_MASK == T_RESP {
+            self.flush_responses(ctx);
+            return;
+        }
+        self.inner.on_timer(token, ctx);
+        self.drain(ctx);
+        self.flush_responses(ctx);
+    }
+}

@@ -1,0 +1,153 @@
+//! The acceptor role (Tasks 2 and 4 of Algorithm 1).
+//!
+//! An acceptor maintains `rnd` — the highest round it has *heard of*,
+//! shared across instances (§3.3.7) — and, per instance, `v-rnd`/`v-val`,
+//! the round and value of its latest vote.
+
+use std::collections::BTreeMap;
+
+use crate::msg::{InstanceId, PaxosMsg, Round};
+
+/// Vote state an acceptor stores for one instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Vote<V> {
+    /// Round in which the vote was cast.
+    pub v_rnd: Round,
+    /// Voted value.
+    pub v_val: V,
+}
+
+/// A Paxos acceptor.
+#[derive(Clone, Debug, Default)]
+pub struct Acceptor<V> {
+    rnd: Round,
+    votes: BTreeMap<InstanceId, Vote<V>>,
+}
+
+impl<V: Clone> Acceptor<V> {
+    /// Creates a fresh acceptor.
+    pub fn new() -> Acceptor<V> {
+        Acceptor { rnd: Round::ZERO, votes: BTreeMap::new() }
+    }
+
+    /// The highest round this acceptor has promised.
+    pub fn rnd(&self) -> Round {
+        self.rnd
+    }
+
+    /// The acceptor's vote in `instance`, if it has cast one.
+    pub fn vote(&self, instance: InstanceId) -> Option<&Vote<V>> {
+        self.votes.get(&instance)
+    }
+
+    /// Handles a Phase 1A message. Returns the Phase 1B reply if the round
+    /// is higher than anything promised so far, `None` otherwise (stale).
+    pub fn receive_1a(&mut self, round: Round) -> Option<PaxosMsg<V>> {
+        if round > self.rnd {
+            self.rnd = round;
+            let votes = self
+                .votes
+                .iter()
+                .map(|(&i, v)| (i, v.v_rnd, v.v_val.clone()))
+                .collect();
+            Some(PaxosMsg::Phase1b { round: self.rnd, votes })
+        } else {
+            None
+        }
+    }
+
+    /// Handles a Phase 2A message: votes for `value` unless a higher round
+    /// has been promised. Returns the Phase 2B reply on success.
+    pub fn receive_2a(&mut self, instance: InstanceId, round: Round, value: V) -> Option<PaxosMsg<V>> {
+        if round >= self.rnd {
+            self.rnd = round;
+            self.votes.insert(instance, Vote { v_rnd: round, v_val: value });
+            Some(PaxosMsg::Phase2b { instance, round })
+        } else {
+            None
+        }
+    }
+
+    /// Discards vote state for all instances strictly below `instance`
+    /// (garbage collection, §3.3.7). The shared `rnd` is retained.
+    pub fn gc_below(&mut self, instance: InstanceId) {
+        self.votes = self.votes.split_off(&instance);
+    }
+
+    /// Number of instances with stored votes (for memory accounting).
+    pub fn stored_votes(&self) -> usize {
+        self.votes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(c: u64) -> Round {
+        Round::new(c, 0)
+    }
+
+    #[test]
+    fn promises_only_higher_rounds() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        assert!(a.receive_1a(r(2)).is_some());
+        assert!(a.receive_1a(r(2)).is_none(), "same round refused");
+        assert!(a.receive_1a(r(1)).is_none(), "lower round refused");
+        assert!(a.receive_1a(r(3)).is_some());
+        assert_eq!(a.rnd(), r(3));
+    }
+
+    #[test]
+    fn votes_at_or_above_promise() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        a.receive_1a(r(5));
+        // Vote in the promised round succeeds.
+        assert!(a.receive_2a(InstanceId(0), r(5), 42).is_some());
+        // A lower round is rejected.
+        assert!(a.receive_2a(InstanceId(0), r(4), 43).is_none());
+        // A higher round succeeds and bumps rnd.
+        assert!(a.receive_2a(InstanceId(0), r(6), 44).is_some());
+        assert_eq!(a.rnd(), r(6));
+        assert_eq!(a.vote(InstanceId(0)).unwrap().v_val, 44);
+    }
+
+    #[test]
+    fn phase1b_reports_prior_votes() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        a.receive_2a(InstanceId(3), r(1), 7);
+        a.receive_2a(InstanceId(5), r(1), 9);
+        match a.receive_1a(r(2)).unwrap() {
+            PaxosMsg::Phase1b { round, votes } => {
+                assert_eq!(round, r(2));
+                assert_eq!(votes, vec![(InstanceId(3), r(1), 7), (InstanceId(5), r(1), 9)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vote_does_not_regress_after_new_promise() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        a.receive_2a(InstanceId(0), r(1), 7);
+        a.receive_1a(r(3));
+        // The old vote survives the new promise.
+        assert_eq!(a.vote(InstanceId(0)).unwrap().v_val, 7);
+        assert_eq!(a.vote(InstanceId(0)).unwrap().v_rnd, r(1));
+        // Voting in round 2 is now refused (promised 3).
+        assert!(a.receive_2a(InstanceId(0), r(2), 8).is_none());
+    }
+
+    #[test]
+    fn gc_discards_old_instances_only() {
+        let mut a: Acceptor<u32> = Acceptor::new();
+        for i in 0..10 {
+            a.receive_2a(InstanceId(i), r(1), i as u32);
+        }
+        a.gc_below(InstanceId(7));
+        assert_eq!(a.stored_votes(), 3);
+        assert!(a.vote(InstanceId(6)).is_none());
+        assert!(a.vote(InstanceId(7)).is_some());
+        assert_eq!(a.rnd(), r(1), "shared rnd survives gc");
+    }
+}

@@ -1,0 +1,301 @@
+//! The coordinator role (Tasks 1, 3 and 5 of Algorithm 1).
+//!
+//! The coordinator pre-executes Phase 1 for an open-ended range of
+//! instances (the standard Paxos optimization, §3.2), then runs one
+//! Phase 2 per value, deciding when a majority quorum of Phase 2B
+//! messages arrives.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::msg::{quorum, InstanceId, PaxosMsg, Round};
+
+/// Phase-1 progress of the coordinator's current round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase1State {
+    /// No Phase 1 in progress (round not started or superseded).
+    Idle,
+    /// Waiting for Phase 1B from a majority quorum.
+    AwaitingPromises,
+    /// A quorum promised: Phase 2 may run for any instance.
+    Ready,
+}
+
+#[derive(Clone, Debug)]
+struct InstanceState<V> {
+    /// Value proposed in the current round (c-val).
+    c_val: V,
+    /// Acceptors that sent Phase 2B for the current round.
+    votes: BTreeSet<u32>,
+    decided: bool,
+}
+
+/// A Paxos coordinator driving an unbounded sequence of instances.
+#[derive(Clone, Debug)]
+pub struct Coordinator<V> {
+    id: u32,
+    n_acceptors: usize,
+    c_rnd: Round,
+    phase1: Phase1State,
+    promises: BTreeSet<u32>,
+    /// Highest-round vote reported in Phase 1B per instance: the value
+    /// pick rule of Task 3 must propose these.
+    forced: BTreeMap<InstanceId, (Round, V)>,
+    instances: BTreeMap<InstanceId, InstanceState<V>>,
+    next_instance: InstanceId,
+}
+
+impl<V: Clone> Coordinator<V> {
+    /// Creates a coordinator with identity `id` over `n_acceptors`.
+    pub fn new(id: u32, n_acceptors: usize) -> Coordinator<V> {
+        Coordinator {
+            id,
+            n_acceptors,
+            c_rnd: Round::ZERO,
+            phase1: Phase1State::Idle,
+            promises: BTreeSet::new(),
+            forced: BTreeMap::new(),
+            instances: BTreeMap::new(),
+            next_instance: InstanceId(0),
+        }
+    }
+
+    /// The coordinator's current round.
+    pub fn round(&self) -> Round {
+        self.c_rnd
+    }
+
+    /// Phase-1 progress of the current round.
+    pub fn phase1_state(&self) -> Phase1State {
+        self.phase1
+    }
+
+    /// The next unused instance.
+    pub fn next_instance(&self) -> InstanceId {
+        self.next_instance
+    }
+
+    /// Starts Phase 1 for a fresh round strictly greater than `above`
+    /// (usually the coordinator's own round, or a round observed from a
+    /// competing coordinator). Returns the Phase 1A message to send to
+    /// all acceptors.
+    pub fn start_phase1(&mut self, above: Round) -> PaxosMsg<V> {
+        self.c_rnd = self.c_rnd.max(above).next_for(self.id);
+        self.phase1 = Phase1State::AwaitingPromises;
+        self.promises.clear();
+        self.forced.clear();
+        // Abandon un-decided Phase 2 vote counts from the previous round.
+        self.instances.retain(|_, s| s.decided);
+        PaxosMsg::Phase1a { round: self.c_rnd }
+    }
+
+    /// Handles a Phase 1B from `acceptor`. Once a quorum has promised,
+    /// returns `true` and Phase 2 may start ([`Phase1State::Ready`]).
+    pub fn receive_1b(
+        &mut self,
+        acceptor: u32,
+        round: Round,
+        votes: &[(InstanceId, Round, V)],
+    ) -> bool {
+        if round != self.c_rnd || self.phase1 != Phase1State::AwaitingPromises {
+            return false;
+        }
+        if !self.promises.insert(acceptor) {
+            return self.phase1 == Phase1State::Ready;
+        }
+        for (instance, v_rnd, v_val) in votes {
+            let e = self.forced.entry(*instance);
+            match e {
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    if *v_rnd > o.get().0 {
+                        o.insert((*v_rnd, v_val.clone()));
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert((*v_rnd, v_val.clone()));
+                }
+            }
+        }
+        if self.promises.len() >= quorum(self.n_acceptors) {
+            self.phase1 = Phase1State::Ready;
+        }
+        self.phase1 == Phase1State::Ready
+    }
+
+    /// Instances that Phase 1B reports revealed prior votes for. The
+    /// coordinator must re-propose those values before any new ones
+    /// (the value pick rule of Task 3).
+    pub fn forced_instances(&self) -> impl Iterator<Item = (InstanceId, &V)> {
+        self.forced.iter().map(|(&i, (_, v))| (i, v))
+    }
+
+    /// Proposes `value` in the next free instance, honouring the value
+    /// pick rule if Phase 1 revealed a prior vote there. Returns the
+    /// Phase 2A to send plus the instance used.
+    ///
+    /// Returns `None` when Phase 1 has not completed.
+    pub fn propose(&mut self, value: V) -> Option<(InstanceId, PaxosMsg<V>)> {
+        if self.phase1 != Phase1State::Ready {
+            return None;
+        }
+        let instance = self.next_instance;
+        self.next_instance = self.next_instance.next();
+        let chosen = match self.forced.get(&instance) {
+            Some((_, forced)) => forced.clone(),
+            None => value,
+        };
+        self.instances.insert(
+            instance,
+            InstanceState { c_val: chosen.clone(), votes: BTreeSet::new(), decided: false },
+        );
+        Some((instance, PaxosMsg::Phase2a { instance, round: self.c_rnd, value: chosen }))
+    }
+
+    /// Re-emits the Phase 2A for `instance` (retransmission after loss).
+    pub fn phase2a_for(&self, instance: InstanceId) -> Option<PaxosMsg<V>> {
+        self.instances.get(&instance).map(|s| PaxosMsg::Phase2a {
+            instance,
+            round: self.c_rnd,
+            value: s.c_val.clone(),
+        })
+    }
+
+    /// Handles a Phase 2B vote from `acceptor`. Returns the decision
+    /// message exactly once, when the quorum completes.
+    pub fn receive_2b(&mut self, acceptor: u32, instance: InstanceId, round: Round) -> Option<PaxosMsg<V>> {
+        if round != self.c_rnd {
+            return None;
+        }
+        let q = quorum(self.n_acceptors);
+        let s = self.instances.get_mut(&instance)?;
+        s.votes.insert(acceptor);
+        if !s.decided && s.votes.len() >= q {
+            s.decided = true;
+            Some(PaxosMsg::Decision { instance, value: s.c_val.clone() })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `instance` has reached a decision in the current round.
+    pub fn is_decided(&self, instance: InstanceId) -> bool {
+        self.instances.get(&instance).is_some_and(|s| s.decided)
+    }
+
+    /// Discards bookkeeping for decided instances below `instance`
+    /// (garbage collection, §3.3.7).
+    pub fn gc_below(&mut self, instance: InstanceId) {
+        self.instances.retain(|&i, s| i >= instance || !s.decided);
+    }
+
+    /// Number of tracked instances (memory accounting).
+    pub fn tracked_instances(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ready_coordinator(n: usize) -> Coordinator<u32> {
+        let mut c = Coordinator::new(0, n);
+        c.start_phase1(Round::ZERO);
+        for a in 0..n as u32 {
+            c.receive_1b(a, c.round(), &[]);
+        }
+        assert_eq!(c.phase1_state(), Phase1State::Ready);
+        c
+    }
+
+    #[test]
+    fn phase1_needs_majority() {
+        let mut c: Coordinator<u32> = Coordinator::new(0, 5);
+        let PaxosMsg::Phase1a { round } = c.start_phase1(Round::ZERO) else { panic!() };
+        assert!(!c.receive_1b(0, round, &[]));
+        assert!(!c.receive_1b(1, round, &[]));
+        assert!(!c.receive_1b(1, round, &[]), "duplicate does not count");
+        assert!(c.receive_1b(2, round, &[]));
+        assert_eq!(c.phase1_state(), Phase1State::Ready);
+    }
+
+    #[test]
+    fn propose_blocked_before_phase1() {
+        let mut c: Coordinator<u32> = Coordinator::new(0, 3);
+        assert!(c.propose(1).is_none());
+    }
+
+    #[test]
+    fn decision_fires_once_at_quorum() {
+        let mut c = ready_coordinator(3);
+        let (i, _m) = c.propose(9).unwrap();
+        assert!(c.receive_2b(0, i, c.round()).is_none());
+        let d = c.receive_2b(1, i, c.round());
+        assert!(matches!(d, Some(PaxosMsg::Decision { value: 9, .. })));
+        assert!(c.receive_2b(2, i, c.round()).is_none(), "no duplicate decision");
+        assert!(c.is_decided(i));
+    }
+
+    #[test]
+    fn value_pick_rule_forces_highest_vote() {
+        let mut c: Coordinator<u32> = Coordinator::new(1, 3);
+        let PaxosMsg::Phase1a { round } = c.start_phase1(Round::new(4, 0)) else { panic!() };
+        assert!(round > Round::new(4, 0));
+        // Acceptor 0 voted 7 in round (1,0); acceptor 1 voted 8 in (3,0).
+        c.receive_1b(0, round, &[(InstanceId(0), Round::new(1, 0), 7)]);
+        c.receive_1b(1, round, &[(InstanceId(0), Round::new(3, 0), 8)]);
+        let (i, m) = c.propose(99).unwrap();
+        assert_eq!(i, InstanceId(0));
+        // Must re-propose 8 (highest v-rnd), not its own 99.
+        assert!(matches!(m, PaxosMsg::Phase2a { value: 8, .. }));
+        // The next instance is free: own value goes through.
+        let (_, m2) = c.propose(99).unwrap();
+        assert!(matches!(m2, PaxosMsg::Phase2a { value: 99, .. }));
+    }
+
+    #[test]
+    fn stale_2b_rounds_ignored() {
+        let mut c = ready_coordinator(3);
+        let (i, _) = c.propose(5).unwrap();
+        let old = Round::new(0, 0);
+        assert!(c.receive_2b(0, i, old).is_none());
+        assert!(c.receive_2b(1, i, old).is_none());
+        assert!(!c.is_decided(i));
+    }
+
+    #[test]
+    fn new_round_supersedes_unfinished_instances() {
+        let mut c = ready_coordinator(3);
+        let (i, _) = c.propose(5).unwrap();
+        c.receive_2b(0, i, c.round());
+        let r1 = c.round();
+        c.start_phase1(r1);
+        assert!(c.round() > r1);
+        assert_eq!(c.phase1_state(), Phase1State::AwaitingPromises);
+        // Old-round 2B no longer counts.
+        assert!(c.receive_2b(1, i, r1).is_none());
+    }
+
+    #[test]
+    fn gc_keeps_undecided() {
+        let mut c = ready_coordinator(3);
+        for v in 0..5 {
+            let (i, _) = c.propose(v).unwrap();
+            c.receive_2b(0, i, c.round());
+            if v != 3 {
+                c.receive_2b(1, i, c.round());
+            }
+        }
+        c.gc_below(InstanceId(5));
+        // Only the undecided instance 3 remains tracked.
+        assert_eq!(c.tracked_instances(), 1);
+        assert!(!c.is_decided(InstanceId(3)));
+    }
+
+    #[test]
+    fn retransmission_replays_same_value() {
+        let mut c = ready_coordinator(3);
+        let (i, first) = c.propose(41).unwrap();
+        let again = c.phase2a_for(i).unwrap();
+        assert_eq!(first, again);
+    }
+}

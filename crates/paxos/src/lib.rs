@@ -1,0 +1,52 @@
+//! # paxos — Basic Paxos roles (thesis Algorithm 1)
+//!
+//! Transport-agnostic implementations of the three Paxos roles the thesis
+//! builds on: [`coordinator::Coordinator`], [`acceptor::Acceptor`], and
+//! [`learner::Learner`]. Each role is a pure state machine: feed it a
+//! message, get back the messages to send. The Ring Paxos protocols
+//! (`ringpaxos` crate) reuse these rules with different communication
+//! topologies; the unit tests and property tests here pin down the safety
+//! core everything else relies on.
+//!
+//! ```
+//! use paxos::prelude::*;
+//!
+//! let mut coord: Coordinator<&str> = Coordinator::new(0, 3);
+//! let mut acceptors: Vec<Acceptor<&str>> = (0..3).map(|_| Acceptor::new()).collect();
+//! let mut learner: Learner<&str> = Learner::new();
+//!
+//! // Phase 1 (pre-executed once for all instances).
+//! let PaxosMsg::Phase1a { round } = coord.start_phase1(Round::ZERO) else { unreachable!() };
+//! for (id, a) in acceptors.iter_mut().enumerate() {
+//!     if let Some(PaxosMsg::Phase1b { round, votes }) = a.receive_1a(round) {
+//!         coord.receive_1b(id as u32, round, &votes);
+//!     }
+//! }
+//!
+//! // Phase 2 for one value.
+//! let (instance, msg) = coord.propose("hello").unwrap();
+//! let PaxosMsg::Phase2a { round, value, .. } = msg else { unreachable!() };
+//! for (id, a) in acceptors.iter_mut().enumerate() {
+//!     if let Some(PaxosMsg::Phase2b { instance, round }) = a.receive_2a(instance, round, value) {
+//!         if let Some(PaxosMsg::Decision { instance, value }) =
+//!             coord.receive_2b(id as u32, instance, round)
+//!         {
+//!             learner.on_decision(instance, value);
+//!         }
+//!     }
+//! }
+//! assert_eq!(learner.deliver_next(), Some((InstanceId(0), "hello")));
+//! ```
+
+pub mod acceptor;
+pub mod coordinator;
+pub mod learner;
+pub mod msg;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::acceptor::{Acceptor, Vote};
+    pub use crate::coordinator::{Coordinator, Phase1State};
+    pub use crate::learner::Learner;
+    pub use crate::msg::{quorum, InstanceId, PaxosMsg, Round};
+}

@@ -1,0 +1,205 @@
+//! Property tests for Paxos safety: under arbitrary message schedules —
+//! interleaved coordinators, reordering, duplication, and loss — no two
+//! processes ever decide different values for the same instance, and every
+//! decided value was proposed (uniform integrity).
+
+use proptest::prelude::*;
+
+use paxos::prelude::*;
+use std::collections::HashMap;
+
+/// One simulated network message in flight.
+#[derive(Clone, Debug)]
+enum Net {
+    ToAcceptor { acceptor: usize, msg: PaxosMsg<u32> },
+    ToCoordinator { coord: usize, acceptor: usize, msg: PaxosMsg<u32> },
+}
+
+/// A scripted step of the adversarial schedule.
+#[derive(Clone, Debug)]
+enum Step {
+    /// Coordinator `c` starts a fresh Phase 1 (e.g., after a suspicion).
+    NewRound(usize),
+    /// Coordinator `c` proposes its next value.
+    Propose(usize),
+    /// Deliver the in-flight message at index `i % len` (then remove it).
+    Deliver(usize),
+    /// Duplicate the in-flight message at index `i % len`.
+    Duplicate(usize),
+    /// Drop the in-flight message at index `i % len`.
+    Drop(usize),
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..2usize).prop_map(Step::NewRound),
+        (0..2usize).prop_map(Step::Propose),
+        (0..64usize).prop_map(Step::Deliver),
+        (0..64usize).prop_map(Step::Duplicate),
+        (0..64usize).prop_map(Step::Drop),
+    ]
+}
+
+/// Runs a schedule against 2 coordinators / 3 acceptors and checks safety.
+fn run_schedule(steps: &[Step]) {
+    const N_ACCEPTORS: usize = 3;
+    let mut coords: Vec<Coordinator<u32>> =
+        (0..2).map(|id| Coordinator::new(id as u32, N_ACCEPTORS)).collect();
+    let mut acceptors: Vec<Acceptor<u32>> = (0..N_ACCEPTORS).map(|_| Acceptor::new()).collect();
+    let mut net: Vec<(usize, Net)> = Vec::new(); // (origin coord, message)
+    let mut next_value = 100u32;
+    let mut decided: HashMap<InstanceId, u32> = HashMap::new();
+    let mut proposed: Vec<u32> = Vec::new();
+    let mut highest_seen: Round = Round::ZERO;
+
+    let mut record_decision = |decided: &mut HashMap<InstanceId, u32>,
+                               instance: InstanceId,
+                               value: u32| {
+        if let Some(prev) = decided.insert(instance, value) {
+            assert_eq!(prev, value, "AGREEMENT VIOLATION at {instance:?}");
+        }
+    };
+
+    for step in steps {
+        match step {
+            Step::NewRound(c) => {
+                let msg = coords[*c].start_phase1(highest_seen);
+                if let PaxosMsg::Phase1a { round } = &msg {
+                    highest_seen = highest_seen.max(*round);
+                }
+                for a in 0..N_ACCEPTORS {
+                    net.push((*c, Net::ToAcceptor { acceptor: a, msg: msg.clone() }));
+                }
+            }
+            Step::Propose(c) => {
+                next_value += 1;
+                if let Some((_, msg)) = coords[*c].propose(next_value) {
+                    proposed.push(next_value);
+                    if let PaxosMsg::Phase2a { value, .. } = &msg {
+                        // The forced value may differ from next_value.
+                        proposed.push(*value);
+                    }
+                    for a in 0..N_ACCEPTORS {
+                        net.push((*c, Net::ToAcceptor { acceptor: a, msg: msg.clone() }));
+                    }
+                }
+            }
+            Step::Deliver(i) | Step::Duplicate(i) => {
+                if net.is_empty() {
+                    continue;
+                }
+                let idx = i % net.len();
+                let (origin, m) = if matches!(step, Step::Duplicate(_)) {
+                    net[idx].clone()
+                } else {
+                    net.remove(idx)
+                };
+                match m {
+                    Net::ToAcceptor { acceptor, msg } => match msg {
+                        PaxosMsg::Phase1a { round } => {
+                            if let Some(reply) = acceptors[acceptor].receive_1a(round) {
+                                net.push((
+                                    origin,
+                                    Net::ToCoordinator { coord: origin, acceptor, msg: reply },
+                                ));
+                            }
+                        }
+                        PaxosMsg::Phase2a { instance, round, value } => {
+                            if let Some(reply) =
+                                acceptors[acceptor].receive_2a(instance, round, value)
+                            {
+                                net.push((
+                                    origin,
+                                    Net::ToCoordinator { coord: origin, acceptor, msg: reply },
+                                ));
+                            }
+                        }
+                        _ => {}
+                    },
+                    Net::ToCoordinator { coord, acceptor, msg } => match msg {
+                        PaxosMsg::Phase1b { round, votes } => {
+                            coords[coord].receive_1b(acceptor as u32, round, &votes);
+                        }
+                        PaxosMsg::Phase2b { instance, round } => {
+                            if let Some(PaxosMsg::Decision { instance, value }) =
+                                coords[coord].receive_2b(acceptor as u32, instance, round)
+                            {
+                                record_decision(&mut decided, instance, value);
+                            }
+                        }
+                        _ => {}
+                    },
+                }
+            }
+            Step::Drop(i) => {
+                if !net.is_empty() {
+                    let idx = i % net.len();
+                    net.remove(idx);
+                }
+            }
+        }
+    }
+
+    // Uniform integrity: every decided value was proposed by someone.
+    for (&i, &v) in &decided {
+        assert!(proposed.contains(&v), "instance {i:?} decided unproposed value {v}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn agreement_under_adversarial_schedules(steps in prop::collection::vec(step_strategy(), 1..200)) {
+        run_schedule(&steps);
+    }
+}
+
+/// Deterministic regression: two coordinators racing over the same instance
+/// must converge on a single value via the value pick rule.
+#[test]
+fn dueling_coordinators_converge() {
+    let mut c0: Coordinator<u32> = Coordinator::new(0, 3);
+    let mut c1: Coordinator<u32> = Coordinator::new(1, 3);
+    let mut accs: Vec<Acceptor<u32>> = (0..3).map(|_| Acceptor::new()).collect();
+
+    // c0 completes Phase 1 and gets value 10 accepted only by acceptor 0.
+    let PaxosMsg::Phase1a { round: r0 } = c0.start_phase1(Round::ZERO) else { panic!() };
+    for (i, a) in accs.iter_mut().enumerate() {
+        if let Some(PaxosMsg::Phase1b { round, votes }) = a.receive_1a(r0) {
+            c0.receive_1b(i as u32, round, &votes);
+        }
+    }
+    let (inst, m) = c0.propose(10).unwrap();
+    let PaxosMsg::Phase2a { round, value, .. } = m else { panic!() };
+    assert!(accs[0].receive_2a(inst, round, value).is_some());
+
+    // c1 now runs Phase 1 with a higher round on all acceptors.
+    let PaxosMsg::Phase1a { round: r1 } = c1.start_phase1(r0) else { panic!() };
+    assert!(r1 > r0);
+    for (i, a) in accs.iter_mut().enumerate() {
+        if let Some(PaxosMsg::Phase1b { round, votes }) = a.receive_1a(r1) {
+            c1.receive_1b(i as u32, round, &votes);
+        }
+    }
+    // c1 wants 20, but the value pick rule forces 10 in instance 0.
+    let (inst1, m1) = c1.propose(20).unwrap();
+    assert_eq!(inst1, inst);
+    let PaxosMsg::Phase2a { value, .. } = m1 else { panic!() };
+    assert_eq!(value, 10, "value pick rule must force acceptor 0's vote");
+}
+
+/// Old-round Phase 2A messages arriving late cannot overwrite newer votes.
+#[test]
+fn late_phase2a_from_deposed_coordinator_rejected() {
+    let mut acc: Acceptor<u32> = Acceptor::new();
+    let old = Round::new(1, 0);
+    let new = Round::new(2, 1);
+    assert!(acc.receive_1a(old).is_some());
+    assert!(acc.receive_1a(new).is_some());
+    // Deposed coordinator's 2A in the old round bounces.
+    assert!(acc.receive_2a(InstanceId(0), old, 99).is_none());
+    // New coordinator's 2A lands.
+    assert!(acc.receive_2a(InstanceId(0), new, 42).is_some());
+    assert_eq!(acc.vote(InstanceId(0)).unwrap().v_val, 42);
+}

@@ -1,0 +1,142 @@
+//! The parallel service's state: a key/value store divided into conflict
+//! domains, with per-domain execution histories for the consistency
+//! checks of §6.3 (conflicting commands must execute in the same order
+//! on every replica).
+
+use std::collections::HashMap;
+
+use abcast::MsgId;
+
+use crate::command::PCommand;
+
+/// Replica state of the parallel service.
+///
+/// Besides the key/value data, the store records the order in which each
+/// conflict domain executed commands and an order-sensitive digest of the
+/// whole execution. Replicas of one deployment must agree on all three.
+#[derive(Debug, Default)]
+pub struct ObjStore {
+    vals: HashMap<u64, u64>,
+    history: Vec<Vec<MsgId>>,
+    digest: u64,
+    executed: u64,
+}
+
+impl ObjStore {
+    /// Creates a store with `domains` conflict domains.
+    pub fn new(domains: usize) -> ObjStore {
+        ObjStore {
+            vals: HashMap::new(),
+            history: vec![Vec::new(); domains],
+            digest: 0xcbf29ce484222325, // FNV offset basis
+            executed: 0,
+        }
+    }
+
+    /// Applies `cmd` (identified by `id`): writes every `(key, value)`
+    /// pair and appends `id` to the history of every touched domain.
+    pub fn apply(&mut self, id: MsgId, cmd: &PCommand) {
+        for &(k, v) in &cmd.writes {
+            self.vals.insert(k, v);
+        }
+        for &g in &cmd.groups {
+            if let Some(h) = self.history.get_mut(g as usize) {
+                h.push(id);
+            }
+        }
+        // FNV-1a over the executed command id: order sensitive.
+        self.digest ^= id.0;
+        self.digest = self.digest.wrapping_mul(0x100000001b3);
+        self.executed += 1;
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.vals.get(&key).copied()
+    }
+
+    /// Commands executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Order-sensitive digest of the execution (identical across the
+    /// replicas of one deployment).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The execution history of conflict domain `g`.
+    pub fn history(&self, g: usize) -> &[MsgId] {
+        &self.history[g]
+    }
+
+    /// Number of conflict domains.
+    pub fn domains(&self) -> usize {
+        self.history.len()
+    }
+
+    /// All stored key/value pairs, sorted by key (for state-equivalence
+    /// checks).
+    pub fn snapshot(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.vals.iter().map(|(&k, &x)| (k, x)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use simnet::time::Dur;
+
+    use super::*;
+
+    fn cmd(groups: &[u8], writes: &[(u64, u64)]) -> PCommand {
+        PCommand { groups: groups.to_vec(), writes: writes.to_vec(), cost: Dur::micros(10) }
+    }
+
+    #[test]
+    fn apply_writes_values_and_history() {
+        let mut s = ObjStore::new(4);
+        s.apply(MsgId(1), &cmd(&[0, 2], &[(5, 50), (9, 90)]));
+        assert_eq!(s.get(5), Some(50));
+        assert_eq!(s.get(9), Some(90));
+        assert_eq!(s.history(0), &[MsgId(1)]);
+        assert!(s.history(1).is_empty());
+        assert_eq!(s.history(2), &[MsgId(1)]);
+        assert_eq!(s.executed(), 1);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        let (mut a, mut b) = (ObjStore::new(2), ObjStore::new(2));
+        let (c1, c2) = (cmd(&[0], &[(1, 1)]), cmd(&[1], &[(2, 2)]));
+        a.apply(MsgId(1), &c1);
+        a.apply(MsgId(2), &c2);
+        b.apply(MsgId(2), &c2);
+        b.apply(MsgId(1), &c1);
+        assert_ne!(a.digest(), b.digest());
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn same_order_same_digest() {
+        let (mut a, mut b) = (ObjStore::new(2), ObjStore::new(2));
+        for s in [&mut a, &mut b] {
+            s.apply(MsgId(3), &cmd(&[0], &[(1, 10)]));
+            s.apply(MsgId(4), &cmd(&[0, 1], &[(1, 11), (2, 22)]));
+        }
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.history(0), b.history(0));
+        assert_eq!(a.get(1), Some(11));
+    }
+
+    #[test]
+    fn later_write_wins() {
+        let mut s = ObjStore::new(1);
+        s.apply(MsgId(1), &cmd(&[0], &[(7, 1)]));
+        s.apply(MsgId(2), &cmd(&[0], &[(7, 2)]));
+        assert_eq!(s.get(7), Some(2));
+        assert_eq!(s.history(0), &[MsgId(1), MsgId(2)]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Deployment helpers: stand up a complete Ring Paxos ensemble on a
+//! simulated cluster in one call. Experiments and tests share these.
+
+use abcast::{shared_log, Pacer, SharedLog};
+use simnet::prelude::*;
+
+use crate::config::{MRingConfig, URingConfig};
+use crate::mring::MRingProcess;
+use crate::uring::URingProcess;
+
+/// Placeholder actor installed while node ids are being allocated.
+struct Idle;
+impl Actor for Idle {
+    fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+}
+
+/// Options for [`deploy_mring`].
+#[derive(Clone, Debug)]
+pub struct MRingOptions {
+    /// Acceptors in the ring, coordinator included (the paper's `f + 1`).
+    pub ring_size: usize,
+    /// Spare acceptors outside the ring (for failover experiments).
+    pub spares: usize,
+    /// Dedicated learner nodes ("receivers" in the paper's figures).
+    pub n_learners: usize,
+    /// Proposer nodes. Each is also a learner, as the paper notes a
+    /// proposer must be to observe its own decisions.
+    pub n_proposers: usize,
+    /// Offered load per proposer, bits per second.
+    pub proposer_rate_bps: u64,
+    /// Application message size in bytes.
+    pub msg_bytes: u32,
+    /// Messages per proposer wakeup (burstiness).
+    pub burst: u32,
+    /// Stop offering load at this time (None = run forever).
+    pub proposer_stop: Option<Time>,
+}
+
+impl Default for MRingOptions {
+    fn default() -> Self {
+        MRingOptions {
+            ring_size: 3,
+            spares: 0,
+            n_learners: 2,
+            n_proposers: 2,
+            proposer_rate_bps: 100_000_000,
+            msg_bytes: 8192,
+            burst: 1,
+            proposer_stop: None,
+        }
+    }
+}
+
+/// A deployed M-Ring Paxos ensemble.
+pub struct MRingDeployment {
+    /// The shared protocol configuration.
+    pub cfg: MRingConfig,
+    /// Ring acceptors (last is the coordinator).
+    pub ring: Vec<NodeId>,
+    /// Spare acceptors.
+    pub spares: Vec<NodeId>,
+    /// Dedicated learner nodes.
+    pub learners: Vec<NodeId>,
+    /// Proposer (and learner) nodes.
+    pub proposers: Vec<NodeId>,
+    /// All learner nodes in `cfg.learners` order (dedicated + proposers).
+    pub all_learners: Vec<NodeId>,
+    /// The multicast group.
+    pub group: GroupId,
+    /// Delivery log indexed like `all_learners`.
+    pub log: SharedLog,
+}
+
+impl MRingDeployment {
+    /// The coordinator node.
+    pub fn coordinator(&self) -> NodeId {
+        self.cfg.coordinator()
+    }
+}
+
+/// Deploys M-Ring Paxos on `sim`. `configure` can adjust the
+/// [`MRingConfig`] (packet size, storage mode, flow control…) before the
+/// processes are instantiated.
+pub fn deploy_mring(
+    sim: &mut Sim,
+    opts: &MRingOptions,
+    configure: impl FnOnce(&mut MRingConfig),
+) -> MRingDeployment {
+    let ring: Vec<NodeId> = (0..opts.ring_size).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let spares: Vec<NodeId> = (0..opts.spares).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let learners: Vec<NodeId> = (0..opts.n_learners).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let proposers: Vec<NodeId> =
+        (0..opts.n_proposers).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let group = sim.add_group();
+
+    let mut all_learners = learners.clone();
+    all_learners.extend(&proposers);
+
+    let mut cfg = MRingConfig::new(ring.clone(), all_learners.clone(), group);
+    cfg.spares = spares.clone();
+    configure(&mut cfg);
+
+    for &n in ring.iter().chain(&spares).chain(&all_learners) {
+        sim.subscribe(n, group);
+    }
+
+    let log = shared_log(all_learners.len());
+    for &n in ring.iter().chain(&spares) {
+        sim.replace_actor(n, Box::new(MRingProcess::new(cfg.clone(), n, None, None)));
+    }
+    for &n in &learners {
+        sim.replace_actor(n, Box::new(MRingProcess::new(cfg.clone(), n, None, Some(log.clone()))));
+    }
+    for &n in &proposers {
+        let mut pacer = Pacer::new(opts.proposer_rate_bps, opts.msg_bytes, opts.burst);
+        if let Some(stop) = opts.proposer_stop {
+            pacer.stop_at(stop);
+        }
+        sim.replace_actor(
+            n,
+            Box::new(MRingProcess::new(cfg.clone(), n, Some(pacer), Some(log.clone()))),
+        );
+    }
+
+    MRingDeployment { cfg, ring, spares, learners, proposers, all_learners, group, log }
+}
+
+/// Options for [`deploy_uring`].
+#[derive(Clone, Debug)]
+pub struct URingOptions {
+    /// Total processes on the ring.
+    pub ring_len: usize,
+    /// How many (from position 0) are acceptors; position 0 coordinates.
+    pub n_acceptors: usize,
+    /// Ring positions that propose (the paper has every process propose
+    /// for peak throughput).
+    pub proposer_positions: Vec<usize>,
+    /// Offered load per proposer, bits per second.
+    pub proposer_rate_bps: u64,
+    /// Application message size in bytes.
+    pub msg_bytes: u32,
+    /// Messages per wakeup.
+    pub burst: u32,
+    /// Stop offering load at this time (None = run forever).
+    pub proposer_stop: Option<Time>,
+}
+
+impl Default for URingOptions {
+    fn default() -> Self {
+        URingOptions {
+            ring_len: 5,
+            n_acceptors: 3,
+            proposer_positions: vec![0, 1, 2, 3, 4],
+            proposer_rate_bps: 100_000_000,
+            msg_bytes: 32 * 1024,
+            burst: 1,
+            proposer_stop: None,
+        }
+    }
+}
+
+/// A deployed U-Ring Paxos ensemble.
+pub struct URingDeployment {
+    /// The shared protocol configuration.
+    pub cfg: URingConfig,
+    /// Processes in ring order (position 0 is the coordinator).
+    pub ring: Vec<NodeId>,
+    /// Delivery log indexed by ring position (all processes learn).
+    pub log: SharedLog,
+}
+
+/// Deploys U-Ring Paxos on `sim`.
+pub fn deploy_uring(
+    sim: &mut Sim,
+    opts: &URingOptions,
+    configure: impl FnOnce(&mut URingConfig),
+) -> URingDeployment {
+    let ring: Vec<NodeId> = (0..opts.ring_len).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let mut cfg = URingConfig::new(ring.clone(), opts.n_acceptors);
+    configure(&mut cfg);
+    let log = shared_log(cfg.learner_positions.len());
+    for pos in 0..opts.ring_len {
+        let pacer = opts.proposer_positions.contains(&pos).then(|| {
+            let mut p = Pacer::new(opts.proposer_rate_bps, opts.msg_bytes, opts.burst);
+            if let Some(stop) = opts.proposer_stop {
+                p.stop_at(stop);
+            }
+            p
+        });
+        let actor = URingProcess::new(cfg.clone(), pos, pacer, Some(log.clone()));
+        sim.replace_actor(ring[pos], Box::new(actor));
+    }
+    URingDeployment { cfg, ring, log }
+}

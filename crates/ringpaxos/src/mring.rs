@@ -1,0 +1,1634 @@
+//! Multicast-based Ring Paxos (M-Ring Paxos, thesis Algorithm 2).
+//!
+//! One [`MRingProcess`] actor runs per node; a process can combine the
+//! proposer, acceptor/coordinator, and learner roles, exactly as in the
+//! paper's deployments. The steady-state message flow is:
+//!
+//! 1. proposers send values to the coordinator (UDP);
+//! 2. the coordinator batches values, assigns the next consensus instance,
+//!    and ip-multicasts `Phase2a` to the ring acceptors and all learners,
+//!    piggybacking decisions of earlier instances;
+//! 3. the first ring acceptor votes on ip-delivery and unicasts `Phase2b`
+//!    to its successor; each acceptor votes and forwards;
+//! 4. when the `Phase2b` reaches the coordinator (the last ring process)
+//!    the quorum is complete: the instance is decided and announced on the
+//!    next multicast;
+//! 5. learners deliver a batch once they hold its payload *and* decision,
+//!    in instance order.
+//!
+//! The module also implements the paper's engineering machinery: message
+//! loss recovery through preferential acceptors (§3.3.4), coordinator
+//! failover (§3.3.5), window-based flow control with learner back-pressure
+//! (§3.3.6), and version-vector garbage collection (§3.3.7).
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use abcast::{metric, MsgId, Pacer, SharedLog};
+use paxos::acceptor::Acceptor;
+use paxos::msg::{quorum, InstanceId, Round};
+use simnet::prelude::*;
+
+use crate::config::{MRingConfig, StorageMode};
+use crate::msg::MMsg;
+use crate::value::{batch_bytes, Batch, Value, ALL_PARTITIONS};
+
+// Timer tokens: kind in the top byte, payload (instance) below.
+const T_BATCH: u64 = 1 << 56;
+const T_PACE: u64 = 2 << 56;
+const T_GC: u64 = 3 << 56;
+const T_FLOW: u64 = 4 << 56;
+const T_DELIVER: u64 = 5 << 56;
+const T_RETRANS: u64 = 6 << 56;
+const T_SUSPECT: u64 = 7 << 56;
+const T_HEARTBEAT: u64 = 8 << 56;
+const T_DISK: u64 = 9 << 56;
+const T_VOTE_RETRY: u64 = 10 << 56;
+const T_SKIP: u64 = 11 << 56;
+const T_RESUB: u64 = 12 << 56;
+const KIND_MASK: u64 = 0xff << 56;
+
+fn token_kind(t: TimerToken) -> u64 {
+    t.0 & KIND_MASK
+}
+
+fn token_payload(t: TimerToken) -> u64 {
+    t.0 & !KIND_MASK
+}
+
+/// Coordinator-only state.
+#[derive(Debug)]
+struct CoordState {
+    pending: VecDeque<Value>,
+    pending_bytes: u64,
+    next_instance: InstanceId,
+    /// Proposed but undecided: instance → (batch, last 2A multicast, mask).
+    outstanding: BTreeMap<InstanceId, (Batch, Time, u32)>,
+    /// Decided instances (with masks) not yet announced to the group.
+    decided_unsent: Vec<(InstanceId, u32)>,
+    window: u32,
+    last_slowdown: Time,
+    last_mcast: Time,
+    /// Applied version reported by each learner (for GC).
+    versions: HashMap<NodeId, InstanceId>,
+    gc_watermark: InstanceId,
+    /// Logical instances produced so far (normal batches count 1, skip
+    /// batches count their weight) — Multi-Ring Paxos rate accounting.
+    logical_count: u64,
+    /// Logical target accumulated from `lambda * delta` per interval.
+    logical_target: u64,
+    /// Last time an outstanding instance completed its 2B relay (ring
+    /// liveness signal for repair, §3.3.5).
+    last_progress: Time,
+    /// In-flight acceptor probe (ring repair).
+    repair: Option<RepairState>,
+}
+
+/// Coordinator-side ring-repair probe: acceptors that answered the Ping
+/// and when the probe started.
+#[derive(Debug)]
+struct RepairState {
+    responders: BTreeSet<NodeId>,
+    started: Time,
+}
+
+/// Acceptor-only state.
+struct AccState {
+    paxos: Acceptor<Batch>,
+    decided: BTreeSet<InstanceId>,
+    /// Skip weight per instance (only non-zero entries stored).
+    skip_weights: BTreeMap<InstanceId, u64>,
+    /// Partition mask per instance (only non-ALL entries stored).
+    masks: BTreeMap<InstanceId, u32>,
+    /// Watermark from the coordinator: every instance below is decided.
+    decided_below: InstanceId,
+    /// Phase 2B received before the matching 2A (reordering).
+    early_2b: BTreeMap<InstanceId, Round>,
+    /// Instances whose sync disk write is still pending.
+    awaiting_disk: BTreeSet<InstanceId>,
+    last_coord_activity: Time,
+}
+
+/// Learner-only state.
+struct LearnerState {
+    index: usize,
+    my_mask: u32,
+    /// Buffered payloads with the round of the 2A that carried them
+    /// (highest round wins — stale coordinators cannot poison delivery).
+    payloads: BTreeMap<InstanceId, (Round, Batch)>,
+    /// Announced decisions with their deciding round.
+    decided: BTreeMap<InstanceId, Round>,
+    /// Instances decided for partitions this learner does not subscribe
+    /// to — skipped over without payload (ch. 4 §4.2.2).
+    foreign: BTreeSet<InstanceId>,
+    next_deliver: InstanceId,
+    delivered_ids: HashSet<MsgId>,
+    slowdown_active: bool,
+    applied_reported: InstanceId,
+    /// Horizon snapshot from the previous retransmission check: only
+    /// instances already visible a full interval ago are requested, so
+    /// normally in-flight instances are not mistaken for losses.
+    prev_horizon: InstanceId,
+}
+
+/// Proposer-only state.
+struct ProposerState {
+    pacer: Option<Pacer>,
+    next_seq: u64,
+    coordinator: NodeId,
+    /// Sent but not yet seen delivered (resubmitted on failover).
+    unacked: BTreeMap<u64, Value>,
+    /// Only proposers that are also learners can prune `unacked`.
+    track_acks: bool,
+    /// Failover resubmissions still to send, paced so a long outage's
+    /// backlog does not burst into the new ring all at once and drown
+    /// the recovering 2B relay (tail drop at the coordinator's port).
+    resubmit_q: VecDeque<u64>,
+}
+
+/// Failover (new coordinator election) state.
+struct Takeover {
+    round: Round,
+    promises: BTreeSet<NodeId>,
+    votes: BTreeMap<InstanceId, (Round, Batch)>,
+    decided: BTreeSet<InstanceId>,
+}
+
+/// One M-Ring Paxos process; roles derive from its position in the
+/// configuration.
+pub struct MRingProcess {
+    cfg: MRingConfig,
+    me: NodeId,
+    round: Round,
+    coord: Option<CoordState>,
+    acc: Option<AccState>,
+    lrn: Option<LearnerState>,
+    prop: Option<ProposerState>,
+    log: Option<SharedLog>,
+    takeover: Option<Takeover>,
+    total_acceptors: usize,
+    /// Live control of the proposer's offered rate (bits/s); experiment
+    /// drivers flip it mid-run (Fig. 5.9/5.10 oscillating workloads).
+    rate_ctl: Option<Rc<Cell<u64>>>,
+    /// Live control of the learner's per-batch processing cost
+    /// (Fig. 3.14's slow-learner trace).
+    cost_ctl: Option<Rc<Cell<Dur>>>,
+}
+
+impl MRingProcess {
+    /// Creates the process for node `me` under `cfg`. `proposer_rate`
+    /// (bits/s) and `proposer_msg_bytes` configure an open-loop proposer
+    /// role; `learner_log` enables the learner role and records deliveries.
+    pub fn new(
+        cfg: MRingConfig,
+        me: NodeId,
+        proposer: Option<Pacer>,
+        learner_log: Option<SharedLog>,
+    ) -> MRingProcess {
+        // Phase 1 is pre-executed at deployment (§3.2 optimization): all
+        // processes start in round 1 owned by the initial coordinator.
+        let coord_idx = cfg.ring.len() as u32 - 1;
+        let round = Round::new(1, coord_idx);
+        let is_coord = cfg.coordinator() == me;
+        let in_ring = cfg.ring.contains(&me);
+        let is_spare = cfg.spares.contains(&me);
+        let learner_index = cfg.learners.iter().position(|&n| n == me);
+        let total_acceptors = cfg.ring.len() + cfg.spares.len();
+
+        let coord = is_coord.then(|| CoordState {
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            next_instance: InstanceId(0),
+            outstanding: BTreeMap::new(),
+            decided_unsent: Vec::new(),
+            window: cfg.flow.initial_window,
+            last_slowdown: Time::ZERO,
+            last_mcast: Time::ZERO,
+            versions: HashMap::new(),
+            gc_watermark: InstanceId(0),
+            logical_count: 0,
+            logical_target: 0,
+            last_progress: Time::ZERO,
+            repair: None,
+        });
+        let acc = (in_ring || is_spare).then(|| {
+            let mut paxos = Acceptor::new();
+            // Pre-promised round 1 (pre-executed Phase 1).
+            let _ = paxos.receive_1a(round);
+            AccState {
+                paxos,
+                decided: BTreeSet::new(),
+                skip_weights: BTreeMap::new(),
+                masks: BTreeMap::new(),
+                decided_below: InstanceId(0),
+                early_2b: BTreeMap::new(),
+                awaiting_disk: BTreeSet::new(),
+                last_coord_activity: Time::ZERO,
+            }
+        });
+        let lrn = learner_index.map(|index| LearnerState {
+            index,
+            my_mask: cfg.learner_mask(index),
+            payloads: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            foreign: BTreeSet::new(),
+            next_deliver: InstanceId(0),
+            delivered_ids: HashSet::new(),
+            slowdown_active: false,
+            applied_reported: InstanceId(0),
+            prev_horizon: InstanceId(0),
+        });
+        let track_acks = learner_index.is_some();
+        let prop = proposer.map(|pacer| ProposerState {
+            pacer: Some(pacer),
+            next_seq: 0,
+            coordinator: cfg.coordinator(),
+            unacked: BTreeMap::new(),
+            resubmit_q: VecDeque::new(),
+            track_acks,
+        });
+        MRingProcess {
+            cfg,
+            me,
+            round,
+            coord,
+            acc,
+            lrn,
+            prop,
+            log: learner_log,
+            takeover: None,
+            total_acceptors,
+            rate_ctl: None,
+            cost_ctl: None,
+        }
+    }
+
+    /// Attaches a live rate control for this proposer (bits per second;
+    /// `0` pauses proposing).
+    pub fn with_rate_control(mut self, ctl: Rc<Cell<u64>>) -> MRingProcess {
+        self.rate_ctl = Some(ctl);
+        self
+    }
+
+    /// Attaches a live control for the learner's per-batch cost.
+    pub fn with_cost_control(mut self, ctl: Rc<Cell<Dur>>) -> MRingProcess {
+        self.cost_ctl = Some(ctl);
+        self
+    }
+
+    /// Creates a pure proposer role descriptor for deployments.
+    pub fn proposer_pacer(rate_bps: u64, msg_bytes: u32, burst: u32) -> Pacer {
+        Pacer::new(rate_bps, msg_bytes, burst)
+    }
+
+    fn ring_pos(&self) -> Option<usize> {
+        self.cfg.ring.iter().position(|&n| n == self.me)
+    }
+
+    fn is_coordinator(&self) -> bool {
+        self.coord.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Proposer
+    // ------------------------------------------------------------------
+
+    fn pace(&mut self, ctx: &mut Ctx) {
+        let ctl_rate = self.rate_ctl.as_ref().map(|c| c.get());
+        let Some(p) = self.prop.as_mut() else { return };
+        let Some(pacer) = p.pacer.as_mut() else { return };
+        if let Some(rate) = ctl_rate {
+            if rate == 0 {
+                // Paused: consume missed slots and re-check shortly.
+                let _ = pacer.due(ctx.now());
+                ctx.set_timer(Dur::millis(1), TimerToken(T_PACE));
+                return;
+            }
+            pacer.set_rate(rate);
+        }
+        let due = pacer.due(ctx.now());
+        let bytes = pacer.msg_bytes();
+        let interval = pacer.interval();
+        let coordinator = p.coordinator;
+        for _ in 0..due {
+            let seq = p.next_seq;
+            p.next_seq += 1;
+            let v = Value {
+                id: MsgId(((self.me.0 as u64) << 40) | seq),
+                proposer: self.me,
+                seq,
+                bytes,
+                submitted: ctx.now(),
+                mask: ALL_PARTITIONS,
+            };
+            if p.track_acks {
+                p.unacked.insert(seq, v);
+            }
+            ctx.udp_send(coordinator, MMsg::Propose(v), bytes);
+            ctx.counter_add("rp.proposed", 1);
+        }
+        ctx.set_timer(interval, TimerToken(T_PACE));
+    }
+
+    // ------------------------------------------------------------------
+    // Coordinator
+    // ------------------------------------------------------------------
+
+    fn on_propose(&mut self, v: Value, ctx: &mut Ctx) {
+        let Some(c) = self.coord.as_mut() else {
+            // Not (or no longer) the coordinator: drop; proposer will
+            // redirect after NewRing.
+            return;
+        };
+        if c.pending_bytes + v.bytes as u64 > self.cfg.pending_cap_bytes {
+            ctx.counter_add("rp.drop", 1);
+            ctx.counter_add("rp.drop_bytes", v.bytes as u64);
+            return;
+        }
+        c.pending.push_back(v);
+        c.pending_bytes += v.bytes as u64;
+        self.try_flush(ctx, false);
+    }
+
+    /// Assembles and multicasts as many full packets as the window allows;
+    /// with `force`, also flushes a partial batch (timeout path).
+    fn try_flush(&mut self, ctx: &mut Ctx, force: bool) {
+        loop {
+            let Some(c) = self.coord.as_mut() else { return };
+            let window_open = (c.outstanding.len() as u32) < c.window;
+            let full = c.pending_bytes >= self.cfg.packet_bytes as u64;
+            let partial = force && !c.pending.is_empty();
+            let decisions_only = c.pending.is_empty() && !c.decided_unsent.is_empty();
+
+            if window_open && (full || partial) {
+                let mut vals = Vec::new();
+                let mut bytes = 0u64;
+                // Batches are single-mask: a batch is transferred to the
+                // groups of the partitions it accesses, so values with
+                // different masks go in different batches (§4.2.2).
+                let mask = c.pending.front().map(|v| v.mask).unwrap_or(ALL_PARTITIONS);
+                while let Some(v) = c.pending.front() {
+                    if !vals.is_empty()
+                        && (bytes + v.bytes as u64 > self.cfg.packet_bytes as u64
+                            || v.mask != mask)
+                    {
+                        break;
+                    }
+                    let v = c.pending.pop_front().expect("front checked");
+                    c.pending_bytes -= v.bytes as u64;
+                    bytes += v.bytes as u64;
+                    vals.push(v);
+                }
+                let batch: Batch = Rc::new(vals);
+                let instance = c.next_instance;
+                c.next_instance = instance.next();
+                c.outstanding.insert(instance, (batch.clone(), ctx.now(), mask));
+                c.logical_count += 1;
+                let partitioned = self.cfg.partitions.is_some();
+                let decisions = if partitioned {
+                    Rc::new(Vec::new()) // no piggybacking in partitioned mode
+                } else {
+                    Rc::new(std::mem::take(&mut c.decided_unsent))
+                };
+                let gc_upto = c.gc_watermark;
+                c.last_mcast = ctx.now();
+                // The coordinator votes for its own proposal (it is the
+                // last acceptor in the ring).
+                if let Some(a) = self.acc.as_mut() {
+                    let _ = a.paxos.receive_2a(instance, self.round, batch.clone());
+                    if mask != ALL_PARTITIONS {
+                        a.masks.insert(instance, mask);
+                    }
+                }
+                ctx.charge_cpu(0, self.cfg.batch_overhead);
+                let wire = (bytes.min(u32::MAX as u64) as u32).max(self.cfg.ctl_bytes);
+                let decided_below = c.outstanding.keys().next().copied().unwrap_or(instance);
+                let msg = MMsg::Phase2a {
+                    instance,
+                    round: self.round,
+                    batch: batch.clone(),
+                    decisions: decisions.clone(),
+                    gc_upto,
+                    skip: 0,
+                    mask,
+                    decided_below,
+                };
+                self.mcast_2a(msg, mask, wire, ctx);
+                // Local loop-back when the coordinator is also a learner
+                // (multicast does not echo to the sender).
+                let round = self.round;
+                self.learner_store(instance, &batch, mask, round);
+                self.learner_decide(&decisions, round);
+                self.try_deliver(ctx);
+                continue;
+            }
+            if decisions_only && force {
+                let c = self.coord.as_mut().expect("checked");
+                let decisions = Rc::new(std::mem::take(&mut c.decided_unsent));
+                let gc_upto = c.gc_watermark;
+                c.last_mcast = ctx.now();
+                let group = self
+                    .cfg
+                    .partitions
+                    .as_ref()
+                    .map(|p| p.decision_group)
+                    .unwrap_or(self.cfg.group);
+                let round = self.round;
+                let decided_below = self.decided_below();
+                ctx.mcast(
+                    group,
+                    MMsg::Decision { instances: decisions.clone(), round, gc_upto, decided_below },
+                    self.cfg.ctl_bytes,
+                );
+                self.learner_decide(&decisions, round);
+                self.try_deliver(ctx);
+            }
+            return;
+        }
+    }
+
+    /// Multicasts a Phase 2A: once on the classic group, or once per
+    /// accessed partition group in partitioned mode (§4.2.2 — acceptors
+    /// subscribe to all groups and deduplicate).
+    fn mcast_2a(&mut self, msg: MMsg, mask: u32, wire: u32, ctx: &mut Ctx) {
+        match self.cfg.partitions.as_ref() {
+            None => ctx.mcast(self.cfg.group, msg, wire),
+            Some(p) => {
+                let payload = Payload::new(msg);
+                for (i, &g) in p.groups.iter().enumerate() {
+                    if mask & (1 << i) != 0 {
+                        ctx.mcast_forward(g, payload.clone(), wire);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_phase2b(&mut self, instance: InstanceId, round: Round, ctx: &mut Ctx) {
+        if round != self.round {
+            return;
+        }
+        if self.is_coordinator() {
+            // Quorum complete: every ring acceptor voted, plus ourselves.
+            let Some(c) = self.coord.as_mut() else { return };
+            if let Some((_, _, mask)) = c.outstanding.remove(&instance) {
+                c.last_progress = ctx.now();
+                c.decided_unsent.push((instance, mask));
+                if let Some(a) = self.acc.as_mut() {
+                    a.decided.insert(instance);
+                }
+                ctx.counter_add(metric::INSTANCES, 1);
+                let round = self.round;
+                self.learner_decide(&[(instance, mask)], round);
+                self.try_deliver(ctx);
+                // Classic mode: decisions ride on the next 2A (or the
+                // batch timer flushes them). Partitioned mode: decisions
+                // go out promptly on the decision group.
+                if self.cfg.partitions.is_some() {
+                    self.flush_decisions(ctx);
+                } else {
+                    self.try_flush(ctx, false);
+                }
+            }
+        } else {
+            // Mid-ring acceptor: vote if the 2A was ip-delivered, else hold.
+            self.relay_2b(instance, round, ctx);
+        }
+    }
+
+    /// Partitioned mode: multicasts accumulated decisions on the decision
+    /// group once enough have gathered (or via the batch timer).
+    fn flush_decisions(&mut self, ctx: &mut Ctx) {
+        let Some(p) = self.cfg.partitions.as_ref() else { return };
+        let group = p.decision_group;
+        let ctl = self.cfg.ctl_bytes;
+        let Some(c) = self.coord.as_mut() else { return };
+        if c.decided_unsent.is_empty() {
+            return;
+        }
+        let decisions = Rc::new(std::mem::take(&mut c.decided_unsent));
+        let gc_upto = c.gc_watermark;
+        c.last_mcast = ctx.now();
+        let round = self.round;
+        let decided_below = self.decided_below();
+        ctx.mcast(
+            group,
+            MMsg::Decision { instances: decisions.clone(), round, gc_upto, decided_below },
+            ctl,
+        );
+        self.learner_decide(&decisions, round);
+        self.try_deliver(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Acceptor
+    // ------------------------------------------------------------------
+
+    fn on_phase2a(&mut self, instance: InstanceId, round: Round, batch: Batch, ctx: &mut Ctx) {
+        if round > self.round {
+            // A higher-round coordinator exists: adopt the round and step
+            // down if we (stale, e.g. restarted after a pause) still
+            // believe we coordinate.
+            self.round = round;
+            self.coord = None;
+            self.takeover = None;
+        }
+        let is_first = self.ring_pos() == Some(0);
+        let Some(a) = self.acc.as_mut() else { return };
+        a.last_coord_activity = ctx.now();
+        if round != self.round || self.cfg.coordinator() == self.me {
+            return;
+        }
+        // Partitioned mode replicates one 2A onto several groups; an
+        // acceptor subscribed to all of them deduplicates (§4.2.2). A
+        // duplicate can also be the coordinator *retransmitting* after a
+        // lost Phase 2B — the first acceptor must restart the vote relay.
+        if a.paxos.vote(instance).is_some_and(|v| v.v_rnd == round) {
+            let disk_ok = !a.awaiting_disk.contains(&instance);
+            if is_first && disk_ok {
+                self.send_2b_to_successor(instance, round, ctx);
+            }
+            return;
+        }
+        let batch_wire_bytes = batch_bytes(&batch).min(u32::MAX as u64) as u32;
+        if a.paxos.receive_2a(instance, round, batch).is_none() {
+            return;
+        }
+        match self.cfg.storage {
+            StorageMode::InMemory => {
+                self.after_vote_durable(instance, round, is_first, ctx);
+            }
+            StorageMode::SyncDisk => {
+                let bytes = batch_wire_bytes;
+                let a = self.acc.as_mut().expect("acceptor");
+                a.awaiting_disk.insert(instance);
+                ctx.disk_write_coalesced(bytes, self.cfg.disk_unit, TimerToken(T_DISK | instance.0));
+            }
+            StorageMode::AsyncDisk => {
+                // Fire-and-forget write; throttle if the disk lags.
+                let bytes = batch_wire_bytes;
+                ctx.disk_write_coalesced(bytes, self.cfg.disk_unit, TimerToken(T_VOTE_RETRY | u64::MAX >> 8));
+                if ctx.disk_backlog() > Dur::millis(20) {
+                    // Delay the vote until the disk catches up a little.
+                    let wait = ctx.disk_backlog() - Dur::millis(20);
+                    let first_flag = if is_first { 1u64 << 55 } else { 0 };
+                    ctx.set_timer(wait, TimerToken(T_VOTE_RETRY | first_flag | instance.0));
+                } else {
+                    self.after_vote_durable(instance, round, is_first, ctx);
+                }
+            }
+        }
+    }
+
+    /// Runs once the vote for `instance` is durable (per storage mode):
+    /// first acceptor starts the 2B relay; others release a buffered 2B.
+    fn after_vote_durable(&mut self, instance: InstanceId, round: Round, is_first: bool, ctx: &mut Ctx) {
+        if is_first {
+            self.send_2b_to_successor(instance, round, ctx);
+            return;
+        }
+        let Some(a) = self.acc.as_mut() else { return };
+        if let Some(r) = a.early_2b.remove(&instance) {
+            if r == round {
+                self.send_2b_to_successor(instance, round, ctx);
+            }
+        }
+    }
+
+    /// Handles a 2B arriving from the ring predecessor at a mid-ring
+    /// acceptor: forward only if we have ip-delivered (and voted for) the
+    /// corresponding 2A — the heart of Task 5 in Algorithm 2.
+    fn relay_2b(&mut self, instance: InstanceId, round: Round, ctx: &mut Ctx) {
+        let Some(a) = self.acc.as_mut() else { return };
+        let voted = a.paxos.vote(instance).is_some_and(|v| v.v_rnd == round);
+        let disk_ok = !a.awaiting_disk.contains(&instance);
+        if voted && disk_ok {
+            self.send_2b_to_successor(instance, round, ctx);
+        } else {
+            a.early_2b.insert(instance, round);
+        }
+    }
+
+    fn send_2b_to_successor(&mut self, instance: InstanceId, round: Round, ctx: &mut Ctx) {
+        if let Some(succ) = self.cfg.successor(self.me) {
+            ctx.udp_send(succ, MMsg::Phase2b { instance, round }, self.cfg.ctl_bytes);
+        }
+    }
+
+    fn on_retrans_req(&mut self, from: NodeId, instances: &[InstanceId], ctx: &mut Ctx) {
+        let Some(a) = self.acc.as_ref() else { return };
+        let mut replies = Vec::new();
+        for &i in instances {
+            if let Some(vote) = a.paxos.vote(i) {
+                let skip = a.skip_weights.get(&i).copied().unwrap_or(0);
+                let mask = a.masks.get(&i).copied().unwrap_or(ALL_PARTITIONS);
+                let decided = a.decided.contains(&i) || i < a.decided_below;
+                replies.push((i, vote.v_val.clone(), decided, vote.v_rnd, skip, mask));
+            }
+        }
+        for (instance, batch, decided, round, skip, mask) in replies {
+            let wire = batch_bytes(&batch).min(u32::MAX as u64) as u32;
+            ctx.counter_add("rp.retrans", 1);
+            ctx.udp_send(
+                from,
+                MMsg::RetransRep { instance, batch, decided, round, skip, mask },
+                wire.max(self.cfg.ctl_bytes),
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Learner
+    // ------------------------------------------------------------------
+
+    fn learner_store(&mut self, instance: InstanceId, batch: &Batch, mask: u32, round: Round) {
+        if let Some(l) = self.lrn.as_mut() {
+            if instance >= l.next_deliver && mask & l.my_mask != 0 {
+                match l.payloads.entry(instance) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert((round, batch.clone()));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        if round > e.get().0 {
+                            e.insert((round, batch.clone()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn learner_decide(&mut self, instances: &[(InstanceId, u32)], round: Round) {
+        if let Some(l) = self.lrn.as_mut() {
+            for &(i, mask) in instances {
+                if i >= l.next_deliver {
+                    if mask & l.my_mask == 0 {
+                        // Another partition's instance: skip over it.
+                        l.foreign.insert(i);
+                    } else {
+                        let e = l.decided.entry(i).or_insert(round);
+                        *e = (*e).max(round);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Authoritative decision from an acceptor's stored (decided) vote:
+    /// pins both payload and decision to the vote's round.
+    fn learner_authoritative(&mut self, instance: InstanceId, batch: &Batch, round: Round) {
+        if let Some(l) = self.lrn.as_mut() {
+            if instance >= l.next_deliver {
+                l.payloads.insert(instance, (round, batch.clone()));
+                l.decided.insert(instance, round);
+            }
+        }
+    }
+
+    fn try_deliver(&mut self, ctx: &mut Ctx) {
+        let batch_cost =
+            self.cost_ctl.as_ref().map(|c| c.get()).unwrap_or(self.cfg.learner_batch_cost);
+        loop {
+            let Some(l) = self.lrn.as_mut() else { return };
+            let next = l.next_deliver;
+            if l.foreign.remove(&next) {
+                // Not our partition: advance without delivering (§4.2.2).
+                l.decided.remove(&next);
+                l.payloads.remove(&next);
+                l.next_deliver = next.next();
+                continue;
+            }
+            let ready = match (l.decided.get(&next), l.payloads.get(&next)) {
+                // Deliver only when the payload's round matches the
+                // deciding round (the paper's value-id check): a payload
+                // from a deposed coordinator never masquerades as the
+                // decided value.
+                (Some(dr), Some((pr, _))) => dr == pr,
+                _ => false,
+            };
+            if !ready {
+                break;
+            }
+            if batch_cost > Dur::ZERO {
+                // Application processing runs on core 1 (a pinned thread);
+                // if it falls far behind, pause and resume by timer so the
+                // buffer build-up is observable (flow control, §3.3.6).
+                let backlog = ctx.core_free_at(1).saturating_since(ctx.now());
+                if backlog > Dur::millis(5) {
+                    ctx.set_timer(backlog - Dur::millis(4), TimerToken(T_DELIVER));
+                    break;
+                }
+                ctx.charge_cpu(1, batch_cost);
+            }
+            let l = self.lrn.as_mut().expect("learner");
+            let (_, batch) = l.payloads.remove(&next).expect("payload checked");
+            l.decided.remove(&next);
+            l.next_deliver = next.next();
+            let index = l.index;
+            let mut delivered_here = Vec::new();
+            for v in batch.iter() {
+                if !l.delivered_ids.insert(v.id) {
+                    continue; // duplicate after failover resubmission
+                }
+                delivered_here.push(*v);
+            }
+            if let Some(log) = self.log.as_ref() {
+                let mut log = log.borrow_mut();
+                for v in &delivered_here {
+                    log.deliver(index, v.id);
+                }
+            }
+            for v in &delivered_here {
+                ctx.counter_add(metric::DELIVERED_BYTES, v.bytes as u64);
+                ctx.counter_add(metric::DELIVERED_MSGS, 1);
+                if v.proposer == self.me {
+                    ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
+                    if let Some(p) = self.prop.as_mut() {
+                        p.unacked.remove(&v.seq);
+                    }
+                }
+            }
+        }
+        self.flow_check(ctx);
+    }
+
+    /// Buffered (ready but unprocessed) instances at this learner:
+    /// consecutive instances from the delivery point that hold both
+    /// payload and decision but have not been handed to the application.
+    fn learner_buffered(&self) -> u32 {
+        // Cap the scan just past the flow-control threshold: callers only
+        // need to know which side of the threshold we are on, and an
+        // overloaded learner may buffer hundreds of thousands of
+        // instances (scanning them per event would be quadratic).
+        let cap = self.cfg.flow.learner_threshold.saturating_mul(2).max(16);
+        let Some(l) = self.lrn.as_ref() else { return 0 };
+        let mut i = l.next_deliver;
+        let mut n = 0;
+        while n < cap {
+            let ready = match (l.decided.get(&i), l.payloads.get(&i)) {
+                (Some(dr), Some((pr, _))) => dr == pr,
+                _ => false,
+            };
+            if !ready {
+                break;
+            }
+            n += 1;
+            i = i.next();
+        }
+        n
+    }
+
+    fn flow_check(&mut self, ctx: &mut Ctx) {
+        let buffered = self.learner_buffered();
+        let threshold = self.cfg.flow.learner_threshold;
+        let Some(l) = self.lrn.as_mut() else { return };
+        let index = l.index;
+        if buffered > threshold && !l.slowdown_active {
+            l.slowdown_active = true;
+            let pref = self.cfg.preferential_acceptor(index);
+            ctx.counter_add("rp.slowdown", 1);
+            ctx.udp_send(pref, MMsg::SlowDown, self.cfg.ctl_bytes);
+        } else if buffered < threshold / 2 {
+            l.slowdown_active = false;
+        }
+    }
+
+    fn gc_report(&mut self, ctx: &mut Ctx) {
+        let Some(l) = self.lrn.as_mut() else { return };
+        let applied = l.next_deliver;
+        if applied > l.applied_reported {
+            l.applied_reported = applied;
+            let pref = self.cfg.preferential_acceptor(l.index);
+            let me = self.me;
+            ctx.udp_send(pref, MMsg::Version { learner: me, applied }, self.cfg.ctl_bytes);
+        }
+        ctx.set_timer(self.cfg.gc_interval, TimerToken(T_GC));
+    }
+
+    fn retrans_check(&mut self, ctx: &mut Ctx) {
+        let Some(l) = self.lrn.as_mut() else { return };
+        let horizon = l
+            .payloads
+            .iter()
+            .next_back()
+            .map(|(&i, _)| i)
+            .max(l.decided.iter().next_back().map(|(&i, _)| i))
+            .unwrap_or(l.next_deliver);
+        // Only instances already visible at the previous check are fair
+        // game: anything newer is most likely still in flight.
+        let stale_horizon = l.prev_horizon.min(horizon);
+        let mut missing = Vec::new();
+        for i in l.next_deliver.0..stale_horizon.0 {
+            let i = InstanceId(i);
+            let ready = match (l.decided.get(&i), l.payloads.get(&i)) {
+                (Some(dr), Some((pr, _))) => dr == pr,
+                _ => false,
+            };
+            if !ready && !l.foreign.contains(&i) {
+                missing.push(i);
+            }
+            if missing.len() >= 64 {
+                break;
+            }
+        }
+        l.prev_horizon = horizon;
+        let l = self.lrn.as_ref().expect("learner");
+        if !missing.is_empty() {
+            let pref = self.cfg.preferential_acceptor(l.index);
+            let me = self.me;
+            ctx.udp_send(
+                pref,
+                MMsg::RetransReq { from: me, instances: missing },
+                self.cfg.ctl_bytes,
+            );
+        }
+        ctx.set_timer(Dur::millis(20), TimerToken(T_RETRANS));
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection (coordinator side)
+    // ------------------------------------------------------------------
+
+    fn on_version(&mut self, learner: NodeId, applied: InstanceId, ctx: &mut Ctx) {
+        if self.is_coordinator() {
+            let n_learners = self.cfg.learners.len();
+            let f_plus_1 = quorum(self.total_acceptors).min(n_learners.max(1));
+            let Some(c) = self.coord.as_mut() else { return };
+            let e = c.versions.entry(learner).or_insert(InstanceId(0));
+            *e = (*e).max(applied);
+            if c.versions.len() >= f_plus_1 {
+                let mut versions: Vec<InstanceId> = c.versions.values().copied().collect();
+                versions.sort_unstable();
+                // The f+1-th highest version is safe to collect below —
+                // minus a retention window so learners lagging behind
+                // that quorum keep a retransmission source (§3.3.7's
+                // catch-up from "a sufficiently recent" peer).
+                let idx = versions.len() - f_plus_1;
+                let watermark = InstanceId(versions[idx].0.saturating_sub(self.cfg.gc_retention));
+                if watermark > c.gc_watermark {
+                    let delta = watermark.0 - c.gc_watermark.0;
+                    c.gc_watermark = watermark;
+                    ctx.counter_add("rp.gc_advanced", delta);
+                    self.apply_gc(watermark);
+                }
+            }
+        } else if self.acc.is_some() {
+            // Forward along the ring towards the coordinator.
+            if let Some(succ) = self.cfg.successor(self.me) {
+                ctx.udp_send(succ, MMsg::Version { learner, applied }, self.cfg.ctl_bytes);
+            }
+        }
+    }
+
+    fn apply_gc(&mut self, upto: InstanceId) {
+        if let Some(a) = self.acc.as_mut() {
+            a.paxos.gc_below(upto);
+            a.decided = a.decided.split_off(&upto);
+            a.early_2b = a.early_2b.split_off(&upto);
+            a.skip_weights = a.skip_weights.split_off(&upto);
+            a.masks = a.masks.split_off(&upto);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failover (§3.3.5)
+    // ------------------------------------------------------------------
+
+    // ------------------------------------------------------------------
+    // Ring repair (§3.3.4/§3.3.5): the coordinator suspects a broken 2B
+    // relay, probes the acceptors, and lays out a new ring from the
+    // responders, pulling in spares to restore the m-quorum.
+    // ------------------------------------------------------------------
+
+    fn ring_repair_check(&mut self, ctx: &mut Ctx) {
+        enum Action {
+            Nothing,
+            Probe,
+            Reform,
+        }
+        let timeout = self.cfg.suspicion_timeout;
+        let now = ctx.now();
+        let action = {
+            let Some(c) = self.coord.as_ref() else { return };
+            match c.repair.as_ref() {
+                Some(r) if now.saturating_since(r.started) >= timeout / 2 => Action::Reform,
+                Some(_) => Action::Nothing,
+                None if !c.outstanding.is_empty()
+                    && now.saturating_since(c.last_progress) > timeout =>
+                {
+                    Action::Probe
+                }
+                None => Action::Nothing,
+            }
+        };
+        match action {
+            Action::Nothing => {}
+            Action::Probe => self.start_ring_probe(ctx),
+            Action::Reform => self.reform_ring(ctx),
+        }
+    }
+
+    fn start_ring_probe(&mut self, ctx: &mut Ctx) {
+        let me = self.me;
+        let targets: Vec<NodeId> = self
+            .cfg
+            .ring
+            .iter()
+            .chain(self.cfg.spares.iter())
+            .copied()
+            .filter(|&n| n != me)
+            .collect();
+        if let Some(c) = self.coord.as_mut() {
+            let mut responders = BTreeSet::new();
+            responders.insert(me);
+            c.repair = Some(RepairState { responders, started: ctx.now() });
+        }
+        ctx.counter_add("rp.ring_probe", 1);
+        for t in targets {
+            ctx.udp_send(t, MMsg::Ping { from: me }, self.cfg.ctl_bytes);
+        }
+    }
+
+    fn reform_ring(&mut self, ctx: &mut Ctx) {
+        let me = self.me;
+        let responders = {
+            let Some(c) = self.coord.as_mut() else { return };
+            let Some(r) = c.repair.take() else { return };
+            c.last_progress = ctx.now();
+            r.responders
+        };
+        // Keep the surviving ring segment in order, then pull in live
+        // spares until the ring again holds an m-quorum (§3.3.5).
+        let mut ring: Vec<NodeId> = self
+            .cfg
+            .ring
+            .iter()
+            .copied()
+            .filter(|&n| n != me && responders.contains(&n))
+            .collect();
+        let target = quorum(self.total_acceptors).saturating_sub(1);
+        for s in self.cfg.spares.clone() {
+            if ring.len() >= target {
+                break;
+            }
+            if s != me && responders.contains(&s) && !ring.contains(&s) {
+                ring.push(s);
+            }
+        }
+        ring.push(me);
+        if ring == self.cfg.ring {
+            return; // nothing to exclude — the stall was transient
+        }
+        if ring.len() < quorum(self.total_acceptors) {
+            // Cannot gather an m-quorum: keep the old ring, retry later.
+            ctx.counter_add("rp.repair_short", 1);
+            return;
+        }
+        // Demote excluded members to spares (a restarted acceptor can
+        // answer a later probe and rejoin).
+        for &old in &self.cfg.ring.clone() {
+            if !ring.contains(&old) && !self.cfg.spares.contains(&old) {
+                self.cfg.spares.push(old);
+            }
+        }
+        self.cfg.spares.retain(|s| !ring.contains(s));
+        self.cfg.ring = ring.clone();
+        ctx.counter_add("rp.ring_repair", 1);
+        let round = self.round;
+        ctx.mcast(self.cfg.group, MMsg::NewRing { round, coord: me, ring }, self.cfg.ctl_bytes);
+        // Restart the 2B relay for everything in flight: re-multicast the
+        // outstanding 2As — the duplicate-2A path makes the new first
+        // acceptor restart the vote relay.
+        let outstanding: Vec<(InstanceId, Batch, u32)> = {
+            let Some(c) = self.coord.as_mut() else { return };
+            c.outstanding
+                .iter_mut()
+                .map(|(&i, entry)| {
+                    entry.1 = ctx.now();
+                    (i, entry.0.clone(), entry.2)
+                })
+                .collect()
+        };
+        let decided_below = self.decided_below();
+        let ctl = self.cfg.ctl_bytes;
+        for (instance, batch, mask) in outstanding {
+            let wire = (batch_bytes(&batch).min(u32::MAX as u64) as u32).max(ctl);
+            let skip = self.skip_weight_of(instance);
+            let msg = MMsg::Phase2a {
+                instance,
+                round,
+                batch,
+                decisions: Rc::new(Vec::new()),
+                gc_upto: InstanceId(0),
+                skip,
+                mask,
+                decided_below,
+            };
+            self.mcast_2a(msg, mask, wire, ctx);
+        }
+    }
+
+    /// The skip weight this (coordinator-)acceptor recorded for
+    /// `instance` (0 for normal batches) — retransmitted 2As must repeat
+    /// it verbatim so every learner's merge sees identical weights.
+    fn skip_weight_of(&self, instance: InstanceId) -> u64 {
+        self.acc
+            .as_ref()
+            .and_then(|a| a.skip_weights.get(&instance))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn suspect_check(&mut self, ctx: &mut Ctx) {
+        let timeout = self.cfg.suspicion_timeout;
+        let Some(pos) = self.ring_pos() else { return };
+        if self.is_coordinator() || self.takeover.is_some() {
+            return;
+        }
+        let silent = {
+            let Some(a) = self.acc.as_ref() else { return };
+            ctx.now().saturating_since(a.last_coord_activity)
+        };
+        // Staggered takeover: ring position 0 reacts first, position 1
+        // after another timeout, and so on — avoids duelling candidates.
+        let my_delay = timeout + timeout * pos as u64;
+        if silent > my_delay {
+            self.start_takeover(ctx);
+        } else {
+            ctx.set_timer(timeout, TimerToken(T_SUSPECT));
+        }
+    }
+
+    fn start_takeover(&mut self, ctx: &mut Ctx) {
+        let pos = self.ring_pos().unwrap_or(0) as u32;
+        self.round = self.round.next_for(pos);
+        let round = self.round;
+        self.takeover = Some(Takeover {
+            round,
+            promises: BTreeSet::new(),
+            votes: BTreeMap::new(),
+            decided: BTreeSet::new(),
+        });
+        ctx.counter_add("rp.takeover", 1);
+        let me = self.me;
+        // Phase 1A to every acceptor (ring + spares), including ourselves.
+        let targets: Vec<NodeId> = self
+            .cfg
+            .ring
+            .iter()
+            .chain(self.cfg.spares.iter())
+            .copied()
+            .filter(|&n| n != me)
+            .collect();
+        for t in targets {
+            ctx.udp_send(t, MMsg::Phase1a { round, from: me }, self.cfg.ctl_bytes);
+        }
+        // Self-promise.
+        let self_votes = self.collect_own_votes(round);
+        self.on_phase1b(round, me, self_votes.0, self_votes.1, ctx);
+        // Retry suspicion in case the takeover stalls (lost messages).
+        ctx.set_timer(self.cfg.suspicion_timeout * 4, TimerToken(T_SUSPECT));
+    }
+
+    fn collect_own_votes(&mut self, round: Round) -> (Vec<(InstanceId, Round, Batch)>, Vec<InstanceId>) {
+        let Some(a) = self.acc.as_mut() else { return (Vec::new(), Vec::new()) };
+        match a.paxos.receive_1a(round) {
+            Some(paxos::msg::PaxosMsg::Phase1b { votes, .. }) => {
+                (votes, a.decided.iter().copied().collect())
+            }
+            _ => (Vec::new(), a.decided.iter().copied().collect()),
+        }
+    }
+
+    fn on_phase1a(&mut self, round: Round, from: NodeId, ctx: &mut Ctx) {
+        if round > self.round {
+            self.round = round;
+            // Abandon any personal takeover attempt against a higher round.
+            if self.takeover.as_ref().is_some_and(|t| t.round < round) {
+                self.takeover = None;
+            }
+            // Deposed coordinator stops proposing.
+            if self.coord.is_some() && self.cfg.coordinator() == self.me {
+                self.coord = None;
+            }
+            let (votes, decided) = self.collect_own_votes(round);
+            let me = self.me;
+            let wire = self.cfg.ctl_bytes
+                + votes
+                    .iter()
+                    .map(|(_, _, b)| batch_bytes(b) as u32)
+                    .sum::<u32>();
+            ctx.udp_send(from, MMsg::Phase1b { round, from: me, votes, decided }, wire);
+        }
+    }
+
+    fn on_phase1b(
+        &mut self,
+        round: Round,
+        from: NodeId,
+        votes: Vec<(InstanceId, Round, Batch)>,
+        decided: Vec<InstanceId>,
+        ctx: &mut Ctx,
+    ) {
+        let total = self.total_acceptors;
+        let Some(t) = self.takeover.as_mut() else { return };
+        if t.round != round {
+            return;
+        }
+        if !t.promises.insert(from) {
+            return;
+        }
+        for (i, r, b) in votes {
+            match t.votes.get(&i) {
+                Some((vr, _)) if *vr >= r => {}
+                _ => {
+                    t.votes.insert(i, (r, b));
+                }
+            }
+        }
+        t.decided.extend(decided);
+        if t.promises.len() >= quorum(total) {
+            self.become_coordinator(ctx);
+        }
+    }
+
+    fn become_coordinator(&mut self, ctx: &mut Ctx) {
+        let t = self.takeover.take().expect("takeover in progress");
+        // Reform the ring: alive members we can't verify, so keep the old
+        // ring minus the old coordinator, with ourselves last.
+        let old_coord = self.cfg.coordinator();
+        let mut ring: Vec<NodeId> =
+            self.cfg.ring.iter().copied().filter(|&n| n != old_coord && n != self.me).collect();
+        // Keep the ring at quorum size by pulling in spares (they have
+        // been receiving 2As all along — Cheap Paxos style, §3.3.2).
+        let needed = quorum(self.total_acceptors).saturating_sub(1);
+        for &s in &self.cfg.spares {
+            if ring.len() >= needed {
+                break;
+            }
+            if !ring.contains(&s) && s != self.me {
+                ring.push(s);
+            }
+        }
+        ring.push(self.me);
+        self.cfg.ring = ring.clone();
+        self.cfg.spares.retain(|s| !ring.contains(s));
+        let round = t.round;
+        self.round = round;
+
+        // Resume after the highest instance seen anywhere.
+        let max_seen = t
+            .votes
+            .keys()
+            .next_back()
+            .copied()
+            .max(t.decided.iter().next_back().copied())
+            .map(|i| i.next())
+            .unwrap_or(InstanceId(0));
+
+        let mut cs = CoordState {
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            next_instance: max_seen,
+            outstanding: BTreeMap::new(),
+            decided_unsent: t.decided.iter().map(|&i| (i, ALL_PARTITIONS)).collect(),
+            window: self.cfg.flow.initial_window,
+            last_slowdown: Time::ZERO,
+            last_mcast: ctx.now(),
+            versions: HashMap::new(),
+            gc_watermark: InstanceId(0),
+            logical_count: 0,
+            logical_target: 0,
+            last_progress: ctx.now(),
+            repair: None,
+        };
+
+        // Re-propose undecided revealed votes (value pick rule).
+        let mut repropose: Vec<(InstanceId, Batch)> = Vec::new();
+        for (i, (_r, b)) in &t.votes {
+            if !t.decided.contains(i) {
+                repropose.push((*i, b.clone()));
+            }
+        }
+
+        for (instance, batch) in &repropose {
+            cs.outstanding.insert(*instance, (batch.clone(), ctx.now(), ALL_PARTITIONS));
+        }
+        self.coord = Some(cs);
+
+        ctx.counter_add("rp.became_coord", 1);
+        ctx.mcast(
+            self.cfg.group,
+            MMsg::NewRing { round, coord: self.me, ring },
+            self.cfg.ctl_bytes,
+        );
+        // Re-run Phase 2 for the re-proposed instances.
+        for (instance, batch) in repropose {
+            if let Some(a) = self.acc.as_mut() {
+                let _ = a.paxos.receive_2a(instance, round, batch.clone());
+            }
+            let wire = batch_bytes(&batch).min(u32::MAX as u64) as u32;
+            ctx.mcast(
+                self.cfg.group,
+                MMsg::Phase2a {
+                    instance,
+                    round,
+                    batch,
+                    decisions: Rc::new(Vec::new()),
+                    gc_upto: InstanceId(0),
+                    skip: 0,
+                    mask: ALL_PARTITIONS,
+                    decided_below: InstanceId(0),
+                },
+                wire.max(self.cfg.ctl_bytes),
+            );
+        }
+        // Start coordinator timers.
+        ctx.set_timer(self.cfg.batch_timeout, TimerToken(T_BATCH));
+        ctx.set_timer(Dur::millis(100), TimerToken(T_FLOW));
+        ctx.set_timer(self.cfg.suspicion_timeout / 2, TimerToken(T_HEARTBEAT));
+        if let Some(skip) = self.cfg.skip {
+            ctx.set_timer(skip.delta, TimerToken(T_SKIP));
+        }
+    }
+
+    fn on_new_ring(&mut self, round: Round, coord: NodeId, ring: Vec<NodeId>, ctx: &mut Ctx) {
+        if round < self.round {
+            return;
+        }
+        self.round = round;
+        self.cfg.ring = ring;
+        if coord != self.me {
+            self.coord = None;
+            self.takeover = None;
+        }
+        if let Some(a) = self.acc.as_mut() {
+            a.last_coord_activity = ctx.now();
+        }
+        // Proposers redirect and resubmit anything unacknowledged —
+        // paced (T_RESUB), not burst: after a long outage the combined
+        // backlog of all proposers can exceed the switch port buffer and
+        // the drops would take out the recovering ring's 2B relay.
+        if let Some(p) = self.prop.as_mut() {
+            p.coordinator = coord;
+            p.resubmit_q = p.unacked.keys().copied().collect();
+            if !p.resubmit_q.is_empty() {
+                ctx.set_timer(Dur::ZERO, TimerToken(T_RESUB));
+            }
+        }
+    }
+
+    /// Drains a slice of the failover resubmission queue (~512 Mbps).
+    fn drain_resubmits(&mut self, ctx: &mut Ctx) {
+        let mut send = Vec::new();
+        let more = {
+            let Some(p) = self.prop.as_mut() else { return };
+            for _ in 0..16 {
+                let Some(seq) = p.resubmit_q.pop_front() else { break };
+                // Skip anything acknowledged while queued.
+                if let Some(v) = p.unacked.get(&seq) {
+                    send.push((p.coordinator, *v));
+                }
+            }
+            !p.resubmit_q.is_empty()
+        };
+        for (coord, v) in send {
+            ctx.udp_send(coord, MMsg::Propose(v), v.bytes);
+            ctx.counter_add("rp.resubmit", 1);
+        }
+        if more {
+            ctx.set_timer(Dur::millis(2), TimerToken(T_RESUB));
+        }
+    }
+}
+
+impl MRingProcess {
+    /// Lowest instance the coordinator has not yet decided: everything
+    /// below it is decided.
+    fn decided_below(&self) -> InstanceId {
+        self.coord
+            .as_ref()
+            .map(|c| c.outstanding.keys().next().copied().unwrap_or(c.next_instance))
+            .unwrap_or(InstanceId(0))
+    }
+
+    /// Proposes one consensus instance that stands for `weight` skipped
+    /// logical instances (Multi-Ring Paxos, ch. 5). Many skips cost one
+    /// consensus execution and a ~`ctl_bytes` message.
+    fn propose_skip(&mut self, weight: u64, ctx: &mut Ctx) {
+        let round = self.round;
+        let Some(c) = self.coord.as_mut() else { return };
+        let instance = c.next_instance;
+        c.next_instance = instance.next();
+        let batch: Batch = Rc::new(Vec::new());
+        c.outstanding.insert(instance, (batch.clone(), ctx.now(), ALL_PARTITIONS));
+        c.logical_count += weight;
+        let decisions = Rc::new(std::mem::take(&mut c.decided_unsent));
+        let gc_upto = c.gc_watermark;
+        c.last_mcast = ctx.now();
+        if let Some(a) = self.acc.as_mut() {
+            let _ = a.paxos.receive_2a(instance, round, batch.clone());
+            a.skip_weights.insert(instance, weight);
+        }
+        ctx.counter_add("rp.skips", weight);
+        let decided_below = self.decided_below();
+        ctx.mcast(
+            self.cfg.group,
+            MMsg::Phase2a {
+                instance,
+                round,
+                batch: batch.clone(),
+                decisions: decisions.clone(),
+                gc_upto,
+                skip: weight,
+                mask: ALL_PARTITIONS,
+                decided_below,
+            },
+            self.cfg.ctl_bytes,
+        );
+        let r = self.round;
+        self.learner_store(instance, &batch, ALL_PARTITIONS, r);
+        self.learner_decide(&decisions, r);
+        self.try_deliver(ctx);
+    }
+}
+
+impl Actor for MRingProcess {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if self.is_coordinator() {
+            ctx.set_timer(self.cfg.batch_timeout, TimerToken(T_BATCH));
+            ctx.set_timer(Dur::millis(100), TimerToken(T_FLOW));
+            ctx.set_timer(self.cfg.suspicion_timeout / 2, TimerToken(T_HEARTBEAT));
+            if let Some(skip) = self.cfg.skip {
+                ctx.set_timer(skip.delta, TimerToken(T_SKIP));
+            }
+        }
+        if self.prop.is_some() {
+            ctx.set_timer(Dur::ZERO, TimerToken(T_PACE));
+        }
+        if self.lrn.is_some() {
+            ctx.set_timer(self.cfg.gc_interval, TimerToken(T_GC));
+            ctx.set_timer(Dur::millis(20), TimerToken(T_RETRANS));
+        }
+        if self.acc.is_some() && !self.is_coordinator() {
+            ctx.set_timer(self.cfg.suspicion_timeout, TimerToken(T_SUSPECT));
+        }
+    }
+
+    fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
+        let Some(msg) = env.payload.downcast_ref::<MMsg>() else { return };
+        match msg {
+            MMsg::Propose(v) => self.on_propose(*v, ctx),
+            MMsg::Phase2a { instance, round, batch, decisions, gc_upto, skip, mask, decided_below } => {
+                let (instance, round, skip, mask) = (*instance, *round, *skip, *mask);
+                let batch = batch.clone();
+                let decisions = decisions.clone();
+                let (gc_upto, decided_below) = (*gc_upto, *decided_below);
+                // Acceptor path.
+                self.on_phase2a(instance, round, batch.clone(), ctx);
+                if let Some(a) = self.acc.as_mut() {
+                    for &(d, _) in decisions.iter() {
+                        a.decided.insert(d);
+                    }
+                    a.decided_below = a.decided_below.max(decided_below);
+                    if skip > 0 {
+                        a.skip_weights.insert(instance, skip);
+                    }
+                    if mask != ALL_PARTITIONS {
+                        a.masks.insert(instance, mask);
+                    }
+                }
+                // Learner path: payload plus piggybacked decisions.
+                self.learner_store(instance, &batch, mask, round);
+                self.learner_decide(&decisions, round);
+                if gc_upto > InstanceId(0) && !self.is_coordinator() {
+                    self.apply_gc(gc_upto);
+                }
+                self.try_deliver(ctx);
+            }
+            MMsg::Phase2b { instance, round } => self.on_phase2b(*instance, *round, ctx),
+            MMsg::Ping { from } => {
+                // Any live acceptor (ring member or spare) answers.
+                if self.acc.is_some() {
+                    let me = self.me;
+                    ctx.udp_send(*from, MMsg::Pong { from: me }, self.cfg.ctl_bytes);
+                }
+            }
+            MMsg::Pong { from } => {
+                if let Some(c) = self.coord.as_mut() {
+                    if let Some(r) = c.repair.as_mut() {
+                        r.responders.insert(*from);
+                    }
+                }
+            }
+            MMsg::Decision { instances, round, gc_upto, decided_below } => {
+                let instances = instances.clone();
+                let (round, gc_upto, decided_below) = (*round, *gc_upto, *decided_below);
+                if let Some(a) = self.acc.as_mut() {
+                    a.last_coord_activity = ctx.now();
+                    for &(d, _) in instances.iter() {
+                        a.decided.insert(d);
+                    }
+                    a.decided_below = a.decided_below.max(decided_below);
+                }
+                self.learner_decide(&instances, round);
+                if gc_upto > InstanceId(0) && !self.is_coordinator() {
+                    self.apply_gc(gc_upto);
+                }
+                self.try_deliver(ctx);
+            }
+            MMsg::SlowDown => {
+                if self.is_coordinator() {
+                    let min = self.cfg.flow.min_window;
+                    let Some(c) = self.coord.as_mut() else { return };
+                    c.window = (c.window / 2).max(min);
+                    c.last_slowdown = ctx.now();
+                } else if self.acc.is_some() {
+                    if let Some(succ) = self.cfg.successor(self.me) {
+                        ctx.udp_send(succ, MMsg::SlowDown, self.cfg.ctl_bytes);
+                    }
+                }
+            }
+            MMsg::RetransReq { from, instances } => {
+                let (from, instances) = (*from, instances.clone());
+                self.on_retrans_req(from, &instances, ctx);
+            }
+            MMsg::RetransRep { instance, batch, decided, round, skip, mask } => {
+                let (instance, decided, round, mask) = (*instance, *decided, *round, *mask);
+                let _ = skip;
+                let batch = batch.clone();
+                if decided {
+                    if mask & self.lrn.as_ref().map(|l| l.my_mask).unwrap_or(ALL_PARTITIONS) == 0 {
+                        self.learner_decide(&[(instance, mask)], round);
+                    } else {
+                        // The acceptor vouches this vote decided: pin
+                        // payload and decision to the vote's round.
+                        self.learner_authoritative(instance, &batch, round);
+                    }
+                } else {
+                    self.learner_store(instance, &batch, mask, round);
+                }
+                self.try_deliver(ctx);
+            }
+            MMsg::Version { learner, applied } => self.on_version(*learner, *applied, ctx),
+            MMsg::Phase1a { round, from } => self.on_phase1a(*round, *from, ctx),
+            MMsg::Phase1b { round, from, votes, decided } => {
+                let (round, from) = (*round, *from);
+                let votes = votes.clone();
+                let decided = decided.clone();
+                self.on_phase1b(round, from, votes, decided, ctx);
+            }
+            MMsg::NewRing { round, coord, ring } => {
+                let (round, coord) = (*round, *coord);
+                let ring = ring.clone();
+                self.on_new_ring(round, coord, ring, ctx);
+            }
+            MMsg::Heartbeat { round, coord, ring } => {
+                if *round > self.round {
+                    // Missed the NewRing (restart after pause): resync.
+                    let (round, coord) = (*round, *coord);
+                    let ring = ring.clone();
+                    self.on_new_ring(round, coord, ring, ctx);
+                } else if *round == self.round {
+                    if let Some(a) = self.acc.as_mut() {
+                        a.last_coord_activity = ctx.now();
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
+        match token_kind(token) {
+            T_BATCH => {
+                if self.is_coordinator() {
+                    self.try_flush(ctx, true);
+                    if self.cfg.partitions.is_some() {
+                        self.flush_decisions(ctx);
+                    }
+                    ctx.set_timer(self.cfg.batch_timeout, TimerToken(T_BATCH));
+                }
+            }
+            T_PACE => self.pace(ctx),
+            T_RESUB => self.drain_resubmits(ctx),
+            T_GC => self.gc_report(ctx),
+            T_FLOW => {
+                if self.is_coordinator() {
+                    let flow = self.cfg.flow;
+                    let round = self.round;
+                    let group = self.cfg.group;
+                    let ctl = self.cfg.ctl_bytes;
+                    let Some(c) = self.coord.as_mut() else { return };
+                    if ctx.now().saturating_since(c.last_slowdown) > flow.recovery_quiet {
+                        c.window = (c.window + (c.window / 4).max(1)).min(flow.max_window);
+                    }
+                    // Retransmit 2As whose decision is overdue (a lost
+                    // multicast would otherwise stall the ring, §3.3.4).
+                    let overdue: Vec<(InstanceId, Batch, u32)> = c
+                        .outstanding
+                        .iter()
+                        .filter(|(_, (_, at, _))| {
+                            ctx.now().saturating_since(*at) > Dur::millis(50)
+                        })
+                        .take(64)
+                        .map(|(&i, (b, _, m))| (i, b.clone(), *m))
+                        .collect();
+                    let _ = group;
+                    for (instance, batch, mask) in overdue {
+                        if let Some(c) = self.coord.as_mut() {
+                            if let Some((_, at, _)) = c.outstanding.get_mut(&instance) {
+                                *at = ctx.now();
+                            }
+                        }
+                        let wire = (batch_bytes(&batch).min(u32::MAX as u64) as u32).max(ctl);
+                        ctx.counter_add("rp.re2a", 1);
+                        let decided_below = self.decided_below();
+                        // The retransmission must carry the instance's
+                        // original skip weight: learners feed it to the
+                        // deterministic merge, and a weight that differs
+                        // from the original 2A's would desynchronize the
+                        // merge turn structure across replicas.
+                        let skip = self.skip_weight_of(instance);
+                        let msg = MMsg::Phase2a {
+                            instance,
+                            round,
+                            batch,
+                            decisions: Rc::new(Vec::new()),
+                            gc_upto: InstanceId(0),
+                            skip,
+                            mask,
+                            decided_below,
+                        };
+                        self.mcast_2a(msg, mask, wire, ctx);
+                    }
+                    self.try_flush(ctx, false);
+                    self.ring_repair_check(ctx);
+                    ctx.set_timer(Dur::millis(100), TimerToken(T_FLOW));
+                }
+            }
+            T_DELIVER => self.try_deliver(ctx),
+            T_RETRANS => self.retrans_check(ctx),
+            T_SUSPECT => self.suspect_check(ctx),
+            T_HEARTBEAT => {
+                if self.is_coordinator() {
+                    let quiet = {
+                        let c = self.coord.as_ref().expect("coordinator");
+                        ctx.now().saturating_since(c.last_mcast)
+                    };
+                    if quiet >= self.cfg.suspicion_timeout / 2 {
+                        let round = self.round;
+                        let coord = self.me;
+                        let ring = self.cfg.ring.clone();
+                        ctx.mcast(
+                            self.cfg.group,
+                            MMsg::Heartbeat { round, coord, ring },
+                            self.cfg.ctl_bytes,
+                        );
+                        if let Some(c) = self.coord.as_mut() {
+                            c.last_mcast = ctx.now();
+                        }
+                    }
+                    ctx.set_timer(self.cfg.suspicion_timeout / 2, TimerToken(T_HEARTBEAT));
+                }
+            }
+            T_DISK => {
+                // A synchronous vote write completed.
+                let instance = InstanceId(token_payload(token));
+                let round = self.round;
+                let is_first = self.ring_pos() == Some(0);
+                if let Some(a) = self.acc.as_mut() {
+                    a.awaiting_disk.remove(&instance);
+                }
+                self.after_vote_durable(instance, round, is_first, ctx);
+            }
+            T_SKIP => {
+                if let (true, Some(skip)) = (self.is_coordinator(), self.cfg.skip) {
+                    let target_inc =
+                        skip.lambda_per_sec * skip.delta.as_nanos() / 1_000_000_000;
+                    let deficit = {
+                        let Some(c) = self.coord.as_mut() else { return };
+                        c.logical_target += target_inc;
+                        c.logical_target.saturating_sub(c.logical_count)
+                    };
+                    if deficit > 0 {
+                        self.propose_skip(deficit, ctx);
+                    }
+                    ctx.set_timer(skip.delta, TimerToken(T_SKIP));
+                }
+            }
+            T_VOTE_RETRY => {
+                let payload = token_payload(token);
+                if payload == u64::MAX >> 8 {
+                    return; // fire-and-forget async write completion
+                }
+                let is_first = payload & (1 << 55) != 0;
+                let instance = InstanceId(payload & !(1 << 55));
+                let round = self.round;
+                self.after_vote_durable(instance, round, is_first, ctx);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Wire messages of the Ring Paxos protocols.
+
+use std::rc::Rc;
+
+use paxos::msg::{InstanceId, Round};
+use simnet::ids::NodeId;
+
+use crate::value::{Batch, Value};
+
+/// Messages exchanged by M-Ring Paxos processes (Algorithm 2 plus the
+/// engineering machinery of §3.3.4–§3.3.7).
+#[derive(Clone, Debug)]
+pub enum MMsg {
+    /// Proposer submits a value to the coordinator.
+    Propose(Value),
+    /// Coordinator ip-multicasts a proposal; decisions of earlier
+    /// instances and the GC watermark ride along (§3.3.2 optimization).
+    Phase2a {
+        /// Consensus instance of this batch.
+        instance: InstanceId,
+        /// Coordinator's round.
+        round: Round,
+        /// The proposed batch of values.
+        batch: Batch,
+        /// Instances decided since the last packet, with each instance's
+        /// partition mask (piggybacked DECISION).
+        decisions: Rc<Vec<(InstanceId, u32)>>,
+        /// Acceptors may discard state below this instance (§3.3.7).
+        gc_upto: InstanceId,
+        /// Logical instances this batch stands for beyond itself:
+        /// `0` for a normal batch; a skip batch (Multi-Ring Paxos, ch. 5)
+        /// carries an empty value list and the number of instances being
+        /// skipped in one consensus execution.
+        skip: u64,
+        /// Partition mask of this batch (`ALL_PARTITIONS` when classic).
+        mask: u32,
+        /// Every instance below this is decided (the coordinator's lowest
+        /// outstanding instance). Lets acceptors answer retransmission
+        /// requests authoritatively even if an individual decision
+        /// notification was lost.
+        decided_below: InstanceId,
+    },
+    /// Vote relayed along the ring; reaching the coordinator completes the
+    /// quorum.
+    Phase2b {
+        /// Voted instance.
+        instance: InstanceId,
+        /// Voted round.
+        round: Round,
+    },
+    /// Standalone decision notification (when there is no 2A to piggyback
+    /// on).
+    Decision {
+        /// Newly decided instances with their partition masks.
+        instances: Rc<Vec<(InstanceId, u32)>>,
+        /// Round in which these instances were decided — learners match
+        /// it against the round of their buffered payload, the moral
+        /// equivalent of the paper's consensus-on-value-ids (`c-vid`).
+        round: Round,
+        /// GC watermark.
+        gc_upto: InstanceId,
+        /// Every instance below this is decided.
+        decided_below: InstanceId,
+    },
+    /// Learner → acceptor → … → coordinator: slow down (§3.3.6).
+    SlowDown,
+    /// Learner asks its preferential acceptor for lost instances (§3.3.4).
+    RetransReq {
+        /// Requesting learner.
+        from: NodeId,
+        /// Instances whose payload or decision is missing.
+        instances: Vec<InstanceId>,
+    },
+    /// Retransmission of one instance to a learner.
+    RetransRep {
+        /// The instance.
+        instance: InstanceId,
+        /// Its batch (the acceptor's stored vote).
+        batch: Batch,
+        /// Whether the acceptor knows it decided.
+        decided: bool,
+        /// Round of the acceptor's stored vote.
+        round: Round,
+        /// Skip weight of the batch (see [`MMsg::Phase2a::skip`]).
+        skip: u64,
+        /// Partition mask of the batch.
+        mask: u32,
+    },
+    /// Learner reports its applied version for garbage collection.
+    Version {
+        /// Reporting learner.
+        learner: NodeId,
+        /// Highest instance applied, plus one.
+        applied: InstanceId,
+    },
+    /// Failover: candidate coordinator starts a higher round.
+    Phase1a {
+        /// New round.
+        round: Round,
+        /// Candidate node.
+        from: NodeId,
+    },
+    /// Failover: acceptor's promise with its vote state.
+    Phase1b {
+        /// Promised round.
+        round: Round,
+        /// Promising acceptor.
+        from: NodeId,
+        /// Votes: `(instance, v-rnd, batch)`.
+        votes: Vec<(InstanceId, Round, Batch)>,
+        /// Instances the acceptor knows are decided.
+        decided: Vec<InstanceId>,
+    },
+    /// New coordinator announces itself and the reformed ring.
+    NewRing {
+        /// The new round.
+        round: Round,
+        /// The new coordinator.
+        coord: NodeId,
+        /// Acceptors in new ring order (coordinator last).
+        ring: Vec<NodeId>,
+    },
+    /// Ring repair (§3.3.4/§3.3.5): the coordinator probes the acceptors
+    /// when the 2B relay stalls, before laying out a new ring that
+    /// excludes the silent process.
+    Ping {
+        /// The probing coordinator.
+        from: NodeId,
+    },
+    /// An acceptor's liveness reply to a [`MMsg::Ping`].
+    Pong {
+        /// The responding acceptor.
+        from: NodeId,
+    },
+    /// Keep-alive multicast by an idle coordinator. Carries the ring
+    /// layout so processes that missed a `NewRing` (e.g., restarted after
+    /// a pause) resynchronize.
+    Heartbeat {
+        /// Coordinator's round.
+        round: Round,
+        /// The coordinator.
+        coord: NodeId,
+        /// Current ring layout.
+        ring: Vec<NodeId>,
+    },
+}
+
+/// Messages of U-Ring Paxos (Algorithm 3). All travel over TCP between
+/// ring neighbours.
+#[derive(Clone, Debug)]
+pub enum UMsg {
+    /// A value forwarded along the ring towards the coordinator (Task 1).
+    Forward(Value),
+    /// Combined Phase 2A/2B travelling down the acceptor segment.
+    Phase2ab {
+        /// Consensus instance.
+        instance: InstanceId,
+        /// Round.
+        round: Round,
+        /// Proposed batch.
+        batch: Batch,
+    },
+    /// Decision circulating the ring (Task 5). The batch object rides
+    /// along for delivery, but each value's bytes are only charged on the
+    /// wire until the hop before its proposer — every payload crosses
+    /// every link exactly once, which is what makes U-Ring Paxos ~90%
+    /// efficient (Table 3.2).
+    Decision {
+        /// Decided instance.
+        instance: InstanceId,
+        /// The decided batch.
+        batch: Batch,
+        /// How many more hops the decision id must travel.
+        id_hops_left: u32,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abcast::MsgId;
+    use simnet::time::Time;
+
+    #[test]
+    fn messages_are_cheap_to_clone() {
+        let batch: Batch = Rc::new(vec![Value {
+            id: MsgId(1),
+            proposer: NodeId(0),
+            seq: 0,
+            bytes: 8192,
+            submitted: Time::ZERO,
+            mask: crate::value::ALL_PARTITIONS,
+        }]);
+        let m = MMsg::Phase2a {
+            instance: InstanceId(0),
+            round: Round::ZERO,
+            batch: batch.clone(),
+            decisions: Rc::new(vec![]),
+            gc_upto: InstanceId(0),
+            skip: 0,
+            mask: crate::value::ALL_PARTITIONS,
+            decided_below: InstanceId(0),
+        };
+        let m2 = m.clone();
+        assert!(matches!(m2, MMsg::Phase2a { .. }));
+        assert_eq!(Rc::strong_count(&batch), 3);
+    }
+}

@@ -1,0 +1,436 @@
+//! Unicast-based Ring Paxos (U-Ring Paxos, thesis Algorithm 3).
+//!
+//! All processes — proposers, acceptors (the coordinator first), and
+//! learners — sit on one logical directed ring connected by TCP links.
+//! Values travel the ring to the coordinator (Task 1); the coordinator
+//! emits combined `Phase2a/2b` messages that accumulate votes down the
+//! acceptor segment; the *last* acceptor detects the decision (Task 4) and
+//! the decision circulates the rest of the ring, carrying the chosen batch
+//! to the processes that have not seen it (Task 5).
+//!
+//! Flow control is inherent: TCP back-pressure between neighbours plus a
+//! bounded window of outstanding consensus instances (§3.3.6).
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use abcast::{metric, MsgId, Pacer, SharedLog};
+use paxos::acceptor::Acceptor;
+use paxos::msg::{InstanceId, Round};
+use simnet::prelude::*;
+
+use crate::config::{StorageMode, URingConfig};
+use crate::msg::UMsg;
+use crate::value::{batch_bytes, Batch, Value};
+
+const T_BATCH: u64 = 1 << 56;
+const T_PACE: u64 = 2 << 56;
+const T_DISK: u64 = 9 << 56;
+const KIND_MASK: u64 = 0xff << 56;
+
+/// Coordinator-only state.
+struct UCoord {
+    pending: VecDeque<Value>,
+    pending_bytes: u64,
+    next_instance: InstanceId,
+    outstanding: BTreeSet<InstanceId>,
+}
+
+/// One U-Ring Paxos process.
+pub struct URingProcess {
+    cfg: URingConfig,
+    me: NodeId,
+    pos: usize,
+    round: Round,
+    coord: Option<UCoord>,
+    acceptor: Option<Acceptor<Batch>>,
+    /// Learner state: buffered decisions waiting for in-order delivery.
+    learner: Option<ULearner>,
+    prop: Option<UProposer>,
+    log: Option<SharedLog>,
+    /// Phase2ab messages awaiting a pending sync disk write, per instance.
+    disk_pending: BTreeMap<InstanceId, (Round, Batch)>,
+}
+
+struct ULearner {
+    index: usize,
+    ready: BTreeMap<InstanceId, Batch>,
+    next_deliver: InstanceId,
+    delivered_ids: HashSet<MsgId>,
+}
+
+struct UProposer {
+    pacer: Pacer,
+    next_seq: u64,
+    /// Values proposed but not yet observed delivered locally.
+    inflight: u32,
+}
+
+impl URingProcess {
+    /// Creates the process at ring position `pos` (must host node `me`).
+    pub fn new(
+        cfg: URingConfig,
+        pos: usize,
+        proposer: Option<Pacer>,
+        learner_log: Option<SharedLog>,
+    ) -> URingProcess {
+        let me = cfg.ring[pos];
+        // Phase 1 pre-executed at deployment: round 1 owned by position 0.
+        let round = Round::new(1, 0);
+        let is_coord = pos == 0;
+        let is_acceptor = cfg.acceptor_positions.contains(&pos);
+        let learner_index = cfg.learner_positions.iter().position(|&p| p == pos);
+        let coord = is_coord.then(|| UCoord {
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            next_instance: InstanceId(0),
+            outstanding: BTreeSet::new(),
+        });
+        let acceptor = is_acceptor.then(|| {
+            let mut a = Acceptor::new();
+            let _ = a.receive_1a(round);
+            a
+        });
+        let learner = learner_index.map(|index| ULearner {
+            index,
+            ready: BTreeMap::new(),
+            next_deliver: InstanceId(0),
+            delivered_ids: HashSet::new(),
+        });
+        URingProcess {
+            cfg,
+            me,
+            pos,
+            round,
+            coord,
+            acceptor,
+            learner,
+            prop: proposer.map(|pacer| UProposer { pacer, next_seq: 0, inflight: 0 }),
+            log: learner_log,
+            disk_pending: BTreeMap::new(),
+        }
+    }
+
+    fn successor(&self) -> NodeId {
+        self.cfg.successor_of(self.pos)
+    }
+
+    /// Wire bytes charged for carrying `batch` on the hop into ring
+    /// position `next_pos`. A value's payload is omitted once the
+    /// receiving process has already seen it: it proposed the value, it
+    /// relayed the value towards the coordinator (Task 1), it is the
+    /// coordinator, or — for decision hops — it already received the
+    /// payload in the Phase 2A/2B segment. This realizes the paper's rule
+    /// that chosen-value forwarding ends at the predecessor of the
+    /// proposer (Task 5): each payload crosses each link exactly once,
+    /// which is what makes U-Ring Paxos ~90% efficient (Table 3.2).
+    fn hop_bytes(&self, batch: &Batch, next_pos: usize, decision_hop: bool) -> u32 {
+        let last = self.cfg.last_acceptor_pos();
+        let mut bytes = 0u64;
+        for v in batch.iter() {
+            let p = self.cfg.ring.iter().position(|&n| n == v.proposer);
+            let needed = if next_pos == 0 {
+                false // the coordinator assembled the batch
+            } else if decision_hop && next_pos <= last {
+                false // acceptor segment got the payload in Phase 2A/2B
+            } else {
+                match p {
+                    Some(0) | None => true,
+                    // Positions after the proposer relayed the value on
+                    // its way to the coordinator.
+                    Some(p) => next_pos < p,
+                }
+            };
+            if needed {
+                bytes += v.bytes as u64;
+            }
+        }
+        (bytes.min(u32::MAX as u64) as u32).max(self.cfg.ctl_bytes)
+    }
+
+    fn next_pos(&self) -> usize {
+        (self.pos + 1) % self.cfg.ring.len()
+    }
+
+    fn pace(&mut self, ctx: &mut Ctx) {
+        // TCP back-pressure: a real proposer blocks in `send` when the
+        // socket buffer to its successor is full (§3.3.6). We shed the
+        // tick instead (the pacer self-clocks to the sustainable rate).
+        let full_buffer = self
+            .prop
+            .as_ref()
+            .is_some_and(|p| p.inflight >= self.cfg.proposer_inflight);
+        let blocked = full_buffer
+            || if self.coord.is_some() {
+                self.coord.as_ref().is_some_and(|c| c.pending_bytes > 4 * 1024 * 1024)
+            } else {
+                ctx.tcp_backlog(self.successor()) > 4 * 1024 * 1024
+            };
+        if blocked {
+            ctx.counter_add("rp.shed", 1);
+            let interval =
+                self.prop.as_ref().map(|p| p.pacer.interval()).unwrap_or(Dur::millis(1));
+            // Consume the missed slots so load does not pile up.
+            if let Some(p) = self.prop.as_mut() {
+                let _ = p.pacer.due(ctx.now());
+            }
+            ctx.set_timer(interval, TimerToken(T_PACE));
+            return;
+        }
+        let Some(p) = self.prop.as_mut() else { return };
+        let due = p.pacer.due(ctx.now());
+        let bytes = p.pacer.msg_bytes();
+        let interval = p.pacer.interval();
+        let mut new_values = Vec::new();
+        for _ in 0..due {
+            let seq = p.next_seq;
+            p.next_seq += 1;
+            new_values.push(Value {
+                id: MsgId(((self.me.0 as u64) << 40) | seq),
+                proposer: self.me,
+                seq,
+                bytes,
+                submitted: ctx.now(),
+                mask: crate::value::ALL_PARTITIONS,
+            });
+        }
+        for v in new_values {
+            ctx.counter_add("rp.proposed", 1);
+            if let Some(p) = self.prop.as_mut() {
+                p.inflight += 1;
+            }
+            if self.coord.is_some() {
+                self.enqueue(v, ctx);
+            } else {
+                ctx.tcp_send(self.successor(), UMsg::Forward(v), v.bytes);
+            }
+        }
+        ctx.set_timer(interval, TimerToken(T_PACE));
+    }
+
+    fn enqueue(&mut self, v: Value, ctx: &mut Ctx) {
+        let Some(c) = self.coord.as_mut() else { return };
+        c.pending.push_back(v);
+        c.pending_bytes += v.bytes as u64;
+        self.try_flush(ctx, false);
+    }
+
+    fn try_flush(&mut self, ctx: &mut Ctx, force: bool) {
+        loop {
+            let Some(c) = self.coord.as_mut() else { return };
+            let window_open = (c.outstanding.len() as u32) < self.cfg.window;
+            let full = c.pending_bytes >= self.cfg.packet_bytes as u64;
+            let partial = force && !c.pending.is_empty();
+            if !(window_open && (full || partial)) {
+                return;
+            }
+            let mut vals = Vec::new();
+            let mut bytes = 0u64;
+            while let Some(v) = c.pending.front() {
+                if !vals.is_empty() && bytes + v.bytes as u64 > self.cfg.packet_bytes as u64 {
+                    break;
+                }
+                let v = c.pending.pop_front().expect("front checked");
+                c.pending_bytes -= v.bytes as u64;
+                bytes += v.bytes as u64;
+                vals.push(v);
+            }
+            let batch: Batch = Rc::new(vals);
+            let instance = c.next_instance;
+            c.next_instance = instance.next();
+            c.outstanding.insert(instance);
+            // The coordinator is the first acceptor: vote locally.
+            if let Some(a) = self.acceptor.as_mut() {
+                let _ = a.receive_2a(instance, self.round, batch.clone());
+            }
+            let round = self.round;
+            let _ = bytes;
+            let wire = self.hop_bytes(&batch, self.next_pos(), false);
+            let succ = self.successor();
+            ctx.counter_add(metric::INSTANCES, 1);
+            if self.cfg.last_acceptor_pos() == 0 {
+                // Degenerate single-acceptor ring: the coordinator is also
+                // the last acceptor and decides immediately.
+                let ring_len = self.cfg.ring.len() as u32;
+                self.learner_ready(instance, &batch, ctx);
+                if ring_len > 1 {
+                    ctx.tcp_send(
+                        succ,
+                        UMsg::Decision { instance, batch, id_hops_left: ring_len - 1 },
+                        wire,
+                    );
+                }
+                // The originator will not see its own decision circulate
+                // back (it stops at the predecessor): close it here.
+                if let Some(c) = self.coord.as_mut() {
+                    c.outstanding.remove(&instance);
+                }
+                continue;
+            }
+            ctx.tcp_send(succ, UMsg::Phase2ab { instance, round, batch }, wire);
+        }
+    }
+
+    fn on_phase2ab(&mut self, instance: InstanceId, round: Round, batch: Batch, ctx: &mut Ctx) {
+        if round != self.round {
+            return;
+        }
+        if self.acceptor.is_none() {
+            // Not an acceptor (non-contiguous layout): just relay.
+            let wire = self.hop_bytes(&batch, self.next_pos(), false);
+            ctx.tcp_send(self.successor(), UMsg::Phase2ab { instance, round, batch }, wire);
+            return;
+        }
+        match self.cfg.storage {
+            StorageMode::InMemory => self.vote_and_forward(instance, round, batch, ctx),
+            StorageMode::SyncDisk => {
+                let bytes = (batch_bytes(&batch).min(u32::MAX as u64) as u32).max(1);
+                self.disk_pending.insert(instance, (round, batch));
+                ctx.disk_write_coalesced(bytes, self.cfg.disk_unit, TimerToken(T_DISK | instance.0));
+            }
+            StorageMode::AsyncDisk => {
+                let bytes = (batch_bytes(&batch).min(u32::MAX as u64) as u32).max(1);
+                ctx.disk_write_coalesced(bytes, self.cfg.disk_unit, TimerToken(T_DISK | (u64::MAX >> 8)));
+                self.vote_and_forward(instance, round, batch, ctx);
+            }
+        }
+    }
+
+    fn vote_and_forward(&mut self, instance: InstanceId, round: Round, batch: Batch, ctx: &mut Ctx) {
+        if let Some(a) = self.acceptor.as_mut() {
+            if a.receive_2a(instance, round, batch.clone()).is_none() {
+                return;
+            }
+        }
+        let ring_len = self.cfg.ring.len() as u32;
+        if self.pos == self.cfg.last_acceptor_pos() {
+            // Task 4: the last acceptor detects the decision and starts
+            // circulating it with the chosen batch.
+            let id_hops = ring_len - 1;
+            self.learner_ready(instance, &batch, ctx);
+            let wire = self.hop_bytes(&batch, self.next_pos(), true);
+            ctx.tcp_send(
+                self.successor(),
+                UMsg::Decision { instance, batch, id_hops_left: id_hops },
+                wire,
+            );
+        } else {
+            let wire = self.hop_bytes(&batch, self.next_pos(), false);
+            ctx.tcp_send(self.successor(), UMsg::Phase2ab { instance, round, batch }, wire);
+        }
+    }
+
+    fn on_decision(&mut self, instance: InstanceId, batch: Batch, id_hops_left: u32, ctx: &mut Ctx) {
+        self.learner_ready(instance, &batch, ctx);
+        if self.coord.is_some() {
+            if let Some(c) = self.coord.as_mut() {
+                c.outstanding.remove(&instance);
+            }
+            self.try_flush(ctx, false);
+        }
+        if id_hops_left > 1 {
+            let wire = self.hop_bytes(&batch, self.next_pos(), true);
+            ctx.tcp_send(
+                self.successor(),
+                UMsg::Decision { instance, batch, id_hops_left: id_hops_left - 1 },
+                wire,
+            );
+        }
+    }
+
+    fn learner_ready(&mut self, instance: InstanceId, batch: &Batch, ctx: &mut Ctx) {
+        let Some(l) = self.learner.as_mut() else { return };
+        if instance >= l.next_deliver {
+            l.ready.entry(instance).or_insert_with(|| batch.clone());
+        }
+        // U-Ring Paxos lets a learner process a decision before forwarding
+        // it (§3.3.6) — delivery happens inline, in instance order.
+        loop {
+            let Some(l) = self.learner.as_mut() else { return };
+            let Some(b) = l.ready.remove(&l.next_deliver) else { return };
+            l.next_deliver = l.next_deliver.next();
+            let index = l.index;
+            let mut fresh = Vec::new();
+            for v in b.iter() {
+                if l.delivered_ids.insert(v.id) {
+                    fresh.push(*v);
+                }
+            }
+            if let Some(log) = self.log.as_ref() {
+                let mut log = log.borrow_mut();
+                for v in &fresh {
+                    log.deliver(index, v.id);
+                }
+            }
+            for v in &fresh {
+                ctx.counter_add(metric::DELIVERED_BYTES, v.bytes as u64);
+                ctx.counter_add(metric::DELIVERED_MSGS, 1);
+                if v.proposer == self.me {
+                    ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
+                    if let Some(p) = self.prop.as_mut() {
+                        p.inflight = p.inflight.saturating_sub(1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Actor for URingProcess {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        if self.coord.is_some() {
+            ctx.set_timer(self.cfg.batch_timeout, TimerToken(T_BATCH));
+        }
+        if self.prop.is_some() {
+            ctx.set_timer(Dur::ZERO, TimerToken(T_PACE));
+        }
+    }
+
+    fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
+        let Some(msg) = env.payload.downcast_ref::<UMsg>() else { return };
+        match msg {
+            UMsg::Forward(v) => {
+                let v = *v;
+                if self.coord.is_some() {
+                    self.enqueue(v, ctx);
+                } else {
+                    ctx.tcp_send(self.successor(), UMsg::Forward(v), v.bytes);
+                }
+            }
+            UMsg::Phase2ab { instance, round, batch } => {
+                let (instance, round) = (*instance, *round);
+                let batch = batch.clone();
+                self.on_phase2ab(instance, round, batch, ctx);
+            }
+            UMsg::Decision { instance, batch, id_hops_left } => {
+                let (instance, ih) = (*instance, *id_hops_left);
+                let batch = batch.clone();
+                self.on_decision(instance, batch, ih, ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
+        match token.0 & KIND_MASK {
+            T_BATCH => {
+                if self.coord.is_some() {
+                    self.try_flush(ctx, true);
+                    ctx.set_timer(self.cfg.batch_timeout, TimerToken(T_BATCH));
+                }
+            }
+            T_PACE => self.pace(ctx),
+            T_DISK => {
+                let payload = token.0 & !KIND_MASK;
+                if payload == u64::MAX >> 8 {
+                    return;
+                }
+                let instance = InstanceId(payload);
+                if let Some((round, batch)) = self.disk_pending.remove(&instance) {
+                    self.vote_and_forward(instance, round, batch, ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Dynamically-typed message payloads.
+//!
+//! Protocol crates each define their own message enums; the simulator moves
+//! them around as cheaply-clonable, dynamically-typed [`Payload`] handles.
+//! Receivers recover the concrete type with [`Payload::downcast_ref`].
+//!
+//! The simulation is single-threaded by design (determinism), so payloads
+//! use `Rc` internally and multicast fan-out is a reference-count bump.
+
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+/// A reference-counted, dynamically-typed message body.
+#[derive(Clone)]
+pub struct Payload(Rc<dyn Any>);
+
+impl Payload {
+    /// Wraps a concrete message value.
+    pub fn new<T: Any>(value: T) -> Payload {
+        Payload(Rc::new(value))
+    }
+
+    /// Returns a reference to the payload if it is a `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+
+    /// Whether the payload is a `T`.
+    pub fn is<T: Any>(&self) -> bool {
+        self.0.is::<T>()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Payload(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Ping(u32);
+
+    #[test]
+    fn downcast_recovers_value() {
+        let p = Payload::new(Ping(7));
+        assert!(p.is::<Ping>());
+        assert_eq!(p.downcast_ref::<Ping>(), Some(&Ping(7)));
+        assert!(p.downcast_ref::<String>().is_none());
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let p = Payload::new(Ping(9));
+        let q = p.clone();
+        assert_eq!(q.downcast_ref::<Ping>().unwrap().0, 9);
+    }
+}

@@ -1,0 +1,1065 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Sim`] owns a cluster of nodes connected by a non-blocking gigabit
+//! switch. Each node hosts one [`Actor`] (a process), a multi-core CPU, a
+//! NIC with full-duplex links, finite socket buffers, and a local disk.
+//!
+//! # Resource model
+//!
+//! Every shared resource is modelled with a *busy-until* clock: starting a
+//! unit of work on a resource at time `t` completes at
+//! `max(t, free_at) + cost` and advances `free_at` to the completion time.
+//! A datagram sent from `a` to `b` passes through, in order:
+//!
+//! 1. `a`'s CPU (send system call + copy cost),
+//! 2. `a`'s uplink (serialization at link bandwidth),
+//! 3. the switch egress port feeding `b` (`b`'s downlink). Datagrams that
+//!    would overflow the finite port buffer are tail-dropped,
+//! 4. `b`'s socket buffer — dropped if the buffer is full (slow receiver),
+//! 5. `b`'s CPU (per-frame receive cost), after which the actor runs.
+//!
+//! IP-multicast serializes once on the sender's uplink and is replicated by
+//! the switch onto every subscriber's downlink, reproducing the two
+//! properties the paper exploits (§3.3.1): one system call regardless of
+//! the number of receivers, and no division of the sender's bandwidth.
+//!
+//! TCP channels are reliable, ordered, and flow-controlled by a window;
+//! they never drop but instead queue at the sender.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::SimConfig;
+use crate::ids::{GroupId, NodeId, TimerToken};
+use crate::payload::Payload;
+use crate::stats::Metrics;
+use crate::time::{Dur, Time};
+
+/// How a message travelled, as seen by the receiving actor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Transport {
+    /// Unreliable unicast datagram.
+    Udp,
+    /// Datagram delivered via an ip-multicast group.
+    Multicast(GroupId),
+    /// Reliable, ordered, flow-controlled channel.
+    Tcp,
+}
+
+/// A message as delivered to an actor.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Application payload.
+    pub payload: Payload,
+    /// Size charged on the wire, in bytes.
+    pub wire_bytes: u32,
+    /// Transport the message used.
+    pub transport: Transport,
+}
+
+/// A process deployed on a node. All interaction with the outside world
+/// happens through the [`Ctx`] passed to each callback.
+pub trait Actor {
+    /// Called once when the simulation starts (or the actor is installed).
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+    /// Called when a message is delivered to this node.
+    fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx);
+    /// Called when a timer set through [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Ctx) {}
+}
+
+#[derive(Debug)]
+enum EventKind {
+    /// Datagram reached the destination host NIC (after its downlink).
+    HostArrive(Envelope),
+    /// Datagram finished receive processing; hand to the actor.
+    Deliver(Envelope),
+    /// Actor timer.
+    Timer { node: NodeId, token: TimerToken },
+    /// TCP acknowledgement returned to the sender; frees window space.
+    TcpAck { src: NodeId, dst: NodeId, bytes: u32 },
+    /// A disk write issued by `node` completed.
+    DiskDone { node: NodeId, token: TimerToken },
+}
+
+struct Event {
+    time: Time,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+struct Core {
+    free_at: Time,
+    busy: Dur,
+}
+
+struct TcpChannel {
+    in_flight: u32,
+    queue: VecDeque<(Payload, u32)>,
+    queued_bytes: u64,
+}
+
+impl TcpChannel {
+    fn new() -> TcpChannel {
+        TcpChannel { in_flight: 0, queue: VecDeque::new(), queued_bytes: 0 }
+    }
+}
+
+struct Node {
+    up: bool,
+    uplink_free: Time,
+    downlink_free: Time,
+    socket_used: u64,
+    cores: Vec<Core>,
+    disk_free: Time,
+    /// Per-node overrides of cluster-wide defaults (0 = use SimConfig).
+    udp_socket_buffer: u32,
+}
+
+/// Everything in the simulation except the actors themselves. Split out so
+/// actor callbacks can borrow it mutably through [`Ctx`].
+pub struct SimInner {
+    config: SimConfig,
+    now: Time,
+    seq: u64,
+    queue: BinaryHeap<Event>,
+    nodes: Vec<Node>,
+    groups: Vec<Vec<NodeId>>,
+    tcp: HashMap<(NodeId, NodeId), TcpChannel>,
+    rng: SmallRng,
+    /// Public metrics registry; actors record through [`Ctx`].
+    pub metrics: Metrics,
+}
+
+impl SimInner {
+    fn push(&mut self, time: Time, kind: EventKind) {
+        self.seq += 1;
+        self.queue.push(Event { time, seq: self.seq, kind });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn node(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Charges `cost` of CPU on `core` of `node` starting no earlier than
+    /// `start`, returning the completion time.
+    fn charge_core(&mut self, node: NodeId, core: usize, start: Time, cost: Dur) -> Time {
+        let c = &mut self.nodes[node.0].cores[core];
+        let begin = c.free_at.max(start);
+        c.free_at = begin + cost;
+        c.busy += cost;
+        c.free_at
+    }
+
+    /// Sends a datagram: charges the sender CPU and uplink, then fans out
+    /// to each destination's downlink.
+    fn datagram(&mut self, src: NodeId, dsts: &[NodeId], payload: Payload, bytes: u32, transport: Transport) {
+        if !self.nodes[src.0].up {
+            return;
+        }
+        let send_cost = self.config.send_cost(bytes);
+        let cpu_done = self.charge_core(src, 0, self.now, send_cost);
+        let tx = self.config.tx_time(bytes);
+        let up = &mut self.nodes[src.0];
+        let up_done = up.uplink_free.max(cpu_done) + tx;
+        up.uplink_free = up_done;
+        self.metrics.add(src, "net.sent_bytes", bytes as u64);
+        self.metrics.add(src, "net.sent_pkts", 1);
+        for &dst in dsts {
+            self.downlink(src, dst, payload.clone(), bytes, transport, up_done, tx);
+        }
+    }
+
+    fn downlink(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: Payload,
+        bytes: u32,
+        transport: Transport,
+        arrive_at_switch: Time,
+        tx: Dur,
+    ) {
+        if !self.nodes[dst.0].up {
+            self.metrics.add(dst, "net.down_drop", bytes as u64);
+            return;
+        }
+        if transport != Transport::Tcp {
+            // Random loss injection.
+            if self.config.random_loss > 0.0 && self.rng.gen::<f64>() < self.config.random_loss {
+                self.metrics.add(dst, "net.rand_drop", 1);
+                return;
+            }
+            // Switch egress port buffer (tail drop).
+            let backlog = self.nodes[dst.0].downlink_free.saturating_since(arrive_at_switch);
+            let queued = self.config.backlog_bytes(backlog);
+            if queued + self.config.wire_bytes(bytes) > self.config.switch_port_buffer as u64 {
+                self.metrics.add(dst, "net.switch_drop", 1);
+                self.metrics.add(dst, "net.switch_drop_bytes", bytes as u64);
+                return;
+            }
+        }
+        let down = &mut self.nodes[dst.0];
+        let done = down.downlink_free.max(arrive_at_switch) + tx;
+        down.downlink_free = done;
+        let at_host = done + self.config.one_way_latency;
+        let env = Envelope { src, dst, payload, wire_bytes: bytes, transport };
+        self.push(at_host, EventKind::HostArrive(env));
+    }
+
+    fn tcp_pump(&mut self, src: NodeId, dst: NodeId) {
+        let window = self.config.tcp_window_bytes;
+        loop {
+            let Some(ch) = self.tcp.get_mut(&(src, dst)) else { return };
+            let Some(&(_, bytes)) = ch.queue.front() else { return };
+            if ch.in_flight.saturating_add(bytes) > window && ch.in_flight > 0 {
+                return;
+            }
+            let (payload, bytes) = ch.queue.pop_front().expect("checked front");
+            ch.queued_bytes -= bytes as u64;
+            ch.in_flight += bytes;
+            self.datagram(src, &[dst], payload, bytes, Transport::Tcp);
+        }
+    }
+
+    /// Sends `payload` over the reliable channel from `src` to `dst`.
+    pub fn tcp_send_from(&mut self, src: NodeId, dst: NodeId, payload: Payload, bytes: u32) {
+        let ch = self.tcp.entry((src, dst)).or_insert_with(TcpChannel::new);
+        ch.queue.push_back((payload, bytes));
+        ch.queued_bytes += bytes as u64;
+        self.tcp_pump(src, dst);
+    }
+
+    /// Bytes queued (not yet transmitted) on the TCP channel `src -> dst`.
+    /// Protocols use this for application-level back-pressure.
+    pub fn tcp_backlog(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.tcp
+            .get(&(src, dst))
+            .map(|ch| ch.queued_bytes + ch.in_flight as u64)
+            .unwrap_or(0)
+    }
+
+    /// Sends a UDP datagram from `src` to `dst`.
+    pub fn udp_send_from(&mut self, src: NodeId, dst: NodeId, payload: Payload, bytes: u32) {
+        self.datagram(src, &[dst], payload, bytes, Transport::Udp);
+    }
+
+    /// Multicasts a datagram from `src` to every subscriber of `group`.
+    /// The sender pays for one transmission regardless of group size.
+    /// Senders need not subscribe to the group; subscribers that are also
+    /// the sender do not receive their own copy (the caller can loop back
+    /// locally if the protocol requires it).
+    pub fn mcast_from(&mut self, src: NodeId, group: GroupId, payload: Payload, bytes: u32) {
+        let dsts: Vec<NodeId> = self
+            .groups
+            .get(group.0)
+            .map(|g| g.iter().copied().filter(|&n| n != src).collect())
+            .unwrap_or_default();
+        self.datagram(src, &dsts, payload, bytes, Transport::Multicast(group));
+    }
+
+    /// Schedules `token` to fire on `node` after `delay`.
+    pub fn set_timer_on(&mut self, node: NodeId, delay: Dur, token: TimerToken) {
+        let at = self.now + delay;
+        self.push(at, EventKind::Timer { node, token });
+    }
+
+    /// Issues a disk write of `bytes` on `node`; `token` fires on the
+    /// node's actor when the write is durable.
+    pub fn disk_write_on(&mut self, node: NodeId, bytes: u32, token: TimerToken) {
+        let t = self.config.disk_write_time(bytes);
+        self.disk_push(node, bytes, t, token);
+    }
+
+    /// Issues a disk write of `bytes` that the writer coalesces into
+    /// `unit`-sized device operations (amortized op latency).
+    pub fn disk_write_coalesced_on(&mut self, node: NodeId, bytes: u32, unit: u32, token: TimerToken) {
+        let t = self.config.disk_write_time_coalesced(bytes, unit);
+        self.disk_push(node, bytes, t, token);
+    }
+
+    fn disk_push(&mut self, node: NodeId, bytes: u32, t: Dur, token: TimerToken) {
+        let now = self.now;
+        let n = self.node(node);
+        let done = n.disk_free.max(now) + t;
+        n.disk_free = done;
+        self.metrics.add(node, "disk.written_bytes", bytes as u64);
+        self.push(done, EventKind::DiskDone { node, token });
+    }
+
+    /// Outstanding work queued on `node`'s disk.
+    pub fn disk_backlog_of(&self, node: NodeId) -> Dur {
+        self.nodes[node.0].disk_free.saturating_since(self.now)
+    }
+
+    /// Charges CPU on a specific core of `node`, returning completion time.
+    pub fn charge_cpu_on(&mut self, node: NodeId, core: usize, cost: Dur) -> Time {
+        self.charge_core(node, core, self.now, cost)
+    }
+
+    /// Schedules `token` to fire once `core` of `node` has executed `cost`
+    /// of work (models handing a task to a pinned thread).
+    pub fn run_on_core(&mut self, node: NodeId, core: usize, cost: Dur, token: TimerToken) {
+        let done = self.charge_core(node, core, self.now, cost);
+        self.push(done, EventKind::Timer { node, token });
+    }
+
+    /// Earliest time `core` of `node` becomes idle.
+    pub fn core_free_at(&self, node: NodeId, core: usize) -> Time {
+        self.nodes[node.0].cores[core].free_at
+    }
+
+    /// Cumulative busy time of `core` of `node`.
+    pub fn cpu_busy(&self, node: NodeId, core: usize) -> Dur {
+        self.nodes[node.0].cores[core].busy
+    }
+
+    /// The deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// The handle through which an actor interacts with the simulated world.
+pub struct Ctx<'a> {
+    node: NodeId,
+    inner: &'a mut SimInner,
+}
+
+impl Ctx<'_> {
+    /// The node this actor runs on.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.inner.now()
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &SimConfig {
+        self.inner.config()
+    }
+
+    /// Sends an unreliable unicast datagram.
+    pub fn udp_send<T: 'static>(&mut self, dst: NodeId, msg: T, bytes: u32) {
+        self.inner.udp_send_from(self.node, dst, Payload::new(msg), bytes);
+    }
+
+    /// Sends a pre-wrapped payload as a unicast datagram (avoids re-boxing
+    /// when relaying).
+    pub fn udp_forward(&mut self, dst: NodeId, payload: Payload, bytes: u32) {
+        self.inner.udp_send_from(self.node, dst, payload, bytes);
+    }
+
+    /// Multicasts to every subscriber of `group`.
+    pub fn mcast<T: 'static>(&mut self, group: GroupId, msg: T, bytes: u32) {
+        self.inner.mcast_from(self.node, group, Payload::new(msg), bytes);
+    }
+
+    /// Multicasts a pre-wrapped payload.
+    pub fn mcast_forward(&mut self, group: GroupId, payload: Payload, bytes: u32) {
+        self.inner.mcast_from(self.node, group, payload, bytes);
+    }
+
+    /// Sends over the reliable ordered channel to `dst`.
+    pub fn tcp_send<T: 'static>(&mut self, dst: NodeId, msg: T, bytes: u32) {
+        self.inner.tcp_send_from(self.node, dst, Payload::new(msg), bytes);
+    }
+
+    /// Sends a pre-wrapped payload over the reliable channel.
+    pub fn tcp_forward(&mut self, dst: NodeId, payload: Payload, bytes: u32) {
+        self.inner.tcp_send_from(self.node, dst, payload, bytes);
+    }
+
+    /// Bytes buffered on this node's TCP channel to `dst`.
+    pub fn tcp_backlog(&self, dst: NodeId) -> u64 {
+        self.inner.tcp_backlog(self.node, dst)
+    }
+
+    /// Fires `token` on this actor after `delay`.
+    pub fn set_timer(&mut self, delay: Dur, token: TimerToken) {
+        self.inner.set_timer_on(self.node, delay, token);
+    }
+
+    /// Writes `bytes` to the local disk; `token` fires when durable.
+    pub fn disk_write(&mut self, bytes: u32, token: TimerToken) {
+        self.inner.disk_write_on(self.node, bytes, token);
+    }
+
+    /// Writes `bytes` coalesced into `unit`-sized device operations;
+    /// `token` fires when durable. Models append-style vote logs.
+    pub fn disk_write_coalesced(&mut self, bytes: u32, unit: u32, token: TimerToken) {
+        self.inner.disk_write_coalesced_on(self.node, bytes, unit, token);
+    }
+
+    /// Outstanding work queued on the local disk.
+    pub fn disk_backlog(&self) -> Dur {
+        self.inner.disk_backlog_of(self.node)
+    }
+
+    /// Charges `cost` of CPU on `core` of this node.
+    pub fn charge_cpu(&mut self, core: usize, cost: Dur) {
+        self.inner.charge_cpu_on(self.node, core, cost);
+    }
+
+    /// Fires `token` once `core` has executed `cost` of work.
+    pub fn run_on_core(&mut self, core: usize, cost: Dur, token: TimerToken) {
+        self.inner.run_on_core(self.node, core, cost, token);
+    }
+
+    /// Earliest time `core` of this node becomes idle. `core_free_at -
+    /// now` is the core's current backlog.
+    pub fn core_free_at(&self, core: usize) -> Time {
+        self.inner.core_free_at(self.node, core)
+    }
+
+    /// The deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.inner.rng()
+    }
+
+    /// Adds to a per-node counter.
+    pub fn counter_add(&mut self, name: &'static str, v: u64) {
+        self.inner.metrics.add(self.node, name, v);
+    }
+
+    /// Records a latency sample.
+    pub fn record_latency(&mut self, name: &'static str, sample: Dur) {
+        self.inner.metrics.record_latency(name, sample);
+    }
+}
+
+/// A simulated cluster: nodes, network, and the actors deployed on them.
+pub struct Sim {
+    inner: SimInner,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    started: Vec<bool>,
+}
+
+impl Sim {
+    /// Creates an empty cluster with the given configuration.
+    pub fn new(config: SimConfig) -> Sim {
+        let rng = SmallRng::seed_from_u64(config.seed);
+        Sim {
+            inner: SimInner {
+                config,
+                now: Time::ZERO,
+                seq: 0,
+                queue: BinaryHeap::new(),
+                nodes: Vec::new(),
+                groups: Vec::new(),
+                tcp: HashMap::new(),
+                rng,
+                metrics: Metrics::new(),
+            },
+            actors: Vec::new(),
+            started: Vec::new(),
+        }
+    }
+
+    /// Adds a node running `actor`, returning its id.
+    pub fn add_node(&mut self, actor: Box<dyn Actor>) -> NodeId {
+        let id = NodeId(self.inner.nodes.len());
+        let cores = (0..self.inner.config.cores_per_node)
+            .map(|_| Core { free_at: Time::ZERO, busy: Dur::ZERO })
+            .collect();
+        self.inner.nodes.push(Node {
+            up: true,
+            uplink_free: Time::ZERO,
+            downlink_free: Time::ZERO,
+            socket_used: 0,
+            cores,
+            disk_free: Time::ZERO,
+            udp_socket_buffer: 0,
+        });
+        self.actors.push(Some(actor));
+        self.started.push(false);
+        id
+    }
+
+    /// Creates a new multicast group, returning its id.
+    pub fn add_group(&mut self) -> GroupId {
+        let id = GroupId(self.inner.groups.len());
+        self.inner.groups.push(Vec::new());
+        id
+    }
+
+    /// Subscribes `node` to `group`.
+    pub fn subscribe(&mut self, node: NodeId, group: GroupId) {
+        let g = &mut self.inner.groups[group.0];
+        if !g.contains(&node) {
+            g.push(node);
+        }
+    }
+
+    /// Removes `node` from `group`.
+    pub fn unsubscribe(&mut self, node: NodeId, group: GroupId) {
+        self.inner.groups[group.0].retain(|&n| n != node);
+    }
+
+    /// Overrides the UDP socket buffer size of one node.
+    pub fn set_udp_socket_buffer(&mut self, node: NodeId, bytes: u32) {
+        self.inner.nodes[node.0].udp_socket_buffer = bytes;
+    }
+
+    /// Marks a node as crashed (`false`) or recovered (`true`). A crashed
+    /// node drops all traffic and does not run timers. Its actor state is
+    /// preserved; use [`Sim::replace_actor`] to model a fresh restart.
+    pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        self.inner.nodes[node.0].up = up;
+        if up {
+            // A node that was down may have stale resource clocks.
+            let now = self.inner.now;
+            let n = &mut self.inner.nodes[node.0];
+            n.uplink_free = n.uplink_free.max(now);
+            n.downlink_free = n.downlink_free.max(now);
+            n.socket_used = 0;
+        }
+    }
+
+    /// Whether `node` is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.inner.nodes[node.0].up
+    }
+
+    /// Resumes a paused node, re-running the existing actor's `on_start`
+    /// so it can re-arm timers that were dropped while it was down
+    /// (models SIGSTOP/SIGCONT-style process pause and resume — state is
+    /// preserved, in-flight traffic was lost). Timers that were scheduled
+    /// before the pause and fall due after the resume still fire, so
+    /// actors must tolerate duplicate timer chains.
+    pub fn restart_node(&mut self, node: NodeId) {
+        self.set_node_up(node, true);
+        self.started[node.0] = false;
+        self.start_actor(node);
+    }
+
+    /// Replaces the actor on `node` (models a process restart). The new
+    /// actor's `on_start` runs at the current time if the node is up.
+    pub fn replace_actor(&mut self, node: NodeId, actor: Box<dyn Actor>) {
+        self.actors[node.0] = Some(actor);
+        self.started[node.0] = false;
+        if self.inner.nodes[node.0].up {
+            self.start_actor(node);
+        }
+    }
+
+    /// Direct access to metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Mutable access to metrics (for draining windowed samples).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.inner.metrics
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.inner.now
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.inner.config
+    }
+
+    /// Cumulative CPU busy time of a core.
+    pub fn cpu_busy(&self, node: NodeId, core: usize) -> Dur {
+        self.inner.cpu_busy(node, core)
+    }
+
+    /// Cumulative CPU busy time across all cores of `node`.
+    pub fn cpu_busy_total(&self, node: NodeId) -> Dur {
+        (0..self.inner.config.cores_per_node)
+            .map(|c| self.inner.cpu_busy(node, c))
+            .fold(Dur::ZERO, |a, b| a + b)
+    }
+
+    /// Invokes a closure with a [`Ctx`] for `node` at the current time —
+    /// used by experiment drivers to inject work (e.g., client requests)
+    /// without a full actor.
+    pub fn with_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut Ctx) -> R) -> R {
+        let mut ctx = Ctx { node, inner: &mut self.inner };
+        f(&mut ctx)
+    }
+
+    fn start_actor(&mut self, node: NodeId) {
+        if self.started[node.0] {
+            return;
+        }
+        self.started[node.0] = true;
+        if let Some(mut actor) = self.actors[node.0].take() {
+            let mut ctx = Ctx { node, inner: &mut self.inner };
+            actor.on_start(&mut ctx);
+            self.actors[node.0] = Some(actor);
+        }
+    }
+
+    fn ensure_started(&mut self) {
+        for i in 0..self.actors.len() {
+            if self.inner.nodes[i].up {
+                self.start_actor(NodeId(i));
+            }
+        }
+    }
+
+    /// Runs the simulation until `deadline` (inclusive). Events scheduled
+    /// after the deadline remain queued; virtual time advances to the
+    /// deadline even if the queue drains first.
+    pub fn run_until(&mut self, deadline: Time) {
+        self.ensure_started();
+        while let Some(ev) = self.inner.queue.peek() {
+            if ev.time > deadline {
+                break;
+            }
+            let ev = self.inner.queue.pop().expect("peeked");
+            self.inner.now = ev.time;
+            self.dispatch(ev.kind);
+        }
+        self.inner.now = self.inner.now.max(deadline);
+    }
+
+    /// Runs until the event queue is empty (useful for tests).
+    pub fn run_to_idle(&mut self) {
+        self.ensure_started();
+        while let Some(ev) = self.inner.queue.pop() {
+            self.inner.now = ev.time;
+            self.dispatch(ev.kind);
+        }
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::HostArrive(env) => {
+                let dst = env.dst;
+                if !self.inner.nodes[dst.0].up {
+                    return;
+                }
+                if env.transport != Transport::Tcp {
+                    let cap = {
+                        let n = &self.inner.nodes[dst.0];
+                        if n.udp_socket_buffer > 0 {
+                            n.udp_socket_buffer
+                        } else {
+                            self.inner.config.udp_socket_buffer
+                        }
+                    };
+                    let used = self.inner.nodes[dst.0].socket_used;
+                    if used + env.wire_bytes as u64 > cap as u64 {
+                        self.inner.metrics.add(dst, "net.socket_drop", 1);
+                        self.inner.metrics.add(dst, "net.socket_drop_bytes", env.wire_bytes as u64);
+                        return;
+                    }
+                    self.inner.nodes[dst.0].socket_used += env.wire_bytes as u64;
+                }
+                let cost = self.inner.config.recv_cost(env.wire_bytes);
+                let done = self.inner.charge_core(dst, 0, self.inner.now, cost);
+                self.inner.push(done, EventKind::Deliver(env));
+            }
+            EventKind::Deliver(env) => {
+                let dst = env.dst;
+                if env.transport != Transport::Tcp {
+                    let n = &mut self.inner.nodes[dst.0];
+                    n.socket_used = n.socket_used.saturating_sub(env.wire_bytes as u64);
+                }
+                if !self.inner.nodes[dst.0].up {
+                    return;
+                }
+                self.inner.metrics.add(dst, "net.recv_bytes", env.wire_bytes as u64);
+                self.inner.metrics.add(dst, "net.recv_pkts", 1);
+                if env.transport == Transport::Tcp {
+                    let ack_at = self.inner.now + self.inner.config.one_way_latency;
+                    self.inner.push(
+                        ack_at,
+                        EventKind::TcpAck { src: env.src, dst: env.dst, bytes: env.wire_bytes },
+                    );
+                }
+                if let Some(mut actor) = self.actors[dst.0].take() {
+                    let mut ctx = Ctx { node: dst, inner: &mut self.inner };
+                    actor.on_message(&env, &mut ctx);
+                    self.actors[dst.0] = Some(actor);
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if !self.inner.nodes[node.0].up {
+                    return;
+                }
+                if let Some(mut actor) = self.actors[node.0].take() {
+                    let mut ctx = Ctx { node, inner: &mut self.inner };
+                    actor.on_timer(token, &mut ctx);
+                    self.actors[node.0] = Some(actor);
+                }
+            }
+            EventKind::TcpAck { src, dst, bytes } => {
+                if let Some(ch) = self.inner.tcp.get_mut(&(src, dst)) {
+                    ch.in_flight = ch.in_flight.saturating_sub(bytes);
+                }
+                self.inner.tcp_pump(src, dst);
+            }
+            EventKind::DiskDone { node, token } => {
+                if !self.inner.nodes[node.0].up {
+                    return;
+                }
+                if let Some(mut actor) = self.actors[node.0].take() {
+                    let mut ctx = Ctx { node, inner: &mut self.inner };
+                    actor.on_timer(token, &mut ctx);
+                    self.actors[node.0] = Some(actor);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Debug)]
+    struct Note(&'static str, u32);
+
+    /// Records every delivery it sees into a shared log.
+    struct Recorder {
+        log: Rc<RefCell<Vec<(Time, &'static str, u32)>>>,
+    }
+
+    impl Actor for Recorder {
+        fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
+            let n = env.payload.downcast_ref::<Note>().expect("Note");
+            self.log.borrow_mut().push((ctx.now(), n.0, n.1));
+        }
+    }
+
+    struct Quiet;
+    impl Actor for Quiet {
+        fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+    }
+
+    fn two_nodes() -> (Sim, NodeId, NodeId, Rc<RefCell<Vec<(Time, &'static str, u32)>>>) {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        (sim, a, b, log)
+    }
+
+    #[test]
+    fn udp_delivery_has_network_latency() {
+        let (mut sim, a, b, log) = two_nodes();
+        sim.with_ctx(a, |ctx| ctx.udp_send(b, Note("hi", 1), 1000));
+        sim.run_to_idle();
+        let log = log.borrow();
+        assert_eq!(log.len(), 1);
+        // tx twice (up+down) + 50us prop + cpu costs: strictly more than 50us.
+        assert!(log[0].0 > Time::ZERO + Dur::micros(60));
+        assert!(log[0].0 < Time::ZERO + Dur::micros(200));
+    }
+
+    #[test]
+    fn udp_is_fifo_per_sender() {
+        let (mut sim, a, b, log) = two_nodes();
+        sim.with_ctx(a, |ctx| {
+            for i in 0..10 {
+                ctx.udp_send(b, Note("m", i), 8000);
+            }
+        });
+        sim.run_to_idle();
+        let seen: Vec<u32> = log.borrow().iter().map(|e| e.2).collect();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multicast_reaches_all_subscribers_except_sender() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        let c = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        let g = sim.add_group();
+        sim.subscribe(a, g);
+        sim.subscribe(b, g);
+        sim.subscribe(c, g);
+        sim.with_ctx(a, |ctx| ctx.mcast(g, Note("mc", 0), 512));
+        sim.run_to_idle();
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    #[test]
+    fn sender_bandwidth_is_divided_for_unicast_not_multicast() {
+        // 100 packets of 8 KB to 4 receivers: unicast serializes 400 packets
+        // on the uplink; multicast only 100.
+        let mk = || {
+            let mut sim = Sim::new(SimConfig::default());
+            let s = sim.add_node(Box::new(Quiet));
+            let rs: Vec<NodeId> = (0..4).map(|_| sim.add_node(Box::new(Quiet))).collect();
+            (sim, s, rs)
+        };
+        let (mut uni, s, rs) = mk();
+        uni.with_ctx(s, |ctx| {
+            for _ in 0..100 {
+                for &r in &rs {
+                    ctx.udp_send(r, Note("u", 0), 8192);
+                }
+            }
+        });
+        uni.run_to_idle();
+        let uni_done = uni.now();
+
+        let (mut mc, s, rs) = mk();
+        let g = mc.add_group();
+        for &r in &rs {
+            mc.subscribe(r, g);
+        }
+        mc.with_ctx(s, |ctx| {
+            for _ in 0..100 {
+                ctx.mcast(g, Note("m", 0), 8192);
+            }
+        });
+        mc.run_to_idle();
+        let mc_done = mc.now();
+        assert!(
+            uni_done.as_nanos() > 3 * mc_done.as_nanos(),
+            "unicast {uni_done:?} vs multicast {mc_done:?}"
+        );
+    }
+
+    #[test]
+    fn socket_buffer_overflow_drops() {
+        // A receiver whose application burns CPU on every message drains
+        // its socket buffer slower than the wire fills it.
+        struct Slow;
+        impl Actor for Slow {
+            fn on_message(&mut self, _env: &Envelope, ctx: &mut Ctx) {
+                ctx.charge_cpu(0, Dur::micros(500));
+            }
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Slow));
+        sim.set_udp_socket_buffer(b, 64 * 1024);
+        sim.with_ctx(a, |ctx| {
+            for i in 0..100 {
+                ctx.udp_send(b, Note("x", i), 8192);
+            }
+        });
+        sim.run_to_idle();
+        assert!(sim.metrics().counter(b, "net.socket_drop") > 0);
+        assert!(sim.metrics().counter(b, "net.recv_pkts") > 0);
+    }
+
+    #[test]
+    fn switch_port_buffer_drops_on_contention() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut cfg = SimConfig::default();
+        cfg.switch_port_buffer = 64 * 1024;
+        let mut sim = Sim::new(cfg);
+        let senders: Vec<NodeId> = (0..4).map(|_| sim.add_node(Box::new(Quiet))).collect();
+        let dst = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        // Four senders each blast 2 MB simultaneously at wire speed into one
+        // downlink: instantaneous demand 4x the drain rate.
+        for &s in &senders {
+            sim.with_ctx(s, |ctx| {
+                for i in 0..256 {
+                    ctx.udp_send(dst, Note("burst", i), 8192);
+                }
+            });
+        }
+        sim.run_to_idle();
+        assert!(sim.metrics().counter(dst, "net.switch_drop") > 0);
+    }
+
+    #[test]
+    fn tcp_never_drops_and_stays_ordered() {
+        let mut cfg = SimConfig::default();
+        cfg.tcp_window_bytes = 64 * 1024; // small window forces queueing
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(cfg);
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        sim.with_ctx(a, |ctx| {
+            for i in 0..200 {
+                ctx.tcp_send(b, Note("t", i), 32 * 1024);
+            }
+        });
+        sim.run_to_idle();
+        let seen: Vec<u32> = log.borrow().iter().map(|e| e.2).collect();
+        assert_eq!(seen, (0..200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tcp_window_limits_throughput() {
+        // Throughput with a tiny window must be far below wire speed.
+        let run = |window: u32| -> f64 {
+            let mut cfg = SimConfig::default();
+            cfg.tcp_window_bytes = window;
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = Sim::new(cfg);
+            let a = sim.add_node(Box::new(Quiet));
+            let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
+            sim.with_ctx(a, |ctx| {
+                for i in 0..500 {
+                    ctx.tcp_send(b, Note("t", i), 32 * 1024);
+                }
+            });
+            sim.run_to_idle();
+            let bytes = sim.metrics().counter(b, "net.recv_bytes");
+            crate::stats::mbps(bytes, sim.now() - Time::ZERO)
+        };
+        let slow = run(32 * 1024);
+        let fast = run(8 * 1024 * 1024);
+        assert!(fast > 2.0 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct T {
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Actor for T {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.set_timer(Dur::millis(3), TimerToken(3));
+                ctx.set_timer(Dur::millis(1), TimerToken(1));
+                ctx.set_timer(Dur::millis(2), TimerToken(2));
+            }
+            fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+            fn on_timer(&mut self, token: TimerToken, _ctx: &mut Ctx) {
+                self.log.borrow_mut().push(token.0);
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(Box::new(T { log: log.clone() }));
+        sim.run_to_idle();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing_until_recovery() {
+        let (mut sim, a, b, log) = two_nodes();
+        sim.set_node_up(b, false);
+        sim.with_ctx(a, |ctx| ctx.udp_send(b, Note("lost", 0), 100));
+        sim.run_until(Time::from_millis(10));
+        assert!(log.borrow().is_empty());
+        sim.set_node_up(b, true);
+        sim.with_ctx(a, |ctx| ctx.udp_send(b, Note("ok", 1), 100));
+        sim.run_to_idle();
+        assert_eq!(log.borrow().len(), 1);
+        assert_eq!(log.borrow()[0].1, "ok");
+    }
+
+    #[test]
+    fn disk_writes_serialize_and_complete() {
+        struct D {
+            done: Rc<RefCell<Vec<Time>>>,
+        }
+        impl Actor for D {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                ctx.disk_write(32 * 1024, TimerToken(0));
+                ctx.disk_write(32 * 1024, TimerToken(1));
+            }
+            fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+            fn on_timer(&mut self, _token: TimerToken, ctx: &mut Ctx) {
+                self.done.borrow_mut().push(ctx.now());
+            }
+        }
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(Box::new(D { done: done.clone() }));
+        sim.run_to_idle();
+        let d = done.borrow();
+        assert_eq!(d.len(), 2);
+        let per = SimConfig::default().disk_write_time(32 * 1024);
+        assert_eq!(d[0], Time::ZERO + per);
+        assert_eq!(d[1], Time::ZERO + per + per);
+    }
+
+    #[test]
+    fn cpu_accounting_accumulates() {
+        let (mut sim, a, _b, _log) = two_nodes();
+        sim.with_ctx(a, |ctx| ctx.charge_cpu(1, Dur::millis(5)));
+        assert_eq!(sim.cpu_busy(a, 1), Dur::millis(5));
+        assert_eq!(sim.cpu_busy(a, 0), Dur::ZERO);
+        assert_eq!(sim.cpu_busy_total(a), Dur::millis(5));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = || {
+            let (mut sim, a, b, log) = two_nodes();
+            sim.with_ctx(a, |ctx| {
+                for i in 0..50 {
+                    ctx.udp_send(b, Note("d", i), 4000 + i * 13);
+                }
+            });
+            sim.run_to_idle();
+            let v: Vec<(u64, u32)> = log.borrow().iter().map(|e| (e.0.as_nanos(), e.2)).collect();
+            v
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn random_loss_drops_some() {
+        let mut cfg = SimConfig::default();
+        cfg.random_loss = 0.5;
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(cfg);
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        sim.with_ctx(a, |ctx| {
+            for i in 0..200 {
+                ctx.udp_send(b, Note("r", i), 100);
+            }
+        });
+        sim.run_to_idle();
+        let got = log.borrow().len();
+        assert!(got > 50 && got < 150, "got {got}");
+        assert!(sim.metrics().counter(b, "net.rand_drop") > 0);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.add_node(Box::new(Quiet));
+        sim.run_until(Time::from_secs(3));
+        assert_eq!(sim.now(), Time::from_secs(3));
+    }
+}

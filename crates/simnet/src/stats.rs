@@ -1,0 +1,209 @@
+//! Measurement infrastructure: counters, latency recorders, and helpers for
+//! converting raw counts into the units the paper reports (Mbps, Kcps, ms).
+
+use std::collections::HashMap;
+
+use crate::ids::NodeId;
+use crate::time::Dur;
+
+/// Central metrics registry owned by the simulation.
+#[derive(Default, Debug)]
+pub struct Metrics {
+    counters: HashMap<(NodeId, &'static str), u64>,
+    latencies: HashMap<&'static str, Vec<u64>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Adds `v` to the counter `name` of `node`.
+    pub fn add(&mut self, node: NodeId, name: &'static str, v: u64) {
+        *self.counters.entry((node, name)).or_insert(0) += v;
+    }
+
+    /// Current value of the counter `name` of `node`.
+    pub fn counter(&self, node: NodeId, name: &'static str) -> u64 {
+        self.counters.get(&(node, name)).copied().unwrap_or(0)
+    }
+
+    /// Sum of the counter `name` over all nodes.
+    pub fn sum(&self, name: &'static str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((_, n), _)| *n == name)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Records one latency sample under `name`.
+    pub fn record_latency(&mut self, name: &'static str, sample: Dur) {
+        self.latencies.entry(name).or_default().push(sample.as_nanos());
+    }
+
+    /// Summary statistics of the samples recorded under `name`.
+    pub fn latency(&self, name: &'static str) -> LatencyStats {
+        LatencyStats::from_nanos(self.latencies.get(name).map_or(&[][..], |v| &v[..]))
+    }
+
+    /// Drains the samples recorded under `name`, returning their summary.
+    /// Useful for windowed measurements in time-series experiments.
+    pub fn take_latency(&mut self, name: &'static str) -> LatencyStats {
+        let samples = self.latencies.remove(name).unwrap_or_default();
+        LatencyStats::from_nanos(&samples)
+    }
+
+    /// Empirical CDF of samples under `name` at the given number of points.
+    /// Returns `(latency, fraction <= latency)` pairs.
+    pub fn latency_cdf(&self, name: &'static str, points: usize) -> Vec<(Dur, f64)> {
+        let mut v: Vec<u64> = self.latencies.get(name).cloned().unwrap_or_default();
+        if v.is_empty() {
+            return Vec::new();
+        }
+        v.sort_unstable();
+        (1..=points)
+            .map(|i| {
+                let frac = i as f64 / points as f64;
+                let idx = ((v.len() as f64 * frac).ceil() as usize).clamp(1, v.len()) - 1;
+                (Dur::nanos(v[idx]), frac)
+            })
+            .collect()
+    }
+}
+
+/// Summary of a set of latency samples.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: Dur,
+    /// 50th percentile.
+    pub p50: Dur,
+    /// 95th percentile.
+    pub p95: Dur,
+    /// 99th percentile.
+    pub p99: Dur,
+    /// Largest sample.
+    pub max: Dur,
+    /// Mean after discarding the highest 5% of samples — the thesis reports
+    /// this for the experiments with disk writes (§5.4.2).
+    pub trimmed_mean_95: Dur,
+}
+
+impl LatencyStats {
+    fn from_nanos(samples: &[u64]) -> LatencyStats {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut v = samples.to_vec();
+        v.sort_unstable();
+        let count = v.len();
+        let sum: u128 = v.iter().map(|&x| x as u128).sum();
+        let pct = |p: f64| -> Dur {
+            let idx = ((count as f64 * p).ceil() as usize).clamp(1, count) - 1;
+            Dur::nanos(v[idx])
+        };
+        let keep = ((count as f64) * 0.95).ceil() as usize;
+        let keep = keep.clamp(1, count);
+        let tsum: u128 = v[..keep].iter().map(|&x| x as u128).sum();
+        LatencyStats {
+            count,
+            mean: Dur::nanos((sum / count as u128) as u64),
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: Dur::nanos(v[count - 1]),
+            trimmed_mean_95: Dur::nanos((tsum / keep as u128) as u64),
+        }
+    }
+}
+
+/// Converts a byte count over a window into megabits per second.
+pub fn mbps(bytes: u64, window: Dur) -> f64 {
+    if window == Dur::ZERO {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / window.as_secs_f64() / 1e6
+}
+
+/// Converts an event count over a window into events per second.
+pub fn per_sec(count: u64, window: Dur) -> f64 {
+    if window == Dur::ZERO {
+        return 0.0;
+    }
+    count as f64 / window.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_node() {
+        let mut m = Metrics::new();
+        m.add(NodeId(0), "x", 3);
+        m.add(NodeId(0), "x", 4);
+        m.add(NodeId(1), "x", 10);
+        assert_eq!(m.counter(NodeId(0), "x"), 7);
+        assert_eq!(m.sum("x"), 17);
+        assert_eq!(m.counter(NodeId(2), "x"), 0);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mut m = Metrics::new();
+        for i in 1..=100u64 {
+            m.record_latency("l", Dur::micros(i));
+        }
+        let s = m.latency("l");
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50, Dur::micros(50));
+        assert_eq!(s.p95, Dur::micros(95));
+        assert_eq!(s.p99, Dur::micros(99));
+        assert_eq!(s.max, Dur::micros(100));
+        assert_eq!(s.mean, Dur::nanos(50_500));
+        // trimmed mean discards samples 96..=100.
+        assert_eq!(s.trimmed_mean_95, Dur::micros(48));
+    }
+
+    #[test]
+    fn empty_latency_is_zeroed() {
+        let m = Metrics::new();
+        assert_eq!(m.latency("none").count, 0);
+        assert_eq!(m.latency("none").mean, Dur::ZERO);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut m = Metrics::new();
+        for i in [5u64, 1, 9, 3, 7] {
+            m.record_latency("c", Dur::micros(i));
+        }
+        let cdf = m.latency_cdf("c", 5);
+        assert_eq!(cdf.len(), 5);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+        assert_eq!(cdf.last().unwrap().0, Dur::micros(9));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        assert!((mbps(125_000_000, Dur::secs(1)) - 1000.0).abs() < 1e-9);
+        assert!((per_sec(500, Dur::millis(500)) - 1000.0).abs() < 1e-9);
+        assert_eq!(mbps(1, Dur::ZERO), 0.0);
+    }
+
+    #[test]
+    fn take_latency_drains() {
+        let mut m = Metrics::new();
+        m.record_latency("w", Dur::micros(10));
+        let s = m.take_latency("w");
+        assert_eq!(s.count, 1);
+        assert_eq!(m.latency("w").count, 0);
+    }
+}

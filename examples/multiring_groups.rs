@@ -1,0 +1,49 @@
+//! Multi-Ring Paxos (thesis ch. 5): atomic multicast from an ensemble of
+//! independent rings. Learners subscribe to any subset of groups and
+//! merge the decision streams deterministically; under-loaded rings emit
+//! skip instances so they never stall anyone's merge.
+//!
+//! ```text
+//! cargo run --release --example multiring_groups
+//! ```
+
+use multiring::{deploy_multiring, MultiRingOptions, MRP_LATENCY};
+use simnet::prelude::*;
+
+fn main() {
+    let mut sim = Sim::new(SimConfig::default());
+    let opts = MultiRingOptions {
+        n_rings: 3,
+        // Deliberately imbalanced: ring 2 carries a trickle.
+        rates_per_ring_bps: vec![200_000_000, 100_000_000, 1_000_000],
+        lambda_per_sec: 9000,     // λ: expected max consensus rate
+        delta: Dur::millis(1),    // ∆: rate sampling interval
+        m: 1,                     // M: instances merged per ring per turn
+        // Learner 0 subscribes to groups {0}, learner 1 to {0,1},
+        // learner 2 to all three.
+        learners: vec![vec![0], vec![0, 1], vec![0, 1, 2]],
+        ..MultiRingOptions::default()
+    };
+    let d = deploy_multiring(&mut sim, &opts);
+    sim.run_until(Time::from_secs(2));
+
+    println!("Multi-Ring Paxos: 3 rings at 200 / 100 / 1 Mbps, λ = 9000/s");
+    for (i, &l) in d.learners.iter().enumerate() {
+        let bytes = sim.metrics().counter(l, "abcast.delivered_bytes");
+        let msgs = sim.metrics().counter(l, "abcast.delivered_msgs");
+        println!(
+            "  learner {i} (groups {:?}): {msgs:>6} msgs, {:>6.0} Mbps",
+            opts.learners[i],
+            mbps(bytes, Dur::secs(2))
+        );
+    }
+    let skips = sim.metrics().counter(d.rings[2].coordinator(), "rp.skips");
+    println!("  ring 2 skipped {skips} instances so its silence never blocked a merge");
+    let lat = sim.metrics().latency(MRP_LATENCY);
+    println!("  merged delivery latency: mean {}, p99 {}", lat.mean, lat.p99);
+
+    // Learners sharing groups must order common messages identically
+    // (uniform partial order, thesis §2.2.4).
+    d.log.borrow().check_partial_order().expect("uniform partial order");
+    println!("  uniform partial order: verified across subscription patterns");
+}

@@ -1,0 +1,31 @@
+//! # hpsmr — High-Performance State-Machine Replication
+//!
+//! A comprehensive Rust reproduction of *High Performance State-Machine
+//! Replication* (Marandi, Primi, Pedone — DSN 2011) and the systems it
+//! builds on, as described in the companion USI dissertation:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`simnet`] | deterministic discrete-event cluster simulator (gigabit switch, ip-multicast, lossy UDP, TCP, multi-core CPUs, SSDs) |
+//! | [`paxos`] | Basic Paxos roles (thesis Algorithm 1) |
+//! | [`abcast`] | atomic broadcast/multicast checkers and workloads |
+//! | [`ringpaxos`] | M-Ring Paxos & U-Ring Paxos (ch. 3) |
+//! | [`baselines`] | LCR, Libpaxos, S-Paxos, Spread/Totem, PFSB comparison protocols |
+//! | [`multiring`] | Multi-Ring Paxos atomic multicast (ch. 5) |
+//! | [`btree`] | the replicated B⁺-tree service (§4.4.2) |
+//! | [`hpsmr_core`] | speculation + state partitioning over M-Ring Paxos — the DSN 2011 contribution (ch. 4) |
+//! | [`psmr`] | parallel state-machine replication: P-SMR and the execution-model survey (ch. 6) |
+//!
+//! Start with the examples (`cargo run --release --example quickstart`)
+//! or the experiment runner
+//! (`cargo run --release -p bench --bin figures -- list`).
+
+pub use abcast;
+pub use baselines;
+pub use btree;
+pub use hpsmr_core;
+pub use multiring;
+pub use paxos;
+pub use psmr;
+pub use ringpaxos;
+pub use simnet;
