@@ -17,18 +17,35 @@ pub mod checker;
 pub mod workload;
 
 /// Standard metric names recorded by every ordering protocol.
+///
+/// The counter names are pre-interned in every `simnet` metrics registry
+/// (they are bumped for every delivered value, so protocols use the
+/// [`metric::id`] handles on the hot path); the string constants are
+/// derived from the same table, so the two can never drift apart.
 pub mod metric {
+    use simnet::stats::{builtin_name, mid};
+
     /// Payload bytes delivered to the application, per learner node.
-    pub const DELIVERED_BYTES: &str = "abcast.delivered_bytes";
+    pub const DELIVERED_BYTES: &str = builtin_name(mid::DELIVERED_BYTES);
     /// Messages delivered to the application, per learner node.
-    pub const DELIVERED_MSGS: &str = "abcast.delivered_msgs";
+    pub const DELIVERED_MSGS: &str = builtin_name(mid::DELIVERED_MSGS);
     /// Broadcast-to-delivery latency samples (recorded at the proposer's
     /// learner, as the paper measures).
     pub const LATENCY: &str = "abcast.latency";
     /// Consensus instances decided (coordinator side).
-    pub const INSTANCES: &str = "abcast.instances";
+    pub const INSTANCES: &str = builtin_name(mid::INSTANCES);
     /// Messages a learner had to buffer out of order.
-    pub const BUFFERED: &str = "abcast.buffered";
+    pub const BUFFERED: &str = builtin_name(mid::BUFFERED);
+    /// Values submitted by proposers (named `rp.proposed` for historical
+    /// reasons; Ring Paxos recorded it first).
+    pub const PROPOSED: &str = builtin_name(mid::PROPOSED);
+
+    /// Pre-interned dense ids for the hot-path counters.
+    pub mod id {
+        pub use simnet::stats::mid::{
+            BUFFERED, DELIVERED_BYTES, DELIVERED_MSGS, INSTANCES, PROPOSED,
+        };
+    }
 }
 
 pub use checker::{shared_log, DeliveryLog, MsgId, OrderViolation, SharedLog};

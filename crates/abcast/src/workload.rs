@@ -72,7 +72,7 @@ impl Pacer {
         let mut due = 0;
         while self.next_due <= now {
             due += self.burst;
-            self.next_due = self.next_due + self.interval;
+            self.next_due += self.interval;
         }
         due
     }
@@ -130,7 +130,7 @@ mod tests {
         let mut t = Time::ZERO;
         while t < Time::from_secs(1) {
             sent += p.due(t) as u64;
-            t = t + p.interval();
+            t += p.interval();
         }
         assert!((9_900..=10_100).contains(&sent), "sent {sent}");
     }

@@ -79,7 +79,7 @@ fn bench_merge(c: &mut Criterion) {
         b.iter(|| {
             let mut m = DeterministicMerge::new(4, 1);
             for i in 0..1000u64 {
-                let entry = MergeEntry { batch: std::rc::Rc::new(Vec::new()), weight: 1 };
+                let entry = MergeEntry { batch: ringpaxos::BatchData::empty(), weight: 1 };
                 m.push((i % 4) as usize, entry);
             }
             let mut n = 0;
@@ -171,6 +171,67 @@ fn bench_mring_sim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_simcore(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+    g.sample_size(20);
+
+    struct Quiet;
+    impl Actor for Quiet {
+        fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+    }
+
+    // Raw per-datagram engine cost: send path, switch, receive path,
+    // event queue — no protocol logic on top.
+    g.bench_function("datagram_dispatch_5k", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig::default());
+            let a = sim.add_node(Box::new(Quiet));
+            let dst = sim.add_node(Box::new(Quiet));
+            sim.with_ctx(a, |ctx| {
+                for i in 0..5_000u32 {
+                    ctx.udp_send(dst, black_box(i), 1_000);
+                }
+            });
+            sim.run_to_idle();
+            black_box(sim.events_processed())
+        })
+    });
+
+    // TCP under a small window: exercises the dense channel table on
+    // every segment, ack, and pump step.
+    g.bench_function("tcp_pump_small_window_1k", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::default();
+            cfg.tcp_window_bytes = 64 * 1024;
+            let mut sim = Sim::new(cfg);
+            let a = sim.add_node(Box::new(Quiet));
+            let dst = sim.add_node(Box::new(Quiet));
+            sim.with_ctx(a, |ctx| {
+                for i in 0..1_000u32 {
+                    ctx.tcp_send(dst, black_box(i), 32 * 1024);
+                }
+            });
+            sim.run_to_idle();
+            black_box(sim.events_processed())
+        })
+    });
+
+    // Counter matrix and histogram recorder in isolation.
+    g.bench_function("metrics_record_10k", |b| {
+        b.iter(|| {
+            let mut m = Metrics::new();
+            for i in 0..10_000u64 {
+                let node = NodeId((i % 8) as usize);
+                m.add_id(node, simnet::stats::mid::NET_SENT_BYTES, i);
+                m.add_id(node, simnet::stats::mid::NET_SENT_PKTS, 1);
+                m.record_latency("bench.lat", Dur::nanos(i * 131 % 10_000_000));
+            }
+            black_box((m.sum_id(simnet::stats::mid::NET_SENT_PKTS), m.latency("bench.lat").p99))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_btree,
@@ -178,6 +239,7 @@ criterion_group!(
     bench_paxos_roles,
     bench_merge,
     bench_psmr_engine,
-    bench_mring_sim
+    bench_mring_sim,
+    bench_simcore
 );
 criterion_main!(benches);

@@ -137,7 +137,7 @@ fn fig3_02() {
             row.push(format!("{tput:12.0}"));
             cpus.push(format!("{cpu:7.0}"));
         }
-        println!("  {} | {} | {}", row.join(" | "), cpus.join(" | "), "");
+        println!("  {} | {} | ", row.join(" | "), cpus.join(" | "));
     }
     println!("  shape: unicast falls ~1/n; multicast and pipeline stay near wire speed (paper Fig 3.2).");
 }
@@ -258,7 +258,7 @@ fn protocol_tput(proto: &str, receivers: usize) -> f64 {
             let n = receivers.max(3);
             let opts = URingOptions {
                 ring_len: n,
-                n_acceptors: (n + 1) / 2,
+                n_acceptors: n.div_ceil(2),
                 proposer_positions: (0..n).collect(),
                 proposer_rate_bps: 1_100_000_000 / n as u64,
                 msg_bytes: 32 * 1024,
@@ -355,7 +355,7 @@ fn fig3_08() {
             let mut sim = Sim::new(SimConfig::default());
             let opts = URingOptions {
                 ring_len: n,
-                n_acceptors: (n + 1) / 2,
+                n_acceptors: n.div_ceil(2),
                 proposer_positions: (0..n).collect(),
                 proposer_rate_bps: 1_100_000_000 / n as u64,
                 msg_bytes: 32 * 1024,
@@ -408,7 +408,7 @@ fn fig3_09() {
         let mut sim = Sim::new(SimConfig::default());
         let opts = URingOptions {
             ring_len: n,
-            n_acceptors: (n + 1) / 2,
+            n_acceptors: n.div_ceil(2),
             proposer_positions: (0..n).collect(),
             proposer_rate_bps: 400_000_000 / n as u64,
             msg_bytes: 32 * 1024,

@@ -59,7 +59,7 @@ impl DeterministicMerge {
             let ring = self.current;
             let credit = self.credit;
             let q = &mut self.queues[ring];
-            let Some(front) = q.front_mut() else { return None };
+            let front = q.front_mut()?;
             if front.weight <= credit {
                 let entry = q.pop_front().expect("front checked");
                 self.credit -= entry.weight;
@@ -103,7 +103,6 @@ impl DeterministicMerge {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::rc::Rc;
 
     fn entry(weight: u64, vals: usize) -> MergeEntry {
         let v = (0..vals)
@@ -116,7 +115,7 @@ mod tests {
                 mask: ringpaxos::value::ALL_PARTITIONS,
             })
             .collect::<Vec<_>>();
-        MergeEntry { batch: Rc::new(v), weight }
+        MergeEntry { batch: ringpaxos::BatchData::new(v), weight }
     }
 
     #[test]
@@ -160,9 +159,9 @@ mod tests {
     fn skips_consume_without_delivering() {
         let mut m = DeterministicMerge::new(2, 1);
         m.push(0, entry(1, 1));
-        m.push(1, MergeEntry { batch: Rc::new(Vec::new()), weight: 1 });
+        m.push(1, MergeEntry { batch: ringpaxos::BatchData::empty(), weight: 1 });
         m.push(0, entry(1, 1));
-        m.push(1, MergeEntry { batch: Rc::new(Vec::new()), weight: 1 });
+        m.push(1, MergeEntry { batch: ringpaxos::BatchData::empty(), weight: 1 });
         let order: Vec<usize> = std::iter::from_fn(|| m.pop().map(|(r, _)| r)).collect();
         // Only ring 0's batches surface; ring 1's skips pass silently.
         assert_eq!(order, vec![0, 0]);
@@ -172,7 +171,7 @@ mod tests {
     fn heavy_skip_spans_multiple_turns() {
         let mut m = DeterministicMerge::new(2, 1);
         // Ring 1 has a skip worth 3 turns.
-        m.push(1, MergeEntry { batch: Rc::new(Vec::new()), weight: 3 });
+        m.push(1, MergeEntry { batch: ringpaxos::BatchData::empty(), weight: 3 });
         for _ in 0..4 {
             m.push(0, entry(1, 1));
         }

@@ -4,7 +4,7 @@
 //! shared across instances (§3.3.7) — and, per instance, `v-rnd`/`v-val`,
 //! the round and value of its latest vote.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::msg::{InstanceId, PaxosMsg, Round};
 
@@ -18,16 +18,35 @@ pub struct Vote<V> {
 }
 
 /// A Paxos acceptor.
+///
+/// Vote storage is a dense sliding window: instances are proposed
+/// contiguously and garbage-collected from below (§3.3.7), so
+/// `window[instance - base]` makes the per-packet operations
+/// ([`Acceptor::vote`], [`Acceptor::receive_2a`]) plain array indexing
+/// instead of tree searches. The rare vote below the window (a
+/// retransmission older than the GC watermark) falls back to a side map,
+/// preserving the exact semantics of the previous `BTreeMap` storage.
 #[derive(Clone, Debug, Default)]
 pub struct Acceptor<V> {
     rnd: Round,
-    votes: BTreeMap<InstanceId, Vote<V>>,
+    /// First instance covered by `window`.
+    base: InstanceId,
+    /// Votes for `base..`, indexed by offset (`None` = no vote yet).
+    window: VecDeque<Option<Vote<V>>>,
+    /// Votes below `base` (rare; kept so GC can never refuse a vote the
+    /// old representation would have stored).
+    below: BTreeMap<InstanceId, Vote<V>>,
 }
 
 impl<V: Clone> Acceptor<V> {
     /// Creates a fresh acceptor.
     pub fn new() -> Acceptor<V> {
-        Acceptor { rnd: Round::ZERO, votes: BTreeMap::new() }
+        Acceptor {
+            rnd: Round::ZERO,
+            base: InstanceId(0),
+            window: VecDeque::new(),
+            below: BTreeMap::new(),
+        }
     }
 
     /// The highest round this acceptor has promised.
@@ -36,8 +55,14 @@ impl<V: Clone> Acceptor<V> {
     }
 
     /// The acceptor's vote in `instance`, if it has cast one.
+    #[inline]
     pub fn vote(&self, instance: InstanceId) -> Option<&Vote<V>> {
-        self.votes.get(&instance)
+        if instance >= self.base {
+            let idx = (instance.0 - self.base.0) as usize;
+            self.window.get(idx).and_then(|v| v.as_ref())
+        } else {
+            self.below.get(&instance)
+        }
     }
 
     /// Handles a Phase 1A message. Returns the Phase 1B reply if the round
@@ -45,11 +70,14 @@ impl<V: Clone> Acceptor<V> {
     pub fn receive_1a(&mut self, round: Round) -> Option<PaxosMsg<V>> {
         if round > self.rnd {
             self.rnd = round;
-            let votes = self
-                .votes
+            let mut votes: Vec<(InstanceId, Round, V)> = self
+                .below
                 .iter()
                 .map(|(&i, v)| (i, v.v_rnd, v.v_val.clone()))
                 .collect();
+            votes.extend(self.window.iter().enumerate().filter_map(|(off, v)| {
+                v.as_ref().map(|v| (InstanceId(self.base.0 + off as u64), v.v_rnd, v.v_val.clone()))
+            }));
             Some(PaxosMsg::Phase1b { round: self.rnd, votes })
         } else {
             None
@@ -61,7 +89,23 @@ impl<V: Clone> Acceptor<V> {
     pub fn receive_2a(&mut self, instance: InstanceId, round: Round, value: V) -> Option<PaxosMsg<V>> {
         if round >= self.rnd {
             self.rnd = round;
-            self.votes.insert(instance, Vote { v_rnd: round, v_val: value });
+            let vote = Vote { v_rnd: round, v_val: value };
+            if instance >= self.base {
+                let idx = (instance.0 - self.base.0) as usize;
+                // Instances are proposed contiguously and GC'd from below;
+                // a far-ahead id would turn one packet into a huge resize.
+                debug_assert!(
+                    idx < self.window.len() + (1 << 24),
+                    "vote window jump: instance {instance:?} vs base {:?}",
+                    self.base
+                );
+                if idx >= self.window.len() {
+                    self.window.resize_with(idx + 1, || None);
+                }
+                self.window[idx] = Some(vote);
+            } else {
+                self.below.insert(instance, vote);
+            }
             Some(PaxosMsg::Phase2b { instance, round })
         } else {
             None
@@ -71,12 +115,20 @@ impl<V: Clone> Acceptor<V> {
     /// Discards vote state for all instances strictly below `instance`
     /// (garbage collection, §3.3.7). The shared `rnd` is retained.
     pub fn gc_below(&mut self, instance: InstanceId) {
-        self.votes = self.votes.split_off(&instance);
+        self.below = self.below.split_off(&instance);
+        while self.base < instance {
+            if self.window.pop_front().is_none() {
+                // Window exhausted: jump the base the rest of the way.
+                self.base = instance;
+                return;
+            }
+            self.base = self.base.next();
+        }
     }
 
     /// Number of instances with stored votes (for memory accounting).
     pub fn stored_votes(&self) -> usize {
-        self.votes.len()
+        self.below.len() + self.window.iter().filter(|v| v.is_some()).count()
     }
 }
 

@@ -52,7 +52,7 @@ fn run_schedule(steps: &[Step]) {
     let mut proposed: Vec<u32> = Vec::new();
     let mut highest_seen: Round = Round::ZERO;
 
-    let mut record_decision = |decided: &mut HashMap<InstanceId, u32>,
+    let record_decision = |decided: &mut HashMap<InstanceId, u32>,
                                instance: InstanceId,
                                value: u32| {
         if let Some(prev) = decided.insert(instance, value) {

@@ -385,7 +385,7 @@ impl Engine {
                     start = start.max(self.clocks[w]);
                 }
                 if involved.len() > 1 {
-                    start = start + self.costs.sync;
+                    start += self.costs.sync;
                     self.dependent_execs += 1;
                 }
                 let e = start + self.costs.dispatch + cost;

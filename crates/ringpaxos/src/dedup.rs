@@ -1,0 +1,121 @@
+//! Bounded duplicate detection for delivered values.
+//!
+//! Learners must deliver each value exactly once even when failover makes
+//! proposers resubmit (§3.3.5). The naive approach — a `HashSet` of every
+//! delivered [`MsgId`](abcast::MsgId) — grows without bound over a long
+//! run (a real memory leak at hundreds of thousands of deliveries per
+//! second) and pays a hash per delivered value.
+//!
+//! [`DeliveredTracker`] exploits the structure of the ids: each proposer
+//! stamps values with a contiguous per-proposer sequence number, and
+//! deliveries are *almost* in per-proposer order (out-of-order deliveries
+//! happen only around failover resubmission). Per proposer we keep one
+//! **watermark** — the lowest sequence not yet known delivered — plus a
+//! small overflow set for the out-of-order window above it. The common
+//! case (`seq == watermark`) is an array index and an increment; memory
+//! is O(proposers + transient out-of-order window) instead of
+//! O(deliveries).
+
+use std::collections::BTreeSet;
+
+use simnet::ids::NodeId;
+
+/// Exactly-once filter over `(proposer, seq)` pairs with per-proposer
+/// contiguous-sequence watermarks and a bounded overflow set.
+#[derive(Debug, Default)]
+pub struct DeliveredTracker {
+    /// `marks[p]` = lowest sequence of proposer `p` not yet delivered
+    /// (every seq below it has been). Grown on first use per proposer.
+    marks: Vec<u64>,
+    /// Delivered sequences at or above their proposer's watermark
+    /// (out-of-order window; drained as the watermark advances).
+    overflow: BTreeSet<(usize, u64)>,
+}
+
+impl DeliveredTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> DeliveredTracker {
+        DeliveredTracker::default()
+    }
+
+    /// Records a delivery of `(proposer, seq)`. Returns `true` when fresh
+    /// (deliver it) and `false` for a duplicate (drop it).
+    pub fn fresh(&mut self, proposer: NodeId, seq: u64) -> bool {
+        let p = proposer.0;
+        if p >= self.marks.len() {
+            self.marks.resize(p + 1, 0);
+        }
+        let mark = self.marks[p];
+        if seq < mark {
+            return false;
+        }
+        if seq == mark {
+            // The common case: in-order delivery. Advance the watermark
+            // through any overflow entries it now reaches.
+            let mut next = mark + 1;
+            while self.overflow.remove(&(p, next)) {
+                next += 1;
+            }
+            self.marks[p] = next;
+            true
+        } else {
+            // Out-of-order (failover window): park above the watermark.
+            self.overflow.insert((p, seq))
+        }
+    }
+
+    /// Entries currently parked out of order (diagnostics/tests).
+    pub fn overflow_len(&self) -> usize {
+        self.overflow.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_stream_uses_no_overflow() {
+        let mut t = DeliveredTracker::new();
+        for seq in 0..10_000 {
+            assert!(t.fresh(NodeId(3), seq));
+        }
+        assert_eq!(t.overflow_len(), 0);
+        // Everything replays as a duplicate.
+        for seq in 0..10_000 {
+            assert!(!t.fresh(NodeId(3), seq));
+        }
+    }
+
+    #[test]
+    fn out_of_order_window_drains() {
+        let mut t = DeliveredTracker::new();
+        assert!(t.fresh(NodeId(0), 2));
+        assert!(t.fresh(NodeId(0), 1));
+        assert_eq!(t.overflow_len(), 2);
+        assert!(t.fresh(NodeId(0), 0)); // watermark sweeps through 0..=2
+        assert_eq!(t.overflow_len(), 0);
+        assert!(!t.fresh(NodeId(0), 1));
+        assert!(!t.fresh(NodeId(0), 2));
+        assert!(t.fresh(NodeId(0), 3));
+    }
+
+    #[test]
+    fn proposers_are_independent() {
+        let mut t = DeliveredTracker::new();
+        assert!(t.fresh(NodeId(0), 0));
+        assert!(t.fresh(NodeId(7), 0));
+        assert!(!t.fresh(NodeId(7), 0));
+        assert!(t.fresh(NodeId(7), 1));
+        assert!(t.fresh(NodeId(0), 1));
+    }
+
+    #[test]
+    fn duplicate_in_overflow_detected() {
+        let mut t = DeliveredTracker::new();
+        assert!(t.fresh(NodeId(1), 5));
+        assert!(!t.fresh(NodeId(1), 5));
+        assert!(t.fresh(NodeId(1), 0));
+        assert!(!t.fresh(NodeId(1), 5));
+    }
+}

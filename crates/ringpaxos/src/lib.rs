@@ -33,6 +33,7 @@
 
 pub mod cluster;
 pub mod config;
+pub mod dedup;
 pub mod mring;
 pub mod msg;
 pub mod uring;
@@ -40,4 +41,5 @@ pub mod value;
 
 pub use cluster::{deploy_mring, deploy_uring, MRingDeployment, MRingOptions, URingDeployment, URingOptions};
 pub use config::{FlowConfig, MRingConfig, SkipConfig, StorageMode, URingConfig};
-pub use value::{batch_bytes, Batch, Value};
+pub use dedup::DeliveredTracker;
+pub use value::{batch_bytes, Batch, BatchData, Value};

@@ -22,7 +22,7 @@
 //! (§3.3.6), and version-vector garbage collection (§3.3.7).
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -32,8 +32,9 @@ use paxos::msg::{quorum, InstanceId, Round};
 use simnet::prelude::*;
 
 use crate::config::{MRingConfig, StorageMode};
+use crate::dedup::DeliveredTracker;
 use crate::msg::MMsg;
-use crate::value::{batch_bytes, Batch, Value, ALL_PARTITIONS};
+use crate::value::{batch_bytes, Batch, BatchData, Value, ALL_PARTITIONS};
 
 // Timer tokens: kind in the top byte, payload (instance) below.
 const T_BATCH: u64 = 1 << 56;
@@ -111,26 +112,90 @@ struct AccState {
     last_coord_activity: Time,
 }
 
-/// Learner-only state.
+/// Per-instance learner state: buffered payload (with the round of the
+/// 2A that carried it — highest round wins, so stale coordinators cannot
+/// poison delivery), announced decision round, and whether the instance
+/// belongs to a foreign partition (skipped without payload, ch. 4
+/// §4.2.2).
+#[derive(Default)]
+struct LearnerSlot {
+    payload: Option<(Round, Batch)>,
+    decided: Option<Round>,
+    foreign: bool,
+}
+
+impl LearnerSlot {
+    /// Deliverable: payload present and its round matches the deciding
+    /// round (the paper's value-id check).
+    fn ready(&self) -> bool {
+        matches!((&self.decided, &self.payload), (Some(dr), Some((pr, _))) if dr == pr)
+    }
+}
+
+/// Learner-only state. Instances at or above `next_deliver` live in a
+/// dense sliding window (`window[instance - next_deliver]`): delivery
+/// always advances the window's base, so the per-packet bookkeeping is
+/// array indexing rather than the four tree searches per instance the
+/// previous `BTreeMap`s cost.
 struct LearnerState {
     index: usize,
     my_mask: u32,
-    /// Buffered payloads with the round of the 2A that carried them
-    /// (highest round wins — stale coordinators cannot poison delivery).
-    payloads: BTreeMap<InstanceId, (Round, Batch)>,
-    /// Announced decisions with their deciding round.
-    decided: BTreeMap<InstanceId, Round>,
-    /// Instances decided for partitions this learner does not subscribe
-    /// to — skipped over without payload (ch. 4 §4.2.2).
-    foreign: BTreeSet<InstanceId>,
+    /// Slots for `next_deliver..`, indexed by offset.
+    window: VecDeque<LearnerSlot>,
     next_deliver: InstanceId,
-    delivered_ids: HashSet<MsgId>,
+    /// Exactly-once filter over delivered values, bounded by per-proposer
+    /// watermarks instead of an ever-growing id set.
+    delivered: DeliveredTracker,
     slowdown_active: bool,
     applied_reported: InstanceId,
     /// Horizon snapshot from the previous retransmission check: only
     /// instances already visible a full interval ago are requested, so
     /// normally in-flight instances are not mistaken for losses.
     prev_horizon: InstanceId,
+}
+
+impl LearnerState {
+    /// Mutable slot for `instance`, growing the window as needed.
+    /// `None` when the instance is already delivered (below the window).
+    #[inline]
+    fn slot_mut(&mut self, instance: InstanceId) -> Option<&mut LearnerSlot> {
+        if instance < self.next_deliver {
+            return None;
+        }
+        let idx = (instance.0 - self.next_deliver.0) as usize;
+        // Flow control bounds how far instances run ahead of delivery; a
+        // far-ahead id would turn one packet into a huge resize.
+        debug_assert!(
+            idx < self.window.len() + (1 << 24),
+            "learner window jump: instance {instance:?} vs next_deliver {:?}",
+            self.next_deliver
+        );
+        if idx >= self.window.len() {
+            self.window.resize_with(idx + 1, LearnerSlot::default);
+        }
+        Some(&mut self.window[idx])
+    }
+
+    /// Read-only slot for `instance`, if it is inside the window.
+    #[inline]
+    fn slot(&self, instance: InstanceId) -> Option<&LearnerSlot> {
+        if instance < self.next_deliver {
+            return None;
+        }
+        self.window.get((instance.0 - self.next_deliver.0) as usize)
+    }
+
+    /// Highest instance holding a payload or decision (the retransmission
+    /// horizon), or `next_deliver` when nothing is buffered — the same
+    /// value the previous map representation derived from its max keys.
+    fn horizon(&self) -> InstanceId {
+        for (off, slot) in self.window.iter().enumerate().rev() {
+            if slot.payload.is_some() || slot.decided.is_some() {
+                return InstanceId(self.next_deliver.0 + off as u64);
+            }
+        }
+        self.next_deliver
+    }
 }
 
 /// Proposer-only state.
@@ -175,6 +240,9 @@ pub struct MRingProcess {
     /// Live control of the learner's per-batch processing cost
     /// (Fig. 3.14's slow-learner trace).
     cost_ctl: Option<Rc<Cell<Dur>>>,
+    /// Highest GC watermark already applied; re-announcements of the same
+    /// watermark (it rides on every 2A) skip the tree-splitting work.
+    gc_applied: InstanceId,
 }
 
 impl MRingProcess {
@@ -231,11 +299,9 @@ impl MRingProcess {
         let lrn = learner_index.map(|index| LearnerState {
             index,
             my_mask: cfg.learner_mask(index),
-            payloads: BTreeMap::new(),
-            decided: BTreeMap::new(),
-            foreign: BTreeSet::new(),
+            window: VecDeque::new(),
             next_deliver: InstanceId(0),
-            delivered_ids: HashSet::new(),
+            delivered: DeliveredTracker::new(),
             slowdown_active: false,
             applied_reported: InstanceId(0),
             prev_horizon: InstanceId(0),
@@ -262,6 +328,7 @@ impl MRingProcess {
             total_acceptors,
             rate_ctl: None,
             cost_ctl: None,
+            gc_applied: InstanceId(0),
         }
     }
 
@@ -327,7 +394,7 @@ impl MRingProcess {
                 p.unacked.insert(seq, v);
             }
             ctx.udp_send(coordinator, MMsg::Propose(v), bytes);
-            ctx.counter_add("rp.proposed", 1);
+            ctx.counter_add_id(metric::id::PROPOSED, 1);
         }
         ctx.set_timer(interval, TimerToken(T_PACE));
     }
@@ -381,7 +448,7 @@ impl MRingProcess {
                     bytes += v.bytes as u64;
                     vals.push(v);
                 }
-                let batch: Batch = Rc::new(vals);
+                let batch: Batch = BatchData::new(vals);
                 let instance = c.next_instance;
                 c.next_instance = instance.next();
                 c.outstanding.insert(instance, (batch.clone(), ctx.now(), mask));
@@ -479,7 +546,7 @@ impl MRingProcess {
                 if let Some(a) = self.acc.as_mut() {
                     a.decided.insert(instance);
                 }
-                ctx.counter_add(metric::INSTANCES, 1);
+                ctx.counter_add_id(metric::id::INSTANCES, 1);
                 let round = self.round;
                 self.learner_decide(&[(instance, mask)], round);
                 self.try_deliver(ctx);
@@ -645,15 +712,11 @@ impl MRingProcess {
 
     fn learner_store(&mut self, instance: InstanceId, batch: &Batch, mask: u32, round: Round) {
         if let Some(l) = self.lrn.as_mut() {
-            if instance >= l.next_deliver && mask & l.my_mask != 0 {
-                match l.payloads.entry(instance) {
-                    std::collections::btree_map::Entry::Vacant(e) => {
-                        e.insert((round, batch.clone()));
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut e) => {
-                        if round > e.get().0 {
-                            e.insert((round, batch.clone()));
-                        }
+            if mask & l.my_mask != 0 {
+                if let Some(slot) = l.slot_mut(instance) {
+                    match &slot.payload {
+                        Some((r, _)) if *r >= round => {}
+                        _ => slot.payload = Some((round, batch.clone())),
                     }
                 }
             }
@@ -662,14 +725,14 @@ impl MRingProcess {
 
     fn learner_decide(&mut self, instances: &[(InstanceId, u32)], round: Round) {
         if let Some(l) = self.lrn.as_mut() {
+            let my_mask = l.my_mask;
             for &(i, mask) in instances {
-                if i >= l.next_deliver {
-                    if mask & l.my_mask == 0 {
+                if let Some(slot) = l.slot_mut(i) {
+                    if mask & my_mask == 0 {
                         // Another partition's instance: skip over it.
-                        l.foreign.insert(i);
+                        slot.foreign = true;
                     } else {
-                        let e = l.decided.entry(i).or_insert(round);
-                        *e = (*e).max(round);
+                        slot.decided = Some(slot.decided.map_or(round, |e| e.max(round)));
                     }
                 }
             }
@@ -680,9 +743,9 @@ impl MRingProcess {
     /// pins both payload and decision to the vote's round.
     fn learner_authoritative(&mut self, instance: InstanceId, batch: &Batch, round: Round) {
         if let Some(l) = self.lrn.as_mut() {
-            if instance >= l.next_deliver {
-                l.payloads.insert(instance, (round, batch.clone()));
-                l.decided.insert(instance, round);
+            if let Some(slot) = l.slot_mut(instance) {
+                slot.payload = Some((round, batch.clone()));
+                slot.decided = Some(round);
             }
         }
     }
@@ -693,22 +756,17 @@ impl MRingProcess {
         loop {
             let Some(l) = self.lrn.as_mut() else { return };
             let next = l.next_deliver;
-            if l.foreign.remove(&next) {
+            let Some(front) = l.window.front() else { break };
+            if front.foreign {
                 // Not our partition: advance without delivering (§4.2.2).
-                l.decided.remove(&next);
-                l.payloads.remove(&next);
+                l.window.pop_front();
                 l.next_deliver = next.next();
                 continue;
             }
-            let ready = match (l.decided.get(&next), l.payloads.get(&next)) {
-                // Deliver only when the payload's round matches the
-                // deciding round (the paper's value-id check): a payload
-                // from a deposed coordinator never masquerades as the
-                // decided value.
-                (Some(dr), Some((pr, _))) => dr == pr,
-                _ => false,
-            };
-            if !ready {
+            // Deliver only when the payload's round matches the deciding
+            // round (the paper's value-id check): a payload from a
+            // deposed coordinator never masquerades as the decided value.
+            if !front.ready() {
                 break;
             }
             if batch_cost > Dur::ZERO {
@@ -723,13 +781,13 @@ impl MRingProcess {
                 ctx.charge_cpu(1, batch_cost);
             }
             let l = self.lrn.as_mut().expect("learner");
-            let (_, batch) = l.payloads.remove(&next).expect("payload checked");
-            l.decided.remove(&next);
+            let slot = l.window.pop_front().expect("front checked");
+            let (_, batch) = slot.payload.expect("payload checked");
             l.next_deliver = next.next();
             let index = l.index;
             let mut delivered_here = Vec::new();
             for v in batch.iter() {
-                if !l.delivered_ids.insert(v.id) {
+                if !l.delivered.fresh(v.proposer, v.seq) {
                     continue; // duplicate after failover resubmission
                 }
                 delivered_here.push(*v);
@@ -741,8 +799,8 @@ impl MRingProcess {
                 }
             }
             for v in &delivered_here {
-                ctx.counter_add(metric::DELIVERED_BYTES, v.bytes as u64);
-                ctx.counter_add(metric::DELIVERED_MSGS, 1);
+                ctx.counter_add_id(metric::id::DELIVERED_BYTES, v.bytes as u64);
+                ctx.counter_add_id(metric::id::DELIVERED_MSGS, 1);
                 if v.proposer == self.me {
                     ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
                     if let Some(p) = self.prop.as_mut() {
@@ -764,18 +822,12 @@ impl MRingProcess {
         // instances (scanning them per event would be quadratic).
         let cap = self.cfg.flow.learner_threshold.saturating_mul(2).max(16);
         let Some(l) = self.lrn.as_ref() else { return 0 };
-        let mut i = l.next_deliver;
         let mut n = 0;
-        while n < cap {
-            let ready = match (l.decided.get(&i), l.payloads.get(&i)) {
-                (Some(dr), Some((pr, _))) => dr == pr,
-                _ => false,
-            };
-            if !ready {
+        for slot in l.window.iter() {
+            if n >= cap || !slot.ready() {
                 break;
             }
             n += 1;
-            i = i.next();
         }
         n
     }
@@ -809,24 +861,17 @@ impl MRingProcess {
 
     fn retrans_check(&mut self, ctx: &mut Ctx) {
         let Some(l) = self.lrn.as_mut() else { return };
-        let horizon = l
-            .payloads
-            .iter()
-            .next_back()
-            .map(|(&i, _)| i)
-            .max(l.decided.iter().next_back().map(|(&i, _)| i))
-            .unwrap_or(l.next_deliver);
+        let horizon = l.horizon();
         // Only instances already visible at the previous check are fair
         // game: anything newer is most likely still in flight.
         let stale_horizon = l.prev_horizon.min(horizon);
         let mut missing = Vec::new();
         for i in l.next_deliver.0..stale_horizon.0 {
             let i = InstanceId(i);
-            let ready = match (l.decided.get(&i), l.payloads.get(&i)) {
-                (Some(dr), Some((pr, _))) => dr == pr,
-                _ => false,
-            };
-            if !ready && !l.foreign.contains(&i) {
+            let slot = l.slot(i);
+            let ready = slot.is_some_and(|s| s.ready());
+            let foreign = slot.is_some_and(|s| s.foreign);
+            if !ready && !foreign {
                 missing.push(i);
             }
             if missing.len() >= 64 {
@@ -883,6 +928,12 @@ impl MRingProcess {
     }
 
     fn apply_gc(&mut self, upto: InstanceId) {
+        // The watermark rides on every 2A; splitting the trees again for
+        // an unchanged watermark is pure waste on the per-packet path.
+        if upto <= self.gc_applied {
+            return;
+        }
+        self.gc_applied = upto;
         if let Some(a) = self.acc.as_mut() {
             a.paxos.gc_below(upto);
             a.decided = a.decided.split_off(&upto);
@@ -1322,7 +1373,7 @@ impl MRingProcess {
         let Some(c) = self.coord.as_mut() else { return };
         let instance = c.next_instance;
         c.next_instance = instance.next();
-        let batch: Batch = Rc::new(Vec::new());
+        let batch: Batch = BatchData::empty();
         c.outstanding.insert(instance, (batch.clone(), ctx.now(), ALL_PARTITIONS));
         c.logical_count += weight;
         let decisions = Rc::new(std::mem::take(&mut c.decided_unsent));

@@ -183,7 +183,7 @@ mod tests {
 
     #[test]
     fn messages_are_cheap_to_clone() {
-        let batch: Batch = Rc::new(vec![Value {
+        let batch: Batch = crate::value::BatchData::new(vec![Value {
             id: MsgId(1),
             proposer: NodeId(0),
             seq: 0,

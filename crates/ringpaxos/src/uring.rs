@@ -11,18 +11,19 @@
 //! Flow control is inherent: TCP back-pressure between neighbours plus a
 //! bounded window of outstanding consensus instances (§3.3.6).
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 use abcast::{metric, MsgId, Pacer, SharedLog};
+
+use crate::dedup::DeliveredTracker;
 use paxos::acceptor::Acceptor;
 use paxos::msg::{InstanceId, Round};
 use simnet::prelude::*;
 
 use crate::config::{StorageMode, URingConfig};
 use crate::msg::UMsg;
-use crate::value::{batch_bytes, Batch, Value};
+use crate::value::{batch_bytes, Batch, BatchData, Value};
 
 const T_BATCH: u64 = 1 << 56;
 const T_PACE: u64 = 2 << 56;
@@ -57,7 +58,9 @@ struct ULearner {
     index: usize,
     ready: BTreeMap<InstanceId, Batch>,
     next_deliver: InstanceId,
-    delivered_ids: HashSet<MsgId>,
+    /// Exactly-once filter over delivered values, bounded by per-proposer
+    /// watermarks instead of an ever-growing id set.
+    delivered: DeliveredTracker,
 }
 
 struct UProposer {
@@ -96,7 +99,7 @@ impl URingProcess {
             index,
             ready: BTreeMap::new(),
             next_deliver: InstanceId(0),
-            delivered_ids: HashSet::new(),
+            delivered: DeliveredTracker::new(),
         });
         URingProcess {
             cfg,
@@ -126,26 +129,20 @@ impl URingProcess {
     /// proposer (Task 5): each payload crosses each link exactly once,
     /// which is what makes U-Ring Paxos ~90% efficient (Table 3.2).
     fn hop_bytes(&self, batch: &Batch, next_pos: usize, decision_hop: bool) -> u32 {
-        let last = self.cfg.last_acceptor_pos();
-        let mut bytes = 0u64;
-        for v in batch.iter() {
-            let p = self.cfg.ring.iter().position(|&n| n == v.proposer);
-            let needed = if next_pos == 0 {
-                false // the coordinator assembled the batch
-            } else if decision_hop && next_pos <= last {
-                false // acceptor segment got the payload in Phase 2A/2B
-            } else {
-                match p {
-                    Some(0) | None => true,
-                    // Positions after the proposer relayed the value on
-                    // its way to the coordinator.
-                    Some(p) => next_pos < p,
-                }
-            };
-            if needed {
-                bytes += v.bytes as u64;
-            }
-        }
+        // No payload when the receiver has seen it all: the coordinator
+        // assembled the batch, and the acceptor segment got the payload
+        // in Phase 2A/2B before a decision hop reaches it.
+        let seen_all = next_pos == 0
+            || (decision_hop && next_pos <= self.cfg.last_acceptor_pos());
+        let bytes = if seen_all {
+            0
+        } else {
+            // Payloads the receiver has not yet seen: proposed at or past
+            // its position (it relayed earlier proposers' values on their
+            // way to the coordinator), plus coordinator/off-ring values —
+            // all precomputed at pack time (one table read).
+            batch.bytes_needed_beyond(next_pos)
+        };
         (bytes.min(u32::MAX as u64) as u32).max(self.cfg.ctl_bytes)
     }
 
@@ -196,7 +193,7 @@ impl URingProcess {
             });
         }
         for v in new_values {
-            ctx.counter_add("rp.proposed", 1);
+            ctx.counter_add_id(metric::id::PROPOSED, 1);
             if let Some(p) = self.prop.as_mut() {
                 p.inflight += 1;
             }
@@ -236,7 +233,7 @@ impl URingProcess {
                 bytes += v.bytes as u64;
                 vals.push(v);
             }
-            let batch: Batch = Rc::new(vals);
+            let batch: Batch = BatchData::pack(vals, &self.cfg.ring);
             let instance = c.next_instance;
             c.next_instance = instance.next();
             c.outstanding.insert(instance);
@@ -248,7 +245,7 @@ impl URingProcess {
             let _ = bytes;
             let wire = self.hop_bytes(&batch, self.next_pos(), false);
             let succ = self.successor();
-            ctx.counter_add(metric::INSTANCES, 1);
+            ctx.counter_add_id(metric::id::INSTANCES, 1);
             if self.cfg.last_acceptor_pos() == 0 {
                 // Degenerate single-acceptor ring: the coordinator is also
                 // the last acceptor and decides immediately.
@@ -353,7 +350,7 @@ impl URingProcess {
             let index = l.index;
             let mut fresh = Vec::new();
             for v in b.iter() {
-                if l.delivered_ids.insert(v.id) {
+                if l.delivered.fresh(v.proposer, v.seq) {
                     fresh.push(*v);
                 }
             }
@@ -364,8 +361,8 @@ impl URingProcess {
                 }
             }
             for v in &fresh {
-                ctx.counter_add(metric::DELIVERED_BYTES, v.bytes as u64);
-                ctx.counter_add(metric::DELIVERED_MSGS, 1);
+                ctx.counter_add_id(metric::id::DELIVERED_BYTES, v.bytes as u64);
+                ctx.counter_add_id(metric::id::DELIVERED_MSGS, 1);
                 if v.proposer == self.me {
                     ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
                     if let Some(p) = self.prop.as_mut() {

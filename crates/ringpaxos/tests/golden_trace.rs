@@ -1,0 +1,158 @@
+//! Golden-trace determinism test.
+//!
+//! Runs a seeded M-Ring Paxos deployment (with loss injection, so the
+//! RNG, retransmission, and flow-control paths are all exercised) and a
+//! seeded U-Ring deployment, then asserts the *exact* event count,
+//! per-learner delivery counts, and a checksum over every per-node
+//! counter. Any change to the engine's data structures that accidentally
+//! reorders events, perturbs the RNG stream, or miscounts a metric shows
+//! up here as a hard failure.
+//!
+//! The expected values were captured from the engine before the hot-path
+//! overhaul (interned metrics, dense TCP tables, cached batch routing);
+//! the overhauled engine must reproduce them bit for bit. To re-capture
+//! after an *intentional* semantic change:
+//!
+//! ```text
+//! GOLDEN_PRINT=1 cargo test -p ringpaxos --test golden_trace -- --nocapture
+//! ```
+
+use abcast::metric;
+use ringpaxos::cluster::{deploy_mring, deploy_uring, MRingOptions, URingOptions};
+use simnet::prelude::*;
+
+/// FNV-1a over every non-zero `(node, name, value)` counter triple in
+/// deterministic order.
+fn counter_checksum(sim: &Sim) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    let mut byte = |b: u8| {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    };
+    sim.metrics().for_each_counter(|node, name, v| {
+        for b in (node.0 as u64).to_le_bytes() {
+            byte(b);
+        }
+        for b in name.bytes() {
+            byte(b);
+        }
+        for b in v.to_le_bytes() {
+            byte(b);
+        }
+    });
+    h
+}
+
+struct Golden {
+    events: u64,
+    delivered: Vec<u64>,
+    checksum: u64,
+    latency_count: usize,
+    latency_mean_ns: u64,
+}
+
+fn report(label: &str, got: &Golden, want: &Golden) {
+    if std::env::var("GOLDEN_PRINT").is_ok() {
+        println!(
+            "{label}: events={} delivered={:?} checksum={:#x} latency_count={} latency_mean_ns={}",
+            got.events, got.delivered, got.checksum, got.latency_count, got.latency_mean_ns
+        );
+        return;
+    }
+    assert_eq!(got.events, want.events, "{label}: event count drifted");
+    assert_eq!(got.delivered, want.delivered, "{label}: per-learner deliveries drifted");
+    assert_eq!(got.checksum, want.checksum, "{label}: counter checksum drifted");
+    assert_eq!(got.latency_count, want.latency_count, "{label}: latency sample count drifted");
+    assert_eq!(got.latency_mean_ns, want.latency_mean_ns, "{label}: latency mean drifted");
+}
+
+fn harvest(sim: &Sim, learners: &[NodeId]) -> Golden {
+    let lat = sim.metrics().latency(metric::LATENCY);
+    Golden {
+        events: sim.events_processed(),
+        delivered: learners
+            .iter()
+            .map(|&n| sim.metrics().counter(n, metric::DELIVERED_MSGS))
+            .collect(),
+        checksum: counter_checksum(sim),
+        latency_count: lat.count,
+        latency_mean_ns: lat.mean.as_nanos(),
+    }
+}
+
+#[test]
+fn mring_golden_trace() {
+    let mut cfg = SimConfig::default();
+    cfg.seed = 0x601D;
+    let mut sim = Sim::new(cfg);
+    let opts = MRingOptions {
+        ring_size: 3,
+        n_learners: 2,
+        n_proposers: 2,
+        proposer_rate_bps: 200_000_000,
+        proposer_stop: Some(Time::from_millis(600)),
+        ..MRingOptions::default()
+    };
+    let d = deploy_mring(&mut sim, &opts, |_| {});
+    sim.run_until(Time::from_millis(800));
+    let got = harvest(&sim, &d.all_learners);
+    let want = Golden {
+        events: 102418,
+        delivered: vec![3664, 3664, 3664, 3664],
+        checksum: 0xbea8ba7530c18542,
+        latency_count: 3664,
+        latency_mean_ns: 881880,
+    };
+    report("mring", &got, &want);
+}
+
+#[test]
+fn mring_lossy_golden_trace() {
+    let mut cfg = SimConfig::default();
+    cfg.seed = 0xA5A5;
+    cfg.random_loss = 0.002;
+    let mut sim = Sim::new(cfg);
+    let opts = MRingOptions {
+        ring_size: 4,
+        n_learners: 2,
+        n_proposers: 2,
+        proposer_rate_bps: 150_000_000,
+        proposer_stop: Some(Time::from_millis(600)),
+        ..MRingOptions::default()
+    };
+    let d = deploy_mring(&mut sim, &opts, |_| {});
+    sim.run_until(Time::from_millis(800));
+    let got = harvest(&sim, &d.all_learners);
+    let want = Golden {
+        events: 89584,
+        delivered: vec![2744, 2744, 2744, 2744],
+        checksum: 0xf805c417c1f20596,
+        latency_count: 2744,
+        latency_mean_ns: 89343610,
+    };
+    report("mring_lossy", &got, &want);
+}
+
+#[test]
+fn uring_golden_trace() {
+    let mut cfg = SimConfig::default();
+    cfg.seed = 0x0451;
+    let mut sim = Sim::new(cfg);
+    let opts = URingOptions {
+        ring_len: 5,
+        n_acceptors: 3,
+        proposer_rate_bps: 120_000_000,
+        proposer_stop: Some(Time::from_millis(600)),
+        ..URingOptions::default()
+    };
+    let d = deploy_uring(&mut sim, &opts, |_| {});
+    sim.run_until(Time::from_millis(800));
+    let got = harvest(&sim, &d.ring);
+    let want = Golden {
+        events: 38835,
+        delivered: vec![1375, 1375, 1375, 1375, 1375],
+        checksum: 0x13a7cdb7b6ff35e1,
+        latency_count: 1375,
+        latency_mean_ns: 4462429,
+    };
+    report("uring", &got, &want);
+}

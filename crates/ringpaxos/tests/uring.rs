@@ -85,7 +85,7 @@ fn latency_grows_with_ring_size() {
         let mut sim = Sim::new(SimConfig::default());
         let opts = URingOptions {
             ring_len: n,
-            n_acceptors: (n + 1) / 2,
+            n_acceptors: n.div_ceil(2),
             proposer_positions: vec![0],
             proposer_rate_bps: 50_000_000,
             msg_bytes: 8192,

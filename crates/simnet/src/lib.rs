@@ -44,6 +44,6 @@ pub mod prelude {
     pub use crate::ids::{GroupId, NodeId, TimerToken};
     pub use crate::payload::Payload;
     pub use crate::sim::{Actor, Ctx, Envelope, Sim, Transport};
-    pub use crate::stats::{mbps, per_sec, LatencyStats, Metrics};
+    pub use crate::stats::{mbps, mid, per_sec, LatencyStats, MetricId, Metrics};
     pub use crate::time::{Dur, Time};
 }

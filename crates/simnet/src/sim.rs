@@ -25,8 +25,20 @@
 //!
 //! TCP channels are reliable, ordered, and flow-controlled by a window;
 //! they never drop but instead queue at the sender.
+//!
+//! # Hot-path design
+//!
+//! Every simulated packet passes through the engine twice (host arrival,
+//! delivery), so the per-event structures are all dense and index-based:
+//! the future event set is a 4-ary min-heap of compact keys over an
+//! [`EventKind`] slab, TCP channels live in a per-node-pair slot table
+//! ([`SimInner::tcp_send_from`]), metrics are pre-interned counters in a
+//! per-node matrix ([`crate::stats`]), and multicast fan-out reuses one
+//! scratch buffer. Determinism is unaffected: events pop in exact
+//! `(time, seq)` order, so any run is bit-for-bit reproducible from its
+//! seed (the golden-trace tests in `ringpaxos` pin this down).
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -34,7 +46,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::SimConfig;
 use crate::ids::{GroupId, NodeId, TimerToken};
 use crate::payload::Payload;
-use crate::stats::Metrics;
+use crate::stats::{mid, MetricId, Metrics};
 use crate::time::{Dur, Time};
 
 /// How a message travelled, as seen by the receiving actor.
@@ -88,27 +100,100 @@ enum EventKind {
     DiskDone { node: NodeId, token: TimerToken },
 }
 
-struct Event {
+/// Compact ordering key for one queued event. The payload lives in the
+/// queue's slab; only these 24 bytes move during heap sifts.
+#[derive(Clone, Copy)]
+struct EventKey {
     time: Time,
     seq: u64,
-    kind: EventKind,
+    slot: u32,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl EventKey {
+    #[inline]
+    fn key(&self) -> (Time, u64) {
+        (self.time, self.seq)
     }
 }
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+
+/// The simulation's future event set: a 4-ary min-heap of [`EventKey`]s
+/// over a slab of [`EventKind`]s.
+///
+/// Keys are unique (`seq` increments per push), so any correct priority
+/// queue pops the exact same `(time, seq)` sequence — the heap layout is
+/// unobservable and determinism is preserved by construction. The 4-ary
+/// shape halves the tree depth of a binary heap and keeps sift traffic
+/// on 24-byte keys instead of ~56-byte events, which matters because
+/// every simulated packet passes through this queue twice.
+#[derive(Default)]
+struct EventQueue {
+    heap: Vec<EventKey>,
+    slab: Vec<Option<EventKind>>,
+    free: Vec<u32>,
 }
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reverse order: BinaryHeap is a max-heap, we want earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+
+impl EventQueue {
+    fn push(&mut self, time: Time, seq: u64, kind: EventKind) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.slab[s as usize] = Some(kind);
+                s
+            }
+            None => {
+                self.slab.push(Some(kind));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        // Sift up.
+        let mut i = self.heap.len();
+        let entry = EventKey { time, seq, slot };
+        self.heap.push(entry);
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.heap[parent].key() <= entry.key() {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            i = parent;
+        }
+        self.heap[i] = entry;
+    }
+
+    #[inline]
+    fn peek_time(&self) -> Option<Time> {
+        self.heap.first().map(|e| e.time)
+    }
+
+    fn pop(&mut self) -> Option<(Time, EventKind)> {
+        let top = *self.heap.first()?;
+        let kind = self.slab[top.slot as usize].take().expect("queued event present");
+        self.free.push(top.slot);
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            // Sift the former last element down from the root.
+            let mut i = 0;
+            let len = self.heap.len();
+            loop {
+                let first_child = 4 * i + 1;
+                if first_child >= len {
+                    break;
+                }
+                let mut min_child = first_child;
+                let last_child = (first_child + 3).min(len - 1);
+                for c in first_child + 1..=last_child {
+                    if self.heap[c].key() < self.heap[min_child].key() {
+                        min_child = c;
+                    }
+                }
+                if self.heap[min_child].key() >= last.key() {
+                    break;
+                }
+                self.heap[i] = self.heap[min_child];
+                i = min_child;
+            }
+            self.heap[i] = last;
+        }
+        Some((top.time, kind))
     }
 }
 
@@ -146,10 +231,22 @@ pub struct SimInner {
     config: SimConfig,
     now: Time,
     seq: u64,
-    queue: BinaryHeap<Event>,
+    /// Events dispatched so far (the denominator of wall-clock events/sec).
+    events: u64,
+    queue: EventQueue,
     nodes: Vec<Node>,
     groups: Vec<Vec<NodeId>>,
-    tcp: HashMap<(NodeId, NodeId), TcpChannel>,
+    /// Reusable destination buffer for multicast fan-out (avoids one
+    /// allocation per multicast on the hot path).
+    mcast_scratch: Vec<NodeId>,
+    /// Dense TCP channel table: `tcp_index[src * n + dst]` holds
+    /// `slot + 1` into `tcp_chans` (0 = no channel yet), so the
+    /// per-segment and per-ack paths are two array indexes instead of a
+    /// tuple hash. Rebuilt lazily when nodes are added.
+    tcp_index: Vec<u32>,
+    tcp_chans: Vec<TcpChannel>,
+    /// Node count `tcp_index` was laid out for.
+    tcp_nodes: usize,
     rng: SmallRng,
     /// Public metrics registry; actors record through [`Ctx`].
     pub metrics: Metrics,
@@ -158,7 +255,7 @@ pub struct SimInner {
 impl SimInner {
     fn push(&mut self, time: Time, kind: EventKind) {
         self.seq += 1;
-        self.queue.push(Event { time, seq: self.seq, kind });
+        self.queue.push(time, self.seq, kind);
     }
 
     /// Current virtual time.
@@ -197,8 +294,8 @@ impl SimInner {
         let up = &mut self.nodes[src.0];
         let up_done = up.uplink_free.max(cpu_done) + tx;
         up.uplink_free = up_done;
-        self.metrics.add(src, "net.sent_bytes", bytes as u64);
-        self.metrics.add(src, "net.sent_pkts", 1);
+        self.metrics.add_id(src, mid::NET_SENT_BYTES, bytes as u64);
+        self.metrics.add_id(src, mid::NET_SENT_PKTS, 1);
         for &dst in dsts {
             self.downlink(src, dst, payload.clone(), bytes, transport, up_done, tx);
         }
@@ -215,21 +312,21 @@ impl SimInner {
         tx: Dur,
     ) {
         if !self.nodes[dst.0].up {
-            self.metrics.add(dst, "net.down_drop", bytes as u64);
+            self.metrics.add_id(dst, mid::NET_DOWN_DROP, bytes as u64);
             return;
         }
         if transport != Transport::Tcp {
             // Random loss injection.
             if self.config.random_loss > 0.0 && self.rng.gen::<f64>() < self.config.random_loss {
-                self.metrics.add(dst, "net.rand_drop", 1);
+                self.metrics.add_id(dst, mid::NET_RAND_DROP, 1);
                 return;
             }
             // Switch egress port buffer (tail drop).
             let backlog = self.nodes[dst.0].downlink_free.saturating_since(arrive_at_switch);
             let queued = self.config.backlog_bytes(backlog);
             if queued + self.config.wire_bytes(bytes) > self.config.switch_port_buffer as u64 {
-                self.metrics.add(dst, "net.switch_drop", 1);
-                self.metrics.add(dst, "net.switch_drop_bytes", bytes as u64);
+                self.metrics.add_id(dst, mid::NET_SWITCH_DROP, 1);
+                self.metrics.add_id(dst, mid::NET_SWITCH_DROP_BYTES, bytes as u64);
                 return;
             }
         }
@@ -241,10 +338,48 @@ impl SimInner {
         self.push(at_host, EventKind::HostArrive(env));
     }
 
+    /// Slot of the `src -> dst` channel, if one exists.
+    #[inline]
+    fn tcp_slot(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        let n = self.tcp_nodes;
+        if src.0 < n && dst.0 < n {
+            match self.tcp_index[src.0 * n + dst.0] {
+                0 => None,
+                i => Some(i as usize - 1),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Slot of the `src -> dst` channel, creating it (and re-laying the
+    /// index out if nodes were added since) as needed.
+    fn tcp_slot_or_create(&mut self, src: NodeId, dst: NodeId) -> usize {
+        let n_now = self.nodes.len();
+        if n_now != self.tcp_nodes {
+            let old_n = self.tcp_nodes;
+            let mut index = vec![0u32; n_now * n_now];
+            for s in 0..old_n {
+                for d in 0..old_n {
+                    index[s * n_now + d] = self.tcp_index[s * old_n + d];
+                }
+            }
+            self.tcp_index = index;
+            self.tcp_nodes = n_now;
+        }
+        let cell = &mut self.tcp_index[src.0 * self.tcp_nodes + dst.0];
+        if *cell == 0 {
+            self.tcp_chans.push(TcpChannel::new());
+            *cell = self.tcp_chans.len() as u32;
+        }
+        *cell as usize - 1
+    }
+
     fn tcp_pump(&mut self, src: NodeId, dst: NodeId) {
+        let Some(slot) = self.tcp_slot(src, dst) else { return };
         let window = self.config.tcp_window_bytes;
         loop {
-            let Some(ch) = self.tcp.get_mut(&(src, dst)) else { return };
+            let ch = &mut self.tcp_chans[slot];
             let Some(&(_, bytes)) = ch.queue.front() else { return };
             if ch.in_flight.saturating_add(bytes) > window && ch.in_flight > 0 {
                 return;
@@ -258,7 +393,8 @@ impl SimInner {
 
     /// Sends `payload` over the reliable channel from `src` to `dst`.
     pub fn tcp_send_from(&mut self, src: NodeId, dst: NodeId, payload: Payload, bytes: u32) {
-        let ch = self.tcp.entry((src, dst)).or_insert_with(TcpChannel::new);
+        let slot = self.tcp_slot_or_create(src, dst);
+        let ch = &mut self.tcp_chans[slot];
         ch.queue.push_back((payload, bytes));
         ch.queued_bytes += bytes as u64;
         self.tcp_pump(src, dst);
@@ -267,9 +403,11 @@ impl SimInner {
     /// Bytes queued (not yet transmitted) on the TCP channel `src -> dst`.
     /// Protocols use this for application-level back-pressure.
     pub fn tcp_backlog(&self, src: NodeId, dst: NodeId) -> u64 {
-        self.tcp
-            .get(&(src, dst))
-            .map(|ch| ch.queued_bytes + ch.in_flight as u64)
+        self.tcp_slot(src, dst)
+            .map(|slot| {
+                let ch = &self.tcp_chans[slot];
+                ch.queued_bytes + ch.in_flight as u64
+            })
             .unwrap_or(0)
     }
 
@@ -284,12 +422,13 @@ impl SimInner {
     /// the sender do not receive their own copy (the caller can loop back
     /// locally if the protocol requires it).
     pub fn mcast_from(&mut self, src: NodeId, group: GroupId, payload: Payload, bytes: u32) {
-        let dsts: Vec<NodeId> = self
-            .groups
-            .get(group.0)
-            .map(|g| g.iter().copied().filter(|&n| n != src).collect())
-            .unwrap_or_default();
+        let mut dsts = std::mem::take(&mut self.mcast_scratch);
+        dsts.clear();
+        if let Some(g) = self.groups.get(group.0) {
+            dsts.extend(g.iter().copied().filter(|&n| n != src));
+        }
         self.datagram(src, &dsts, payload, bytes, Transport::Multicast(group));
+        self.mcast_scratch = dsts;
     }
 
     /// Schedules `token` to fire on `node` after `delay`.
@@ -317,7 +456,7 @@ impl SimInner {
         let n = self.node(node);
         let done = n.disk_free.max(now) + t;
         n.disk_free = done;
-        self.metrics.add(node, "disk.written_bytes", bytes as u64);
+        self.metrics.add_id(node, mid::DISK_WRITTEN_BYTES, bytes as u64);
         self.push(done, EventKind::DiskDone { node, token });
     }
 
@@ -454,9 +593,20 @@ impl Ctx<'_> {
         self.inner.rng()
     }
 
-    /// Adds to a per-node counter.
+    /// Adds to a per-node counter by name (interned on first use).
     pub fn counter_add(&mut self, name: &'static str, v: u64) {
         self.inner.metrics.add(self.node, name, v);
+    }
+
+    /// Adds to a per-node counter by pre-interned id — the hot path for
+    /// counters bumped per delivered value (see [`crate::stats::mid`]).
+    pub fn counter_add_id(&mut self, id: MetricId, v: u64) {
+        self.inner.metrics.add_id(self.node, id, v);
+    }
+
+    /// Interns a counter name for later [`Ctx::counter_add_id`] calls.
+    pub fn intern_metric(&mut self, name: &'static str) -> MetricId {
+        self.inner.metrics.intern(name)
     }
 
     /// Records a latency sample.
@@ -481,10 +631,14 @@ impl Sim {
                 config,
                 now: Time::ZERO,
                 seq: 0,
-                queue: BinaryHeap::new(),
+                events: 0,
+                queue: EventQueue::default(),
                 nodes: Vec::new(),
                 groups: Vec::new(),
-                tcp: HashMap::new(),
+                mcast_scratch: Vec::new(),
+                tcp_index: Vec::new(),
+                tcp_chans: Vec::new(),
+                tcp_nodes: 0,
                 rng,
                 metrics: Metrics::new(),
             },
@@ -595,6 +749,12 @@ impl Sim {
         self.inner.now
     }
 
+    /// Total events dispatched since the simulation started. Together
+    /// with a wall clock this yields the engine's events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events
+    }
+
     /// The cluster configuration.
     pub fn config(&self) -> &SimConfig {
         &self.inner.config
@@ -645,13 +805,14 @@ impl Sim {
     /// deadline even if the queue drains first.
     pub fn run_until(&mut self, deadline: Time) {
         self.ensure_started();
-        while let Some(ev) = self.inner.queue.peek() {
-            if ev.time > deadline {
+        while let Some(t) = self.inner.queue.peek_time() {
+            if t > deadline {
                 break;
             }
-            let ev = self.inner.queue.pop().expect("peeked");
-            self.inner.now = ev.time;
-            self.dispatch(ev.kind);
+            let (time, kind) = self.inner.queue.pop().expect("peeked");
+            self.inner.now = time;
+            self.inner.events += 1;
+            self.dispatch(kind);
         }
         self.inner.now = self.inner.now.max(deadline);
     }
@@ -659,9 +820,10 @@ impl Sim {
     /// Runs until the event queue is empty (useful for tests).
     pub fn run_to_idle(&mut self) {
         self.ensure_started();
-        while let Some(ev) = self.inner.queue.pop() {
-            self.inner.now = ev.time;
-            self.dispatch(ev.kind);
+        while let Some((time, kind)) = self.inner.queue.pop() {
+            self.inner.now = time;
+            self.inner.events += 1;
+            self.dispatch(kind);
         }
     }
 
@@ -683,8 +845,8 @@ impl Sim {
                     };
                     let used = self.inner.nodes[dst.0].socket_used;
                     if used + env.wire_bytes as u64 > cap as u64 {
-                        self.inner.metrics.add(dst, "net.socket_drop", 1);
-                        self.inner.metrics.add(dst, "net.socket_drop_bytes", env.wire_bytes as u64);
+                        self.inner.metrics.add_id(dst, mid::NET_SOCKET_DROP, 1);
+                        self.inner.metrics.add_id(dst, mid::NET_SOCKET_DROP_BYTES, env.wire_bytes as u64);
                         return;
                     }
                     self.inner.nodes[dst.0].socket_used += env.wire_bytes as u64;
@@ -702,8 +864,8 @@ impl Sim {
                 if !self.inner.nodes[dst.0].up {
                     return;
                 }
-                self.inner.metrics.add(dst, "net.recv_bytes", env.wire_bytes as u64);
-                self.inner.metrics.add(dst, "net.recv_pkts", 1);
+                self.inner.metrics.add_id(dst, mid::NET_RECV_BYTES, env.wire_bytes as u64);
+                self.inner.metrics.add_id(dst, mid::NET_RECV_PKTS, 1);
                 if env.transport == Transport::Tcp {
                     let ack_at = self.inner.now + self.inner.config.one_way_latency;
                     self.inner.push(
@@ -728,7 +890,8 @@ impl Sim {
                 }
             }
             EventKind::TcpAck { src, dst, bytes } => {
-                if let Some(ch) = self.inner.tcp.get_mut(&(src, dst)) {
+                if let Some(slot) = self.inner.tcp_slot(src, dst) {
+                    let ch = &mut self.inner.tcp_chans[slot];
                     ch.in_flight = ch.in_flight.saturating_sub(bytes);
                 }
                 self.inner.tcp_pump(src, dst);

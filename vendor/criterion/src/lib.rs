@@ -1,0 +1,166 @@
+//! Offline stand-in for the `criterion` crate (API subset).
+//!
+//! The build environment has no access to crates.io, so this in-tree crate
+//! implements the benchmarking surface the workspace uses: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros. Each benchmark is timed with `std::time::Instant` over
+//! auto-scaled batches and reported as `name  ...  <t>/iter (<n> iters)`.
+//! Positional `cargo bench -- <filter>` arguments select benchmarks by
+//! substring, as upstream does.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark at the default sample size.
+const BASE_BUDGET: Duration = Duration::from_millis(300);
+
+/// Drives closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    budget: Duration,
+    /// Best observed nanoseconds per iteration.
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, called in auto-scaled batches until the time budget is
+    /// spent; records the fastest batch (least external noise).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: grow the batch until it runs >= ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let el = t.elapsed();
+            if el >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 8;
+        }
+        let mut best = f64::INFINITY;
+        let mut total_iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(ns);
+            total_iters += batch;
+        }
+        self.result_ns = best;
+        self.iters = total_iters;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    filters: Vec<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- foo` forwards `foo`; flags like `--bench` are not
+        // name filters.
+        let filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        Criterion { filters, sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    fn run_one(&mut self, name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.selected(name) {
+            return;
+        }
+        // Scale the time budget with the group's requested sample size so
+        // `sample_size(10)` keeps heavyweight benches quick, as upstream's
+        // sampling model effectively does.
+        let budget = BASE_BUDGET.mul_f64((sample_size as f64 / 100.0).clamp(0.05, 1.0));
+        let mut b = Bencher { budget, result_ns: 0.0, iters: 0 };
+        f(&mut b);
+        println!("{name:<40} {:>12}/iter ({} iters)", fmt_ns(b.result_ns), b.iters);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let n = self.sample_size;
+        self.run_one(name, n, &mut f);
+        self
+    }
+
+    /// Opens a named group; benchmarks inside are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.to_string(), sample_size: None }
+    }
+}
+
+/// See [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Adjusts the sampling effort for this group (upstream semantics:
+    /// fewer samples for heavyweight benchmarks).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        let n = self.sample_size.unwrap_or(self.c.sample_size);
+        self.c.run_one(&full, n, &mut f);
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op here).
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
