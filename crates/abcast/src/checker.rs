@@ -81,7 +81,12 @@ impl DeliveryLog {
         for (l, seq) in self.sequences.iter().enumerate() {
             for (pos, (&a, &b)) in seq.iter().zip(longest.iter()).enumerate() {
                 if a != b {
-                    return Err(OrderViolation::Diverged { learner: l, position: pos, got: a, expected: b });
+                    return Err(OrderViolation::Diverged {
+                        learner: l,
+                        position: pos,
+                        got: a,
+                        expected: b,
+                    });
                 }
             }
         }
@@ -251,15 +256,9 @@ mod tests {
     fn integrity_rejects_duplicates_and_phantoms() {
         let broadcast: HashSet<MsgId> = ids(&[1, 2]).into_iter().collect();
         let dup = log_from(&[&[1, 1]]);
-        assert!(matches!(
-            dup.check_integrity(&broadcast),
-            Err(OrderViolation::Duplicate { .. })
-        ));
+        assert!(matches!(dup.check_integrity(&broadcast), Err(OrderViolation::Duplicate { .. })));
         let phantom = log_from(&[&[1, 9]]);
-        assert!(matches!(
-            phantom.check_integrity(&broadcast),
-            Err(OrderViolation::Phantom { .. })
-        ));
+        assert!(matches!(phantom.check_integrity(&broadcast), Err(OrderViolation::Phantom { .. })));
         let ok = log_from(&[&[1, 2], &[2, 1]]);
         assert!(ok.check_integrity(&broadcast).is_ok());
     }
@@ -275,10 +274,7 @@ mod tests {
     #[test]
     fn partial_order_rejects_inversion() {
         let log = log_from(&[&[10, 11], &[11, 10]]);
-        assert!(matches!(
-            log.check_partial_order(),
-            Err(OrderViolation::PartialOrder { .. })
-        ));
+        assert!(matches!(log.check_partial_order(), Err(OrderViolation::PartialOrder { .. })));
     }
 
     #[test]

@@ -162,7 +162,11 @@ impl Actor for LcrProcess {
                 }
                 self.try_deliver(ctx);
                 if hops_left > 1 {
-                    ctx.tcp_send(self.succ(), LcrMsg::Commit { id_seq, hops_left: hops_left - 1 }, 32);
+                    ctx.tcp_send(
+                        self.succ(),
+                        LcrMsg::Commit { id_seq, hops_left: hops_left - 1 },
+                        32,
+                    );
                 }
             }
         }

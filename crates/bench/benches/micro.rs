@@ -7,9 +7,9 @@ use std::hint::black_box;
 
 use abcast::MsgId;
 use btree::{BPlusTree, TreeCommand, TreeService};
-use psmr::{Engine, EngineCosts, ExecModel, PCommand, PStored};
 use multiring::{DeterministicMerge, MergeEntry};
 use paxos::prelude::*;
+use psmr::{Engine, EngineCosts, ExecModel, PCommand, PStored};
 use ringpaxos::cluster::{deploy_mring, MRingOptions};
 use simnet::prelude::*;
 
@@ -32,9 +32,7 @@ fn bench_btree(c: &mut Criterion) {
     g.bench_function("range_1000_of_100k", |b| {
         b.iter(|| black_box(tree.range(black_box(40_000), black_box(40_999)).len()))
     });
-    g.bench_function("get_of_100k", |b| {
-        b.iter(|| black_box(tree.get(black_box(77_777))))
-    });
+    g.bench_function("get_of_100k", |b| b.iter(|| black_box(tree.get(black_box(77_777)))));
     g.finish();
 }
 
@@ -47,6 +45,33 @@ fn bench_service_undo(c: &mut Criterion) {
             }
             s.rollback(100);
             black_box(s.tree().len())
+        })
+    });
+}
+
+fn bench_paxos_window(c: &mut Criterion) {
+    // Steady-state coordinator pipeline over a sliding window: propose,
+    // quorum of 2Bs, periodic GC — the dense per-instance window's hot
+    // loop (previously one BTreeMap search per 2B).
+    c.bench_function("paxos/window_pipeline_1k", |b| {
+        let mut coord: Coordinator<u64> = Coordinator::new(0, 3);
+        let PaxosMsg::Phase1a { round } = coord.start_phase1(Round::ZERO) else { unreachable!() };
+        for a in 0..3 {
+            coord.receive_1b(a, round, &[]);
+        }
+        b.iter(|| {
+            let mut last = InstanceId(0);
+            for v in 0..1_000u64 {
+                let (inst, _) = coord.propose(black_box(v)).expect("ready");
+                for a in 0..2 {
+                    let _ = coord.receive_2b(a, inst, round);
+                }
+                last = inst;
+                if v % 256 == 255 {
+                    let _ = coord.gc_below(InstanceId(inst.0 - 128));
+                }
+            }
+            black_box(last)
         })
     });
 }
@@ -216,6 +241,55 @@ fn bench_simcore(c: &mut Criterion) {
         })
     });
 
+    // Payload arena churn in isolation: one allocation + two clones +
+    // drops per iteration, the per-packet pattern of a 3-hop relay.
+    g.bench_function("payload_arena_roundtrip_10k", |b| {
+        #[derive(Clone, Copy)]
+        struct Msg {
+            _instance: u64,
+            _round: u64,
+            _bytes: u32,
+        }
+        b.iter(|| {
+            let mut live = 0u32;
+            for i in 0..10_000u64 {
+                let p = Payload::new(Msg { _instance: i, _round: 1, _bytes: 8192 });
+                let q = p.clone();
+                let r = q.clone();
+                live += r.is::<Msg>() as u32;
+            }
+            black_box(live)
+        })
+    });
+
+    // Event-queue churn across both calendar regimes: dense near-future
+    // timers (bucket path) interleaved with sparse far-future ones
+    // (overflow heap path).
+    g.bench_function("timer_calendar_10k", |b| {
+        struct Fanout;
+        impl Actor for Fanout {
+            fn on_start(&mut self, ctx: &mut Ctx) {
+                for i in 0..10_000u64 {
+                    // 0..40 ms of near timers plus every 100th at 0.1-1 s.
+                    let delay = if i % 100 == 0 {
+                        Dur::millis(100 + i % 900)
+                    } else {
+                        Dur::micros(4 * (i % 10_000))
+                    };
+                    ctx.set_timer(delay, TimerToken(i));
+                }
+            }
+            fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+            fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Ctx) {}
+        }
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig::default());
+            sim.add_node(Box::new(Fanout));
+            sim.run_to_idle();
+            black_box(sim.events_processed())
+        })
+    });
+
     // Counter matrix and histogram recorder in isolation.
     g.bench_function("metrics_record_10k", |b| {
         b.iter(|| {
@@ -236,6 +310,7 @@ criterion_group!(
     benches,
     bench_btree,
     bench_service_undo,
+    bench_paxos_window,
     bench_paxos_roles,
     bench_merge,
     bench_psmr_engine,

@@ -6,7 +6,9 @@ use abcast::metric;
 use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_smr, SmrOptions};
 use hpsmr_core::{SMR_COMPLETED, SMR_LATENCY};
-use psmr::{deploy_parallel, EngineCosts, ExecModel, ParallelOptions, PsmrWorkload, PSMR_COMPLETED};
+use psmr::{
+    deploy_parallel, EngineCosts, ExecModel, ParallelOptions, PsmrWorkload, PSMR_COMPLETED,
+};
 use ringpaxos::cluster::{deploy_mring, MRingOptions};
 use simnet::prelude::*;
 
@@ -16,12 +18,36 @@ use crate::Experiment;
 /// The ablation experiments.
 pub fn experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "abl_batch", title: "ablation: consensus packet (batch) size", run: abl_batch },
-        Experiment { id: "abl_ring", title: "ablation: ring of majority vs all acceptors", run: abl_ring },
-        Experiment { id: "abl_window", title: "ablation: outstanding-instance window", run: abl_window },
-        Experiment { id: "abl_spec", title: "ablation: speculation window (exec cost vs ordering)", run: abl_spec },
-        Experiment { id: "abl_sched", title: "ablation: SDPE scheduler cost vs P-SMR", run: abl_sched },
-        Experiment { id: "abl_sync", title: "ablation: P-SMR barrier cost under conflicts", run: abl_sync },
+        Experiment {
+            id: "abl_batch",
+            title: "ablation: consensus packet (batch) size",
+            run: abl_batch,
+        },
+        Experiment {
+            id: "abl_ring",
+            title: "ablation: ring of majority vs all acceptors",
+            run: abl_ring,
+        },
+        Experiment {
+            id: "abl_window",
+            title: "ablation: outstanding-instance window",
+            run: abl_window,
+        },
+        Experiment {
+            id: "abl_spec",
+            title: "ablation: speculation window (exec cost vs ordering)",
+            run: abl_spec,
+        },
+        Experiment {
+            id: "abl_sched",
+            title: "ablation: SDPE scheduler cost vs P-SMR",
+            run: abl_sched,
+        },
+        Experiment {
+            id: "abl_sync",
+            title: "ablation: P-SMR barrier cost under conflicts",
+            run: abl_sync,
+        },
     ]
 }
 
@@ -39,11 +65,9 @@ fn parallel_point(model: ExecModel, costs: EngineCosts, dep_pct: u32) -> f64 {
     };
     let d = deploy_parallel(&mut sim, &opts);
     let w = Window::open(&mut sim, Dur::millis(400), Dur::secs(1), &[]);
-    let before: u64 =
-        d.clients.iter().map(|&c| sim.metrics().counter(c, PSMR_COMPLETED)).sum();
+    let before: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, PSMR_COMPLETED)).sum();
     w.close(&mut sim);
-    let after: u64 =
-        d.clients.iter().map(|&c| sim.metrics().counter(c, PSMR_COMPLETED)).sum();
+    let after: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, PSMR_COMPLETED)).sum();
     (after - before) as f64 / w.len().as_secs_f64() / 1e3
 }
 
@@ -114,7 +138,9 @@ fn abl_batch() {
         let lat = sim.metrics().latency(metric::LATENCY).mean;
         println!("  {packet:6} | {:4.0} | {lat}", w.mbps_of(b, a));
     }
-    println!("  without batching the per-instance costs cap throughput (§3.3.2's batch optimization).");
+    println!(
+        "  without batching the per-instance costs cap throughput (§3.3.2's batch optimization)."
+    );
 }
 
 fn abl_ring() {
@@ -140,7 +166,9 @@ fn abl_ring() {
     let a = sim.metrics().counter(d.learners[0], metric::DELIVERED_BYTES);
     let lat = sim.metrics().latency(metric::LATENCY).mean;
     println!("  {:>9} | {:4.0} | {lat}", "2f+1 (5)", w.mbps_of(b, a));
-    println!("  longer rings keep throughput but add relay hops to latency (Table 3.1's f+3 steps).");
+    println!(
+        "  longer rings keep throughput but add relay hops to latency (Table 3.1's f+3 steps)."
+    );
 }
 
 fn abl_window() {
@@ -157,7 +185,9 @@ fn abl_window() {
         );
         println!("  {win:6} | {t:4.0} | {l}");
     }
-    println!("  tiny windows serialize instances (throughput collapses); huge ones only add queueing.");
+    println!(
+        "  tiny windows serialize instances (throughput collapses); huge ones only add queueing."
+    );
 }
 
 fn abl_spec() {
@@ -168,12 +198,8 @@ fn abl_spec() {
         (WorkloadKind::InsDelBatch, "batched updates", 30),
         (WorkloadKind::Queries, "range queries (large Δe)", 10),
     ] {
-        let base = SmrOptions {
-            n_replicas: 2,
-            n_clients: clients,
-            workload: wk,
-            ..SmrOptions::default()
-        };
+        let base =
+            SmrOptions { n_replicas: 2, n_clients: clients, workload: wk, ..SmrOptions::default() };
         let lat = |speculative| {
             let mut sim = Sim::new(SimConfig::default());
             let opts = SmrOptions { speculative, ..base.clone() };

@@ -30,7 +30,10 @@ fn main() {
         ch @ ("ch3" | "ch4" | "ch5" | "ch6" | "ch7") => {
             let prefix = format!("fig{}", &ch[2..]);
             let tprefix = format!("tab{}", &ch[2..]);
-            for e in experiments.iter().filter(|e| e.id.starts_with(&prefix) || e.id.starts_with(&tprefix)) {
+            for e in experiments
+                .iter()
+                .filter(|e| e.id.starts_with(&prefix) || e.id.starts_with(&tprefix))
+            {
                 banner(e.id, e.title);
                 (e.run)();
             }

@@ -13,10 +13,18 @@ use crate::Experiment;
 /// All ch. 3 experiments in paper order.
 pub fn experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "fig3_02", title: "one-to-many: unicast vs multicast vs pipeline", run: fig3_02 },
+        Experiment {
+            id: "fig3_02",
+            title: "one-to-many: unicast vs multicast vs pipeline",
+            run: fig3_02,
+        },
         Experiment { id: "fig3_03", title: "multi-sender ip-multicast packet loss", run: fig3_03 },
         Experiment { id: "fig3_04", title: "many-to-one: pipeline vs unicast", run: fig3_04 },
-        Experiment { id: "fig3_07", title: "Ring Paxos vs other atomic broadcast protocols", run: fig3_07 },
+        Experiment {
+            id: "fig3_07",
+            title: "Ring Paxos vs other atomic broadcast protocols",
+            run: fig3_07,
+        },
         Experiment { id: "tab3_02", title: "protocol efficiency at 10 receivers", run: tab3_02 },
         Experiment { id: "fig3_08", title: "impact of processes in the ring", run: fig3_08 },
         Experiment { id: "fig3_09", title: "impact of synchronous disk writes", run: fig3_09 },
@@ -86,8 +94,18 @@ impl Actor for RawReceiver {
 }
 
 fn fig3_02() {
-    println!("Fig 3.2 — one-to-many, 8 KB packets, per-receiver throughput (Mbps) and sender CPU (%)");
-    header(&["receivers", "unicast Mbps", "mcast Mbps", "pipeline Mbps", "uni CPU", "mc CPU", "pipe CPU"]);
+    println!(
+        "Fig 3.2 — one-to-many, 8 KB packets, per-receiver throughput (Mbps) and sender CPU (%)"
+    );
+    header(&[
+        "receivers",
+        "unicast Mbps",
+        "mcast Mbps",
+        "pipeline Mbps",
+        "uni CPU",
+        "mc CPU",
+        "pipe CPU",
+    ]);
     for &n in &[1usize, 5, 10, 15, 20, 25] {
         let mut row = vec![format!("{n:9}")];
         let mut cpus = Vec::new();
@@ -139,7 +157,9 @@ fn fig3_02() {
         }
         println!("  {} | {} | ", row.join(" | "), cpus.join(" | "));
     }
-    println!("  shape: unicast falls ~1/n; multicast and pipeline stay near wire speed (paper Fig 3.2).");
+    println!(
+        "  shape: unicast falls ~1/n; multicast and pipeline stay near wire speed (paper Fig 3.2)."
+    );
 }
 
 fn fig3_03() {
@@ -184,10 +204,8 @@ fn fig3_03() {
             }
             sim.run_until(Time::from_secs(1));
             let sent: u64 = txs.iter().map(|&t| sim.metrics().counter(t, "net.sent_pkts")).sum();
-            let dropped: u64 = receivers
-                .iter()
-                .map(|&r| sim.metrics().counter(r, "net.switch_drop"))
-                .sum();
+            let dropped: u64 =
+                receivers.iter().map(|&r| sim.metrics().counter(r, "net.switch_drop")).sum();
             let copies = sent * receivers.len() as u64;
             let lost = dropped as f64 / copies.max(1) as f64 * 100.0;
             println!("  {senders:7} | {rate:9} | {lost:6.2}");
@@ -207,7 +225,11 @@ fn fig3_04() {
             let senders: Vec<NodeId> = (0..4).map(|_| sim.add_node(Box::new(Quiet))).collect();
             for (i, &s) in senders.iter().enumerate() {
                 let next = if pipeline {
-                    if i + 1 < senders.len() { senders[i + 1] } else { receiver }
+                    if i + 1 < senders.len() {
+                        senders[i + 1]
+                    } else {
+                        receiver
+                    }
                 } else {
                     receiver
                 };
@@ -381,11 +403,15 @@ fn fig3_08() {
         }
         println!("  {n:9} | {}", cells.join(" | "));
     }
-    println!("  shape: throughput ~flat; latency grows with ring size, least for M-RP (paper Fig 3.8).");
+    println!(
+        "  shape: throughput ~flat; latency grows with ring size, least for M-RP (paper Fig 3.8)."
+    );
 }
 
 fn fig3_09() {
-    println!("Fig 3.9 — synchronous disk writes: latency vs ring size (throughput disk-bound ~270 Mbps)");
+    println!(
+        "Fig 3.9 — synchronous disk writes: latency vs ring size (throughput disk-bound ~270 Mbps)"
+    );
     header(&["processes", "M-RP lat", "U-RP lat", "M-RP Mbps", "U-RP Mbps"]);
     for &n in &[3usize, 5, 9] {
         let mut sim = Sim::new(SimConfig::default());

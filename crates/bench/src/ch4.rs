@@ -13,14 +13,30 @@ use crate::Experiment;
 /// All ch. 4 experiments in paper order.
 pub fn experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "fig4_01", title: "CS vs SMR: latency and read-only scalability", run: fig4_01 },
+        Experiment {
+            id: "fig4_01",
+            title: "CS vs SMR: latency and read-only scalability",
+            run: fig4_01,
+        },
         Experiment { id: "fig4_03", title: "cost of replication, three workloads", run: fig4_03 },
-        Experiment { id: "fig4_04", title: "throughput/latency vs number of replicas", run: fig4_04 },
+        Experiment {
+            id: "fig4_04",
+            title: "throughput/latency vs number of replicas",
+            run: fig4_04,
+        },
         Experiment { id: "fig4_05", title: "speculative execution, queries", run: fig4_05 },
         Experiment { id: "fig4_06", title: "speculative execution, batched updates", run: fig4_06 },
         Experiment { id: "fig4_07", title: "state partitioning speedups", run: fig4_07 },
-        Experiment { id: "fig4_08", title: "cross-partition queries, 2 replicas/partition", run: fig4_08 },
-        Experiment { id: "fig4_09", title: "cross-partition queries, 3 replicas/partition", run: fig4_09 },
+        Experiment {
+            id: "fig4_08",
+            title: "cross-partition queries, 2 replicas/partition",
+            run: fig4_08,
+        },
+        Experiment {
+            id: "fig4_09",
+            title: "cross-partition queries, 3 replicas/partition",
+            run: fig4_09,
+        },
         Experiment { id: "fig4_10", title: "speculation + partitioning combined", run: fig4_10 },
     ]
 }
@@ -150,12 +166,8 @@ fn speculation_sweep(workload: WorkloadKind, clients: &[usize]) {
     header(&["replicas", "clients", "plain Kcps", "spec Kcps", "plain lat", "spec lat"]);
     for &r in &[1usize, 2, 4, 8] {
         for &n in clients {
-            let base = SmrOptions {
-                n_replicas: r,
-                n_clients: n,
-                workload,
-                ..SmrOptions::default()
-            };
+            let base =
+                SmrOptions { n_replicas: r, n_clients: n, workload, ..SmrOptions::default() };
             let plain = measure_smr(&SmrOptions { speculative: false, ..base.clone() });
             let spec = measure_smr(&SmrOptions { speculative: true, ..base });
             println!(
@@ -172,7 +184,9 @@ fn speculation_sweep(workload: WorkloadKind, clients: &[usize]) {
 fn fig4_05() {
     println!("Fig 4.5 — speculative execution, Queries workload");
     speculation_sweep(WorkloadKind::Queries, &[20, 40]);
-    println!("  shape: speculation cuts latency; throughput follows (Little's law) (paper Fig 4.5).");
+    println!(
+        "  shape: speculation cuts latency; throughput follows (Little's law) (paper Fig 4.5)."
+    );
 }
 
 fn fig4_06() {
@@ -189,12 +203,8 @@ fn fig4_07() {
         (WorkloadKind::Queries, "Queries", 150usize),
         (WorkloadKind::InsDelBatch, "Ins/Del (batch)", 200),
     ] {
-        let base = SmrOptions {
-            n_replicas: 2,
-            n_clients: clients,
-            workload: wk,
-            ..SmrOptions::default()
-        };
+        let base =
+            SmrOptions { n_replicas: 2, n_clients: clients, workload: wk, ..SmrOptions::default() };
         let smr = measure_smr(&base);
         let p2 = measure_smr(&SmrOptions {
             partitions: Some(PartitionOptions { n: 2, replicas_per: 2, cross_pct: 0 }),
@@ -273,9 +283,8 @@ fn fig4_10() {
         let plain = measure_smr(&SmrOptions { speculative: false, ..base.clone() });
         let spec = measure_smr(&SmrOptions { speculative: true, ..base });
         let tput_gain = (spec.kcps / plain.kcps - 1.0) * 100.0;
-        let lat_cut = (1.0
-            - spec.latency.as_nanos() as f64 / plain.latency.as_nanos().max(1) as f64)
-            * 100.0;
+        let lat_cut =
+            (1.0 - spec.latency.as_nanos() as f64 / plain.latency.as_nanos().max(1) as f64) * 100.0;
         println!("  {cross:7} | {tput_gain:11.1} | {lat_cut:12.1}");
     }
     println!("  shape: modest latency cuts, shrinking with cross-% (cheaper sub-queries leave less to overlap) (paper Fig 4.10).");

@@ -14,8 +14,16 @@ use crate::Experiment;
 pub fn experiments() -> Vec<Experiment> {
     vec![
         Experiment { id: "fig5_01", title: "in-memory vs recoverable Ring Paxos", run: fig5_01 },
-        Experiment { id: "fig5_02", title: "partitioned service over one ring does not scale", run: fig5_02 },
-        Experiment { id: "fig5_04", title: "Multi-Ring Paxos scalability (one group per learner)", run: fig5_04 },
+        Experiment {
+            id: "fig5_02",
+            title: "partitioned service over one ring does not scale",
+            run: fig5_02,
+        },
+        Experiment {
+            id: "fig5_04",
+            title: "Multi-Ring Paxos scalability (one group per learner)",
+            run: fig5_04,
+        },
         Experiment { id: "fig5_05", title: "learner subscribing to all groups", run: fig5_05 },
         Experiment { id: "fig5_06", title: "impact of Delta", run: fig5_06 },
         Experiment { id: "fig5_07", title: "impact of M", run: fig5_07 },
@@ -29,7 +37,9 @@ pub fn experiments() -> Vec<Experiment> {
 fn fig5_01() {
     println!("Fig 5.1 — latency vs delivery throughput: In-memory vs Recoverable Ring Paxos");
     header(&["mode", "offered Mbps", "delivered Mbps", "latency", "coord CPU %"]);
-    for (mode, label) in [(StorageMode::InMemory, "in-memory"), (StorageMode::AsyncDisk, "recoverable")] {
+    for (mode, label) in
+        [(StorageMode::InMemory, "in-memory"), (StorageMode::AsyncDisk, "recoverable")]
+    {
         for &rate in &[200u64, 400, 600, 800, 950] {
             let mut sim = Sim::new(SimConfig::default());
             let opts = MRingOptions {
@@ -103,8 +113,7 @@ fn fig5_04() {
             let before = w.snapshot(&sim, &d.learners, metric::DELIVERED_BYTES);
             w.close(&mut sim);
             let after = w.snapshot(&sim, &d.learners, metric::DELIVERED_BYTES);
-            let total: f64 =
-                before.iter().zip(&after).map(|(&b, &a)| w.mbps_of(b, a)).sum();
+            let total: f64 = before.iter().zip(&after).map(|(&b, &a)| w.mbps_of(b, a)).sum();
             row.push(total);
         }
         println!("  {rings:5} | {:18.0} | {:19.0}", row[0], row[1]);

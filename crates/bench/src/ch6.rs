@@ -14,10 +14,18 @@ use crate::Experiment;
 /// All ch. 6 experiments in paper order.
 pub fn experiments() -> Vec<Experiment> {
     vec![
-        Experiment { id: "tab6_01", title: "comparison of approaches to parallelizing SMR", run: tab6_01 },
+        Experiment {
+            id: "tab6_01",
+            title: "comparison of approaches to parallelizing SMR",
+            run: tab6_01,
+        },
         Experiment { id: "fig6_03", title: "performance with independent commands", run: fig6_03 },
         Experiment { id: "fig6_04", title: "performance with dependent commands", run: fig6_04 },
-        Experiment { id: "fig6_05", title: "mixed workloads: throughput vs conflict share", run: fig6_05 },
+        Experiment {
+            id: "fig6_05",
+            title: "mixed workloads: throughput vs conflict share",
+            run: fig6_05,
+        },
         Experiment { id: "fig6_06", title: "P-SMR scalability, uniform workload", run: fig6_06 },
         Experiment { id: "fig6_07", title: "P-SMR under skewed workloads", run: fig6_07 },
     ]
@@ -84,10 +92,20 @@ fn tab6_01() {
         ("sequential SMR", "sequential", "sequential", "none", "no", "no"),
         ("pipelined SMR", "staged", "sequential", "none", "no", "no (pipeline depth only)"),
         ("SDPE", "sequential", "parallel", "centralized", "no", "until the scheduler saturates"),
-        ("EV (execute-verify)", "parallel", "parallel", "none", "yes (on divergence)", "yes, workload permitting"),
+        (
+            "EV (execute-verify)",
+            "parallel",
+            "parallel",
+            "none",
+            "yes (on divergence)",
+            "yes, workload permitting",
+        ),
         ("P-SMR (PDPE)", "parallel", "parallel", "none", "no", "yes, workload permitting"),
     ] {
-        println!("  {:<19} | {:<10} | {:<10} | {:<11} | {:<19} | {}", row.0, row.1, row.2, row.3, row.4, row.5);
+        println!(
+            "  {:<19} | {:<10} | {:<10} | {:<11} | {:<19} | {}",
+            row.0, row.1, row.2, row.3, row.4, row.5
+        );
     }
     println!("  P-SMR reaches parallel delivery *and* execution without a scheduler or rollback");
     println!("  by mapping commands to multicast groups at the client proxy (§6.3).");

@@ -31,8 +31,16 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment { id: "tab7_01", title: "evaluated systems and configurations", run: tab7_01 },
         Experiment { id: "fig7_02", title: "peak performance of the Paxos stacks", run: fig7_02 },
         Experiment { id: "fig7_03", title: "S-Paxos under a replica failure", run: fig7_03 },
-        Experiment { id: "fig7_05", title: "U-Ring Paxos under a ring-process failure", run: fig7_05 },
-        Experiment { id: "fig7_06", title: "coordinator failure and takeover (Libpaxos+ policy)", run: fig7_06 },
+        Experiment {
+            id: "fig7_05",
+            title: "U-Ring Paxos under a ring-process failure",
+            run: fig7_05,
+        },
+        Experiment {
+            id: "fig7_06",
+            title: "coordinator failure and takeover (Libpaxos+ policy)",
+            run: fig7_06,
+        },
         Experiment { id: "fig7_07", title: "acceptor failure and spare replacement", run: fig7_07 },
     ]
 }
@@ -41,11 +49,31 @@ fn tab7_01() {
     println!("Table 7.1 — systems under study (EC2 originals → this repository's stand-ins)");
     header(&["paper system", "stand-in", "architecture", "failure policy"]);
     for row in [
-        ("S-Paxos", "baselines::spaxos", "all replicas disseminate; leader orders ids", "continues at f failures"),
+        (
+            "S-Paxos",
+            "baselines::spaxos",
+            "all replicas disseminate; leader orders ids",
+            "continues at f failures",
+        ),
         ("OpenReplica", "baselines::pfsb", "leader-centric unicast star", "blocks on leader loss"),
-        ("U-Ring Paxos", "ringpaxos::uring", "all-unicast pipelined ring", "ring stalls until reconfigured"),
-        ("Libpaxos", "baselines::libpaxos", "ip-multicast Paxos, full payloads ordered", "new coordinator election"),
-        ("Libpaxos+", "ringpaxos::mring", "multicast dissemination + ring votes", "failover + spare promotion"),
+        (
+            "U-Ring Paxos",
+            "ringpaxos::uring",
+            "all-unicast pipelined ring",
+            "ring stalls until reconfigured",
+        ),
+        (
+            "Libpaxos",
+            "baselines::libpaxos",
+            "ip-multicast Paxos, full payloads ordered",
+            "new coordinator election",
+        ),
+        (
+            "Libpaxos+",
+            "ringpaxos::mring",
+            "multicast dissemination + ring votes",
+            "failover + spare promotion",
+        ),
     ] {
         println!("  {:<12} | {:<19} | {:<44} | {}", row.0, row.1, row.2, row.3);
     }

@@ -342,7 +342,9 @@ mod tests {
         let s = TreeService::populated(0, 10_000, 1_000);
         // Evenly spaced: a full-window query over 1/10 of the range
         // matches ~100 keys.
-        let (out, _) = { TreeService::populated(0, 10_000, 1_000).apply(TreeCommand::Query { lo: 0, hi: 999 }) };
+        let (out, _) = {
+            TreeService::populated(0, 10_000, 1_000).apply(TreeCommand::Query { lo: 0, hi: 999 })
+        };
         assert_eq!(out, TreeOutput::Matched(100));
         assert_eq!(s.tree().len(), 1_000);
     }

@@ -139,8 +139,7 @@ mod tests {
     #[test]
     fn cross_partition_fraction_is_respected() {
         let p = Partitioning::new(2);
-        let mut g =
-            WorkloadGen::new(WorkloadKind::Queries, 2 * p.span).with_partitions(p, 50);
+        let mut g = WorkloadGen::new(WorkloadKind::Queries, 2 * p.span).with_partitions(p, 50);
         let mut rng = SmallRng::seed_from_u64(3);
         let mut cross = 0;
         for _ in 0..1000 {

@@ -94,18 +94,14 @@ impl SmrClient {
                 }
                 (ops, mask, mask.count_ones())
             }
-            None => (
-                raw_ops.into_iter().map(|op| (ALL_PARTITIONS, op)).collect(),
-                ALL_PARTITIONS,
-                1,
-            ),
+            None => {
+                (raw_ops.into_iter().map(|op| (ALL_PARTITIONS, op)).collect(), ALL_PARTITIONS, 1)
+            }
         };
         let id = MsgId(((self.me.0 as u64) << 40) | self.next_seq);
         self.next_seq += 1;
-        self.registry.put(
-            id,
-            StoredCommand { ops, client: self.me, mask, reply_bytes: kind.reply_bytes() },
-        );
+        self.registry
+            .put(id, StoredCommand { ops, client: self.me, mask, reply_bytes: kind.reply_bytes() });
         self.expected.insert(id, replies);
         self.outstanding = Some((id, ctx.now()));
         self.submit(id, mask, kind.command_bytes(), ctx);

@@ -103,8 +103,7 @@ impl SmrDeployment {
 /// Deploys state-machine replication per `opts`.
 pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
     let n_partitions = opts.partitions.map(|p| p.n).unwrap_or(1);
-    let replicas_per =
-        opts.partitions.map(|p| p.replicas_per).unwrap_or(opts.n_replicas);
+    let replicas_per = opts.partitions.map(|p| p.replicas_per).unwrap_or(opts.n_replicas);
 
     let ring: Vec<NodeId> = (0..opts.ring_size).map(|_| sim.add_node(Box::new(Idle))).collect();
     let replicas: Vec<Vec<NodeId>> = (0..n_partitions)
@@ -149,11 +148,8 @@ pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
                 learner_masks.push(1u32 << pi);
             }
         }
-        cfg.partitions = Some(ringpaxos::config::PartitionConfig {
-            groups,
-            decision_group,
-            learner_masks,
-        });
+        cfg.partitions =
+            Some(ringpaxos::config::PartitionConfig { groups, decision_group, learner_masks });
     }
 
     let log = shared_log(flat_replicas.len());
@@ -167,8 +163,7 @@ pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
     for (pi, part) in replicas.iter().enumerate() {
         for &r in part {
             let inner = MRingProcess::new(cfg.clone(), r, None, Some(log.clone()));
-            let service =
-                TreeService::populated(pi as u64 * span, span, POPULATE_COUNT);
+            let service = TreeService::populated(pi as u64 * span, span, POPULATE_COUNT);
             let rcfg = ReplicaConfig {
                 partition: pi as u32,
                 mask: if opts.partitions.is_some() {

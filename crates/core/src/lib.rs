@@ -48,7 +48,11 @@ pub mod service;
 
 pub use client::{SmrClient, Target};
 pub use cs::CsServer;
-pub use deploy::{deploy_cs, deploy_smr, CsDeployment, PartitionOptions, SmrDeployment, SmrOptions};
+pub use deploy::{
+    deploy_cs, deploy_smr, CsDeployment, PartitionOptions, SmrDeployment, SmrOptions,
+};
 pub use msg::{CsRequest, SmrResponse};
-pub use replica::{ReplicaConfig, SmrReplica, SMR_COMPLETED, SMR_LATENCY, SMR_ROLLBACKS, SMR_SPEC_EXEC};
+pub use replica::{
+    ReplicaConfig, SmrReplica, SMR_COMPLETED, SMR_LATENCY, SMR_ROLLBACKS, SMR_SPEC_EXEC,
+};
 pub use service::{Registry, Service, StoredCommand};

@@ -135,11 +135,7 @@ impl<S: Service> SmrReplica<S> {
 
     /// The operations of `cmd` this replica's partition must run.
     fn my_ops<'a>(&self, cmd: &'a StoredCommand<S::Command>) -> Vec<&'a S::Command> {
-        cmd.ops
-            .iter()
-            .filter(|(m, _)| m & self.rcfg.mask != 0)
-            .map(|(_, op)| op)
-            .collect()
+        cmd.ops.iter().filter(|(m, _)| m & self.rcfg.mask != 0).map(|(_, op)| op).collect()
     }
 
     /// Whether this replica executes the command: updates run everywhere
@@ -246,7 +242,13 @@ impl<S: Service> SmrReplica<S> {
         self.queue_response(id, &cmd, done, ctx);
     }
 
-    fn queue_response(&mut self, id: MsgId, cmd: &StoredCommand<S::Command>, at: Time, ctx: &mut Ctx) {
+    fn queue_response(
+        &mut self,
+        id: MsgId,
+        cmd: &StoredCommand<S::Command>,
+        at: Time,
+        ctx: &mut Ctx,
+    ) {
         if !self.is_designated(id) {
             return;
         }

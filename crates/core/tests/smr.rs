@@ -25,8 +25,7 @@ fn run_smr(opts: SmrOptions, secs: u64) -> (f64, Dur, u64) {
     sim.run_until(Time::from_secs(secs));
     let done = completed(&sim, &d.clients);
     let lat = sim.metrics().latency(SMR_LATENCY).mean;
-    let retries: u64 =
-        d.clients.iter().map(|&c| sim.metrics().counter(c, "smr.retries")).sum();
+    let retries: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, "smr.retries")).sum();
     (done as f64 / secs as f64, lat, retries)
 }
 
@@ -52,10 +51,7 @@ fn replication_adds_latency_over_cs() {
     };
     let (_, smr_lat, retries) = run_smr(opts, 2);
     assert_eq!(retries, 0, "no client should have needed a retry");
-    assert!(
-        smr_lat > cs_lat,
-        "SMR latency {smr_lat:?} should exceed CS latency {cs_lat:?}"
-    );
+    assert!(smr_lat > cs_lat, "SMR latency {smr_lat:?} should exceed CS latency {cs_lat:?}");
     assert!(smr_lat < cs_lat + Dur::millis(5), "ordering overhead implausibly large");
 }
 
@@ -89,10 +85,7 @@ fn speculation_reduces_latency_not_correctness() {
     let spec = SmrOptions { speculative: true, ..base };
     let (plain_tput, plain_lat, _) = run_smr(plain, 2);
     let (spec_tput, spec_lat, _) = run_smr(spec, 2);
-    assert!(
-        spec_lat < plain_lat,
-        "speculation should cut latency: {spec_lat:?} vs {plain_lat:?}"
-    );
+    assert!(spec_lat < plain_lat, "speculation should cut latency: {spec_lat:?} vs {plain_lat:?}");
     assert!(
         spec_tput >= plain_tput * 0.95,
         "speculation must not lose throughput: {spec_tput:.0} vs {plain_tput:.0}"
@@ -111,20 +104,13 @@ fn speculative_replicas_actually_speculate_and_agree() {
     };
     let d = deploy_smr(&mut sim, &opts);
     sim.run_until(Time::from_secs(2));
-    let spec: u64 = d
-        .all_replicas()
-        .iter()
-        .map(|&r| sim.metrics().counter(r, SMR_SPEC_EXEC))
-        .sum();
+    let spec: u64 = d.all_replicas().iter().map(|&r| sim.metrics().counter(r, SMR_SPEC_EXEC)).sum();
     assert!(spec > 500, "replicas speculated only {spec} commands");
     d.log.borrow().check_total_order().expect("order preserved under speculation");
     // In stable runs the coordinator never changes, so the paper's claim
     // holds: the speculated order is always confirmed.
-    let rollbacks: u64 = d
-        .all_replicas()
-        .iter()
-        .map(|&r| sim.metrics().counter(r, hpsmr_core::SMR_ROLLBACKS))
-        .sum();
+    let rollbacks: u64 =
+        d.all_replicas().iter().map(|&r| sim.metrics().counter(r, hpsmr_core::SMR_ROLLBACKS)).sum();
     assert_eq!(rollbacks, 0, "stable-coordinator runs must not roll back");
 }
 
@@ -174,8 +160,7 @@ fn cross_partition_queries_merge_and_preserve_order() {
     // §4.2.2's state-partitioning ordering: common (cross-partition)
     // commands appear in the same relative order at every partition.
     d.log.borrow().check_partial_order().expect("acyclic cross-partition order");
-    let retries: u64 =
-        d.clients.iter().map(|&c| sim.metrics().counter(c, "smr.retries")).sum();
+    let retries: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, "smr.retries")).sum();
     assert_eq!(retries, 0);
 }
 

@@ -101,11 +101,7 @@ pub struct MultiRingDeployment {
 /// Deploys Multi-Ring Paxos: `n_rings` independent M-Ring Paxos instances
 /// plus deterministic-merge learners.
 pub fn deploy_multiring(sim: &mut Sim, opts: &MultiRingOptions) -> MultiRingDeployment {
-    assert_eq!(
-        opts.rates_per_ring_bps.len(),
-        opts.n_rings,
-        "one rate per ring required"
-    );
+    assert_eq!(opts.rates_per_ring_bps.len(), opts.n_rings, "one rate per ring required");
     // Allocate learner nodes first so ring configs can reference them.
     let learner_nodes: Vec<NodeId> =
         (0..opts.learners.len()).map(|_| sim.add_node(Box::new(Idle))).collect();
@@ -160,8 +156,7 @@ pub fn deploy_multiring(sim: &mut Sim, opts: &MultiRingOptions) -> MultiRingDepl
         let mut sorted = subs.clone();
         sorted.sort_unstable();
         let cfgs: Vec<MRingConfig> = sorted.iter().map(|&r| ring_cfgs[r].clone()).collect();
-        let actor =
-            MultiRingLearner::new(learner_nodes[li], li, cfgs, opts.m, Some(log.clone()));
+        let actor = MultiRingLearner::new(learner_nodes[li], li, cfgs, opts.m, Some(log.clone()));
         sim.replace_actor(learner_nodes[li], Box::new(actor));
     }
 

@@ -176,10 +176,7 @@ fn coordinator_pause_stalls_then_recovers() {
     sim.restart_node(coord);
     sim.run_until(Time::from_secs(3));
     let after = sim.metrics().counter(d.learners[0], metric::DELIVERED_MSGS);
-    assert!(
-        after > at_pause + 1000,
-        "delivery must resume after recovery: {at_pause} -> {after}"
-    );
+    assert!(after > at_pause + 1000, "delivery must resume after recovery: {at_pause} -> {after}");
     let log = d.log.borrow();
     log.check_total_order().expect("order preserved across pause");
 }

@@ -4,9 +4,8 @@
 //! shared across instances (§3.3.7) — and, per instance, `v-rnd`/`v-val`,
 //! the round and value of its latest vote.
 
-use std::collections::{BTreeMap, VecDeque};
-
 use crate::msg::{InstanceId, PaxosMsg, Round};
+use crate::window::Window;
 
 /// Vote state an acceptor stores for one instance.
 #[derive(Clone, Debug, PartialEq)]
@@ -19,34 +18,24 @@ pub struct Vote<V> {
 
 /// A Paxos acceptor.
 ///
-/// Vote storage is a dense sliding window: instances are proposed
+/// Vote storage is a dense sliding [`Window`]: instances are proposed
 /// contiguously and garbage-collected from below (§3.3.7), so
 /// `window[instance - base]` makes the per-packet operations
 /// ([`Acceptor::vote`], [`Acceptor::receive_2a`]) plain array indexing
 /// instead of tree searches. The rare vote below the window (a
-/// retransmission older than the GC watermark) falls back to a side map,
-/// preserving the exact semantics of the previous `BTreeMap` storage.
+/// retransmission older than the GC watermark) falls back to the
+/// window's side map, preserving the exact semantics of the previous
+/// `BTreeMap` storage.
 #[derive(Clone, Debug, Default)]
 pub struct Acceptor<V> {
     rnd: Round,
-    /// First instance covered by `window`.
-    base: InstanceId,
-    /// Votes for `base..`, indexed by offset (`None` = no vote yet).
-    window: VecDeque<Option<Vote<V>>>,
-    /// Votes below `base` (rare; kept so GC can never refuse a vote the
-    /// old representation would have stored).
-    below: BTreeMap<InstanceId, Vote<V>>,
+    votes: Window<Vote<V>>,
 }
 
 impl<V: Clone> Acceptor<V> {
     /// Creates a fresh acceptor.
     pub fn new() -> Acceptor<V> {
-        Acceptor {
-            rnd: Round::ZERO,
-            base: InstanceId(0),
-            window: VecDeque::new(),
-            below: BTreeMap::new(),
-        }
+        Acceptor { rnd: Round::ZERO, votes: Window::new() }
     }
 
     /// The highest round this acceptor has promised.
@@ -57,12 +46,7 @@ impl<V: Clone> Acceptor<V> {
     /// The acceptor's vote in `instance`, if it has cast one.
     #[inline]
     pub fn vote(&self, instance: InstanceId) -> Option<&Vote<V>> {
-        if instance >= self.base {
-            let idx = (instance.0 - self.base.0) as usize;
-            self.window.get(idx).and_then(|v| v.as_ref())
-        } else {
-            self.below.get(&instance)
-        }
+        self.votes.get(instance)
     }
 
     /// Handles a Phase 1A message. Returns the Phase 1B reply if the round
@@ -70,14 +54,8 @@ impl<V: Clone> Acceptor<V> {
     pub fn receive_1a(&mut self, round: Round) -> Option<PaxosMsg<V>> {
         if round > self.rnd {
             self.rnd = round;
-            let mut votes: Vec<(InstanceId, Round, V)> = self
-                .below
-                .iter()
-                .map(|(&i, v)| (i, v.v_rnd, v.v_val.clone()))
-                .collect();
-            votes.extend(self.window.iter().enumerate().filter_map(|(off, v)| {
-                v.as_ref().map(|v| (InstanceId(self.base.0 + off as u64), v.v_rnd, v.v_val.clone()))
-            }));
+            let votes: Vec<(InstanceId, Round, V)> =
+                self.votes.iter().map(|(i, v)| (i, v.v_rnd, v.v_val.clone())).collect();
             Some(PaxosMsg::Phase1b { round: self.rnd, votes })
         } else {
             None
@@ -86,26 +64,15 @@ impl<V: Clone> Acceptor<V> {
 
     /// Handles a Phase 2A message: votes for `value` unless a higher round
     /// has been promised. Returns the Phase 2B reply on success.
-    pub fn receive_2a(&mut self, instance: InstanceId, round: Round, value: V) -> Option<PaxosMsg<V>> {
+    pub fn receive_2a(
+        &mut self,
+        instance: InstanceId,
+        round: Round,
+        value: V,
+    ) -> Option<PaxosMsg<V>> {
         if round >= self.rnd {
             self.rnd = round;
-            let vote = Vote { v_rnd: round, v_val: value };
-            if instance >= self.base {
-                let idx = (instance.0 - self.base.0) as usize;
-                // Instances are proposed contiguously and GC'd from below;
-                // a far-ahead id would turn one packet into a huge resize.
-                debug_assert!(
-                    idx < self.window.len() + (1 << 24),
-                    "vote window jump: instance {instance:?} vs base {:?}",
-                    self.base
-                );
-                if idx >= self.window.len() {
-                    self.window.resize_with(idx + 1, || None);
-                }
-                self.window[idx] = Some(vote);
-            } else {
-                self.below.insert(instance, vote);
-            }
+            self.votes.insert(instance, Vote { v_rnd: round, v_val: value });
             Some(PaxosMsg::Phase2b { instance, round })
         } else {
             None
@@ -115,20 +82,12 @@ impl<V: Clone> Acceptor<V> {
     /// Discards vote state for all instances strictly below `instance`
     /// (garbage collection, §3.3.7). The shared `rnd` is retained.
     pub fn gc_below(&mut self, instance: InstanceId) {
-        self.below = self.below.split_off(&instance);
-        while self.base < instance {
-            if self.window.pop_front().is_none() {
-                // Window exhausted: jump the base the rest of the way.
-                self.base = instance;
-                return;
-            }
-            self.base = self.base.next();
-        }
+        self.votes.advance_base(instance);
     }
 
     /// Number of instances with stored votes (for memory accounting).
     pub fn stored_votes(&self) -> usize {
-        self.below.len() + self.window.iter().filter(|v| v.is_some()).count()
+        self.votes.len()
     }
 }
 
@@ -201,5 +160,24 @@ mod tests {
         assert!(a.vote(InstanceId(6)).is_none());
         assert!(a.vote(InstanceId(7)).is_some());
         assert_eq!(a.rnd(), r(1), "shared rnd survives gc");
+    }
+
+    #[test]
+    fn late_vote_below_gc_watermark_is_stored() {
+        // A retransmitted 2A older than the GC watermark must still be
+        // voteable, exactly as with the previous map storage.
+        let mut a: Acceptor<u32> = Acceptor::new();
+        a.receive_2a(InstanceId(8), r(1), 1);
+        a.gc_below(InstanceId(5));
+        assert!(a.receive_2a(InstanceId(2), r(1), 9).is_some());
+        assert_eq!(a.vote(InstanceId(2)).unwrap().v_val, 9);
+        // Phase 1B reports it, in ascending instance order.
+        match a.receive_1a(r(2)).unwrap() {
+            PaxosMsg::Phase1b { votes, .. } => {
+                let keys: Vec<u64> = votes.iter().map(|(i, _, _)| i.0).collect();
+                assert_eq!(keys, vec![2, 8]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

@@ -4,10 +4,18 @@
 //! instances (the standard Paxos optimization, §3.2), then runs one
 //! Phase 2 per value, deciding when a majority quorum of Phase 2B
 //! messages arrives.
+//!
+//! Per-instance bookkeeping lives in a dense sliding [`Window`]
+//! (instances are proposed contiguously and GC'd from below, §3.3.7), so
+//! the per-packet operations ([`Coordinator::receive_2b`],
+//! [`Coordinator::is_decided`]) are array indexing instead of tree
+//! searches, and the Phase 2B quorum is a bitmask instead of a per-vote
+//! tree allocation.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 use crate::msg::{quorum, InstanceId, PaxosMsg, Round};
+use crate::window::Window;
 
 /// Phase-1 progress of the coordinator's current round.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -20,12 +28,15 @@ pub enum Phase1State {
     Ready,
 }
 
+/// Largest acceptor identity representable in the Phase 2B vote bitmask.
+pub const MAX_ACCEPTORS: usize = 128;
+
 #[derive(Clone, Debug)]
 struct InstanceState<V> {
     /// Value proposed in the current round (c-val).
     c_val: V,
-    /// Acceptors that sent Phase 2B for the current round.
-    votes: BTreeSet<u32>,
+    /// Acceptors that sent Phase 2B for the current round (bit per id).
+    votes: u128,
     decided: bool,
 }
 
@@ -36,25 +47,28 @@ pub struct Coordinator<V> {
     n_acceptors: usize,
     c_rnd: Round,
     phase1: Phase1State,
-    promises: BTreeSet<u32>,
+    promises: u128,
     /// Highest-round vote reported in Phase 1B per instance: the value
-    /// pick rule of Task 3 must propose these.
+    /// pick rule of Task 3 must propose these. Cold (Phase-1 only), so a
+    /// tree map is fine.
     forced: BTreeMap<InstanceId, (Round, V)>,
-    instances: BTreeMap<InstanceId, InstanceState<V>>,
+    instances: Window<InstanceState<V>>,
     next_instance: InstanceId,
 }
 
 impl<V: Clone> Coordinator<V> {
-    /// Creates a coordinator with identity `id` over `n_acceptors`.
+    /// Creates a coordinator with identity `id` over `n_acceptors`
+    /// (at most [`MAX_ACCEPTORS`]).
     pub fn new(id: u32, n_acceptors: usize) -> Coordinator<V> {
+        assert!(n_acceptors <= MAX_ACCEPTORS, "vote bitmask holds {MAX_ACCEPTORS} acceptors");
         Coordinator {
             id,
             n_acceptors,
             c_rnd: Round::ZERO,
             phase1: Phase1State::Idle,
-            promises: BTreeSet::new(),
+            promises: 0,
             forced: BTreeMap::new(),
-            instances: BTreeMap::new(),
+            instances: Window::new(),
             next_instance: InstanceId(0),
         }
     }
@@ -74,6 +88,11 @@ impl<V: Clone> Coordinator<V> {
         self.next_instance
     }
 
+    #[inline]
+    fn acceptor_bit(&self, acceptor: u32) -> Option<u128> {
+        ((acceptor as usize) < MAX_ACCEPTORS).then(|| 1u128 << acceptor)
+    }
+
     /// Starts Phase 1 for a fresh round strictly greater than `above`
     /// (usually the coordinator's own round, or a round observed from a
     /// competing coordinator). Returns the Phase 1A message to send to
@@ -81,7 +100,7 @@ impl<V: Clone> Coordinator<V> {
     pub fn start_phase1(&mut self, above: Round) -> PaxosMsg<V> {
         self.c_rnd = self.c_rnd.max(above).next_for(self.id);
         self.phase1 = Phase1State::AwaitingPromises;
-        self.promises.clear();
+        self.promises = 0;
         self.forced.clear();
         // Abandon un-decided Phase 2 vote counts from the previous round.
         self.instances.retain(|_, s| s.decided);
@@ -99,9 +118,11 @@ impl<V: Clone> Coordinator<V> {
         if round != self.c_rnd || self.phase1 != Phase1State::AwaitingPromises {
             return false;
         }
-        if !self.promises.insert(acceptor) {
+        let Some(bit) = self.acceptor_bit(acceptor) else { return false };
+        if self.promises & bit != 0 {
             return self.phase1 == Phase1State::Ready;
         }
+        self.promises |= bit;
         for (instance, v_rnd, v_val) in votes {
             let e = self.forced.entry(*instance);
             match e {
@@ -115,7 +136,7 @@ impl<V: Clone> Coordinator<V> {
                 }
             }
         }
-        if self.promises.len() >= quorum(self.n_acceptors) {
+        if self.promises.count_ones() as usize >= quorum(self.n_acceptors) {
             self.phase1 = Phase1State::Ready;
         }
         self.phase1 == Phase1State::Ready
@@ -143,16 +164,14 @@ impl<V: Clone> Coordinator<V> {
             Some((_, forced)) => forced.clone(),
             None => value,
         };
-        self.instances.insert(
-            instance,
-            InstanceState { c_val: chosen.clone(), votes: BTreeSet::new(), decided: false },
-        );
+        self.instances
+            .insert(instance, InstanceState { c_val: chosen.clone(), votes: 0, decided: false });
         Some((instance, PaxosMsg::Phase2a { instance, round: self.c_rnd, value: chosen }))
     }
 
     /// Re-emits the Phase 2A for `instance` (retransmission after loss).
     pub fn phase2a_for(&self, instance: InstanceId) -> Option<PaxosMsg<V>> {
-        self.instances.get(&instance).map(|s| PaxosMsg::Phase2a {
+        self.instances.get(instance).map(|s| PaxosMsg::Phase2a {
             instance,
             round: self.c_rnd,
             value: s.c_val.clone(),
@@ -161,14 +180,20 @@ impl<V: Clone> Coordinator<V> {
 
     /// Handles a Phase 2B vote from `acceptor`. Returns the decision
     /// message exactly once, when the quorum completes.
-    pub fn receive_2b(&mut self, acceptor: u32, instance: InstanceId, round: Round) -> Option<PaxosMsg<V>> {
+    pub fn receive_2b(
+        &mut self,
+        acceptor: u32,
+        instance: InstanceId,
+        round: Round,
+    ) -> Option<PaxosMsg<V>> {
         if round != self.c_rnd {
             return None;
         }
+        let bit = self.acceptor_bit(acceptor)?;
         let q = quorum(self.n_acceptors);
-        let s = self.instances.get_mut(&instance)?;
-        s.votes.insert(acceptor);
-        if !s.decided && s.votes.len() >= q {
+        let s = self.instances.get_mut(instance)?;
+        s.votes |= bit;
+        if !s.decided && s.votes.count_ones() as usize >= q {
             s.decided = true;
             Some(PaxosMsg::Decision { instance, value: s.c_val.clone() })
         } else {
@@ -178,13 +203,38 @@ impl<V: Clone> Coordinator<V> {
 
     /// Whether `instance` has reached a decision in the current round.
     pub fn is_decided(&self, instance: InstanceId) -> bool {
-        self.instances.get(&instance).is_some_and(|s| s.decided)
+        self.instances.get(instance).is_some_and(|s| s.decided)
     }
 
-    /// Discards bookkeeping for decided instances below `instance`
-    /// (garbage collection, §3.3.7).
-    pub fn gc_below(&mut self, instance: InstanceId) {
-        self.instances.retain(|&i, s| i >= instance || !s.decided);
+    /// Discards bookkeeping for every instance below `instance` (garbage
+    /// collection, §3.3.7) and returns the *undecided* values that were
+    /// dropped, oldest first.
+    ///
+    /// Undecided instances below the watermark can only exist after
+    /// sustained message loss (their Phase 2B quorum never completed
+    /// here, even though the watermark proves a quorum formed system
+    /// wide or the instance was abandoned). Retaining them forever — the
+    /// previous behaviour — grew `instances` without bound under loss; a
+    /// value the caller still cares about must instead be re-proposed in
+    /// a fresh instance through the existing [`Coordinator::propose`]
+    /// recovery path.
+    ///
+    /// Caveat: "undecided *here*" does not mean "not chosen". The lost
+    /// messages may have been the Phase 2B replies — acceptors may hold a
+    /// chosen vote for the value in its original instance, and a failover
+    /// coordinator's Phase 1 can still decide it there. Re-proposing the
+    /// returned value in a fresh instance can therefore deliver it twice;
+    /// callers must deduplicate at delivery (the ring learners do this
+    /// with `ringpaxos::dedup::DeliveredTracker`), exactly as for
+    /// failover resubmission (§3.3.5).
+    #[must_use = "undecided values below the watermark are dropped and must be re-proposed"]
+    pub fn gc_below(&mut self, instance: InstanceId) -> Vec<V> {
+        self.instances
+            .drain_below(instance)
+            .into_iter()
+            .filter(|(_, s)| !s.decided)
+            .map(|(_, s)| s.c_val)
+            .collect()
     }
 
     /// Number of tracked instances (memory accounting).
@@ -276,7 +326,10 @@ mod tests {
     }
 
     #[test]
-    fn gc_keeps_undecided() {
+    fn gc_reclaims_undecided_below_watermark() {
+        // Regression test for the GC leak: `gc_below` used to retain
+        // undecided instances below the watermark forever, so sustained
+        // message loss grew `instances` without bound.
         let mut c = ready_coordinator(3);
         for v in 0..5 {
             let (i, _) = c.propose(v).unwrap();
@@ -285,10 +338,45 @@ mod tests {
                 c.receive_2b(1, i, c.round());
             }
         }
-        c.gc_below(InstanceId(5));
-        // Only the undecided instance 3 remains tracked.
-        assert_eq!(c.tracked_instances(), 1);
         assert!(!c.is_decided(InstanceId(3)));
+        let orphans = c.gc_below(InstanceId(5));
+        // Nothing below the watermark survives — decided or not.
+        assert_eq!(c.tracked_instances(), 0, "undecided instance leaked past GC");
+        // The undecided value is handed back for re-proposal.
+        assert_eq!(orphans, vec![3]);
+        // The existing recovery path decides it in a fresh instance.
+        let (i2, _) = c.propose(orphans[0]).unwrap();
+        assert_eq!(i2, InstanceId(5));
+        c.receive_2b(0, i2, c.round());
+        assert!(c.receive_2b(1, i2, c.round()).is_some());
+        assert!(c.is_decided(i2));
+    }
+
+    #[test]
+    fn gc_returns_no_orphans_when_all_decided() {
+        let mut c = ready_coordinator(3);
+        for v in 0..4 {
+            let (i, _) = c.propose(v).unwrap();
+            c.receive_2b(0, i, c.round());
+            c.receive_2b(1, i, c.round());
+        }
+        let orphans = c.gc_below(InstanceId(4));
+        assert!(orphans.is_empty());
+        assert_eq!(c.tracked_instances(), 0);
+    }
+
+    #[test]
+    fn gc_keeps_instances_at_or_above_watermark() {
+        let mut c = ready_coordinator(3);
+        for v in 0..6 {
+            let (i, _) = c.propose(v).unwrap();
+            c.receive_2b(0, i, c.round());
+            c.receive_2b(1, i, c.round());
+        }
+        assert!(c.gc_below(InstanceId(4)).is_empty());
+        assert_eq!(c.tracked_instances(), 2);
+        assert!(c.is_decided(InstanceId(4)));
+        assert!(c.is_decided(InstanceId(5)));
     }
 
     #[test]

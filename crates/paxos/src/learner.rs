@@ -60,10 +60,7 @@ impl<V> Learner<V> {
         let Some((&max, _)) = self.pending.iter().next_back() else {
             return Vec::new();
         };
-        (self.next.0..max.0)
-            .map(InstanceId)
-            .filter(|i| !self.pending.contains_key(i))
-            .collect()
+        (self.next.0..max.0).map(InstanceId).filter(|i| !self.pending.contains_key(i)).collect()
     }
 
     /// Number of buffered (undeliverable) decisions.

@@ -42,6 +42,7 @@ pub mod acceptor;
 pub mod coordinator;
 pub mod learner;
 pub mod msg;
+pub mod window;
 
 /// Convenient glob import.
 pub mod prelude {
@@ -49,4 +50,5 @@ pub mod prelude {
     pub use crate::coordinator::{Coordinator, Phase1State};
     pub use crate::learner::Learner;
     pub use crate::msg::{quorum, InstanceId, PaxosMsg, Round};
+    pub use crate::window::Window;
 }

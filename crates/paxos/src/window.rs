@@ -1,0 +1,310 @@
+//! Dense sliding-window storage for per-instance protocol state.
+//!
+//! Every per-instance map in the Paxos roles shares the same access
+//! pattern: instances are allocated contiguously from below, read and
+//! written while in flight, and garbage-collected from below once a
+//! watermark of decided/applied instances advances (§3.3.7). A search
+//! tree pays a pointer chase and allocation per touched instance for a
+//! keyspace that is, in practice, a short dense interval.
+//!
+//! [`Window`] exploits that: state for instances at or above `base` lives
+//! in a `VecDeque` indexed by `instance - base` (one bounds check and an
+//! array index per packet), and the rare write *below* the GC watermark —
+//! a retransmission older than the last collection — falls back to a side
+//! map, so the semantics of the `BTreeMap`s this replaces are preserved
+//! exactly: nothing is ever refused, iteration stays in ascending
+//! instance order, and [`Window::advance_base`] behaves like
+//! `BTreeMap::split_off`.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use crate::msg::InstanceId;
+
+/// A map from [`InstanceId`] to `T`, dense above a sliding base.
+#[derive(Clone, Debug)]
+pub struct Window<T> {
+    /// First instance covered by `slots`.
+    base: InstanceId,
+    /// State for `base..`, indexed by offset (`None` = absent).
+    slots: VecDeque<Option<T>>,
+    /// Occupied entries in `slots`.
+    stored: usize,
+    /// Entries below `base` (rare; written only by retransmissions older
+    /// than the GC watermark).
+    below: BTreeMap<InstanceId, T>,
+}
+
+impl<T> Default for Window<T> {
+    fn default() -> Window<T> {
+        Window::new()
+    }
+}
+
+impl<T> Window<T> {
+    /// Creates an empty window based at instance 0.
+    pub fn new() -> Window<T> {
+        Window { base: InstanceId(0), slots: VecDeque::new(), stored: 0, below: BTreeMap::new() }
+    }
+
+    /// First instance covered by the dense slots (the GC watermark).
+    pub fn base(&self) -> InstanceId {
+        self.base
+    }
+
+    /// Number of stored entries (memory accounting).
+    pub fn len(&self) -> usize {
+        self.stored + self.below.len()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn offset(&self, instance: InstanceId) -> Option<usize> {
+        if instance >= self.base {
+            Some((instance.0 - self.base.0) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// The entry for `instance`, if stored.
+    #[inline]
+    pub fn get(&self, instance: InstanceId) -> Option<&T> {
+        match self.offset(instance) {
+            Some(idx) => self.slots.get(idx).and_then(|s| s.as_ref()),
+            None => self.below.get(&instance),
+        }
+    }
+
+    /// Mutable access to the entry for `instance`, if stored.
+    #[inline]
+    pub fn get_mut(&mut self, instance: InstanceId) -> Option<&mut T> {
+        match self.offset(instance) {
+            Some(idx) => self.slots.get_mut(idx).and_then(|s| s.as_mut()),
+            None => self.below.get_mut(&instance),
+        }
+    }
+
+    /// Whether an entry for `instance` is stored.
+    #[inline]
+    pub fn contains(&self, instance: InstanceId) -> bool {
+        self.get(instance).is_some()
+    }
+
+    /// Grows `slots` so that `idx` is addressable.
+    #[inline]
+    fn grow_to(&mut self, idx: usize) {
+        // Instances are proposed contiguously and GC'd from below; a
+        // far-ahead id would turn one packet into a huge resize.
+        debug_assert!(
+            idx < self.slots.len() + (1 << 24),
+            "window jump: offset {idx} vs base {:?}",
+            self.base
+        );
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+    }
+
+    /// Inserts an entry, returning the previous one (map semantics).
+    pub fn insert(&mut self, instance: InstanceId, value: T) -> Option<T> {
+        match self.offset(instance) {
+            Some(idx) => {
+                self.grow_to(idx);
+                let old = self.slots[idx].replace(value);
+                if old.is_none() {
+                    self.stored += 1;
+                }
+                old
+            }
+            None => self.below.insert(instance, value),
+        }
+    }
+
+    /// Removes and returns the entry for `instance`.
+    pub fn remove(&mut self, instance: InstanceId) -> Option<T> {
+        match self.offset(instance) {
+            Some(idx) => {
+                let old = self.slots.get_mut(idx).and_then(|s| s.take());
+                if old.is_some() {
+                    self.stored -= 1;
+                }
+                old
+            }
+            None => self.below.remove(&instance),
+        }
+    }
+
+    /// Entries in ascending instance order (side map, then slots).
+    pub fn iter(&self) -> impl Iterator<Item = (InstanceId, &T)> {
+        let base = self.base;
+        self.below.iter().map(|(&i, v)| (i, v)).chain(
+            self.slots.iter().enumerate().filter_map(move |(off, s)| {
+                s.as_ref().map(|v| (InstanceId(base.0 + off as u64), v))
+            }),
+        )
+    }
+
+    /// Drops entries whose closure returns `false` (map `retain`).
+    pub fn retain(&mut self, mut keep: impl FnMut(InstanceId, &T) -> bool) {
+        self.below.retain(|&i, v| keep(i, v));
+        for (off, slot) in self.slots.iter_mut().enumerate() {
+            let i = InstanceId(self.base.0 + off as u64);
+            if slot.as_ref().is_some_and(|v| !keep(i, v)) {
+                *slot = None;
+                self.stored -= 1;
+            }
+        }
+    }
+
+    /// Advances the base to `instance`, dropping every entry strictly
+    /// below it in place — the garbage-collection step (§3.3.7).
+    /// Equivalent to `BTreeMap::split_off(&instance)` keeping the upper
+    /// half. Use [`Window::drain_below`] when the dropped entries are
+    /// needed.
+    pub fn advance_base(&mut self, instance: InstanceId) {
+        let mut low = std::mem::take(&mut self.below);
+        self.below = low.split_off(&instance);
+        drop(low);
+        while self.base < instance {
+            match self.slots.pop_front() {
+                Some(slot) => {
+                    if slot.is_some() {
+                        self.stored -= 1;
+                    }
+                    self.base = self.base.next();
+                }
+                None => {
+                    // Window exhausted: jump the base the rest of the way.
+                    self.base = instance;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Like [`Window::advance_base`], but returns the discarded entries
+    /// in ascending instance order — for callers that must not lose them
+    /// (e.g. undecided proposals, see
+    /// [`crate::coordinator::Coordinator::gc_below`]).
+    pub fn drain_below(&mut self, instance: InstanceId) -> Vec<(InstanceId, T)> {
+        let mut dropped: Vec<(InstanceId, T)> = Vec::new();
+        let mut low = std::mem::take(&mut self.below);
+        self.below = low.split_off(&instance);
+        dropped.extend(low);
+        while self.base < instance {
+            match self.slots.pop_front() {
+                Some(slot) => {
+                    if let Some(v) = slot {
+                        self.stored -= 1;
+                        dropped.push((self.base, v));
+                    }
+                    self.base = self.base.next();
+                }
+                None => {
+                    self.base = instance;
+                    break;
+                }
+            }
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut w: Window<u32> = Window::new();
+        assert!(w.is_empty());
+        assert_eq!(w.insert(InstanceId(3), 30), None);
+        assert_eq!(w.insert(InstanceId(3), 31), Some(30));
+        assert_eq!(w.get(InstanceId(3)), Some(&31));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.remove(InstanceId(3)), Some(31));
+        assert_eq!(w.remove(InstanceId(3)), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn advance_base_splits_like_btreemap() {
+        let mut w: Window<u64> = Window::new();
+        for i in 0..10 {
+            w.insert(InstanceId(i), i * 10);
+        }
+        w.advance_base(InstanceId(4));
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.base(), InstanceId(4));
+        assert!(w.get(InstanceId(3)).is_none());
+        assert_eq!(w.get(InstanceId(4)), Some(&40));
+    }
+
+    #[test]
+    fn drain_below_returns_dropped_entries_in_order() {
+        let mut w: Window<u64> = Window::new();
+        for i in 0..10 {
+            w.insert(InstanceId(i), i * 10);
+        }
+        w.remove(InstanceId(2));
+        let dropped = w.drain_below(InstanceId(4));
+        assert_eq!(dropped, vec![(InstanceId(0), 0), (InstanceId(1), 10), (InstanceId(3), 30)]);
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.base(), InstanceId(4));
+    }
+
+    #[test]
+    fn writes_below_base_fall_back_to_side_map() {
+        let mut w: Window<u32> = Window::new();
+        w.insert(InstanceId(10), 1);
+        w.advance_base(InstanceId(8));
+        // A stale retransmission below the watermark is still stored.
+        w.insert(InstanceId(2), 7);
+        assert_eq!(w.get(InstanceId(2)), Some(&7));
+        assert_eq!(w.len(), 2);
+        // Iteration stays in ascending instance order.
+        let keys: Vec<u64> = w.iter().map(|(i, _)| i.0).collect();
+        assert_eq!(keys, vec![2, 10]);
+        // The next GC sweeps the side map too.
+        let dropped = w.drain_below(InstanceId(10));
+        assert_eq!(dropped.iter().map(|(i, _)| i.0).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn advance_base_past_window_jumps() {
+        let mut w: Window<u32> = Window::new();
+        w.insert(InstanceId(1), 1);
+        w.advance_base(InstanceId(100));
+        assert_eq!(w.base(), InstanceId(100));
+        assert!(w.is_empty());
+        w.insert(InstanceId(100), 5);
+        assert_eq!(w.get(InstanceId(100)), Some(&5));
+    }
+
+    #[test]
+    fn insert_into_existing_slot_replaces() {
+        let mut w: Window<Vec<u32>> = Window::new();
+        w.insert(InstanceId(5), vec![1]);
+        assert_eq!(w.insert(InstanceId(5), vec![1, 2]), Some(vec![1]));
+        assert_eq!(w.get(InstanceId(5)), Some(&vec![1, 2]));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn retain_drops_matching_entries() {
+        let mut w: Window<u32> = Window::new();
+        for i in 0..6 {
+            w.insert(InstanceId(i), i as u32);
+        }
+        w.retain(|_, v| v % 2 == 0);
+        assert_eq!(w.len(), 3);
+        assert!(w.contains(InstanceId(2)));
+        assert!(!w.contains(InstanceId(3)));
+    }
+}

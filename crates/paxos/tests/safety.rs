@@ -52,13 +52,12 @@ fn run_schedule(steps: &[Step]) {
     let mut proposed: Vec<u32> = Vec::new();
     let mut highest_seen: Round = Round::ZERO;
 
-    let record_decision = |decided: &mut HashMap<InstanceId, u32>,
-                               instance: InstanceId,
-                               value: u32| {
-        if let Some(prev) = decided.insert(instance, value) {
-            assert_eq!(prev, value, "AGREEMENT VIOLATION at {instance:?}");
-        }
-    };
+    let record_decision =
+        |decided: &mut HashMap<InstanceId, u32>, instance: InstanceId, value: u32| {
+            if let Some(prev) = decided.insert(instance, value) {
+                assert_eq!(prev, value, "AGREEMENT VIOLATION at {instance:?}");
+            }
+        };
 
     for step in steps {
         match step {

@@ -233,8 +233,7 @@ impl Actor for PsmrClient {
                     // have executed already with only its response lost
                     // (the ordering layer delivers each command once).
                     if !self.replicas.is_empty() {
-                        let designated =
-                            self.replicas[(id.0 as usize) % self.replicas.len()];
+                        let designated = self.replicas[(id.0 as usize) % self.replicas.len()];
                         let me = self.me;
                         ctx.udp_send(designated, PReplyQuery { id, from: me }, 64);
                     }
@@ -299,8 +298,7 @@ mod tests {
     fn skew_prefers_group_zero() {
         let w = PsmrWorkload { hot_pct: 80, ..PsmrWorkload::default() };
         let mut r = rng();
-        let hot =
-            (0..1000).filter(|_| w.next_command(&mut r).groups[0] == 0).count();
+        let hot = (0..1000).filter(|_| w.next_command(&mut r).groups[0] == 0).count();
         assert!(hot > 700, "hot group should dominate, got {hot}/1000");
     }
 

@@ -11,7 +11,7 @@ use ringpaxos::mring::MRingProcess;
 use ringpaxos::{MRingConfig, SkipConfig, StorageMode};
 use simnet::prelude::*;
 
-use crate::client::{PsmrClient, PTarget, PsmrWorkload};
+use crate::client::{PTarget, PsmrClient, PsmrWorkload};
 use crate::command::PRegistry;
 use crate::engine::{Engine, EngineCosts, ExecModel};
 use crate::replica::{DeliverySource, ParallelReplica};
@@ -99,13 +99,11 @@ pub fn deploy_parallel(sim: &mut Sim, opts: &ParallelOptions) -> ParallelDeploym
         sim.config().cores_per_node
     );
     if let ExecModel::Psmr { workers } = opts.model {
-        assert_eq!(
-            workers, opts.workload.n_groups,
-            "P-SMR runs one worker per multicast group"
-        );
+        assert_eq!(workers, opts.workload.n_groups, "P-SMR runs one worker per multicast group");
     }
 
-    let replicas: Vec<NodeId> = (0..opts.n_replicas).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let replicas: Vec<NodeId> =
+        (0..opts.n_replicas).map(|_| sim.add_node(Box::new(Idle))).collect();
     let clients: Vec<NodeId> = (0..opts.n_clients).map(|_| sim.add_node(Box::new(Idle))).collect();
     let registry = PRegistry::new();
     let log = shared_log(opts.n_replicas);
@@ -152,9 +150,8 @@ pub fn deploy_parallel(sim: &mut Sim, opts: &ParallelOptions) -> ParallelDeploym
             ExecModel::Psmr { .. } => {
                 let sink = ring_sink();
                 sinks.push(sink.clone());
-                let learner =
-                    MultiRingLearner::new(r, i, ring_cfgs.clone(), 1, Some(log.clone()))
-                        .with_ring_sink(sink.clone());
+                let learner = MultiRingLearner::new(r, i, ring_cfgs.clone(), 1, Some(log.clone()))
+                    .with_ring_sink(sink.clone());
                 let actor = ParallelReplica::new(
                     learner,
                     DeliverySource::RingTagged { sink },

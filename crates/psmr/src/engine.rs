@@ -497,10 +497,7 @@ impl Engine {
                     charges.push((WORKER_CORE_BASE, serial_total));
                     charges.push((SCHED_CORE, self.costs.verify));
                 }
-                out.push((
-                    c.id,
-                    Scheduled { done: m, exec_end: serial_end, charges, worker: 0 },
-                ));
+                out.push((c.id, Scheduled { done: m, exec_end: serial_end, charges, worker: 0 }));
             }
             // Batch barrier: every worker waits out the serial pass.
             for cl in self.clocks.iter_mut() {
@@ -517,10 +514,7 @@ impl Engine {
                 if i == 0 {
                     charges.push((SCHED_CORE, self.costs.verify));
                 }
-                out.push((
-                    c.id,
-                    Scheduled { done: m, exec_end: c.end, charges, worker: c.worker },
-                ));
+                out.push((c.id, Scheduled { done: m, exec_end: c.end, charges, worker: c.worker }));
             }
         }
         out

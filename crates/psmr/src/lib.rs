@@ -57,7 +57,7 @@ pub use command::{PCommand, PRegistry, PStored};
 pub use deploy::{deploy_parallel, ParallelDeployment, ParallelOptions};
 pub use engine::{Engine, EngineCosts, ExecModel, Scheduled};
 pub use replica::{
-    ParallelReplica, PReplyQuery, PResponse, PSMR_COMPLETED, PSMR_DEP_EXECS, PSMR_LATENCY,
+    PReplyQuery, PResponse, ParallelReplica, PSMR_COMPLETED, PSMR_DEP_EXECS, PSMR_LATENCY,
     PSMR_SUBMITTED,
 };
 pub use store::ObjStore;

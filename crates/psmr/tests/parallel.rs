@@ -5,8 +5,7 @@
 use simnet::prelude::*;
 
 use psmr::{
-    deploy_parallel, ExecModel, ParallelDeployment, ParallelOptions, PsmrWorkload,
-    PSMR_COMPLETED,
+    deploy_parallel, ExecModel, ParallelDeployment, ParallelOptions, PsmrWorkload, PSMR_COMPLETED,
 };
 
 fn sim_for(model: ExecModel) -> Sim {
@@ -190,7 +189,6 @@ fn quiescence_after_stop() {
     assert_eq!(d.registry.len() as u64, submitted);
 }
 
-
 #[test]
 fn ev_scales_cleanly_but_collapses_under_conflicts() {
     let clean = PsmrWorkload { n_groups: 4, dep_pct: 0, ..PsmrWorkload::default() };
@@ -202,10 +200,7 @@ fn ev_scales_cleanly_but_collapses_under_conflicts() {
     let d = completed(&dsim, &dd);
     let s = completed(&ssim, &sd);
     assert!(c as f64 > s as f64 * 2.0, "clean EV should scale past sequential: {c} vs {s}");
-    assert!(
-        (d as f64) < c as f64 * 0.6,
-        "conflict rollbacks should hurt EV badly: {d} !<< {c}"
-    );
+    assert!((d as f64) < c as f64 * 0.6, "conflict rollbacks should hurt EV badly: {d} !<< {c}");
     let a = dd.stores[0].borrow();
     let b = dd.stores[1].borrow();
     assert_eq!(a.digest(), b.digest(), "EV replicas diverged");

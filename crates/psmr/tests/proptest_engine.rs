@@ -11,10 +11,7 @@ use psmr::{Engine, EngineCosts, ExecModel, PCommand, PStored};
 /// A generated command: domains out of `n_groups`, all writes.
 fn arb_commands(n_groups: u8, max: usize) -> impl Strategy<Value = Vec<PCommand>> {
     prop::collection::vec(
-        (
-            prop::collection::btree_set(0..n_groups, 1..=(n_groups as usize)),
-            1u64..400,
-        ),
+        (prop::collection::btree_set(0..n_groups, 1..=(n_groups as usize)), 1u64..400),
         1..max,
     )
     .prop_map(|cmds| {

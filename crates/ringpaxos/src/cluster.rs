@@ -88,7 +88,8 @@ pub fn deploy_mring(
 ) -> MRingDeployment {
     let ring: Vec<NodeId> = (0..opts.ring_size).map(|_| sim.add_node(Box::new(Idle))).collect();
     let spares: Vec<NodeId> = (0..opts.spares).map(|_| sim.add_node(Box::new(Idle))).collect();
-    let learners: Vec<NodeId> = (0..opts.n_learners).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let learners: Vec<NodeId> =
+        (0..opts.n_learners).map(|_| sim.add_node(Box::new(Idle))).collect();
     let proposers: Vec<NodeId> =
         (0..opts.n_proposers).map(|_| sim.add_node(Box::new(Idle))).collect();
     let group = sim.add_group();

@@ -20,8 +20,24 @@ use std::collections::BTreeSet;
 
 use simnet::ids::NodeId;
 
+/// Upper bound on parked out-of-order entries. The overflow set only
+/// grows while deliveries arrive out of per-proposer order (failover
+/// windows), so in steady state it is near-empty; the bound is a backstop
+/// against pathological reordering keeping the tracker O(proposers).
+pub const MAX_OVERFLOW: usize = 4096;
+
 /// Exactly-once filter over `(proposer, seq)` pairs with per-proposer
 /// contiguous-sequence watermarks and a bounded overflow set.
+///
+/// When the overflow set hits [`MAX_OVERFLOW`], the lowest parked run of
+/// the proposer with the *most* parked entries — the one driving the
+/// pathology — is evicted by collapsing that proposer's watermark up
+/// past it. That treats the unseen gap below the evicted run as
+/// delivered: a value in the gap that later arrives for the first time
+/// is reported as a duplicate (i.e. lost). Eviction therefore trades
+/// possible message loss for the misbehaving stream against a hard
+/// memory bound, while preserving at-most-once delivery — never
+/// duplication — and leaving well-behaved proposers untouched.
 #[derive(Debug, Default)]
 pub struct DeliveredTracker {
     /// `marks[p]` = lowest sequence of proposer `p` not yet delivered
@@ -30,6 +46,9 @@ pub struct DeliveredTracker {
     /// Delivered sequences at or above their proposer's watermark
     /// (out-of-order window; drained as the watermark advances).
     overflow: BTreeSet<(usize, u64)>,
+    /// `parked[p]` = entries of proposer `p` in `overflow` (eviction
+    /// picks the largest).
+    parked: Vec<usize>,
 }
 
 impl DeliveredTracker {
@@ -44,6 +63,7 @@ impl DeliveredTracker {
         let p = proposer.0;
         if p >= self.marks.len() {
             self.marks.resize(p + 1, 0);
+            self.parked.resize(p + 1, 0);
         }
         let mark = self.marks[p];
         if seq < mark {
@@ -54,14 +74,41 @@ impl DeliveredTracker {
             // through any overflow entries it now reaches.
             let mut next = mark + 1;
             while self.overflow.remove(&(p, next)) {
+                self.parked[p] -= 1;
                 next += 1;
             }
             self.marks[p] = next;
             true
         } else {
             // Out-of-order (failover window): park above the watermark.
-            self.overflow.insert((p, seq))
+            let inserted = self.overflow.insert((p, seq));
+            if inserted {
+                self.parked[p] += 1;
+                if self.overflow.len() > MAX_OVERFLOW {
+                    self.evict_heaviest();
+                }
+            }
+            inserted
         }
+    }
+
+    /// Drops the lowest parked run of the proposer with the most parked
+    /// entries by collapsing that proposer's watermark past it. See the
+    /// type docs for the semantics. O(proposers + run) per call, and
+    /// called at most once per insert beyond the bound.
+    fn evict_heaviest(&mut self) {
+        let Some(victim) = (0..self.parked.len()).max_by_key(|&p| self.parked[p]) else { return };
+        let Some(&(p, seq)) = self.overflow.range((victim, 0)..=(victim, u64::MAX)).next() else {
+            return;
+        };
+        self.overflow.remove(&(p, seq));
+        self.parked[p] -= 1;
+        let mut next = seq + 1;
+        while self.overflow.remove(&(p, next)) {
+            self.parked[p] -= 1;
+            next += 1;
+        }
+        self.marks[p] = self.marks[p].max(next);
     }
 
     /// Entries currently parked out of order (diagnostics/tests).
@@ -117,5 +164,96 @@ mod tests {
         assert!(!t.fresh(NodeId(1), 5));
         assert!(t.fresh(NodeId(1), 0));
         assert!(!t.fresh(NodeId(1), 5));
+    }
+
+    #[test]
+    fn overflow_evicts_at_the_bound() {
+        let mut t = DeliveredTracker::new();
+        // Park MAX_OVERFLOW out-of-order entries (seq 1.. leaves the
+        // watermark at 0, so nothing collapses).
+        for seq in 1..=MAX_OVERFLOW as u64 {
+            assert!(t.fresh(NodeId(0), seq));
+        }
+        assert_eq!(t.overflow_len(), MAX_OVERFLOW);
+        // One more entry trips the bound: this proposer owns every parked
+        // entry, so its lowest run (1..=MAX_OVERFLOW, contiguous) is
+        // evicted by collapsing the watermark.
+        assert!(t.fresh(NodeId(0), MAX_OVERFLOW as u64 + 2));
+        assert!(t.overflow_len() <= MAX_OVERFLOW, "bound not enforced");
+        // The evicted run is still deduplicated (watermark covers it)...
+        assert!(!t.fresh(NodeId(0), 1));
+        assert!(!t.fresh(NodeId(0), MAX_OVERFLOW as u64));
+        // ...and so is the unseen gap it collapsed over (seq 0 was never
+        // delivered; suppressing it is the documented loss-not-dup trade).
+        assert!(!t.fresh(NodeId(0), 0));
+    }
+
+    #[test]
+    fn eviction_hits_the_flooding_proposer_not_bystanders() {
+        let mut t = DeliveredTracker::new();
+        // Proposer 9 floods the overflow set; proposer 1 has one benign
+        // parked entry (watermark 0, seqs 0.. still in flight).
+        for seq in 1..=MAX_OVERFLOW as u64 - 1 {
+            assert!(t.fresh(NodeId(9), seq));
+        }
+        assert!(t.fresh(NodeId(1), 7));
+        assert_eq!(t.overflow_len(), MAX_OVERFLOW);
+        assert!(t.fresh(NodeId(1), 9)); // trips the bound
+        assert!(t.overflow_len() <= MAX_OVERFLOW);
+        // The flooder's run was evicted (its watermark collapsed)...
+        assert!(!t.fresh(NodeId(9), 1));
+        assert!(!t.fresh(NodeId(9), MAX_OVERFLOW as u64 - 1));
+        // ...while the bystander's state is fully intact: parked entries
+        // still deduplicate and its in-flight low seqs still deliver.
+        assert!(!t.fresh(NodeId(1), 7));
+        assert!(!t.fresh(NodeId(1), 9));
+        assert!(t.fresh(NodeId(1), 0));
+        assert!(t.fresh(NodeId(1), 8));
+    }
+
+    #[test]
+    fn watermark_advance_collapses_overflow_in_runs() {
+        let mut t = DeliveredTracker::new();
+        // Park 2, 3, 5 (gap at 4).
+        assert!(t.fresh(NodeId(0), 2));
+        assert!(t.fresh(NodeId(0), 3));
+        assert!(t.fresh(NodeId(0), 5));
+        assert_eq!(t.overflow_len(), 3);
+        // Delivering 0 advances the watermark to 1 only (2 is not
+        // contiguous with 0's sweep).
+        assert!(t.fresh(NodeId(0), 0));
+        assert_eq!(t.overflow_len(), 3);
+        // Delivering 1 sweeps the contiguous run 2, 3 but stops at the
+        // gap before 5.
+        assert!(t.fresh(NodeId(0), 1));
+        assert_eq!(t.overflow_len(), 1);
+        assert!(!t.fresh(NodeId(0), 2), "collapsed entries stay duplicates");
+        assert!(!t.fresh(NodeId(0), 3));
+        // Filling the gap sweeps the rest.
+        assert!(t.fresh(NodeId(0), 4));
+        assert_eq!(t.overflow_len(), 0);
+        assert!(!t.fresh(NodeId(0), 5));
+        assert!(t.fresh(NodeId(0), 6));
+    }
+
+    #[test]
+    fn out_of_order_straddling_the_watermark() {
+        let mut t = DeliveredTracker::new();
+        // In-order prefix moves the watermark to 3.
+        for seq in 0..3 {
+            assert!(t.fresh(NodeId(0), seq));
+        }
+        // A resubmission burst delivers 5 early, then replays 1 (below
+        // the watermark) and finally fills 3 and 4.
+        assert!(t.fresh(NodeId(0), 5));
+        assert!(!t.fresh(NodeId(0), 1), "below-watermark replay is a duplicate");
+        assert!(!t.fresh(NodeId(0), 5), "parked replay is a duplicate");
+        assert!(t.fresh(NodeId(0), 3));
+        assert_eq!(t.overflow_len(), 1, "5 still parked across the advance");
+        assert!(t.fresh(NodeId(0), 4));
+        assert_eq!(t.overflow_len(), 0);
+        assert!(!t.fresh(NodeId(0), 4));
+        assert!(!t.fresh(NodeId(0), 5));
+        assert!(t.fresh(NodeId(0), 6));
     }
 }

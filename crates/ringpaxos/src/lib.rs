@@ -39,7 +39,9 @@ pub mod msg;
 pub mod uring;
 pub mod value;
 
-pub use cluster::{deploy_mring, deploy_uring, MRingDeployment, MRingOptions, URingDeployment, URingOptions};
+pub use cluster::{
+    deploy_mring, deploy_uring, MRingDeployment, MRingOptions, URingDeployment, URingOptions,
+};
 pub use config::{FlowConfig, MRingConfig, SkipConfig, StorageMode, URingConfig};
 pub use dedup::DeliveredTracker;
 pub use value::{batch_bytes, Batch, BatchData, Value};

@@ -22,13 +22,14 @@
 //! (§3.3.6), and version-vector garbage collection (§3.3.7).
 
 use std::cell::Cell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
 use abcast::{metric, MsgId, Pacer, SharedLog};
 use paxos::acceptor::Acceptor;
 use paxos::msg::{quorum, InstanceId, Round};
+use paxos::window::Window;
 use simnet::prelude::*;
 
 use crate::config::{MRingConfig, StorageMode};
@@ -96,9 +97,15 @@ struct RepairState {
 }
 
 /// Acceptor-only state.
+///
+/// `decided` and `early_2b` are touched on the per-packet 2A/2B paths, so
+/// both use the dense sliding [`Window`] (GC advances the base; the rare
+/// write below the watermark falls back to the window's side map, exactly
+/// matching the `BTreeSet`/`BTreeMap` they replace).
 struct AccState {
     paxos: Acceptor<Batch>,
-    decided: BTreeSet<InstanceId>,
+    /// Instances known decided (dense window over the undecided range).
+    decided: Window<()>,
     /// Skip weight per instance (only non-zero entries stored).
     skip_weights: BTreeMap<InstanceId, u64>,
     /// Partition mask per instance (only non-ALL entries stored).
@@ -106,7 +113,7 @@ struct AccState {
     /// Watermark from the coordinator: every instance below is decided.
     decided_below: InstanceId,
     /// Phase 2B received before the matching 2A (reordering).
-    early_2b: BTreeMap<InstanceId, Round>,
+    early_2b: Window<Round>,
     /// Instances whose sync disk write is still pending.
     awaiting_disk: BTreeSet<InstanceId>,
     last_coord_activity: Time,
@@ -287,11 +294,11 @@ impl MRingProcess {
             let _ = paxos.receive_1a(round);
             AccState {
                 paxos,
-                decided: BTreeSet::new(),
+                decided: Window::new(),
                 skip_weights: BTreeMap::new(),
                 masks: BTreeMap::new(),
                 decided_below: InstanceId(0),
-                early_2b: BTreeMap::new(),
+                early_2b: Window::new(),
                 awaiting_disk: BTreeSet::new(),
                 last_coord_activity: Time::ZERO,
             }
@@ -438,8 +445,7 @@ impl MRingProcess {
                 let mask = c.pending.front().map(|v| v.mask).unwrap_or(ALL_PARTITIONS);
                 while let Some(v) = c.pending.front() {
                     if !vals.is_empty()
-                        && (bytes + v.bytes as u64 > self.cfg.packet_bytes as u64
-                            || v.mask != mask)
+                        && (bytes + v.bytes as u64 > self.cfg.packet_bytes as u64 || v.mask != mask)
                     {
                         break;
                     }
@@ -544,7 +550,7 @@ impl MRingProcess {
                 c.last_progress = ctx.now();
                 c.decided_unsent.push((instance, mask));
                 if let Some(a) = self.acc.as_mut() {
-                    a.decided.insert(instance);
+                    a.decided.insert(instance, ());
                 }
                 ctx.counter_add_id(metric::id::INSTANCES, 1);
                 let round = self.round;
@@ -631,12 +637,20 @@ impl MRingProcess {
                 let bytes = batch_wire_bytes;
                 let a = self.acc.as_mut().expect("acceptor");
                 a.awaiting_disk.insert(instance);
-                ctx.disk_write_coalesced(bytes, self.cfg.disk_unit, TimerToken(T_DISK | instance.0));
+                ctx.disk_write_coalesced(
+                    bytes,
+                    self.cfg.disk_unit,
+                    TimerToken(T_DISK | instance.0),
+                );
             }
             StorageMode::AsyncDisk => {
                 // Fire-and-forget write; throttle if the disk lags.
                 let bytes = batch_wire_bytes;
-                ctx.disk_write_coalesced(bytes, self.cfg.disk_unit, TimerToken(T_VOTE_RETRY | u64::MAX >> 8));
+                ctx.disk_write_coalesced(
+                    bytes,
+                    self.cfg.disk_unit,
+                    TimerToken(T_VOTE_RETRY | u64::MAX >> 8),
+                );
                 if ctx.disk_backlog() > Dur::millis(20) {
                     // Delay the vote until the disk catches up a little.
                     let wait = ctx.disk_backlog() - Dur::millis(20);
@@ -651,13 +665,19 @@ impl MRingProcess {
 
     /// Runs once the vote for `instance` is durable (per storage mode):
     /// first acceptor starts the 2B relay; others release a buffered 2B.
-    fn after_vote_durable(&mut self, instance: InstanceId, round: Round, is_first: bool, ctx: &mut Ctx) {
+    fn after_vote_durable(
+        &mut self,
+        instance: InstanceId,
+        round: Round,
+        is_first: bool,
+        ctx: &mut Ctx,
+    ) {
         if is_first {
             self.send_2b_to_successor(instance, round, ctx);
             return;
         }
         let Some(a) = self.acc.as_mut() else { return };
-        if let Some(r) = a.early_2b.remove(&instance) {
+        if let Some(r) = a.early_2b.remove(instance) {
             if r == round {
                 self.send_2b_to_successor(instance, round, ctx);
             }
@@ -691,7 +711,7 @@ impl MRingProcess {
             if let Some(vote) = a.paxos.vote(i) {
                 let skip = a.skip_weights.get(&i).copied().unwrap_or(0);
                 let mask = a.masks.get(&i).copied().unwrap_or(ALL_PARTITIONS);
-                let decided = a.decided.contains(&i) || i < a.decided_below;
+                let decided = a.decided.contains(i) || i < a.decided_below;
                 replies.push((i, vote.v_val.clone(), decided, vote.v_rnd, skip, mask));
             }
         }
@@ -936,8 +956,8 @@ impl MRingProcess {
         self.gc_applied = upto;
         if let Some(a) = self.acc.as_mut() {
             a.paxos.gc_below(upto);
-            a.decided = a.decided.split_off(&upto);
-            a.early_2b = a.early_2b.split_off(&upto);
+            a.decided.advance_base(upto);
+            a.early_2b.advance_base(upto);
             a.skip_weights = a.skip_weights.split_off(&upto);
             a.masks = a.masks.split_off(&upto);
         }
@@ -1012,13 +1032,8 @@ impl MRingProcess {
         };
         // Keep the surviving ring segment in order, then pull in live
         // spares until the ring again holds an m-quorum (§3.3.5).
-        let mut ring: Vec<NodeId> = self
-            .cfg
-            .ring
-            .iter()
-            .copied()
-            .filter(|&n| n != me && responders.contains(&n))
-            .collect();
+        let mut ring: Vec<NodeId> =
+            self.cfg.ring.iter().copied().filter(|&n| n != me && responders.contains(&n)).collect();
         let target = quorum(self.total_acceptors).saturating_sub(1);
         for s in self.cfg.spares.clone() {
             if ring.len() >= target {
@@ -1085,11 +1100,7 @@ impl MRingProcess {
     /// `instance` (0 for normal batches) — retransmitted 2As must repeat
     /// it verbatim so every learner's merge sees identical weights.
     fn skip_weight_of(&self, instance: InstanceId) -> u64 {
-        self.acc
-            .as_ref()
-            .and_then(|a| a.skip_weights.get(&instance))
-            .copied()
-            .unwrap_or(0)
+        self.acc.as_ref().and_then(|a| a.skip_weights.get(&instance)).copied().unwrap_or(0)
     }
 
     fn suspect_check(&mut self, ctx: &mut Ctx) {
@@ -1143,13 +1154,16 @@ impl MRingProcess {
         ctx.set_timer(self.cfg.suspicion_timeout * 4, TimerToken(T_SUSPECT));
     }
 
-    fn collect_own_votes(&mut self, round: Round) -> (Vec<(InstanceId, Round, Batch)>, Vec<InstanceId>) {
+    fn collect_own_votes(
+        &mut self,
+        round: Round,
+    ) -> (Vec<(InstanceId, Round, Batch)>, Vec<InstanceId>) {
         let Some(a) = self.acc.as_mut() else { return (Vec::new(), Vec::new()) };
         match a.paxos.receive_1a(round) {
             Some(paxos::msg::PaxosMsg::Phase1b { votes, .. }) => {
-                (votes, a.decided.iter().copied().collect())
+                (votes, a.decided.iter().map(|(i, _)| i).collect())
             }
-            _ => (Vec::new(), a.decided.iter().copied().collect()),
+            _ => (Vec::new(), a.decided.iter().map(|(i, _)| i).collect()),
         }
     }
 
@@ -1167,10 +1181,7 @@ impl MRingProcess {
             let (votes, decided) = self.collect_own_votes(round);
             let me = self.me;
             let wire = self.cfg.ctl_bytes
-                + votes
-                    .iter()
-                    .map(|(_, _, b)| batch_bytes(b) as u32)
-                    .sum::<u32>();
+                + votes.iter().map(|(_, _, b)| batch_bytes(b) as u32).sum::<u32>();
             ctx.udp_send(from, MMsg::Phase1b { round, from: me, votes, decided }, wire);
         }
     }
@@ -1432,7 +1443,16 @@ impl Actor for MRingProcess {
         let Some(msg) = env.payload.downcast_ref::<MMsg>() else { return };
         match msg {
             MMsg::Propose(v) => self.on_propose(*v, ctx),
-            MMsg::Phase2a { instance, round, batch, decisions, gc_upto, skip, mask, decided_below } => {
+            MMsg::Phase2a {
+                instance,
+                round,
+                batch,
+                decisions,
+                gc_upto,
+                skip,
+                mask,
+                decided_below,
+            } => {
                 let (instance, round, skip, mask) = (*instance, *round, *skip, *mask);
                 let batch = batch.clone();
                 let decisions = decisions.clone();
@@ -1441,7 +1461,7 @@ impl Actor for MRingProcess {
                 self.on_phase2a(instance, round, batch.clone(), ctx);
                 if let Some(a) = self.acc.as_mut() {
                     for &(d, _) in decisions.iter() {
-                        a.decided.insert(d);
+                        a.decided.insert(d, ());
                     }
                     a.decided_below = a.decided_below.max(decided_below);
                     if skip > 0 {
@@ -1480,7 +1500,7 @@ impl Actor for MRingProcess {
                 if let Some(a) = self.acc.as_mut() {
                     a.last_coord_activity = ctx.now();
                     for &(d, _) in instances.iter() {
-                        a.decided.insert(d);
+                        a.decided.insert(d, ());
                     }
                     a.decided_below = a.decided_below.max(decided_below);
                 }
@@ -1580,9 +1600,7 @@ impl Actor for MRingProcess {
                     let overdue: Vec<(InstanceId, Batch, u32)> = c
                         .outstanding
                         .iter()
-                        .filter(|(_, (_, at, _))| {
-                            ctx.now().saturating_since(*at) > Dur::millis(50)
-                        })
+                        .filter(|(_, (_, at, _))| ctx.now().saturating_since(*at) > Dur::millis(50))
                         .take(64)
                         .map(|(&i, (b, _, m))| (i, b.clone(), *m))
                         .collect();
@@ -1656,8 +1674,7 @@ impl Actor for MRingProcess {
             }
             T_SKIP => {
                 if let (true, Some(skip)) = (self.is_coordinator(), self.cfg.skip) {
-                    let target_inc =
-                        skip.lambda_per_sec * skip.delta.as_nanos() / 1_000_000_000;
+                    let target_inc = skip.lambda_per_sec * skip.delta.as_nanos() / 1_000_000_000;
                     let deficit = {
                         let Some(c) = self.coord.as_mut() else { return };
                         c.logical_target += target_inc;

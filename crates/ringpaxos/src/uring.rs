@@ -11,8 +11,8 @@
 //! Flow control is inherent: TCP back-pressure between neighbours plus a
 //! bounded window of outstanding consensus instances (§3.3.6).
 
-use std::collections::{BTreeMap, BTreeSet};
 use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet};
 
 use abcast::{metric, MsgId, Pacer, SharedLog};
 
@@ -132,8 +132,7 @@ impl URingProcess {
         // No payload when the receiver has seen it all: the coordinator
         // assembled the batch, and the acceptor segment got the payload
         // in Phase 2A/2B before a decision hop reaches it.
-        let seen_all = next_pos == 0
-            || (decision_hop && next_pos <= self.cfg.last_acceptor_pos());
+        let seen_all = next_pos == 0 || (decision_hop && next_pos <= self.cfg.last_acceptor_pos());
         let bytes = if seen_all {
             0
         } else {
@@ -154,10 +153,8 @@ impl URingProcess {
         // TCP back-pressure: a real proposer blocks in `send` when the
         // socket buffer to its successor is full (§3.3.6). We shed the
         // tick instead (the pacer self-clocks to the sustainable rate).
-        let full_buffer = self
-            .prop
-            .as_ref()
-            .is_some_and(|p| p.inflight >= self.cfg.proposer_inflight);
+        let full_buffer =
+            self.prop.as_ref().is_some_and(|p| p.inflight >= self.cfg.proposer_inflight);
         let blocked = full_buffer
             || if self.coord.is_some() {
                 self.coord.as_ref().is_some_and(|c| c.pending_bytes > 4 * 1024 * 1024)
@@ -166,8 +163,7 @@ impl URingProcess {
             };
         if blocked {
             ctx.counter_add("rp.shed", 1);
-            let interval =
-                self.prop.as_ref().map(|p| p.pacer.interval()).unwrap_or(Dur::millis(1));
+            let interval = self.prop.as_ref().map(|p| p.pacer.interval()).unwrap_or(Dur::millis(1));
             // Consume the missed slots so load does not pile up.
             if let Some(p) = self.prop.as_mut() {
                 let _ = p.pacer.due(ctx.now());
@@ -284,17 +280,31 @@ impl URingProcess {
             StorageMode::SyncDisk => {
                 let bytes = (batch_bytes(&batch).min(u32::MAX as u64) as u32).max(1);
                 self.disk_pending.insert(instance, (round, batch));
-                ctx.disk_write_coalesced(bytes, self.cfg.disk_unit, TimerToken(T_DISK | instance.0));
+                ctx.disk_write_coalesced(
+                    bytes,
+                    self.cfg.disk_unit,
+                    TimerToken(T_DISK | instance.0),
+                );
             }
             StorageMode::AsyncDisk => {
                 let bytes = (batch_bytes(&batch).min(u32::MAX as u64) as u32).max(1);
-                ctx.disk_write_coalesced(bytes, self.cfg.disk_unit, TimerToken(T_DISK | (u64::MAX >> 8)));
+                ctx.disk_write_coalesced(
+                    bytes,
+                    self.cfg.disk_unit,
+                    TimerToken(T_DISK | (u64::MAX >> 8)),
+                );
                 self.vote_and_forward(instance, round, batch, ctx);
             }
         }
     }
 
-    fn vote_and_forward(&mut self, instance: InstanceId, round: Round, batch: Batch, ctx: &mut Ctx) {
+    fn vote_and_forward(
+        &mut self,
+        instance: InstanceId,
+        round: Round,
+        batch: Batch,
+        ctx: &mut Ctx,
+    ) {
         if let Some(a) = self.acceptor.as_mut() {
             if a.receive_2a(instance, round, batch.clone()).is_none() {
                 return;
@@ -318,7 +328,13 @@ impl URingProcess {
         }
     }
 
-    fn on_decision(&mut self, instance: InstanceId, batch: Batch, id_hops_left: u32, ctx: &mut Ctx) {
+    fn on_decision(
+        &mut self,
+        instance: InstanceId,
+        batch: Batch,
+        id_hops_left: u32,
+        ctx: &mut Ctx,
+    ) {
         self.learner_ready(instance, &batch, ctx);
         if self.coord.is_some() {
             if let Some(c) = self.coord.as_mut() {

@@ -190,10 +190,7 @@ fn sync_disk_writes_bound_throughput() {
     sim.run_until(Time::from_secs(3));
     let after = sim.metrics().counter(d.learners[0], metric::DELIVERED_BYTES);
     let tput = mbps(after - before, Dur::secs(2));
-    assert!(
-        (180.0..340.0).contains(&tput),
-        "sync-disk throughput {tput:.0} Mbps, expected ~270"
-    );
+    assert!((180.0..340.0).contains(&tput), "sync-disk throughput {tput:.0} Mbps, expected ~270");
 }
 
 #[test]
@@ -214,16 +211,12 @@ fn coordinator_failover_resumes_delivery_without_violations() {
     sim.run_until(Time::from_secs(4));
 
     // A takeover must have happened.
-    let takeovers: u64 =
-        d.ring.iter().map(|&a| sim.metrics().counter(a, "rp.became_coord")).sum();
+    let takeovers: u64 = d.ring.iter().map(|&a| sim.metrics().counter(a, "rp.became_coord")).sum();
     assert!(takeovers >= 1, "no acceptor took over as coordinator");
 
     // Delivery resumed: messages delivered well after the crash.
-    let delivered_after: u64 = d
-        .learners
-        .iter()
-        .map(|&l| sim.metrics().counter(l, metric::DELIVERED_MSGS))
-        .sum();
+    let delivered_after: u64 =
+        d.learners.iter().map(|&l| sim.metrics().counter(l, metric::DELIVERED_MSGS)).sum();
     assert!(delivered_after > 500, "delivery stalled after failover: {delivered_after}");
 
     let log = d.log.borrow();
@@ -248,16 +241,10 @@ fn runs_are_deterministic() {
         };
         let d = deploy_mring(&mut sim, &opts, |_| {});
         sim.run_until(Time::from_secs(1));
-        let bytes: u64 = d
-            .all_learners
-            .iter()
-            .map(|&l| sim.metrics().counter(l, metric::DELIVERED_BYTES))
-            .sum();
-        let msgs: u64 = d
-            .all_learners
-            .iter()
-            .map(|&l| sim.metrics().counter(l, metric::DELIVERED_MSGS))
-            .sum();
+        let bytes: u64 =
+            d.all_learners.iter().map(|&l| sim.metrics().counter(l, metric::DELIVERED_BYTES)).sum();
+        let msgs: u64 =
+            d.all_learners.iter().map(|&l| sim.metrics().counter(l, metric::DELIVERED_MSGS)).sum();
         (bytes, msgs)
     };
     assert_eq!(run(42), run(42), "same seed must reproduce identical results");
@@ -345,11 +332,7 @@ fn transient_stall_does_not_reform_the_ring() {
     let d = deploy_mring(&mut sim, &opts, |_| {});
     sim.run_until(Time::from_secs(3));
     let coord = d.coordinator();
-    assert_eq!(
-        sim.metrics().counter(coord, "rp.ring_repair"),
-        0,
-        "repair fired on a healthy ring"
-    );
+    assert_eq!(sim.metrics().counter(coord, "rp.ring_repair"), 0, "repair fired on a healthy ring");
 }
 
 #[test]

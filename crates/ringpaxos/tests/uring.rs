@@ -160,10 +160,7 @@ fn deterministic_runs() {
         let opts = URingOptions::default();
         let d = deploy_uring(&mut sim, &opts, |_| {});
         sim.run_until(Time::from_millis(500));
-        d.ring
-            .iter()
-            .map(|&n| sim.metrics().counter(n, metric::DELIVERED_MSGS))
-            .collect::<Vec<_>>()
+        d.ring.iter().map(|&n| sim.metrics().counter(n, metric::DELIVERED_MSGS)).collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }
@@ -195,10 +192,7 @@ fn ring_process_failure_stalls_delivery() {
     let later = sim.metrics().counter(d.ring[1], metric::DELIVERED_MSGS);
     // A handful of in-flight decisions may still drain right after the
     // crash; after that the ring is dead.
-    assert!(
-        later - at_break < 20,
-        "broken ring kept delivering: {at_break} -> {later}"
-    );
+    assert!(later - at_break < 20, "broken ring kept delivering: {at_break} -> {later}");
     // What was delivered remains totally ordered.
     d.log.borrow().check_total_order().expect("order before the crash holds");
 }

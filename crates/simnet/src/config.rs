@@ -93,8 +93,13 @@ impl SimConfig {
         bytes as u64 + self.frames_for(bytes) as u64 * self.frame_overhead_bytes as u64
     }
 
-    /// Time to serialize `bytes` of payload onto a link.
+    /// Time to serialize `bytes` of payload onto a link. A zero
+    /// `link_bandwidth_bps` means infinite bandwidth: zero transfer
+    /// delay, not a division crash.
     pub fn tx_time(&self, bytes: u32) -> Dur {
+        if self.link_bandwidth_bps == 0 {
+            return Dur::ZERO;
+        }
         let bits = self.wire_bytes(bytes) * 8;
         Dur::nanos(bits.saturating_mul(1_000_000_000) / self.link_bandwidth_bps)
     }
@@ -110,10 +115,16 @@ impl SimConfig {
             + Dur::nanos(bytes as u64 * self.recv_ns_per_kib / 1024)
     }
 
-    /// Time for the disk to persist one write of `bytes`.
+    /// Time for the disk to persist one write of `bytes`. A zero
+    /// `disk_bandwidth_bps` means infinite bandwidth: only the
+    /// per-operation latency remains.
     pub fn disk_write_time(&self, bytes: u32) -> Dur {
+        if self.disk_bandwidth_bps == 0 {
+            return self.disk_op_latency;
+        }
         let bits = bytes as u64 * 8;
-        self.disk_op_latency + Dur::nanos(bits.saturating_mul(1_000_000_000) / self.disk_bandwidth_bps)
+        self.disk_op_latency
+            + Dur::nanos(bits.saturating_mul(1_000_000_000) / self.disk_bandwidth_bps)
     }
 
     /// Time to persist `bytes` when the writer coalesces small appends
@@ -122,7 +133,11 @@ impl SimConfig {
     /// the share of the unit this write occupies.
     pub fn disk_write_time_coalesced(&self, bytes: u32, unit: u32) -> Dur {
         let bits = bytes as u64 * 8;
-        let xfer = Dur::nanos(bits.saturating_mul(1_000_000_000) / self.disk_bandwidth_bps);
+        // Zero disk bandwidth means infinite: no transfer delay.
+        let xfer = bits
+            .saturating_mul(1_000_000_000)
+            .checked_div(self.disk_bandwidth_bps)
+            .map_or(Dur::ZERO, Dur::nanos);
         let unit = unit.max(1) as u64;
         let amortized_op =
             Dur::nanos(self.disk_op_latency.as_nanos().saturating_mul(bytes as u64) / unit);
@@ -130,7 +145,8 @@ impl SimConfig {
     }
 
     /// Queue occupancy, in bytes, implied by a link that is busy for
-    /// `backlog` more time at this configuration's bandwidth.
+    /// `backlog` more time at this configuration's bandwidth. With zero
+    /// (infinite) bandwidth nothing ever queues.
     pub fn backlog_bytes(&self, backlog: Dur) -> u64 {
         backlog.as_nanos().saturating_mul(self.link_bandwidth_bps / 8) / 1_000_000_000
     }
@@ -176,6 +192,53 @@ mod tests {
         // 8 KiB receive: 6 frames * 1.2us + ~7.8us ~= 15us.
         let r = cfg.recv_cost(8192);
         assert!(r >= Dur::micros(13) && r <= Dur::micros(17), "{r:?}");
+    }
+
+    #[test]
+    fn zero_bandwidth_means_zero_delay_not_a_panic() {
+        // The "infinite bandwidth" config: both bandwidths zero.
+        let mut cfg = SimConfig::default();
+        cfg.link_bandwidth_bps = 0;
+        cfg.disk_bandwidth_bps = 0;
+        assert_eq!(cfg.tx_time(8192), Dur::ZERO);
+        assert_eq!(cfg.tx_time(u32::MAX / 2), Dur::ZERO);
+        assert_eq!(cfg.disk_write_time(32 * 1024), cfg.disk_op_latency);
+        let coalesced = cfg.disk_write_time_coalesced(4096, 32 * 1024);
+        assert!(coalesced < cfg.disk_op_latency, "only the amortized op latency remains");
+        assert_eq!(cfg.backlog_bytes(Dur::secs(5)), 0, "an infinite link never queues");
+    }
+
+    #[test]
+    fn zero_bandwidth_simulation_still_delivers() {
+        use crate::sim::{Actor, Ctx, Envelope, Sim};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Recorder(Rc<RefCell<u32>>);
+        impl Actor for Recorder {
+            fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {
+                *self.0.borrow_mut() += 1;
+            }
+        }
+        struct Quiet;
+        impl Actor for Quiet {
+            fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+        }
+
+        let mut cfg = SimConfig::default();
+        cfg.link_bandwidth_bps = 0;
+        cfg.disk_bandwidth_bps = 0;
+        let got = Rc::new(RefCell::new(0));
+        let mut sim = Sim::new(cfg);
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Recorder(got.clone())));
+        sim.with_ctx(a, |ctx| {
+            for i in 0..10u32 {
+                ctx.udp_send(b, i, 8192);
+            }
+        });
+        sim.run_to_idle();
+        assert_eq!(*got.borrow(), 10);
     }
 
     #[test]

@@ -30,14 +30,16 @@
 //!
 //! Every simulated packet passes through the engine twice (host arrival,
 //! delivery), so the per-event structures are all dense and index-based:
-//! the future event set is a 4-ary min-heap of compact keys over an
-//! [`EventKind`] slab, TCP channels live in a per-node-pair slot table
+//! the future event set is a calendar queue of compact keys over an
+//! [`EventKind`] slab (see [`EventQueue`] for the bucket-width
+//! heuristic), TCP channels live in a per-node-pair slot table
 //! ([`SimInner::tcp_send_from`]), metrics are pre-interned counters in a
 //! per-node matrix ([`crate::stats`]), and multicast fan-out reuses one
 //! scratch buffer. Determinism is unaffected: events pop in exact
 //! `(time, seq)` order, so any run is bit-for-bit reproducible from its
 //! seed (the golden-trace tests in `ringpaxos` pin this down).
 
+use std::collections::BinaryHeap;
 use std::collections::VecDeque;
 
 use rand::rngs::SmallRng;
@@ -95,13 +97,15 @@ enum EventKind {
     /// Actor timer.
     Timer { node: NodeId, token: TimerToken },
     /// TCP acknowledgement returned to the sender; frees window space.
-    TcpAck { src: NodeId, dst: NodeId, bytes: u32 },
+    /// `seq` is the channel's delivery sequence number, so duplicate or
+    /// late acks are detected instead of silently skewing `in_flight`.
+    TcpAck { src: NodeId, dst: NodeId, bytes: u32, seq: u64 },
     /// A disk write issued by `node` completed.
     DiskDone { node: NodeId, token: TimerToken },
 }
 
 /// Compact ordering key for one queued event. The payload lives in the
-/// queue's slab; only these 24 bytes move during heap sifts.
+/// queue's slab; only these 24 bytes move between buckets.
 #[derive(Clone, Copy)]
 struct EventKey {
     time: Time,
@@ -116,23 +120,122 @@ impl EventKey {
     }
 }
 
-/// The simulation's future event set: a 4-ary min-heap of [`EventKey`]s
-/// over a slab of [`EventKind`]s.
+impl PartialEq for EventKey {
+    fn eq(&self, other: &EventKey) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for EventKey {}
+
+impl PartialOrd for EventKey {
+    fn partial_cmp(&self, other: &EventKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventKey {
+    fn cmp(&self, other: &EventKey) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Virtual-time width of one calendar bucket, as a power of two:
+/// `1 << BUCKET_SHIFT` nanoseconds (4.096 µs).
+const BUCKET_SHIFT: u32 = 12;
+/// Number of calendar buckets (a power of two). One "year" —
+/// `BUCKET_COUNT << BUCKET_SHIFT` — spans ~33.6 ms of virtual time.
+const BUCKET_COUNT: usize = 1 << 13;
+const BUCKET_MASK: u64 = BUCKET_COUNT as u64 - 1;
+
+/// The simulation's future event set: a calendar queue of [`EventKey`]s
+/// over a slab of [`EventKind`]s, with a binary-heap overflow for
+/// far-future timers.
 ///
-/// Keys are unique (`seq` increments per push), so any correct priority
-/// queue pops the exact same `(time, seq)` sequence — the heap layout is
-/// unobservable and determinism is preserved by construction. The 4-ary
-/// shape halves the tree depth of a binary heap and keeps sift traffic
-/// on 24-byte keys instead of ~56-byte events, which matters because
-/// every simulated packet passes through this queue twice.
-#[derive(Default)]
+/// # Why a calendar
+///
+/// The previous 4-ary min-heap paid an O(log n) sift (a handful of
+/// random-access key compares and moves) on *every* push and pop, and
+/// every simulated packet passes through this queue twice. A calendar
+/// queue [Brown 1988] files each event in the bucket covering its
+/// timestamp — `buckets[(time >> BUCKET_SHIFT) & BUCKET_MASK]` — making
+/// push an append and pop a scan of one short bucket: O(1) amortized at
+/// simulation event densities.
+///
+/// # Bucket-width heuristic
+///
+/// The width must sit between two failure modes: too wide and every event
+/// lands in one bucket (pop degenerates to a linear scan of the queue);
+/// too narrow and pops spin over empty buckets. The engine's event
+/// horizon is dominated by the datagram pipeline — CPU costs (1–30 µs),
+/// link serialization (~12 µs/KB at 1 Gbps), and the 50 µs one-way
+/// latency — so pending packet events live 10–200 µs ahead of `now`.
+/// A 4.096 µs bucket spreads that horizon over ~10–50 buckets, keeping
+/// per-bucket occupancy at a few events even with tens of thousands of
+/// packets in flight, while ms-scale protocol timers (batch timeouts,
+/// retransmission checks, flow control) still fall inside the ~33.6 ms
+/// year. Only rare long timers (suspicion, GC, heartbeats) overflow to
+/// the heap, whose O(log n) cost is then paid per *timer*, not per
+/// packet.
+///
+/// # Determinism
+///
+/// Keys are unique (`seq` increments per push), and [`EventQueue::pop_due`]
+/// always returns the minimum `(time, seq)` key: events with the current
+/// scan slot's timestamp can only live in that slot's bucket, earlier
+/// slots have been drained, and the overflow heap is migrated into the
+/// calendar before it can hold anything within the active year. Bucket
+/// layout is therefore unobservable, exactly as the heap layout was, and
+/// any run is bit-for-bit reproducible from its seed.
 struct EventQueue {
-    heap: Vec<EventKey>,
+    /// Calendar buckets; `buckets[vslot & BUCKET_MASK]` holds events
+    /// whose `time >> BUCKET_SHIFT == vslot` for vslots within roughly
+    /// one year of the scan position (older years first, by scan order).
+    buckets: Vec<Vec<EventKey>>,
+    /// Current scan slot: no bucketed event's vslot is below it.
+    cur_vslot: u64,
+    /// Events currently filed in the calendar (`buckets` plus `sorted`).
+    in_buckets: usize,
+    /// Hot-bucket fast path: when one slot holds many events (e.g. a
+    /// same-timestamp burst under an infinite-bandwidth config), its
+    /// entries are extracted once, sorted descending by key, and popped
+    /// from the back — O(k log k) for k co-located events instead of the
+    /// O(k²) of per-pop bucket rescans.
+    sorted: Vec<EventKey>,
+    /// Slot `sorted` belongs to (meaningful while `sorted` is non-empty).
+    sorted_vslot: u64,
+    /// Far-future events (≥ one year ahead at push time), ordered by
+    /// `(time, seq)`; migrated into the calendar as the scan approaches.
+    overflow: BinaryHeap<std::cmp::Reverse<EventKey>>,
     slab: Vec<Option<EventKind>>,
     free: Vec<u32>,
 }
 
+/// Bucket occupancy beyond which the scan switches to the sorted-stack
+/// fast path for that slot.
+const SORT_THRESHOLD: usize = 32;
+
+impl Default for EventQueue {
+    fn default() -> EventQueue {
+        EventQueue {
+            buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
+            cur_vslot: 0,
+            in_buckets: 0,
+            sorted: Vec::new(),
+            sorted_vslot: 0,
+            overflow: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
 impl EventQueue {
+    #[inline]
+    fn vslot(time: Time) -> u64 {
+        time.as_nanos() >> BUCKET_SHIFT
+    }
+
     fn push(&mut self, time: Time, seq: u64, kind: EventKind) {
         let slot = match self.free.pop() {
             Some(s) => {
@@ -144,56 +247,160 @@ impl EventQueue {
                 (self.slab.len() - 1) as u32
             }
         };
-        // Sift up.
-        let mut i = self.heap.len();
         let entry = EventKey { time, seq, slot };
-        self.heap.push(entry);
-        while i > 0 {
-            let parent = (i - 1) / 4;
-            if self.heap[parent].key() <= entry.key() {
-                break;
-            }
-            self.heap[i] = self.heap[parent];
-            i = parent;
+        let vslot = Self::vslot(time);
+        if vslot >= self.cur_vslot + BUCKET_COUNT as u64 {
+            self.overflow.push(std::cmp::Reverse(entry));
+            return;
         }
-        self.heap[i] = entry;
+        // An event behind the scan position (possible when a driver
+        // injects work after `run_until` parked the scan on a far-future
+        // timer): rewind so the scan cannot miss it. Buckets may then
+        // transiently hold more than one year's vslots, which the
+        // scan-time vslot check in `pop_due` handles.
+        if vslot < self.cur_vslot {
+            // The hot-bucket stack belongs to the slot the scan was
+            // parked on; flush it back into that slot's bucket so the
+            // rewound scan serves everything from the calendar again
+            // (a stranded stack would pop ahead of nearer events and
+            // be invisible to the sparse-scan jump).
+            if !self.sorted.is_empty() {
+                let idx = (self.sorted_vslot & BUCKET_MASK) as usize;
+                self.buckets[idx].append(&mut self.sorted);
+            }
+            self.cur_vslot = vslot;
+        }
+        self.buckets[(vslot & BUCKET_MASK) as usize].push(entry);
+        self.in_buckets += 1;
     }
 
-    #[inline]
-    fn peek_time(&self) -> Option<Time> {
-        self.heap.first().map(|e| e.time)
+    /// Migrates overflow events that now fall within one year of the scan
+    /// position into the calendar.
+    fn drain_overflow(&mut self) {
+        let horizon = self.cur_vslot + BUCKET_COUNT as u64;
+        while let Some(std::cmp::Reverse(top)) = self.overflow.peek() {
+            if Self::vslot(top.time) >= horizon {
+                return;
+            }
+            let std::cmp::Reverse(e) = self.overflow.pop().expect("peeked");
+            self.buckets[(Self::vslot(e.time) & BUCKET_MASK) as usize].push(e);
+            self.in_buckets += 1;
+        }
     }
 
-    fn pop(&mut self) -> Option<(Time, EventKind)> {
-        let top = *self.heap.first()?;
-        let kind = self.slab[top.slot as usize].take().expect("queued event present");
-        self.free.push(top.slot);
-        let last = self.heap.pop().expect("non-empty");
-        if !self.heap.is_empty() {
-            // Sift the former last element down from the root.
-            let mut i = 0;
-            let len = self.heap.len();
-            loop {
-                let first_child = 4 * i + 1;
-                if first_child >= len {
-                    break;
-                }
-                let mut min_child = first_child;
-                let last_child = (first_child + 3).min(len - 1);
-                for c in first_child + 1..=last_child {
-                    if self.heap[c].key() < self.heap[min_child].key() {
-                        min_child = c;
+    /// Pops the earliest event if its time is at or before `deadline`;
+    /// returns `None` (leaving the event queued) otherwise.
+    fn pop_due(&mut self, deadline: Time) -> Option<(Time, EventKind)> {
+        if self.in_buckets == 0 {
+            // Calendar empty: jump the scan straight to the earliest
+            // far-future event instead of sweeping empty years.
+            let std::cmp::Reverse(top) = self.overflow.peek()?;
+            self.cur_vslot = Self::vslot(top.time);
+        }
+        self.drain_overflow();
+        debug_assert!(self.in_buckets > 0);
+        let mut scanned = 0usize;
+        loop {
+            let cur = self.cur_vslot;
+            let idx = (cur & BUCKET_MASK) as usize;
+            // One pass over the bucket: find the minimum current-slot
+            // entry and count matches on the way. Events with
+            // vslot == cur can only be in this bucket or the sorted
+            // stack, and every queued event's vslot is >= cur, so the
+            // smaller of the two minima is the global minimum. (Bucket
+            // entries of later years are skipped.)
+            let bucket = &self.buckets[idx];
+            let mut best: Option<usize> = None;
+            let mut matching = 0usize;
+            for (i, e) in bucket.iter().enumerate() {
+                if Self::vslot(e.time) == cur {
+                    matching += 1;
+                    if best.is_none_or(|b| e.key() < bucket[b].key()) {
+                        best = Some(i);
                     }
                 }
-                if self.heap[min_child].key() >= last.key() {
-                    break;
-                }
-                self.heap[i] = self.heap[min_child];
-                i = min_child;
             }
-            self.heap[i] = last;
+            if matching > SORT_THRESHOLD {
+                // Hot bucket (e.g. a same-timestamp burst under an
+                // infinite-bandwidth config): extract every current-slot
+                // entry once, sort, and serve subsequent pops from the
+                // back of the sorted stack instead of O(k) rescans.
+                let bucket = &mut self.buckets[idx];
+                let mut batch: Vec<EventKey> = Vec::with_capacity(matching + self.sorted.len());
+                let mut i = 0;
+                while i < bucket.len() {
+                    if Self::vslot(bucket[i].time) == cur {
+                        batch.push(bucket.swap_remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Merge with any previously sorted remainder of this slot
+                // (re-extraction after a burst of same-slot pushes).
+                batch.append(&mut self.sorted);
+                batch.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+                self.sorted = batch;
+                self.sorted_vslot = cur;
+                best = None; // extracted; serve from the sorted stack
+            }
+            let bucket = &self.buckets[idx];
+            let sorted_top = match self.sorted.last() {
+                Some(t) if self.sorted_vslot == cur => Some(*t),
+                _ => None,
+            };
+            let pick_bucket = match (best, sorted_top) {
+                (Some(i), Some(top)) => bucket[i].key() < top.key(),
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => {
+                    debug_assert!(self.sorted.is_empty() || self.sorted_vslot != cur);
+                    self.advance_slot(&mut scanned);
+                    continue;
+                }
+            };
+            let min = if pick_bucket {
+                bucket[best.expect("picked")]
+            } else {
+                sorted_top.expect("picked")
+            };
+            if min.time > deadline {
+                return None; // stays queued
+            }
+            let e = if pick_bucket {
+                self.buckets[idx].swap_remove(best.expect("picked"))
+            } else {
+                self.sorted.pop().expect("sorted top present")
+            };
+            self.in_buckets -= 1;
+            let kind = self.slab[e.slot as usize].take().expect("queued event present");
+            self.free.push(e.slot);
+            return Some((e.time, kind));
         }
-        Some((top.time, kind))
+    }
+
+    /// Advances the scan one slot, migrating newly-near overflow events
+    /// and taking the sparse-queue jump when a whole year scanned empty.
+    fn advance_slot(&mut self, scanned: &mut usize) {
+        self.cur_vslot += 1;
+        self.drain_overflow();
+        *scanned += 1;
+        if *scanned > BUCKET_COUNT {
+            // Sparse queue: a whole year of empty slots. Jump to the
+            // earliest event — bucketed *or* still parked in the
+            // overflow heap (jumping past the overflow minimum would
+            // pop a later bucketed event first and run time backwards).
+            let min_bucketed = self
+                .buckets
+                .iter()
+                .flatten()
+                .map(|e| Self::vslot(e.time))
+                .min()
+                .expect("in_buckets > 0");
+            let min_overflow = self.overflow.peek().map(|std::cmp::Reverse(e)| Self::vslot(e.time));
+            self.cur_vslot = min_overflow.map_or(min_bucketed, |o| min_bucketed.min(o));
+            self.drain_overflow();
+            *scanned = 0;
+        }
     }
 }
 
@@ -206,11 +413,23 @@ struct TcpChannel {
     in_flight: u32,
     queue: VecDeque<(Payload, u32)>,
     queued_bytes: u64,
+    /// Segments delivered to the receiver so far; stamps each ack.
+    delivered_segs: u64,
+    /// Next ack sequence the sender expects. Acks are generated in
+    /// delivery order, so anything else is a duplicate/late ack and is
+    /// dropped instead of being subtracted from `in_flight` again.
+    acked_segs: u64,
 }
 
 impl TcpChannel {
     fn new() -> TcpChannel {
-        TcpChannel { in_flight: 0, queue: VecDeque::new(), queued_bytes: 0 }
+        TcpChannel {
+            in_flight: 0,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            delivered_segs: 0,
+            acked_segs: 0,
+        }
     }
 }
 
@@ -284,7 +503,14 @@ impl SimInner {
 
     /// Sends a datagram: charges the sender CPU and uplink, then fans out
     /// to each destination's downlink.
-    fn datagram(&mut self, src: NodeId, dsts: &[NodeId], payload: Payload, bytes: u32, transport: Transport) {
+    fn datagram(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        payload: Payload,
+        bytes: u32,
+        transport: Transport,
+    ) {
         if !self.nodes[src.0].up {
             return;
         }
@@ -446,7 +672,13 @@ impl SimInner {
 
     /// Issues a disk write of `bytes` that the writer coalesces into
     /// `unit`-sized device operations (amortized op latency).
-    pub fn disk_write_coalesced_on(&mut self, node: NodeId, bytes: u32, unit: u32, token: TimerToken) {
+    pub fn disk_write_coalesced_on(
+        &mut self,
+        node: NodeId,
+        bytes: u32,
+        unit: u32,
+        token: TimerToken,
+    ) {
         let t = self.config.disk_write_time_coalesced(bytes, unit);
         self.disk_push(node, bytes, t, token);
     }
@@ -805,11 +1037,7 @@ impl Sim {
     /// deadline even if the queue drains first.
     pub fn run_until(&mut self, deadline: Time) {
         self.ensure_started();
-        while let Some(t) = self.inner.queue.peek_time() {
-            if t > deadline {
-                break;
-            }
-            let (time, kind) = self.inner.queue.pop().expect("peeked");
+        while let Some((time, kind)) = self.inner.queue.pop_due(deadline) {
             self.inner.now = time;
             self.inner.events += 1;
             self.dispatch(kind);
@@ -820,7 +1048,7 @@ impl Sim {
     /// Runs until the event queue is empty (useful for tests).
     pub fn run_to_idle(&mut self) {
         self.ensure_started();
-        while let Some((time, kind)) = self.inner.queue.pop() {
+        while let Some((time, kind)) = self.inner.queue.pop_due(Time::MAX) {
             self.inner.now = time;
             self.inner.events += 1;
             self.dispatch(kind);
@@ -846,7 +1074,11 @@ impl Sim {
                     let used = self.inner.nodes[dst.0].socket_used;
                     if used + env.wire_bytes as u64 > cap as u64 {
                         self.inner.metrics.add_id(dst, mid::NET_SOCKET_DROP, 1);
-                        self.inner.metrics.add_id(dst, mid::NET_SOCKET_DROP_BYTES, env.wire_bytes as u64);
+                        self.inner.metrics.add_id(
+                            dst,
+                            mid::NET_SOCKET_DROP_BYTES,
+                            env.wire_bytes as u64,
+                        );
                         return;
                     }
                     self.inner.nodes[dst.0].socket_used += env.wire_bytes as u64;
@@ -868,9 +1100,24 @@ impl Sim {
                 self.inner.metrics.add_id(dst, mid::NET_RECV_PKTS, 1);
                 if env.transport == Transport::Tcp {
                     let ack_at = self.inner.now + self.inner.config.one_way_latency;
+                    let seq = self
+                        .inner
+                        .tcp_slot(env.src, env.dst)
+                        .map(|slot| {
+                            let ch = &mut self.inner.tcp_chans[slot];
+                            let seq = ch.delivered_segs;
+                            ch.delivered_segs += 1;
+                            seq
+                        })
+                        .unwrap_or(0);
                     self.inner.push(
                         ack_at,
-                        EventKind::TcpAck { src: env.src, dst: env.dst, bytes: env.wire_bytes },
+                        EventKind::TcpAck {
+                            src: env.src,
+                            dst: env.dst,
+                            bytes: env.wire_bytes,
+                            seq,
+                        },
                     );
                 }
                 if let Some(mut actor) = self.actors[dst.0].take() {
@@ -889,10 +1136,23 @@ impl Sim {
                     self.actors[node.0] = Some(actor);
                 }
             }
-            EventKind::TcpAck { src, dst, bytes } => {
+            EventKind::TcpAck { src, dst, bytes, seq } => {
                 if let Some(slot) = self.inner.tcp_slot(src, dst) {
                     let ch = &mut self.inner.tcp_chans[slot];
-                    ch.in_flight = ch.in_flight.saturating_sub(bytes);
+                    if seq != ch.acked_segs {
+                        // Duplicate or late ack: ignoring it keeps
+                        // `in_flight` exact (subtracting again would
+                        // drive it negative / stall the window).
+                        self.inner.metrics.add_id(src, mid::NET_TCP_DUP_ACK, 1);
+                        return;
+                    }
+                    ch.acked_segs += 1;
+                    debug_assert!(
+                        ch.in_flight >= bytes,
+                        "TCP ack for {bytes} bytes exceeds in_flight {}",
+                        ch.in_flight
+                    );
+                    ch.in_flight -= bytes;
                 }
                 self.inner.tcp_pump(src, dst);
             }
@@ -1224,5 +1484,147 @@ mod tests {
         sim.add_node(Box::new(Quiet));
         sim.run_until(Time::from_secs(3));
         assert_eq!(sim.now(), Time::from_secs(3));
+    }
+
+    /// Regression: after `run_until` parks the scan on a far-future
+    /// timer, injecting a near timer (rewinding the scan) plus a timer
+    /// that lands in the overflow heap must not let the sparse-scan jump
+    /// skip the overflow event — that popped the far timer first and ran
+    /// virtual time backwards.
+    #[test]
+    fn overflow_event_not_skipped_after_scan_rewind() {
+        struct T {
+            log: Rc<RefCell<Vec<(u64, Time)>>>,
+        }
+        impl Actor for T {
+            fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+            fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
+                self.log.borrow_mut().push((token.0, ctx.now()));
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(SimConfig::default());
+        let n = sim.add_node(Box::new(T { log: log.clone() }));
+        sim.with_ctx(n, |ctx| ctx.set_timer(Dur::millis(4100), TimerToken(1)));
+        // Park the scan position at the far timer's slot.
+        sim.run_until(Time::from_millis(10));
+        // Rewind with a near timer; the 400 ms timer is > one calendar
+        // year past the rewound position, so it parks in overflow.
+        sim.with_ctx(n, |ctx| {
+            ctx.set_timer(Dur::millis(1), TimerToken(2));
+            ctx.set_timer(Dur::millis(400), TimerToken(3));
+        });
+        sim.run_to_idle();
+        let got = log.borrow().clone();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![2, 3, 1]);
+        // Virtual time must be non-decreasing across pops.
+        assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "time ran backwards: {got:?}");
+    }
+
+    /// Regression: rewinding the scan (driver-injected near work) while
+    /// the hot-bucket stack holds a far slot's events must flush that
+    /// stack back into the calendar — a stranded stack popped its far
+    /// events ahead of nearer ones and ran virtual time backwards.
+    #[test]
+    fn hot_bucket_stack_survives_scan_rewind() {
+        struct T {
+            log: Rc<RefCell<Vec<(u64, Time)>>>,
+        }
+        impl Actor for T {
+            fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+            fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
+                self.log.borrow_mut().push((token.0, ctx.now()));
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(SimConfig::default());
+        let n = sim.add_node(Box::new(T { log: log.clone() }));
+        // A co-located burst at 30 ms, large enough for the sorted path.
+        sim.with_ctx(n, |ctx| {
+            for i in 0..40u64 {
+                ctx.set_timer(Dur::millis(30), TimerToken(1000 + i));
+            }
+        });
+        // Park the scan on the burst's slot (extracting it into the
+        // sorted stack), then rewind with a nearer burst plus a single
+        // timer between the two.
+        sim.run_until(Time::from_millis(1));
+        sim.with_ctx(n, |ctx| {
+            for i in 0..33u64 {
+                ctx.set_timer(Dur::millis(1), TimerToken(i)); // fires at 2 ms
+            }
+            ctx.set_timer(Dur::millis(9), TimerToken(500)); // fires at 10 ms
+        });
+        sim.run_to_idle();
+        let got = log.borrow().clone();
+        assert_eq!(got.len(), 74);
+        assert!(
+            got.windows(2).all(|w| w[0].1 <= w[1].1),
+            "time ran backwards: {:?}",
+            got.iter().map(|&(t, at)| (t, at)).collect::<Vec<_>>()
+        );
+        // The 10 ms timer must fire before every 30 ms burst timer.
+        let pos_500 = got.iter().position(|&(t, _)| t == 500).expect("10ms timer fired");
+        let first_burst = got.iter().position(|&(t, _)| t >= 1000).expect("burst fired");
+        assert!(pos_500 < first_burst, "far burst popped before nearer timer");
+    }
+
+    /// Regression: a rewind of more than one calendar year below a
+    /// sorted far burst made the sparse-scan jump panic — it computed
+    /// its minimum over bucketed events only, while every remaining
+    /// event sat in the sorted stack.
+    #[test]
+    fn sparse_jump_survives_sorted_far_burst() {
+        struct T;
+        impl Actor for T {
+            fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+        }
+        let mut sim = Sim::new(SimConfig::default());
+        let n = sim.add_node(Box::new(T));
+        sim.with_ctx(n, |ctx| {
+            for i in 0..40u64 {
+                ctx.set_timer(Dur::millis(40), TimerToken(i));
+            }
+        });
+        sim.run_until(Time::from_millis(1));
+        // Rewind > one year (33.6 ms) below the sorted burst.
+        sim.with_ctx(n, |ctx| ctx.set_timer(Dur::millis(1), TimerToken(99)));
+        sim.run_to_idle();
+        assert_eq!(sim.now(), Time::from_millis(40));
+    }
+
+    /// The hot-bucket sorted path and the plain scan must both pop in
+    /// exact `(time, seq)` order, including pushes interleaved with pops
+    /// into the slot being drained.
+    #[test]
+    fn event_queue_pops_co_located_bursts_in_seq_order() {
+        let mut q = EventQueue::default();
+        let t = Time::ZERO + Dur::micros(1); // all in one bucket
+        let mut seq = 0u64;
+        for _ in 0..1000 {
+            seq += 1;
+            q.push(t, seq, EventKind::Timer { node: NodeId(0), token: TimerToken(seq) });
+        }
+        let mut popped = Vec::new();
+        for round in 0..500 {
+            let (time, kind) = q.pop_due(Time::MAX).expect("queued");
+            assert_eq!(time, t);
+            let EventKind::Timer { token, .. } = kind else { panic!("timer expected") };
+            popped.push(token.0);
+            // Interleave same-slot pushes while the sorted stack drains.
+            if round % 7 == 0 {
+                seq += 1;
+                q.push(t, seq, EventKind::Timer { node: NodeId(0), token: TimerToken(seq) });
+            }
+        }
+        while let Some((_, kind)) = q.pop_due(Time::MAX) {
+            let EventKind::Timer { token, .. } = kind else { panic!("timer expected") };
+            popped.push(token.0);
+        }
+        let mut want = popped.clone();
+        want.sort_unstable();
+        assert_eq!(popped, want, "pops must follow seq order");
+        assert_eq!(popped.len(), 1000 + 500usize.div_ceil(7));
     }
 }

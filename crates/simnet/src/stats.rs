@@ -66,6 +66,7 @@ const BUILTIN_NAMES: &[&str] = &[
     "abcast.instances",
     "abcast.buffered",
     "rp.proposed",
+    "net.tcp_dup_ack",
 ];
 
 /// Pre-interned [`MetricId`]s for the counters bumped on the per-event
@@ -89,6 +90,7 @@ pub mod mid {
     pub const INSTANCES: MetricId = MetricId(13);
     pub const BUFFERED: MetricId = MetricId(14);
     pub const PROPOSED: MetricId = MetricId(15);
+    pub const NET_TCP_DUP_ACK: MetricId = MetricId(16);
 }
 
 /// The canonical name string of a pre-interned metric (usable in `const`
@@ -153,9 +155,7 @@ impl Metrics {
     /// stores once the row exists.
     #[inline]
     pub fn add_id(&mut self, node: NodeId, id: MetricId, v: u64) {
-        let row = if node.0 < self.counters.len()
-            && id.index() < self.counters[node.0].len()
-        {
+        let row = if node.0 < self.counters.len() && id.index() < self.counters[node.0].len() {
             &mut self.counters[node.0]
         } else {
             self.row(node)
@@ -166,11 +166,7 @@ impl Metrics {
     /// Current value of the counter `id` of `node`.
     #[inline]
     pub fn counter_id(&self, node: NodeId, id: MetricId) -> u64 {
-        self.counters
-            .get(node.0)
-            .and_then(|row| row.get(id.index()))
-            .copied()
-            .unwrap_or(0)
+        self.counters.get(node.0).and_then(|row| row.get(id.index())).copied().unwrap_or(0)
     }
 
     /// Sum of the counter `id` over all nodes.
@@ -410,10 +406,7 @@ mod tests {
     /// `got` within `pct` percent of `want`.
     fn close(got: Dur, want: Dur, pct: f64) {
         let (g, w) = (got.as_nanos() as f64, want.as_nanos() as f64);
-        assert!(
-            (g - w).abs() <= w * pct / 100.0,
-            "{got:?} not within {pct}% of {want:?}"
-        );
+        assert!((g - w).abs() <= w * pct / 100.0, "{got:?} not within {pct}% of {want:?}");
     }
 
     #[test]
@@ -464,11 +457,7 @@ mod tests {
         m.for_each_counter(|n, name, v| seen.push((n.0, name.to_string(), v)));
         assert_eq!(
             seen,
-            vec![
-                (0, "z".to_string(), 3),
-                (1, "a".to_string(), 1),
-                (1, "b".to_string(), 2),
-            ]
+            vec![(0, "z".to_string(), 3), (1, "a".to_string(), 1), (1, "b".to_string(), 2),]
         );
     }
 
@@ -485,7 +474,7 @@ mod tests {
         close(s.p99, Dur::micros(99), 2.0);
         assert_eq!(s.max, Dur::micros(100)); // exact
         assert_eq!(s.mean, Dur::nanos(50_500)); // exact
-        // trimmed mean discards samples 96..=100 (exact answer 48 us).
+                                                // trimmed mean discards samples 96..=100 (exact answer 48 us).
         close(s.trimmed_mean_95, Dur::micros(48), 2.0);
     }
 

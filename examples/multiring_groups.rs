@@ -16,9 +16,9 @@ fn main() {
         n_rings: 3,
         // Deliberately imbalanced: ring 2 carries a trickle.
         rates_per_ring_bps: vec![200_000_000, 100_000_000, 1_000_000],
-        lambda_per_sec: 9000,     // λ: expected max consensus rate
-        delta: Dur::millis(1),    // ∆: rate sampling interval
-        m: 1,                     // M: instances merged per ring per turn
+        lambda_per_sec: 9000,  // λ: expected max consensus rate
+        delta: Dur::millis(1), // ∆: rate sampling interval
+        m: 1,                  // M: instances merged per ring per turn
         // Learner 0 subscribes to groups {0}, learner 1 to {0,1},
         // learner 2 to all three.
         learners: vec![vec![0], vec![0, 1], vec![0, 1, 2]],

@@ -33,20 +33,20 @@ fn main() {
         let mut cfg = SimConfig::default();
         cfg.cores_per_node = model.cores_needed().max(4);
         let mut sim = Sim::new(cfg);
-        let opts = ParallelOptions {
-            model,
-            n_clients: 80,
-            workload,
-            ..ParallelOptions::default()
-        };
+        let opts = ParallelOptions { model, n_clients: 80, workload, ..ParallelOptions::default() };
         let d = deploy_parallel(&mut sim, &opts);
         sim.run_until(Time::from_secs(1));
 
-        let done: u64 =
-            d.clients.iter().map(|&c| sim.metrics().counter(c, PSMR_COMPLETED)).sum();
+        let done: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, PSMR_COMPLETED)).sum();
         let lat = sim.metrics().latency(psmr::PSMR_LATENCY).mean;
         let deps: u64 = sim.metrics().counter(d.replicas[0], psmr::PSMR_DEP_EXECS);
-        println!("  {:<11} | {:9.1} | {:>9} | {:>10}", model.label(), done as f64 / 1e3, format!("{lat}"), deps);
+        println!(
+            "  {:<11} | {:9.1} | {:>9} | {:>10}",
+            model.label(),
+            done as f64 / 1e3,
+            format!("{lat}"),
+            deps
+        );
 
         // Replicas must agree on what ran, in which per-domain order,
         // and on the resulting state — the ch. 6 safety argument.

@@ -36,11 +36,24 @@ fn run(partitions: Option<PartitionOptions>, label: &str) -> f64 {
 fn main() {
     println!("B+-tree, Queries workload, 150 closed-loop clients:");
     let base = run(None, "full replication (SMR)");
-    let two = run(Some(PartitionOptions { n: 2, replicas_per: 2, cross_pct: 0 }), "2 partitions, 0% cross");
-    let four = run(Some(PartitionOptions { n: 4, replicas_per: 2, cross_pct: 0 }), "4 partitions, 0% cross");
-    let cross = run(Some(PartitionOptions { n: 2, replicas_per: 2, cross_pct: 50 }), "2 partitions, 50% cross");
+    let two = run(
+        Some(PartitionOptions { n: 2, replicas_per: 2, cross_pct: 0 }),
+        "2 partitions, 0% cross",
+    );
+    let four = run(
+        Some(PartitionOptions { n: 4, replicas_per: 2, cross_pct: 0 }),
+        "4 partitions, 0% cross",
+    );
+    let cross = run(
+        Some(PartitionOptions { n: 2, replicas_per: 2, cross_pct: 50 }),
+        "2 partitions, 50% cross",
+    );
     println!();
-    println!("Speedups over SMR: 2P = {:.1}x, 4P = {:.1}x (paper: 2.1x / 3.9x).", two / base, four / base);
+    println!(
+        "Speedups over SMR: 2P = {:.1}x, 4P = {:.1}x (paper: 2.1x / 3.9x).",
+        two / base,
+        four / base
+    );
     println!("Cross-partition queries ({:.1} Kcps) split into sub-commands,", cross);
     println!("execute on each partition, and merge at the client — still");
     println!("totally ordered by the single coordinator, so linearizability");

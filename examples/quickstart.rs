@@ -15,9 +15,9 @@ fn main() {
     let mut sim = Sim::new(SimConfig::default());
 
     let opts = MRingOptions {
-        ring_size: 3,      // f = 1: two acceptors plus the coordinator
-        n_learners: 2,     // receivers
-        n_proposers: 2,    // open-loop senders (also learners)
+        ring_size: 3,   // f = 1: two acceptors plus the coordinator
+        n_learners: 2,  // receivers
+        n_proposers: 2, // open-loop senders (also learners)
         proposer_rate_bps: 100_000_000,
         msg_bytes: 8192,
         ..MRingOptions::default()

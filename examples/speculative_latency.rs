@@ -26,16 +26,17 @@ fn run(speculative: bool, n_clients: usize) -> (Dur, f64, u64, u64) {
     sim.run_until(Time::from_secs(secs));
     let lat = sim.metrics().latency(SMR_LATENCY).mean;
     let done: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, SMR_COMPLETED)).sum();
-    let spec: u64 =
-        d.all_replicas().iter().map(|&r| sim.metrics().counter(r, SMR_SPEC_EXEC)).sum();
-    let rb: u64 =
-        d.all_replicas().iter().map(|&r| sim.metrics().counter(r, SMR_ROLLBACKS)).sum();
+    let spec: u64 = d.all_replicas().iter().map(|&r| sim.metrics().counter(r, SMR_SPEC_EXEC)).sum();
+    let rb: u64 = d.all_replicas().iter().map(|&r| sim.metrics().counter(r, SMR_ROLLBACKS)).sum();
     (lat, done as f64 / secs as f64 / 1e3, spec, rb)
 }
 
 fn main() {
     println!("Batched updates (7 per command), 2 replicas:");
-    println!("{:>8} | {:>12} {:>12} | {:>12} {:>12}", "clients", "plain lat", "spec lat", "plain Kcps", "spec Kcps");
+    println!(
+        "{:>8} | {:>12} {:>12} | {:>12} {:>12}",
+        "clients", "plain lat", "spec lat", "plain Kcps", "spec Kcps"
+    );
     for &n in &[10usize, 40, 80] {
         let (plat, ptput, _, _) = run(false, n);
         let (slat, stput, spec, rb) = run(true, n);

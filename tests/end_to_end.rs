@@ -128,10 +128,7 @@ fn the_paper_headline_holds_partitioning_beats_full_replication() {
     };
     let full = measure(None);
     let four = measure(Some(PartitionOptions { n: 4, replicas_per: 2, cross_pct: 0 }));
-    assert!(
-        four as f64 > 3.0 * full as f64,
-        "4 partitions should approach 4x: {full} -> {four}"
-    );
+    assert!(four as f64 > 3.0 * full as f64, "4 partitions should approach 4x: {full} -> {four}");
 }
 
 #[test]
@@ -159,11 +156,8 @@ fn psmr_survives_a_ring_coordinator_crash() {
     sim.set_node_up(victim, false);
     sim.run_until(Time::from_secs(3));
 
-    let done: u64 = d
-        .clients
-        .iter()
-        .map(|&c| sim.metrics().counter(c, hpsmr::psmr::PSMR_COMPLETED))
-        .sum();
+    let done: u64 =
+        d.clients.iter().map(|&c| sim.metrics().counter(c, hpsmr::psmr::PSMR_COMPLETED)).sum();
     let executed_early = {
         let s = d.stores[0].borrow();
         s.executed()
@@ -206,11 +200,8 @@ fn psmr_stays_consistent_under_random_message_loss() {
     // but nothing may be lost for good: every submitted command finishes.
     let submitted: u64 =
         d.clients.iter().map(|&c| sim.metrics().counter(c, "psmr.submitted")).sum();
-    let done: u64 = d
-        .clients
-        .iter()
-        .map(|&c| sim.metrics().counter(c, hpsmr::psmr::PSMR_COMPLETED))
-        .sum();
+    let done: u64 =
+        d.clients.iter().map(|&c| sim.metrics().counter(c, hpsmr::psmr::PSMR_COMPLETED)).sum();
     assert_eq!(submitted, done, "commands lost for good under loss");
     let first = d.stores[0].borrow();
     assert!(first.executed() >= done, "replicas executed less than clients completed");

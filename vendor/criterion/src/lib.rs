@@ -78,10 +78,7 @@ impl Default for Criterion {
     fn default() -> Self {
         // `cargo bench -- foo` forwards `foo`; flags like `--bench` are not
         // name filters.
-        let filters = std::env::args()
-            .skip(1)
-            .filter(|a| !a.starts_with('-'))
-            .collect();
+        let filters = std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect();
         Criterion { filters, sample_size: 100 }
     }
 }

@@ -112,10 +112,7 @@ pub mod test_runner {
                     );
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!(
-                        "proptest {name}: case #{} failed (seed {seed:#x}): {msg}",
-                        case_no - 1
-                    );
+                    panic!("proptest {name}: case #{} failed (seed {seed:#x}): {msg}", case_no - 1);
                 }
             }
         }
@@ -251,10 +248,10 @@ pub mod strategy {
             }
         };
     }
-    impl_tuple!(S0/v0/0);
-    impl_tuple!(S0/v0/0, S1/v1/1);
-    impl_tuple!(S0/v0/0, S1/v1/1, S2/v2/2);
-    impl_tuple!(S0/v0/0, S1/v1/1, S2/v2/2, S3/v3/3);
+    impl_tuple!(S0 / v0 / 0);
+    impl_tuple!(S0 / v0 / 0, S1 / v1 / 1);
+    impl_tuple!(S0 / v0 / 0, S1 / v1 / 1, S2 / v2 / 2);
+    impl_tuple!(S0 / v0 / 0, S1 / v1 / 1, S2 / v2 / 2, S3 / v3 / 3);
 
     /// See [`crate::any`].
     pub struct Any<T>(pub(crate) PhantomData<T>);
