@@ -17,6 +17,15 @@ pub struct MsgId(pub u64);
 #[derive(Debug, Default)]
 pub struct DeliveryLog {
     sequences: Vec<Vec<MsgId>>,
+    /// Restart marks per learner: `(log_len_at_restart, resume_pos,
+    /// transferred)`. A learner that recovers from a checkpoint taken at
+    /// global delivery position `resume_pos` records a mark when it
+    /// comes back up; its subsequent deliveries re-apply the total order
+    /// from that basis. `transferred` marks a basis adopted from a
+    /// *peer's* checkpoint (state transfer): it may exceed what this
+    /// learner's own incarnations covered, because the transferred state
+    /// provably includes that prefix.
+    restarts: Vec<Vec<(usize, usize, bool)>>,
 }
 
 /// Shared handle protocols use to record deliveries.
@@ -30,12 +39,37 @@ pub fn shared_log(learners: usize) -> SharedLog {
 impl DeliveryLog {
     /// Creates a log with one sequence per learner.
     pub fn new(learners: usize) -> DeliveryLog {
-        DeliveryLog { sequences: vec![Vec::new(); learners] }
+        DeliveryLog { sequences: vec![Vec::new(); learners], restarts: vec![Vec::new(); learners] }
     }
 
     /// Records that `learner` delivered `msg`.
     pub fn deliver(&mut self, learner: usize, msg: MsgId) {
         self.sequences[learner].push(msg);
+    }
+
+    /// Records that `learner` restarted and resumed delivery from global
+    /// position `resume_pos` (the delivery count covered by the
+    /// checkpoint its recovered state was restored from; `0` for a
+    /// from-scratch restart). Deliveries recorded after this mark are
+    /// checked against the total order starting at `resume_pos`.
+    pub fn mark_restart(&mut self, learner: usize, resume_pos: usize) {
+        let at = self.sequences[learner].len();
+        self.restarts[learner].push((at, resume_pos, false));
+    }
+
+    /// Records that `learner` adopted a *peer's* checkpoint covering
+    /// `resume_pos` deliveries (state transfer mid-catch-up). Unlike
+    /// [`DeliveryLog::mark_restart`], the basis may exceed this
+    /// learner's own prior coverage.
+    pub fn mark_state_transfer(&mut self, learner: usize, resume_pos: usize) {
+        let at = self.sequences[learner].len();
+        self.restarts[learner].push((at, resume_pos, true));
+    }
+
+    /// The restart marks recorded for `learner`:
+    /// `(log_len_at_restart, resume_pos, transferred)`.
+    pub fn restarts_of(&self, learner: usize) -> &[(usize, usize, bool)] {
+        &self.restarts[learner]
     }
 
     /// The delivery sequence of one learner.
@@ -128,6 +162,75 @@ impl DeliveryLog {
         Ok(())
     }
 
+    /// Crash-aware agreement at quiescence: verifies learners that
+    /// restarted mid-run ([`DeliveryLog::mark_restart`]) for **no lost
+    /// and no duplicated deliveries** against the total order.
+    ///
+    /// The raw sequence of a restarted learner legitimately re-contains
+    /// messages delivered between its last checkpoint and the crash —
+    /// the recovered *state* excludes them, so re-delivery is correct,
+    /// not duplication. The check therefore works per **epoch** (the
+    /// deliveries of one incarnation): each epoch must replay the
+    /// reference order exactly from its recorded resume basis (no
+    /// duplicate or skipped message relative to the state it resumed
+    /// from), an epoch may not resume beyond what the previous
+    /// incarnations covered (that gap would be lost deliveries), and the
+    /// final epoch must reach the reference end (nothing lost overall).
+    ///
+    /// The reference order is the longest sequence of an uninterrupted
+    /// learner in `expected`; at least one such learner is required.
+    pub fn check_crash_agreement(&self, expected: &[usize]) -> Result<(), OrderViolation> {
+        let reference = expected
+            .iter()
+            .filter(|&&l| self.restarts[l].is_empty())
+            .map(|&l| &self.sequences[l])
+            .max_by_key(|s| s.len())
+            .expect("crash-aware agreement needs an uninterrupted reference learner");
+        for &l in expected {
+            let seq = &self.sequences[l];
+            // Epoch boundaries: (start index, basis position, transferred).
+            let mut epochs: Vec<(usize, usize, bool)> = vec![(0, 0, false)];
+            epochs.extend(self.restarts[l].iter().copied());
+            let mut covered = 0usize; // reference prefix known applied
+            for (e, &(start, basis, transferred)) in epochs.iter().enumerate() {
+                let end = epochs.get(e + 1).map_or(seq.len(), |&(s, _, _)| s);
+                if basis > covered && !transferred {
+                    return Err(OrderViolation::ResumeGap {
+                        learner: l,
+                        covered_to: covered,
+                        resumed_at: basis,
+                    });
+                }
+                for (j, &got) in seq[start..end].iter().enumerate() {
+                    let pos = basis + j;
+                    match reference.get(pos) {
+                        Some(&want) if want == got => {}
+                        Some(&want) => {
+                            return Err(OrderViolation::Diverged {
+                                learner: l,
+                                position: pos,
+                                got,
+                                expected: want,
+                            });
+                        }
+                        None => {
+                            return Err(OrderViolation::Phantom { learner: l, msg: got });
+                        }
+                    }
+                }
+                covered = covered.max(basis + (end - start));
+            }
+            if covered != reference.len() {
+                return Err(OrderViolation::Lagging {
+                    learner: l,
+                    delivered: covered,
+                    expected: reference.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// Uniform agreement at quiescence: every learner in `expected` has
     /// delivered the same number of messages as the most advanced one.
     pub fn check_agreement_at_quiescence(&self, expected: &[usize]) -> Result<(), OrderViolation> {
@@ -184,6 +287,17 @@ pub enum OrderViolation {
         /// Message `learner_a` delivered second.
         second: MsgId,
     },
+    /// A restarted learner resumed beyond what its earlier incarnations
+    /// had covered: the deliveries in between are lost (applied by no
+    /// incarnation of the learner's state).
+    ResumeGap {
+        /// Offending learner.
+        learner: usize,
+        /// Reference prefix its earlier incarnations had applied.
+        covered_to: usize,
+        /// Position the recovered state resumed from.
+        resumed_at: usize,
+    },
     /// A learner stopped short of the others at quiescence.
     Lagging {
         /// Offending learner.
@@ -211,6 +325,11 @@ impl std::fmt::Display for OrderViolation {
             OrderViolation::PartialOrder { learner_a, learner_b, first, second } => write!(
                 f,
                 "learners {learner_a}/{learner_b} order {first:?},{second:?} inconsistently"
+            ),
+            OrderViolation::ResumeGap { learner, covered_to, resumed_at } => write!(
+                f,
+                "learner {learner} resumed at {resumed_at} but had only covered {covered_to}: \
+                 deliveries in between are lost"
             ),
             OrderViolation::Lagging { learner, delivered, expected } => {
                 write!(f, "learner {learner} delivered {delivered} of {expected} messages")
@@ -291,5 +410,138 @@ mod tests {
     fn display_messages_are_informative() {
         let v = OrderViolation::Duplicate { learner: 3, msg: MsgId(7) };
         assert!(v.to_string().contains("learner 3"));
+        let g = OrderViolation::ResumeGap { learner: 1, covered_to: 2, resumed_at: 5 };
+        assert!(g.to_string().contains("lost"));
+    }
+
+    #[test]
+    fn crash_agreement_accepts_checkpoint_resume_with_redelivery() {
+        // Learner 1 delivered 1..=4, checkpointed at position 2, crashed,
+        // and resumed from the checkpoint: 3,4 are re-delivered against
+        // the recovered state — correct, not duplication.
+        let mut log = DeliveryLog::new(2);
+        for m in [1, 2, 3, 4, 5, 6] {
+            log.deliver(0, MsgId(m));
+        }
+        for m in [1, 2, 3, 4] {
+            log.deliver(1, MsgId(m));
+        }
+        log.mark_restart(1, 2);
+        for m in [3, 4, 5, 6] {
+            log.deliver(1, MsgId(m));
+        }
+        assert!(log.check_crash_agreement(&[0, 1]).is_ok());
+        assert_eq!(log.restarts_of(1), &[(4, 2, false)]);
+    }
+
+    #[test]
+    fn crash_agreement_accepts_state_transfer_beyond_own_coverage() {
+        // Learner 1 crashed at position 1, but its catch-up peer had
+        // already trimmed below its own checkpoint at position 3: the
+        // peer's checkpoint is transferred and delivery resumes at 3 —
+        // legitimate, because the transferred state covers the prefix.
+        let mut log = DeliveryLog::new(2);
+        for m in [1, 2, 3, 4, 5] {
+            log.deliver(0, MsgId(m));
+        }
+        log.deliver(1, MsgId(1));
+        log.mark_state_transfer(1, 3);
+        for m in [4, 5] {
+            log.deliver(1, MsgId(m));
+        }
+        assert!(log.check_crash_agreement(&[0, 1]).is_ok());
+        // The same basis without the transfer provenance is a gap.
+        let mut bad = DeliveryLog::new(2);
+        for m in [1, 2, 3, 4, 5] {
+            bad.deliver(0, MsgId(m));
+        }
+        bad.deliver(1, MsgId(1));
+        bad.mark_restart(1, 3);
+        for m in [4, 5] {
+            bad.deliver(1, MsgId(m));
+        }
+        assert!(matches!(
+            bad.check_crash_agreement(&[0, 1]),
+            Err(OrderViolation::ResumeGap { learner: 1, covered_to: 1, resumed_at: 3 })
+        ));
+    }
+
+    #[test]
+    fn crash_agreement_rejects_resume_gap() {
+        // Learner restarts claiming a checkpoint at 3 but had only ever
+        // delivered 2 messages: message 3 was applied by no incarnation.
+        let mut log = DeliveryLog::new(2);
+        for m in [1, 2, 3, 4] {
+            log.deliver(0, MsgId(m));
+        }
+        for m in [1, 2] {
+            log.deliver(1, MsgId(m));
+        }
+        log.mark_restart(1, 3);
+        log.deliver(1, MsgId(4));
+        assert!(matches!(
+            log.check_crash_agreement(&[0, 1]),
+            Err(OrderViolation::ResumeGap { learner: 1, covered_to: 2, resumed_at: 3 })
+        ));
+    }
+
+    #[test]
+    fn crash_agreement_rejects_post_restart_divergence_and_duplicates() {
+        let mut log = DeliveryLog::new(2);
+        for m in [1, 2, 3, 4] {
+            log.deliver(0, MsgId(m));
+        }
+        for m in [1, 2] {
+            log.deliver(1, MsgId(m));
+        }
+        log.mark_restart(1, 2);
+        // Duplicates message 2 against the recovered basis (state already
+        // contains it): a real double-apply.
+        for m in [2, 3, 4] {
+            log.deliver(1, MsgId(m));
+        }
+        assert!(matches!(
+            log.check_crash_agreement(&[0, 1]),
+            Err(OrderViolation::Diverged { learner: 1, position: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn crash_agreement_rejects_lost_suffix() {
+        let mut log = DeliveryLog::new(2);
+        for m in [1, 2, 3, 4] {
+            log.deliver(0, MsgId(m));
+        }
+        log.deliver(1, MsgId(1));
+        log.mark_restart(1, 1);
+        log.deliver(1, MsgId(2));
+        // Never catches up to 3,4.
+        assert!(matches!(
+            log.check_crash_agreement(&[0, 1]),
+            Err(OrderViolation::Lagging { learner: 1, delivered: 2, expected: 4 })
+        ));
+    }
+
+    #[test]
+    fn crash_agreement_handles_multiple_restarts_and_plain_learners() {
+        let mut log = DeliveryLog::new(3);
+        for m in [1, 2, 3, 4, 5] {
+            log.deliver(0, MsgId(m));
+        }
+        // Learner 1: two restarts, from-scratch then from a checkpoint.
+        log.deliver(1, MsgId(1));
+        log.mark_restart(1, 0);
+        for m in [1, 2, 3] {
+            log.deliver(1, MsgId(m));
+        }
+        log.mark_restart(1, 3);
+        for m in [4, 5] {
+            log.deliver(1, MsgId(m));
+        }
+        // Learner 2: uninterrupted.
+        for m in [1, 2, 3, 4, 5] {
+            log.deliver(2, MsgId(m));
+        }
+        assert!(log.check_crash_agreement(&[0, 1, 2]).is_ok());
     }
 }

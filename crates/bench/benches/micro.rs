@@ -196,6 +196,73 @@ fn bench_mring_sim(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_recovery(c: &mut Criterion) {
+    use hpsmr_core::snapshot::Snapshot;
+    use recovery::DecidedCache;
+    use ringpaxos::{BatchData, DeliveredTracker, Value};
+
+    let mut g = c.benchmark_group("recovery");
+    g.sample_size(20);
+
+    // Checkpoint write path: externalize a 10k-entry tree and restore a
+    // fresh service from it (what every periodic checkpoint and every
+    // state transfer pays per snapshot, beyond the modelled disk time).
+    let mut svc = TreeService::new();
+    for k in 0..10_000u64 {
+        svc.apply(TreeCommand::Insert { key: k.wrapping_mul(0x9e3779b97f4a7c15), value: k });
+    }
+    svc.commit();
+    g.bench_function("checkpoint_write_10k", |b| {
+        b.iter(|| {
+            let snap = svc.snapshot();
+            let mut fresh = TreeService::new();
+            Snapshot::restore(&mut fresh, &snap);
+            black_box((snap.len(), fresh.tree().len()))
+        })
+    });
+
+    // Catch-up replay path: serve 1k decided batches from the cache in
+    // chunks and re-run the delivery filter over them (the recovering
+    // learner's CPU-side work per CatchupRep).
+    let mut cache: DecidedCache<ringpaxos::Batch> = DecidedCache::new();
+    for i in 0..1000u64 {
+        let vals: Vec<Value> = (0..4)
+            .map(|j| Value {
+                id: MsgId(i * 4 + j),
+                proposer: NodeId((j % 3) as usize),
+                seq: i * 4 + j,
+                bytes: 8192,
+                submitted: Time::ZERO,
+                mask: u32::MAX,
+            })
+            .collect();
+        cache.record(paxos::msg::InstanceId(i), BatchData::new(vals));
+    }
+    g.bench_function("catchup_replay_1k", |b| {
+        b.iter(|| {
+            let mut tracker = DeliveredTracker::new();
+            let mut next = paxos::msg::InstanceId(0);
+            let mut delivered = 0u64;
+            loop {
+                let chunk = cache.serve(next, 64);
+                if chunk.is_empty() {
+                    break;
+                }
+                for (i, batch) in &chunk {
+                    for v in batch.iter() {
+                        if tracker.fresh(v.proposer, v.seq) {
+                            delivered += 1;
+                        }
+                    }
+                    next = i.next();
+                }
+            }
+            black_box(delivered)
+        })
+    });
+    g.finish();
+}
+
 fn bench_simcore(c: &mut Criterion) {
     let mut g = c.benchmark_group("simcore");
     g.sample_size(20);
@@ -315,6 +382,7 @@ criterion_group!(
     bench_merge,
     bench_psmr_engine,
     bench_mring_sim,
+    bench_recovery,
     bench_simcore
 );
 criterion_main!(benches);

@@ -22,6 +22,7 @@ pub mod ch4;
 pub mod ch5;
 pub mod ch6;
 pub mod ch7;
+pub mod ch8;
 pub mod harness;
 
 /// One runnable experiment.
@@ -42,6 +43,7 @@ pub fn all_experiments() -> Vec<Experiment> {
     v.extend(ch5::experiments());
     v.extend(ch6::experiments());
     v.extend(ch7::experiments());
+    v.extend(ch8::experiments());
     v.extend(ablations::experiments());
     v
 }

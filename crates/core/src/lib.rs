@@ -45,6 +45,7 @@ pub mod deploy;
 pub mod msg;
 pub mod replica;
 pub mod service;
+pub mod snapshot;
 
 pub use client::{SmrClient, Target};
 pub use cs::CsServer;
@@ -56,3 +57,4 @@ pub use replica::{
     ReplicaConfig, SmrReplica, SMR_COMPLETED, SMR_LATENCY, SMR_ROLLBACKS, SMR_SPEC_EXEC,
 };
 pub use service::{Registry, Service, StoredCommand};
+pub use snapshot::{NullService, ServiceApp, Snapshot};

@@ -79,6 +79,33 @@ impl<V: Clone> Acceptor<V> {
         }
     }
 
+    /// Rebuilds an acceptor from durable state (the recovery subsystem's
+    /// write-ahead log): the promised round and stored votes are
+    /// installed verbatim. Replaying through [`Acceptor::receive_2a`]
+    /// would be wrong — recovered state legitimately holds votes whose
+    /// `v-rnd` is below the shared promised round.
+    pub fn restore(
+        promised: Round,
+        votes: impl IntoIterator<Item = (InstanceId, Round, V)>,
+    ) -> Acceptor<V> {
+        let mut a = Acceptor::new();
+        let votes: Vec<(InstanceId, Round, V)> = votes.into_iter().collect();
+        // A trimmed log starts at the checkpoint watermark, which in a
+        // long run is far above zero: base the dense window there
+        // instead of allocating (and asserting about) every slot since
+        // instance 0.
+        if let Some(first) = votes.iter().map(|&(i, _, _)| i).min() {
+            a.votes.advance_base(first);
+        }
+        let mut max_rnd = promised;
+        for (instance, v_rnd, v_val) in votes {
+            max_rnd = max_rnd.max(v_rnd);
+            a.votes.insert(instance, Vote { v_rnd, v_val });
+        }
+        a.rnd = max_rnd;
+        a
+    }
+
     /// Discards vote state for all instances strictly below `instance`
     /// (garbage collection, §3.3.7). The shared `rnd` is retained.
     pub fn gc_below(&mut self, instance: InstanceId) {
@@ -88,6 +115,12 @@ impl<V: Clone> Acceptor<V> {
     /// Number of instances with stored votes (for memory accounting).
     pub fn stored_votes(&self) -> usize {
         self.votes.len()
+    }
+
+    /// The garbage-collection watermark: the lowest instance whose vote
+    /// state is still retained in the dense window ([`Acceptor::gc_below`]).
+    pub fn gc_base(&self) -> InstanceId {
+        self.votes.base()
     }
 }
 
@@ -147,6 +180,22 @@ mod tests {
         assert_eq!(a.vote(InstanceId(0)).unwrap().v_rnd, r(1));
         // Voting in round 2 is now refused (promised 3).
         assert!(a.receive_2a(InstanceId(0), r(2), 8).is_none());
+    }
+
+    #[test]
+    fn restore_installs_state_verbatim_and_bases_the_window_high() {
+        // A trimmed log starting far above instance 0 (e.g. 2^25, past
+        // the window's jump guard) must not allocate slots from zero.
+        let base = 1u64 << 25;
+        let votes = vec![(InstanceId(base), r(1), 7u32), (InstanceId(base + 3), r(2), 8)];
+        let a = Acceptor::restore(r(2), votes);
+        assert_eq!(a.rnd(), r(2));
+        assert_eq!(a.stored_votes(), 2);
+        assert_eq!(a.vote(InstanceId(base)).unwrap().v_val, 7);
+        assert_eq!(a.vote(InstanceId(base)).unwrap().v_rnd, r(1), "old v-rnd kept");
+        // A higher durable vote round wins over the logged promise.
+        let b = Acceptor::restore(r(1), vec![(InstanceId(0), r(4), 9u32)]);
+        assert_eq!(b.rnd(), r(4));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! # recovery — durable logging, checkpointing, and replica catch-up
+//!
+//! The paper's performance story is only complete with its recovery
+//! story (§3.3.5, §3.5.5, ch. 5): acceptors log votes to disk before
+//! acknowledging them, replicas checkpoint service state, and a
+//! recovering replica catches up from a checkpoint plus the decided
+//! suffix instead of replaying history. This crate is that subsystem,
+//! shared by U-Ring and M-Ring Paxos and by the SMR replica layer.
+//!
+//! # The durability model
+//!
+//! The simulator models a process restart as [`Sim::replace_actor`]:
+//! the old actor (and all its in-memory state) is discarded and a fresh
+//! one starts. Anything that must survive therefore lives *outside* the
+//! actor, in a [`stable::StableHandle`] — the logical contents of the
+//! node's disk, shared (via `Rc`) between successive incarnations of
+//! the process on that node. The *timing* of getting bytes into it is
+//! still paid through the simulated disk ([`Ctx::disk_write`] /
+//! [`Ctx::disk_write_coalesced`], the §3.5.5 calibration: ~270 Mbps for
+//! synchronous 32 KB writes): state enters the stable store only when
+//! the corresponding `DiskDone` completion fires, so a crash between
+//! issuing a write and its completion loses exactly what a real crash
+//! would.
+//!
+//! # Pieces
+//!
+//! * [`wal::VoteLog`] — the acceptor write-ahead log. In
+//!   [`wal::LogMode::Sync`] every vote is written (coalesced into
+//!   `disk_unit` device operations, §3.5.5) before the acceptor votes;
+//!   in [`wal::LogMode::Group`] appends accumulate and one device write
+//!   commits the whole group (group commit: fewer operations, slightly
+//!   higher vote latency).
+//! * [`checkpoint::Checkpointer`] — periodic replica checkpoints: every
+//!   `interval` delivered instances the replica snapshots its service
+//!   state (an opaque, byte-sized blob), writes it through the disk,
+//!   and — once durable — trims its vote log and decided-batch cache
+//!   below the checkpoint watermark, the same role the
+//!   `paxos::window::Window` GC watermark plays for in-memory state.
+//! * [`catchup::DecidedCache`] — the decided-instance suffix a process
+//!   retains (above its checkpoint watermark) to serve catch-up
+//!   requests from restarted peers.
+//! * [`app::RecoveredApp`] — the service-state hook: what to snapshot,
+//!   how to restore it, and how delivered values mutate it. The `core`
+//!   crate bridges its `Service`/`Snapshot` traits onto this.
+//! * [`harness::CrashPlan`] — crash-schedule driver for experiments and
+//!   tests: crash / recover / restart / respawn actions at fixed times.
+//!
+//! [`Sim::replace_actor`]: simnet::sim::Sim::replace_actor
+//! [`Ctx::disk_write`]: simnet::sim::Ctx::disk_write
+//! [`Ctx::disk_write_coalesced`]: simnet::sim::Ctx::disk_write_coalesced
+
+pub mod app;
+pub mod catchup;
+pub mod checkpoint;
+pub mod harness;
+pub mod stable;
+pub mod wal;
+
+pub use app::{NullApp, RecoveredApp};
+pub use catchup::DecidedCache;
+pub use checkpoint::Checkpointer;
+pub use harness::{CrashAction, CrashPlan};
+pub use stable::{stable, Checkpoint, StableHandle, StableState};
+pub use wal::{LogMode, VoteLog};
+
+/// Payload value (56-bit token space) reserved for the group-commit
+/// flush timer, distinguishing it from flush-completion disk tokens.
+pub const FLUSH_TIMER: u64 = (1u64 << 56) - 1;

@@ -1,0 +1,113 @@
+//! The stable store: what a node's disk logically contains.
+//!
+//! A [`StableHandle`] is shared between successive incarnations of the
+//! process on one node (the deployment clones it into each actor it
+//! installs with `replace_actor`), so its contents survive a process
+//! restart — exactly like the bytes on a real disk. Writers must only
+//! move state into it from a `DiskDone` completion, after the simulated
+//! disk has charged the write's latency and bandwidth; [`wal::VoteLog`]
+//! and [`checkpoint::Checkpointer`] enforce that discipline.
+//!
+//! [`wal::VoteLog`]: crate::wal::VoteLog
+//! [`checkpoint::Checkpointer`]: crate::checkpoint::Checkpointer
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use paxos::msg::{InstanceId, Round};
+
+/// A durable replica checkpoint: the delivery watermark, the service
+/// snapshot, and the bookkeeping a restarted learner needs to resume
+/// exactly-once delivery from that basis.
+#[derive(Clone, Debug, Default)]
+pub struct Checkpoint {
+    /// Next instance to deliver after restoring this checkpoint (every
+    /// instance below is reflected in `state`).
+    pub watermark: InstanceId,
+    /// Values delivered to the application when the checkpoint was
+    /// taken — the resume basis for the crash-aware agreement checker.
+    pub log_pos: u64,
+    /// Per-proposer exactly-once watermarks (the `DeliveredTracker`
+    /// marks) as of `watermark`.
+    pub marks: Vec<u64>,
+    /// Out-of-order deliveries parked above their proposer's watermark
+    /// when the checkpoint was taken (the tracker's overflow set).
+    pub parked: Vec<(u64, u64)>,
+    /// Modelled on-disk size of the snapshot, in bytes (what the disk
+    /// write was charged, and what a state transfer puts on the wire).
+    pub state_bytes: u64,
+    /// Opaque service snapshot (`None` for stateless learners).
+    pub state: Option<Rc<dyn Any>>,
+}
+
+/// The logical durable contents of one node, generic over the vote
+/// value type (instantiated with `ringpaxos::Batch` by the protocols).
+#[derive(Debug, Default)]
+pub struct StableState<V> {
+    /// Highest round the acceptor incarnations on this node promised.
+    pub promised: Round,
+    /// The acceptor's durable vote log: latest vote per instance.
+    pub votes: BTreeMap<InstanceId, (Round, V)>,
+    /// The latest durable replica checkpoint.
+    pub checkpoint: Option<Checkpoint>,
+}
+
+/// Shared handle to a node's stable store.
+pub type StableHandle<V> = Rc<RefCell<StableState<V>>>;
+
+/// Creates an empty stable store for one node.
+pub fn stable<V>() -> StableHandle<V> {
+    Rc::new(RefCell::new(StableState {
+        promised: Round::ZERO,
+        votes: BTreeMap::new(),
+        checkpoint: None,
+    }))
+}
+
+impl<V> StableState<V> {
+    /// Drops durable votes strictly below `watermark` (log trimming once
+    /// a checkpoint covers them).
+    pub fn trim_votes_below(&mut self, watermark: InstanceId) {
+        self.votes = self.votes.split_off(&watermark);
+    }
+
+    /// Records a durable promise. Promise writes are control-sized and
+    /// rare (failover only); their disk time is folded into the next
+    /// vote flush rather than modelled separately.
+    pub fn log_promise(&mut self, round: Round) {
+        if round > self.promised {
+            self.promised = round;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_drops_only_below_watermark() {
+        let s: StableHandle<u32> = stable();
+        {
+            let mut s = s.borrow_mut();
+            for i in 0..10 {
+                s.votes.insert(InstanceId(i), (Round::new(1, 0), i as u32));
+            }
+            s.trim_votes_below(InstanceId(4));
+        }
+        let s = s.borrow();
+        assert_eq!(s.votes.len(), 6);
+        assert!(s.votes.contains_key(&InstanceId(4)));
+        assert!(!s.votes.contains_key(&InstanceId(3)));
+    }
+
+    #[test]
+    fn promise_is_monotone() {
+        let s: StableHandle<u32> = stable();
+        s.borrow_mut().log_promise(Round::new(3, 1));
+        s.borrow_mut().log_promise(Round::new(2, 0));
+        assert_eq!(s.borrow().promised, Round::new(3, 1));
+    }
+}

@@ -2,11 +2,13 @@
 //! simulated cluster in one call. Experiments and tests share these.
 
 use abcast::{shared_log, Pacer, SharedLog};
+use recovery::{stable, LogMode, RecoveredApp, StableHandle};
 use simnet::prelude::*;
 
 use crate::config::{MRingConfig, URingConfig};
-use crate::mring::MRingProcess;
-use crate::uring::URingProcess;
+use crate::mring::{MRecovery, MRingProcess};
+use crate::uring::{URecovery, URingProcess};
+use crate::value::Batch;
 
 /// Placeholder actor installed while node ids are being allocated.
 struct Idle;
@@ -126,6 +128,104 @@ pub fn deploy_mring(
     MRingDeployment { cfg, ring, spares, learners, proposers, all_learners, group, log }
 }
 
+/// A recovery-enabled M-Ring deployment: the ensemble plus each node's
+/// stable store, which outlives actor replacements so that
+/// [`respawn_mring`] can install a fresh process over it.
+pub struct RecoverableMRing {
+    /// The underlying deployment.
+    pub d: MRingDeployment,
+    /// Learner checkpoint interval the deployment was built with.
+    pub checkpoint_interval: u64,
+    /// Stable stores, one per node the deployment created.
+    stores: Vec<(NodeId, StableHandle<Batch>)>,
+}
+
+impl RecoverableMRing {
+    /// The stable store of `node`.
+    pub fn store_of(&self, node: NodeId) -> StableHandle<Batch> {
+        self.stores
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|(_, s)| s.clone())
+            .expect("node belongs to this deployment")
+    }
+}
+
+/// Deploys M-Ring Paxos with the recovery subsystem on every process.
+/// Vote durability requires `StorageMode::SyncDisk`, which this helper
+/// sets; `configure` runs after that and may adjust everything else.
+/// `mk_app` supplies each *learner* node's replicated-service hook.
+pub fn deploy_mring_recoverable(
+    sim: &mut Sim,
+    opts: &MRingOptions,
+    checkpoint_interval: u64,
+    configure: impl FnOnce(&mut MRingConfig),
+    mut mk_app: impl FnMut(NodeId) -> Option<Box<dyn RecoveredApp>>,
+) -> RecoverableMRing {
+    let d = deploy_mring(sim, opts, |cfg| {
+        cfg.storage = crate::config::StorageMode::SyncDisk;
+        configure(cfg);
+    });
+    let mut stores: Vec<(NodeId, StableHandle<Batch>)> = Vec::new();
+    let store_for = |n: NodeId, stores: &mut Vec<(NodeId, StableHandle<Batch>)>| {
+        let s: StableHandle<Batch> = stable();
+        stores.push((n, s.clone()));
+        s
+    };
+    for &n in d.ring.iter().chain(&d.spares) {
+        let store = store_for(n, &mut stores);
+        let actor = MRingProcess::new(d.cfg.clone(), n, None, None).with_recovery(MRecovery {
+            store,
+            checkpoint_interval,
+            app: None,
+            resumed: false,
+        });
+        sim.replace_actor(n, Box::new(actor));
+    }
+    for &n in &d.learners {
+        let store = store_for(n, &mut stores);
+        let actor = MRingProcess::new(d.cfg.clone(), n, None, Some(d.log.clone())).with_recovery(
+            MRecovery { store, checkpoint_interval, app: mk_app(n), resumed: false },
+        );
+        sim.replace_actor(n, Box::new(actor));
+    }
+    for &n in &d.proposers {
+        let store = store_for(n, &mut stores);
+        let mut pacer = Pacer::new(opts.proposer_rate_bps, opts.msg_bytes, opts.burst);
+        if let Some(stop) = opts.proposer_stop {
+            pacer.stop_at(stop);
+        }
+        let actor =
+            MRingProcess::new(d.cfg.clone(), n, Some(pacer), Some(d.log.clone())).with_recovery(
+                MRecovery { store, checkpoint_interval, app: mk_app(n), resumed: false },
+            );
+        sim.replace_actor(n, Box::new(actor));
+    }
+    RecoverableMRing { d, checkpoint_interval, stores }
+}
+
+/// Respawns a fresh recovery-enabled M-Ring process on `node` over its
+/// stable store (marks the node up first): an acceptor replays its
+/// durable votes, a learner restores its checkpoint and catches the
+/// decided suffix up from its preferential acceptor over TCP. The
+/// proposer role is not resumed.
+pub fn respawn_mring(
+    sim: &mut Sim,
+    rm: &RecoverableMRing,
+    node: NodeId,
+    app: Option<Box<dyn RecoveredApp>>,
+) {
+    sim.set_node_up(node, true);
+    let log = rm.d.cfg.learners.contains(&node).then(|| rm.d.log.clone());
+    let actor = MRingProcess::new(rm.d.cfg.clone(), node, None, log).with_recovery(MRecovery {
+        store: rm.store_of(node),
+        checkpoint_interval: rm.checkpoint_interval,
+        app,
+        resumed: true,
+    });
+    sim.replace_actor(node, Box::new(actor));
+}
+
 /// Options for [`deploy_uring`].
 #[derive(Clone, Debug)]
 pub struct URingOptions {
@@ -192,4 +292,109 @@ pub fn deploy_uring(
         sim.replace_actor(ring[pos], Box::new(actor));
     }
     URingDeployment { cfg, ring, log }
+}
+
+/// Recovery tuning for [`deploy_uring_recoverable`].
+#[derive(Clone, Copy, Debug)]
+pub struct URingRecoveryOptions {
+    /// Acceptor vote-log commit mode.
+    pub wal_mode: LogMode,
+    /// Learner checkpoint interval, in delivered instances (0 = never).
+    pub checkpoint_interval: u64,
+    /// Decided instances each process retains below its checkpoint
+    /// watermark for serving peers' catch-up without a state transfer.
+    pub catchup_retention: u64,
+}
+
+impl Default for URingRecoveryOptions {
+    fn default() -> Self {
+        URingRecoveryOptions {
+            wal_mode: LogMode::Sync,
+            checkpoint_interval: 256,
+            catchup_retention: 512,
+        }
+    }
+}
+
+/// A recovery-enabled U-Ring deployment: the ensemble plus each node's
+/// stable store, which outlives actor replacements so that
+/// [`respawn_uring`] can install a fresh process over it.
+pub struct RecoverableURing {
+    /// The underlying deployment.
+    pub d: URingDeployment,
+    /// Recovery options the deployment was built with.
+    pub rec: URingRecoveryOptions,
+    /// Per-position stable stores (the nodes' disks).
+    pub stores: Vec<StableHandle<Batch>>,
+}
+
+/// Deploys U-Ring Paxos with the recovery subsystem on every process.
+/// `mk_app` supplies each ring position's replicated-service hook
+/// (`None` for a stateless learner whose checkpoints carry only
+/// metadata).
+pub fn deploy_uring_recoverable(
+    sim: &mut Sim,
+    opts: &URingOptions,
+    rec: URingRecoveryOptions,
+    configure: impl FnOnce(&mut URingConfig),
+    mut mk_app: impl FnMut(usize) -> Option<Box<dyn RecoveredApp>>,
+) -> RecoverableURing {
+    let d = deploy_uring(sim, opts, configure);
+    let stores: Vec<StableHandle<Batch>> = (0..opts.ring_len).map(|_| stable()).collect();
+    for pos in 0..opts.ring_len {
+        let pacer = opts.proposer_positions.contains(&pos).then(|| {
+            let mut p = Pacer::new(opts.proposer_rate_bps, opts.msg_bytes, opts.burst);
+            if let Some(stop) = opts.proposer_stop {
+                p.stop_at(stop);
+            }
+            p
+        });
+        let actor = URingProcess::new(d.cfg.clone(), pos, pacer, Some(d.log.clone()))
+            .with_recovery(URecovery {
+                store: stores[pos].clone(),
+                wal_mode: rec.wal_mode,
+                checkpoint_interval: rec.checkpoint_interval,
+                app: mk_app(pos),
+                peer: None,
+                catchup_retention: rec.catchup_retention,
+                resumed: false,
+            });
+        sim.replace_actor(d.ring[pos], Box::new(actor));
+    }
+    RecoverableURing { d, rec, stores }
+}
+
+/// Respawns a fresh recovery-enabled process at ring position `pos`
+/// over its stable store (marks the node up first): the process replays
+/// its durable acceptor votes, restores the learner checkpoint, and
+/// catches the decided suffix up from a peer. The proposer role is not
+/// resumed (see the `uring` module docs), and position 0 — the
+/// coordinator — cannot be respawned: its proposals are not logged
+/// write-ahead, so a fresh incarnation would re-allocate instance
+/// numbers that are already decided. U-Ring coordinator failure needs
+/// ring reconfiguration (the ch. 7 lesson), which M-Ring's failover
+/// provides.
+///
+/// # Panics
+///
+/// Panics when `pos == 0`.
+pub fn respawn_uring(
+    sim: &mut Sim,
+    ru: &RecoverableURing,
+    pos: usize,
+    app: Option<Box<dyn RecoveredApp>>,
+) {
+    assert!(pos != 0, "the U-Ring coordinator cannot be respawned (see respawn_uring docs)");
+    sim.set_node_up(ru.d.ring[pos], true);
+    let actor = URingProcess::new(ru.d.cfg.clone(), pos, None, Some(ru.d.log.clone()))
+        .with_recovery(URecovery {
+            store: ru.stores[pos].clone(),
+            wal_mode: ru.rec.wal_mode,
+            checkpoint_interval: ru.rec.checkpoint_interval,
+            app,
+            peer: None,
+            catchup_retention: ru.rec.catchup_retention,
+            resumed: true,
+        });
+    sim.replace_actor(ru.d.ring[pos], Box::new(actor));
 }

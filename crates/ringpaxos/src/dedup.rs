@@ -115,6 +115,32 @@ impl DeliveredTracker {
     pub fn overflow_len(&self) -> usize {
         self.overflow.len()
     }
+
+    /// Externalizes the tracker for a checkpoint: the per-proposer
+    /// watermarks plus any entries parked out of order above them.
+    pub fn export(&self) -> (Vec<u64>, Vec<(u64, u64)>) {
+        let parked = self.overflow.iter().map(|&(p, s)| (p as u64, s)).collect();
+        (self.marks.clone(), parked)
+    }
+
+    /// Rebuilds a tracker from checkpointed state ([`DeliveredTracker::
+    /// export`]), so a restarted learner resumes exactly-once filtering
+    /// from the checkpoint's basis.
+    pub fn restore(marks: Vec<u64>, parked: Vec<(u64, u64)>) -> DeliveredTracker {
+        let mut t =
+            DeliveredTracker { parked: vec![0; marks.len()], marks, overflow: BTreeSet::new() };
+        for (p, s) in parked {
+            let p = p as usize;
+            if p >= t.marks.len() {
+                t.marks.resize(p + 1, 0);
+                t.parked.resize(p + 1, 0);
+            }
+            if t.overflow.insert((p, s)) {
+                t.parked[p] += 1;
+            }
+        }
+        t
+    }
 }
 
 #[cfg(test)]

@@ -40,8 +40,12 @@ pub mod uring;
 pub mod value;
 
 pub use cluster::{
-    deploy_mring, deploy_uring, MRingDeployment, MRingOptions, URingDeployment, URingOptions,
+    deploy_mring, deploy_mring_recoverable, deploy_uring, deploy_uring_recoverable, respawn_mring,
+    respawn_uring, MRingDeployment, MRingOptions, RecoverableMRing, RecoverableURing,
+    URingDeployment, URingOptions, URingRecoveryOptions,
 };
 pub use config::{FlowConfig, MRingConfig, SkipConfig, StorageMode, URingConfig};
 pub use dedup::DeliveredTracker;
+pub use mring::MRecovery;
+pub use uring::URecovery;
 pub use value::{batch_bytes, Batch, BatchData, Value};

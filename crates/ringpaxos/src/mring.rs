@@ -30,6 +30,7 @@ use abcast::{metric, MsgId, Pacer, SharedLog};
 use paxos::acceptor::Acceptor;
 use paxos::msg::{quorum, InstanceId, Round};
 use paxos::window::Window;
+use recovery::{Checkpointer, RecoveredApp, StableHandle};
 use simnet::prelude::*;
 
 use crate::config::{MRingConfig, StorageMode};
@@ -50,7 +51,16 @@ const T_DISK: u64 = 9 << 56;
 const T_VOTE_RETRY: u64 = 10 << 56;
 const T_SKIP: u64 = 11 << 56;
 const T_RESUB: u64 = 12 << 56;
+const T_CKPT: u64 = 13 << 56;
+const T_CATCHUP: u64 = 14 << 56;
 const KIND_MASK: u64 = 0xff << 56;
+
+/// Decided instances served per recovery `CatchupRep` chunk.
+const CATCHUP_CHUNK: usize = 64;
+/// Retry period for an unanswered recovery `CatchupReq`.
+const CATCHUP_RETRY: Dur = Dur::millis(100);
+/// Checkpoint metadata bytes when no service snapshot is attached.
+const CKPT_META_BYTES: u64 = 4096;
 
 fn token_kind(t: TimerToken) -> u64 {
     t.0 & KIND_MASK
@@ -228,6 +238,35 @@ struct Takeover {
     decided: BTreeSet<InstanceId>,
 }
 
+/// Recovery configuration for one M-Ring process: durable vote
+/// recording (requires `StorageMode::SyncDisk` — only a write the disk
+/// actually completed enters the stable store), learner checkpoints,
+/// and bulk TCP catch-up from the preferential acceptor on restart.
+pub struct MRecovery {
+    /// The node's stable store, shared across process incarnations.
+    pub store: StableHandle<Batch>,
+    /// Checkpoint every this many delivered instances (0 = never).
+    pub checkpoint_interval: u64,
+    /// The replicated service hook snapshotted by checkpoints.
+    pub app: Option<Box<dyn RecoveredApp>>,
+    /// Whether this incarnation replaces a crashed one (respawn).
+    pub resumed: bool,
+}
+
+/// Live recovery state of one M-Ring process.
+struct MRecState {
+    store: StableHandle<Batch>,
+    ckpt: Option<Checkpointer<Batch>>,
+    app: Option<Box<dyn RecoveredApp>>,
+    delivered_count: u64,
+    catching_up: bool,
+    catchup_started: Time,
+    /// Delivery position at the previous catch-up tick when a stuck gap
+    /// was observed; a gap persisting across two ticks (outliving the
+    /// UDP retransmission machinery) re-enters catch-up.
+    last_gap: Option<InstanceId>,
+}
+
 /// One M-Ring Paxos process; roles derive from its position in the
 /// configuration.
 pub struct MRingProcess {
@@ -250,6 +289,7 @@ pub struct MRingProcess {
     /// Highest GC watermark already applied; re-announcements of the same
     /// watermark (it rides on every 2A) skip the tree-splitting work.
     gc_applied: InstanceId,
+    rec: Option<MRecState>,
 }
 
 impl MRingProcess {
@@ -336,7 +376,53 @@ impl MRingProcess {
             rate_ctl: None,
             cost_ctl: None,
             gc_applied: InstanceId(0),
+            rec: None,
         }
+    }
+
+    /// Attaches the recovery subsystem (see [`MRecovery`]). Must be
+    /// called before the process is installed. When `rec.resumed`, the
+    /// acceptor replays its durable votes and the learner restores its
+    /// checkpoint here; catch-up starts in `on_start`. The proposer role
+    /// is not resumed (its sequence numbers are not logged).
+    pub fn with_recovery(mut self, rec: MRecovery) -> MRingProcess {
+        let mut state = MRecState {
+            ckpt: (rec.checkpoint_interval > 0)
+                .then(|| Checkpointer::new(rec.store.clone(), rec.checkpoint_interval, T_CKPT)),
+            app: rec.app,
+            delivered_count: 0,
+            catching_up: false,
+            catchup_started: Time::ZERO,
+            last_gap: None,
+            store: rec.store,
+        };
+        if rec.resumed {
+            if let Some(a) = self.acc.as_mut() {
+                let (promised, votes) = {
+                    let s = state.store.borrow();
+                    let votes: Vec<(InstanceId, Round, Batch)> =
+                        s.votes.iter().map(|(&i, (r, v))| (i, *r, v.clone())).collect();
+                    (s.promised, votes)
+                };
+                a.paxos = Acceptor::restore(promised.max(self.round), votes);
+            }
+            let cp = Checkpointer::recover(&state.store).unwrap_or_default();
+            if let Some(l) = self.lrn.as_mut() {
+                l.next_deliver = cp.watermark;
+                l.applied_reported = cp.watermark;
+                l.delivered = DeliveredTracker::restore(cp.marks.clone(), cp.parked.clone());
+                state.delivered_count = cp.log_pos;
+                if let Some(app) = state.app.as_mut() {
+                    app.restore(cp.state.as_ref());
+                }
+                if let Some(log) = self.log.as_ref() {
+                    log.borrow_mut().mark_restart(l.index, cp.log_pos as usize);
+                }
+                state.catching_up = true;
+            }
+        }
+        self.rec = Some(state);
+        self
     }
 
     /// Attaches a live rate control for this proposer (bits per second;
@@ -605,6 +691,7 @@ impl MRingProcess {
             // down if we (stale, e.g. restarted after a pause) still
             // believe we coordinate.
             self.round = round;
+            self.persist_promise(round);
             self.coord = None;
             self.takeover = None;
         }
@@ -818,6 +905,14 @@ impl MRingProcess {
                     log.deliver(index, v.id);
                 }
             }
+            if let Some(rec) = self.rec.as_mut() {
+                rec.delivered_count += delivered_here.len() as u64;
+                if let Some(app) = rec.app.as_mut() {
+                    for v in &delivered_here {
+                        app.apply(v.proposer.0 as u64, v.seq, v.bytes);
+                    }
+                }
+            }
             for v in &delivered_here {
                 ctx.counter_add_id(metric::id::DELIVERED_BYTES, v.bytes as u64);
                 ctx.counter_add_id(metric::id::DELIVERED_MSGS, 1);
@@ -829,7 +924,163 @@ impl MRingProcess {
                 }
             }
         }
+        self.maybe_checkpoint(ctx);
         self.flow_check(ctx);
+    }
+
+    /// Starts a checkpoint when one is due (recovery-enabled learners).
+    fn maybe_checkpoint(&mut self, ctx: &mut Ctx) {
+        let Some(rec) = self.rec.as_mut() else { return };
+        let Some(ckpt) = rec.ckpt.as_mut() else { return };
+        let Some(l) = self.lrn.as_ref() else { return };
+        if !ckpt.due(l.next_deliver) {
+            return;
+        }
+        let (marks, parked) = l.delivered.export();
+        let app = &mut rec.app;
+        ckpt.maybe_checkpoint(
+            l.next_deliver,
+            rec.delivered_count,
+            marks,
+            parked,
+            || match app {
+                Some(a) => a.snapshot(),
+                None => (CKPT_META_BYTES, None),
+            },
+            ctx,
+        );
+    }
+
+    /// Serves a recovery catch-up request from the acceptor's stored
+    /// votes: contiguous decided instances from `next`, over TCP. When
+    /// `next` has fallen below this acceptor's GC watermark, the reply's
+    /// `available_from` tells the requester to fetch a peer learner's
+    /// checkpoint first.
+    fn serve_catchup(&mut self, from: NodeId, next: InstanceId, ctx: &mut Ctx) {
+        let Some(a) = self.acc.as_ref() else { return };
+        let horizon = a
+            .decided
+            .iter()
+            .map(|(i, _)| i.next())
+            .last()
+            .unwrap_or(InstanceId(0))
+            .max(a.decided_below);
+        let available_from = a.paxos.gc_base().max(next);
+        let mut batches = Vec::new();
+        let mut wire = self.cfg.ctl_bytes as u64;
+        let mut i = available_from;
+        while batches.len() < CATCHUP_CHUNK && i < horizon {
+            let decided = a.decided.contains(i) || i < a.decided_below;
+            let Some(vote) = a.paxos.vote(i) else { break };
+            if !decided {
+                break;
+            }
+            let skip = a.skip_weights.get(&i).copied().unwrap_or(0);
+            let mask = a.masks.get(&i).copied().unwrap_or(ALL_PARTITIONS);
+            wire += batch_bytes(&vote.v_val);
+            batches.push((i, vote.v_val.clone(), vote.v_rnd, skip, mask));
+            i = i.next();
+        }
+        ctx.counter_add("rec.catchup_served", batches.len() as u64);
+        ctx.tcp_send(
+            from,
+            MMsg::CatchupRep { batches, upto: horizon, available_from },
+            wire.min(u32::MAX as u64) as u32,
+        );
+    }
+
+    /// A peer learner in this deployment other than `me` (the state
+    /// transfer source when acceptors have GC'd past a straggler).
+    fn snap_peer(&self) -> Option<NodeId> {
+        self.cfg.learners.iter().copied().find(|&n| n != self.me)
+    }
+
+    /// Ingests a recovery catch-up chunk at a restarted learner.
+    fn on_catchup_rep(
+        &mut self,
+        batches: Vec<(InstanceId, Batch, Round, u64, u32)>,
+        upto: InstanceId,
+        available_from: InstanceId,
+        ctx: &mut Ctx,
+    ) {
+        let catching = self.rec.as_ref().is_some_and(|r| r.catching_up);
+        if !catching {
+            return; // a retry's duplicate reply after completion
+        }
+        let next_now = self.lrn.as_ref().map(|l| l.next_deliver).unwrap_or(InstanceId(0));
+        if available_from > next_now {
+            // The acceptors collected past us (§3.3.7): only a peer
+            // learner's checkpoint can close the gap. Stay catching up;
+            // re-request once the transfer lands (or on the retry tick).
+            if let Some(peer) = self.snap_peer() {
+                let me = self.me;
+                ctx.counter_add("rec.snap_reqs", 1);
+                ctx.tcp_send(peer, MMsg::SnapReq { from: me }, self.cfg.ctl_bytes);
+            }
+            return;
+        }
+        let got = batches.len() as u64;
+        ctx.counter_add("rec.catchup_instances", got);
+        let my_mask = self.lrn.as_ref().map(|l| l.my_mask).unwrap_or(ALL_PARTITIONS);
+        for (instance, batch, round, _skip, mask) in batches {
+            if mask & my_mask == 0 {
+                self.learner_decide(&[(instance, mask)], round);
+            } else {
+                self.learner_authoritative(instance, &batch, round);
+            }
+        }
+        self.try_deliver(ctx);
+        let next = self.lrn.as_ref().map(|l| l.next_deliver).unwrap_or(upto);
+        let rec = self.rec.as_mut().expect("checked above");
+        if next >= upto {
+            rec.catching_up = false;
+            let took = ctx.now().saturating_since(rec.catchup_started);
+            ctx.record_latency("rec.ttr", took);
+        } else if got > 0 {
+            let index = self.lrn.as_ref().map(|l| l.index).unwrap_or(0);
+            let pref = self.cfg.preferential_acceptor(index);
+            let me = self.me;
+            ctx.tcp_send(pref, MMsg::CatchupReq { from: me, next }, self.cfg.ctl_bytes);
+        }
+        // `got == 0` below the horizon: the acceptor could not serve
+        // contiguously (e.g. mid-GC); the T_CATCHUP retry re-asks.
+    }
+
+    /// Adopts a peer learner's checkpoint (state transfer): jump the
+    /// delivery window to its watermark and resume catch-up from there.
+    fn on_snap_rep(&mut self, snap: Option<recovery::Checkpoint>, ctx: &mut Ctx) {
+        if !self.rec.as_ref().is_some_and(|r| r.catching_up) {
+            return;
+        }
+        let Some(cp) = snap else { return };
+        let Some(l) = self.lrn.as_mut() else { return };
+        if cp.watermark <= l.next_deliver {
+            return; // the peer is not ahead (yet); the retry tick re-asks
+        }
+        let jump = (cp.watermark.0 - l.next_deliver.0) as usize;
+        for _ in 0..jump.min(l.window.len()) {
+            l.window.pop_front();
+        }
+        l.next_deliver = cp.watermark;
+        l.applied_reported = cp.watermark;
+        l.delivered = DeliveredTracker::restore(cp.marks.clone(), cp.parked.clone());
+        let index = l.index;
+        if let Some(rec) = self.rec.as_mut() {
+            rec.delivered_count = cp.log_pos;
+            if let Some(app) = rec.app.as_mut() {
+                app.restore(cp.state.as_ref());
+            }
+        }
+        if let Some(log) = self.log.as_ref() {
+            log.borrow_mut().mark_state_transfer(index, cp.log_pos as usize);
+        }
+        ctx.counter_add("rec.state_transfers", 1);
+        ctx.counter_add("rec.transfer_bytes", cp.state_bytes);
+        let next = cp.watermark;
+        let pref = self.cfg.preferential_acceptor(index);
+        let me = self.me;
+        ctx.tcp_send(pref, MMsg::CatchupReq { from: me, next }, self.cfg.ctl_bytes);
+        self.try_deliver(ctx);
     }
 
     /// Buffered (ready but unprocessed) instances at this learner:
@@ -960,6 +1211,13 @@ impl MRingProcess {
             a.early_2b.advance_base(upto);
             a.skip_weights = a.skip_weights.split_off(&upto);
             a.masks = a.masks.split_off(&upto);
+            // The durable vote log rides the same watermark: f+1
+            // learners applied these instances (§3.3.7), so a restarted
+            // acceptor never needs them either — without this trim the
+            // stable store grows with run length.
+            if let Some(rec) = self.rec.as_ref() {
+                rec.store.borrow_mut().trim_votes_below(upto);
+            }
         }
     }
 
@@ -1154,10 +1412,23 @@ impl MRingProcess {
         ctx.set_timer(self.cfg.suspicion_timeout * 4, TimerToken(T_SUSPECT));
     }
 
+    /// Persists a promised/adopted round (recovery-enabled acceptors):
+    /// a restarted acceptor must not vote in a round it promised away.
+    /// Promise writes are control-sized and rare; their disk time is
+    /// folded into the next vote flush (see `recovery::stable`).
+    fn persist_promise(&self, round: Round) {
+        if self.acc.is_some() {
+            if let Some(rec) = self.rec.as_ref() {
+                rec.store.borrow_mut().log_promise(round);
+            }
+        }
+    }
+
     fn collect_own_votes(
         &mut self,
         round: Round,
     ) -> (Vec<(InstanceId, Round, Batch)>, Vec<InstanceId>) {
+        self.persist_promise(round);
         let Some(a) = self.acc.as_mut() else { return (Vec::new(), Vec::new()) };
         match a.paxos.receive_1a(round) {
             Some(paxos::msg::PaxosMsg::Phase1b { votes, .. }) => {
@@ -1170,6 +1441,7 @@ impl MRingProcess {
     fn on_phase1a(&mut self, round: Round, from: NodeId, ctx: &mut Ctx) {
         if round > self.round {
             self.round = round;
+            self.persist_promise(round);
             // Abandon any personal takeover attempt against a higher round.
             if self.takeover.as_ref().is_some_and(|t| t.round < round) {
                 self.takeover = None;
@@ -1321,6 +1593,7 @@ impl MRingProcess {
             return;
         }
         self.round = round;
+        self.persist_promise(round);
         self.cfg.ring = ring;
         if coord != self.me {
             self.coord = None;
@@ -1436,6 +1709,22 @@ impl Actor for MRingProcess {
         }
         if self.acc.is_some() && !self.is_coordinator() {
             ctx.set_timer(self.cfg.suspicion_timeout, TimerToken(T_SUSPECT));
+        }
+        if self.rec.is_some() && self.lrn.is_some() {
+            // Persistent tick: drives catch-up retries while recovering
+            // and re-enters catch-up if a delivery gap gets stuck later.
+            ctx.set_timer(CATCHUP_RETRY, TimerToken(T_CATCHUP));
+        }
+        if self.rec.as_ref().is_some_and(|r| r.catching_up) {
+            let next = self.lrn.as_ref().map(|l| l.next_deliver).unwrap_or(InstanceId(0));
+            let index = self.lrn.as_ref().map(|l| l.index).unwrap_or(0);
+            let pref = self.cfg.preferential_acceptor(index);
+            let me = self.me;
+            if let Some(rec) = self.rec.as_mut() {
+                rec.catchup_started = ctx.now();
+            }
+            ctx.counter_add("rec.restarts", 1);
+            ctx.tcp_send(pref, MMsg::CatchupReq { from: me, next }, self.cfg.ctl_bytes);
         }
     }
 
@@ -1556,6 +1845,28 @@ impl Actor for MRingProcess {
                 let ring = ring.clone();
                 self.on_new_ring(round, coord, ring, ctx);
             }
+            MMsg::CatchupReq { from, next } => {
+                let (from, next) = (*from, *next);
+                self.serve_catchup(from, next, ctx);
+            }
+            MMsg::CatchupRep { batches, upto, available_from } => {
+                let (batches, upto, avail) = (batches.clone(), *upto, *available_from);
+                self.on_catchup_rep(batches, upto, avail, ctx);
+            }
+            MMsg::SnapReq { from } => {
+                let from = *from;
+                if let Some(rec) = self.rec.as_ref() {
+                    let snap = rec.store.borrow().checkpoint.clone();
+                    let wire = (self.cfg.ctl_bytes as u64
+                        + snap.as_ref().map(|c| c.state_bytes).unwrap_or(0))
+                    .min(u32::MAX as u64) as u32;
+                    ctx.tcp_send(from, MMsg::SnapRep { snap }, wire);
+                }
+            }
+            MMsg::SnapRep { snap } => {
+                let snap = snap.clone();
+                self.on_snap_rep(snap, ctx);
+            }
             MMsg::Heartbeat { round, coord, ring } => {
                 if *round > self.round {
                     // Missed the NewRing (restart after pause): resync.
@@ -1670,7 +1981,62 @@ impl Actor for MRingProcess {
                 if let Some(a) = self.acc.as_mut() {
                     a.awaiting_disk.remove(&instance);
                 }
+                // Recovery: only now — after the device confirmed the
+                // write — does the vote enter the stable store.
+                if let Some(rec) = self.rec.as_ref() {
+                    if let Some(vote) = self.acc.as_ref().and_then(|a| a.paxos.vote(instance)) {
+                        rec.store
+                            .borrow_mut()
+                            .votes
+                            .insert(instance, (vote.v_rnd, vote.v_val.clone()));
+                    }
+                }
                 self.after_vote_durable(instance, round, is_first, ctx);
+            }
+            T_CKPT => {
+                let payload = token_payload(token);
+                if let Some(rec) = self.rec.as_mut() {
+                    if rec.ckpt.as_mut().and_then(|c| c.on_token(payload)).is_some() {
+                        // Acceptor-side trimming stays with the ring's
+                        // version-vector GC (§3.3.7); the checkpoint
+                        // already trimmed this node's durable vote log.
+                        ctx.counter_add("rec.checkpoints", 1);
+                    }
+                }
+            }
+            T_CATCHUP => {
+                if self.lrn.is_none() || self.rec.is_none() {
+                    return;
+                }
+                let l = self.lrn.as_ref().expect("checked");
+                let next = l.next_deliver;
+                let stuck = l.horizon() > next
+                    && l.window.front().is_some_and(|s| !s.ready() && !s.foreign);
+                let index = l.index;
+                let pref = self.cfg.preferential_acceptor(index);
+                let me = self.me;
+                let ctl = self.cfg.ctl_bytes;
+                let rec = self.rec.as_mut().expect("checked");
+                if rec.catching_up {
+                    ctx.tcp_send(pref, MMsg::CatchupReq { from: me, next }, ctl);
+                } else if stuck {
+                    // A gap the 20 ms retransmission machinery did not
+                    // close within a full tick (e.g. the acceptors GC'd
+                    // the instance): go back to catch-up, which can
+                    // escalate to a peer state transfer.
+                    if rec.last_gap == Some(next) {
+                        rec.catching_up = true;
+                        rec.catchup_started = ctx.now();
+                        rec.last_gap = None;
+                        ctx.counter_add("rec.gap_catchups", 1);
+                        ctx.tcp_send(pref, MMsg::CatchupReq { from: me, next }, ctl);
+                    } else {
+                        rec.last_gap = Some(next);
+                    }
+                } else {
+                    rec.last_gap = None;
+                }
+                ctx.set_timer(CATCHUP_RETRY, TimerToken(T_CATCHUP));
             }
             T_SKIP => {
                 if let (true, Some(skip)) = (self.is_coordinator(), self.cfg.skip) {

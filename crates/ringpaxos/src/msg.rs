@@ -143,6 +143,42 @@ pub enum MMsg {
         /// Current ring layout.
         ring: Vec<NodeId>,
     },
+    /// Recovery: a restarted learner asks its preferential acceptor for
+    /// the decided suffix from `next` in bulk, over TCP (the per-loss
+    /// UDP retransmission path is too slow for a whole outage).
+    CatchupReq {
+        /// The recovering learner.
+        from: NodeId,
+        /// First instance it is missing.
+        next: InstanceId,
+    },
+    /// Recovery: a chunk of decided instances from the acceptor's
+    /// stored votes, `(instance, batch, vote round, skip, mask)`.
+    CatchupRep {
+        /// Contiguous decided instances from the requested point.
+        batches: Vec<(InstanceId, Batch, Round, u64, u32)>,
+        /// One past the highest instance the acceptor knows decided.
+        upto: InstanceId,
+        /// Lowest instance the acceptor can still serve (its GC
+        /// watermark). When this is above the requested point, the
+        /// requester has fallen behind the ring's §3.3.7 collection and
+        /// must fetch a peer learner's checkpoint first ([`MMsg::SnapReq`]).
+        available_from: InstanceId,
+    },
+    /// Recovery: a learner that fell below the acceptors' GC watermark
+    /// asks a peer learner for its durable checkpoint (the paper's
+    /// "state transfer from a peer with a sufficiently recent version",
+    /// §3.3.7). Over TCP.
+    SnapReq {
+        /// The requesting learner.
+        from: NodeId,
+    },
+    /// Recovery: a peer learner's durable checkpoint; `state_bytes` are
+    /// charged on the wire.
+    SnapRep {
+        /// The checkpoint (absent when the peer has none yet).
+        snap: Option<recovery::Checkpoint>,
+    },
 }
 
 /// Messages of U-Ring Paxos (Algorithm 3). All travel over TCP between
@@ -172,6 +208,29 @@ pub enum UMsg {
         batch: Batch,
         /// How many more hops the decision id must travel.
         id_hops_left: u32,
+    },
+    /// A restarted learner asks `from` for the decided suffix starting
+    /// at `next` (its recovered checkpoint watermark). Travels over the
+    /// reliable channel, outside the ring flow.
+    CatchupReq {
+        /// The recovering learner.
+        from: NodeId,
+        /// First instance it is missing.
+        next: InstanceId,
+    },
+    /// A chunk of the decided suffix (recovery catch-up). When the
+    /// requester had fallen below the responder's trim point, `snap`
+    /// carries the responder's checkpoint first — a state transfer whose
+    /// `state_bytes` are charged on the wire along with the batches.
+    CatchupRep {
+        /// Checkpoint to restore before applying `batches` (state
+        /// transfer), when the requester was behind the trim point.
+        snap: Option<recovery::Checkpoint>,
+        /// Contiguous decided instances from the requested point.
+        batches: Vec<(InstanceId, Batch)>,
+        /// One past the responder's highest decided instance — when the
+        /// requester reaches it, catch-up is complete.
+        upto: InstanceId,
     },
 }
 

@@ -10,6 +10,39 @@
 //!
 //! Flow control is inherent: TCP back-pressure between neighbours plus a
 //! bounded window of outstanding consensus instances (§3.3.6).
+//!
+//! # Recovery (`with_recovery`)
+//!
+//! A plain U-Ring deployment stalls forever when a ring process dies
+//! (ch. 7's U-Ring lesson, Fig. 7.5) and loses all acceptor and learner
+//! state on a process restart. [`URecovery`] attaches the durability
+//! subsystem from the `recovery` crate:
+//!
+//! * acceptors log votes write-ahead (sync or group-commit) through the
+//!   simulated disk into a stable store that survives `replace_actor`,
+//!   and replay it on restart;
+//! * learners checkpoint periodically (delivery watermark, dedup marks,
+//!   and the service snapshot via [`recovery::RecoveredApp`]), trimming
+//!   the vote log and decided cache below the durable watermark;
+//! * a respawned learner resumes from its checkpoint and fetches the
+//!   decided suffix from a peer's [`recovery::DecidedCache`] over TCP
+//!   (`CatchupReq`/`CatchupRep`), falling back to a full state transfer
+//!   of the peer's checkpoint when it has fallen below the peer's trim
+//!   point — recovery is checkpoint + suffix, never a full replay;
+//! * the ring heals itself after the outage: the coordinator re-proposes
+//!   outstanding instances whose 2A/2B-or-decision circulation died at
+//!   the crashed process, and proposers re-send values that never got
+//!   delivered (both idempotent: acceptors re-vote in place and learners
+//!   deduplicate by `(proposer, seq)`).
+//!
+//! Restarted processes do not resume the proposer role — a proposer's
+//! sequence numbers are not logged, and reusing them would make the
+//! dedup layer discard its fresh values. The coordinator (position 0)
+//! cannot be respawned at all: its instance allocation is not logged
+//! write-ahead, so a fresh incarnation would re-propose from instance 0
+//! over decided history. A dead U-Ring coordinator needs ring
+//! reconfiguration (ch. 7's lesson); M-Ring failover covers that
+//! scenario.
 
 use std::collections::VecDeque;
 use std::collections::{BTreeMap, BTreeSet};
@@ -19,6 +52,9 @@ use abcast::{metric, MsgId, Pacer, SharedLog};
 use crate::dedup::DeliveredTracker;
 use paxos::acceptor::Acceptor;
 use paxos::msg::{InstanceId, Round};
+use recovery::{
+    Checkpoint, Checkpointer, DecidedCache, LogMode, RecoveredApp, StableHandle, VoteLog,
+};
 use simnet::prelude::*;
 
 use crate::config::{StorageMode, URingConfig};
@@ -27,8 +63,69 @@ use crate::value::{batch_bytes, Batch, BatchData, Value};
 
 const T_BATCH: u64 = 1 << 56;
 const T_PACE: u64 = 2 << 56;
+const T_WAL: u64 = 3 << 56;
+const T_CKPT: u64 = 4 << 56;
+const T_CATCHUP: u64 = 5 << 56;
+const T_REPROP: u64 = 6 << 56;
 const T_DISK: u64 = 9 << 56;
 const KIND_MASK: u64 = 0xff << 56;
+
+/// Decided instances served per `CatchupRep` chunk.
+const CATCHUP_CHUNK: usize = 64;
+/// Retry period for an unanswered `CatchupReq`.
+const CATCHUP_RETRY: Dur = Dur::millis(100);
+/// Scan period of the re-proposal timers (recovery-enabled rings).
+const REPROP_INTERVAL: Dur = Dur::millis(50);
+/// Age beyond which an outstanding instance / undelivered value is
+/// re-sent. Comfortably above one loaded ring round-trip, far below the
+/// experiment's outage scale.
+const REPROP_AGE: Dur = Dur::millis(150);
+/// Checkpoint metadata bytes when no service snapshot is attached.
+const CKPT_META_BYTES: u64 = 4096;
+
+/// Recovery configuration for one U-Ring process (see the module docs).
+pub struct URecovery {
+    /// The node's stable store, shared across process incarnations.
+    pub store: StableHandle<Batch>,
+    /// How the acceptor vote log commits to disk.
+    pub wal_mode: LogMode,
+    /// Checkpoint every this many delivered instances (0 = never).
+    pub checkpoint_interval: u64,
+    /// The replicated service hook snapshotted by checkpoints.
+    pub app: Option<Box<dyn RecoveredApp>>,
+    /// Catch-up peer; defaults to the last acceptor (the decision
+    /// origin), or the coordinator when this process *is* it.
+    pub peer: Option<NodeId>,
+    /// Decided instances retained in the catch-up cache *below* the
+    /// checkpoint watermark. A peer whose outage is shorter than this
+    /// slack catches up from the suffix alone; one that fell further
+    /// behind gets a state transfer of the whole checkpoint.
+    pub catchup_retention: u64,
+    /// Whether this incarnation replaces a crashed one (respawn): it
+    /// restores from the stable store and catches up from `peer`.
+    pub resumed: bool,
+}
+
+/// Live recovery state of one process.
+struct RecState {
+    store: StableHandle<Batch>,
+    wal: VoteLog<Batch>,
+    ckpt: Option<Checkpointer<Batch>>,
+    cache: DecidedCache<Batch>,
+    app: Option<Box<dyn RecoveredApp>>,
+    peer: NodeId,
+    retention: u64,
+    /// Values this learner delivered across all incarnations (the
+    /// checkpoint's `log_pos` basis).
+    delivered_count: u64,
+    catching_up: bool,
+    catchup_started: Time,
+    /// Delivery position at the previous catch-up tick when a stuck gap
+    /// was observed; a gap persisting across two ticks re-enters
+    /// catch-up (e.g. after completing against a peer that was itself
+    /// recovering and served an empty horizon).
+    last_gap: Option<InstanceId>,
+}
 
 /// Coordinator-only state.
 struct UCoord {
@@ -36,6 +133,9 @@ struct UCoord {
     pending_bytes: u64,
     next_instance: InstanceId,
     outstanding: BTreeSet<InstanceId>,
+    /// Batches of outstanding instances with their last-send time, kept
+    /// only on recovery-enabled rings for the re-proposal timer.
+    outstanding_batches: BTreeMap<InstanceId, (Batch, Time)>,
 }
 
 /// One U-Ring Paxos process.
@@ -50,8 +150,10 @@ pub struct URingProcess {
     learner: Option<ULearner>,
     prop: Option<UProposer>,
     log: Option<SharedLog>,
-    /// Phase2ab messages awaiting a pending sync disk write, per instance.
+    /// Phase2ab messages awaiting a pending sync disk write, per instance
+    /// (the non-recovery `StorageMode` path).
     disk_pending: BTreeMap<InstanceId, (Round, Batch)>,
+    rec: Option<RecState>,
 }
 
 struct ULearner {
@@ -68,6 +170,12 @@ struct UProposer {
     next_seq: u64,
     /// Values proposed but not yet observed delivered locally.
     inflight: u32,
+    /// Undelivered values with their last-send time, for re-proposal on
+    /// recovery-enabled rings (a crashed ring member black-holes the
+    /// `Forward` hop; without re-sending, these slots leak forever).
+    unacked: BTreeMap<u64, (Value, Time)>,
+    /// Whether `unacked` is maintained (recovery-enabled rings only).
+    track: bool,
 }
 
 impl URingProcess {
@@ -89,6 +197,7 @@ impl URingProcess {
             pending_bytes: 0,
             next_instance: InstanceId(0),
             outstanding: BTreeSet::new(),
+            outstanding_batches: BTreeMap::new(),
         });
         let acceptor = is_acceptor.then(|| {
             let mut a = Acceptor::new();
@@ -109,10 +218,83 @@ impl URingProcess {
             coord,
             acceptor,
             learner,
-            prop: proposer.map(|pacer| UProposer { pacer, next_seq: 0, inflight: 0 }),
+            prop: proposer.map(|pacer| UProposer {
+                pacer,
+                next_seq: 0,
+                inflight: 0,
+                unacked: BTreeMap::new(),
+                track: false,
+            }),
             log: learner_log,
             disk_pending: BTreeMap::new(),
+            rec: None,
         }
+    }
+
+    /// Attaches the recovery subsystem (see the module docs). Must be
+    /// called before the process is installed. When `rec.resumed`, the
+    /// process restores acceptor votes and the learner checkpoint from
+    /// the stable store here, and starts catch-up in `on_start`.
+    pub fn with_recovery(mut self, rec: URecovery) -> URingProcess {
+        let peer = rec.peer.unwrap_or_else(|| {
+            let last = self.cfg.last_acceptor_pos();
+            if self.pos == last {
+                self.cfg.ring[0]
+            } else {
+                self.cfg.ring[last]
+            }
+        });
+        let mut state = RecState {
+            wal: VoteLog::new(rec.store.clone(), rec.wal_mode, self.cfg.disk_unit, T_WAL),
+            ckpt: (rec.checkpoint_interval > 0)
+                .then(|| Checkpointer::new(rec.store.clone(), rec.checkpoint_interval, T_CKPT)),
+            cache: DecidedCache::new(),
+            app: rec.app,
+            peer,
+            retention: rec.catchup_retention,
+            delivered_count: 0,
+            catching_up: false,
+            catchup_started: Time::ZERO,
+            last_gap: None,
+            store: rec.store,
+        };
+        if rec.resumed {
+            assert!(
+                self.coord.is_none(),
+                "the U-Ring coordinator cannot be respawned over its stable store: \
+                 its instance allocation is not logged (see the module docs)"
+            );
+            // Acceptor role: replay the durable vote log.
+            if self.acceptor.is_some() {
+                let (promised, votes) = state.wal.replay();
+                self.acceptor = Some(Acceptor::restore(promised.max(self.round), votes));
+            }
+            // Learner role: restore the durable checkpoint.
+            let cp = Checkpointer::recover(&state.store).unwrap_or_default();
+            if let Some(l) = self.learner.as_mut() {
+                l.next_deliver = cp.watermark;
+                l.delivered = DeliveredTracker::restore(cp.marks.clone(), cp.parked.clone());
+                state.delivered_count = cp.log_pos;
+                state.cache.trim_below(cp.watermark);
+                if let Some(app) = state.app.as_mut() {
+                    app.restore(cp.state.as_ref());
+                }
+                if let Some(log) = self.log.as_ref() {
+                    log.borrow_mut().mark_restart(l.index, cp.log_pos as usize);
+                }
+                state.catching_up = true;
+            }
+        }
+        if let Some(p) = self.prop.as_mut() {
+            p.track = true;
+        }
+        self.rec = Some(state);
+        self
+    }
+
+    /// The instance this process resumes delivering from (tests).
+    pub fn next_deliver(&self) -> Option<InstanceId> {
+        self.learner.as_ref().map(|l| l.next_deliver)
     }
 
     fn successor(&self) -> NodeId {
@@ -175,6 +357,7 @@ impl URingProcess {
         let due = p.pacer.due(ctx.now());
         let bytes = p.pacer.msg_bytes();
         let interval = p.pacer.interval();
+        let track = p.track;
         let mut new_values = Vec::new();
         for _ in 0..due {
             let seq = p.next_seq;
@@ -192,6 +375,9 @@ impl URingProcess {
             ctx.counter_add_id(metric::id::PROPOSED, 1);
             if let Some(p) = self.prop.as_mut() {
                 p.inflight += 1;
+                if track {
+                    p.unacked.insert(v.seq, (v, ctx.now()));
+                }
             }
             if self.coord.is_some() {
                 self.enqueue(v, ctx);
@@ -233,6 +419,9 @@ impl URingProcess {
             let instance = c.next_instance;
             c.next_instance = instance.next();
             c.outstanding.insert(instance);
+            if self.rec.is_some() {
+                c.outstanding_batches.insert(instance, (batch.clone(), ctx.now()));
+            }
             // The coordinator is the first acceptor: vote locally.
             if let Some(a) = self.acceptor.as_mut() {
                 let _ = a.receive_2a(instance, self.round, batch.clone());
@@ -258,6 +447,7 @@ impl URingProcess {
                 // back (it stops at the predecessor): close it here.
                 if let Some(c) = self.coord.as_mut() {
                     c.outstanding.remove(&instance);
+                    c.outstanding_batches.remove(&instance);
                 }
                 continue;
             }
@@ -273,6 +463,18 @@ impl URingProcess {
             // Not an acceptor (non-contiguous layout): just relay.
             let wire = self.hop_bytes(&batch, self.next_pos(), false);
             ctx.tcp_send(self.successor(), UMsg::Phase2ab { instance, round, batch }, wire);
+            return;
+        }
+        if let Some(rec) = self.rec.as_mut() {
+            // Recovery-enabled: write-ahead log the vote; `vote_and_forward`
+            // runs from the WAL completion (T_WAL). Re-proposals of an
+            // already-durable vote skip the disk and vote immediately.
+            if rec.store.borrow().votes.contains_key(&instance) {
+                self.vote_and_forward(instance, round, batch, ctx);
+            } else {
+                let bytes = (batch_bytes(&batch).min(u32::MAX as u64) as u32).max(1);
+                rec.wal.append(instance, round, batch, bytes, ctx);
+            }
             return;
         }
         match self.cfg.storage {
@@ -339,6 +541,7 @@ impl URingProcess {
         if self.coord.is_some() {
             if let Some(c) = self.coord.as_mut() {
                 c.outstanding.remove(&instance);
+                c.outstanding_batches.remove(&instance);
             }
             self.try_flush(ctx, false);
         }
@@ -353,15 +556,18 @@ impl URingProcess {
     }
 
     fn learner_ready(&mut self, instance: InstanceId, batch: &Batch, ctx: &mut Ctx) {
-        let Some(l) = self.learner.as_mut() else { return };
-        if instance >= l.next_deliver {
-            l.ready.entry(instance).or_insert_with(|| batch.clone());
+        {
+            let Some(l) = self.learner.as_mut() else { return };
+            if instance >= l.next_deliver {
+                l.ready.entry(instance).or_insert_with(|| batch.clone());
+            }
         }
         // U-Ring Paxos lets a learner process a decision before forwarding
         // it (§3.3.6) — delivery happens inline, in instance order.
         loop {
             let Some(l) = self.learner.as_mut() else { return };
-            let Some(b) = l.ready.remove(&l.next_deliver) else { return };
+            let Some(b) = l.ready.remove(&l.next_deliver) else { break };
+            let delivered_instance = l.next_deliver;
             l.next_deliver = l.next_deliver.next();
             let index = l.index;
             let mut fresh = Vec::new();
@@ -369,6 +575,10 @@ impl URingProcess {
                 if l.delivered.fresh(v.proposer, v.seq) {
                     fresh.push(*v);
                 }
+            }
+            if let Some(rec) = self.rec.as_mut() {
+                rec.cache.record(delivered_instance, b.clone());
+                rec.delivered_count += fresh.len() as u64;
             }
             if let Some(log) = self.log.as_ref() {
                 let mut log = log.borrow_mut();
@@ -379,14 +589,173 @@ impl URingProcess {
             for v in &fresh {
                 ctx.counter_add_id(metric::id::DELIVERED_BYTES, v.bytes as u64);
                 ctx.counter_add_id(metric::id::DELIVERED_MSGS, 1);
+                if let Some(app) = self.rec.as_mut().and_then(|r| r.app.as_mut()) {
+                    app.apply(v.proposer.0 as u64, v.seq, v.bytes);
+                }
                 if v.proposer == self.me {
                     ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
                     if let Some(p) = self.prop.as_mut() {
                         p.inflight = p.inflight.saturating_sub(1);
+                        p.unacked.remove(&v.seq);
                     }
                 }
             }
         }
+        self.maybe_checkpoint(ctx);
+    }
+
+    /// Starts a checkpoint when one is due (recovery-enabled learners).
+    fn maybe_checkpoint(&mut self, ctx: &mut Ctx) {
+        let Some(rec) = self.rec.as_mut() else { return };
+        let Some(ckpt) = rec.ckpt.as_mut() else { return };
+        let Some(l) = self.learner.as_ref() else { return };
+        if !ckpt.due(l.next_deliver) {
+            return;
+        }
+        let (marks, parked) = l.delivered.export();
+        let app = &mut rec.app;
+        ckpt.maybe_checkpoint(
+            l.next_deliver,
+            rec.delivered_count,
+            marks,
+            parked,
+            || match app {
+                Some(a) => a.snapshot(),
+                None => (CKPT_META_BYTES, None),
+            },
+            ctx,
+        );
+    }
+
+    /// Serves a catch-up request from a recovering peer: the decided
+    /// suffix from `next`, preceded by this node's checkpoint when the
+    /// peer has fallen below the cache's trim point (state transfer).
+    fn serve_catchup(&mut self, from: NodeId, next: InstanceId, ctx: &mut Ctx) {
+        let Some(rec) = self.rec.as_ref() else { return };
+        let mut wire = self.cfg.ctl_bytes as u64;
+        let mut eff = next;
+        let snap = if next < rec.cache.base() {
+            let cp = rec.store.borrow().checkpoint.clone();
+            if let Some(cp) = cp.as_ref() {
+                eff = cp.watermark;
+                wire += cp.state_bytes;
+            }
+            cp
+        } else {
+            None
+        };
+        let batches = rec.cache.serve(eff, CATCHUP_CHUNK);
+        for (_, b) in &batches {
+            wire += batch_bytes(b);
+        }
+        let upto = rec.cache.horizon();
+        ctx.tcp_send(
+            from,
+            UMsg::CatchupRep { snap, batches, upto },
+            wire.min(u32::MAX as u64) as u32,
+        );
+    }
+
+    fn on_catchup_rep(
+        &mut self,
+        snap: Option<Checkpoint>,
+        batches: Vec<(InstanceId, Batch)>,
+        upto: InstanceId,
+        ctx: &mut Ctx,
+    ) {
+        {
+            let Some(rec) = self.rec.as_mut() else { return };
+            if !rec.catching_up {
+                return; // a retry's duplicate reply after completion
+            }
+            if let Some(cp) = snap {
+                let l = self.learner.as_mut().expect("catch-up requester is a learner");
+                if cp.watermark > l.next_deliver {
+                    // State transfer: adopt the peer's checkpoint.
+                    l.next_deliver = cp.watermark;
+                    l.ready = l.ready.split_off(&cp.watermark);
+                    l.delivered = DeliveredTracker::restore(cp.marks.clone(), cp.parked.clone());
+                    rec.delivered_count = cp.log_pos;
+                    rec.cache.trim_below(cp.watermark);
+                    if let Some(app) = rec.app.as_mut() {
+                        app.restore(cp.state.as_ref());
+                    }
+                    if let Some(log) = self.log.as_ref() {
+                        log.borrow_mut().mark_state_transfer(l.index, cp.log_pos as usize);
+                    }
+                    ctx.counter_add("rec.state_transfers", 1);
+                    ctx.counter_add("rec.transfer_bytes", cp.state_bytes);
+                }
+            }
+        }
+        let got = batches.len() as u64;
+        ctx.counter_add("rec.catchup_instances", got);
+        for (i, b) in batches {
+            // `id_hops_left: 1` delivers locally without forwarding:
+            // catch-up traffic must not re-enter the ring circulation.
+            self.on_decision(i, b, 1, ctx);
+        }
+        let next = self.learner.as_ref().map(|l| l.next_deliver).unwrap_or(upto);
+        let rec = self.rec.as_mut().expect("checked above");
+        if next >= upto {
+            // Caught up to the responder's horizon; the live ring flow
+            // (buffered in `ready` during catch-up) takes over.
+            rec.catching_up = false;
+            let took = ctx.now().saturating_since(rec.catchup_started);
+            ctx.record_latency("rec.ttr", took);
+        } else if got > 0 {
+            let peer = rec.peer;
+            ctx.tcp_send(peer, UMsg::CatchupReq { from: self.me, next }, self.cfg.ctl_bytes);
+        }
+        // `got == 0` below the horizon: the responder could not serve
+        // (e.g. it is itself recovering); the T_CATCHUP retry re-asks.
+    }
+
+    /// Periodic re-send scan (recovery-enabled rings): the coordinator
+    /// re-proposes outstanding instances whose circulation stalled, and
+    /// proposers re-send undelivered values. Both paths are idempotent.
+    fn repropose_check(&mut self, ctx: &mut Ctx) {
+        if self.rec.is_none() {
+            return;
+        }
+        let now = ctx.now();
+        // Coordinator: re-send the 2A/2B chain for stalled instances.
+        let mut resend: Vec<(InstanceId, Batch)> = Vec::new();
+        if let Some(c) = self.coord.as_mut() {
+            for (&i, (batch, sent)) in c.outstanding_batches.iter_mut() {
+                if now.saturating_since(*sent) >= REPROP_AGE {
+                    *sent = now;
+                    resend.push((i, batch.clone()));
+                }
+            }
+        }
+        let round = self.round;
+        for (instance, batch) in resend {
+            ctx.counter_add("rec.reproposals", 1);
+            let wire = self.hop_bytes(&batch, self.next_pos(), false);
+            ctx.tcp_send(self.successor(), UMsg::Phase2ab { instance, round, batch }, wire);
+        }
+        // Proposer: re-send values nobody delivered.
+        let succ = self.successor();
+        let am_coord = self.coord.is_some();
+        let mut requeue: Vec<Value> = Vec::new();
+        if let Some(p) = self.prop.as_mut() {
+            for (v, sent) in p.unacked.values_mut() {
+                if now.saturating_since(*sent) >= REPROP_AGE {
+                    *sent = now;
+                    requeue.push(*v);
+                }
+            }
+        }
+        for v in requeue {
+            ctx.counter_add("rec.value_resends", 1);
+            if am_coord {
+                self.enqueue(v, ctx);
+            } else {
+                ctx.tcp_send(succ, UMsg::Forward(v), v.bytes);
+            }
+        }
+        ctx.set_timer(REPROP_INTERVAL, TimerToken(T_REPROP));
     }
 }
 
@@ -397,6 +766,22 @@ impl Actor for URingProcess {
         }
         if self.prop.is_some() {
             ctx.set_timer(Dur::ZERO, TimerToken(T_PACE));
+        }
+        if let Some(rec) = self.rec.as_mut() {
+            ctx.set_timer(REPROP_INTERVAL, TimerToken(T_REPROP));
+            if self.learner.is_some() {
+                // Persistent tick: drives catch-up retries while
+                // recovering and re-enters catch-up if a delivery gap
+                // gets stuck later.
+                ctx.set_timer(CATCHUP_RETRY, TimerToken(T_CATCHUP));
+            }
+            if rec.catching_up {
+                rec.catchup_started = ctx.now();
+                let next = self.learner.as_ref().map(|l| l.next_deliver).unwrap_or(InstanceId(0));
+                let peer = rec.peer;
+                ctx.counter_add("rec.restarts", 1);
+                ctx.tcp_send(peer, UMsg::CatchupReq { from: self.me, next }, self.cfg.ctl_bytes);
+            }
         }
     }
 
@@ -421,6 +806,14 @@ impl Actor for URingProcess {
                 let batch = batch.clone();
                 self.on_decision(instance, batch, ih, ctx);
             }
+            UMsg::CatchupReq { from, next } => {
+                let (from, next) = (*from, *next);
+                self.serve_catchup(from, next, ctx);
+            }
+            UMsg::CatchupRep { snap, batches, upto } => {
+                let (snap, batches, upto) = (snap.clone(), batches.clone(), *upto);
+                self.on_catchup_rep(snap, batches, upto, ctx);
+            }
         }
     }
 
@@ -433,6 +826,68 @@ impl Actor for URingProcess {
                 }
             }
             T_PACE => self.pace(ctx),
+            T_WAL => {
+                let payload = token.0 & !KIND_MASK;
+                let durable = match self.rec.as_mut() {
+                    Some(rec) => rec.wal.on_token(payload, ctx),
+                    None => Vec::new(),
+                };
+                for (instance, round, batch) in durable {
+                    self.vote_and_forward(instance, round, batch, ctx);
+                }
+            }
+            T_CKPT => {
+                let payload = token.0 & !KIND_MASK;
+                if let Some(rec) = self.rec.as_mut() {
+                    if let Some(w) = rec.ckpt.as_mut().and_then(|c| c.on_token(payload)) {
+                        // The retention slack keeps a suffix below the
+                        // watermark so peers with short outages avoid a
+                        // full state transfer.
+                        let keep = InstanceId(w.0.saturating_sub(rec.retention));
+                        rec.cache.trim_below(keep);
+                        if let Some(a) = self.acceptor.as_mut() {
+                            a.gc_below(w);
+                        }
+                        ctx.counter_add("rec.checkpoints", 1);
+                    }
+                }
+            }
+            T_CATCHUP => {
+                let Some(l) = self.learner.as_ref() else { return };
+                let next = l.next_deliver;
+                // Decisions buffered above an undelivered gap mean the
+                // live flow skipped instances this learner is missing.
+                let stuck = l.ready.keys().next().is_some_and(|&m| m > next);
+                let Some(rec) = self.rec.as_mut() else { return };
+                let peer = rec.peer;
+                if rec.catching_up {
+                    ctx.tcp_send(
+                        peer,
+                        UMsg::CatchupReq { from: self.me, next },
+                        self.cfg.ctl_bytes,
+                    );
+                } else if stuck {
+                    // Re-enter catch-up if the gap outlived a full tick
+                    // (re-proposal normally closes small gaps faster).
+                    if rec.last_gap == Some(next) {
+                        rec.catching_up = true;
+                        rec.catchup_started = ctx.now();
+                        rec.last_gap = None;
+                        ctx.counter_add("rec.gap_catchups", 1);
+                        ctx.tcp_send(
+                            peer,
+                            UMsg::CatchupReq { from: self.me, next },
+                            self.cfg.ctl_bytes,
+                        );
+                    } else {
+                        rec.last_gap = Some(next);
+                    }
+                } else {
+                    rec.last_gap = None;
+                }
+                ctx.set_timer(CATCHUP_RETRY, TimerToken(T_CATCHUP));
+            }
+            T_REPROP => self.repropose_check(ctx),
             T_DISK => {
                 let payload = token.0 & !KIND_MASK;
                 if payload == u64::MAX >> 8 {

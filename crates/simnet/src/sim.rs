@@ -26,6 +26,30 @@
 //! TCP channels are reliable, ordered, and flow-controlled by a window;
 //! they never drop but instead queue at the sender.
 //!
+//! # Crash and recovery model
+//!
+//! Three failure-injection primitives with distinct semantics:
+//!
+//! * [`Sim::set_node_up`]`(n, false)` — crash: the node drops all
+//!   traffic and runs no timers; its actor state is frozen in place.
+//!   Crashing also resets every TCP channel touching the node: queued
+//!   and in-flight segments are written off at their sender
+//!   (`net.tcp_reset_bytes`) and the channel epoch is bumped so acks
+//!   that were in flight across the crash are discarded as stale
+//!   (`net.tcp_stale_ack`) — without this, a filled window would wedge
+//!   the channel forever. While a node is down, new TCP sends to it are
+//!   dropped at the sender (connection-reset semantics), not queued.
+//! * [`Sim::restart_node`] — pause/resume (SIGSTOP/SIGCONT): the node
+//!   comes back with its actor state intact and `on_start` re-runs so
+//!   it can re-arm timers. Timers armed before the pause still fire, so
+//!   **actors must tolerate duplicate timer chains** after a restart.
+//! * [`Sim::replace_actor`] — process restart: a fresh actor is
+//!   installed and all in-memory state of the old one is gone. State
+//!   that must survive lives outside the actor — see the `recovery`
+//!   crate's stable stores, which model the node's disk contents and
+//!   are shared between successive incarnations, with write *timing*
+//!   still paid through [`Ctx::disk_write`] / `DiskDone` completions.
+//!
 //! # Hot-path design
 //!
 //! Every simulated packet passes through the engine twice (host arrival,
@@ -98,8 +122,10 @@ enum EventKind {
     Timer { node: NodeId, token: TimerToken },
     /// TCP acknowledgement returned to the sender; frees window space.
     /// `seq` is the channel's delivery sequence number, so duplicate or
-    /// late acks are detected instead of silently skewing `in_flight`.
-    TcpAck { src: NodeId, dst: NodeId, bytes: u32, seq: u64 },
+    /// late acks are detected instead of silently skewing `in_flight`;
+    /// `epoch` is the channel incarnation that sent the segment, so acks
+    /// from before a crash-reset cannot corrupt the reset channel.
+    TcpAck { src: NodeId, dst: NodeId, bytes: u32, seq: u64, epoch: u32 },
     /// A disk write issued by `node` completed.
     DiskDone { node: NodeId, token: TimerToken },
 }
@@ -419,6 +445,11 @@ struct TcpChannel {
     /// delivery order, so anything else is a duplicate/late ack and is
     /// dropped instead of being subtracted from `in_flight` again.
     acked_segs: u64,
+    /// Channel incarnation, bumped when either endpoint crashes. Acks in
+    /// flight across a crash carry the old epoch and are discarded — the
+    /// bytes they acknowledge were already written off by the reset, so
+    /// subtracting them again would drive `in_flight` negative.
+    epoch: u32,
 }
 
 impl TcpChannel {
@@ -429,6 +460,7 @@ impl TcpChannel {
             queued_bytes: 0,
             delivered_segs: 0,
             acked_segs: 0,
+            epoch: 0,
         }
     }
 }
@@ -602,11 +634,29 @@ impl SimInner {
     }
 
     fn tcp_pump(&mut self, src: NodeId, dst: NodeId) {
+        // A crashed sender transmits nothing: popping the queue here would
+        // charge `in_flight` for segments `datagram` silently discards,
+        // wedging the window forever (the segment is never delivered, so
+        // no ack ever returns). The queue is cleared by the crash reset.
+        if !self.nodes[src.0].up {
+            return;
+        }
         let Some(slot) = self.tcp_slot(src, dst) else { return };
         let window = self.config.tcp_window_bytes;
         loop {
+            let peer_down = !self.nodes[dst.0].up;
             let ch = &mut self.tcp_chans[slot];
             let Some(&(_, bytes)) = ch.queue.front() else { return };
+            if peer_down {
+                // Segments to a down peer are written off at the sender
+                // (connection-reset semantics) instead of charged to
+                // `in_flight` — they would be dropped at the downlink
+                // and their acks would never return.
+                let (_, bytes) = ch.queue.pop_front().expect("checked front");
+                ch.queued_bytes -= bytes as u64;
+                self.metrics.add_id(src, mid::NET_TCP_RESET_BYTES, bytes as u64);
+                continue;
+            }
             if ch.in_flight.saturating_add(bytes) > window && ch.in_flight > 0 {
                 return;
             }
@@ -624,6 +674,37 @@ impl SimInner {
         ch.queue.push_back((payload, bytes));
         ch.queued_bytes += bytes as u64;
         self.tcp_pump(src, dst);
+    }
+
+    /// Resets every TCP channel touching `node` (crash semantics): queued
+    /// and in-flight segments are written off under `net.tcp_reset_bytes`
+    /// on the sending node, the window reopens, and the channel epoch is
+    /// bumped so acks from before the crash are discarded as stale.
+    /// Without this, segments dropped at a down node's downlink never ack
+    /// and the channel's window stays full forever.
+    fn reset_tcp_of(&mut self, node: NodeId) {
+        let n = self.tcp_nodes;
+        for src in 0..n {
+            for dst in 0..n {
+                if src != node.0 && dst != node.0 {
+                    continue;
+                }
+                let cell = self.tcp_index[src * n + dst];
+                if cell == 0 {
+                    continue;
+                }
+                let ch = &mut self.tcp_chans[cell as usize - 1];
+                let lost = ch.in_flight as u64 + ch.queued_bytes;
+                ch.queue.clear();
+                ch.queued_bytes = 0;
+                ch.in_flight = 0;
+                ch.acked_segs = ch.delivered_segs;
+                ch.epoch = ch.epoch.wrapping_add(1);
+                if lost > 0 {
+                    self.metrics.add_id(NodeId(src), mid::NET_TCP_RESET_BYTES, lost);
+                }
+            }
+        }
     }
 
     /// Bytes queued (not yet transmitted) on the TCP channel `src -> dst`.
@@ -927,8 +1008,15 @@ impl Sim {
     /// Marks a node as crashed (`false`) or recovered (`true`). A crashed
     /// node drops all traffic and does not run timers. Its actor state is
     /// preserved; use [`Sim::replace_actor`] to model a fresh restart.
+    /// Crashing also resets every TCP channel touching the node (lost
+    /// segments are counted under `net.tcp_reset_bytes` at their sender),
+    /// mirroring the connection teardown a real peer would observe.
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
+        let was_up = self.inner.nodes[node.0].up;
         self.inner.nodes[node.0].up = up;
+        if was_up && !up {
+            self.inner.reset_tcp_of(node);
+        }
         if up {
             // A node that was down may have stale resource clocks.
             let now = self.inner.now;
@@ -1100,16 +1188,16 @@ impl Sim {
                 self.inner.metrics.add_id(dst, mid::NET_RECV_PKTS, 1);
                 if env.transport == Transport::Tcp {
                     let ack_at = self.inner.now + self.inner.config.one_way_latency;
-                    let seq = self
+                    let (seq, epoch) = self
                         .inner
                         .tcp_slot(env.src, env.dst)
                         .map(|slot| {
                             let ch = &mut self.inner.tcp_chans[slot];
                             let seq = ch.delivered_segs;
                             ch.delivered_segs += 1;
-                            seq
+                            (seq, ch.epoch)
                         })
-                        .unwrap_or(0);
+                        .unwrap_or((0, 0));
                     self.inner.push(
                         ack_at,
                         EventKind::TcpAck {
@@ -1117,6 +1205,7 @@ impl Sim {
                             dst: env.dst,
                             bytes: env.wire_bytes,
                             seq,
+                            epoch,
                         },
                     );
                 }
@@ -1136,9 +1225,15 @@ impl Sim {
                     self.actors[node.0] = Some(actor);
                 }
             }
-            EventKind::TcpAck { src, dst, bytes, seq } => {
+            EventKind::TcpAck { src, dst, bytes, seq, epoch } => {
                 if let Some(slot) = self.inner.tcp_slot(src, dst) {
                     let ch = &mut self.inner.tcp_chans[slot];
+                    if epoch != ch.epoch {
+                        // Ack from before a crash-reset: the bytes it
+                        // acknowledges were already written off.
+                        self.inner.metrics.add_id(src, mid::NET_TCP_STALE_ACK, 1);
+                        return;
+                    }
                     if seq != ch.acked_segs {
                         // Duplicate or late ack: ignoring it keeps
                         // `in_flight` exact (subtracting again would
@@ -1147,12 +1242,15 @@ impl Sim {
                         return;
                     }
                     ch.acked_segs += 1;
-                    debug_assert!(
-                        ch.in_flight >= bytes,
-                        "TCP ack for {bytes} bytes exceeds in_flight {}",
-                        ch.in_flight
-                    );
-                    ch.in_flight -= bytes;
+                    if ch.in_flight >= bytes {
+                        ch.in_flight -= bytes;
+                    } else {
+                        // The segment crossed a crash-reset (it was in the
+                        // receive pipeline when the node bounced): its
+                        // bytes were already written off by the reset.
+                        ch.in_flight = 0;
+                        self.inner.metrics.add_id(src, mid::NET_TCP_STALE_ACK, 1);
+                    }
                 }
                 self.inner.tcp_pump(src, dst);
             }
@@ -1369,6 +1467,75 @@ mod tests {
         let slow = run(32 * 1024);
         let fast = run(8 * 1024 * 1024);
         assert!(fast > 2.0 * slow, "fast {fast} vs slow {slow}");
+    }
+
+    /// Regression (pre-fix: permanent stall): `tcp_pump` charged
+    /// `in_flight` for segments the downlink then dropped at a crashed
+    /// destination. No ack ever returned, so once the window filled the
+    /// channel was wedged forever — traffic sent after the destination
+    /// recovered was never delivered.
+    #[test]
+    fn tcp_channel_reset_on_crash_unsticks_window() {
+        let mut cfg = SimConfig::default();
+        cfg.tcp_window_bytes = 64 * 1024; // fills fast once acks stop
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(cfg);
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        sim.with_ctx(a, |ctx| {
+            for i in 0..20 {
+                ctx.tcp_send(b, Note("pre", i), 32 * 1024);
+            }
+        });
+        // Crash b mid-stream: several segments are in flight, more queued.
+        sim.run_until(Time::from_millis(2));
+        sim.set_node_up(b, false);
+        sim.run_until(Time::from_millis(10));
+        sim.set_node_up(b, true);
+        let before_restart = log.borrow().len();
+        sim.with_ctx(a, |ctx| {
+            for i in 0..5 {
+                ctx.tcp_send(b, Note("post", i), 32 * 1024);
+            }
+        });
+        sim.run_to_idle();
+        let post: Vec<u32> =
+            log.borrow()[before_restart..].iter().filter(|e| e.1 == "post").map(|e| e.2).collect();
+        assert_eq!(post, (0..5).collect::<Vec<_>>(), "post-recovery traffic must flow");
+        assert!(
+            sim.metrics().counter(a, "net.tcp_reset_bytes") > 0,
+            "lost segments are accounted at the sender"
+        );
+    }
+
+    /// Acks that were in flight when the destination crashed carry the
+    /// old channel epoch and must be discarded, not subtracted from the
+    /// reset channel's window accounting.
+    #[test]
+    fn tcp_stale_acks_across_crash_are_dropped() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        sim.with_ctx(a, |ctx| {
+            for i in 0..8 {
+                ctx.tcp_send(b, Note("s", i), 8 * 1024);
+            }
+        });
+        // Step until the first delivery lands; its ack trails one-way
+        // latency behind, so crashing now leaves it in flight.
+        let mut t = Dur::micros(10);
+        while log.borrow().is_empty() {
+            sim.run_until(Time::ZERO + t);
+            t += Dur::micros(10);
+            assert!(t < Dur::millis(10), "first delivery never happened");
+        }
+        sim.set_node_up(b, false);
+        sim.run_to_idle();
+        assert!(
+            sim.metrics().counter(a, "net.tcp_stale_ack") > 0,
+            "in-flight acks from before the reset are counted as stale"
+        );
     }
 
     #[test]

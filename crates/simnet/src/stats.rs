@@ -67,6 +67,8 @@ const BUILTIN_NAMES: &[&str] = &[
     "abcast.buffered",
     "rp.proposed",
     "net.tcp_dup_ack",
+    "net.tcp_reset_bytes",
+    "net.tcp_stale_ack",
 ];
 
 /// Pre-interned [`MetricId`]s for the counters bumped on the per-event
@@ -91,6 +93,8 @@ pub mod mid {
     pub const BUFFERED: MetricId = MetricId(14);
     pub const PROPOSED: MetricId = MetricId(15);
     pub const NET_TCP_DUP_ACK: MetricId = MetricId(16);
+    pub const NET_TCP_RESET_BYTES: MetricId = MetricId(17);
+    pub const NET_TCP_STALE_ACK: MetricId = MetricId(18);
 }
 
 /// The canonical name string of a pre-interned metric (usable in `const`

@@ -63,22 +63,22 @@ impl Dur {
     pub const ZERO: Dur = Dur(0);
 
     /// A span of `n` nanoseconds.
-    pub fn nanos(n: u64) -> Dur {
+    pub const fn nanos(n: u64) -> Dur {
         Dur(n)
     }
 
     /// A span of `n` microseconds.
-    pub fn micros(n: u64) -> Dur {
+    pub const fn micros(n: u64) -> Dur {
         Dur(n * 1_000)
     }
 
     /// A span of `n` milliseconds.
-    pub fn millis(n: u64) -> Dur {
+    pub const fn millis(n: u64) -> Dur {
         Dur(n * 1_000_000)
     }
 
     /// A span of `n` seconds.
-    pub fn secs(n: u64) -> Dur {
+    pub const fn secs(n: u64) -> Dur {
         Dur(n * 1_000_000_000)
     }
 
