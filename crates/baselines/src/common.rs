@@ -43,7 +43,9 @@ pub fn deliver_value(
     ctx.counter_add(metric::DELIVERED_BYTES, v.bytes as u64);
     ctx.counter_add(metric::DELIVERED_MSGS, 1);
     if v.origin == me {
-        ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
+        // Delivery strictly follows submission; `since` debug-asserts
+        // that instead of masking an inversion as a zero latency.
+        ctx.record_latency(metric::LATENCY, ctx.now().since(v.submitted));
     }
 }
 

@@ -3,12 +3,17 @@
 //! per-event cost is tracked from PR to PR.
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_smoke            # print + write BENCH_simcore.json
+//! cargo run --release -p bench --bin perf_smoke              # print + write BENCH_simcore.json
+//! cargo run --release -p bench --bin perf_smoke -- --runs 5  # best of 5 instead of 3
 //! cargo run --release -p bench --bin perf_smoke -- --no-write
 //! ```
 //!
 //! Virtual-time results (events, delivered counts) are deterministic for
-//! the fixed seed; only the wall-clock rates vary with the host.
+//! the fixed seed; only the wall-clock rates vary with the host. The
+//! JSON written to `BENCH_simcore.json` is the complete machine-readable
+//! record of a measurement — best-of-N selection happens here, every
+//! wall-clock sample is included, and nothing needs hand-editing when
+//! the ROADMAP perf table is updated from it.
 
 use std::time::Instant;
 
@@ -20,21 +25,34 @@ struct RunResult {
     name: &'static str,
     events: u64,
     wall_s: f64,
+    /// Every wall-clock sample measured, in run order (`wall_s` is the
+    /// minimum); recorded so the noise band is visible in the artifact.
+    wall_samples: Vec<f64>,
     delivered: u64,
     virtual_ms: u64,
+    /// Batched delivery dispatch: actor callbacks made for deliveries
+    /// and the messages they carried (identical across repetitions).
+    dispatches: u64,
+    dispatched_msgs: u64,
 }
 
 impl RunResult {
     fn json(&self) -> String {
+        let samples =
+            self.wall_samples.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>().join(",");
         format!(
-            "\"{}\":{{\"events\":{},\"wall_s\":{:.4},\"events_per_sec\":{:.0},\"delivered_msgs\":{},\"delivered_per_wall_sec\":{:.0},\"virtual_ms\":{}}}",
+            "\"{}\":{{\"events\":{},\"wall_s\":{:.4},\"wall_s_samples\":[{}],\"events_per_sec\":{:.0},\"delivered_msgs\":{},\"delivered_per_wall_sec\":{:.0},\"virtual_ms\":{},\"delivery_dispatches\":{},\"delivery_msgs\":{},\"mean_batch\":{:.3}}}",
             self.name,
             self.events,
             self.wall_s,
+            samples,
             self.events as f64 / self.wall_s,
             self.delivered,
             self.delivered as f64 / self.wall_s,
             self.virtual_ms,
+            self.dispatches,
+            self.dispatched_msgs,
+            self.dispatched_msgs as f64 / self.dispatches.max(1) as f64,
         )
     }
 }
@@ -54,12 +72,16 @@ fn run_uring() -> RunResult {
     let t = Instant::now();
     sim.run_until(Time::from_millis(virtual_ms));
     let wall_s = t.elapsed().as_secs_f64();
+    let (dispatches, dispatched_msgs) = sim.delivery_dispatch_stats();
     RunResult {
         name: "uring",
         events: sim.events_processed(),
         wall_s,
+        wall_samples: vec![wall_s],
         delivered: sim.metrics().sum(metric::DELIVERED_MSGS),
         virtual_ms,
+        dispatches,
+        dispatched_msgs,
     }
 }
 
@@ -80,38 +102,54 @@ fn run_mring() -> RunResult {
     let t = Instant::now();
     sim.run_until(Time::from_millis(virtual_ms));
     let wall_s = t.elapsed().as_secs_f64();
+    let (dispatches, dispatched_msgs) = sim.delivery_dispatch_stats();
     RunResult {
         name: "mring",
         events: sim.events_processed(),
         wall_s,
+        wall_samples: vec![wall_s],
         delivered: sim.metrics().sum(metric::DELIVERED_MSGS),
         virtual_ms,
+        dispatches,
+        dispatched_msgs,
     }
 }
 
-/// Best (fastest-wall) of three runs: virtual-time results are identical
-/// across repetitions, so this only de-noises the wall clock.
-fn best_of_3(f: fn() -> RunResult) -> RunResult {
+/// Best (fastest-wall) of `runs`: virtual-time results are identical
+/// across repetitions, so this only de-noises the wall clock. Every
+/// sample is kept in the result for the JSON artifact.
+fn best_of(runs: usize, f: fn() -> RunResult) -> RunResult {
     let mut best = f();
-    for _ in 0..2 {
+    let mut samples = best.wall_samples.clone();
+    for _ in 1..runs {
         let r = f();
+        samples.push(r.wall_s);
         if r.wall_s < best.wall_s {
             best = r;
         }
     }
+    best.wall_samples = samples;
     best
 }
 
 fn main() {
-    let no_write = std::env::args().any(|a| a == "--no-write");
+    let args: Vec<String> = std::env::args().collect();
+    let no_write = args.iter().any(|a| a == "--no-write");
+    let runs = args
+        .iter()
+        .position(|a| a == "--runs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse::<usize>().ok())
+        .unwrap_or(3)
+        .max(1);
     // Warm up caches/allocator so the measured passes are steady-state.
     let _ = run_uring();
-    let uring = best_of_3(run_uring);
-    let mring = best_of_3(run_mring);
+    let uring = best_of(runs, run_uring);
+    let mring = best_of(runs, run_mring);
     let total_events = uring.events + mring.events;
     let total_wall = uring.wall_s + mring.wall_s;
     let line = format!(
-        "{{\"bench\":\"simcore\",{},{},\"total_events_per_sec\":{:.0}}}",
+        "{{\"bench\":\"simcore\",\"best_of\":{runs},{},{},\"total_events_per_sec\":{:.0}}}",
         uring.json(),
         mring.json(),
         total_events as f64 / total_wall,

@@ -147,7 +147,9 @@ impl Actor for SmrClient {
         self.registry.remove(id);
         if let Some((oid, started)) = self.outstanding.take() {
             if oid == id {
-                ctx.record_latency(SMR_LATENCY, ctx.now().saturating_since(started));
+                // The reply strictly follows the request; `since`
+                // debug-asserts that instead of masking an inversion.
+                ctx.record_latency(SMR_LATENCY, ctx.now().since(started));
                 ctx.counter_add(SMR_COMPLETED, 1);
             }
         }

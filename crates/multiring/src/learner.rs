@@ -204,6 +204,45 @@ impl MultiRingLearner {
         }
     }
 
+    /// Files one message into its ring's follower without draining the
+    /// merge. Returns whether follower state changed in a way that can
+    /// make merge progress (the caller then runs [`Self::pump`] — once
+    /// per message on the unary path, once per burst on the batch path).
+    fn ingest(&mut self, env: &Envelope) -> bool {
+        let Some(msg) = env.payload.downcast_ref::<MMsg>() else { return false };
+        let Some(ring) = self.ring_of(env) else { return false };
+        match msg {
+            MMsg::Phase2a { instance, round, batch, decisions, skip, .. } => {
+                let weight = (*skip).max(1);
+                self.followers[ring].store(*instance, batch, weight, *round);
+                self.followers[ring].decide(decisions, *round);
+                true
+            }
+            MMsg::Decision { instances, round, .. } => {
+                self.followers[ring].decide(instances, *round);
+                true
+            }
+            MMsg::RetransRep { instance, batch, decided, round, skip, .. } => {
+                let weight = (*skip).max(1);
+                if *decided {
+                    self.followers[ring].authoritative(*instance, batch, weight, *round);
+                } else {
+                    self.followers[ring].store(*instance, batch, weight, *round);
+                }
+                true
+            }
+            MMsg::NewRing { ring: new_ring, .. } => {
+                // Track ring membership changes for retransmission targets.
+                for &a in new_ring {
+                    self.node_to_ring.insert(a, ring);
+                }
+                self.followers[ring].cfg.ring = new_ring.clone();
+                false
+            }
+            _ => false,
+        }
+    }
+
     fn pump(&mut self, ctx: &mut Ctx) {
         // Feed every ring's consecutive ready entries into the merge.
         for ring in 0..self.followers.len() {
@@ -222,7 +261,9 @@ impl MultiRingLearner {
                 }
                 ctx.counter_add(abcast::metric::DELIVERED_BYTES, v.bytes as u64);
                 ctx.counter_add(abcast::metric::DELIVERED_MSGS, 1);
-                ctx.record_latency(MRP_LATENCY, ctx.now().saturating_since(v.submitted));
+                // Merge delivery strictly follows submission; `since`
+                // debug-asserts that instead of masking inversions.
+                ctx.record_latency(MRP_LATENCY, ctx.now().since(v.submitted));
             }
         }
         if self.merge.buffered() > self.flow_threshold {
@@ -252,36 +293,26 @@ impl Actor for MultiRingLearner {
     }
 
     fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
-        let Some(msg) = env.payload.downcast_ref::<MMsg>() else { return };
-        let Some(ring) = self.ring_of(env) else { return };
-        match msg {
-            MMsg::Phase2a { instance, round, batch, decisions, skip, .. } => {
-                let weight = (*skip).max(1);
-                self.followers[ring].store(*instance, batch, weight, *round);
-                self.followers[ring].decide(decisions, *round);
-                self.pump(ctx);
-            }
-            MMsg::Decision { instances, round, .. } => {
-                self.followers[ring].decide(instances, *round);
-                self.pump(ctx);
-            }
-            MMsg::RetransRep { instance, batch, decided, round, skip, .. } => {
-                let weight = (*skip).max(1);
-                if *decided {
-                    self.followers[ring].authoritative(*instance, batch, weight, *round);
-                } else {
-                    self.followers[ring].store(*instance, batch, weight, *round);
-                }
-                self.pump(ctx);
-            }
-            MMsg::NewRing { ring: new_ring, .. } => {
-                // Track ring membership changes for retransmission targets.
-                for &a in new_ring {
-                    self.node_to_ring.insert(a, ring);
-                }
-                self.followers[ring].cfg.ring = new_ring.clone();
-            }
-            _ => {}
+        if self.ingest(env) {
+            self.pump(ctx);
+        }
+    }
+
+    /// The multi-ring fan-in is the heaviest same-instant burst in the
+    /// system: every subscribed ring's coordinator multicasts into this
+    /// learner, and batch timeouts align deliveries across rings. The
+    /// batch path ingests the whole run first and pumps the
+    /// deterministic merge once — the merge drains identical entries in
+    /// identical order (it is a pure function of follower state), but
+    /// the per-message re-scan of every follower's ready prefix and the
+    /// per-message flow-control sweep collapse into one pass per burst.
+    fn on_batch(&mut self, envs: &[Envelope], ctx: &mut Ctx) {
+        let mut pump = false;
+        for env in envs {
+            pump |= self.ingest(env);
+        }
+        if pump {
+            self.pump(ctx);
         }
     }
 

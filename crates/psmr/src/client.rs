@@ -196,6 +196,9 @@ impl PsmrClient {
     }
 }
 
+// Default `on_batch`: a closed-loop client has at most one outstanding
+// command, so same-instant delivery runs of responses do not occur and
+// there is nothing to amortize per burst.
 impl Actor for PsmrClient {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.send_next(ctx);
@@ -215,7 +218,9 @@ impl Actor for PsmrClient {
         // recovering this command's delivery via retransmission, and the
         // registry stands in for payload retrieval (§3.3.4). A real
         // deployment prunes with the ring's GC watermark instead.
-        ctx.record_latency(PSMR_LATENCY, ctx.now().saturating_since(started));
+        // The reply strictly follows the request; `since` debug-asserts
+        // that instead of masking an inversion as a zero latency.
+        ctx.record_latency(PSMR_LATENCY, ctx.now().since(started));
         ctx.counter_add(PSMR_COMPLETED, 1);
         self.send_next(ctx);
     }

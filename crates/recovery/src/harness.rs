@@ -85,6 +85,8 @@ mod tests {
     use std::rc::Rc;
 
     struct Counter(Rc<RefCell<u32>>);
+    // Default `on_batch` (loops `on_message`): the harness only counts
+    // starts, so per-burst amortization has nothing to buy here.
     impl Actor for Counter {
         fn on_start(&mut self, _ctx: &mut Ctx) {
             *self.0.borrow_mut() += 1;

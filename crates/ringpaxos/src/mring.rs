@@ -917,7 +917,9 @@ impl MRingProcess {
                 ctx.counter_add_id(metric::id::DELIVERED_BYTES, v.bytes as u64);
                 ctx.counter_add_id(metric::id::DELIVERED_MSGS, 1);
                 if v.proposer == self.me {
-                    ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
+                    // Delivery strictly follows submission; `since`
+                    // debug-asserts that instead of masking inversions.
+                    ctx.record_latency(metric::LATENCY, ctx.now().since(v.submitted));
                     if let Some(p) = self.prop.as_mut() {
                         p.unacked.remove(&v.seq);
                     }
@@ -1034,7 +1036,7 @@ impl MRingProcess {
         let rec = self.rec.as_mut().expect("checked above");
         if next >= upto {
             rec.catching_up = false;
-            let took = ctx.now().saturating_since(rec.catchup_started);
+            let took = ctx.now().since(rec.catchup_started);
             ctx.record_latency("rec.ttr", took);
         } else if got > 0 {
             let index = self.lrn.as_ref().map(|l| l.index).unwrap_or(0);
@@ -1728,6 +1730,11 @@ impl Actor for MRingProcess {
         }
     }
 
+    // Default `on_batch` for same-instant runs (multicast fan-in,
+    // same-tick 2A/2B spans): it already loops `on_message` with static
+    // dispatch, and the 2A/2B handlers interleave acceptor votes with
+    // learner delivery per message, so nothing can be hoisted per burst
+    // without reordering the trace.
     fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
         let Some(msg) = env.payload.downcast_ref::<MMsg>() else { return };
         match msg {

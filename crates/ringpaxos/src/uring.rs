@@ -593,7 +593,10 @@ impl URingProcess {
                     app.apply(v.proposer.0 as u64, v.seq, v.bytes);
                 }
                 if v.proposer == self.me {
-                    ctx.record_latency(metric::LATENCY, ctx.now().saturating_since(v.submitted));
+                    // `since`, not `saturating_since`: delivery strictly
+                    // follows submission, so a clamped-to-zero sample
+                    // here would be masking an engine ordering bug.
+                    ctx.record_latency(metric::LATENCY, ctx.now().since(v.submitted));
                     if let Some(p) = self.prop.as_mut() {
                         p.inflight = p.inflight.saturating_sub(1);
                         p.unacked.remove(&v.seq);
@@ -701,7 +704,7 @@ impl URingProcess {
             // Caught up to the responder's horizon; the live ring flow
             // (buffered in `ready` during catch-up) takes over.
             rec.catching_up = false;
-            let took = ctx.now().saturating_since(rec.catchup_started);
+            let took = ctx.now().since(rec.catchup_started);
             ctx.record_latency("rec.ttr", took);
         } else if got > 0 {
             let peer = rec.peer;
@@ -785,6 +788,11 @@ impl Actor for URingProcess {
         }
     }
 
+    // Default `on_batch` for same-instant runs: it already loops
+    // `on_message` with static dispatch (the engine pays the actor
+    // indirection once per run either way), and nothing here can be
+    // hoisted per burst without reordering ring traffic — delivery,
+    // checkpointing, and catch-up all happen inline, per message.
     fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
         let Some(msg) = env.payload.downcast_ref::<UMsg>() else { return };
         match msg {

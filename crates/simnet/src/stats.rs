@@ -69,6 +69,7 @@ const BUILTIN_NAMES: &[&str] = &[
     "net.tcp_dup_ack",
     "net.tcp_reset_bytes",
     "net.tcp_stale_ack",
+    "net.tcp_orphan_seg",
 ];
 
 /// Pre-interned [`MetricId`]s for the counters bumped on the per-event
@@ -95,6 +96,10 @@ pub mod mid {
     pub const NET_TCP_DUP_ACK: MetricId = MetricId(16);
     pub const NET_TCP_RESET_BYTES: MetricId = MetricId(17);
     pub const NET_TCP_STALE_ACK: MetricId = MetricId(18);
+    /// TCP segments delivered for a channel incarnation that no longer
+    /// exists (in flight across a crash-reset, or no channel at all):
+    /// no ack is generated for them.
+    pub const NET_TCP_ORPHAN_SEG: MetricId = MetricId(19);
 }
 
 /// The canonical name string of a pre-interned metric (usable in `const`

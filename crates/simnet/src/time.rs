@@ -53,7 +53,29 @@ impl Time {
     }
 
     /// Duration elapsed since `earlier`, saturating at zero.
+    ///
+    /// Use this only where `earlier > self` is a *legitimate* state —
+    /// backlog math against a busy-until clock that may sit in the
+    /// future (switch-port buffers, disk queues, timer deadlines that
+    /// already passed). Where "earlier really is earlier" is an engine
+    /// invariant — delivery latency, catch-up duration, any
+    /// latency-recording site — use [`Time::since`], which refuses to
+    /// mask a clock inversion as a zero-length sample.
     pub fn saturating_since(self, earlier: Time) -> Dur {
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Duration elapsed since `earlier`, debug-asserting that `earlier`
+    /// is not in the future. A violation means virtual time ran
+    /// backwards between two causally ordered points — an engine
+    /// ordering bug that `saturating_since` would silently clamp to a
+    /// zero-length latency sample. Release builds saturate.
+    #[track_caller]
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(
+            self >= earlier,
+            "clock inversion: now {self:?} is before `earlier` {earlier:?}"
+        );
         Dur(self.0.saturating_sub(earlier.0))
     }
 }
@@ -219,6 +241,25 @@ mod tests {
         assert_eq!(Time::from_secs(2).max(Time::from_secs(3)), Time::from_secs(3));
         assert_eq!(Time::from_secs(1).saturating_since(Time::from_secs(2)), Dur::ZERO);
         assert_eq!(Dur::micros(1).saturating_sub(Dur::micros(2)), Dur::ZERO);
+    }
+
+    #[test]
+    fn since_measures_ordered_spans() {
+        let t0 = Time::from_millis(3);
+        let t1 = Time::from_millis(5);
+        assert_eq!(t1.since(t0), Dur::millis(2));
+        assert_eq!(t1.since(t1), Dur::ZERO);
+    }
+
+    /// Regression (PR 5): latency-recording sites used to clamp clock
+    /// inversions to zero via `saturating_since`, hiding engine
+    /// ordering bugs inside plausible-looking histograms. `since` must
+    /// refuse the inversion loudly in debug builds.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "clock inversion")]
+    fn since_panics_on_clock_inversion_in_debug() {
+        let _ = Time::from_secs(1).since(Time::from_secs(2));
     }
 
     #[test]

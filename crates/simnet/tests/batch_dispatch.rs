@@ -1,0 +1,154 @@
+//! Public-API tests of the batched delivery dispatch: same-instant
+//! delivery runs reach [`Actor::on_batch`] as one ordered slice, default
+//! actors observe per-message semantics unchanged, and runs never merge
+//! across destinations or timestamps.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simnet::prelude::*;
+
+#[derive(Debug)]
+struct Tag(u32);
+
+/// A configuration where CPU and wire are free: every message sent in
+/// one callback lands on its destination at the same virtual instant,
+/// producing maximal delivery runs.
+fn instant_config() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.link_bandwidth_bps = 0; // infinite: zero serialization delay
+    cfg.send_syscall_cost = Dur::ZERO;
+    cfg.send_ns_per_kib = 0;
+    cfg.recv_frame_cost = Dur::ZERO;
+    cfg.recv_ns_per_kib = 0;
+    cfg
+}
+
+/// Records every `on_batch` slice as `(len, tags-in-order)`, routing
+/// singletons through `on_message` like the engine does.
+struct BatchRecorder {
+    bursts: Rc<RefCell<Vec<Vec<u32>>>>,
+}
+
+impl Actor for BatchRecorder {
+    fn on_message(&mut self, env: &Envelope, _ctx: &mut Ctx) {
+        let t = env.payload.downcast_ref::<Tag>().expect("Tag").0;
+        self.bursts.borrow_mut().push(vec![t]);
+    }
+    fn on_batch(&mut self, envs: &[Envelope], _ctx: &mut Ctx) {
+        let tags = envs.iter().map(|e| e.payload.downcast_ref::<Tag>().expect("Tag").0).collect();
+        self.bursts.borrow_mut().push(tags);
+    }
+}
+
+/// Default actor: only `on_message`, counting calls.
+struct PlainRecorder {
+    seen: Rc<RefCell<Vec<u32>>>,
+}
+
+impl Actor for PlainRecorder {
+    fn on_message(&mut self, env: &Envelope, _ctx: &mut Ctx) {
+        self.seen.borrow_mut().push(env.payload.downcast_ref::<Tag>().expect("Tag").0);
+    }
+}
+
+struct Quiet;
+impl Actor for Quiet {
+    fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
+}
+
+#[test]
+fn same_instant_run_reaches_on_batch_as_one_ordered_slice() {
+    let bursts = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Sim::new(instant_config());
+    let a = sim.add_node(Box::new(Quiet));
+    let b = sim.add_node(Box::new(BatchRecorder { bursts: bursts.clone() }));
+    sim.with_ctx(a, |ctx| {
+        for i in 0..24 {
+            ctx.udp_send(b, Tag(i), 512);
+        }
+    });
+    sim.run_to_idle();
+    let got = bursts.borrow().clone();
+    assert_eq!(got, vec![(0..24).collect::<Vec<_>>()], "one slice, in exact send order");
+    let (dispatches, msgs) = sim.delivery_dispatch_stats();
+    assert_eq!((dispatches, msgs), (1, 24), "engine paid one actor dispatch for the run");
+}
+
+#[test]
+fn default_actors_see_identical_per_message_semantics() {
+    let seen = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Sim::new(instant_config());
+    let a = sim.add_node(Box::new(Quiet));
+    let b = sim.add_node(Box::new(PlainRecorder { seen: seen.clone() }));
+    sim.with_ctx(a, |ctx| {
+        for i in 0..24 {
+            ctx.udp_send(b, Tag(i), 512);
+        }
+    });
+    sim.run_to_idle();
+    assert_eq!(*seen.borrow(), (0..24).collect::<Vec<_>>(), "default on_batch loops on_message");
+}
+
+#[test]
+fn runs_do_not_merge_across_destinations() {
+    let b1 = Rc::new(RefCell::new(Vec::new()));
+    let b2 = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Sim::new(instant_config());
+    let a = sim.add_node(Box::new(Quiet));
+    let r1 = sim.add_node(Box::new(BatchRecorder { bursts: b1.clone() }));
+    let r2 = sim.add_node(Box::new(BatchRecorder { bursts: b2.clone() }));
+    // Alternating destinations: every same-instant run is length 1, so
+    // nothing may coalesce and order must interleave exactly as sent.
+    sim.with_ctx(a, |ctx| {
+        for i in 0..6 {
+            ctx.udp_send(r1, Tag(i), 512);
+            ctx.udp_send(r2, Tag(100 + i), 512);
+        }
+    });
+    sim.run_to_idle();
+    assert_eq!(*b1.borrow(), (0..6).map(|i| vec![i]).collect::<Vec<_>>());
+    assert_eq!(*b2.borrow(), (0..6).map(|i| vec![100 + i]).collect::<Vec<_>>());
+    let (dispatches, msgs) = sim.delivery_dispatch_stats();
+    assert_eq!((dispatches, msgs), (12, 12), "no cross-destination coalescing");
+}
+
+#[test]
+fn runs_do_not_merge_across_timestamps() {
+    let bursts = Rc::new(RefCell::new(Vec::new()));
+    // Real (non-zero) costs: consecutive receive completions happen at
+    // distinct instants, so every delivery is its own run.
+    let mut sim = Sim::new(SimConfig::default());
+    let a = sim.add_node(Box::new(Quiet));
+    let b = sim.add_node(Box::new(BatchRecorder { bursts: bursts.clone() }));
+    sim.with_ctx(a, |ctx| {
+        for i in 0..8 {
+            ctx.udp_send(b, Tag(i), 4096);
+        }
+    });
+    sim.run_to_idle();
+    let got = bursts.borrow().clone();
+    assert_eq!(
+        got,
+        (0..8).map(|i| vec![i]).collect::<Vec<_>>(),
+        "distinct instants stay unbatched"
+    );
+}
+
+#[test]
+fn multicast_fan_in_batches_per_subscriber() {
+    // Two senders multicast into the same group at the same instant;
+    // each subscriber sees one coalesced run per sender timestamp... but
+    // both sends happen at t=0, so the whole fan-in lands as one run.
+    let bursts = Rc::new(RefCell::new(Vec::new()));
+    let mut sim = Sim::new(instant_config());
+    let s1 = sim.add_node(Box::new(Quiet));
+    let s2 = sim.add_node(Box::new(Quiet));
+    let b = sim.add_node(Box::new(BatchRecorder { bursts: bursts.clone() }));
+    let g = sim.add_group();
+    sim.subscribe(b, g);
+    sim.with_ctx(s1, |ctx| ctx.mcast(g, Tag(1), 256));
+    sim.with_ctx(s2, |ctx| ctx.mcast(g, Tag(2), 256));
+    sim.run_to_idle();
+    assert_eq!(*bursts.borrow(), vec![vec![1, 2]], "fan-in coalesced into one slice");
+}
