@@ -3,10 +3,17 @@
 //! per-event cost is tracked from PR to PR.
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf_smoke              # print + write BENCH_simcore.json
-//! cargo run --release -p bench --bin perf_smoke -- --runs 5  # best of 5 instead of 3
+//! cargo run --release -p bench --bin perf_smoke                   # print + write BENCH_simcore.json
+//! cargo run --release -p bench --bin perf_smoke -- --runs 5       # best of 5 instead of 3
+//! cargo run --release -p bench --bin perf_smoke -- --partition 2  # 2-shard round-robin executor
 //! cargo run --release -p bench --bin perf_smoke -- --no-write
 //! ```
+//!
+//! `--partition k` runs the same scenarios under a k-shard round-robin
+//! partition of the executor (`k = 1`, the default, is the identity
+//! partition). Virtual-time results are identical for every `k` — the
+//! shard scaffold is semantics-preserving — so the flag isolates the
+//! wall-clock overhead of the cross-shard handoff path.
 //!
 //! Virtual-time results (events, delivered counts) are deterministic for
 //! the fixed seed; only the wall-clock rates vary with the host. The
@@ -57,11 +64,14 @@ impl RunResult {
     }
 }
 
-fn run_uring() -> RunResult {
+fn run_uring(shards: usize) -> RunResult {
     let virtual_ms = 4_000;
     let mut cfg = SimConfig::default();
     cfg.seed = 0xBEEF;
     let mut sim = Sim::new(cfg);
+    if shards > 1 {
+        sim.set_partition(Partition::modulo(0, shards));
+    }
     let opts = URingOptions {
         ring_len: 5,
         n_acceptors: 3,
@@ -85,12 +95,15 @@ fn run_uring() -> RunResult {
     }
 }
 
-fn run_mring() -> RunResult {
+fn run_mring(shards: usize) -> RunResult {
     let virtual_ms = 1_500;
     let mut cfg = SimConfig::default();
     cfg.seed = 0xF00D;
     cfg.random_loss = 0.001; // exercise the loss/retransmission paths too
     let mut sim = Sim::new(cfg);
+    if shards > 1 {
+        sim.set_partition(Partition::modulo(0, shards));
+    }
     let opts = MRingOptions {
         ring_size: 3,
         n_learners: 2,
@@ -118,7 +131,7 @@ fn run_mring() -> RunResult {
 /// Best (fastest-wall) of `runs`: virtual-time results are identical
 /// across repetitions, so this only de-noises the wall clock. Every
 /// sample is kept in the result for the JSON artifact.
-fn best_of(runs: usize, f: fn() -> RunResult) -> RunResult {
+fn best_of(runs: usize, f: impl Fn() -> RunResult) -> RunResult {
     let mut best = f();
     let mut samples = best.wall_samples.clone();
     for _ in 1..runs {
@@ -142,14 +155,21 @@ fn main() {
         .and_then(|n| n.parse::<usize>().ok())
         .unwrap_or(3)
         .max(1);
+    let partition = args
+        .iter()
+        .position(|a| a == "--partition")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
     // Warm up caches/allocator so the measured passes are steady-state.
-    let _ = run_uring();
-    let uring = best_of(runs, run_uring);
-    let mring = best_of(runs, run_mring);
+    let _ = run_uring(partition);
+    let uring = best_of(runs, || run_uring(partition));
+    let mring = best_of(runs, || run_mring(partition));
     let total_events = uring.events + mring.events;
     let total_wall = uring.wall_s + mring.wall_s;
     let line = format!(
-        "{{\"bench\":\"simcore\",\"best_of\":{runs},{},{},\"total_events_per_sec\":{:.0}}}",
+        "{{\"bench\":\"simcore\",\"best_of\":{runs},\"partition\":{partition},{},{},\"total_events_per_sec\":{:.0}}}",
         uring.json(),
         mring.json(),
         total_events as f64 / total_wall,

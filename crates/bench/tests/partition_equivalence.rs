@@ -1,0 +1,142 @@
+//! Property test for the shard scaffold's semantics-preservation claim:
+//! running any experiment-scale scenario under a k-way partition (k ∈
+//! 1..=4) of the round-robin shard executor yields *exactly* the run the
+//! identity partition yields — same event count, same per-node delivery
+//! counters, same checksum over every counter the engine and protocols
+//! maintain.
+//!
+//! The scenarios are miniatures of the chapter 4 (SMR over the B⁺-tree
+//! service) and chapter 5 (Ring Paxos / Multi-Ring Paxos) experiment
+//! deployments, so the equivalence is exercised through the full
+//! protocol stacks — multicast fan-out, TCP client channels, disk-backed
+//! acceptors, timers, and the coalesced delivery path — not just through
+//! synthetic traffic.
+
+use btree::WorkloadKind;
+use hpsmr_core::deploy::{deploy_smr, SmrOptions};
+use multiring::{deploy_multiring, MultiRingOptions};
+use proptest::prelude::*;
+use ringpaxos::cluster::{deploy_mring, MRingOptions};
+use simnet::prelude::*;
+
+/// Everything observable about a finished run: virtual end time, event
+/// count, and every non-zero counter in deterministic order.
+type Observed = (u64, u64, Vec<(usize, String, u64)>);
+
+fn observe(sim: &Sim) -> Observed {
+    let mut counters = Vec::new();
+    sim.metrics().for_each_counter(|n, name, v| counters.push((n.0, name.to_string(), v)));
+    (sim.now().as_nanos(), sim.events_processed(), counters)
+}
+
+/// A fresh sim with `shards` executor shards (nodes home round-robin as
+/// the deploy adds them; `shards == 1` is the identity partition).
+fn sim_with(seed: u64, shards: usize) -> Sim {
+    let mut cfg = SimConfig::default();
+    cfg.seed = seed;
+    let mut sim = Sim::new(cfg);
+    if shards > 1 {
+        sim.set_partition(Partition::modulo(0, shards));
+    }
+    sim
+}
+
+/// Chapter 4 miniature: SMR over the B⁺-tree service.
+fn run_smr(
+    seed: u64,
+    clients: usize,
+    replicas: usize,
+    workload: WorkloadKind,
+    shards: usize,
+) -> Observed {
+    let mut sim = sim_with(seed, shards);
+    let opts =
+        SmrOptions { n_replicas: replicas, n_clients: clients, workload, ..SmrOptions::default() };
+    let _d = deploy_smr(&mut sim, &opts);
+    sim.run_until(Time::from_millis(120));
+    observe(&sim)
+}
+
+/// Chapter 5 miniature: one Ring Paxos ring with loss injection.
+fn run_mring(seed: u64, ring_size: usize, rate_mbps: u64, shards: usize) -> Observed {
+    let mut sim = sim_with(seed, shards);
+    let opts = MRingOptions {
+        ring_size,
+        n_learners: 2,
+        n_proposers: 2,
+        proposer_rate_bps: rate_mbps * 1_000_000,
+        proposer_stop: Some(Time::from_millis(80)),
+        ..MRingOptions::default()
+    };
+    let _d = deploy_mring(&mut sim, &opts, |_| {});
+    sim.run_until(Time::from_millis(120));
+    observe(&sim)
+}
+
+/// Chapter 5 miniature: Multi-Ring Paxos, two rings, one merge learner.
+fn run_multiring(seed: u64, rate_mbps: u64, shards: usize) -> Observed {
+    let mut sim = sim_with(seed, shards);
+    let opts = MultiRingOptions {
+        n_rings: 2,
+        ring_size: 2,
+        proposers_per_ring: 1,
+        rates_per_ring_bps: vec![rate_mbps * 1_000_000; 2],
+        learners: vec![vec![0, 1]],
+        ..MultiRingOptions::default()
+    };
+    let _d = deploy_multiring(&mut sim, &opts);
+    sim.run_until(Time::from_millis(120));
+    observe(&sim)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Ch. 4 SMR scenarios are partition-invariant for every k in 1..=4.
+    #[test]
+    fn smr_scenarios_are_partition_invariant(
+        seed in 0u64..1000,
+        clients in 2usize..8,
+        replicas in 1usize..4,
+        wk in prop_oneof![
+            Just(WorkloadKind::Queries),
+            Just(WorkloadKind::InsDelSingle),
+            Just(WorkloadKind::InsDelBatch),
+        ],
+    ) {
+        let identity = run_smr(seed, clients, replicas, wk, 1);
+        for k in 2..=4usize {
+            let sharded = run_smr(seed, clients, replicas, wk, k);
+            prop_assert_eq!(&sharded, &identity, "SMR run diverged under k={}", k);
+        }
+    }
+
+    /// Ch. 5 Ring Paxos scenarios are partition-invariant for every k in
+    /// 1..=4.
+    #[test]
+    fn mring_scenarios_are_partition_invariant(
+        seed in 0u64..1000,
+        ring_size in 2usize..5,
+        rate_mbps in 20u64..120,
+    ) {
+        let identity = run_mring(seed, ring_size, rate_mbps, 1);
+        for k in 2..=4usize {
+            let sharded = run_mring(seed, ring_size, rate_mbps, k);
+            prop_assert_eq!(&sharded, &identity, "M-Ring run diverged under k={}", k);
+        }
+    }
+
+    /// Ch. 5 Multi-Ring Paxos scenarios are partition-invariant for
+    /// every k in 1..=4.
+    #[test]
+    fn multiring_scenarios_are_partition_invariant(
+        seed in 0u64..1000,
+        rate_mbps in 20u64..100,
+    ) {
+        let identity = run_multiring(seed, rate_mbps, 1);
+        for k in 2..=4usize {
+            let sharded = run_multiring(seed, rate_mbps, k);
+            prop_assert_eq!(&sharded, &identity, "Multi-Ring run diverged under k={}", k);
+        }
+    }
+}

@@ -10,8 +10,11 @@
 //!
 //! The expected values were captured from the engine before the hot-path
 //! overhaul (interned metrics, dense TCP tables, cached batch routing);
-//! the overhauled engine must reproduce them bit for bit. To re-capture
-//! after an *intentional* semantic change:
+//! the overhauled engine must reproduce them bit for bit. Every scenario
+//! runs twice — under the identity partition and under a 2-shard
+//! partition — against the *same* pinned values: the sharded executor's
+//! cross-shard handoff must be trace-invisible. To re-capture after an
+//! *intentional* semantic change:
 //!
 //! ```text
 //! GOLDEN_PRINT=1 cargo test -p ringpaxos --test golden_trace -- --nocapture
@@ -81,20 +84,27 @@ fn harvest(sim: &Sim, learners: &[NodeId]) -> Golden {
 
 #[test]
 fn mring_golden_trace() {
-    let mut cfg = SimConfig::default();
-    cfg.seed = 0x601D;
-    let mut sim = Sim::new(cfg);
-    let opts = MRingOptions {
-        ring_size: 3,
-        n_learners: 2,
-        n_proposers: 2,
-        proposer_rate_bps: 200_000_000,
-        proposer_stop: Some(Time::from_millis(600)),
-        ..MRingOptions::default()
+    let run = |shards: usize| {
+        let mut cfg = SimConfig::default();
+        cfg.seed = 0x601D;
+        let mut sim = Sim::new(cfg);
+        let opts = MRingOptions {
+            ring_size: 3,
+            n_learners: 2,
+            n_proposers: 2,
+            proposer_rate_bps: 200_000_000,
+            proposer_stop: Some(Time::from_millis(600)),
+            ..MRingOptions::default()
+        };
+        if shards > 1 {
+            // Pre-deploy: nodes home round-robin over `shards` as they
+            // are added.
+            sim.set_partition(Partition::modulo(0, shards));
+        }
+        let d = deploy_mring(&mut sim, &opts, |_| {});
+        sim.run_until(Time::from_millis(800));
+        harvest(&sim, &d.all_learners)
     };
-    let d = deploy_mring(&mut sim, &opts, |_| {});
-    sim.run_until(Time::from_millis(800));
-    let got = harvest(&sim, &d.all_learners);
     let want = Golden {
         events: 102418,
         delivered: vec![3664, 3664, 3664, 3664],
@@ -102,26 +112,32 @@ fn mring_golden_trace() {
         latency_count: 3664,
         latency_mean_ns: 881880,
     };
-    report("mring", &got, &want);
+    report("mring", &run(1), &want);
+    report("mring k=2", &run(2), &want);
 }
 
 #[test]
 fn mring_lossy_golden_trace() {
-    let mut cfg = SimConfig::default();
-    cfg.seed = 0xA5A5;
-    cfg.random_loss = 0.002;
-    let mut sim = Sim::new(cfg);
-    let opts = MRingOptions {
-        ring_size: 4,
-        n_learners: 2,
-        n_proposers: 2,
-        proposer_rate_bps: 150_000_000,
-        proposer_stop: Some(Time::from_millis(600)),
-        ..MRingOptions::default()
+    let run = |shards: usize| {
+        let mut cfg = SimConfig::default();
+        cfg.seed = 0xA5A5;
+        cfg.random_loss = 0.002;
+        let mut sim = Sim::new(cfg);
+        let opts = MRingOptions {
+            ring_size: 4,
+            n_learners: 2,
+            n_proposers: 2,
+            proposer_rate_bps: 150_000_000,
+            proposer_stop: Some(Time::from_millis(600)),
+            ..MRingOptions::default()
+        };
+        if shards > 1 {
+            sim.set_partition(Partition::modulo(0, shards));
+        }
+        let d = deploy_mring(&mut sim, &opts, |_| {});
+        sim.run_until(Time::from_millis(800));
+        harvest(&sim, &d.all_learners)
     };
-    let d = deploy_mring(&mut sim, &opts, |_| {});
-    sim.run_until(Time::from_millis(800));
-    let got = harvest(&sim, &d.all_learners);
     let want = Golden {
         events: 89584,
         delivered: vec![2744, 2744, 2744, 2744],
@@ -129,24 +145,30 @@ fn mring_lossy_golden_trace() {
         latency_count: 2744,
         latency_mean_ns: 89343610,
     };
-    report("mring_lossy", &got, &want);
+    report("mring_lossy", &run(1), &want);
+    report("mring_lossy k=2", &run(2), &want);
 }
 
 #[test]
 fn uring_golden_trace() {
-    let mut cfg = SimConfig::default();
-    cfg.seed = 0x0451;
-    let mut sim = Sim::new(cfg);
-    let opts = URingOptions {
-        ring_len: 5,
-        n_acceptors: 3,
-        proposer_rate_bps: 120_000_000,
-        proposer_stop: Some(Time::from_millis(600)),
-        ..URingOptions::default()
+    let run = |shards: usize| {
+        let mut cfg = SimConfig::default();
+        cfg.seed = 0x0451;
+        let mut sim = Sim::new(cfg);
+        let opts = URingOptions {
+            ring_len: 5,
+            n_acceptors: 3,
+            proposer_rate_bps: 120_000_000,
+            proposer_stop: Some(Time::from_millis(600)),
+            ..URingOptions::default()
+        };
+        if shards > 1 {
+            sim.set_partition(Partition::modulo(0, shards));
+        }
+        let d = deploy_uring(&mut sim, &opts, |_| {});
+        sim.run_until(Time::from_millis(800));
+        harvest(&sim, &d.ring)
     };
-    let d = deploy_uring(&mut sim, &opts, |_| {});
-    sim.run_until(Time::from_millis(800));
-    let got = harvest(&sim, &d.ring);
     let want = Golden {
         events: 38835,
         delivered: vec![1375, 1375, 1375, 1375, 1375],
@@ -154,5 +176,6 @@ fn uring_golden_trace() {
         latency_count: 1375,
         latency_mean_ns: 4462429,
     };
-    report("uring", &got, &want);
+    report("uring", &run(1), &want);
+    report("uring k=2", &run(2), &want);
 }

@@ -147,9 +147,29 @@ impl SimConfig {
     /// Queue occupancy, in bytes, implied by a link that is busy for
     /// `backlog` more time at this configuration's bandwidth. With zero
     /// (infinite) bandwidth nothing ever queues.
+    ///
+    /// Runs on the switch tail-drop path for every contended datagram,
+    /// so the nanoseconds → bytes conversion uses [`div_1e9`] instead of
+    /// a 64-bit hardware division.
     pub fn backlog_bytes(&self, backlog: Dur) -> u64 {
-        backlog.as_nanos().saturating_mul(self.link_bandwidth_bps / 8) / 1_000_000_000
+        div_1e9(backlog.as_nanos().saturating_mul(self.link_bandwidth_bps / 8))
     }
+}
+
+/// Exact `x / 1_000_000_000` for every `u64`, as a multiply-shift —
+/// no runtime division.
+///
+/// Correctness: `1e9 = 2^9 · 5^9`, so `x / 1e9 = y / 5^9` with
+/// `y = x >> 9 < 2^55`. Taking `M = ceil(2^76 / 5^9)`, the classic
+/// round-up-reciprocal condition says `floor(y·M / 2^76) = floor(y / 5^9)`
+/// for all `y < 2^55` provided `M·5^9 - 2^76 ≤ 2^(76-55)`; here
+/// `M·5^9 - 2^76 < 5^9 = 1_953_125 < 2^21`, so the identity is exact over
+/// the full domain (the unit tests sweep the rounding boundaries and the
+/// `u64` edges).
+#[inline]
+fn div_1e9(x: u64) -> u64 {
+    const M: u128 = (1u128 << 76) / 1_953_125 + 1; // ceil(2^76 / 5^9)
+    (((x >> 9) as u128 * M) >> 76) as u64
 }
 
 #[cfg(test)]
@@ -239,6 +259,35 @@ mod tests {
         });
         sim.run_to_idle();
         assert_eq!(*got.borrow(), 10);
+    }
+
+    #[test]
+    fn backlog_magic_divide_matches_hardware_divide() {
+        // The multiply-shift must agree with `/ 1_000_000_000` exactly
+        // across a bandwidth × backlog config sweep, including the
+        // saturating product and the u64 edges.
+        let mut cfg = SimConfig::default();
+        let bandwidths = [0u64, 8, 1_000, 100_000_000, 1_000_000_000, 10_000_000_000, u64::MAX];
+        let backlogs =
+            [0u64, 1, 999_999_999, 1_000_000_000, 123_456_789_012, u64::MAX / 3, u64::MAX];
+        for &bw in &bandwidths {
+            cfg.link_bandwidth_bps = bw;
+            for &b in &backlogs {
+                let product = b.saturating_mul(bw / 8);
+                assert_eq!(
+                    cfg.backlog_bytes(Dur::nanos(b)),
+                    product / 1_000_000_000,
+                    "bw={bw} backlog={b}"
+                );
+            }
+        }
+        // Dense sweeps around the low and high rounding boundaries.
+        for x in (0u64..5_000_000_000).step_by(999_983) {
+            assert_eq!(super::div_1e9(x), x / 1_000_000_000, "x={x}");
+        }
+        for x in (u64::MAX - 10_000_000_000..u64::MAX).step_by(999_983) {
+            assert_eq!(super::div_1e9(x), x / 1_000_000_000, "x={x}");
+        }
     }
 
     #[test]

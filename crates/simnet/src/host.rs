@@ -1,0 +1,155 @@
+//! Host layer: the per-node machine — CPU cores, NIC link clocks, socket
+//! buffer occupancy, and the local disk — plus the completion events a
+//! host schedules for itself (timers, pinned-core work, disk writes).
+//!
+//! # Layer boundary
+//!
+//! This module owns [`Node`] and every operation whose effects stay on
+//! one node: charging CPU, arming timers, issuing disk writes. It knows
+//! nothing about datagrams or TCP (the `net` layer) and nothing about
+//! actors (the `dispatch` layer); it files completions into the owning
+//! shard's event queue through [`crate::sim::SimInner::push_to_node`].
+//!
+//! # Shard-safety invariant
+//!
+//! `Node` structs sit in one flat arena (`SimInner::nodes[id]` — the
+//! hottest load in the engine, kept a single index away), but each is
+//! *owned* by exactly one shard: every event this layer schedules
+//! targets the same node that pays the cost, so host completions never
+//! cross a shard boundary and a threaded executor can hand workers
+//! disjoint subsets of the arena. The one read the `net` layer performs
+//! on a foreign node (`Node::up`, peer liveness) is documented at its
+//! call sites.
+
+use crate::ids::{NodeId, TimerToken};
+use crate::sim::SimInner;
+use crate::stats::mid;
+use crate::time::{Dur, Time};
+
+/// One CPU core: a busy-until clock plus cumulative busy time.
+pub(crate) struct Core {
+    pub(crate) free_at: Time,
+    pub(crate) busy: Dur,
+}
+
+/// One simulated machine. Every field is a busy-until resource clock or
+/// a buffer occupancy; the actor running on the node lives in [`crate::sim::Sim`].
+pub(crate) struct Node {
+    pub(crate) up: bool,
+    pub(crate) uplink_free: Time,
+    pub(crate) downlink_free: Time,
+    pub(crate) socket_used: u64,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) disk_free: Time,
+    /// Per-node overrides of cluster-wide defaults (0 = use SimConfig).
+    pub(crate) udp_socket_buffer: u32,
+}
+
+impl Node {
+    pub(crate) fn new(cores: usize) -> Node {
+        Node {
+            up: true,
+            uplink_free: Time::ZERO,
+            downlink_free: Time::ZERO,
+            socket_used: 0,
+            cores: (0..cores).map(|_| Core { free_at: Time::ZERO, busy: Dur::ZERO }).collect(),
+            disk_free: Time::ZERO,
+            udp_socket_buffer: 0,
+        }
+    }
+}
+
+impl SimInner {
+    /// The node struct behind `id`.
+    #[inline]
+    pub(crate) fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable access to the node struct behind `id`.
+    #[inline]
+    pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// Charges `cost` of CPU on `core` of `node` starting no earlier than
+    /// `start`, returning the completion time.
+    #[inline]
+    pub(crate) fn charge_core(
+        &mut self,
+        node: NodeId,
+        core: usize,
+        start: Time,
+        cost: Dur,
+    ) -> Time {
+        let c = &mut self.node_mut(node).cores[core];
+        let begin = c.free_at.max(start);
+        c.free_at = begin + cost;
+        c.busy += cost;
+        c.free_at
+    }
+
+    /// Schedules `token` to fire on `node` after `delay`.
+    pub fn set_timer_on(&mut self, node: NodeId, delay: Dur, token: TimerToken) {
+        let at = self.now() + delay;
+        self.push_to_node(node, at, crate::dispatch::EventKind::Timer { node, token });
+    }
+
+    /// Issues a disk write of `bytes` on `node`; `token` fires on the
+    /// node's actor when the write is durable.
+    pub fn disk_write_on(&mut self, node: NodeId, bytes: u32, token: TimerToken) {
+        let t = self.config().disk_write_time(bytes);
+        self.disk_push(node, bytes, t, token);
+    }
+
+    /// Issues a disk write of `bytes` that the writer coalesces into
+    /// `unit`-sized device operations (amortized op latency).
+    pub fn disk_write_coalesced_on(
+        &mut self,
+        node: NodeId,
+        bytes: u32,
+        unit: u32,
+        token: TimerToken,
+    ) {
+        let t = self.config().disk_write_time_coalesced(bytes, unit);
+        self.disk_push(node, bytes, t, token);
+    }
+
+    fn disk_push(&mut self, node: NodeId, bytes: u32, t: Dur, token: TimerToken) {
+        let now = self.now();
+        let n = self.node_mut(node);
+        let done = n.disk_free.max(now) + t;
+        n.disk_free = done;
+        self.metrics.add_id(node, mid::DISK_WRITTEN_BYTES, bytes as u64);
+        self.push_to_node(node, done, crate::dispatch::EventKind::DiskDone { node, token });
+    }
+
+    /// Outstanding work queued on `node`'s disk.
+    pub fn disk_backlog_of(&self, node: NodeId) -> Dur {
+        self.node(node).disk_free.saturating_since(self.now())
+    }
+
+    /// Charges CPU on a specific core of `node`, returning completion time.
+    pub fn charge_cpu_on(&mut self, node: NodeId, core: usize, cost: Dur) -> Time {
+        let now = self.now();
+        self.charge_core(node, core, now, cost)
+    }
+
+    /// Schedules `token` to fire once `core` of `node` has executed `cost`
+    /// of work (models handing a task to a pinned thread).
+    pub fn run_on_core(&mut self, node: NodeId, core: usize, cost: Dur, token: TimerToken) {
+        let now = self.now();
+        let done = self.charge_core(node, core, now, cost);
+        self.push_to_node(node, done, crate::dispatch::EventKind::Timer { node, token });
+    }
+
+    /// Earliest time `core` of `node` becomes idle.
+    pub fn core_free_at(&self, node: NodeId, core: usize) -> Time {
+        self.node(node).cores[core].free_at
+    }
+
+    /// Cumulative busy time of `core` of `node`.
+    pub fn cpu_busy(&self, node: NodeId, core: usize) -> Dur {
+        self.node(node).cores[core].busy
+    }
+}

@@ -32,17 +32,25 @@
 //! ```
 
 pub mod config;
+mod dispatch;
+mod event_queue;
+mod host;
 pub mod ids;
+mod net;
 pub mod payload;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
+
+pub use crate::shard::Partition;
 
 /// Convenient glob import for protocol crates and experiments.
 pub mod prelude {
     pub use crate::config::SimConfig;
     pub use crate::ids::{GroupId, NodeId, TimerToken};
     pub use crate::payload::Payload;
+    pub use crate::shard::Partition;
     pub use crate::sim::{Actor, Ctx, Envelope, Sim, Transport};
     pub use crate::stats::{mbps, mid, per_sec, LatencyStats, MetricId, Metrics};
     pub use crate::time::{Dur, Time};

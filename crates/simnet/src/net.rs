@@ -1,0 +1,427 @@
+//! Network layer: the datagram pipeline (send CPU → uplink → switch
+//! egress → socket buffer), IP-multicast fan-out, the per-size cost
+//! cache, and TCP channels.
+//!
+//! # Layer boundary
+//!
+//! This module owns everything between two nodes' sockets: link
+//! serialization clocks, switch-port tail drops, loss injection, and the
+//! reliable-channel state machine. It consumes the `host` layer's
+//! resource clocks and produces `HostArrive`/`TcpAck` events for the
+//! `dispatch` layer; it never touches actors.
+//!
+//! # Shard-safety invariants
+//!
+//! A datagram's cost is charged on resources owned by two shards: the
+//! *sender's* shard (CPU, uplink) while the send executes, and the
+//! *receiver's* shard (downlink clock, then the `HostArrive` event).
+//! When the two differ, the event is not pushed into the destination
+//! queue directly — it is filed in the destination shard's
+//! [`crate::shard::CrossShardEvent`] inbox and merged at the next
+//! executor step, so a future threaded executor can make the inbox the
+//! only cross-thread channel. Two writes still reach across the
+//! boundary in this single-threaded scaffold and are the remaining work
+//! for the threaded PR (both are flagged here rather than hidden):
+//!
+//! * `downlink` advances the destination node's `downlink_free` clock
+//!   (the switch egress port really is shared between all senders; the
+//!   threaded design will either own ports by destination shard or
+//!   fold the advance into the handoff).
+//! * `tcp_pump`/`datagram` read the *peer's* `up` flag (connection-reset
+//!   semantics). A threaded executor will replicate liveness epochs.
+//!
+//! TCP channel state is split so each half is owned by the shard that
+//! mutates it on the hot path: [`TcpTx`] (send queue, window accounting)
+//! lives in the sender's shard and is touched by sends, pumps, and ack
+//! dispatch — all of which execute there; [`TcpRx`] (delivery sequence)
+//! lives in the receiver's shard and is touched at delivery. The two
+//! halves share an epoch that only the control plane (`reset_tcp_of`,
+//! driver-invoked) bumps, keeping `tx.epoch == rx.epoch` an invariant.
+//!
+//! The per-size [`CostCache`] is replicated per shard: it memoizes pure
+//! functions of the frozen config, so replicas can only disagree on
+//! which sizes are resident, never on values.
+
+use std::collections::VecDeque;
+
+use rand::Rng;
+
+use crate::dispatch::EventKind;
+use crate::ids::{GroupId, NodeId};
+use crate::payload::Payload;
+use crate::shard::CrossShardEvent;
+use crate::sim::{Envelope, SimInner, Transport};
+use crate::stats::mid;
+use crate::time::{Dur, Time};
+
+/// Per-size datagram costs, computed once per distinct wire size and
+/// reused from [`CostCache`]. The cached values come from the exact
+/// [`crate::config::SimConfig`] formulas, so virtual-time results are
+/// bit-identical to recomputing them per packet.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct SizeCosts {
+    /// CPU cost of the send system call.
+    pub(crate) send: Dur,
+    /// Link serialization time.
+    pub(crate) tx: Dur,
+    /// CPU cost of receive processing.
+    pub(crate) recv: Dur,
+    /// Bytes occupying the wire.
+    pub(crate) wire: u64,
+}
+
+pub(crate) const COST_CACHE_WAYS: usize = 64;
+
+/// Direct-mapped cache of [`SizeCosts`] keyed by payload size. Protocol
+/// traffic reuses a handful of sizes (control messages, paced batches),
+/// while the cost formulas each pay a 64-bit division (`frames_for`,
+/// `tx_time`) — three real divides per datagram without the cache. The
+/// config is frozen once the [`crate::sim::Sim`] is built, so entries
+/// never go stale.
+pub(crate) struct CostCache {
+    /// `bytes.wrapping_add(1)` of the resident entry (0 = empty).
+    tags: [u32; COST_CACHE_WAYS],
+    costs: [SizeCosts; COST_CACHE_WAYS],
+}
+
+impl Default for CostCache {
+    fn default() -> CostCache {
+        CostCache { tags: [0; COST_CACHE_WAYS], costs: [SizeCosts::default(); COST_CACHE_WAYS] }
+    }
+}
+
+/// Sender-owned half of a TCP channel: the unsent queue and the window
+/// accounting. Lives in the sending node's shard.
+pub(crate) struct TcpTx {
+    pub(crate) in_flight: u32,
+    pub(crate) queue: VecDeque<(Payload, u32)>,
+    pub(crate) queued_bytes: u64,
+    /// Next ack sequence the sender expects. Acks are generated in
+    /// delivery order, so anything else is a duplicate/late ack and is
+    /// dropped instead of being subtracted from `in_flight` again.
+    pub(crate) acked_segs: u64,
+    /// Channel incarnation, bumped (with the rx half's) when either
+    /// endpoint crashes. Acks in flight across a crash carry the old
+    /// epoch and are discarded — the bytes they acknowledge were already
+    /// written off by the reset, so subtracting them again would drive
+    /// `in_flight` negative.
+    pub(crate) epoch: u32,
+}
+
+impl TcpTx {
+    fn new() -> TcpTx {
+        TcpTx { in_flight: 0, queue: VecDeque::new(), queued_bytes: 0, acked_segs: 0, epoch: 0 }
+    }
+}
+
+/// Receiver-owned half of a TCP channel: the delivery sequence that
+/// stamps each ack. Lives in the receiving node's shard; its `epoch`
+/// mirrors the tx half's (both bumped only by `reset_tcp_of`).
+pub(crate) struct TcpRx {
+    /// Segments delivered to the receiver so far; stamps each ack.
+    pub(crate) delivered_segs: u64,
+    pub(crate) epoch: u32,
+}
+
+impl TcpRx {
+    fn new() -> TcpRx {
+        TcpRx { delivered_segs: 0, epoch: 0 }
+    }
+}
+
+impl SimInner {
+    /// Exact per-size costs of a datagram, served from `shard`'s cost
+    /// cache (the config is frozen for the life of the simulation, so
+    /// the per-shard replicas can never disagree on values).
+    #[inline]
+    pub(crate) fn costs_for(&mut self, shard: usize, bytes: u32) -> SizeCosts {
+        let tag = bytes.wrapping_add(1);
+        let i = (bytes.wrapping_mul(0x9E37_79B9) >> 26) as usize % COST_CACHE_WAYS;
+        let cache = &mut self.shards[shard].cost_cache;
+        if cache.tags[i] == tag {
+            return cache.costs[i];
+        }
+        let c = SizeCosts {
+            send: self.config.send_cost(bytes),
+            tx: self.config.tx_time(bytes),
+            recv: self.config.recv_cost(bytes),
+            wire: self.config.wire_bytes(bytes),
+        };
+        let cache = &mut self.shards[shard].cost_cache;
+        cache.tags[i] = tag;
+        cache.costs[i] = c;
+        c
+    }
+
+    /// Sends a datagram: charges the sender CPU and uplink, then fans out
+    /// to each destination's downlink. `tcp_epoch` stamps TCP segments
+    /// with their channel incarnation (0 for datagram transports).
+    pub(crate) fn datagram(
+        &mut self,
+        src: NodeId,
+        dsts: &[NodeId],
+        payload: Payload,
+        bytes: u32,
+        transport: Transport,
+        tcp_epoch: u32,
+    ) {
+        if !self.node(src).up {
+            return;
+        }
+        let ss = self.shard_idx(src);
+        let costs = self.costs_for(ss, bytes);
+        let now = self.now;
+        let cpu_done = self.charge_core(src, 0, now, costs.send);
+        let up = self.node_mut(src);
+        let up_done = up.uplink_free.max(cpu_done) + costs.tx;
+        up.uplink_free = up_done;
+        self.metrics.add_id(src, mid::NET_SENT_BYTES, bytes as u64);
+        self.metrics.add_id(src, mid::NET_SENT_PKTS, 1);
+        // The last destination takes ownership of the caller's payload
+        // handle: the clone-per-destination refcount bump only runs for
+        // true multicast fan-out, never on the unicast fast path.
+        let Some((&last, rest)) = dsts.split_last() else { return };
+        for &dst in rest {
+            self.downlink(src, dst, payload.clone(), bytes, transport, up_done, costs, tcp_epoch);
+        }
+        self.downlink(src, last, payload, bytes, transport, up_done, costs, tcp_epoch);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn downlink(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: Payload,
+        bytes: u32,
+        transport: Transport,
+        arrive_at_switch: Time,
+        costs: SizeCosts,
+        tcp_epoch: u32,
+    ) {
+        if !self.node(dst).up {
+            self.metrics.add_id(dst, mid::NET_DOWN_DROP, bytes as u64);
+            return;
+        }
+        if transport != Transport::Tcp {
+            // Random loss injection. The rng is engine-global (see the
+            // `sim` module docs on determinism under sharding).
+            if self.config.random_loss > 0.0 && self.rng.gen::<f64>() < self.config.random_loss {
+                self.metrics.add_id(dst, mid::NET_RAND_DROP, 1);
+                return;
+            }
+            // Switch egress port buffer (tail drop).
+            let backlog = self.node(dst).downlink_free.saturating_since(arrive_at_switch);
+            let queued = self.config.backlog_bytes(backlog);
+            if queued + costs.wire > self.config.switch_port_buffer as u64 {
+                self.metrics.add_id(dst, mid::NET_SWITCH_DROP, 1);
+                self.metrics.add_id(dst, mid::NET_SWITCH_DROP_BYTES, bytes as u64);
+                return;
+            }
+        }
+        let latency = self.config.one_way_latency;
+        // Cross-shard write when src and dst live on different shards:
+        // the egress port is physically shared (see module docs).
+        let down = self.node_mut(dst);
+        let done = down.downlink_free.max(arrive_at_switch) + costs.tx;
+        down.downlink_free = done;
+        let at_host = done + latency;
+        // The envelope is filed in the destination shard's slab; only
+        // its EnvId moves through the HostArrive → Deliver pipeline.
+        let env = Envelope { src, dst, payload, wire_bytes: bytes, transport, tcp_epoch };
+        let seq = self.next_seq();
+        let ss = self.shard_idx(src);
+        let ds = self.shard_idx(dst);
+        if ds == ss {
+            let id = self.shards[ds].envs.insert(env);
+            self.shards[ds].queue.push(at_host, seq, EventKind::HostArrive(id));
+        } else {
+            // Boundary crossing: hand off through the inbox. `at_host`
+            // is ≥ now + one_way_latency, which is what makes the
+            // deploy-time lookahead matrix sound (see `shard`).
+            self.cross_shard_events += 1;
+            self.shards[ds].inbox.push(CrossShardEvent::Arrive { time: at_host, seq, env });
+        }
+    }
+
+    /// Tx-half slot of the `src -> dst` channel (in `src`'s shard), if
+    /// one exists.
+    #[inline]
+    pub(crate) fn tcp_tx_slot(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        let n = self.tcp_nodes;
+        if src.0 < n && dst.0 < n {
+            match self.tcp_tx_index[src.0 * n + dst.0] {
+                0 => None,
+                i => Some(i as usize - 1),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Rx-half slot of the `src -> dst` channel (in `dst`'s shard), if
+    /// one exists.
+    #[inline]
+    pub(crate) fn tcp_rx_slot(&self, src: NodeId, dst: NodeId) -> Option<usize> {
+        let n = self.tcp_nodes;
+        if src.0 < n && dst.0 < n {
+            match self.tcp_rx_index[src.0 * n + dst.0] {
+                0 => None,
+                i => Some(i as usize - 1),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Tx-half slot of the `src -> dst` channel, creating both halves
+    /// (and re-laying the dense index out if nodes were added since) as
+    /// needed.
+    fn tcp_slot_or_create(&mut self, src: NodeId, dst: NodeId) -> usize {
+        let n_now = self.nodes.len();
+        if n_now != self.tcp_nodes {
+            let old_n = self.tcp_nodes;
+            let mut tx = vec![0u32; n_now * n_now];
+            let mut rx = vec![0u32; n_now * n_now];
+            for s in 0..old_n {
+                for d in 0..old_n {
+                    tx[s * n_now + d] = self.tcp_tx_index[s * old_n + d];
+                    rx[s * n_now + d] = self.tcp_rx_index[s * old_n + d];
+                }
+            }
+            self.tcp_tx_index = tx;
+            self.tcp_rx_index = rx;
+            self.tcp_nodes = n_now;
+        }
+        let n = self.tcp_nodes;
+        let cell = self.tcp_tx_index[src.0 * n + dst.0];
+        if cell != 0 {
+            return cell as usize - 1;
+        }
+        let ss = self.shard_idx(src);
+        let ds = self.shard_idx(dst);
+        let tx_slot = self.shards[ss].tcp_tx.len();
+        self.shards[ss].tcp_tx.push(TcpTx::new());
+        let rx_slot = self.shards[ds].tcp_rx.len();
+        self.shards[ds].tcp_rx.push(TcpRx::new());
+        self.tcp_tx_index[src.0 * n + dst.0] = tx_slot as u32 + 1;
+        self.tcp_rx_index[src.0 * n + dst.0] = rx_slot as u32 + 1;
+        tx_slot
+    }
+
+    pub(crate) fn tcp_pump(&mut self, src: NodeId, dst: NodeId) {
+        // A crashed sender transmits nothing: popping the queue here would
+        // charge `in_flight` for segments `datagram` silently discards,
+        // wedging the window forever (the segment is never delivered, so
+        // no ack ever returns). The queue is cleared by the crash reset.
+        if !self.node(src).up {
+            return;
+        }
+        let Some(slot) = self.tcp_tx_slot(src, dst) else { return };
+        let ss = self.shard_idx(src);
+        let window = self.config.tcp_window_bytes;
+        loop {
+            // Peer-liveness read; possibly cross-shard (module docs).
+            let peer_down = !self.node(dst).up;
+            let ch = &mut self.shards[ss].tcp_tx[slot];
+            let Some(&(_, bytes)) = ch.queue.front() else { return };
+            if peer_down {
+                // Segments to a down peer are written off at the sender
+                // (connection-reset semantics) instead of charged to
+                // `in_flight` — they would be dropped at the downlink
+                // and their acks would never return.
+                let (_, bytes) = ch.queue.pop_front().expect("checked front");
+                ch.queued_bytes -= bytes as u64;
+                self.metrics.add_id(src, mid::NET_TCP_RESET_BYTES, bytes as u64);
+                continue;
+            }
+            if ch.in_flight.saturating_add(bytes) > window && ch.in_flight > 0 {
+                return;
+            }
+            let (payload, bytes) = ch.queue.pop_front().expect("checked front");
+            ch.queued_bytes -= bytes as u64;
+            ch.in_flight += bytes;
+            let epoch = ch.epoch;
+            self.datagram(src, &[dst], payload, bytes, Transport::Tcp, epoch);
+        }
+    }
+
+    /// Sends `payload` over the reliable channel from `src` to `dst`.
+    pub fn tcp_send_from(&mut self, src: NodeId, dst: NodeId, payload: Payload, bytes: u32) {
+        let slot = self.tcp_slot_or_create(src, dst);
+        let ss = self.shard_idx(src);
+        let ch = &mut self.shards[ss].tcp_tx[slot];
+        ch.queue.push_back((payload, bytes));
+        ch.queued_bytes += bytes as u64;
+        self.tcp_pump(src, dst);
+    }
+
+    /// Resets every TCP channel touching `node` (crash semantics): queued
+    /// and in-flight segments are written off under `net.tcp_reset_bytes`
+    /// on the sending node, the window reopens, and both halves' epochs
+    /// are bumped so acks from before the crash are discarded as stale.
+    /// Without this, segments dropped at a down node's downlink never ack
+    /// and the channel's window stays full forever. Control plane only
+    /// (driver-invoked between events), so the cross-shard writes here
+    /// need no handoff protocol.
+    pub(crate) fn reset_tcp_of(&mut self, node: NodeId) {
+        let n = self.tcp_nodes;
+        for src in 0..n {
+            for dst in 0..n {
+                if src != node.0 && dst != node.0 {
+                    continue;
+                }
+                let Some(tx_slot) = self.tcp_tx_slot(NodeId(src), NodeId(dst)) else { continue };
+                let rx_slot = self.tcp_rx_slot(NodeId(src), NodeId(dst)).expect("halves paired");
+                // Read the rx half first: the tx half's ack expectation
+                // resynchronizes to the receiver's delivery sequence.
+                let rxs = self.shard_idx(NodeId(dst));
+                let rx = &mut self.shards[rxs].tcp_rx[rx_slot];
+                let delivered = rx.delivered_segs;
+                rx.epoch = rx.epoch.wrapping_add(1);
+                let txs = self.shard_idx(NodeId(src));
+                let tx = &mut self.shards[txs].tcp_tx[tx_slot];
+                let lost = tx.in_flight as u64 + tx.queued_bytes;
+                tx.queue.clear();
+                tx.queued_bytes = 0;
+                tx.in_flight = 0;
+                tx.acked_segs = delivered;
+                tx.epoch = tx.epoch.wrapping_add(1);
+                if lost > 0 {
+                    self.metrics.add_id(NodeId(src), mid::NET_TCP_RESET_BYTES, lost);
+                }
+            }
+        }
+    }
+
+    /// Bytes queued (not yet transmitted) on the TCP channel `src -> dst`.
+    /// Protocols use this for application-level back-pressure.
+    pub fn tcp_backlog(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.tcp_tx_slot(src, dst)
+            .map(|slot| {
+                let ch = &self.shards[self.shard_idx(src)].tcp_tx[slot];
+                ch.queued_bytes + ch.in_flight as u64
+            })
+            .unwrap_or(0)
+    }
+
+    /// Sends a UDP datagram from `src` to `dst`.
+    pub fn udp_send_from(&mut self, src: NodeId, dst: NodeId, payload: Payload, bytes: u32) {
+        self.datagram(src, &[dst], payload, bytes, Transport::Udp, 0);
+    }
+
+    /// Multicasts a datagram from `src` to every subscriber of `group`.
+    /// The sender pays for one transmission regardless of group size.
+    /// Senders need not subscribe to the group; subscribers that are also
+    /// the sender do not receive their own copy (the caller can loop back
+    /// locally if the protocol requires it).
+    pub fn mcast_from(&mut self, src: NodeId, group: GroupId, payload: Payload, bytes: u32) {
+        let mut dsts = std::mem::take(&mut self.mcast_scratch);
+        dsts.clear();
+        if let Some(g) = self.groups.get(group.0) {
+            dsts.extend(g.iter().copied().filter(|&n| n != src));
+        }
+        self.datagram(src, &dsts, payload, bytes, Transport::Multicast(group), 0);
+        self.mcast_scratch = dsts;
+    }
+}

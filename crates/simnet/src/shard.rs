@@ -1,0 +1,375 @@
+//! Shard layer: partitioned engine state and the conservative-PDES
+//! scaffold (partition map, cross-shard handoff, per-shard-pair
+//! lookahead).
+//!
+//! # Layer boundary
+//!
+//! This module owns [`Partition`] (the node → shard map), [`ShardState`]
+//! (the arena of every per-node engine structure), the
+//! [`CrossShardEvent`] handoff inboxes, and the deterministic merge the
+//! run loop uses to pick the next event across shards. The `net`,
+//! `host`, and `dispatch` layers operate *on* shard state; only this
+//! module decides where state lives.
+//!
+//! # What is sharded and what is not
+//!
+//! Each shard owns, for exactly the nodes assigned to it: the event
+//! queue, the envelope slab, the TCP channel halves
+//! ([`crate::net::TcpTx`] at the sender, [`crate::net::TcpRx`] at the
+//! receiver), a replica of the pure [`crate::net::CostCache`], and —
+//! via [`crate::stats::Metrics`] row banks — its nodes' counter rows.
+//! Payload arena allocation ([`crate::payload`]) is already
+//! `thread_local`, so a one-thread-per-shard executor needs no change
+//! there.
+//!
+//! The [`crate::host::Node`] resource clocks stay in one flat arena
+//! indexed directly by node id (`SimInner::nodes`): they are the
+//! hottest loads in the engine, and a `node → (shard, idx)` indirection
+//! there costs measurable throughput. Ownership is still exclusive —
+//! every event that touches a node's clocks runs on the node's own
+//! shard (the host layer's shard-safety invariant) — so a threaded
+//! executor can hand each worker disjoint slices of the flat arena
+//! without the structs physically moving.
+//!
+//! Deliberately engine-global (documented for the threaded follow-up):
+//! the RNG (execution order is identical under any partition — see
+//! below — so draws are identical; threading will need per-shard
+//! streams), the group membership tables (read-only after deploy), the
+//! multicast scratch buffer, the dense TCP slot indexes (read-mostly),
+//! and the `now`/`seq`/`events` counters.
+//!
+//! # Determinism under any partition
+//!
+//! `seq` is a single monotone counter across all shards, and every event
+//! is keyed `(time, seq)`. The executor's merge
+//! ([`SimInner::merge_min`]) always dispatches the globally smallest
+//! key, scanning shards in fixed index order — so the dispatch sequence
+//! is *identical to the single-queue engine's pop sequence for every
+//! partition*, and golden traces are bit-identical under k = 1, 2, or
+//! any other split. Cross-shard events are buffered in the destination
+//! shard's [`ShardState::inbox`] and folded into its queue at the top of
+//! the next step; they cannot be missed (the merge runs after the
+//! drain) and cannot reorder (their `(time, seq)` keys are unchanged by
+//! the detour).
+//!
+//! # Lookahead
+//!
+//! Every cross-shard event models a network traversal and therefore
+//! carries a timestamp at least `one_way_latency` after the instant it
+//! was generated (`HostArrive` adds downlink serialization on top; the
+//! TCP ack path is exactly `now + one_way_latency`). The per-shard-pair
+//! lookahead matrix is computed from that bound at deploy time, and
+//! [`Sim::safe_window`] exposes its minimum: a future threaded executor
+//! may run each shard independently for up to `safe_window()` of
+//! virtual time between synchronization barriers without risking a
+//! causality violation. This PR keeps execution single-threaded; the
+//! matrix and the inbox protocol are the scaffold the thread pool will
+//! stand on.
+
+use crate::dispatch::EventKind;
+use crate::event_queue::{EventQueue, MinPos, Slab};
+use crate::ids::NodeId;
+use crate::net::{CostCache, TcpRx, TcpTx};
+use crate::sim::{Envelope, Sim, SimInner};
+use crate::time::{Dur, Time};
+
+/// Node → shard assignment. The identity partition (every node on shard
+/// 0) reproduces the unsharded engine; any other assignment yields the
+/// same dispatch sequence (module docs, "Determinism").
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// `assignment[node] = shard`.
+    assignment: Vec<u32>,
+    shards: u32,
+}
+
+impl Partition {
+    /// Everything on one shard — today's default behavior.
+    pub fn identity(nodes: usize) -> Partition {
+        Partition { assignment: vec![0; nodes], shards: 1 }
+    }
+
+    /// Round-robin assignment of `nodes` nodes over `shards` shards.
+    pub fn modulo(nodes: usize, shards: usize) -> Partition {
+        assert!(shards >= 1, "at least one shard");
+        let shards = shards as u32;
+        Partition { assignment: (0..nodes as u32).map(|n| n % shards).collect(), shards }
+    }
+
+    /// An explicit node → shard map. The shard count is
+    /// `max(assignment) + 1`; every shard index below it is valid even
+    /// if unused (empty shards are harmless).
+    pub fn from_assignment(assignment: Vec<u32>) -> Partition {
+        let shards = assignment.iter().max().map_or(0, |&m| m + 1).max(1);
+        Partition { assignment, shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Number of nodes covered by the map.
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Whether the map covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Shard owning `node`.
+    #[inline]
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.assignment[node.0] as usize
+    }
+
+    /// The raw node → shard map.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Extends the map for a newly added node (round-robin over the
+    /// current shard count, which keeps the identity partition identity).
+    pub(crate) fn push_node(&mut self) -> u32 {
+        let s = self.assignment.len() as u32 % self.shards;
+        self.assignment.push(s);
+        s
+    }
+}
+
+/// An event generated on one shard for a node owned by another. Buffered
+/// in the destination's [`ShardState::inbox`] and folded into its event
+/// queue at the top of the next executor step — the only channel through
+/// which anything crosses a shard boundary on the event path.
+pub(crate) enum CrossShardEvent {
+    /// A datagram that finished the sender-side pipeline; the envelope
+    /// body travels with the handoff and is interned in the destination
+    /// shard's slab on drain.
+    Arrive { time: Time, seq: u64, env: Envelope },
+    /// Any other cross-boundary completion (today: the TCP ack returning
+    /// to a sender on another shard).
+    Event { time: Time, seq: u64, kind: EventKind },
+}
+
+/// The per-shard arena: the per-node engine structures a worker thread
+/// would take exclusively, owned by exactly one shard so the handoff
+/// needs no synchronization. (The flat [`crate::host::Node`] clock
+/// arena stays in `SimInner` — module docs, "What is sharded".)
+#[derive(Default)]
+pub(crate) struct ShardState {
+    /// This shard's future event set.
+    pub(crate) queue: EventQueue<EventKind>,
+    /// Bodies of queued `HostArrive`/`Deliver` envelopes for nodes on
+    /// this shard (see the `sim` module docs, "Envelope slab").
+    pub(crate) envs: Slab<Envelope>,
+    /// Sender halves of TCP channels whose source node lives here.
+    pub(crate) tcp_tx: Vec<TcpTx>,
+    /// Receiver halves of TCP channels whose destination node lives here.
+    pub(crate) tcp_rx: Vec<TcpRx>,
+    /// Per-shard replica of the pure per-size cost memo.
+    pub(crate) cost_cache: CostCache,
+    /// Cross-shard handoff buffer, drained into `queue` at the top of
+    /// each executor step.
+    pub(crate) inbox: Vec<CrossShardEvent>,
+}
+
+impl SimInner {
+    /// Shard owning `node`.
+    #[inline]
+    pub(crate) fn shard_idx(&self, node: NodeId) -> usize {
+        self.partition.shard_of(node)
+    }
+
+    /// Allocates the next global event sequence number. One counter
+    /// across all shards — the keystone of partition-independent
+    /// dispatch order (module docs, "Determinism").
+    #[inline]
+    pub(crate) fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Files an event for `node` directly into its shard's queue. For
+    /// control-plane and host-local completions (timers, disk), which
+    /// never cross a shard boundary; event-path code that may cross uses
+    /// [`SimInner::push_routed`].
+    #[inline]
+    pub(crate) fn push_to_node(&mut self, node: NodeId, at: Time, kind: EventKind) {
+        let seq = self.next_seq();
+        let sh = self.shard_idx(node);
+        self.shards[sh].queue.push(at, seq, kind);
+    }
+
+    /// Files an event for `node` from code executing on shard
+    /// `from_shard`: direct push when the target lives there, inbox
+    /// handoff otherwise.
+    #[inline]
+    pub(crate) fn push_routed(
+        &mut self,
+        from_shard: usize,
+        node: NodeId,
+        at: Time,
+        kind: EventKind,
+    ) {
+        let seq = self.next_seq();
+        let sh = self.shard_idx(node);
+        if sh == from_shard {
+            self.shards[sh].queue.push(at, seq, kind);
+        } else {
+            self.cross_shard_events += 1;
+            self.shards[sh].inbox.push(CrossShardEvent::Event { time: at, seq, kind });
+        }
+    }
+
+    /// Folds every shard's inbox into its event queue. Runs at the top
+    /// of each executor step, before the merge, so a handed-off event is
+    /// visible no later than the step after it was generated — and its
+    /// `(time, seq)` key slots it into exactly the position the
+    /// single-queue engine would have popped it from.
+    pub(crate) fn drain_inboxes(&mut self) {
+        for sh in 0..self.shards.len() {
+            if self.shards[sh].inbox.is_empty() {
+                continue;
+            }
+            // Take the buffer out to appease the borrow checker, put it
+            // back drained so its capacity is reused.
+            let mut inbox = std::mem::take(&mut self.shards[sh].inbox);
+            for ev in inbox.drain(..) {
+                match ev {
+                    CrossShardEvent::Arrive { time, seq, env } => {
+                        let id = self.shards[sh].envs.insert(env);
+                        self.shards[sh].queue.push(time, seq, EventKind::HostArrive(id));
+                    }
+                    CrossShardEvent::Event { time, seq, kind } => {
+                        self.shards[sh].queue.push(time, seq, kind);
+                    }
+                }
+            }
+            self.shards[sh].inbox = inbox;
+        }
+    }
+
+    /// The shard holding the globally minimum `(time, seq)` event, and
+    /// that event's position. Shards are scanned in fixed index order;
+    /// keys are globally unique, so the result is independent of the
+    /// partition. `find_min` is memoized per queue, so the common case
+    /// (k = 1, or repeated probes between pushes) does no rescanning.
+    #[inline]
+    pub(crate) fn merge_min(&mut self) -> Option<(usize, MinPos)> {
+        let mut best: Option<(usize, MinPos)> = None;
+        for sh in 0..self.shards.len() {
+            if let Some(pos) = self.shards[sh].queue.find_min() {
+                if best.is_none_or(|(_, b)| (pos.time, pos.seq) < (b.time, b.seq)) {
+                    best = Some((sh, pos));
+                }
+            }
+        }
+        best
+    }
+
+    /// Whether any shard other than `sh` holds an event ordered before
+    /// `(time, seq)`. The delivery-run coalescing guard: shard `sh`'s
+    /// `find_same_time` candidate is only the *global* next event if no
+    /// other shard sits on a smaller key (in the single-queue engine
+    /// that smaller key would have ended the run — it cannot be a
+    /// `Deliver` for the run's destination, since those all live in the
+    /// destination's shard).
+    #[inline]
+    pub(crate) fn earlier_event_elsewhere(&mut self, sh: usize, time: Time, seq: u64) -> bool {
+        for other in 0..self.shards.len() {
+            if other == sh {
+                continue;
+            }
+            if let Some(m) = self.shards[other].queue.find_min() {
+                if (m.time, m.seq) < (time, seq) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Rebuilds the shard arenas for a new partition. Only legal before
+    /// any event exists (asserted by [`Sim::set_partition`]), so the
+    /// queues, slabs, inboxes, and TCP tables are all empty and only the
+    /// metric rows need re-homing (node clocks live in the flat arena
+    /// and never move).
+    pub(crate) fn install_partition(&mut self, p: Partition) {
+        debug_assert!(self
+            .shards
+            .iter()
+            .all(|s| s.queue.is_empty() && s.envs.is_empty() && s.inbox.is_empty()));
+        debug_assert!(self.tcp_tx_index.iter().all(|&c| c == 0));
+        let k = p.shards();
+        self.shards = (0..k).map(|_| ShardState::default()).collect();
+        self.metrics.repartition(p.assignment(), k);
+        self.lookahead = Self::lookahead_matrix(k, self.config.one_way_latency);
+        self.partition = p;
+    }
+
+    /// Per-shard-pair lookahead, computed at deploy time from the
+    /// minimum link latency (the cluster's links are uniform, so every
+    /// off-diagonal pair gets `one_way_latency`). `lookahead[a * k + b]`
+    /// bounds how far shard `a` may run ahead of shard `b` without an
+    /// event from `b` landing in `a`'s past. The diagonal is `Dur::MAX`:
+    /// a shard never constrains itself.
+    pub(crate) fn lookahead_matrix(k: usize, one_way: Dur) -> Vec<Dur> {
+        let mut m = vec![one_way; k * k];
+        for d in 0..k {
+            m[d * k + d] = Dur::MAX;
+        }
+        m
+    }
+}
+
+impl Sim {
+    /// Replaces the node → shard partition. Must be called before any
+    /// event is scheduled. Two idioms work: build the cluster with no
+    /// traffic and re-partition it explicitly, or — since deploy helpers
+    /// may seed timers and client traffic — call this right after
+    /// [`Sim::new`] with an empty map (`Partition::modulo(0, k)`) so
+    /// nodes home round-robin over `k` shards as they are added. The
+    /// identity partition is the default; any partition yields the
+    /// identical simulation (module docs of [`crate::shard`]).
+    ///
+    /// # Panics
+    ///
+    /// If the map's node count differs from the cluster's, or if any
+    /// event has already been scheduled or dispatched.
+    pub fn set_partition(&mut self, p: Partition) {
+        assert_eq!(p.len(), self.inner.nodes.len(), "partition must cover every node");
+        assert!(
+            self.inner.seq == 0 && self.inner.events == 0,
+            "set_partition must run before any event is scheduled"
+        );
+        self.inner.install_partition(p);
+    }
+
+    /// The active node → shard partition.
+    pub fn partition(&self) -> &Partition {
+        &self.inner.partition
+    }
+
+    /// Lookahead from shard `from` to shard `to`: no event generated by
+    /// `to` can land on `from` less than this far in `to`'s future.
+    pub fn lookahead(&self, from: usize, to: usize) -> Dur {
+        let k = self.inner.partition.shards();
+        self.inner.lookahead[from * k + to]
+    }
+
+    /// The minimum cross-shard lookahead: a threaded executor may run
+    /// every shard independently for a window of this length between
+    /// barriers. `Dur::MAX` under a single shard (nothing to wait for).
+    pub fn safe_window(&self) -> Dur {
+        self.inner.lookahead.iter().copied().min().unwrap_or(Dur::MAX)
+    }
+
+    /// Events that crossed a shard boundary (handed off through an
+    /// inbox) so far. An engine statistic, not a [`crate::stats::Metrics`]
+    /// counter — partition choice must not perturb counter checksums.
+    pub fn cross_shard_events(&self) -> u64 {
+        self.inner.cross_shard_events
+    }
+}

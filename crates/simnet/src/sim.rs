@@ -1,8 +1,28 @@
-//! The discrete-event simulation engine.
+//! The discrete-event simulation engine: core types and the control
+//! plane.
 //!
 //! A [`Sim`] owns a cluster of nodes connected by a non-blocking gigabit
 //! switch. Each node hosts one [`Actor`] (a process), a multi-core CPU, a
 //! NIC with full-duplex links, finite socket buffers, and a local disk.
+//!
+//! # Layering
+//!
+//! The engine is split into modules with strict downward dependencies;
+//! this module holds the shared vocabulary ([`Envelope`], [`Actor`],
+//! [`Ctx`], [`Sim`]/[`SimInner`]) and the cluster control plane
+//! (construction, crash injection, group membership):
+//!
+//! * [`crate::event_queue`] — the future event set (calendar queue with
+//!   sorted buckets + overflow heap). Knows nothing of the simulation.
+//! * [`crate::host`] — per-node machine: CPU cores, link clocks, disk,
+//!   timers. Never crosses a node boundary.
+//! * [`crate::net`] — the datagram pipeline, multicast fan-out, cost
+//!   cache, and TCP channels. Spans exactly two nodes per operation.
+//! * [`crate::shard`] — the partition map, per-shard state arenas, the
+//!   cross-shard handoff inboxes, and the lookahead scaffold for the
+//!   future threaded executor.
+//! * [`crate::dispatch`] — the event vocabulary, the round-robin shard
+//!   executor, and the actor run loop (batched delivery coalescing).
 //!
 //! # Resource model
 //!
@@ -55,26 +75,29 @@
 //! Every simulated packet passes through the engine twice (host arrival,
 //! delivery), so the per-event structures are all dense and index-based:
 //! the future event set is a calendar queue of compact keys over an
-//! [`EventKind`] slab (see [`EventQueue`] for the bucket-width
-//! heuristic), TCP channels live in a per-node-pair slot table
-//! ([`SimInner::tcp_send_from`]), metrics are pre-interned counters in a
-//! per-node matrix ([`crate::stats`]), and multicast fan-out reuses one
-//! scratch buffer. Determinism is unaffected: events pop in exact
-//! `(time, seq)` order, so any run is bit-for-bit reproducible from its
-//! seed (the golden-trace tests in `ringpaxos` pin this down).
+//! event-kind slab (see [`crate::event_queue`] for the bucket-width
+//! heuristic and the O(1) sorted-bucket pop), TCP channels live in
+//! per-node-pair slot tables, metrics are pre-interned counters in
+//! per-shard row banks ([`crate::stats`]), and multicast fan-out reuses
+//! one scratch buffer. Determinism is unaffected by any of it — events
+//! dispatch in exact `(time, seq)` order under every partition, so any
+//! run is bit-for-bit reproducible from its seed (the golden-trace tests
+//! in `ringpaxos` pin this down, under both one- and two-shard
+//! partitions).
 //!
 //! ## Envelope slab
 //!
-//! [`Envelope`] bodies are interned in a recycling slab on [`SimInner`]
-//! for their whole queued life: `downlink` files the envelope once and
-//! the `HostArrive` → `Deliver` hand-off moves a 4-byte index between
-//! queue entries instead of the ~40-byte struct (and never touches the
-//! payload refcount). The body is taken back out of the slab exactly
-//! once, on delivery (or on a pre-delivery drop), which immediately
-//! recycles the slot for the next send. Unicast sends move the caller's
-//! payload handle straight into the slab — the clone-per-destination
-//! loop only runs for true multicast fan-out — so a datagram's payload
-//! refcount is touched exactly twice: once at creation, once at drop.
+//! [`Envelope`] bodies are interned in a recycling slab on the
+//! destination's shard for their whole queued life: the downlink files
+//! the envelope once and the `HostArrive` → `Deliver` hand-off moves a
+//! 4-byte index between queue entries instead of the ~40-byte struct
+//! (and never touches the payload refcount). The body is taken back out
+//! of the slab exactly once, on delivery (or on a pre-delivery drop),
+//! which immediately recycles the slot for the next send. Unicast sends
+//! move the caller's payload handle straight into the slab — the
+//! clone-per-destination loop only runs for true multicast fan-out — so
+//! a datagram's payload refcount is touched exactly twice: once at
+//! creation, once at drop.
 //!
 //! ## Batched delivery dispatch
 //!
@@ -98,16 +121,15 @@
 //! paper-calibrated configs keep ack and reply instants distinct, and
 //! the golden-trace tests pin that their traces are bit-identical).
 
-use std::collections::BinaryHeap;
-use std::collections::VecDeque;
-
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 
 use crate::config::SimConfig;
+use crate::host::Node;
 use crate::ids::{GroupId, NodeId, TimerToken};
 use crate::payload::Payload;
-use crate::stats::{mid, MetricId, Metrics};
+use crate::shard::{Partition, ShardState};
+use crate::stats::{MetricId, Metrics};
 use crate::time::{Dur, Time};
 
 /// How a message travelled, as seen by the receiving actor.
@@ -139,7 +161,7 @@ pub struct Envelope {
     /// in flight across a crash-reset: its bytes were already written
     /// off at the sender, so delivery must not generate an ack
     /// (`net.tcp_orphan_seg` counts these instead).
-    tcp_epoch: u32,
+    pub(crate) tcp_epoch: u32,
 }
 
 /// A process deployed on a node. All interaction with the outside world
@@ -166,600 +188,63 @@ pub trait Actor {
     fn on_timer(&mut self, _token: TimerToken, _ctx: &mut Ctx) {}
 }
 
-/// Index of a queued [`Envelope`] in the engine's envelope slab. Only
-/// this 4-byte handle moves between the `HostArrive` and `Deliver`
-/// queue entries.
-type EnvId = u32;
-
-#[derive(Debug)]
-enum EventKind {
-    /// Datagram reached the destination host NIC (after its downlink).
-    HostArrive(EnvId),
-    /// Datagram finished receive processing; hand to the actor.
-    Deliver(EnvId),
-    /// Actor timer.
-    Timer { node: NodeId, token: TimerToken },
-    /// TCP acknowledgement returned to the sender; frees window space.
-    /// `seq` is the channel's delivery sequence number, so duplicate or
-    /// late acks are detected instead of silently skewing `in_flight`;
-    /// `epoch` is the channel incarnation that sent the segment, so acks
-    /// from before a crash-reset cannot corrupt the reset channel.
-    TcpAck { src: NodeId, dst: NodeId, bytes: u32, seq: u64, epoch: u32 },
-    /// A disk write issued by `node` completed.
-    DiskDone { node: NodeId, token: TimerToken },
-}
-
-/// Per-size datagram costs, computed once per distinct wire size and
-/// reused from [`CostCache`]. The cached values come from the exact
-/// [`SimConfig`] formulas, so virtual-time results are bit-identical to
-/// recomputing them per packet.
-#[derive(Clone, Copy, Default)]
-struct SizeCosts {
-    /// CPU cost of the send system call ([`SimConfig::send_cost`]).
-    send: Dur,
-    /// Link serialization time ([`SimConfig::tx_time`]).
-    tx: Dur,
-    /// CPU cost of receive processing ([`SimConfig::recv_cost`]).
-    recv: Dur,
-    /// Bytes occupying the wire ([`SimConfig::wire_bytes`]).
-    wire: u64,
-}
-
-const COST_CACHE_WAYS: usize = 64;
-
-/// Direct-mapped cache of [`SizeCosts`] keyed by payload size. Protocol
-/// traffic reuses a handful of sizes (control messages, paced batches),
-/// while the cost formulas each pay a 64-bit division (`frames_for`,
-/// `tx_time`) — three real divides per datagram without the cache. The
-/// config is frozen once the [`Sim`] is built, so entries never go
-/// stale.
-struct CostCache {
-    /// `bytes.wrapping_add(1)` of the resident entry (0 = empty).
-    tags: [u32; COST_CACHE_WAYS],
-    costs: [SizeCosts; COST_CACHE_WAYS],
-}
-
-impl Default for CostCache {
-    fn default() -> CostCache {
-        CostCache { tags: [0; COST_CACHE_WAYS], costs: [SizeCosts::default(); COST_CACHE_WAYS] }
-    }
-}
-
-/// Recycling slab with a free list: the storage pattern behind both the
-/// event queue's [`EventKind`] payloads and the engine's [`Envelope`]
-/// bodies (module docs, "Envelope slab"). Slot indices are dense `u32`s
-/// and freed slots are reused immediately.
-struct Slab<T> {
-    slots: Vec<Option<T>>,
-    free: Vec<u32>,
-}
-
-// Manual impl: `derive` would needlessly require `T: Default`.
-impl<T> Default for Slab<T> {
-    fn default() -> Slab<T> {
-        Slab { slots: Vec::new(), free: Vec::new() }
-    }
-}
-
-impl<T> Slab<T> {
-    #[inline]
-    fn insert(&mut self, value: T) -> u32 {
-        match self.free.pop() {
-            Some(id) => {
-                self.slots[id as usize] = Some(value);
-                id
-            }
-            None => {
-                self.slots.push(Some(value));
-                (self.slots.len() - 1) as u32
-            }
-        }
-    }
-
-    /// Borrows a filed value (peeks).
-    #[inline]
-    fn get(&self, id: u32) -> &T {
-        self.slots[id as usize].as_ref().expect("filed slab entry present")
-    }
-
-    /// Removes a filed value, recycling its slot.
-    #[inline]
-    fn take(&mut self, id: u32) -> T {
-        let value = self.slots[id as usize].take().expect("filed slab entry present");
-        self.free.push(id);
-        value
-    }
-}
-
-/// Compact ordering key for one queued event. The payload lives in the
-/// queue's slab; only these 24 bytes move between buckets.
-#[derive(Clone, Copy)]
-struct EventKey {
-    time: Time,
-    seq: u64,
-    slot: u32,
-}
-
-impl EventKey {
-    #[inline]
-    fn key(&self) -> (Time, u64) {
-        (self.time, self.seq)
-    }
-}
-
-impl PartialEq for EventKey {
-    fn eq(&self, other: &EventKey) -> bool {
-        self.key() == other.key()
-    }
-}
-
-impl Eq for EventKey {}
-
-impl PartialOrd for EventKey {
-    fn partial_cmp(&self, other: &EventKey) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for EventKey {
-    fn cmp(&self, other: &EventKey) -> std::cmp::Ordering {
-        self.key().cmp(&other.key())
-    }
-}
-
-/// `bucket_pos` marker: the minimum lives on the back of the sorted
-/// stack, not in a calendar bucket.
-const IN_SORTED: usize = usize::MAX;
-
-/// Position of the minimum queued event, as located by
-/// [`EventQueue::find_min`]. Valid until the next `push` or `take_at`.
-#[derive(Clone, Copy)]
-struct MinPos {
-    time: Time,
-    /// Slab slot of the event's [`EventKind`] (for peeking).
-    slot: u32,
-    /// Index within the current scan slot's bucket, or [`IN_SORTED`].
-    bucket_pos: usize,
-}
-
-/// Virtual-time width of one calendar bucket, as a power of two:
-/// `1 << BUCKET_SHIFT` nanoseconds (4.096 µs).
-const BUCKET_SHIFT: u32 = 12;
-/// Number of calendar buckets (a power of two). One "year" —
-/// `BUCKET_COUNT << BUCKET_SHIFT` — spans ~33.6 ms of virtual time.
-const BUCKET_COUNT: usize = 1 << 13;
-const BUCKET_MASK: u64 = BUCKET_COUNT as u64 - 1;
-
-/// The simulation's future event set: a calendar queue of [`EventKey`]s
-/// over a slab of [`EventKind`]s, with a binary-heap overflow for
-/// far-future timers.
-///
-/// # Why a calendar
-///
-/// The previous 4-ary min-heap paid an O(log n) sift (a handful of
-/// random-access key compares and moves) on *every* push and pop, and
-/// every simulated packet passes through this queue twice. A calendar
-/// queue [Brown 1988] files each event in the bucket covering its
-/// timestamp — `buckets[(time >> BUCKET_SHIFT) & BUCKET_MASK]` — making
-/// push an append and pop a scan of one short bucket: O(1) amortized at
-/// simulation event densities.
-///
-/// # Bucket-width heuristic
-///
-/// The width must sit between two failure modes: too wide and every event
-/// lands in one bucket (pop degenerates to a linear scan of the queue);
-/// too narrow and pops spin over empty buckets. The engine's event
-/// horizon is dominated by the datagram pipeline — CPU costs (1–30 µs),
-/// link serialization (~12 µs/KB at 1 Gbps), and the 50 µs one-way
-/// latency — so pending packet events live 10–200 µs ahead of `now`.
-/// A 4.096 µs bucket spreads that horizon over ~10–50 buckets, keeping
-/// per-bucket occupancy at a few events even with tens of thousands of
-/// packets in flight, while ms-scale protocol timers (batch timeouts,
-/// retransmission checks, flow control) still fall inside the ~33.6 ms
-/// year. Only rare long timers (suspicion, GC, heartbeats) overflow to
-/// the heap, whose O(log n) cost is then paid per *timer*, not per
-/// packet.
-///
-/// # Determinism
-///
-/// Keys are unique (`seq` increments per push), and [`EventQueue::pop_due`]
-/// always returns the minimum `(time, seq)` key: events with the current
-/// scan slot's timestamp can only live in that slot's bucket, earlier
-/// slots have been drained, and the overflow heap is migrated into the
-/// calendar before it can hold anything within the active year. Bucket
-/// layout is therefore unobservable, exactly as the heap layout was, and
-/// any run is bit-for-bit reproducible from its seed.
-struct EventQueue {
-    /// Calendar buckets; `buckets[vslot & BUCKET_MASK]` holds events
-    /// whose `time >> BUCKET_SHIFT == vslot` for vslots within roughly
-    /// one year of the scan position (older years first, by scan order).
-    buckets: Vec<Vec<EventKey>>,
-    /// Current scan slot: no bucketed event's vslot is below it.
-    cur_vslot: u64,
-    /// Events currently filed in the calendar (`buckets` plus `sorted`).
-    in_buckets: usize,
-    /// Hot-bucket fast path: when one slot holds many events (e.g. a
-    /// same-timestamp burst under an infinite-bandwidth config), its
-    /// entries are extracted once, sorted descending by key, and popped
-    /// from the back — O(k log k) for k co-located events instead of the
-    /// O(k²) of per-pop bucket rescans.
-    sorted: Vec<EventKey>,
-    /// Slot `sorted` belongs to (meaningful while `sorted` is non-empty).
-    sorted_vslot: u64,
-    /// Far-future events (≥ one year ahead at push time), ordered by
-    /// `(time, seq)`; migrated into the calendar as the scan approaches.
-    overflow: BinaryHeap<std::cmp::Reverse<EventKey>>,
-    /// Memoized result of the last [`EventQueue::find_min`], so the run
-    /// loop's peek-then-maybe-pop pattern (delivery-run coalescing)
-    /// never scans a bucket twice. Invalidated by any push or take.
-    memo: Option<MinPos>,
-    /// The queued events' payloads; [`EventKey`]s carry slot indices.
-    slab: Slab<EventKind>,
-}
-
-/// Bucket occupancy beyond which the scan switches to the sorted-stack
-/// fast path for that slot.
-const SORT_THRESHOLD: usize = 32;
-
-impl Default for EventQueue {
-    fn default() -> EventQueue {
-        EventQueue {
-            buckets: (0..BUCKET_COUNT).map(|_| Vec::new()).collect(),
-            cur_vslot: 0,
-            in_buckets: 0,
-            sorted: Vec::new(),
-            sorted_vslot: 0,
-            overflow: BinaryHeap::new(),
-            memo: None,
-            slab: Slab::default(),
-        }
-    }
-}
-
-impl EventQueue {
-    #[inline]
-    fn vslot(time: Time) -> u64 {
-        time.as_nanos() >> BUCKET_SHIFT
-    }
-
-    #[inline]
-    fn push(&mut self, time: Time, seq: u64, kind: EventKind) {
-        self.memo = None;
-        let slot = self.slab.insert(kind);
-        let entry = EventKey { time, seq, slot };
-        let vslot = Self::vslot(time);
-        if vslot >= self.cur_vslot + BUCKET_COUNT as u64 {
-            self.overflow.push(std::cmp::Reverse(entry));
-            return;
-        }
-        // An event behind the scan position (possible when a driver
-        // injects work after `run_until` parked the scan on a far-future
-        // timer): rewind so the scan cannot miss it. Buckets may then
-        // transiently hold more than one year's vslots, which the
-        // scan-time vslot check in `find_min` handles.
-        if vslot < self.cur_vslot {
-            // The hot-bucket stack belongs to the slot the scan was
-            // parked on; flush it back into that slot's bucket so the
-            // rewound scan serves everything from the calendar again
-            // (a stranded stack would pop ahead of nearer events and
-            // be invisible to the sparse-scan jump).
-            if !self.sorted.is_empty() {
-                let idx = (self.sorted_vslot & BUCKET_MASK) as usize;
-                self.buckets[idx].append(&mut self.sorted);
-            }
-            // Re-home the (now empty) stack to the rewound slot. Leaving
-            // `sorted_vslot` pointing at the old park slot invites the
-            // hot-bucket extraction to merge a stack that does not
-            // belong to the slot being extracted (events would then pop
-            // at the wrong virtual time); `find_min` additionally guards
-            // that merge with the same invariant.
-            self.sorted_vslot = vslot;
-            self.cur_vslot = vslot;
-        }
-        self.buckets[(vslot & BUCKET_MASK) as usize].push(entry);
-        self.in_buckets += 1;
-    }
-
-    /// Migrates overflow events that now fall within one year of the scan
-    /// position into the calendar.
-    fn drain_overflow(&mut self) {
-        let horizon = self.cur_vslot + BUCKET_COUNT as u64;
-        while let Some(std::cmp::Reverse(top)) = self.overflow.peek() {
-            if Self::vslot(top.time) >= horizon {
-                return;
-            }
-            let std::cmp::Reverse(e) = self.overflow.pop().expect("peeked");
-            self.buckets[(Self::vslot(e.time) & BUCKET_MASK) as usize].push(e);
-            self.in_buckets += 1;
-        }
-    }
-
-    /// Pops the earliest event if its time is at or before `deadline`;
-    /// returns `None` (leaving the event queued) otherwise.
-    #[cfg(test)]
-    fn pop_due(&mut self, deadline: Time) -> Option<(Time, EventKind)> {
-        let pos = self.find_min()?;
-        if pos.time > deadline {
-            return None; // stays queued
-        }
-        Some(self.take_at(pos))
-    }
-
-    /// Locates the minimum `(time, seq)` queued event without removing
-    /// it, advancing the scan position (and migrating newly-near
-    /// overflow events) as a side effect. The returned position is valid
-    /// until the next `push` or `take_at`; the engine's run loop peeks
-    /// through it ([`EventQueue::kind_at`]) to coalesce same-instant
-    /// delivery runs before committing to the pop.
-    fn find_min(&mut self) -> Option<MinPos> {
-        if let Some(pos) = self.memo {
-            return Some(pos);
-        }
-        if self.in_buckets == 0 {
-            // Calendar empty: jump the scan straight to the earliest
-            // far-future event instead of sweeping empty years.
-            let std::cmp::Reverse(top) = self.overflow.peek()?;
-            self.cur_vslot = Self::vslot(top.time);
-        }
-        self.drain_overflow();
-        debug_assert!(self.in_buckets > 0);
-        let mut scanned = 0usize;
-        loop {
-            let cur = self.cur_vslot;
-            let idx = (cur & BUCKET_MASK) as usize;
-            // One pass over the bucket: find the minimum current-slot
-            // entry and count matches on the way. Events with
-            // vslot == cur can only be in this bucket or the sorted
-            // stack, and every queued event's vslot is >= cur, so the
-            // smaller of the two minima is the global minimum. (Bucket
-            // entries of later years are skipped.)
-            let bucket = &self.buckets[idx];
-            let mut best: Option<usize> = None;
-            let mut matching = 0usize;
-            for (i, e) in bucket.iter().enumerate() {
-                if Self::vslot(e.time) == cur {
-                    matching += 1;
-                    if best.is_none_or(|b| e.key() < bucket[b].key()) {
-                        best = Some(i);
-                    }
-                }
-            }
-            if matching > SORT_THRESHOLD {
-                // Hot bucket (e.g. a same-timestamp burst under an
-                // infinite-bandwidth config): extract every current-slot
-                // entry once, sort, and serve subsequent pops from the
-                // back of the sorted stack instead of O(k) rescans.
-                let bucket = &mut self.buckets[idx];
-                let mut batch: Vec<EventKey> = Vec::with_capacity(matching + self.sorted.len());
-                let mut i = 0;
-                while i < bucket.len() {
-                    if Self::vslot(bucket[i].time) == cur {
-                        batch.push(bucket.swap_remove(i));
-                    } else {
-                        i += 1;
-                    }
-                }
-                // Merge any previously sorted remainder of this slot
-                // (re-extraction after a burst of same-slot pushes) —
-                // but only if the stack really belongs to `cur`. The
-                // rewind path in `push` flushes and re-homes the stack,
-                // so a stack filed under any other slot means an entry
-                // point skipped that protocol; merging it anyway would
-                // pop its events at the wrong virtual time, so it is
-                // put back into its own bucket instead.
-                if self.sorted_vslot == cur {
-                    batch.append(&mut self.sorted);
-                } else if !self.sorted.is_empty() {
-                    let sidx = (self.sorted_vslot & BUCKET_MASK) as usize;
-                    self.buckets[sidx].append(&mut self.sorted);
-                }
-                batch.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
-                self.sorted = batch;
-                self.sorted_vslot = cur;
-                best = None; // extracted; serve from the sorted stack
-            }
-            let bucket = &self.buckets[idx];
-            let sorted_top = match self.sorted.last() {
-                Some(t) if self.sorted_vslot == cur => Some(*t),
-                _ => None,
-            };
-            let pick_bucket = match (best, sorted_top) {
-                (Some(i), Some(top)) => bucket[i].key() < top.key(),
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => {
-                    debug_assert!(self.sorted.is_empty() || self.sorted_vslot != cur);
-                    self.advance_slot(&mut scanned);
-                    continue;
-                }
-            };
-            let pos = if pick_bucket {
-                let i = best.expect("picked");
-                MinPos { time: bucket[i].time, slot: bucket[i].slot, bucket_pos: i }
-            } else {
-                let top = sorted_top.expect("picked");
-                MinPos { time: top.time, slot: top.slot, bucket_pos: IN_SORTED }
-            };
-            self.memo = Some(pos);
-            return Some(pos);
-        }
-    }
-
-    /// The kind of the event `find_min` located (peek; no removal).
-    #[inline]
-    fn kind_at(&self, pos: MinPos) -> &EventKind {
-        self.slab.get(pos.slot)
-    }
-
-    /// Locates the minimum-seq event queued at exactly `time`, given
-    /// that the global minimum at `time` was just popped. Equal times
-    /// share one calendar slot, so only the current bucket and the
-    /// sorted stack can hold a match — this is the delivery-run
-    /// coalescing probe, and unlike `find_min` it never advances the
-    /// scan or migrates overflow when there is nothing to coalesce.
-    /// Sound because every remaining event's time is ≥ `time`: an exact
-    /// match (minimal seq) *is* the global minimum.
-    fn find_same_time(&mut self, time: Time) -> Option<MinPos> {
-        if Self::vslot(time) != self.cur_vslot {
-            return None; // a push rewound the scan below `time`
-        }
-        let idx = (self.cur_vslot & BUCKET_MASK) as usize;
-        let bucket = &self.buckets[idx];
-        let mut best: Option<usize> = None;
-        for (i, e) in bucket.iter().enumerate() {
-            if e.time == time && best.is_none_or(|b| e.seq < bucket[b].seq) {
-                best = Some(i);
-            }
-        }
-        // The stack is sorted descending, so its back is its minimum:
-        // if even that is a later time, it holds no match.
-        let sorted_top = match self.sorted.last() {
-            Some(t) if self.sorted_vslot == self.cur_vslot && t.time == time => Some(*t),
-            _ => None,
-        };
-        match (best, sorted_top) {
-            (Some(i), Some(top)) if bucket[i].key() < top.key() => {
-                Some(MinPos { time, slot: bucket[i].slot, bucket_pos: i })
-            }
-            (_, Some(top)) => Some(MinPos { time, slot: top.slot, bucket_pos: IN_SORTED }),
-            (Some(i), None) => Some(MinPos { time, slot: bucket[i].slot, bucket_pos: i }),
-            (None, None) => None,
-        }
-    }
-
-    /// Removes the event `find_min` located, recycling its slab slot.
-    #[inline]
-    fn take_at(&mut self, pos: MinPos) -> (Time, EventKind) {
-        self.memo = None;
-        let e = if pos.bucket_pos == IN_SORTED {
-            self.sorted.pop().expect("sorted top present")
-        } else {
-            let idx = (self.cur_vslot & BUCKET_MASK) as usize;
-            self.buckets[idx].swap_remove(pos.bucket_pos)
-        };
-        debug_assert_eq!((e.time, e.slot), (pos.time, pos.slot));
-        self.in_buckets -= 1;
-        (e.time, self.slab.take(e.slot))
-    }
-
-    /// Advances the scan one slot, migrating newly-near overflow events
-    /// and taking the sparse-queue jump when a whole year scanned empty.
-    fn advance_slot(&mut self, scanned: &mut usize) {
-        self.cur_vslot += 1;
-        self.drain_overflow();
-        *scanned += 1;
-        if *scanned > BUCKET_COUNT {
-            // Sparse queue: a whole year of empty slots. Jump to the
-            // earliest event — bucketed *or* still parked in the
-            // overflow heap (jumping past the overflow minimum would
-            // pop a later bucketed event first and run time backwards).
-            let min_bucketed = self
-                .buckets
-                .iter()
-                .flatten()
-                .map(|e| Self::vslot(e.time))
-                .min()
-                .expect("in_buckets > 0");
-            let min_overflow = self.overflow.peek().map(|std::cmp::Reverse(e)| Self::vslot(e.time));
-            self.cur_vslot = min_overflow.map_or(min_bucketed, |o| min_bucketed.min(o));
-            self.drain_overflow();
-            *scanned = 0;
-        }
-    }
-}
-
-struct Core {
-    free_at: Time,
-    busy: Dur,
-}
-
-struct TcpChannel {
-    in_flight: u32,
-    queue: VecDeque<(Payload, u32)>,
-    queued_bytes: u64,
-    /// Segments delivered to the receiver so far; stamps each ack.
-    delivered_segs: u64,
-    /// Next ack sequence the sender expects. Acks are generated in
-    /// delivery order, so anything else is a duplicate/late ack and is
-    /// dropped instead of being subtracted from `in_flight` again.
-    acked_segs: u64,
-    /// Channel incarnation, bumped when either endpoint crashes. Acks in
-    /// flight across a crash carry the old epoch and are discarded — the
-    /// bytes they acknowledge were already written off by the reset, so
-    /// subtracting them again would drive `in_flight` negative.
-    epoch: u32,
-}
-
-impl TcpChannel {
-    fn new() -> TcpChannel {
-        TcpChannel {
-            in_flight: 0,
-            queue: VecDeque::new(),
-            queued_bytes: 0,
-            delivered_segs: 0,
-            acked_segs: 0,
-            epoch: 0,
-        }
-    }
-}
-
-struct Node {
-    up: bool,
-    uplink_free: Time,
-    downlink_free: Time,
-    socket_used: u64,
-    cores: Vec<Core>,
-    disk_free: Time,
-    /// Per-node overrides of cluster-wide defaults (0 = use SimConfig).
-    udp_socket_buffer: u32,
-}
-
 /// Everything in the simulation except the actors themselves. Split out so
-/// actor callbacks can borrow it mutably through [`Ctx`].
+/// actor callbacks can borrow it mutably through [`Ctx`]. Per-node engine
+/// state lives in the [`ShardState`] arenas (node resource clocks in the
+/// flat `nodes` arena); see [`crate::shard`] for the sharded-vs-global
+/// split.
 pub struct SimInner {
-    config: SimConfig,
-    now: Time,
-    seq: u64,
+    pub(crate) config: SimConfig,
+    pub(crate) now: Time,
+    /// Global event sequence counter, shared by every shard (the
+    /// keystone of partition-independent dispatch order).
+    pub(crate) seq: u64,
     /// Events dispatched so far (the denominator of wall-clock events/sec).
-    events: u64,
-    queue: EventQueue,
-    /// Bodies of queued `HostArrive`/`Deliver` envelopes (module docs,
-    /// "Envelope slab").
-    envs: Slab<Envelope>,
+    pub(crate) events: u64,
     /// Actor dispatch calls made for deliveries (a same-instant run of
     /// coalesced deliveries counts once) and the deliveries they carried
     /// — `delivered / dispatches` is the mean batch size the engine
     /// amortizes the actor indirection over. Not part of [`Metrics`]: a
     /// pure engine statistic, invisible to golden-trace checksums.
-    dispatches: u64,
-    dispatched_msgs: u64,
-    /// Per-size datagram cost cache (see [`CostCache`]).
-    cost_cache: CostCache,
-    nodes: Vec<Node>,
-    groups: Vec<Vec<NodeId>>,
+    pub(crate) dispatches: u64,
+    pub(crate) dispatched_msgs: u64,
+    /// The per-shard state arenas (queues, slabs, TCP halves, inboxes).
+    pub(crate) shards: Vec<ShardState>,
+    /// Node resource clocks, indexed directly by node id. Kept flat —
+    /// outside the shard arenas — because this is the hottest load in
+    /// the engine; each node's clocks are still touched only by its own
+    /// shard's events ([`crate::shard`] module docs, "What is sharded").
+    pub(crate) nodes: Vec<Node>,
+    /// The active node → shard map.
+    pub(crate) partition: Partition,
+    /// Per-shard-pair lookahead matrix, `lookahead[a * k + b]`
+    /// (see [`Sim::safe_window`]).
+    pub(crate) lookahead: Vec<Dur>,
+    /// Events that crossed a shard boundary through a handoff inbox.
+    /// Engine statistic, not a [`Metrics`] counter.
+    pub(crate) cross_shard_events: u64,
+    pub(crate) groups: Vec<Vec<NodeId>>,
     /// Reusable destination buffer for multicast fan-out (avoids one
     /// allocation per multicast on the hot path).
-    mcast_scratch: Vec<NodeId>,
-    /// Dense TCP channel table: `tcp_index[src * n + dst]` holds
-    /// `slot + 1` into `tcp_chans` (0 = no channel yet), so the
-    /// per-segment and per-ack paths are two array indexes instead of a
-    /// tuple hash. Rebuilt lazily when nodes are added.
-    tcp_index: Vec<u32>,
-    tcp_chans: Vec<TcpChannel>,
-    /// Node count `tcp_index` was laid out for.
-    tcp_nodes: usize,
-    rng: SmallRng,
+    pub(crate) mcast_scratch: Vec<NodeId>,
+    /// Dense TCP channel tables: `tcp_tx_index[src * n + dst]` holds
+    /// `slot + 1` into the source shard's `tcp_tx` (0 = no channel yet);
+    /// `tcp_rx_index` likewise into the destination shard's `tcp_rx`.
+    /// Two maps because the halves live in (potentially) different
+    /// shards' arenas. Rebuilt lazily when nodes are added.
+    pub(crate) tcp_tx_index: Vec<u32>,
+    pub(crate) tcp_rx_index: Vec<u32>,
+    /// Node count the TCP index tables were laid out for.
+    pub(crate) tcp_nodes: usize,
+    /// Engine-global RNG. Dispatch order is identical under every
+    /// partition, so draw order is too; a threaded executor will need
+    /// per-shard streams ([`crate::shard`] module docs).
+    pub(crate) rng: SmallRng,
     /// Public metrics registry; actors record through [`Ctx`].
     pub metrics: Metrics,
 }
 
 impl SimInner {
-    #[inline]
-    fn push(&mut self, time: Time, kind: EventKind) {
-        self.seq += 1;
-        self.queue.push(time, self.seq, kind);
-    }
-
     /// Current virtual time.
     pub fn now(&self) -> Time {
         self.now
@@ -768,405 +253,6 @@ impl SimInner {
     /// The cluster configuration.
     pub fn config(&self) -> &SimConfig {
         &self.config
-    }
-
-    fn node(&mut self, id: NodeId) -> &mut Node {
-        &mut self.nodes[id.0]
-    }
-
-    /// Charges `cost` of CPU on `core` of `node` starting no earlier than
-    /// `start`, returning the completion time.
-    #[inline]
-    fn charge_core(&mut self, node: NodeId, core: usize, start: Time, cost: Dur) -> Time {
-        let c = &mut self.nodes[node.0].cores[core];
-        let begin = c.free_at.max(start);
-        c.free_at = begin + cost;
-        c.busy += cost;
-        c.free_at
-    }
-
-    /// Sends a datagram: charges the sender CPU and uplink, then fans out
-    /// to each destination's downlink. `tcp_epoch` stamps TCP segments
-    /// with their channel incarnation (0 for datagram transports).
-    fn datagram(
-        &mut self,
-        src: NodeId,
-        dsts: &[NodeId],
-        payload: Payload,
-        bytes: u32,
-        transport: Transport,
-        tcp_epoch: u32,
-    ) {
-        if !self.nodes[src.0].up {
-            return;
-        }
-        let costs = self.costs_for(bytes);
-        let cpu_done = self.charge_core(src, 0, self.now, costs.send);
-        let tx = costs.tx;
-        let up = &mut self.nodes[src.0];
-        let up_done = up.uplink_free.max(cpu_done) + tx;
-        up.uplink_free = up_done;
-        self.metrics.add_id(src, mid::NET_SENT_BYTES, bytes as u64);
-        self.metrics.add_id(src, mid::NET_SENT_PKTS, 1);
-        // The last destination takes ownership of the caller's payload
-        // handle: the clone-per-destination refcount bump only runs for
-        // true multicast fan-out, never on the unicast fast path.
-        let Some((&last, rest)) = dsts.split_last() else { return };
-        for &dst in rest {
-            self.downlink(src, dst, payload.clone(), bytes, transport, up_done, costs, tcp_epoch);
-        }
-        self.downlink(src, last, payload, bytes, transport, up_done, costs, tcp_epoch);
-    }
-
-    /// Exact per-size costs of a datagram, served from the cost cache
-    /// (the config is frozen for the life of the simulation).
-    #[inline]
-    fn costs_for(&mut self, bytes: u32) -> SizeCosts {
-        let tag = bytes.wrapping_add(1);
-        let i = (bytes.wrapping_mul(0x9E37_79B9) >> 26) as usize % COST_CACHE_WAYS;
-        if self.cost_cache.tags[i] == tag {
-            return self.cost_cache.costs[i];
-        }
-        let c = SizeCosts {
-            send: self.config.send_cost(bytes),
-            tx: self.config.tx_time(bytes),
-            recv: self.config.recv_cost(bytes),
-            wire: self.config.wire_bytes(bytes),
-        };
-        self.cost_cache.tags[i] = tag;
-        self.cost_cache.costs[i] = c;
-        c
-    }
-
-    fn downlink(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        payload: Payload,
-        bytes: u32,
-        transport: Transport,
-        arrive_at_switch: Time,
-        costs: SizeCosts,
-        tcp_epoch: u32,
-    ) {
-        if !self.nodes[dst.0].up {
-            self.metrics.add_id(dst, mid::NET_DOWN_DROP, bytes as u64);
-            return;
-        }
-        if transport != Transport::Tcp {
-            // Random loss injection.
-            if self.config.random_loss > 0.0 && self.rng.gen::<f64>() < self.config.random_loss {
-                self.metrics.add_id(dst, mid::NET_RAND_DROP, 1);
-                return;
-            }
-            // Switch egress port buffer (tail drop).
-            let backlog = self.nodes[dst.0].downlink_free.saturating_since(arrive_at_switch);
-            let queued = self.config.backlog_bytes(backlog);
-            if queued + costs.wire > self.config.switch_port_buffer as u64 {
-                self.metrics.add_id(dst, mid::NET_SWITCH_DROP, 1);
-                self.metrics.add_id(dst, mid::NET_SWITCH_DROP_BYTES, bytes as u64);
-                return;
-            }
-        }
-        let down = &mut self.nodes[dst.0];
-        let done = down.downlink_free.max(arrive_at_switch) + costs.tx;
-        down.downlink_free = done;
-        let at_host = done + self.config.one_way_latency;
-        // The envelope is filed in the slab once, here; only its EnvId
-        // moves through the HostArrive → Deliver pipeline.
-        let env = Envelope { src, dst, payload, wire_bytes: bytes, transport, tcp_epoch };
-        let id = self.envs.insert(env);
-        self.push(at_host, EventKind::HostArrive(id));
-    }
-
-    /// Datagram reached the destination host NIC: socket-buffer check,
-    /// receive-cost charge, and the push of the `Deliver` completion.
-    /// The envelope body never moves — only its slab index travels into
-    /// the `Deliver` event. Kept `#[inline]` (with `deliver_prework`)
-    /// so the UDP datagram sequence compiles to one straight-line path
-    /// through the run loop, per the `simcore` criterion group.
-    #[inline]
-    fn host_arrive(&mut self, id: EnvId) {
-        let env = self.envs.get(id);
-        let (dst, wire_bytes, transport) = (env.dst, env.wire_bytes, env.transport);
-        if !self.nodes[dst.0].up {
-            drop(self.envs.take(id));
-            return;
-        }
-        if transport != Transport::Tcp {
-            let n = &self.nodes[dst.0];
-            let cap = if n.udp_socket_buffer > 0 {
-                n.udp_socket_buffer
-            } else {
-                self.config.udp_socket_buffer
-            };
-            if n.socket_used + wire_bytes as u64 > cap as u64 {
-                self.metrics.add_id(dst, mid::NET_SOCKET_DROP, 1);
-                self.metrics.add_id(dst, mid::NET_SOCKET_DROP_BYTES, wire_bytes as u64);
-                drop(self.envs.take(id));
-                return;
-            }
-            self.nodes[dst.0].socket_used += wire_bytes as u64;
-        }
-        let cost = self.costs_for(wire_bytes).recv;
-        let done = self.charge_core(dst, 0, self.now, cost);
-        self.push(done, EventKind::Deliver(id));
-    }
-
-    /// Per-envelope engine work of a delivery — socket drain, receive
-    /// metrics, TCP ack generation — run in exact pop order *before* the
-    /// actor sees the envelope (or its batch slice). Returns whether the
-    /// envelope should reach the actor (`false`: the node is down).
-    #[inline]
-    fn deliver_prework(&mut self, env: &Envelope) -> bool {
-        let dst = env.dst;
-        if env.transport != Transport::Tcp {
-            let n = &mut self.nodes[dst.0];
-            n.socket_used = n.socket_used.saturating_sub(env.wire_bytes as u64);
-        }
-        if !self.nodes[dst.0].up {
-            return false;
-        }
-        self.metrics.add_id(dst, mid::NET_RECV_BYTES, env.wire_bytes as u64);
-        self.metrics.add_id(dst, mid::NET_RECV_PKTS, 1);
-        if env.transport == Transport::Tcp {
-            match self.tcp_slot(env.src, dst) {
-                Some(slot) => {
-                    let ch = &mut self.tcp_chans[slot];
-                    if env.tcp_epoch == ch.epoch {
-                        let seq = ch.delivered_segs;
-                        ch.delivered_segs += 1;
-                        let epoch = ch.epoch;
-                        let ack_at = self.now + self.config.one_way_latency;
-                        let (src, bytes) = (env.src, env.wire_bytes);
-                        self.push(ack_at, EventKind::TcpAck { src, dst, bytes, seq, epoch });
-                    } else {
-                        // Orphan segment: it was in flight across a
-                        // crash-reset of its channel, so its bytes were
-                        // already written off at the sender. Fabricating
-                        // an ack here (the old code sent one stamped
-                        // `(0, 0)` or with the *new* epoch) corrupts the
-                        // reset channel's seq stream and costs an event;
-                        // the data still reaches the actor, like a
-                        // segment that raced a RST.
-                        self.metrics.add_id(dst, mid::NET_TCP_ORPHAN_SEG, 1);
-                    }
-                }
-                None => {
-                    // No channel was ever created for this pair — only
-                    // reachable through engine misuse today, but the
-                    // same orphan accounting keeps it visible instead of
-                    // acking a channel that does not exist.
-                    self.metrics.add_id(dst, mid::NET_TCP_ORPHAN_SEG, 1);
-                }
-            }
-        }
-        true
-    }
-
-    /// Slot of the `src -> dst` channel, if one exists.
-    #[inline]
-    fn tcp_slot(&self, src: NodeId, dst: NodeId) -> Option<usize> {
-        let n = self.tcp_nodes;
-        if src.0 < n && dst.0 < n {
-            match self.tcp_index[src.0 * n + dst.0] {
-                0 => None,
-                i => Some(i as usize - 1),
-            }
-        } else {
-            None
-        }
-    }
-
-    /// Slot of the `src -> dst` channel, creating it (and re-laying the
-    /// index out if nodes were added since) as needed.
-    fn tcp_slot_or_create(&mut self, src: NodeId, dst: NodeId) -> usize {
-        let n_now = self.nodes.len();
-        if n_now != self.tcp_nodes {
-            let old_n = self.tcp_nodes;
-            let mut index = vec![0u32; n_now * n_now];
-            for s in 0..old_n {
-                for d in 0..old_n {
-                    index[s * n_now + d] = self.tcp_index[s * old_n + d];
-                }
-            }
-            self.tcp_index = index;
-            self.tcp_nodes = n_now;
-        }
-        let cell = &mut self.tcp_index[src.0 * self.tcp_nodes + dst.0];
-        if *cell == 0 {
-            self.tcp_chans.push(TcpChannel::new());
-            *cell = self.tcp_chans.len() as u32;
-        }
-        *cell as usize - 1
-    }
-
-    fn tcp_pump(&mut self, src: NodeId, dst: NodeId) {
-        // A crashed sender transmits nothing: popping the queue here would
-        // charge `in_flight` for segments `datagram` silently discards,
-        // wedging the window forever (the segment is never delivered, so
-        // no ack ever returns). The queue is cleared by the crash reset.
-        if !self.nodes[src.0].up {
-            return;
-        }
-        let Some(slot) = self.tcp_slot(src, dst) else { return };
-        let window = self.config.tcp_window_bytes;
-        loop {
-            let peer_down = !self.nodes[dst.0].up;
-            let ch = &mut self.tcp_chans[slot];
-            let Some(&(_, bytes)) = ch.queue.front() else { return };
-            if peer_down {
-                // Segments to a down peer are written off at the sender
-                // (connection-reset semantics) instead of charged to
-                // `in_flight` — they would be dropped at the downlink
-                // and their acks would never return.
-                let (_, bytes) = ch.queue.pop_front().expect("checked front");
-                ch.queued_bytes -= bytes as u64;
-                self.metrics.add_id(src, mid::NET_TCP_RESET_BYTES, bytes as u64);
-                continue;
-            }
-            if ch.in_flight.saturating_add(bytes) > window && ch.in_flight > 0 {
-                return;
-            }
-            let (payload, bytes) = ch.queue.pop_front().expect("checked front");
-            ch.queued_bytes -= bytes as u64;
-            ch.in_flight += bytes;
-            let epoch = ch.epoch;
-            self.datagram(src, &[dst], payload, bytes, Transport::Tcp, epoch);
-        }
-    }
-
-    /// Sends `payload` over the reliable channel from `src` to `dst`.
-    pub fn tcp_send_from(&mut self, src: NodeId, dst: NodeId, payload: Payload, bytes: u32) {
-        let slot = self.tcp_slot_or_create(src, dst);
-        let ch = &mut self.tcp_chans[slot];
-        ch.queue.push_back((payload, bytes));
-        ch.queued_bytes += bytes as u64;
-        self.tcp_pump(src, dst);
-    }
-
-    /// Resets every TCP channel touching `node` (crash semantics): queued
-    /// and in-flight segments are written off under `net.tcp_reset_bytes`
-    /// on the sending node, the window reopens, and the channel epoch is
-    /// bumped so acks from before the crash are discarded as stale.
-    /// Without this, segments dropped at a down node's downlink never ack
-    /// and the channel's window stays full forever.
-    fn reset_tcp_of(&mut self, node: NodeId) {
-        let n = self.tcp_nodes;
-        for src in 0..n {
-            for dst in 0..n {
-                if src != node.0 && dst != node.0 {
-                    continue;
-                }
-                let cell = self.tcp_index[src * n + dst];
-                if cell == 0 {
-                    continue;
-                }
-                let ch = &mut self.tcp_chans[cell as usize - 1];
-                let lost = ch.in_flight as u64 + ch.queued_bytes;
-                ch.queue.clear();
-                ch.queued_bytes = 0;
-                ch.in_flight = 0;
-                ch.acked_segs = ch.delivered_segs;
-                ch.epoch = ch.epoch.wrapping_add(1);
-                if lost > 0 {
-                    self.metrics.add_id(NodeId(src), mid::NET_TCP_RESET_BYTES, lost);
-                }
-            }
-        }
-    }
-
-    /// Bytes queued (not yet transmitted) on the TCP channel `src -> dst`.
-    /// Protocols use this for application-level back-pressure.
-    pub fn tcp_backlog(&self, src: NodeId, dst: NodeId) -> u64 {
-        self.tcp_slot(src, dst)
-            .map(|slot| {
-                let ch = &self.tcp_chans[slot];
-                ch.queued_bytes + ch.in_flight as u64
-            })
-            .unwrap_or(0)
-    }
-
-    /// Sends a UDP datagram from `src` to `dst`.
-    pub fn udp_send_from(&mut self, src: NodeId, dst: NodeId, payload: Payload, bytes: u32) {
-        self.datagram(src, &[dst], payload, bytes, Transport::Udp, 0);
-    }
-
-    /// Multicasts a datagram from `src` to every subscriber of `group`.
-    /// The sender pays for one transmission regardless of group size.
-    /// Senders need not subscribe to the group; subscribers that are also
-    /// the sender do not receive their own copy (the caller can loop back
-    /// locally if the protocol requires it).
-    pub fn mcast_from(&mut self, src: NodeId, group: GroupId, payload: Payload, bytes: u32) {
-        let mut dsts = std::mem::take(&mut self.mcast_scratch);
-        dsts.clear();
-        if let Some(g) = self.groups.get(group.0) {
-            dsts.extend(g.iter().copied().filter(|&n| n != src));
-        }
-        self.datagram(src, &dsts, payload, bytes, Transport::Multicast(group), 0);
-        self.mcast_scratch = dsts;
-    }
-
-    /// Schedules `token` to fire on `node` after `delay`.
-    pub fn set_timer_on(&mut self, node: NodeId, delay: Dur, token: TimerToken) {
-        let at = self.now + delay;
-        self.push(at, EventKind::Timer { node, token });
-    }
-
-    /// Issues a disk write of `bytes` on `node`; `token` fires on the
-    /// node's actor when the write is durable.
-    pub fn disk_write_on(&mut self, node: NodeId, bytes: u32, token: TimerToken) {
-        let t = self.config.disk_write_time(bytes);
-        self.disk_push(node, bytes, t, token);
-    }
-
-    /// Issues a disk write of `bytes` that the writer coalesces into
-    /// `unit`-sized device operations (amortized op latency).
-    pub fn disk_write_coalesced_on(
-        &mut self,
-        node: NodeId,
-        bytes: u32,
-        unit: u32,
-        token: TimerToken,
-    ) {
-        let t = self.config.disk_write_time_coalesced(bytes, unit);
-        self.disk_push(node, bytes, t, token);
-    }
-
-    fn disk_push(&mut self, node: NodeId, bytes: u32, t: Dur, token: TimerToken) {
-        let now = self.now;
-        let n = self.node(node);
-        let done = n.disk_free.max(now) + t;
-        n.disk_free = done;
-        self.metrics.add_id(node, mid::DISK_WRITTEN_BYTES, bytes as u64);
-        self.push(done, EventKind::DiskDone { node, token });
-    }
-
-    /// Outstanding work queued on `node`'s disk.
-    pub fn disk_backlog_of(&self, node: NodeId) -> Dur {
-        self.nodes[node.0].disk_free.saturating_since(self.now)
-    }
-
-    /// Charges CPU on a specific core of `node`, returning completion time.
-    pub fn charge_cpu_on(&mut self, node: NodeId, core: usize, cost: Dur) -> Time {
-        self.charge_core(node, core, self.now, cost)
-    }
-
-    /// Schedules `token` to fire once `core` of `node` has executed `cost`
-    /// of work (models handing a task to a pinned thread).
-    pub fn run_on_core(&mut self, node: NodeId, core: usize, cost: Dur, token: TimerToken) {
-        let done = self.charge_core(node, core, self.now, cost);
-        self.push(done, EventKind::Timer { node, token });
-    }
-
-    /// Earliest time `core` of `node` becomes idle.
-    pub fn core_free_at(&self, node: NodeId, core: usize) -> Time {
-        self.nodes[node.0].cores[core].free_at
-    }
-
-    /// Cumulative busy time of `core` of `node`.
-    pub fn cpu_busy(&self, node: NodeId, core: usize) -> Dur {
-        self.nodes[node.0].cores[core].busy
     }
 
     /// The deterministic random number generator.
@@ -1179,6 +265,12 @@ impl SimInner {
 pub struct Ctx<'a> {
     node: NodeId,
     inner: &'a mut SimInner,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(node: NodeId, inner: &'a mut SimInner) -> Ctx<'a> {
+        Ctx { node, inner }
+    }
 }
 
 impl Ctx<'_> {
@@ -1299,34 +391,37 @@ impl Ctx<'_> {
 
 /// A simulated cluster: nodes, network, and the actors deployed on them.
 pub struct Sim {
-    inner: SimInner,
-    actors: Vec<Option<Box<dyn Actor>>>,
-    started: Vec<bool>,
+    pub(crate) inner: SimInner,
+    pub(crate) actors: Vec<Option<Box<dyn Actor>>>,
+    pub(crate) started: Vec<bool>,
     /// Reusable buffer the current delivery run is collected into before
     /// the actor callback (module docs, "Batched delivery dispatch").
-    inbox: Vec<Envelope>,
+    pub(crate) inbox: Vec<Envelope>,
 }
 
 impl Sim {
-    /// Creates an empty cluster with the given configuration.
+    /// Creates an empty cluster with the given configuration (identity
+    /// partition: one shard).
     pub fn new(config: SimConfig) -> Sim {
         let rng = SmallRng::seed_from_u64(config.seed);
+        let lookahead = SimInner::lookahead_matrix(1, config.one_way_latency);
         Sim {
             inner: SimInner {
                 config,
                 now: Time::ZERO,
                 seq: 0,
                 events: 0,
-                queue: EventQueue::default(),
-                envs: Slab::default(),
                 dispatches: 0,
                 dispatched_msgs: 0,
-                cost_cache: CostCache::default(),
+                shards: vec![ShardState::default()],
                 nodes: Vec::new(),
+                partition: Partition::identity(0),
+                lookahead,
+                cross_shard_events: 0,
                 groups: Vec::new(),
                 mcast_scratch: Vec::new(),
-                tcp_index: Vec::new(),
-                tcp_chans: Vec::new(),
+                tcp_tx_index: Vec::new(),
+                tcp_rx_index: Vec::new(),
                 tcp_nodes: 0,
                 rng,
                 metrics: Metrics::new(),
@@ -1337,24 +432,23 @@ impl Sim {
         }
     }
 
-    /// Adds a node running `actor`, returning its id.
+    /// Adds a node running `actor`, returning its id. The node is homed
+    /// on a shard per the active partition (shard 0 until
+    /// [`Sim::set_partition`] says otherwise) and its metrics row is
+    /// banked there.
     pub fn add_node(&mut self, actor: Box<dyn Actor>) -> NodeId {
         let id = NodeId(self.inner.nodes.len());
-        let cores = (0..self.inner.config.cores_per_node)
-            .map(|_| Core { free_at: Time::ZERO, busy: Dur::ZERO })
-            .collect();
-        self.inner.nodes.push(Node {
-            up: true,
-            uplink_free: Time::ZERO,
-            downlink_free: Time::ZERO,
-            socket_used: 0,
-            cores,
-            disk_free: Time::ZERO,
-            udp_socket_buffer: 0,
-        });
+        let sh = self.inner.partition.push_node() as usize;
+        self.inner.nodes.push(Node::new(self.inner.config.cores_per_node));
+        self.inner.metrics.assign_node(id, sh);
         self.actors.push(Some(actor));
         self.started.push(false);
         id
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.len()
     }
 
     /// Creates a new multicast group, returning its id.
@@ -1379,7 +473,7 @@ impl Sim {
 
     /// Overrides the UDP socket buffer size of one node.
     pub fn set_udp_socket_buffer(&mut self, node: NodeId, bytes: u32) {
-        self.inner.nodes[node.0].udp_socket_buffer = bytes;
+        self.inner.node_mut(node).udp_socket_buffer = bytes;
     }
 
     /// Marks a node as crashed (`false`) or recovered (`true`). A crashed
@@ -1389,15 +483,15 @@ impl Sim {
     /// segments are counted under `net.tcp_reset_bytes` at their sender),
     /// mirroring the connection teardown a real peer would observe.
     pub fn set_node_up(&mut self, node: NodeId, up: bool) {
-        let was_up = self.inner.nodes[node.0].up;
-        self.inner.nodes[node.0].up = up;
+        let was_up = self.inner.node(node).up;
+        self.inner.node_mut(node).up = up;
         if was_up && !up {
             self.inner.reset_tcp_of(node);
         }
         if up {
             // A node that was down may have stale resource clocks.
             let now = self.inner.now;
-            let n = &mut self.inner.nodes[node.0];
+            let n = self.inner.node_mut(node);
             n.uplink_free = n.uplink_free.max(now);
             n.downlink_free = n.downlink_free.max(now);
             n.socket_used = 0;
@@ -1406,7 +500,7 @@ impl Sim {
 
     /// Whether `node` is currently up.
     pub fn is_up(&self, node: NodeId) -> bool {
-        self.inner.nodes[node.0].up
+        self.inner.node(node).up
     }
 
     /// Resumes a paused node, re-running the existing actor's `on_start`
@@ -1426,7 +520,7 @@ impl Sim {
     pub fn replace_actor(&mut self, node: NodeId, actor: Box<dyn Actor>) {
         self.actors[node.0] = Some(actor);
         self.started[node.0] = false;
-        if self.inner.nodes[node.0].up {
+        if self.inner.node(node).up {
             self.start_actor(node);
         }
     }
@@ -1483,165 +577,14 @@ impl Sim {
     /// used by experiment drivers to inject work (e.g., client requests)
     /// without a full actor.
     pub fn with_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut Ctx) -> R) -> R {
-        let mut ctx = Ctx { node, inner: &mut self.inner };
+        let mut ctx = Ctx::new(node, &mut self.inner);
         f(&mut ctx)
-    }
-
-    fn start_actor(&mut self, node: NodeId) {
-        if self.started[node.0] {
-            return;
-        }
-        self.started[node.0] = true;
-        if let Some(mut actor) = self.actors[node.0].take() {
-            let mut ctx = Ctx { node, inner: &mut self.inner };
-            actor.on_start(&mut ctx);
-            self.actors[node.0] = Some(actor);
-        }
-    }
-
-    fn ensure_started(&mut self) {
-        for i in 0..self.actors.len() {
-            if self.inner.nodes[i].up {
-                self.start_actor(NodeId(i));
-            }
-        }
-    }
-
-    /// Runs the simulation until `deadline` (inclusive). Events scheduled
-    /// after the deadline remain queued; virtual time advances to the
-    /// deadline even if the queue drains first.
-    pub fn run_until(&mut self, deadline: Time) {
-        self.ensure_started();
-        while self.step(deadline) {}
-        self.inner.now = self.inner.now.max(deadline);
-    }
-
-    /// Runs until the event queue is empty (useful for tests).
-    pub fn run_to_idle(&mut self) {
-        self.ensure_started();
-        while self.step(Time::MAX) {}
-    }
-
-    /// Pops and dispatches the next due event (plus, for deliveries, the
-    /// rest of its same-instant run). Returns `false` once nothing at or
-    /// before `deadline` remains.
-    #[inline]
-    fn step(&mut self, deadline: Time) -> bool {
-        let Some(pos) = self.inner.queue.find_min() else { return false };
-        if pos.time > deadline {
-            return false;
-        }
-        let (time, kind) = self.inner.queue.take_at(pos);
-        self.inner.now = time;
-        self.inner.events += 1;
-        self.dispatch(time, kind);
-        true
-    }
-
-    /// Collects the maximal run of consecutive same-instant `Deliver`
-    /// events for one destination into the reusable inbox and hands it
-    /// to the actor in a single callback. Engine prework runs per
-    /// envelope in exact pop order first; see the module docs ("Batched
-    /// delivery dispatch") for the precise equivalence to unbatched
-    /// dispatch.
-    fn deliver_run(&mut self, time: Time, first: EnvId) {
-        let mut inbox = std::mem::take(&mut self.inbox);
-        debug_assert!(inbox.is_empty());
-        let env = self.inner.envs.take(first);
-        let dst = env.dst;
-        if self.inner.deliver_prework(&env) {
-            inbox.push(env);
-        }
-        while let Some(pos) = self.inner.queue.find_same_time(time) {
-            let EventKind::Deliver(id) = *self.inner.queue.kind_at(pos) else { break };
-            if self.inner.envs.get(id).dst != dst {
-                break;
-            }
-            let _ = self.inner.queue.take_at(pos);
-            self.inner.events += 1;
-            let env = self.inner.envs.take(id);
-            if self.inner.deliver_prework(&env) {
-                inbox.push(env);
-            }
-        }
-        if !inbox.is_empty() {
-            self.inner.dispatches += 1;
-            self.inner.dispatched_msgs += inbox.len() as u64;
-            if let Some(mut actor) = self.actors[dst.0].take() {
-                let mut ctx = Ctx { node: dst, inner: &mut self.inner };
-                if let [only] = inbox.as_slice() {
-                    actor.on_message(only, &mut ctx);
-                } else {
-                    actor.on_batch(&inbox, &mut ctx);
-                }
-                self.actors[dst.0] = Some(actor);
-            }
-        }
-        inbox.clear();
-        self.inbox = inbox;
-    }
-
-    fn dispatch(&mut self, time: Time, kind: EventKind) {
-        match kind {
-            EventKind::HostArrive(id) => self.inner.host_arrive(id),
-            EventKind::Deliver(id) => self.deliver_run(time, id),
-            EventKind::Timer { node, token } => {
-                if !self.inner.nodes[node.0].up {
-                    return;
-                }
-                if let Some(mut actor) = self.actors[node.0].take() {
-                    let mut ctx = Ctx { node, inner: &mut self.inner };
-                    actor.on_timer(token, &mut ctx);
-                    self.actors[node.0] = Some(actor);
-                }
-            }
-            EventKind::TcpAck { src, dst, bytes, seq, epoch } => {
-                if let Some(slot) = self.inner.tcp_slot(src, dst) {
-                    let ch = &mut self.inner.tcp_chans[slot];
-                    if epoch != ch.epoch {
-                        // Ack from before a crash-reset: the bytes it
-                        // acknowledges were already written off.
-                        self.inner.metrics.add_id(src, mid::NET_TCP_STALE_ACK, 1);
-                        return;
-                    }
-                    if seq != ch.acked_segs {
-                        // Duplicate or late ack: ignoring it keeps
-                        // `in_flight` exact (subtracting again would
-                        // drive it negative / stall the window).
-                        self.inner.metrics.add_id(src, mid::NET_TCP_DUP_ACK, 1);
-                        return;
-                    }
-                    ch.acked_segs += 1;
-                    if ch.in_flight >= bytes {
-                        ch.in_flight -= bytes;
-                    } else {
-                        // The segment crossed a crash-reset (it was in the
-                        // receive pipeline when the node bounced): its
-                        // bytes were already written off by the reset.
-                        ch.in_flight = 0;
-                        self.inner.metrics.add_id(src, mid::NET_TCP_STALE_ACK, 1);
-                    }
-                }
-                self.inner.tcp_pump(src, dst);
-            }
-            EventKind::DiskDone { node, token } => {
-                if !self.inner.nodes[node.0].up {
-                    return;
-                }
-                if let Some(mut actor) = self.actors[node.0].take() {
-                    let mut ctx = Ctx { node, inner: &mut self.inner };
-                    actor.on_timer(token, &mut ctx);
-                    self.actors[node.0] = Some(actor);
-                }
-            }
-        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -2060,12 +1003,12 @@ mod tests {
         assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "time ran backwards: {got:?}");
     }
 
-    /// Regression: rewinding the scan (driver-injected near work) while
-    /// the hot-bucket stack holds a far slot's events must flush that
-    /// stack back into the calendar — a stranded stack popped its far
-    /// events ahead of nearer ones and ran virtual time backwards.
+    /// Regression (behavioral, survives the sorted-bucket queue rewrite):
+    /// rewinding the scan with driver-injected near work while a dense
+    /// same-timestamp burst waits at a far slot must pop everything in
+    /// non-decreasing virtual time.
     #[test]
-    fn hot_bucket_stack_survives_scan_rewind() {
+    fn co_located_burst_survives_scan_rewind() {
         struct T {
             log: Rc<RefCell<Vec<(u64, Time)>>>,
         }
@@ -2078,15 +1021,14 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let n = sim.add_node(Box::new(T { log: log.clone() }));
-        // A co-located burst at 30 ms, large enough for the sorted path.
+        // A co-located burst at 30 ms.
         sim.with_ctx(n, |ctx| {
             for i in 0..40u64 {
                 ctx.set_timer(Dur::millis(30), TimerToken(1000 + i));
             }
         });
-        // Park the scan on the burst's slot (extracting it into the
-        // sorted stack), then rewind with a nearer burst plus a single
-        // timer between the two.
+        // Park the scan on the burst's slot, then rewind with a nearer
+        // burst plus a single timer between the two.
         sim.run_until(Time::from_millis(1));
         sim.with_ctx(n, |ctx| {
             for i in 0..33u64 {
@@ -2109,11 +1051,10 @@ mod tests {
     }
 
     /// Regression: a rewind of more than one calendar year below a
-    /// sorted far burst made the sparse-scan jump panic — it computed
-    /// its minimum over bucketed events only, while every remaining
-    /// event sat in the sorted stack.
+    /// dense far burst must leave the sparse-scan jump able to find
+    /// every remaining event.
     #[test]
-    fn sparse_jump_survives_sorted_far_burst() {
+    fn sparse_jump_survives_far_burst() {
         struct T;
         impl Actor for T {
             fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
@@ -2126,99 +1067,18 @@ mod tests {
             }
         });
         sim.run_until(Time::from_millis(1));
-        // Rewind > one year (33.6 ms) below the sorted burst.
+        // Rewind > one year (33.6 ms) below the burst.
         sim.with_ctx(n, |ctx| ctx.set_timer(Dur::millis(1), TimerToken(99)));
         sim.run_to_idle();
         assert_eq!(sim.now(), Time::from_millis(40));
     }
 
-    /// The hot-bucket sorted path and the plain scan must both pop in
-    /// exact `(time, seq)` order, including pushes interleaved with pops
-    /// into the slot being drained.
-    #[test]
-    fn event_queue_pops_co_located_bursts_in_seq_order() {
-        let mut q = EventQueue::default();
-        let t = Time::ZERO + Dur::micros(1); // all in one bucket
-        let mut seq = 0u64;
-        for _ in 0..1000 {
-            seq += 1;
-            q.push(t, seq, EventKind::Timer { node: NodeId(0), token: TimerToken(seq) });
-        }
-        let mut popped = Vec::new();
-        for round in 0..500 {
-            let (time, kind) = q.pop_due(Time::MAX).expect("queued");
-            assert_eq!(time, t);
-            let EventKind::Timer { token, .. } = kind else { panic!("timer expected") };
-            popped.push(token.0);
-            // Interleave same-slot pushes while the sorted stack drains.
-            if round % 7 == 0 {
-                seq += 1;
-                q.push(t, seq, EventKind::Timer { node: NodeId(0), token: TimerToken(seq) });
-            }
-        }
-        while let Some((_, kind)) = q.pop_due(Time::MAX) {
-            let EventKind::Timer { token, .. } = kind else { panic!("timer expected") };
-            popped.push(token.0);
-        }
-        let mut want = popped.clone();
-        want.sort_unstable();
-        assert_eq!(popped, want, "pops must follow seq order");
-        assert_eq!(popped.len(), 1000 + 500usize.div_ceil(7));
-    }
-
-    /// Regression (PR 5, fails pre-fix): a hot-bucket stack filed under
-    /// a slot other than the scan position must never be merged into
-    /// another slot's extraction. The rewind path in `push` upholds the
-    /// invariant by flushing *and re-homing* the stack; this test
-    /// fabricates the stranded state directly (a rewind that skipped
-    /// the flush protocol — the hazard a stale `sorted_vslot` invites)
-    /// and checks the extraction-site guard refuses the merge. Pre-fix,
-    /// the unconditional `batch.append(&mut self.sorted)` pulled the
-    /// 2 ms stack into the 1 µs slot's extraction and popped it ahead
-    /// of the 1 ms timer — virtual time ran backwards.
-    #[test]
-    fn stale_hot_bucket_stack_is_refiled_not_merged() {
-        let timer = |seq: u64| EventKind::Timer { node: NodeId(0), token: TimerToken(seq) };
-        let mut q = EventQueue::default();
-        // Hot burst at 2 ms; parking the scan on its slot extracts the
-        // whole burst into the sorted stack.
-        let t_far = Time::ZERO + Dur::millis(2);
-        for seq in 1..=40u64 {
-            q.push(t_far, seq, timer(seq));
-        }
-        assert!(q.pop_due(Time::ZERO).is_none());
-        assert_eq!(q.sorted.len(), 40, "burst extracted into the stack");
-        assert_eq!(q.sorted_vslot, EventQueue::vslot(t_far));
-        // Fabricate the hazard: rewind the scan without the
-        // flush-and-re-home protocol.
-        let t_near = Time::ZERO + Dur::micros(1);
-        q.cur_vslot = EventQueue::vslot(t_near);
-        // A hot burst in the rewound slot triggers an extraction there;
-        // an in-between timer at 1 ms must pop before anything from the
-        // stranded 2 ms stack.
-        for seq in 100..140u64 {
-            q.push(t_near, seq, timer(seq));
-        }
-        q.push(Time::ZERO + Dur::millis(1), 200, timer(200));
-        let mut popped = Vec::new();
-        while let Some((time, _)) = q.pop_due(Time::MAX) {
-            popped.push(time);
-        }
-        assert_eq!(popped.len(), 81, "no event lost or duplicated");
-        assert!(
-            popped.windows(2).all(|w| w[0] <= w[1]),
-            "stranded stack popped out of order: {popped:?}"
-        );
-    }
-
     /// The interleaving named by the PR-5 issue, end to end through the
-    /// public API: a parked scan holding an extracted hot-bucket stack,
-    /// a past-time push (rewind — the flush re-homes the stack and
-    /// resets `sorted_vslot`), then a *second* hot burst whose
-    /// extraction runs with the re-homed state. Every event must fire,
-    /// in non-decreasing virtual time.
+    /// public API: a parked scan at a dense far burst, a past-time push
+    /// (rewind), then a *second* dense burst in the rewound region.
+    /// Every event must fire, in non-decreasing virtual time.
     #[test]
-    fn rewind_then_second_hot_burst_extracts_cleanly() {
+    fn rewind_then_second_burst_pops_cleanly() {
         struct T {
             log: Rc<RefCell<Vec<(u64, Time)>>>,
         }
@@ -2231,16 +1091,15 @@ mod tests {
         let log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let n = sim.add_node(Box::new(T { log: log.clone() }));
-        // Hot burst at 30 ms; the scan parks on its slot and extracts it.
+        // Dense burst at 30 ms; the scan parks on its slot.
         sim.with_ctx(n, |ctx| {
             for i in 0..40u64 {
                 ctx.set_timer(Dur::millis(30), TimerToken(2000 + i));
             }
         });
         sim.run_until(Time::from_millis(1));
-        // Past-time pushes: a second hot burst at 2 ms (rewind, then a
-        // fresh extraction in the rewound region) plus one lone timer
-        // between the two bursts.
+        // Past-time pushes: a second dense burst at 2 ms (rewind) plus
+        // one lone timer between the two bursts.
         sim.with_ctx(n, |ctx| {
             for i in 0..36u64 {
                 ctx.set_timer(Dur::millis(1), TimerToken(i)); // fires at 2 ms
@@ -2253,7 +1112,7 @@ mod tests {
         assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "time ran backwards: {got:?}");
         let pos_999 = got.iter().position(|&(t, _)| t == 999).expect("15 ms timer fired");
         let first_far = got.iter().position(|&(t, _)| t >= 2000).expect("30 ms burst fired");
-        assert!(pos_999 < first_far, "30 ms stack replayed ahead of the 15 ms timer");
+        assert!(pos_999 < first_far, "30 ms burst replayed ahead of the 15 ms timer");
     }
 
     /// Regression (PR 5, fails pre-fix): TCP segments that were in
@@ -2301,120 +1160,131 @@ mod tests {
         );
     }
 
-    /// Virtual-time width of one calendar "year".
-    const YEAR: Dur = Dur::nanos((BUCKET_COUNT as u64) << BUCKET_SHIFT);
+    // ---- shard layer ----
 
-    proptest::proptest! {
-        /// Model-based check of the calendar queue against a
-        /// `BinaryHeap` reference under arbitrary interleavings of
-        /// near-future pushes, same-timestamp bursts (hot-bucket
-        /// extraction), far-overflow timers (multiple calendar years
-        /// out), deadline-limited pops, and scan parks followed by
-        /// behind-the-scan pushes (rewind + stack flush). Both
-        /// structures must agree on the exact `(time, seq)` pop order.
-        #[test]
-        fn event_queue_matches_reference_heap(
-            ops in proptest::collection::vec((0u8..6u8, proptest::any::<u32>()), 0..120)
-        ) {
-            let timer = |seq: u64| EventKind::Timer { node: NodeId(0), token: TimerToken(seq) };
-            let mut q = EventQueue::default();
-            let mut model: BinaryHeap<std::cmp::Reverse<(Time, u64)>> = BinaryHeap::new();
-            let mut seq = 0u64;
-            // Lower bound for new pushes: the engine never schedules
-            // below `now`, but a parked scan may sit far above it.
-            let mut cursor = Time::ZERO;
-            let push = |q: &mut EventQueue,
-                            model: &mut BinaryHeap<std::cmp::Reverse<(Time, u64)>>,
-                            seq: &mut u64,
-                            at: Time| {
-                *seq += 1;
-                q.push(at, *seq, timer(*seq));
-                model.push(std::cmp::Reverse((at, *seq)));
-            };
-            let pop_and_check = |q: &mut EventQueue,
-                                     model: &mut BinaryHeap<std::cmp::Reverse<(Time, u64)>>,
-                                     deadline: Time|
-             -> Result<Option<Time>, proptest::test_runner::TestCaseError> {
-                let got = q.pop_due(deadline);
-                let want = match model.peek() {
-                    Some(&std::cmp::Reverse((t, _))) if t <= deadline => {
-                        let std::cmp::Reverse((t, s)) = model.pop().expect("peeked");
-                        Some((t, s))
-                    }
-                    _ => None,
-                };
-                match (got, want) {
-                    (None, None) => Ok(None),
-                    (Some((t, EventKind::Timer { token, .. })), Some((wt, ws))) => {
-                        prop_assert_eq!((t, token.0), (wt, ws), "pop order diverged");
-                        Ok(Some(t))
-                    }
-                    (got, want) => {
-                        let got = got.map(|(t, _)| t);
-                        let want = want.map(|(t, _)| t);
-                        prop_assert_eq!(got, want, "one side popped, the other did not");
-                        Ok(None)
-                    }
-                }
-            };
-            for &(op, arg) in &ops {
-                let jitter = Dur::nanos((arg % 500_000) as u64);
-                match op {
-                    // Near-future push (within the scan's first years).
-                    0 => push(&mut q, &mut model, &mut seq, cursor + jitter),
-                    // Same-timestamp burst, over the hot-bucket threshold.
-                    1 => {
-                        let t = cursor + Dur::nanos((arg % 100_000) as u64);
-                        for _ in 0..(SORT_THRESHOLD + 4) {
-                            push(&mut q, &mut model, &mut seq, t);
-                        }
-                    }
-                    // Far-overflow push, one to three calendar years out.
-                    2 => {
-                        let years = 1 + (arg % 3) as u64;
-                        push(&mut q, &mut model, &mut seq, cursor + YEAR * years + jitter);
-                    }
-                    // Park the scan on the earliest event's slot without
-                    // popping it (deadline below every queued event),
-                    // then push behind the parked position: the rewind +
-                    // stack-flush path.
-                    3 => {
-                        let _ = pop_and_check(&mut q, &mut model, cursor)?;
-                        push(&mut q, &mut model, &mut seq, cursor + Dur::nanos((arg % 4_000) as u64));
-                    }
-                    // Bounded-deadline pops.
-                    4 => {
-                        let deadline = cursor + jitter;
-                        for _ in 0..8 {
-                            if let Some(t) = pop_and_check(&mut q, &mut model, deadline)? {
-                                cursor = cursor.max(t);
-                            } else {
-                                break;
-                            }
-                        }
-                    }
-                    // Unbounded pops (a few).
-                    _ => {
-                        for _ in 0..4 {
-                            if let Some(t) = pop_and_check(&mut q, &mut model, Time::MAX)? {
-                                cursor = cursor.max(t);
-                            } else {
-                                break;
-                            }
-                        }
-                    }
-                }
-            }
-            // Drain both completely; the full residual order must match.
-            loop {
-                let t = pop_and_check(&mut q, &mut model, Time::MAX)?;
-                match t {
-                    Some(t) => cursor = cursor.max(t),
-                    None => break,
-                }
-            }
-            prop_assert!(model.is_empty());
-            prop_assert_eq!(q.in_buckets, 0);
+    /// Full observable state of a finished run, for partition-
+    /// equivalence checks: delivery log, event count, and every non-zero
+    /// counter in deterministic order.
+    type Observed = (Vec<(u64, &'static str, u32)>, u64, Vec<(usize, String, u64)>);
+
+    /// A mixed workload (UDP bursts, multicast fan-in, TCP streams,
+    /// timers, a crash) on 4 nodes, run under `partition`.
+    fn mixed_workload(partition: Option<Partition>) -> Observed {
+        struct Echo {
+            log: Rc<RefCell<Vec<(Time, &'static str, u32)>>>,
         }
+        impl Actor for Echo {
+            fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
+                let n = env.payload.downcast_ref::<Note>().expect("Note");
+                self.log.borrow_mut().push((ctx.now(), n.0, n.1));
+                // Reply to some traffic so cross-shard paths run both ways.
+                if n.1.is_multiple_of(3) && n.0 == "u" {
+                    ctx.udp_send(env.src, Note("r", n.1), 256);
+                }
+            }
+            fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
+                self.log.borrow_mut().push((ctx.now(), "t", token.0 as u32));
+                if token.0 < 3 {
+                    ctx.set_timer(Dur::millis(1), TimerToken(token.0 + 1));
+                }
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut cfg = SimConfig::default();
+        cfg.random_loss = 0.01; // exercise the shared rng path
+        let mut sim = Sim::new(cfg);
+        let nodes: Vec<NodeId> =
+            (0..4).map(|_| sim.add_node(Box::new(Echo { log: log.clone() }))).collect();
+        let g = sim.add_group();
+        for &n in &nodes {
+            sim.subscribe(n, g);
+        }
+        if let Some(p) = partition {
+            sim.set_partition(p);
+        }
+        sim.with_ctx(nodes[0], |ctx| {
+            for i in 0..40 {
+                ctx.udp_send(nodes[(i as usize % 3) + 1], Note("u", i), 1000 + i * 7);
+            }
+            ctx.mcast(g, Note("m", 0), 4096);
+            ctx.set_timer(Dur::micros(100), TimerToken(0));
+        });
+        sim.with_ctx(nodes[1], |ctx| {
+            for i in 0..30 {
+                ctx.tcp_send(nodes[2], Note("c", i), 8 * 1024);
+            }
+        });
+        sim.run_until(Time::from_millis(2));
+        sim.set_node_up(nodes[2], false);
+        sim.run_until(Time::from_millis(4));
+        sim.set_node_up(nodes[2], true);
+        sim.with_ctx(nodes[1], |ctx| {
+            for i in 100..110 {
+                ctx.tcp_send(nodes[2], Note("c", i), 8 * 1024);
+            }
+        });
+        sim.run_to_idle();
+        let deliveries =
+            log.borrow().iter().map(|e| (e.0.as_nanos(), e.1, e.2)).collect::<Vec<_>>();
+        let mut counters = Vec::new();
+        sim.metrics().for_each_counter(|n, name, v| counters.push((n.0, name.to_string(), v)));
+        (deliveries, sim.events_processed(), counters)
+    }
+
+    /// The tentpole's semantics-preservation claim: any partition yields
+    /// the byte-identical trace of the identity partition — same
+    /// delivery log, same event count, same counters.
+    #[test]
+    fn partitions_reproduce_identity_trace() {
+        let identity = mixed_workload(None);
+        for k in [1usize, 2, 3, 4] {
+            let sharded = mixed_workload(Some(Partition::modulo(4, k)));
+            assert_eq!(sharded.0, identity.0, "delivery trace diverged under k={k}");
+            assert_eq!(sharded.1, identity.1, "event count diverged under k={k}");
+            assert_eq!(sharded.2, identity.2, "counters diverged under k={k}");
+        }
+    }
+
+    #[test]
+    fn cross_shard_traffic_uses_handoff_inboxes() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
+        sim.set_partition(Partition::modulo(2, 2));
+        sim.with_ctx(a, |ctx| {
+            for i in 0..10 {
+                ctx.udp_send(b, Note("x", i), 1000);
+            }
+            ctx.tcp_send(b, Note("t", 99), 2000);
+        });
+        sim.run_to_idle();
+        assert_eq!(log.borrow().len(), 11);
+        // Every datagram crossed a → b, and the TCP ack crossed back.
+        assert!(sim.cross_shard_events() >= 12, "got {}", sim.cross_shard_events());
+    }
+
+    #[test]
+    fn safe_window_reflects_partition() {
+        let mut sim = Sim::new(SimConfig::default());
+        let _ = sim.add_node(Box::new(Quiet));
+        let _ = sim.add_node(Box::new(Quiet));
+        // One shard: nothing to synchronize with.
+        assert_eq!(sim.safe_window(), Dur::MAX);
+        sim.set_partition(Partition::modulo(2, 2));
+        // Two shards: bounded by the minimum link latency.
+        assert_eq!(sim.safe_window(), sim.config().one_way_latency);
+        assert_eq!(sim.lookahead(0, 1), sim.config().one_way_latency);
+        assert_eq!(sim.lookahead(0, 0), Dur::MAX);
+        assert_eq!(sim.partition().shards(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before any event")]
+    fn set_partition_after_events_panics() {
+        let mut sim = Sim::new(SimConfig::default());
+        let n = sim.add_node(Box::new(Quiet));
+        sim.with_ctx(n, |ctx| ctx.set_timer(Dur::millis(1), TimerToken(0)));
+        sim.set_partition(Partition::modulo(1, 1));
     }
 }

@@ -9,14 +9,19 @@
 //! per-event cost at array-indexing levels:
 //!
 //! * **Interned counters.** Every counter name is interned once into a
-//!   [`MetricId`]; values live in a dense per-node `Vec<u64>` matrix
-//!   indexed `[node][id]`. The names the engine and the ordering
-//!   protocols bump per packet are pre-interned at fixed indices (see
-//!   [`mid`]), so the hot paths never hash a string — they do two indexed
-//!   loads. The string-keyed API ([`Metrics::add`], [`Metrics::counter`],
+//!   [`MetricId`]; values live in dense per-node rows grouped into
+//!   per-shard *banks* (`banks[bank][row][id]`, with a node → `(bank,
+//!   row)` location table), so a shard's counter writes touch only its
+//!   own bank — no cross-shard cache-line sharing when the executor goes
+//!   threaded. The names the engine and the ordering protocols bump per
+//!   packet are pre-interned at fixed indices (see [`mid`]), so the hot
+//!   paths never hash a string — they do three indexed loads. The
+//!   string-keyed API ([`Metrics::add`], [`Metrics::counter`],
 //!   [`Metrics::sum`]) remains for experiment runners and tests; it pays
 //!   one `HashMap` lookup to resolve the name and is not on the per-event
-//!   path.
+//!   path. Reporting ([`Metrics::for_each_counter`]) walks the location
+//!   table in node-index order, so output order — and every golden-trace
+//!   checksum built on it — is independent of how rows are banked.
 //!
 //! * **Histogram latencies.** Latency samples go into log-scaled buckets
 //!   (64 sub-buckets per power of two, ≤ 1.6 % relative error; values
@@ -108,6 +113,17 @@ pub const fn builtin_name(id: MetricId) -> &'static str {
     BUILTIN_NAMES[id.0 as usize]
 }
 
+/// Location of a node's counter row: which bank holds it and at which
+/// index. `row == NO_ROW` means the row has not been materialized yet
+/// (the node never wrote a counter).
+#[derive(Clone, Copy, Debug)]
+struct RowLoc {
+    bank: u32,
+    row: u32,
+}
+
+const NO_ROW: u32 = u32::MAX;
+
 /// Central metrics registry owned by the simulation.
 #[derive(Debug)]
 pub struct Metrics {
@@ -115,9 +131,14 @@ pub struct Metrics {
     names: Vec<&'static str>,
     /// Name → id, for the string-keyed compatibility API.
     index: HashMap<&'static str, MetricId>,
-    /// Dense counter matrix, `counters[node][id]`. Rows are created on a
-    /// node's first write and sized to the current intern table.
-    counters: Vec<Vec<u64>>,
+    /// Counter rows grouped into per-shard banks, `banks[bank][row][id]`.
+    /// Rows are created on a node's first write (in the node's assigned
+    /// bank; bank 0 for a standalone registry) and sized to the current
+    /// intern table.
+    banks: Vec<Vec<Vec<u64>>>,
+    /// Node index → row location. Grown on demand; fresh entries default
+    /// to bank 0 with no row.
+    loc: Vec<RowLoc>,
     latencies: HashMap<&'static str, Histogram>,
 }
 
@@ -125,7 +146,13 @@ impl Default for Metrics {
     fn default() -> Metrics {
         let names: Vec<&'static str> = BUILTIN_NAMES.to_vec();
         let index = names.iter().enumerate().map(|(i, &n)| (n, MetricId(i as u16))).collect();
-        Metrics { names, index, counters: Vec::new(), latencies: HashMap::new() }
+        Metrics {
+            names,
+            index,
+            banks: vec![Vec::new()],
+            loc: Vec::new(),
+            latencies: HashMap::new(),
+        }
     }
 }
 
@@ -147,40 +174,92 @@ impl Metrics {
         id
     }
 
-    #[inline]
+    /// Declares which bank `node`'s counter row belongs to. Called by the
+    /// engine when a node is added or the partition changes; standalone
+    /// registries (tests, tools) never call it and everything lands in
+    /// bank 0. Must precede the node's first counter write.
+    pub(crate) fn assign_node(&mut self, node: NodeId, bank: usize) {
+        if node.0 >= self.loc.len() {
+            self.loc.resize(node.0 + 1, RowLoc { bank: 0, row: NO_ROW });
+        }
+        debug_assert_eq!(self.loc[node.0].row, NO_ROW, "bank assigned after first write");
+        self.loc[node.0].bank = bank as u32;
+        if bank >= self.banks.len() {
+            self.banks.resize_with(bank + 1, Vec::new);
+        }
+    }
+
+    /// Moves every existing row into the bank `assignment` names for its
+    /// node (node index → bank), resizing to `num_banks` banks. Values
+    /// are moved, not copied; totals and reporting order are unchanged.
+    pub(crate) fn repartition(&mut self, assignment: &[u32], num_banks: usize) {
+        let mut old: Vec<Vec<Option<Vec<u64>>>> = std::mem::take(&mut self.banks)
+            .into_iter()
+            .map(|bank| bank.into_iter().map(Some).collect())
+            .collect();
+        self.banks = std::iter::repeat_with(Vec::new).take(num_banks.max(1)).collect();
+        for (n, l) in self.loc.iter_mut().enumerate() {
+            let bank = assignment.get(n).copied().unwrap_or(0) as usize;
+            if l.row != NO_ROW {
+                let row = old[l.bank as usize][l.row as usize]
+                    .take()
+                    .expect("two nodes shared a counter row");
+                l.row = self.banks[bank].len() as u32;
+                self.banks[bank].push(row);
+            }
+            l.bank = bank as u32;
+        }
+    }
+
+    /// Materializes `node`'s row (in its assigned bank) at the current
+    /// intern-table width and returns it.
     fn row(&mut self, node: NodeId) -> &mut Vec<u64> {
-        if node.0 >= self.counters.len() {
-            self.counters.resize_with(node.0 + 1, Vec::new);
+        if node.0 >= self.loc.len() {
+            self.loc.resize(node.0 + 1, RowLoc { bank: 0, row: NO_ROW });
+        }
+        let l = &mut self.loc[node.0];
+        let bank = l.bank as usize;
+        if l.row == NO_ROW {
+            l.row = self.banks[bank].len() as u32;
+            self.banks[bank].push(Vec::new());
         }
         let width = self.names.len();
-        let row = &mut self.counters[node.0];
+        let row = &mut self.banks[bank][l.row as usize];
         if row.len() < width {
             row.resize(width, 0);
         }
         row
     }
 
-    /// Adds `v` to the counter `id` of `node` — the hot path: two indexed
-    /// stores once the row exists.
+    /// Adds `v` to the counter `id` of `node` — the hot path: three
+    /// indexed loads once the row exists.
     #[inline]
     pub fn add_id(&mut self, node: NodeId, id: MetricId, v: u64) {
-        let row = if node.0 < self.counters.len() && id.index() < self.counters[node.0].len() {
-            &mut self.counters[node.0]
-        } else {
-            self.row(node)
-        };
-        row[id.index()] += v;
+        if let Some(l) = self.loc.get(node.0) {
+            if l.row != NO_ROW {
+                let row = &mut self.banks[l.bank as usize][l.row as usize];
+                if let Some(c) = row.get_mut(id.index()) {
+                    *c += v;
+                    return;
+                }
+            }
+        }
+        self.row(node)[id.index()] += v;
     }
 
     /// Current value of the counter `id` of `node`.
     #[inline]
     pub fn counter_id(&self, node: NodeId, id: MetricId) -> u64 {
-        self.counters.get(node.0).and_then(|row| row.get(id.index())).copied().unwrap_or(0)
+        let Some(l) = self.loc.get(node.0) else { return 0 };
+        if l.row == NO_ROW {
+            return 0;
+        }
+        self.banks[l.bank as usize][l.row as usize].get(id.index()).copied().unwrap_or(0)
     }
 
     /// Sum of the counter `id` over all nodes.
     pub fn sum_id(&self, id: MetricId) -> u64 {
-        self.counters.iter().filter_map(|row| row.get(id.index())).sum()
+        self.banks.iter().flatten().filter_map(|row| row.get(id.index())).sum()
     }
 
     /// Adds `v` to the counter `name` of `node` (string-keyed
@@ -213,7 +292,11 @@ impl Metrics {
         // call (this is a reporting path, not a hot path).
         let mut by_name: Vec<MetricId> = (0..self.names.len() as u16).map(MetricId).collect();
         by_name.sort_by_key(|id| self.names[id.index()]);
-        for (n, row) in self.counters.iter().enumerate() {
+        for (n, l) in self.loc.iter().enumerate() {
+            if l.row == NO_ROW {
+                continue;
+            }
+            let row = &self.banks[l.bank as usize][l.row as usize];
             for &id in &by_name {
                 if let Some(&v) = row.get(id.index()) {
                     if v != 0 {
@@ -468,6 +551,40 @@ mod tests {
             seen,
             vec![(0, "z".to_string(), 3), (1, "a".to_string(), 1), (1, "b".to_string(), 2),]
         );
+    }
+
+    #[test]
+    fn rows_follow_bank_reassignment() {
+        let mut m = Metrics::new();
+        m.add(NodeId(0), "x", 1);
+        m.add(NodeId(2), "x", 5);
+        // Re-home node 0 and 2 into bank 1, node 1 into bank 0.
+        m.repartition(&[1, 0, 1], 2);
+        assert_eq!(m.counter(NodeId(0), "x"), 1);
+        assert_eq!(m.counter(NodeId(2), "x"), 5);
+        assert_eq!(m.sum("x"), 6);
+        // A first write after repartitioning lands in the new bank.
+        m.add(NodeId(1), "x", 2);
+        assert_eq!(m.sum("x"), 8);
+        // Reporting order stays node-index order regardless of banking.
+        let mut seen = Vec::new();
+        m.for_each_counter(|n, name, v| seen.push((n.0, name.to_string(), v)));
+        assert_eq!(
+            seen,
+            vec![(0, "x".to_string(), 1), (1, "x".to_string(), 2), (2, "x".to_string(), 5)]
+        );
+    }
+
+    #[test]
+    fn assigned_banks_receive_first_writes() {
+        let mut m = Metrics::new();
+        m.assign_node(NodeId(0), 1);
+        m.assign_node(NodeId(1), 0);
+        m.add(NodeId(0), "x", 7);
+        m.add(NodeId(1), "x", 3);
+        assert_eq!(m.counter(NodeId(0), "x"), 7);
+        assert_eq!(m.counter(NodeId(1), "x"), 3);
+        assert_eq!(m.sum("x"), 10);
     }
 
     #[test]
