@@ -26,6 +26,10 @@ pub struct DeliveryLog {
     /// learner's own incarnations covered, because the transferred state
     /// provably includes that prefix.
     restarts: Vec<Vec<(usize, usize, bool)>>,
+    /// Configuration-epoch marks per learner: `(log_len_at_mark, epoch)`.
+    /// Failover-enabled protocols record the epoch (round) each time the
+    /// learner adopts a new configuration; epochs must never regress.
+    epochs: Vec<Vec<(usize, u64)>>,
 }
 
 /// Shared handle protocols use to record deliveries.
@@ -39,7 +43,11 @@ pub fn shared_log(learners: usize) -> SharedLog {
 impl DeliveryLog {
     /// Creates a log with one sequence per learner.
     pub fn new(learners: usize) -> DeliveryLog {
-        DeliveryLog { sequences: vec![Vec::new(); learners], restarts: vec![Vec::new(); learners] }
+        DeliveryLog {
+            sequences: vec![Vec::new(); learners],
+            restarts: vec![Vec::new(); learners],
+            epochs: vec![Vec::new(); learners],
+        }
     }
 
     /// Records that `learner` delivered `msg`.
@@ -70,6 +78,53 @@ impl DeliveryLog {
     /// `(log_len_at_restart, resume_pos, transferred)`.
     pub fn restarts_of(&self, learner: usize) -> &[(usize, usize, bool)] {
         &self.restarts[learner]
+    }
+
+    /// Records that `learner` adopted configuration epoch `epoch` (a
+    /// failover round, encoded by the protocol). Consecutive duplicate
+    /// marks collapse, so re-announcements of the same epoch are free.
+    pub fn mark_epoch(&mut self, learner: usize, epoch: u64) {
+        if self.epochs[learner].last().map(|&(_, e)| e) == Some(epoch) {
+            return;
+        }
+        let at = self.sequences[learner].len();
+        self.epochs[learner].push((at, epoch));
+    }
+
+    /// The epoch marks recorded for `learner`: `(log_len_at_mark, epoch)`.
+    pub fn epochs_of(&self, learner: usize) -> &[(usize, u64)] {
+        &self.epochs[learner]
+    }
+
+    /// Configuration epochs must be monotonic per incarnation: a learner
+    /// adopting a *lower* epoch than one it already held means stale
+    /// configuration traffic (e.g. a deposed coordinator's 2B flow) got
+    /// past the epoch fence. A restart legitimately resets the horizon —
+    /// the fresh incarnation re-learns the current epoch from its log
+    /// and the ring, so the check restarts at each restart mark.
+    pub fn check_epoch_monotonic(&self) -> Result<(), OrderViolation> {
+        for (l, marks) in self.epochs.iter().enumerate() {
+            let mut restart_idx = 0usize;
+            let mut horizon: Option<u64> = None;
+            for &(at, epoch) in marks {
+                while self.restarts[l].get(restart_idx).is_some_and(|&(r, _, _)| r <= at) {
+                    restart_idx += 1;
+                    horizon = None;
+                }
+                if let Some(h) = horizon {
+                    if epoch < h {
+                        return Err(OrderViolation::EpochRegression {
+                            learner: l,
+                            at,
+                            from: h,
+                            to: epoch,
+                        });
+                    }
+                }
+                horizon = Some(epoch);
+            }
+        }
+        Ok(())
     }
 
     /// The delivery sequence of one learner.
@@ -179,7 +234,13 @@ impl DeliveryLog {
     ///
     /// The reference order is the longest sequence of an uninterrupted
     /// learner in `expected`; at least one such learner is required.
+    ///
+    /// Configuration epochs, when recorded ([`DeliveryLog::mark_epoch`]),
+    /// are verified monotonic first: agreement across a coordinator
+    /// failover only means anything if no learner regressed to a stale
+    /// epoch along the way.
     pub fn check_crash_agreement(&self, expected: &[usize]) -> Result<(), OrderViolation> {
+        self.check_epoch_monotonic()?;
         let reference = expected
             .iter()
             .filter(|&&l| self.restarts[l].is_empty())
@@ -298,6 +359,18 @@ pub enum OrderViolation {
         /// Position the recovered state resumed from.
         resumed_at: usize,
     },
+    /// A learner adopted a lower configuration epoch than one it had
+    /// already held: stale-epoch traffic got past the fence.
+    EpochRegression {
+        /// Offending learner.
+        learner: usize,
+        /// Delivery-log position of the regressing mark.
+        at: usize,
+        /// Epoch the learner already held.
+        from: u64,
+        /// Lower epoch it adopted.
+        to: u64,
+    },
     /// A learner stopped short of the others at quiescence.
     Lagging {
         /// Offending learner.
@@ -330,6 +403,10 @@ impl std::fmt::Display for OrderViolation {
                 f,
                 "learner {learner} resumed at {resumed_at} but had only covered {covered_to}: \
                  deliveries in between are lost"
+            ),
+            OrderViolation::EpochRegression { learner, at, from, to } => write!(
+                f,
+                "learner {learner} regressed from epoch {from} to {to} at position {at}"
             ),
             OrderViolation::Lagging { learner, delivered, expected } => {
                 write!(f, "learner {learner} delivered {delivered} of {expected} messages")
@@ -520,6 +597,56 @@ mod tests {
             log.check_crash_agreement(&[0, 1]),
             Err(OrderViolation::Lagging { learner: 1, delivered: 2, expected: 4 })
         ));
+    }
+
+    #[test]
+    fn epoch_marks_collapse_duplicates_and_stay_monotonic() {
+        let mut log = DeliveryLog::new(1);
+        log.mark_epoch(0, 5);
+        log.deliver(0, MsgId(1));
+        log.mark_epoch(0, 5); // duplicate announcement: collapsed
+        log.mark_epoch(0, 7);
+        assert_eq!(log.epochs_of(0), &[(0, 5), (1, 7)]);
+        assert!(log.check_epoch_monotonic().is_ok());
+    }
+
+    #[test]
+    fn epoch_regression_is_a_violation() {
+        let mut log = DeliveryLog::new(2);
+        log.deliver(0, MsgId(1));
+        log.mark_epoch(1, 7);
+        log.deliver(1, MsgId(1));
+        log.mark_epoch(1, 5); // a stale coordinator's layout got adopted
+        assert!(matches!(
+            log.check_epoch_monotonic(),
+            Err(OrderViolation::EpochRegression { learner: 1, at: 1, from: 7, to: 5 })
+        ));
+        // ... and crash agreement reports it even when sequences agree.
+        assert!(matches!(
+            log.check_crash_agreement(&[0, 1]),
+            Err(OrderViolation::EpochRegression { .. })
+        ));
+    }
+
+    #[test]
+    fn epoch_horizon_resets_at_restart_marks() {
+        // A respawned learner re-learns the current epoch from scratch:
+        // seeing epoch 3 again *after* its restart mark is not a
+        // regression of the fresh incarnation.
+        let mut log = DeliveryLog::new(2);
+        for m in [1, 2] {
+            log.deliver(0, MsgId(m));
+        }
+        log.mark_epoch(1, 7);
+        log.deliver(1, MsgId(1));
+        log.mark_restart(1, 0);
+        log.mark_epoch(1, 3);
+        log.mark_epoch(1, 7);
+        for m in [1, 2] {
+            log.deliver(1, MsgId(m));
+        }
+        assert!(log.check_epoch_monotonic().is_ok());
+        assert!(log.check_crash_agreement(&[0, 1]).is_ok());
     }
 
     #[test]

@@ -23,6 +23,7 @@ pub mod ch5;
 pub mod ch6;
 pub mod ch7;
 pub mod ch8;
+pub mod ch9;
 pub mod harness;
 
 /// One runnable experiment.
@@ -44,6 +45,7 @@ pub fn all_experiments() -> Vec<Experiment> {
     v.extend(ch6::experiments());
     v.extend(ch7::experiments());
     v.extend(ch8::experiments());
+    v.extend(ch9::experiments());
     v.extend(ablations::experiments());
     v
 }

@@ -21,6 +21,18 @@ use crate::replica::{PReplyQuery, PResponse, PSMR_COMPLETED, PSMR_LATENCY, PSMR_
 
 const T_RETRY: u64 = 44 << 56;
 
+/// First resubmission deadline; doubles per attempt up to [`RETRY_CAP`].
+const RETRY_BASE: Dur = Dur::millis(200);
+/// Ceiling of the exponential backoff.
+const RETRY_CAP: Dur = Dur::millis(1600);
+/// Retry-check granularity (one periodic timer, not one per command).
+const RETRY_TICK: Dur = Dur::millis(100);
+/// Give up on a command after this many resubmissions and move on; the
+/// closed loop must not wedge on a value lost to a crashed client-side
+/// registry race. Replicas dedup by id, so an abandoned command that
+/// still executes is harmless (its late response is ignored as stale).
+const MAX_ATTEMPTS: u32 = 10;
+
 /// Workload of the §6.5 experiments.
 #[derive(Clone, Copy, Debug)]
 pub struct PsmrWorkload {
@@ -98,20 +110,53 @@ impl PsmrWorkload {
     }
 }
 
-/// Where the client proposes commands.
+/// Where the client proposes commands. Besides the deployment-time
+/// coordinator(s) it carries the full ring membership(s): after a
+/// coordinator failover the client does not learn the new leader
+/// directly — it re-looks it up by rotating retries across the ring
+/// members, any live one of which relays the proposal to the
+/// coordinator of its current view.
 #[derive(Clone, Debug)]
 pub enum PTarget {
     /// One ordering ring (sequential / pipelined / SDPE models).
     SingleRing {
         /// The ring's coordinator.
         coordinator: NodeId,
+        /// Every ring member, for failover retry rotation.
+        members: Vec<NodeId>,
     },
     /// One ring per group (P-SMR): `coordinators[g]` is group `g`'s
     /// ring coordinator.
     MultiRing {
         /// Ring coordinators indexed by group.
         coordinators: Vec<NodeId>,
+        /// Ring members indexed by group, for failover retry rotation.
+        members: Vec<Vec<NodeId>>,
     },
+}
+
+impl PTarget {
+    /// The submission point of `group` at rotation `cursor`: the known
+    /// coordinator first (cursor 0), then round-robin over the ring
+    /// members — any live one relays to the coordinator it believes in.
+    fn pick(&self, group: usize, cursor: usize) -> NodeId {
+        let (coordinator, members) = match self {
+            PTarget::SingleRing { coordinator, members } => (*coordinator, members),
+            PTarget::MultiRing { coordinators, members } => (coordinators[group], &members[group]),
+        };
+        if cursor == 0 || members.is_empty() {
+            coordinator
+        } else {
+            members[(cursor - 1) % members.len()]
+        }
+    }
+
+    fn n_groups(&self) -> usize {
+        match self {
+            PTarget::SingleRing { .. } => 1,
+            PTarget::MultiRing { coordinators, .. } => coordinators.len(),
+        }
+    }
 }
 
 /// A closed-loop client of the parallel service.
@@ -124,9 +169,36 @@ pub struct PsmrClient {
     registry: PRegistry,
     workload: PsmrWorkload,
     rng: SmallRng,
-    outstanding: Option<(MsgId, Time)>,
+    outstanding: Option<Pending>,
     next_seq: u64,
     stop_at: Option<Time>,
+    /// Per-group submission cursor into [`PTarget::pick`]'s rotation.
+    /// Starts at the deployment-time coordinator and advances on every
+    /// blown deadline — and *stays* there on success, so after a
+    /// coordinator failover new commands go straight to a live member
+    /// instead of re-paying a timeout against the dead leader each time.
+    cursors: Vec<usize>,
+}
+
+/// The one in-flight command of the closed loop.
+struct Pending {
+    id: MsgId,
+    started: Time,
+    /// Resubmissions so far; selects the retry target and backoff.
+    attempts: u32,
+    /// When the next resubmission is due.
+    deadline: Time,
+}
+
+/// Backoff before attempt `attempts + 1`: `RETRY_BASE << attempts`,
+/// capped at [`RETRY_CAP`].
+fn backoff(attempts: u32) -> Dur {
+    let d = RETRY_BASE * (1u64 << attempts.min(10));
+    if d > RETRY_CAP {
+        RETRY_CAP
+    } else {
+        d
+    }
 }
 
 impl PsmrClient {
@@ -140,6 +212,7 @@ impl PsmrClient {
         seed: u64,
         stop_at: Option<Time>,
     ) -> PsmrClient {
+        let cursors = vec![0; target.n_groups()];
         PsmrClient {
             me,
             target,
@@ -150,6 +223,7 @@ impl PsmrClient {
             outstanding: None,
             next_seq: 0,
             stop_at,
+            cursors,
         }
     }
 
@@ -165,7 +239,8 @@ impl PsmrClient {
             id,
             PStored { cmd: cmd.clone(), client: self.me, reply_bytes: self.workload.reply_bytes },
         );
-        self.outstanding = Some((id, ctx.now()));
+        self.outstanding =
+            Some(Pending { id, started: ctx.now(), attempts: 0, deadline: ctx.now() + backoff(0) });
         self.submit(id, &cmd, ctx);
         ctx.counter_add(PSMR_SUBMITTED, 1);
     }
@@ -179,19 +254,58 @@ impl PsmrClient {
             submitted: ctx.now(),
             mask: ALL_PARTITIONS,
         };
+        // One proposal per involved group's ring (§6.3.2's group mapping
+        // at the client proxy); single-ring models involve exactly ring 0.
+        let groups: &[u8] = match &self.target {
+            PTarget::SingleRing { .. } => &[0],
+            PTarget::MultiRing { .. } => &cmd.groups,
+        };
+        for &g in groups {
+            let dst = self.target.pick(g as usize, self.cursors[g as usize]);
+            ctx.udp_send(dst, MMsg::Propose(v), self.workload.cmd_bytes);
+        }
+    }
+
+    /// The outstanding command blew its deadline: resubmit with
+    /// exponential backoff, rotating the target across ring members
+    /// (leader re-lookup after a coordinator failover), paired with a
+    /// reply query in case only the response was lost. Gives up after
+    /// [`MAX_ATTEMPTS`] so the closed loop keeps flowing.
+    fn retry_due(&mut self, ctx: &mut Ctx) {
+        let Some(p) = self.outstanding.as_mut() else { return };
+        if ctx.now() < p.deadline {
+            return;
+        }
+        if p.attempts >= MAX_ATTEMPTS {
+            ctx.counter_add("psmr.abandoned", 1);
+            self.outstanding = None;
+            self.send_next(ctx);
+            return;
+        }
+        p.attempts += 1;
+        let (id, attempt) = (p.id, p.attempts);
+        p.deadline = ctx.now() + backoff(attempt);
+        let Some(stored) = self.registry.get(id) else { return };
+        ctx.counter_add("psmr.retries", 1);
+        let cmd = stored.cmd.clone();
+        // Rotate every involved group's submission point before
+        // resubmitting; the cursor is sticky, so once it lands on a
+        // live member subsequent commands skip the dead leader entirely.
         match &self.target {
-            PTarget::SingleRing { coordinator } => {
-                ctx.udp_send(*coordinator, MMsg::Propose(v), self.workload.cmd_bytes);
-            }
-            PTarget::MultiRing { coordinators } => {
-                // Multicast to every involved group: one proposal per
-                // ring (§6.3.2's group mapping at the client proxy).
-                let dests: Vec<NodeId> =
-                    cmd.groups.iter().map(|&g| coordinators[g as usize]).collect();
-                for dst in dests {
-                    ctx.udp_send(dst, MMsg::Propose(v), self.workload.cmd_bytes);
+            PTarget::SingleRing { .. } => self.cursors[0] += 1,
+            PTarget::MultiRing { .. } => {
+                for &g in &cmd.groups {
+                    self.cursors[g as usize] += 1;
                 }
             }
+        }
+        self.submit(id, &cmd, ctx);
+        // The command may have executed already with only its response
+        // lost (the ordering layer delivers each command once).
+        if !self.replicas.is_empty() {
+            let designated = self.replicas[(id.0 as usize) % self.replicas.len()];
+            let me = self.me;
+            ctx.udp_send(designated, PReplyQuery { id, from: me }, 64);
         }
     }
 }
@@ -202,17 +316,18 @@ impl PsmrClient {
 impl Actor for PsmrClient {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.send_next(ctx);
-        ctx.set_timer(Dur::millis(500), TimerToken(T_RETRY));
+        ctx.set_timer(RETRY_TICK, TimerToken(T_RETRY));
     }
 
     fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
         let Some(&PResponse { id }) = env.payload.downcast_ref::<PResponse>() else {
             return;
         };
-        let Some((oid, started)) = self.outstanding else { return };
-        if oid != id {
-            return; // stale response of a retried command
+        let Some(p) = self.outstanding.as_ref() else { return };
+        if p.id != id {
+            return; // stale response of a retried or abandoned command
         }
+        let started = p.started;
         self.outstanding = None;
         // The entry stays registered: lagging replicas may still be
         // recovering this command's delivery via retransmission, and the
@@ -226,28 +341,12 @@ impl Actor for PsmrClient {
     }
 
     fn on_timer(&mut self, _token: TimerToken, ctx: &mut Ctx) {
-        // Re-submit a command outstanding implausibly long (a proposal
-        // was dropped under overload); replicas dedup by id.
-        if let Some((id, started)) = self.outstanding {
-            if ctx.now().saturating_since(started) > Dur::millis(400) {
-                if let Some(stored) = self.registry.get(id) {
-                    ctx.counter_add("psmr.retries", 1);
-                    let cmd = stored.cmd.clone();
-                    self.submit(id, &cmd, ctx);
-                    // Pair the retry with a reply query: the command may
-                    // have executed already with only its response lost
-                    // (the ordering layer delivers each command once).
-                    if !self.replicas.is_empty() {
-                        let designated = self.replicas[(id.0 as usize) % self.replicas.len()];
-                        let me = self.me;
-                        ctx.udp_send(designated, PReplyQuery { id, from: me }, 64);
-                    }
-                }
-            }
+        if self.outstanding.is_some() {
+            self.retry_due(ctx);
         } else if self.stop_at.is_none_or(|t| ctx.now() < t) {
             self.send_next(ctx);
         }
-        ctx.set_timer(Dur::millis(500), TimerToken(T_RETRY));
+        ctx.set_timer(RETRY_TICK, TimerToken(T_RETRY));
     }
 }
 

@@ -185,10 +185,14 @@ pub fn deploy_parallel(sim: &mut Sim, opts: &ParallelOptions) -> ParallelDeploym
         }
     }
 
-    // Clients.
+    // Clients. They carry each ring's full membership so retries can
+    // rotate to surviving members after a coordinator failover.
+    let members: Vec<Vec<NodeId>> = ring_cfgs.iter().map(|cfg| cfg.ring.clone()).collect();
     let target = match opts.model {
-        ExecModel::Psmr { .. } => PTarget::MultiRing { coordinators: coordinators.clone() },
-        _ => PTarget::SingleRing { coordinator: coordinators[0] },
+        ExecModel::Psmr { .. } => {
+            PTarget::MultiRing { coordinators: coordinators.clone(), members: members.clone() }
+        }
+        _ => PTarget::SingleRing { coordinator: coordinators[0], members: members[0].clone() },
     };
     for (ci, &c) in clients.iter().enumerate() {
         let client = PsmrClient::new(

@@ -7,7 +7,15 @@
 //! interesting one — the caller's closure installs a new actor with
 //! `Sim::replace_actor`, modelling a process restart that must recover
 //! from disk).
+//!
+//! `CrashPlan` is the node-crash subset of the engine's general
+//! fault-injection layer and delegates to it: [`CrashPlan::run`]
+//! translates each action into a [`simnet::fault::FaultAction`] and
+//! hands the whole schedule to [`simnet::fault::FaultPlan`]. Schedules
+//! that also need link partitions, loss/reorder bursts, or stragglers
+//! should use `FaultPlan` directly.
 
+use simnet::fault::{FaultAction, FaultPlan};
 use simnet::ids::NodeId;
 use simnet::sim::Sim;
 use simnet::time::Time;
@@ -58,21 +66,18 @@ impl CrashPlan {
     /// events after the node is marked up; it must install the fresh
     /// actor (typically `sim.replace_actor` with a recovery-enabled
     /// process sharing the node's stable store).
-    pub fn run(mut self, sim: &mut Sim, until: Time, mut respawn: impl FnMut(&mut Sim, NodeId)) {
-        self.events.sort_by_key(|&(t, _, _)| t);
+    pub fn run(self, sim: &mut Sim, until: Time, respawn: impl FnMut(&mut Sim, NodeId)) {
+        let mut plan = FaultPlan::new();
         for (at, node, action) in self.events {
-            sim.run_until(at);
-            match action {
-                CrashAction::Crash => sim.set_node_up(node, false),
-                CrashAction::Recover => sim.set_node_up(node, true),
-                CrashAction::Restart => sim.restart_node(node),
-                CrashAction::Respawn => {
-                    sim.set_node_up(node, true);
-                    respawn(sim, node);
-                }
-            }
+            let fa = match action {
+                CrashAction::Crash => FaultAction::Crash(node),
+                CrashAction::Recover => FaultAction::Recover(node),
+                CrashAction::Restart => FaultAction::Restart(node),
+                CrashAction::Respawn => FaultAction::Respawn(node),
+            };
+            plan = plan.at(at, fa);
         }
-        sim.run_until(until);
+        plan.run(sim, until, respawn);
     }
 }
 

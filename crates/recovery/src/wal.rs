@@ -165,7 +165,25 @@ impl<V: Clone> VoteLog<V> {
         let Some(&(front_id, _)) = self.inflight.front() else {
             return Vec::new();
         };
-        debug_assert_eq!(front_id, payload, "disk completions arrive in issue order");
+        // Completions arrive in issue order on a healthy node, but a
+        // crash drops the completion events that were in flight while
+        // the node was down: those flushes never report back, and the
+        // first completion after recovery belongs to a *later* flush.
+        // Skipped entries are treated as lost before reaching the
+        // platter — their votes never become durable and the
+        // coordinator's re-proposal path re-votes them. A completion
+        // with no matching entry (a leftover from a replaced
+        // incarnation) is ignored.
+        if front_id != payload {
+            match self.inflight.iter().position(|e| e.0 == payload) {
+                Some(k) => {
+                    for _ in 0..k {
+                        self.inflight.pop_front();
+                    }
+                }
+                None => return Vec::new(),
+            }
+        }
         let (_, group) = self.inflight.pop_front().expect("checked front");
         let mut store = self.store.borrow_mut();
         let mut durable = Vec::with_capacity(group.len());

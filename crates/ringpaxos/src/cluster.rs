@@ -368,23 +368,20 @@ pub fn deploy_uring_recoverable(
 /// over its stable store (marks the node up first): the process replays
 /// its durable acceptor votes, restores the learner checkpoint, and
 /// catches the decided suffix up from a peer. The proposer role is not
-/// resumed (see the `uring` module docs), and position 0 — the
-/// coordinator — cannot be respawned: its proposals are not logged
-/// write-ahead, so a fresh incarnation would re-allocate instance
-/// numbers that are already decided. U-Ring coordinator failure needs
-/// ring reconfiguration (the ch. 7 lesson), which M-Ring's failover
-/// provides.
+/// resumed (see the `uring` module docs).
 ///
-/// # Panics
-///
-/// Panics when `pos == 0`.
+/// Position 0 — the original coordinator — may be respawned only on a
+/// failover-enabled ring (`cfg.suspicion_timeout` set): its instance
+/// allocation is not logged write-ahead, so the fresh incarnation comes
+/// back demoted and re-acquires leadership (if at all) through an epoch
+/// takeover whose promise quorum reconstructs the allocation. Without
+/// failover, `URingProcess::with_recovery` panics for that position.
 pub fn respawn_uring(
     sim: &mut Sim,
     ru: &RecoverableURing,
     pos: usize,
     app: Option<Box<dyn RecoveredApp>>,
 ) {
-    assert!(pos != 0, "the U-Ring coordinator cannot be respawned (see respawn_uring docs)");
     sim.set_node_up(ru.d.ring[pos], true);
     let actor = URingProcess::new(ru.d.cfg.clone(), pos, None, Some(ru.d.log.clone()))
         .with_recovery(URecovery {

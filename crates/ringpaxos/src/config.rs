@@ -216,6 +216,13 @@ pub struct URingConfig {
     pub disk_unit: u32,
     /// Wire size of control-only messages.
     pub ctl_bytes: u32,
+    /// Failover: silence threshold after which non-coordinator acceptors
+    /// suspect the coordinator and the coordinator probes a stalled ring
+    /// (§3.3.5 applied to U-Ring, the ch. 7 reconfiguration lesson).
+    /// `None` disables the failover machinery entirely — no suspicion or
+    /// heartbeat timers run, preserving the historical single-epoch
+    /// behaviour (and the golden traces) bit for bit.
+    pub suspicion_timeout: Option<Dur>,
 }
 
 impl URingConfig {
@@ -234,6 +241,7 @@ impl URingConfig {
             storage: StorageMode::InMemory,
             disk_unit: 32 * 1024,
             ctl_bytes: 32,
+            suspicion_timeout: None,
         }
     }
 

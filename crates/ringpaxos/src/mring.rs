@@ -496,10 +496,21 @@ impl MRingProcess {
     // Coordinator
     // ------------------------------------------------------------------
 
-    fn on_propose(&mut self, v: Value, ctx: &mut Ctx) {
+    fn on_propose(&mut self, v: Value, src: NodeId, ctx: &mut Ctx) {
         let Some(c) = self.coord.as_mut() else {
-            // Not (or no longer) the coordinator: drop; proposer will
-            // redirect after NewRing.
+            // Not (or no longer) the coordinator. Ring proposers redirect
+            // themselves after `NewRing`, but an *external* client (the
+            // psmr crate's) only knows the deployment-time coordinator —
+            // relay its proposal to the coordinator of the view we hold,
+            // so any live member a client guesses is a valid submission
+            // point after failover. Proposals relayed by a fellow ring
+            // member are dropped instead of re-relayed, so disagreeing
+            // views cannot bounce a value around in a loop.
+            let coord = self.cfg.coordinator();
+            if coord != self.me && !self.cfg.ring.contains(&src) {
+                ctx.counter_add("rp.fwd_propose", 1);
+                ctx.udp_send(coord, MMsg::Propose(v), v.bytes);
+            }
             return;
         };
         if c.pending_bytes + v.bytes as u64 > self.cfg.pending_cap_bytes {
@@ -1738,7 +1749,7 @@ impl Actor for MRingProcess {
     fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
         let Some(msg) = env.payload.downcast_ref::<MMsg>() else { return };
         match msg {
-            MMsg::Propose(v) => self.on_propose(*v, ctx),
+            MMsg::Propose(v) => self.on_propose(*v, env.src, ctx),
             MMsg::Phase2a {
                 instance,
                 round,

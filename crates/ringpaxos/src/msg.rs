@@ -208,6 +208,71 @@ pub enum UMsg {
         batch: Batch,
         /// How many more hops the decision id must travel.
         id_hops_left: u32,
+        /// Configuration round the forwarder was in. Delivery is always
+        /// safe (a decision is a decision), but a process only keeps
+        /// *forwarding* it around a ring layout it still agrees on.
+        round: Round,
+    },
+    /// Failover: candidate coordinator starts a higher round (epoch).
+    Phase1a {
+        /// New round.
+        round: Round,
+        /// Candidate node.
+        from: NodeId,
+    },
+    /// Failover: acceptor's promise with its accepted-vote state, from
+    /// which the new coordinator reconstructs instance allocation.
+    Phase1b {
+        /// Promised round.
+        round: Round,
+        /// Promising acceptor.
+        from: NodeId,
+        /// Votes above the acceptor's delivery watermark:
+        /// `(instance, v-rnd, batch)`.
+        votes: Vec<(InstanceId, Round, Batch)>,
+        /// The acceptor has delivered (hence knows decided) everything
+        /// below this instance.
+        decided_below: InstanceId,
+    },
+    /// New coordinator (or a repairing one) announces the new epoch and
+    /// ring layout. Position 0 of `ring` is the coordinator; acceptors
+    /// stay contiguous from position 0.
+    NewRing {
+        /// The new round.
+        round: Round,
+        /// The new coordinator (`ring[0]`).
+        coord: NodeId,
+        /// Every process of the new ring, in ring order.
+        ring: Vec<NodeId>,
+    },
+    /// Keep-alive from the coordinator. Carries round and layout so
+    /// processes that missed a `NewRing` (paused, respawned, excluded)
+    /// resynchronize; its absence drives suspicion.
+    Heartbeat {
+        /// Coordinator's round.
+        round: Round,
+        /// The coordinator.
+        coord: NodeId,
+        /// Current ring layout (`ring[0]` = coordinator).
+        ring: Vec<NodeId>,
+    },
+    /// Ring repair: the coordinator probes all members when the 2ab/ack
+    /// flow stalls, before splicing silent processes out of the ring.
+    Ping {
+        /// The probing coordinator.
+        from: NodeId,
+    },
+    /// A member's liveness reply to a [`UMsg::Ping`].
+    Pong {
+        /// The responding member.
+        from: NodeId,
+    },
+    /// A process that finds itself outside the current ring layout (it
+    /// was spliced out while crashed, or respawned) asks the coordinator
+    /// to splice it back in.
+    JoinReq {
+        /// The joining process.
+        from: NodeId,
     },
     /// A restarted learner asks `from` for the decided suffix starting
     /// at `next` (its recovered checkpoint watermark). Travels over the

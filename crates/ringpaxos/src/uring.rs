@@ -37,12 +37,39 @@
 //!
 //! Restarted processes do not resume the proposer role — a proposer's
 //! sequence numbers are not logged, and reusing them would make the
-//! dedup layer discard its fresh values. The coordinator (position 0)
-//! cannot be respawned at all: its instance allocation is not logged
-//! write-ahead, so a fresh incarnation would re-propose from instance 0
-//! over decided history. A dead U-Ring coordinator needs ring
-//! reconfiguration (ch. 7's lesson); M-Ring failover covers that
-//! scenario.
+//! dedup layer discard its fresh values.
+//!
+//! # Failover (`cfg.suspicion_timeout`)
+//!
+//! Setting [`URingConfig::suspicion_timeout`] arms the self-healing
+//! subsystem that ch. 7 identifies as U-Ring's missing piece (Fig. 7.5:
+//! a single crash otherwise stalls the ring for the whole outage):
+//!
+//! * **Epoch takeover.** Non-coordinator acceptors suspect a silent
+//!   coordinator on a staggered schedule (position *k* waits *k*× the
+//!   timeout, so the first surviving acceptor usually wins uncontested)
+//!   and run Phase 1 under a higher round. A quorum of promises carries
+//!   the acceptors' vote state, from which the new coordinator
+//!   reconstructs the instance allocation — re-proposing undecided
+//!   instances with the highest-round revealed value and closing
+//!   revealed gaps with empty batches. The round acts as a
+//!   configuration epoch: `Phase2ab`/`Decision` traffic from a deposed
+//!   coordinator fails the round fence at every receiver.
+//! * **Ring repair.** The coordinator probes all members when decisions
+//!   stop circulating, splices silent processes out of the ring (a new
+//!   layout always bumps the round, so layout is a function of the
+//!   round), and splices them back in when they ask to rejoin
+//!   (`JoinReq`, sent by a process that finds itself outside the layout
+//!   carried by `NewRing`/`Heartbeat`).
+//! * The coordinator *can* be respawned over its stable store on a
+//!   failover-enabled ring: it comes back demoted and re-acquires
+//!   leadership (if at all) only through a takeover whose promise
+//!   quorum reconstructs the allocation — lifting the restriction the
+//!   recovery subsystem alone had to impose.
+//!
+//! With `suspicion_timeout: None` (the default) none of these timers
+//! exist and the historical single-epoch behaviour — including the
+//! golden traces — is preserved bit for bit.
 
 use std::collections::VecDeque;
 use std::collections::{BTreeMap, BTreeSet};
@@ -51,7 +78,7 @@ use abcast::{metric, MsgId, Pacer, SharedLog};
 
 use crate::dedup::DeliveredTracker;
 use paxos::acceptor::Acceptor;
-use paxos::msg::{InstanceId, Round};
+use paxos::msg::{quorum, InstanceId, PaxosMsg, Round};
 use recovery::{
     Checkpoint, Checkpointer, DecidedCache, LogMode, RecoveredApp, StableHandle, VoteLog,
 };
@@ -67,6 +94,8 @@ const T_WAL: u64 = 3 << 56;
 const T_CKPT: u64 = 4 << 56;
 const T_CATCHUP: u64 = 5 << 56;
 const T_REPROP: u64 = 6 << 56;
+const T_SUSPECT: u64 = 7 << 56;
+const T_HEARTBEAT: u64 = 8 << 56;
 const T_DISK: u64 = 9 << 56;
 const KIND_MASK: u64 = 0xff << 56;
 
@@ -125,6 +154,13 @@ struct RecState {
     /// catch-up (e.g. after completing against a peer that was itself
     /// recovering and served an empty horizon).
     last_gap: Option<InstanceId>,
+    /// When the periodic catch-up tick last ran. A node brought back up
+    /// with its state preserved lost every timer that expired while it
+    /// was down — including this chain — and on a failover-enabled ring
+    /// the others kept deciding around it, so the gap-detection tick is
+    /// exactly what it needs. Heartbeat receipt re-arms a chain whose
+    /// last tick is implausibly old (see `on_heartbeat`).
+    last_tick: Time,
 }
 
 /// Coordinator-only state.
@@ -134,8 +170,35 @@ struct UCoord {
     next_instance: InstanceId,
     outstanding: BTreeSet<InstanceId>,
     /// Batches of outstanding instances with their last-send time, kept
-    /// only on recovery-enabled rings for the re-proposal timer.
+    /// on recovery- or failover-enabled rings for the re-proposal timer.
     outstanding_batches: BTreeMap<InstanceId, (Batch, Time)>,
+    /// Last time a decision circulated back (ring liveness signal).
+    last_progress: Time,
+    /// In-progress ring-repair probe.
+    repair: Option<URepair>,
+}
+
+/// An in-progress coordinator takeover: Phase 1 under `round`.
+struct UTakeover {
+    round: Round,
+    started: Time,
+    /// Acceptors whose promise arrived.
+    promises: BTreeSet<NodeId>,
+    /// Highest-round revealed vote per instance.
+    votes: BTreeMap<InstanceId, (Round, Batch)>,
+    /// Lowest delivery watermark among the promising acceptors — the
+    /// re-proposal window starts here.
+    db_min: InstanceId,
+    /// Highest delivery watermark among the promising acceptors —
+    /// instances past it with no revealed vote are provably undecided
+    /// (see `become_coordinator`) and get empty gap-fills.
+    db_max: InstanceId,
+}
+
+/// An in-progress ring-repair probe (coordinator side).
+struct URepair {
+    responders: BTreeSet<NodeId>,
+    started: Time,
 }
 
 /// One U-Ring Paxos process.
@@ -154,6 +217,21 @@ pub struct URingProcess {
     /// (the non-recovery `StorageMode` path).
     disk_pending: BTreeMap<InstanceId, (Round, Batch)>,
     rec: Option<RecState>,
+    /// Original full membership (deployment order). Reformed rings draw
+    /// from it, and `NewRing`/`Heartbeat`/`Ping` reach all of it, so
+    /// spliced-out or respawned processes resynchronize.
+    all_nodes: Vec<NodeId>,
+    /// Nodes holding the acceptor role — fixed at deployment; promise
+    /// quorums are counted over this set regardless of who is currently
+    /// spliced into the ring.
+    acceptor_nodes: Vec<NodeId>,
+    /// Whether this process is currently outside the ring layout (it
+    /// was spliced out while unreachable). Excluded processes still
+    /// deliver decisions and answer probes, but stop relaying.
+    excluded: bool,
+    /// Last time coordinator traffic in the current round was seen.
+    last_coord_activity: Time,
+    takeover: Option<UTakeover>,
 }
 
 struct ULearner {
@@ -189,6 +267,7 @@ impl URingProcess {
         let me = cfg.ring[pos];
         // Phase 1 pre-executed at deployment: round 1 owned by position 0.
         let round = Round::new(1, 0);
+        let failover = cfg.suspicion_timeout.is_some();
         let is_coord = pos == 0;
         let is_acceptor = cfg.acceptor_positions.contains(&pos);
         let learner_index = cfg.learner_positions.iter().position(|&p| p == pos);
@@ -198,6 +277,8 @@ impl URingProcess {
             next_instance: InstanceId(0),
             outstanding: BTreeSet::new(),
             outstanding_batches: BTreeMap::new(),
+            last_progress: Time::ZERO,
+            repair: None,
         });
         let acceptor = is_acceptor.then(|| {
             let mut a = Acceptor::new();
@@ -210,6 +291,9 @@ impl URingProcess {
             next_deliver: InstanceId(0),
             delivered: DeliveredTracker::new(),
         });
+        let all_nodes = cfg.ring.clone();
+        let acceptor_nodes: Vec<NodeId> =
+            cfg.acceptor_positions.iter().map(|&p| cfg.ring[p]).collect();
         URingProcess {
             cfg,
             me,
@@ -223,11 +307,18 @@ impl URingProcess {
                 next_seq: 0,
                 inflight: 0,
                 unacked: BTreeMap::new(),
-                track: false,
+                // Failover implies a crashed member can black-hole the
+                // `Forward` hop: track undelivered values for re-send.
+                track: failover,
             }),
             log: learner_log,
             disk_pending: BTreeMap::new(),
             rec: None,
+            all_nodes,
+            acceptor_nodes,
+            excluded: false,
+            last_coord_activity: Time::ZERO,
+            takeover: None,
         }
     }
 
@@ -256,18 +347,32 @@ impl URingProcess {
             catching_up: false,
             catchup_started: Time::ZERO,
             last_gap: None,
+            last_tick: Time::ZERO,
             store: rec.store,
         };
         if rec.resumed {
-            assert!(
-                self.coord.is_none(),
-                "the U-Ring coordinator cannot be respawned over its stable store: \
-                 its instance allocation is not logged (see the module docs)"
-            );
-            // Acceptor role: replay the durable vote log.
+            if self.coord.is_some() {
+                assert!(
+                    self.failover_on(),
+                    "the U-Ring coordinator can only be respawned on a failover-enabled \
+                     ring (set cfg.suspicion_timeout): its instance allocation is not \
+                     logged, so a fresh incarnation must re-acquire it through an epoch \
+                     takeover (see the module docs)"
+                );
+                // Come back demoted: a peer has taken (or will take)
+                // over; failing that, this node's own suspicion timer
+                // drives a takeover whose promise quorum reconstructs
+                // the allocation.
+                self.coord = None;
+            }
+            // Acceptor role: replay the durable vote log. The promised
+            // round also fences this process: stale pre-crash epochs
+            // fail the round check until a NewRing/Heartbeat resyncs us.
             if self.acceptor.is_some() {
                 let (promised, votes) = state.wal.replay();
-                self.acceptor = Some(Acceptor::restore(promised.max(self.round), votes));
+                let promised = promised.max(self.round);
+                self.round = promised;
+                self.acceptor = Some(Acceptor::restore(promised, votes));
             }
             // Learner role: restore the durable checkpoint.
             let cp = Checkpointer::recover(&state.store).unwrap_or_default();
@@ -337,7 +442,10 @@ impl URingProcess {
         // tick instead (the pacer self-clocks to the sustainable rate).
         let full_buffer =
             self.prop.as_ref().is_some_and(|p| p.inflight >= self.cfg.proposer_inflight);
-        let blocked = full_buffer
+        // A spliced-out process has no live successor: shed until the
+        // coordinator splices us back in (JoinReq).
+        let blocked = self.excluded
+            || full_buffer
             || if self.coord.is_some() {
                 self.coord.as_ref().is_some_and(|c| c.pending_bytes > 4 * 1024 * 1024)
             } else {
@@ -396,6 +504,7 @@ impl URingProcess {
     }
 
     fn try_flush(&mut self, ctx: &mut Ctx, force: bool) {
+        let keep_batches = self.rec.is_some() || self.failover_on();
         loop {
             let Some(c) = self.coord.as_mut() else { return };
             let window_open = (c.outstanding.len() as u32) < self.cfg.window;
@@ -419,44 +528,62 @@ impl URingProcess {
             let instance = c.next_instance;
             c.next_instance = instance.next();
             c.outstanding.insert(instance);
-            if self.rec.is_some() {
+            if keep_batches {
                 c.outstanding_batches.insert(instance, (batch.clone(), ctx.now()));
             }
-            // The coordinator is the first acceptor: vote locally.
-            if let Some(a) = self.acceptor.as_mut() {
-                let _ = a.receive_2a(instance, self.round, batch.clone());
-            }
-            let round = self.round;
-            let _ = bytes;
-            let wire = self.hop_bytes(&batch, self.next_pos(), false);
-            let succ = self.successor();
             ctx.counter_add_id(metric::id::INSTANCES, 1);
-            if self.cfg.last_acceptor_pos() == 0 {
-                // Degenerate single-acceptor ring: the coordinator is also
-                // the last acceptor and decides immediately.
-                let ring_len = self.cfg.ring.len() as u32;
-                self.learner_ready(instance, &batch, ctx);
-                if ring_len > 1 {
-                    ctx.tcp_send(
-                        succ,
-                        UMsg::Decision { instance, batch, id_hops_left: ring_len - 1 },
-                        wire,
-                    );
-                }
-                // The originator will not see its own decision circulate
-                // back (it stops at the predecessor): close it here.
-                if let Some(c) = self.coord.as_mut() {
-                    c.outstanding.remove(&instance);
-                    c.outstanding_batches.remove(&instance);
-                }
-                continue;
-            }
-            ctx.tcp_send(succ, UMsg::Phase2ab { instance, round, batch }, wire);
+            self.send_2ab(instance, batch, ctx);
         }
+    }
+
+    /// Emits the combined 2A/2B chain for `instance` under the current
+    /// round: local vote first (the coordinator is the first acceptor),
+    /// then down the ring — or an immediate decision on the degenerate
+    /// single-acceptor layout. Also used to re-drive outstanding
+    /// instances through a reformed ring and to re-propose the takeover
+    /// window under a new epoch.
+    fn send_2ab(&mut self, instance: InstanceId, batch: Batch, ctx: &mut Ctx) {
+        // The coordinator is the first acceptor: vote locally.
+        if let Some(a) = self.acceptor.as_mut() {
+            let _ = a.receive_2a(instance, self.round, batch.clone());
+        }
+        let round = self.round;
+        let wire = self.hop_bytes(&batch, self.next_pos(), false);
+        let succ = self.successor();
+        if self.cfg.last_acceptor_pos() == 0 {
+            // Degenerate single-acceptor ring: the coordinator is also
+            // the last acceptor and decides immediately.
+            let ring_len = self.cfg.ring.len() as u32;
+            self.learner_ready(instance, &batch, ctx);
+            if ring_len > 1 {
+                ctx.tcp_send(
+                    succ,
+                    UMsg::Decision { instance, batch, id_hops_left: ring_len - 1, round },
+                    wire,
+                );
+            }
+            // The originator will not see its own decision circulate
+            // back (it stops at the predecessor): close it here.
+            if let Some(c) = self.coord.as_mut() {
+                c.outstanding.remove(&instance);
+                c.outstanding_batches.remove(&instance);
+            }
+            return;
+        }
+        ctx.tcp_send(succ, UMsg::Phase2ab { instance, round, batch }, wire);
     }
 
     fn on_phase2ab(&mut self, instance: InstanceId, round: Round, batch: Batch, ctx: &mut Ctx) {
         if round != self.round {
+            // The epoch fence: 2A/2B traffic from a deposed coordinator
+            // (or a stale ring layout) dies here. A vote under a stale
+            // layout could otherwise complete a "decision" at the old
+            // last acceptor without a true quorum.
+            ctx.counter_add("rp.stale_2ab", 1);
+            return;
+        }
+        self.last_coord_activity = ctx.now();
+        if self.excluded {
             return;
         }
         if self.acceptor.is_none() {
@@ -521,7 +648,7 @@ impl URingProcess {
             let wire = self.hop_bytes(&batch, self.next_pos(), true);
             ctx.tcp_send(
                 self.successor(),
-                UMsg::Decision { instance, batch, id_hops_left: id_hops },
+                UMsg::Decision { instance, batch, id_hops_left: id_hops, round },
                 wire,
             );
         } else {
@@ -535,21 +662,28 @@ impl URingProcess {
         instance: InstanceId,
         batch: Batch,
         id_hops_left: u32,
+        round: Round,
         ctx: &mut Ctx,
     ) {
+        // Delivery is unconditionally safe — a decision is a decision,
+        // whatever epoch we are in.
         self.learner_ready(instance, &batch, ctx);
         if self.coord.is_some() {
+            let now = ctx.now();
             if let Some(c) = self.coord.as_mut() {
                 c.outstanding.remove(&instance);
                 c.outstanding_batches.remove(&instance);
+                c.last_progress = now;
             }
             self.try_flush(ctx, false);
         }
-        if id_hops_left > 1 {
+        // Forwarding follows the ring layout, so it needs the epoch to
+        // match (and this process to still be part of the layout).
+        if id_hops_left > 1 && round == self.round && !self.excluded {
             let wire = self.hop_bytes(&batch, self.next_pos(), true);
             ctx.tcp_send(
                 self.successor(),
-                UMsg::Decision { instance, batch, id_hops_left: id_hops_left - 1 },
+                UMsg::Decision { instance, batch, id_hops_left: id_hops_left - 1, round },
                 wire,
             );
         }
@@ -696,7 +830,8 @@ impl URingProcess {
         for (i, b) in batches {
             // `id_hops_left: 1` delivers locally without forwarding:
             // catch-up traffic must not re-enter the ring circulation.
-            self.on_decision(i, b, 1, ctx);
+            let round = self.round;
+            self.on_decision(i, b, 1, round, ctx);
         }
         let next = self.learner.as_ref().map(|l| l.next_deliver).unwrap_or(upto);
         let rec = self.rec.as_mut().expect("checked above");
@@ -714,11 +849,17 @@ impl URingProcess {
         // (e.g. it is itself recovering); the T_CATCHUP retry re-asks.
     }
 
-    /// Periodic re-send scan (recovery-enabled rings): the coordinator
-    /// re-proposes outstanding instances whose circulation stalled, and
-    /// proposers re-send undelivered values. Both paths are idempotent.
+    /// Periodic re-send scan (recovery- or failover-enabled rings): the
+    /// coordinator re-proposes outstanding instances whose circulation
+    /// stalled, and proposers re-send undelivered values. Both paths are
+    /// idempotent.
     fn repropose_check(&mut self, ctx: &mut Ctx) {
-        if self.rec.is_none() {
+        if self.rec.is_none() && !self.failover_on() {
+            return;
+        }
+        if self.excluded {
+            // No live successor; re-sends resume after the splice-in.
+            ctx.set_timer(REPROP_INTERVAL, TimerToken(T_REPROP));
             return;
         }
         let now = ctx.now();
@@ -760,15 +901,512 @@ impl URingProcess {
         }
         ctx.set_timer(REPROP_INTERVAL, TimerToken(T_REPROP));
     }
+
+    // ------------------------------------------------------------------
+    // Failover: epoch takeover and ring repair (see the module docs).
+    // ------------------------------------------------------------------
+
+    fn failover_on(&self) -> bool {
+        self.cfg.suspicion_timeout.is_some()
+    }
+
+    fn suspicion_timeout(&self) -> Dur {
+        self.cfg.suspicion_timeout.unwrap_or(Dur::millis(200))
+    }
+
+    /// This process's delivery watermark (everything below is decided
+    /// and delivered here).
+    fn decided_below_here(&self) -> InstanceId {
+        self.learner.as_ref().map(|l| l.next_deliver).unwrap_or(InstanceId(0))
+    }
+
+    /// Persists a promised round through the stable store so a respawned
+    /// acceptor does not regress below it.
+    fn persist_promise(&mut self, round: Round) {
+        if self.acceptor.is_some() {
+            if let Some(rec) = self.rec.as_ref() {
+                rec.store.borrow_mut().log_promise(round);
+            }
+        }
+    }
+
+    /// This acceptor's Phase 1B payload for `round`: its accepted votes
+    /// from its own delivery watermark up (anything below it has been
+    /// delivered here, so the new coordinator never needs it from us),
+    /// plus that watermark.
+    fn own_votes(&mut self, round: Round) -> (Vec<(InstanceId, Round, Batch)>, InstanceId) {
+        let decided_below = self.decided_below_here();
+        let votes = match self.acceptor.as_mut().and_then(|a| a.receive_1a(round)) {
+            Some(PaxosMsg::Phase1b { votes, .. }) => {
+                votes.into_iter().filter(|(i, _, _)| *i >= decided_below).collect()
+            }
+            _ => Vec::new(),
+        };
+        (votes, decided_below)
+    }
+
+    /// Adopts `ring` as the current layout: rewrites the ring, recomputes
+    /// the acceptor positions (the acceptor *role* follows the node and
+    /// is fixed at deployment) and this process's position. A process
+    /// absent from the layout marks itself excluded.
+    fn adopt_layout(&mut self, ring: &[NodeId]) {
+        self.cfg.ring = ring.to_vec();
+        self.cfg.acceptor_positions = ring
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| self.acceptor_nodes.contains(n))
+            .map(|(p, _)| p)
+            .collect();
+        match ring.iter().position(|&n| n == self.me) {
+            Some(p) => {
+                self.pos = p;
+                self.excluded = false;
+            }
+            None => self.excluded = true,
+        }
+    }
+
+    /// Records the configuration epoch in the delivery log so the
+    /// checker can verify per-learner epoch monotonicity.
+    fn mark_epoch(&mut self) {
+        if let (Some(l), Some(log)) = (self.learner.as_ref(), self.log.as_ref()) {
+            let epoch = (self.round.counter << 32) | self.round.owner as u64;
+            log.borrow_mut().mark_epoch(l.index, epoch);
+        }
+    }
+
+    /// Announces the current round + layout to the full membership (not
+    /// just the current ring: spliced-out processes must learn they can
+    /// rejoin, and stale coordinators that they are deposed).
+    fn broadcast_ring(&mut self, ctx: &mut Ctx) {
+        let msg = UMsg::NewRing { round: self.round, coord: self.me, ring: self.cfg.ring.clone() };
+        for &n in &self.all_nodes {
+            if n != self.me {
+                ctx.tcp_send(n, msg.clone(), self.cfg.ctl_bytes);
+            }
+        }
+    }
+
+    /// T_SUSPECT tick: a non-coordinator acceptor that has heard nothing
+    /// from the coordinator for its staggered delay starts a takeover.
+    /// Position `k` waits `k`× the timeout, so the first surviving
+    /// acceptor usually wins uncontested; a contested (higher) round
+    /// simply deposes the lower one.
+    fn suspect_check(&mut self, ctx: &mut Ctx) {
+        if !self.failover_on() || self.coord.is_some() {
+            return; // chain ends; coordinators run the heartbeat chain
+        }
+        let timeout = self.suspicion_timeout();
+        let now = ctx.now();
+        if let Some(t) = self.takeover.as_ref() {
+            // Takeover in flight but the promise quorum never arrived
+            // (another acceptor died too, or our Phase 1A raced a
+            // partition): bump the round and try again.
+            if now.saturating_since(t.started) > timeout * 4 {
+                self.start_takeover(ctx);
+            }
+            ctx.set_timer(timeout, TimerToken(T_SUSPECT));
+            return;
+        }
+        if self.acceptor.is_some() && !self.excluded {
+            let my_delay = timeout * (self.pos.max(1) as u64);
+            if now.saturating_since(self.last_coord_activity) > my_delay {
+                self.start_takeover(ctx);
+            }
+        }
+        ctx.set_timer(timeout, TimerToken(T_SUSPECT));
+    }
+
+    /// Phase 1 under a fresh round owned by this node: collect promises
+    /// (with accepted votes) from the fixed acceptor set; a quorum makes
+    /// this node the coordinator of the new epoch.
+    fn start_takeover(&mut self, ctx: &mut Ctx) {
+        let round = self.round.next_for(self.me.0 as u32);
+        self.round = round;
+        self.persist_promise(round);
+        self.takeover = Some(UTakeover {
+            round,
+            started: ctx.now(),
+            promises: BTreeSet::new(),
+            votes: BTreeMap::new(),
+            db_min: InstanceId(u64::MAX),
+            db_max: InstanceId(0),
+        });
+        ctx.counter_add("rp.takeover", 1);
+        let msg = UMsg::Phase1a { round, from: self.me };
+        for &n in &self.acceptor_nodes.clone() {
+            if n != self.me {
+                ctx.tcp_send(n, msg.clone(), self.cfg.ctl_bytes);
+            }
+        }
+        // Self-promise with this acceptor's own vote state.
+        let (votes, decided_below) = self.own_votes(round);
+        self.on_phase1b(round, self.me, votes, decided_below, ctx);
+    }
+
+    fn on_phase1a(&mut self, round: Round, from: NodeId, ctx: &mut Ctx) {
+        if !self.failover_on() || round <= self.round {
+            return; // stale candidate; it will adopt our NewRing
+        }
+        self.round = round;
+        self.persist_promise(round);
+        // A lower-round takeover of our own has lost.
+        if self.takeover.as_ref().is_some_and(|t| t.round < round) {
+            self.takeover = None;
+        }
+        // If we were the coordinator, the higher round deposes us.
+        self.depose(ctx);
+        if self.acceptor.is_none() {
+            return;
+        }
+        let (votes, decided_below) = self.own_votes(round);
+        let wire = (self.cfg.ctl_bytes as u64
+            + votes.iter().map(|(_, _, b)| batch_bytes(b)).sum::<u64>())
+        .min(u32::MAX as u64) as u32;
+        ctx.tcp_send(from, UMsg::Phase1b { round, from: self.me, votes, decided_below }, wire);
+    }
+
+    fn on_phase1b(
+        &mut self,
+        round: Round,
+        from: NodeId,
+        votes: Vec<(InstanceId, Round, Batch)>,
+        decided_below: InstanceId,
+        ctx: &mut Ctx,
+    ) {
+        let quorum_n = quorum(self.acceptor_nodes.len());
+        let Some(t) = self.takeover.as_mut() else { return };
+        if round != t.round || !t.promises.insert(from) {
+            return;
+        }
+        for (i, vr, b) in votes {
+            match t.votes.get(&i) {
+                Some((prev, _)) if *prev >= vr => {}
+                _ => {
+                    t.votes.insert(i, (vr, b));
+                }
+            }
+        }
+        t.db_min = t.db_min.min(decided_below);
+        t.db_max = t.db_max.max(decided_below);
+        if t.promises.len() >= quorum_n {
+            self.become_coordinator(ctx);
+        }
+    }
+
+    /// Promise quorum reached: reconstruct the instance allocation from
+    /// the revealed votes, lay out a new ring, and resume proposing
+    /// under the new epoch.
+    ///
+    /// Safety of the window repair: a U-Ring decision requires votes
+    /// from *every* acceptor of its ring layout (≥ a quorum of the
+    /// deployment's acceptors), and the promise quorum intersects any
+    /// such set — so every instance decided above a promiser's delivery
+    /// watermark has a revealed vote, and the highest-round revealed
+    /// value is the (only possibly) chosen one. An instance above every
+    /// promiser's watermark with no revealed vote is provably undecided
+    /// and is closed with an empty batch. Revealed gaps *below* some
+    /// promiser's watermark were decided and delivered somewhere while
+    /// this quorum's votes no longer cover them (checkpoint GC); they
+    /// are left to the recovery catch-up path rather than guessed at.
+    fn become_coordinator(&mut self, ctx: &mut Ctx) {
+        let t = self.takeover.take().expect("quorum implies a takeover");
+        self.round = t.round;
+        // New layout: me first (the coordinator is the first acceptor),
+        // then the other promising acceptors, then the remaining current
+        // members. Live processes spliced out here rejoin via JoinReq.
+        let mut ring = vec![self.me];
+        for &n in &self.all_nodes {
+            if n != self.me && t.promises.contains(&n) {
+                ring.push(n);
+            }
+        }
+        let old_ring = self.cfg.ring.clone();
+        for &n in &old_ring {
+            if !ring.contains(&n) && !self.acceptor_nodes.contains(&n) {
+                ring.push(n);
+            }
+        }
+        let start = if t.db_min == InstanceId(u64::MAX) {
+            self.decided_below_here()
+        } else {
+            t.db_min.min(self.decided_below_here())
+        };
+        let mut next = start.max(t.db_max);
+        if let Some((&hi, _)) = t.votes.iter().next_back() {
+            next = next.max(hi.next());
+        }
+        let now = ctx.now();
+        let mut c = UCoord {
+            pending: VecDeque::new(),
+            pending_bytes: 0,
+            next_instance: next,
+            outstanding: BTreeSet::new(),
+            outstanding_batches: BTreeMap::new(),
+            last_progress: now,
+            repair: None,
+        };
+        let mut reprops: Vec<(InstanceId, Batch)> = Vec::new();
+        let mut i = start;
+        while i < next {
+            let batch = match t.votes.get(&i) {
+                Some((_, b)) => b.clone(),
+                None if i >= t.db_max => BatchData::empty(),
+                None => {
+                    i = i.next();
+                    continue; // decided+delivered elsewhere; catch-up heals
+                }
+            };
+            c.outstanding.insert(i);
+            c.outstanding_batches.insert(i, (batch.clone(), now));
+            reprops.push((i, batch));
+            i = i.next();
+        }
+        self.coord = Some(c);
+        self.adopt_layout(&ring);
+        self.mark_epoch();
+        ctx.counter_add("rp.became_coord", 1);
+        self.broadcast_ring(ctx);
+        for (i, b) in reprops {
+            ctx.counter_add("rp.epoch_reproposals", 1);
+            self.send_2ab(i, b, ctx);
+        }
+        ctx.set_timer(self.cfg.batch_timeout, TimerToken(T_BATCH));
+        ctx.set_timer(self.suspicion_timeout() / 2, TimerToken(T_HEARTBEAT));
+    }
+
+    /// Drops the coordinator role (a higher round exists elsewhere).
+    /// Pending and outstanding values are abandoned: proposers track
+    /// undelivered values and re-send them to the new coordinator.
+    fn depose(&mut self, ctx: &mut Ctx) {
+        if self.coord.take().is_some() {
+            ctx.counter_add("rp.deposed", 1);
+            if self.failover_on() && self.acceptor.is_some() {
+                ctx.set_timer(self.suspicion_timeout(), TimerToken(T_SUSPECT));
+            }
+        }
+    }
+
+    fn on_new_ring(&mut self, round: Round, coord: NodeId, ring: Vec<NodeId>, ctx: &mut Ctx) {
+        if !self.failover_on() || round < self.round || coord == self.me {
+            return;
+        }
+        self.round = round;
+        self.persist_promise(round);
+        self.takeover = None;
+        self.depose(ctx);
+        self.adopt_layout(&ring);
+        self.mark_epoch();
+        self.last_coord_activity = ctx.now();
+        if self.excluded {
+            ctx.tcp_send(coord, UMsg::JoinReq { from: self.me }, self.cfg.ctl_bytes);
+        }
+    }
+
+    fn on_heartbeat(&mut self, round: Round, coord: NodeId, ring: Vec<NodeId>, ctx: &mut Ctx) {
+        if !self.failover_on() || round < self.round || coord == self.me {
+            return;
+        }
+        if round > self.round || self.cfg.ring != ring {
+            // A respawned process still holds its pre-crash layout under
+            // its restored (promised) round: resync from the heartbeat.
+            self.on_new_ring(round, coord, ring, ctx);
+            return;
+        }
+        self.last_coord_activity = ctx.now();
+        if self.excluded {
+            ctx.tcp_send(coord, UMsg::JoinReq { from: self.me }, self.cfg.ctl_bytes);
+        }
+        self.revive_catchup_chain(ctx);
+    }
+
+    /// A process brought back up with its state preserved lost every
+    /// timer that expired while it was down, the periodic catch-up tick
+    /// included — and on a failover-enabled ring the others kept
+    /// deciding around it, so gap detection is exactly what it needs.
+    /// Heartbeats are the one signal such a process is guaranteed to
+    /// receive: re-arm the chain when its last tick is implausibly old
+    /// (a live chain ticks every `CATCHUP_RETRY`).
+    fn revive_catchup_chain(&mut self, ctx: &mut Ctx) {
+        if self.learner.is_none() {
+            return;
+        }
+        let Some(rec) = self.rec.as_mut() else { return };
+        if ctx.now().saturating_since(rec.last_tick) > CATCHUP_RETRY * 4 {
+            rec.last_tick = ctx.now();
+            ctx.set_timer(CATCHUP_RETRY, TimerToken(T_CATCHUP));
+        }
+    }
+
+    /// T_HEARTBEAT tick (coordinator only): keep-alives to the full
+    /// membership, plus the ring-liveness check.
+    fn heartbeat_tick(&mut self, ctx: &mut Ctx) {
+        if !self.failover_on() || self.coord.is_none() {
+            return; // deposed: the chain dies
+        }
+        let msg =
+            UMsg::Heartbeat { round: self.round, coord: self.me, ring: self.cfg.ring.clone() };
+        for &n in &self.all_nodes.clone() {
+            if n != self.me {
+                ctx.tcp_send(n, msg.clone(), self.cfg.ctl_bytes);
+            }
+        }
+        self.ring_repair_check(ctx);
+        ctx.set_timer(self.suspicion_timeout() / 2, TimerToken(T_HEARTBEAT));
+    }
+
+    /// Coordinator-side ring liveness: while instances are outstanding,
+    /// decisions should keep circulating back. If none arrive for a
+    /// full suspicion timeout, probe every member and splice out the
+    /// silent ones (Fig. 7.5's fix: throughput resumes after one probe
+    /// round instead of staying down for the whole outage).
+    fn ring_repair_check(&mut self, ctx: &mut Ctx) {
+        let timeout = self.suspicion_timeout();
+        let now = ctx.now();
+        enum Action {
+            Nothing,
+            Probe,
+            Reform,
+        }
+        let action = {
+            let Some(c) = self.coord.as_mut() else { return };
+            if let Some(r) = c.repair.as_ref() {
+                if now.saturating_since(r.started) >= timeout / 2 {
+                    Action::Reform
+                } else {
+                    Action::Nothing
+                }
+            } else if c.outstanding.is_empty() {
+                c.last_progress = now;
+                Action::Nothing
+            } else if now.saturating_since(c.last_progress) > timeout {
+                Action::Probe
+            } else {
+                Action::Nothing
+            }
+        };
+        match action {
+            Action::Nothing => {}
+            Action::Probe => self.start_ring_probe(ctx),
+            Action::Reform => self.finish_ring_repair(ctx),
+        }
+    }
+
+    fn start_ring_probe(&mut self, ctx: &mut Ctx) {
+        let mut responders = BTreeSet::new();
+        responders.insert(self.me);
+        if let Some(c) = self.coord.as_mut() {
+            c.repair = Some(URepair { responders, started: ctx.now() });
+        }
+        ctx.counter_add("rp.ring_probe", 1);
+        for &n in &self.all_nodes.clone() {
+            if n != self.me {
+                ctx.tcp_send(n, UMsg::Ping { from: self.me }, self.cfg.ctl_bytes);
+            }
+        }
+    }
+
+    fn finish_ring_repair(&mut self, ctx: &mut Ctx) {
+        let responders = {
+            let Some(c) = self.coord.as_mut() else { return };
+            let Some(r) = c.repair.take() else { return };
+            c.last_progress = ctx.now();
+            r.responders
+        };
+        // Keep responding members (acceptors contiguous first); silent
+        // ones are spliced out and rejoin via JoinReq once they recover.
+        let mut ring = vec![self.me];
+        for &n in &self.all_nodes.clone() {
+            if n != self.me && responders.contains(&n) && self.acceptor_nodes.contains(&n) {
+                ring.push(n);
+            }
+        }
+        let live_acceptors = ring.len();
+        for &n in &self.all_nodes.clone() {
+            if n != self.me && responders.contains(&n) && !self.acceptor_nodes.contains(&n) {
+                ring.push(n);
+            }
+        }
+        if live_acceptors < quorum(self.acceptor_nodes.len()) {
+            // Too few live acceptors to decide anything: stay put and
+            // keep probing (no layout can make progress without a
+            // quorum anyway).
+            ctx.counter_add("rp.repair_short", 1);
+            return;
+        }
+        if ring == self.cfg.ring {
+            return; // everyone answered: the stall is load, not a crash
+        }
+        self.reform_to(ring, ctx);
+    }
+
+    /// Splices the ring to `ring` under a bumped round (layout is a
+    /// function of the round, so stale-layout traffic fails the fence)
+    /// and re-drives every outstanding instance through the new layout.
+    fn reform_to(&mut self, ring: Vec<NodeId>, ctx: &mut Ctx) {
+        let round = self.round.next_for(self.me.0 as u32);
+        self.round = round;
+        self.persist_promise(round);
+        self.adopt_layout(&ring);
+        self.mark_epoch();
+        ctx.counter_add("rp.ring_repair", 1);
+        self.broadcast_ring(ctx);
+        let now = ctx.now();
+        let resend: Vec<(InstanceId, Batch)> = self
+            .coord
+            .as_mut()
+            .map(|c| {
+                c.outstanding_batches
+                    .iter_mut()
+                    .map(|(&i, (b, sent))| {
+                        *sent = now;
+                        (i, b.clone())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (i, b) in resend {
+            self.send_2ab(i, b, ctx);
+        }
+    }
+
+    /// A process outside the current layout asks to be spliced back in
+    /// (it recovered, or was wrongly suspected). Acceptors go back into
+    /// the acceptor segment; others are appended.
+    fn on_join_req(&mut self, from: NodeId, ctx: &mut Ctx) {
+        if !self.failover_on() || self.coord.is_none() {
+            return;
+        }
+        if self.cfg.ring.contains(&from) || !self.all_nodes.contains(&from) {
+            return;
+        }
+        let mut ring = self.cfg.ring.clone();
+        if self.acceptor_nodes.contains(&from) {
+            ring.insert(self.cfg.last_acceptor_pos() + 1, from);
+        } else {
+            ring.push(from);
+        }
+        ctx.counter_add("rp.joins", 1);
+        self.reform_to(ring, ctx);
+    }
 }
 
 impl Actor for URingProcess {
     fn on_start(&mut self, ctx: &mut Ctx) {
+        self.last_coord_activity = ctx.now();
         if self.coord.is_some() {
             ctx.set_timer(self.cfg.batch_timeout, TimerToken(T_BATCH));
+            if self.failover_on() {
+                ctx.set_timer(self.suspicion_timeout() / 2, TimerToken(T_HEARTBEAT));
+            }
+        } else if self.failover_on() && self.acceptor.is_some() {
+            ctx.set_timer(self.suspicion_timeout(), TimerToken(T_SUSPECT));
         }
         if self.prop.is_some() {
             ctx.set_timer(Dur::ZERO, TimerToken(T_PACE));
+        }
+        if self.rec.is_none() && self.failover_on() {
+            ctx.set_timer(REPROP_INTERVAL, TimerToken(T_REPROP));
         }
         if let Some(rec) = self.rec.as_mut() {
             ctx.set_timer(REPROP_INTERVAL, TimerToken(T_REPROP));
@@ -798,6 +1436,10 @@ impl Actor for URingProcess {
         match msg {
             UMsg::Forward(v) => {
                 let v = *v;
+                if self.excluded {
+                    // No live successor; the origin proposer re-sends.
+                    return;
+                }
                 if self.coord.is_some() {
                     self.enqueue(v, ctx);
                 } else {
@@ -809,10 +1451,42 @@ impl Actor for URingProcess {
                 let batch = batch.clone();
                 self.on_phase2ab(instance, round, batch, ctx);
             }
-            UMsg::Decision { instance, batch, id_hops_left } => {
-                let (instance, ih) = (*instance, *id_hops_left);
+            UMsg::Decision { instance, batch, id_hops_left, round } => {
+                let (instance, ih, round) = (*instance, *id_hops_left, *round);
                 let batch = batch.clone();
-                self.on_decision(instance, batch, ih, ctx);
+                self.on_decision(instance, batch, ih, round, ctx);
+            }
+            UMsg::Phase1a { round, from } => {
+                let (round, from) = (*round, *from);
+                self.on_phase1a(round, from, ctx);
+            }
+            UMsg::Phase1b { round, from, votes, decided_below } => {
+                let (round, from, decided_below) = (*round, *from, *decided_below);
+                let votes = votes.clone();
+                self.on_phase1b(round, from, votes, decided_below, ctx);
+            }
+            UMsg::NewRing { round, coord, ring } => {
+                let (round, coord) = (*round, *coord);
+                let ring = ring.clone();
+                self.on_new_ring(round, coord, ring, ctx);
+            }
+            UMsg::Heartbeat { round, coord, ring } => {
+                let (round, coord) = (*round, *coord);
+                let ring = ring.clone();
+                self.on_heartbeat(round, coord, ring, ctx);
+            }
+            UMsg::Ping { from } => {
+                let from = *from;
+                ctx.tcp_send(from, UMsg::Pong { from: self.me }, self.cfg.ctl_bytes);
+            }
+            UMsg::Pong { from } => {
+                if let Some(r) = self.coord.as_mut().and_then(|c| c.repair.as_mut()) {
+                    r.responders.insert(*from);
+                }
+            }
+            UMsg::JoinReq { from } => {
+                let from = *from;
+                self.on_join_req(from, ctx);
             }
             UMsg::CatchupReq { from, next } => {
                 let (from, next) = (*from, *next);
@@ -867,6 +1541,7 @@ impl Actor for URingProcess {
                 // live flow skipped instances this learner is missing.
                 let stuck = l.ready.keys().next().is_some_and(|&m| m > next);
                 let Some(rec) = self.rec.as_mut() else { return };
+                rec.last_tick = ctx.now();
                 let peer = rec.peer;
                 if rec.catching_up {
                     ctx.tcp_send(
@@ -896,6 +1571,8 @@ impl Actor for URingProcess {
                 ctx.set_timer(CATCHUP_RETRY, TimerToken(T_CATCHUP));
             }
             T_REPROP => self.repropose_check(ctx),
+            T_SUSPECT => self.suspect_check(ctx),
+            T_HEARTBEAT => self.heartbeat_tick(ctx),
             T_DISK => {
                 let payload = token.0 & !KIND_MASK;
                 if payload == u64::MAX >> 8 {

@@ -1,0 +1,179 @@
+//! The CI fault matrix: short runs of both protocols under composed
+//! [`FaultPlan`] schedules — datagram loss, reordering, duplication,
+//! link partitions, and CPU stragglers — each checked for zero
+//! safety violations at quiescence.
+//!
+//! M-Ring cells exercise the UDP knobs (its multicast data path is
+//! datagram-based); U-Ring cells, whose traffic is all TCP, exercise
+//! link cuts and stragglers with the failover subsystem enabled, since
+//! a cut longer than the suspicion timeout legitimately triggers ring
+//! repair — the point is that repair plus recovery catch-up still
+//! converges to agreement.
+
+use abcast::MsgId;
+use recovery::NullApp;
+use ringpaxos::cluster::{
+    deploy_mring, deploy_uring_recoverable, MRingOptions, URingOptions, URingRecoveryOptions,
+};
+use simnet::prelude::*;
+use std::collections::HashSet;
+
+fn mring_broadcast_set(sim: &Sim, proposers: &[NodeId]) -> HashSet<MsgId> {
+    let mut out = HashSet::new();
+    for &p in proposers {
+        for seq in 0..sim.metrics().counter(p, "rp.proposed") {
+            out.insert(MsgId(((p.0 as u64) << 40) | seq));
+        }
+    }
+    out
+}
+
+/// Runs one M-Ring cell under `plan`, then verifies integrity (no
+/// duplicate deliveries despite duplicated datagrams), total order, and
+/// agreement at quiescence. Returns total deliveries.
+fn run_mring_cell(seed: u64, plan: FaultPlan) -> usize {
+    let mut cfg = SimConfig::default();
+    cfg.seed = seed;
+    let mut sim = Sim::new(cfg);
+    let opts = MRingOptions {
+        ring_size: 3,
+        n_learners: 2,
+        n_proposers: 2,
+        proposer_rate_bps: 40_000_000,
+        msg_bytes: 8192,
+        proposer_stop: Some(Time::from_millis(900)),
+        ..MRingOptions::default()
+    };
+    let d = deploy_mring(&mut sim, &opts, |_| {});
+    plan.run(&mut sim, Time::from_millis(2500), |_, _| {});
+
+    let log = d.log.borrow();
+    let all: Vec<usize> = (0..d.all_learners.len()).collect();
+    log.check_total_order().expect("total order under faults");
+    log.check_agreement_at_quiescence(&all).expect("agreement at quiescence");
+    log.check_integrity(&mring_broadcast_set(&sim, &d.proposers)).expect("integrity");
+    let total = log.total_deliveries();
+    assert!(total > 100, "the cell must make progress (got {total} deliveries)");
+    total
+}
+
+/// Runs one U-Ring cell (failover on, recovery on) under `plan`, then
+/// verifies crash-aware agreement — epoch monotonicity included.
+fn run_uring_cell(seed: u64, plan: FaultPlan) {
+    let mut cfg = SimConfig::default();
+    cfg.seed = seed;
+    let mut sim = Sim::new(cfg);
+    let opts = URingOptions {
+        ring_len: 5,
+        n_acceptors: 3,
+        proposer_positions: vec![0, 1],
+        proposer_rate_bps: 40_000_000,
+        msg_bytes: 8192,
+        burst: 1,
+        proposer_stop: Some(Time::from_millis(900)),
+    };
+    let ru = deploy_uring_recoverable(
+        &mut sim,
+        &opts,
+        URingRecoveryOptions::default(),
+        |cfg| cfg.suspicion_timeout = Some(Dur::millis(40)),
+        |_| Some(Box::new(NullApp::default())),
+    );
+    plan.run(&mut sim, Time::from_secs(4), |_, _| {});
+
+    let log = ru.d.log.borrow();
+    log.check_crash_agreement(&[0, 1, 2, 3, 4]).expect("crash-aware agreement under faults");
+    assert!(log.total_deliveries() > 100, "the cell must make progress");
+}
+
+#[test]
+fn mring_loss_burst() {
+    run_mring_cell(
+        0xFA01,
+        FaultPlan::new().loss_burst(Time::from_millis(200), Time::from_millis(600), 0.005),
+    );
+}
+
+#[test]
+fn mring_reorder_burst() {
+    run_mring_cell(
+        0xFA02,
+        FaultPlan::new().reorder_burst(Time::from_millis(200), Time::from_millis(600), 0.02),
+    );
+}
+
+/// The DeliveredTracker dedup regression: duplicated datagrams (retried
+/// proposals, doubled 2As and decisions) must be absorbed — integrity
+/// in `run_mring_cell` fails on any double delivery.
+#[test]
+fn mring_duplication_burst_is_deduplicated() {
+    let mut cfg = SimConfig::default();
+    cfg.seed = 0xFA03;
+    let mut sim = Sim::new(cfg);
+    let opts = MRingOptions {
+        ring_size: 3,
+        n_learners: 2,
+        n_proposers: 2,
+        proposer_rate_bps: 40_000_000,
+        msg_bytes: 8192,
+        proposer_stop: Some(Time::from_millis(900)),
+        ..MRingOptions::default()
+    };
+    let d = deploy_mring(&mut sim, &opts, |_| {});
+    FaultPlan::new().duplication_burst(Time::from_millis(100), Time::from_millis(800), 0.02).run(
+        &mut sim,
+        Time::from_millis(2500),
+        |_, _| {},
+    );
+
+    let dups: u64 = sim.metrics().sum("net.duplicated");
+    assert!(dups > 0, "the duplication knob must have fired");
+    let log = d.log.borrow();
+    let all: Vec<usize> = (0..d.all_learners.len()).collect();
+    log.check_integrity(&mring_broadcast_set(&sim, &d.proposers))
+        .expect("duplicated datagrams must not cause duplicate deliveries");
+    log.check_total_order().expect("total order");
+    log.check_agreement_at_quiescence(&all).expect("agreement");
+}
+
+#[test]
+fn mring_loss_with_straggler() {
+    // Straggle a mid-ring acceptor (ring nodes are deployed first, so
+    // the second acceptor is NodeId(1)) while datagrams are lossy.
+    run_mring_cell(
+        0xFA04,
+        FaultPlan::new()
+            .loss_burst(Time::from_millis(200), Time::from_millis(600), 0.005)
+            .straggler(NodeId(1), Time::from_millis(300), Time::from_millis(700), 3.0),
+    );
+}
+
+#[test]
+fn uring_partition_burst_heals_via_ring_repair() {
+    // Cut the tail learner off the ring for 150 ms: the coordinator
+    // splices it out, the cut heals, and it rejoins + catches up.
+    run_uring_cell(
+        0xFB01,
+        FaultPlan::new().partition_burst(
+            Time::from_millis(300),
+            Time::from_millis(450),
+            &[NodeId(4)],
+            &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+        ),
+    );
+}
+
+#[test]
+fn uring_straggler_and_partition() {
+    run_uring_cell(
+        0xFB02,
+        FaultPlan::new()
+            .straggler(NodeId(3), Time::from_millis(200), Time::from_millis(800), 3.0)
+            .partition_burst(
+                Time::from_millis(300),
+                Time::from_millis(450),
+                &[NodeId(4)],
+                &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)],
+            ),
+    );
+}

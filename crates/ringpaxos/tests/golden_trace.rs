@@ -138,12 +138,17 @@ fn mring_lossy_golden_trace() {
         sim.run_until(Time::from_millis(800));
         harvest(&sim, &d.all_learners)
     };
+    // Recaptured (GOLDEN_PRINT=1) when loss injection moved from the
+    // engine-global RNG to per-node streams: draws now come from the
+    // sender's own stream, so the loss pattern (not the protocol)
+    // changed. The fault-free traces above and below are bit-identical
+    // across that change.
     let want = Golden {
-        events: 89584,
-        delivered: vec![2744, 2744, 2744, 2744],
-        checksum: 0xf805c417c1f20596,
-        latency_count: 2744,
-        latency_mean_ns: 89343610,
+        events: 89576,
+        delivered: vec![2743, 2743, 2743, 2743],
+        checksum: 0x5a1368d99bb9f882,
+        latency_count: 2743,
+        latency_mean_ns: 86146672,
     };
     report("mring_lossy", &run(1), &want);
     report("mring_lossy k=2", &run(2), &want);

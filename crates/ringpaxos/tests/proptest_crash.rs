@@ -97,6 +97,66 @@ proptest! {
         }
         prop_assert!(log.total_deliveries() > 0, "nothing delivered at all");
     }
+
+    /// The failover-enabled variant spans configuration epochs: any ring
+    /// position may be the victim — the coordinator included — so the
+    /// schedules drive epoch takeovers, stale-round fencing, splice-outs
+    /// and rejoins, and the checker additionally enforces per-learner
+    /// epoch monotonicity (`check_crash_agreement` runs
+    /// `check_epoch_monotonic` first).
+    #[test]
+    fn failover_crash_schedules_preserve_agreement_across_epochs(
+        seed in 0u64..10_000,
+        victim_pos in 0usize..5, // every position, coordinator included
+        kinds in proptest::collection::vec(0u8..3, 1..3),
+        start_ms in 300u64..900,
+        down_ms in 50u64..500,
+        gap_ms in 200u64..500,
+    ) {
+        let mut cfg = SimConfig::default();
+        cfg.seed = seed;
+        let mut sim = Sim::new(cfg);
+        let opts = URingOptions {
+            ring_len: 5,
+            n_acceptors: 3,
+            proposer_positions: vec![0, 1, 2],
+            proposer_rate_bps: 50_000_000,
+            msg_bytes: 16 * 1024,
+            proposer_stop: Some(Time::from_millis(2000)),
+            ..URingOptions::default()
+        };
+        let rec = URingRecoveryOptions { checkpoint_interval: 64, ..Default::default() };
+        let ru = deploy_uring_recoverable(
+            &mut sim,
+            &opts,
+            rec,
+            |cfg| cfg.suspicion_timeout = Some(Dur::millis(40)),
+            |_| Some(Box::new(NullApp::default())),
+        );
+        let victim = ru.d.ring[victim_pos];
+
+        let mut t = start_ms;
+        for k in &kinds {
+            let kind = match k { 0 => Outage::Recover, 1 => Outage::Restart, _ => Outage::Respawn };
+            sim.run_until(Time::from_millis(t));
+            sim.set_node_up(victim, false);
+            sim.run_until(Time::from_millis(t + down_ms));
+            match kind {
+                Outage::Recover => sim.set_node_up(victim, true),
+                Outage::Restart => sim.restart_node(victim),
+                Outage::Respawn => {
+                    respawn_uring(&mut sim, &ru, victim_pos, Some(Box::new(NullApp::default())))
+                }
+            }
+            t += down_ms + gap_ms;
+        }
+        sim.run_until(Time::from_secs(8));
+
+        let log = ru.d.log.borrow();
+        log.check_crash_agreement(&[0, 1, 2, 3, 4])
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(log.total_deliveries() > 0, "nothing delivered at all");
+    }
 }
 
 /// `restart_node` re-runs `on_start`, so every periodic timer chain is

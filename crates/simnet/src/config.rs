@@ -46,6 +46,13 @@ pub struct SimConfig {
     /// Probability that any UDP datagram copy is lost in transit, for
     /// failure-injection experiments. Zero by default.
     pub random_loss: f64,
+    /// Probability that any UDP datagram copy is held back in the switch
+    /// for a few extra latencies, arriving *after* datagrams sent later
+    /// (reorder injection). Zero by default.
+    pub random_reorder: f64,
+    /// Probability that the switch delivers an extra copy of a UDP
+    /// datagram (duplication injection). Zero by default.
+    pub random_duplication: f64,
     /// Raw sequential bandwidth of the node-local SSD, in bits per second.
     pub disk_bandwidth_bps: u64,
     /// Fixed per-operation latency of a disk write (seek/flush overhead).
@@ -69,6 +76,8 @@ impl Default for SimConfig {
             tcp_window_bytes: 16 * 1024 * 1024,
             switch_port_buffer: 8 * 1024 * 1024,
             random_loss: 0.0,
+            random_reorder: 0.0,
+            random_duplication: 0.0,
             disk_bandwidth_bps: 450_000_000,
             disk_op_latency: Dur::micros(390),
         }

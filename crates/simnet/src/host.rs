@@ -43,6 +43,23 @@ pub(crate) struct Node {
     pub(crate) disk_free: Time,
     /// Per-node overrides of cluster-wide defaults (0 = use SimConfig).
     pub(crate) udp_socket_buffer: u32,
+    /// Straggler injection: every CPU cost on this node is multiplied by
+    /// this factor (1.0 = healthy, the exact pre-injection arithmetic).
+    pub(crate) cpu_slowdown: f64,
+    /// Straggler injection for the local disk: write times are
+    /// multiplied by this factor (1.0 = healthy).
+    pub(crate) disk_slowdown: f64,
+}
+
+/// Scales a cost by a straggler factor. The factor-1.0 fast path keeps
+/// healthy nodes on the exact integer arithmetic (golden traces).
+#[inline]
+pub(crate) fn scaled(cost: Dur, factor: f64) -> Dur {
+    if factor == 1.0 {
+        cost
+    } else {
+        Dur::nanos((cost.as_nanos() as f64 * factor).round() as u64)
+    }
 }
 
 impl Node {
@@ -55,6 +72,8 @@ impl Node {
             cores: (0..cores).map(|_| Core { free_at: Time::ZERO, busy: Dur::ZERO }).collect(),
             disk_free: Time::ZERO,
             udp_socket_buffer: 0,
+            cpu_slowdown: 1.0,
+            disk_slowdown: 1.0,
         }
     }
 }
@@ -82,7 +101,9 @@ impl SimInner {
         start: Time,
         cost: Dur,
     ) -> Time {
-        let c = &mut self.node_mut(node).cores[core];
+        let n = self.node_mut(node);
+        let cost = scaled(cost, n.cpu_slowdown);
+        let c = &mut n.cores[core];
         let begin = c.free_at.max(start);
         c.free_at = begin + cost;
         c.busy += cost;
@@ -118,6 +139,7 @@ impl SimInner {
     fn disk_push(&mut self, node: NodeId, bytes: u32, t: Dur, token: TimerToken) {
         let now = self.now();
         let n = self.node_mut(node);
+        let t = scaled(t, n.disk_slowdown);
         let done = n.disk_free.max(now) + t;
         n.disk_free = done;
         self.metrics.add_id(node, mid::DISK_WRITTEN_BYTES, bytes as u64);

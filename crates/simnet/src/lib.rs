@@ -34,6 +34,7 @@
 pub mod config;
 mod dispatch;
 mod event_queue;
+pub mod fault;
 mod host;
 pub mod ids;
 mod net;
@@ -48,6 +49,7 @@ pub use crate::shard::Partition;
 /// Convenient glob import for protocol crates and experiments.
 pub mod prelude {
     pub use crate::config::SimConfig;
+    pub use crate::fault::{FaultAction, FaultPlan};
     pub use crate::ids::{GroupId, NodeId, TimerToken};
     pub use crate::payload::Payload;
     pub use crate::shard::Partition;

@@ -203,10 +203,22 @@ impl SimInner {
             self.metrics.add_id(dst, mid::NET_DOWN_DROP, bytes as u64);
             return;
         }
+        // A cut link (fault injection) drops every transport crossing
+        // it, TCP segments and acks included — partitions must starve
+        // reliable channels too ([`crate::sim::Sim::set_link_cut`]).
+        if self.link_is_cut(src, dst) {
+            self.metrics.add_id(dst, mid::NET_PART_DROP, 1);
+            return;
+        }
+        let mut reorder_hold = Dur::ZERO;
+        let mut duplicate = false;
         if transport != Transport::Tcp {
-            // Random loss injection. The rng is engine-global (see the
-            // `sim` module docs on determinism under sharding).
-            if self.config.random_loss > 0.0 && self.rng.gen::<f64>() < self.config.random_loss {
+            // Fault-injection draws come from the *source* node's RNG
+            // stream: the draw executes in the sender's context, so no
+            // stream is ever touched from a foreign shard and draw
+            // order is partition-independent (`shard` module docs).
+            let p_loss = self.config.random_loss;
+            if p_loss > 0.0 && self.rng_for(src).gen::<f64>() < p_loss {
                 self.metrics.add_id(dst, mid::NET_RAND_DROP, 1);
                 return;
             }
@@ -218,6 +230,16 @@ impl SimInner {
                 self.metrics.add_id(dst, mid::NET_SWITCH_DROP_BYTES, bytes as u64);
                 return;
             }
+            let p_re = self.config.random_reorder;
+            if p_re > 0.0 && self.rng_for(src).gen::<f64>() < p_re {
+                // Hold this copy back a few extra latencies so traffic
+                // sent after it arrives first.
+                let hold = self.rng_for(src).gen_range(1..5u32);
+                reorder_hold = self.config.one_way_latency * hold as u64;
+                self.metrics.add_id(dst, mid::NET_REORDERED, 1);
+            }
+            let p_dup = self.config.random_duplication;
+            duplicate = p_dup > 0.0 && self.rng_for(src).gen::<f64>() < p_dup;
         }
         let latency = self.config.one_way_latency;
         // Cross-shard write when src and dst live on different shards:
@@ -225,13 +247,30 @@ impl SimInner {
         let down = self.node_mut(dst);
         let done = down.downlink_free.max(arrive_at_switch) + costs.tx;
         down.downlink_free = done;
-        let at_host = done + latency;
-        // The envelope is filed in the destination shard's slab; only
-        // its EnvId moves through the HostArrive → Deliver pipeline.
+        let at_host = done + latency + reorder_hold;
+        let dup_payload = if duplicate {
+            self.metrics.add_id(dst, mid::NET_DUPLICATED, 1);
+            Some(payload.clone())
+        } else {
+            None
+        };
         let env = Envelope { src, dst, payload, wire_bytes: bytes, transport, tcp_epoch };
+        self.file_arrival(at_host, env);
+        if let Some(p) = dup_payload {
+            // The duplicate copy trails the original by one latency.
+            let env = Envelope { src, dst, payload: p, wire_bytes: bytes, transport, tcp_epoch };
+            self.file_arrival(at_host + latency, env);
+        }
+    }
+
+    /// Files a finished datagram at its destination: slab + queue when
+    /// the destination shard is the source's, inbox handoff otherwise.
+    /// The envelope is interned in the destination shard's slab; only
+    /// its EnvId moves through the HostArrive → Deliver pipeline.
+    fn file_arrival(&mut self, at_host: Time, env: Envelope) {
         let seq = self.next_seq();
-        let ss = self.shard_idx(src);
-        let ds = self.shard_idx(dst);
+        let ss = self.shard_idx(env.src);
+        let ds = self.shard_idx(env.dst);
         if ds == ss {
             let id = self.shards[ds].envs.insert(env);
             self.shards[ds].queue.push(at_host, seq, EventKind::HostArrive(id));
@@ -371,26 +410,45 @@ impl SimInner {
                 if src != node.0 && dst != node.0 {
                     continue;
                 }
-                let Some(tx_slot) = self.tcp_tx_slot(NodeId(src), NodeId(dst)) else { continue };
-                let rx_slot = self.tcp_rx_slot(NodeId(src), NodeId(dst)).expect("halves paired");
-                // Read the rx half first: the tx half's ack expectation
-                // resynchronizes to the receiver's delivery sequence.
-                let rxs = self.shard_idx(NodeId(dst));
-                let rx = &mut self.shards[rxs].tcp_rx[rx_slot];
-                let delivered = rx.delivered_segs;
-                rx.epoch = rx.epoch.wrapping_add(1);
-                let txs = self.shard_idx(NodeId(src));
-                let tx = &mut self.shards[txs].tcp_tx[tx_slot];
-                let lost = tx.in_flight as u64 + tx.queued_bytes;
-                tx.queue.clear();
-                tx.queued_bytes = 0;
-                tx.in_flight = 0;
-                tx.acked_segs = delivered;
-                tx.epoch = tx.epoch.wrapping_add(1);
-                if lost > 0 {
-                    self.metrics.add_id(NodeId(src), mid::NET_TCP_RESET_BYTES, lost);
-                }
+                self.reset_tcp_channel(NodeId(src), NodeId(dst));
             }
+        }
+    }
+
+    /// Resets the TCP channels in both directions between `a` and `b` —
+    /// the heal-time counterpart of [`SimInner::reset_tcp_of`], used when
+    /// a cut link is restored ([`crate::sim::Sim::set_link_cut`]):
+    /// segments lost inside the cut filled the window without ever
+    /// acking, so the channel must be torn down and re-opened just as
+    /// after a crash.
+    pub(crate) fn reset_tcp_pair(&mut self, a: NodeId, b: NodeId) {
+        self.reset_tcp_channel(a, b);
+        self.reset_tcp_channel(b, a);
+    }
+
+    /// Resets one directed channel `src -> dst` (no-op if none exists):
+    /// writes queued and in-flight bytes off at the sender, reopens the
+    /// window, resynchronizes the ack expectation to the receiver's
+    /// delivery sequence, and bumps both halves' epochs.
+    fn reset_tcp_channel(&mut self, src: NodeId, dst: NodeId) {
+        let Some(tx_slot) = self.tcp_tx_slot(src, dst) else { return };
+        let rx_slot = self.tcp_rx_slot(src, dst).expect("halves paired");
+        // Read the rx half first: the tx half's ack expectation
+        // resynchronizes to the receiver's delivery sequence.
+        let rxs = self.shard_idx(dst);
+        let rx = &mut self.shards[rxs].tcp_rx[rx_slot];
+        let delivered = rx.delivered_segs;
+        rx.epoch = rx.epoch.wrapping_add(1);
+        let txs = self.shard_idx(src);
+        let tx = &mut self.shards[txs].tcp_tx[tx_slot];
+        let lost = tx.in_flight as u64 + tx.queued_bytes;
+        tx.queue.clear();
+        tx.queued_bytes = 0;
+        tx.in_flight = 0;
+        tx.acked_segs = delivered;
+        tx.epoch = tx.epoch.wrapping_add(1);
+        if lost > 0 {
+            self.metrics.add_id(src, mid::NET_TCP_RESET_BYTES, lost);
         }
     }
 

@@ -31,12 +31,22 @@
 //! executor can hand each worker disjoint slices of the flat arena
 //! without the structs physically moving.
 //!
+//! Randomness is sharded too: each node has its own RNG stream, seeded
+//! deterministically from `(config.seed, node id)` and stored in the
+//! owning shard's arena ([`ShardState::rngs`]). Fault-injection draws
+//! (loss/reorder/duplication) always come from the *source* node's
+//! stream — the draw executes in the sender's context, so a worker
+//! thread never touches a foreign shard's RNG — and draw sequences are
+//! a function of each node's own send order, independent of the
+//! partition. Streams are derived lazily by a pure splitmix hash, so a
+//! re-partition just clears the arenas and the same streams re-derive
+//! on first use.
+//!
 //! Deliberately engine-global (documented for the threaded follow-up):
-//! the RNG (execution order is identical under any partition — see
-//! below — so draws are identical; threading will need per-shard
-//! streams), the group membership tables (read-only after deploy), the
+//! the group membership tables (read-only after deploy), the
 //! multicast scratch buffer, the dense TCP slot indexes (read-mostly),
-//! and the `now`/`seq`/`events` counters.
+//! the link-cut set (control-plane writes only), and the
+//! `now`/`seq`/`events` counters.
 //!
 //! # Determinism under any partition
 //!
@@ -170,6 +180,12 @@ pub(crate) struct ShardState {
     pub(crate) tcp_rx: Vec<TcpRx>,
     /// Per-shard replica of the pure per-size cost memo.
     pub(crate) cost_cache: CostCache,
+    /// Per-node RNG streams, indexed by node id. Entries are derived
+    /// lazily ([`SimInner::rng_for`]) from a pure hash of
+    /// `(config.seed, node)`, so every shard can materialize any node's
+    /// canonical stream — but a node's stream only ever *advances* in
+    /// its owning shard (draws happen in the sender's context).
+    pub(crate) rngs: Vec<rand::rngs::SmallRng>,
     /// Cross-shard handoff buffer, drained into `queue` at the top of
     /// each executor step.
     pub(crate) inbox: Vec<CrossShardEvent>,

@@ -236,12 +236,32 @@ pub struct SimInner {
     pub(crate) tcp_rx_index: Vec<u32>,
     /// Node count the TCP index tables were laid out for.
     pub(crate) tcp_nodes: usize,
-    /// Engine-global RNG. Dispatch order is identical under every
-    /// partition, so draw order is too; a threaded executor will need
-    /// per-shard streams ([`crate::shard`] module docs).
-    pub(crate) rng: SmallRng,
+    /// Symmetrically cut links (fault injection): unordered node pairs
+    /// stored as `(lo, hi)`. Traffic on a cut link — every transport,
+    /// TCP included — is dropped at the switch (`net.part_drop`).
+    /// Control-plane state, written only between events
+    /// ([`Sim::set_link_cut`]).
+    pub(crate) cut_links: std::collections::HashSet<(u32, u32)>,
     /// Public metrics registry; actors record through [`Ctx`].
     pub metrics: Metrics,
+}
+
+/// Derives the RNG seed for one node's stream from the cluster seed: a
+/// splitmix64-style finalizer, so streams are decorrelated and any shard
+/// can re-derive any node's stream from scratch (pure function).
+#[inline]
+pub(crate) fn stream_seed(seed: u64, node: usize) -> u64 {
+    let mut z = seed ^ (node as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Canonical unordered key for a node pair (link cuts are symmetric).
+#[inline]
+pub(crate) fn link_key(a: NodeId, b: NodeId) -> (u32, u32) {
+    let (x, y) = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+    (x as u32, y as u32)
 }
 
 impl SimInner {
@@ -255,9 +275,25 @@ impl SimInner {
         &self.config
     }
 
-    /// The deterministic random number generator.
-    pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.rng
+    /// The deterministic RNG stream of `node`, materialized lazily in
+    /// the owning shard's arena. Draw order is a function of the node's
+    /// own activity, so it is identical under every partition
+    /// ([`crate::shard`] module docs, "Randomness is sharded too").
+    pub(crate) fn rng_for(&mut self, node: NodeId) -> &mut SmallRng {
+        let sh = self.shard_idx(node);
+        let rngs = &mut self.shards[sh].rngs;
+        if rngs.len() <= node.0 {
+            let seed = self.config.seed;
+            let start = rngs.len();
+            rngs.extend((start..=node.0).map(|i| SmallRng::seed_from_u64(stream_seed(seed, i))));
+        }
+        &mut rngs[node.0]
+    }
+
+    /// Whether the link between `a` and `b` is currently cut.
+    #[inline]
+    pub(crate) fn link_is_cut(&self, a: NodeId, b: NodeId) -> bool {
+        !self.cut_links.is_empty() && self.cut_links.contains(&link_key(a, b))
     }
 }
 
@@ -362,9 +398,10 @@ impl Ctx<'_> {
         self.inner.core_free_at(self.node, core)
     }
 
-    /// The deterministic random number generator.
+    /// This node's deterministic random number generator stream (seeded
+    /// from the cluster seed and the node id; partition-independent).
     pub fn rng(&mut self) -> &mut SmallRng {
-        self.inner.rng()
+        self.inner.rng_for(self.node)
     }
 
     /// Adds to a per-node counter by name (interned on first use).
@@ -403,7 +440,6 @@ impl Sim {
     /// Creates an empty cluster with the given configuration (identity
     /// partition: one shard).
     pub fn new(config: SimConfig) -> Sim {
-        let rng = SmallRng::seed_from_u64(config.seed);
         let lookahead = SimInner::lookahead_matrix(1, config.one_way_latency);
         Sim {
             inner: SimInner {
@@ -423,7 +459,7 @@ impl Sim {
                 tcp_tx_index: Vec::new(),
                 tcp_rx_index: Vec::new(),
                 tcp_nodes: 0,
-                rng,
+                cut_links: std::collections::HashSet::new(),
                 metrics: Metrics::new(),
             },
             actors: Vec::new(),
@@ -474,6 +510,55 @@ impl Sim {
     /// Overrides the UDP socket buffer size of one node.
     pub fn set_udp_socket_buffer(&mut self, node: NodeId, bytes: u32) {
         self.inner.node_mut(node).udp_socket_buffer = bytes;
+    }
+
+    /// Changes the datagram loss probability at runtime (fault
+    /// injection; timed bursts via [`crate::fault::FaultPlan`]).
+    pub fn set_random_loss(&mut self, p: f64) {
+        self.inner.config.random_loss = p;
+    }
+
+    /// Changes the datagram reorder probability at runtime.
+    pub fn set_random_reorder(&mut self, p: f64) {
+        self.inner.config.random_reorder = p;
+    }
+
+    /// Changes the datagram duplication probability at runtime.
+    pub fn set_random_duplication(&mut self, p: f64) {
+        self.inner.config.random_duplication = p;
+    }
+
+    /// Cuts (`true`) or heals (`false`) the link between `a` and `b`.
+    /// A cut is symmetric and drops *every* transport crossing it, TCP
+    /// segments and acks included (`net.part_drop`). Healing also resets
+    /// the TCP channels between the pair: segments lost in the cut were
+    /// written off nowhere, so without a reset a filled window would
+    /// wedge the channel forever — the reset writes them off at the
+    /// sender (`net.tcp_reset_bytes`) exactly like a crash-reset, and
+    /// actors recover through their normal retransmission paths.
+    pub fn set_link_cut(&mut self, a: NodeId, b: NodeId, cut: bool) {
+        let key = crate::sim::link_key(a, b);
+        if cut {
+            self.inner.cut_links.insert(key);
+        } else if self.inner.cut_links.remove(&key) {
+            self.inner.reset_tcp_pair(a, b);
+        }
+    }
+
+    /// Sets a CPU straggler factor on `node`: every CPU cost is
+    /// multiplied by `factor` (1.0 = healthy; the 1.0 fast path keeps
+    /// the exact integer arithmetic, so traces without stragglers are
+    /// bit-identical to pre-injection builds).
+    pub fn set_cpu_slowdown(&mut self, node: NodeId, factor: f64) {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.inner.node_mut(node).cpu_slowdown = factor;
+    }
+
+    /// Sets a disk straggler factor on `node` (write times multiplied by
+    /// `factor`; 1.0 = healthy).
+    pub fn set_disk_slowdown(&mut self, node: NodeId, factor: f64) {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.inner.node_mut(node).disk_slowdown = factor;
     }
 
     /// Marks a node as crashed (`false`) or recovered (`true`). A crashed

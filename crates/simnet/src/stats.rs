@@ -75,6 +75,9 @@ const BUILTIN_NAMES: &[&str] = &[
     "net.tcp_reset_bytes",
     "net.tcp_stale_ack",
     "net.tcp_orphan_seg",
+    "net.reordered",
+    "net.duplicated",
+    "net.part_drop",
 ];
 
 /// Pre-interned [`MetricId`]s for the counters bumped on the per-event
@@ -105,6 +108,14 @@ pub mod mid {
     /// exists (in flight across a crash-reset, or no channel at all):
     /// no ack is generated for them.
     pub const NET_TCP_ORPHAN_SEG: MetricId = MetricId(19);
+    /// Datagrams the fault-injection layer held back in the switch so
+    /// they arrive behind later-sent traffic.
+    pub const NET_REORDERED: MetricId = MetricId(20);
+    /// Extra datagram copies the fault-injection layer delivered.
+    pub const NET_DUPLICATED: MetricId = MetricId(21);
+    /// Datagrams (and TCP segments) dropped on a cut link — see
+    /// [`crate::sim::Sim::set_link_cut`].
+    pub const NET_PART_DROP: MetricId = MetricId(22);
 }
 
 /// The canonical name string of a pre-interned metric (usable in `const`
