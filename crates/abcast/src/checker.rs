@@ -5,9 +5,9 @@
 //! §2.2.3/§2.2.4 — uniform integrity, uniform agreement (modulo still-
 //! running learners), and uniform total/partial order.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Globally unique id of a broadcast message.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -33,11 +33,11 @@ pub struct DeliveryLog {
 }
 
 /// Shared handle protocols use to record deliveries.
-pub type SharedLog = Rc<RefCell<DeliveryLog>>;
+pub type SharedLog = Arc<Mutex<DeliveryLog>>;
 
 /// Creates a shared log for `learners` learners.
 pub fn shared_log(learners: usize) -> SharedLog {
-    Rc::new(RefCell::new(DeliveryLog::new(learners)))
+    Arc::new(Mutex::new(DeliveryLog::new(learners)))
 }
 
 impl DeliveryLog {

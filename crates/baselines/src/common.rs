@@ -38,7 +38,7 @@ pub fn deliver_value(
     me: NodeId,
 ) {
     if let Some(log) = log {
-        log.borrow_mut().deliver(learner_index, v.id);
+        log.lock().unwrap().deliver(learner_index, v.id);
     }
     ctx.counter_add(metric::DELIVERED_BYTES, v.bytes as u64);
     ctx.counter_add(metric::DELIVERED_MSGS, 1);

@@ -234,7 +234,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let (ring, log) = deploy_lcr(&mut sim, 5, 100_000_000, 32 * 1024);
         sim.run_until(Time::from_secs(1));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert!(log.total_deliveries() > 500);
         log.check_total_order().expect("total order");
         assert!(sim.metrics().counter(ring[3], metric::DELIVERED_MSGS) > 100);

@@ -280,7 +280,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let (_cfg, learners, log) = deploy_libpaxos(&mut sim, 1, 2, 2, 100_000_000, 4096);
         sim.run_until(Time::from_secs(2));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         log.check_total_order().expect("total order");
         assert!(log.total_deliveries() > 100);
         drop(log);

@@ -269,7 +269,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let (learners, log) = deploy_pfsb(&mut sim, 1, 8, 2, 50_000_000, 200);
         sim.run_until(Time::from_secs(2));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         log.check_total_order().expect("total order");
         assert!(log.total_deliveries() > 1000);
         drop(log);

@@ -28,7 +28,7 @@ const T_GC_PAUSE: u64 = 4 << 56;
 #[derive(Clone, Debug)]
 struct SBatch {
     id: MsgId,
-    values: std::rc::Rc<Vec<BValue>>,
+    values: std::sync::Arc<Vec<BValue>>,
 }
 
 #[derive(Clone, Debug)]
@@ -151,7 +151,7 @@ impl SpaxosProcess {
         }
         let id = MsgId(((self.me.0 as u64) << 40) | (1 << 39) | self.next_batch);
         self.next_batch += 1;
-        let batch = SBatch { id, values: std::rc::Rc::new(vals) };
+        let batch = SBatch { id, values: std::sync::Arc::new(vals) };
         self.batches.insert(id, batch.clone());
         *self.acks.entry(id).or_insert(0) += 1; // self
         self.protocol_cpu(ctx, Dur::micros(30));
@@ -370,7 +370,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let (replicas, log) = deploy_spaxos(&mut sim, 2, 60_000_000, 32 * 1024);
         sim.run_until(Time::from_secs(2));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         log.check_total_order().expect("total order");
         assert!(log.total_deliveries() > 200);
         drop(log);

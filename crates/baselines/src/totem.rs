@@ -263,7 +263,7 @@ mod tests {
         let mut sim = Sim::new(SimConfig::default());
         let (receivers, log) = deploy_totem(&mut sim, 3, 4, 3, 150_000_000, 16 * 1024);
         sim.run_until(Time::from_secs(2));
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         log.check_total_order().expect("total order");
         assert!(log.total_deliveries() > 500, "{}", log.total_deliveries());
         drop(log);

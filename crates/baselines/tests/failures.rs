@@ -26,7 +26,7 @@ fn spaxos_survives_a_replica_failure_with_degraded_throughput() {
     let rate = mbps(after - at, Dur::secs(1));
     assert!(rate > 200.0, "S-Paxos should keep running at f failures: {rate:.0} Mbps");
     assert!(rate < 400.0, "the dead replica's dissemination share is gone: {rate:.0} Mbps");
-    log.borrow().check_total_order().expect("order across the failure");
+    log.lock().unwrap().check_total_order().expect("order across the failure");
 }
 
 #[test]
@@ -72,5 +72,5 @@ fn pfsb_star_is_leader_bound() {
     let rate = mbps(bytes, Dur::secs(2));
     assert!(rate > 1.0, "pfsb should make progress: {rate:.1} Mbps");
     assert!(rate < 100.0, "leader-centric unicast star cannot approach wire speed");
-    log.borrow().check_total_order().expect("total order");
+    log.lock().unwrap().check_total_order().expect("total order");
 }

@@ -6,7 +6,10 @@
 //! cargo run --release -p bench --bin perf_smoke                   # print + write BENCH_simcore.json
 //! cargo run --release -p bench --bin perf_smoke -- --runs 5       # best of 5 instead of 3
 //! cargo run --release -p bench --bin perf_smoke -- --partition 2  # 2-shard round-robin executor
+//! cargo run --release -p bench --bin perf_smoke -- --partition 4 --threads 4   # fast-mode pool
 //! cargo run --release -p bench --bin perf_smoke -- --no-write
+//! perf_smoke --paired "target/release/perf_smoke --threads 1" \
+//!                     "target/release/perf_smoke --threads 4"    # interleaved A/B
 //! ```
 //!
 //! `--partition k` runs the same scenarios under a k-shard round-robin
@@ -14,6 +17,23 @@
 //! partition). Virtual-time results are identical for every `k` — the
 //! shard scaffold is semantics-preserving — so the flag isolates the
 //! wall-clock overhead of the cross-shard handoff path.
+//!
+//! `--threads t` (t > 1) switches the executor to [`ExecMode::Fast`]
+//! with `t` workers over the configured partition. Fast mode trades the
+//! serial global interleaving for window-parallel execution, so
+//! virtual-time results differ slightly from the serial/determinism
+//! numbers (port contention resolves in switch-arrival order) but are
+//! themselves deterministic and thread-count invariant; the JSON
+//! records `mode` and `threads` beside every row.
+//!
+//! `--paired A B` interleaves two *commands* (typically two builds of
+//! this binary, or the same build under two flag sets) A B A B … for
+//! `--runs` pairs, parses each child's `total_events_per_sec`, and
+//! reports the median paired delta and ratio. Interleaving means slow
+//! build-box drift hits both sides of every pair equally — the ±7 %
+//! swings that poisoned earlier PR-to-PR comparisons cancel instead of
+//! accumulating. The paired record is appended to `BENCH_simcore.json`
+//! as a second JSON line.
 //!
 //! Virtual-time results (events, delivered counts) are deterministic for
 //! the fixed seed; only the wall-clock rates vary with the host. The
@@ -64,14 +84,25 @@ impl RunResult {
     }
 }
 
-fn run_uring(shards: usize) -> RunResult {
+/// Applies the partition/threads configuration to a fresh sim. Threads
+/// above 1 select the fast-mode worker pool (determinism mode ignores
+/// the thread count by contract, so measuring it would be a no-op).
+fn configure(sim: &mut Sim, shards: usize, threads: usize) {
+    if shards > 1 {
+        sim.set_partition(Partition::modulo(0, shards));
+    }
+    if threads > 1 {
+        sim.set_exec_mode(ExecMode::Fast);
+        sim.set_threads(threads);
+    }
+}
+
+fn run_uring(shards: usize, threads: usize) -> RunResult {
     let virtual_ms = 4_000;
     let mut cfg = SimConfig::default();
     cfg.seed = 0xBEEF;
     let mut sim = Sim::new(cfg);
-    if shards > 1 {
-        sim.set_partition(Partition::modulo(0, shards));
-    }
+    configure(&mut sim, shards, threads);
     let opts = URingOptions {
         ring_len: 5,
         n_acceptors: 3,
@@ -95,15 +126,13 @@ fn run_uring(shards: usize) -> RunResult {
     }
 }
 
-fn run_mring(shards: usize) -> RunResult {
+fn run_mring(shards: usize, threads: usize) -> RunResult {
     let virtual_ms = 1_500;
     let mut cfg = SimConfig::default();
     cfg.seed = 0xF00D;
     cfg.random_loss = 0.001; // exercise the loss/retransmission paths too
     let mut sim = Sim::new(cfg);
-    if shards > 1 {
-        sim.set_partition(Partition::modulo(0, shards));
-    }
+    configure(&mut sim, shards, threads);
     let opts = MRingOptions {
         ring_size: 3,
         n_learners: 2,
@@ -145,6 +174,93 @@ fn best_of(runs: usize, f: impl Fn() -> RunResult) -> RunResult {
     best
 }
 
+/// Workspace-root artifact path (cwd fallback outside cargo).
+fn artifact_path() -> String {
+    let dir = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| format!("{d}/../.."))
+        .unwrap_or_else(|_| ".".to_string());
+    format!("{dir}/BENCH_simcore.json")
+}
+
+/// Runs one child command (whitespace-split program + args, with
+/// `--no-write --runs 1` appended) and parses its
+/// `total_events_per_sec` from the JSON line on stdout.
+fn paired_sample(cmd: &str) -> f64 {
+    let mut parts = cmd.split_whitespace();
+    let prog = parts.next().expect("--paired operand is empty");
+    let out = std::process::Command::new(prog)
+        .args(parts)
+        .args(["--no-write", "--runs", "1"])
+        .output()
+        .unwrap_or_else(|e| panic!("could not run paired command `{cmd}`: {e}"));
+    assert!(out.status.success(), "paired command `{cmd}` failed: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let key = "\"total_events_per_sec\":";
+    let line = stdout
+        .lines()
+        .rev()
+        .find(|l| l.contains(key))
+        .unwrap_or_else(|| panic!("no total_events_per_sec in `{cmd}` output"));
+    let tail = &line[line.rfind(key).unwrap() + key.len()..];
+    let num: String =
+        tail.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
+    num.parse().expect("malformed total_events_per_sec")
+}
+
+/// Interleaved A/B: runs A B A B … for `pairs` pairs so slow wall-clock
+/// drift hits both sides of every pair equally, then reports the median
+/// paired delta (B − A, events/s) and median ratio (B / A). The record
+/// is appended to `BENCH_simcore.json` as its own JSON line.
+fn run_paired(a: &str, b: &str, pairs: usize, no_write: bool) {
+    // One throwaway pair warms caches/allocator for both sides.
+    let _ = paired_sample(a);
+    let _ = paired_sample(b);
+    let mut a_eps = Vec::new();
+    let mut b_eps = Vec::new();
+    for i in 0..pairs {
+        a_eps.push(paired_sample(a));
+        b_eps.push(paired_sample(b));
+        eprintln!(
+            "  pair {}/{pairs}: A {:.0} ev/s, B {:.0} ev/s, ratio {:.3}",
+            i + 1,
+            a_eps[i],
+            b_eps[i],
+            b_eps[i] / a_eps[i]
+        );
+    }
+    let mut deltas: Vec<f64> = a_eps.iter().zip(&b_eps).map(|(a, b)| b - a).collect();
+    let mut ratios: Vec<f64> = a_eps.iter().zip(&b_eps).map(|(a, b)| b / a).collect();
+    deltas.sort_by(|x, y| x.total_cmp(y));
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    let median = |v: &[f64]| {
+        if v.len() % 2 == 1 {
+            v[v.len() / 2]
+        } else {
+            (v[v.len() / 2 - 1] + v[v.len() / 2]) / 2.0
+        }
+    };
+    let fmt = |v: &[f64]| v.iter().map(|s| format!("{s:.0}")).collect::<Vec<_>>().join(",");
+    let line = format!(
+        "{{\"bench\":\"simcore_paired\",\"a\":\"{a}\",\"b\":\"{b}\",\"pairs\":{pairs},\"a_events_per_sec\":[{}],\"b_events_per_sec\":[{}],\"median_delta\":{:.0},\"median_ratio\":{:.4}}}",
+        fmt(&a_eps),
+        fmt(&b_eps),
+        median(&deltas),
+        median(&ratios),
+    );
+    println!("{line}");
+    if !no_write {
+        let path = artifact_path();
+        let body = std::fs::read_to_string(&path).unwrap_or_default();
+        // Replace any previous paired record, keep the trajectory row.
+        let mut kept: Vec<&str> =
+            body.lines().filter(|l| !l.contains("\"simcore_paired\"")).collect();
+        kept.push(&line);
+        if let Err(e) = std::fs::write(&path, format!("{}\n", kept.join("\n"))) {
+            eprintln!("could not write {path}: {e}");
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let no_write = args.iter().any(|a| a == "--no-write");
@@ -155,6 +271,12 @@ fn main() {
         .and_then(|n| n.parse::<usize>().ok())
         .unwrap_or(3)
         .max(1);
+    if let Some(i) = args.iter().position(|a| a == "--paired") {
+        let a = args.get(i + 1).expect("--paired needs two command operands").clone();
+        let b = args.get(i + 2).expect("--paired needs two command operands").clone();
+        run_paired(&a, &b, runs, no_write);
+        return;
+    }
     let partition = args
         .iter()
         .position(|a| a == "--partition")
@@ -162,26 +284,42 @@ fn main() {
         .and_then(|n| n.parse::<usize>().ok())
         .unwrap_or(1)
         .max(1);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1);
+    // Threads only bite in fast mode over a real partition; default the
+    // partition to the thread count so `--threads 4` alone means
+    // "4 shards, 4 workers".
+    let partition = if threads > 1 && partition == 1 { threads } else { partition };
+    let mode = if threads > 1 { "fast" } else { "determinism" };
     // Warm up caches/allocator so the measured passes are steady-state.
-    let _ = run_uring(partition);
-    let uring = best_of(runs, || run_uring(partition));
-    let mring = best_of(runs, || run_mring(partition));
+    let _ = run_uring(partition, threads);
+    let uring = best_of(runs, || run_uring(partition, threads));
+    let mring = best_of(runs, || run_mring(partition, threads));
     let total_events = uring.events + mring.events;
     let total_wall = uring.wall_s + mring.wall_s;
     let line = format!(
-        "{{\"bench\":\"simcore\",\"best_of\":{runs},\"partition\":{partition},{},{},\"total_events_per_sec\":{:.0}}}",
+        "{{\"bench\":\"simcore\",\"best_of\":{runs},\"partition\":{partition},\"threads\":{threads},\"mode\":\"{mode}\",{},{},\"total_events_per_sec\":{:.0}}}",
         uring.json(),
         mring.json(),
         total_events as f64 / total_wall,
     );
     println!("{line}");
     if !no_write {
-        // Written at the workspace root when run via cargo, else the cwd.
-        let dir = std::env::var("CARGO_MANIFEST_DIR")
-            .map(|d| format!("{d}/../.."))
-            .unwrap_or_else(|_| ".".to_string());
-        let path = format!("{dir}/BENCH_simcore.json");
-        if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
+        let path = artifact_path();
+        // Keep the paired record (its own line) across trajectory runs.
+        let paired: Option<String> = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|b| b.lines().find(|l| l.contains("\"simcore_paired\"")).map(String::from));
+        let body = match paired {
+            Some(p) => format!("{line}\n{p}\n"),
+            None => format!("{line}\n"),
+        };
+        if let Err(e) = std::fs::write(&path, body) {
             eprintln!("could not write {path}: {e}");
         }
     }

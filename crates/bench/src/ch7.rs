@@ -181,7 +181,7 @@ fn fig7_03() {
             sim.set_node_up(victim, false);
         }
     });
-    log.borrow().check_total_order().expect("order preserved across the failure");
+    log.lock().unwrap().check_total_order().expect("order preserved across the failure");
     println!("  shape: throughput dips by the dead replica's dissemination share and");
     println!("  stabilizes — S-Paxos keeps running at f failures (paper Fig 7.3).");
 }
@@ -227,7 +227,7 @@ fn fig7_06() {
             sim.set_node_up(coord, false);
         }
     });
-    d.log.borrow().check_total_order().expect("order preserved across failover");
+    d.log.lock().unwrap().check_total_order().expect("order preserved across failover");
     println!("  shape: a short outage (suspicion timeout), then a surviving acceptor takes");
     println!("  over, re-runs Phase 1, and throughput recovers (paper Figs 7.6/7.7).");
 }
@@ -251,7 +251,7 @@ fn fig7_07() {
             sim.set_node_up(victim, false);
         }
     });
-    d.log.borrow().check_total_order().expect("order preserved across ring repair");
+    d.log.lock().unwrap().check_total_order().expect("order preserved across ring repair");
     println!("  shape: the coordinator suspects the silent acceptor, lays out a new ring");
     println!("  pulling in the spare, and throughput recovers (ch. 3 §3.3.5's policy —");
     println!("  the failure handling the chapter finds missing in most libraries).");

@@ -81,7 +81,7 @@ fn fig8_01() {
         };
         let (sim, ru) = crash_cycle(rec);
         let v = ru.d.ring[VICTIM];
-        let log = ru.d.log.borrow();
+        let log = ru.d.log.lock().unwrap();
         log.check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
         let resume = log.restarts_of(VICTIM).first().map(|&(_, p, _)| p).unwrap_or(0);
         let ckpts = sim.metrics().counter(v, "rec.checkpoints");
@@ -133,7 +133,7 @@ fn fig8_02() {
         );
         prev = cur;
     }
-    ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
+    ru.d.log.lock().unwrap().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
     println!("  shape: the ring stalls while the process is down (U-Ring moves no traffic");
     println!("  through a dead member — Fig 7.5's lesson), then recovers past the restart:");
     println!("  re-proposal heals the window and catch-up replays the suffix.");

@@ -111,7 +111,7 @@ fn fig9_01() {
         "  two-bucket recovery {:.0}% of pre-crash throughput ({before:.0} -> {after:.0} Mbps)",
         100.0 * after / before.max(1e-9)
     );
-    ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
+    ru.d.log.lock().unwrap().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
     println!("  shape: unlike Fig 8.2 the ring does NOT stall for the outage — suspicion");
     println!("  fires within the timeout, the epoch bump fences the dead coordinator, and");
     println!("  delivery resumes around the spliced ring well before the rejoin.");
@@ -147,7 +147,7 @@ fn tab9_02() {
         sim.run_until(Time::from_secs(5));
         // The old coordinator stays down in this sweep; agreement is
         // over the survivors.
-        ru.d.log.borrow().check_crash_agreement(&[1, 2, 3, 4]).expect("agreement");
+        ru.d.log.lock().unwrap().check_crash_agreement(&[1, 2, 3, 4]).expect("agreement");
         println!(
             "  {:>6} ms | {:>11.0} ms | {:>13} | {:>15}",
             timeout_ms,

@@ -1,23 +1,37 @@
 //! Property test for the shard scaffold's semantics-preservation claim:
 //! running any experiment-scale scenario under a k-way partition (k ∈
-//! 1..=4) of the round-robin shard executor yields *exactly* the run the
-//! identity partition yields — same event count, same per-node delivery
-//! counters, same checksum over every counter the engine and protocols
-//! maintain.
+//! 1..=4) of the shard executor — at *any* worker-thread count — yields
+//! exactly the run the identity partition yields single-threaded: same
+//! event count, same per-node delivery counters, same checksum over
+//! every counter the engine and protocols maintain.
 //!
-//! The scenarios are miniatures of the chapter 4 (SMR over the B⁺-tree
-//! service) and chapter 5 (Ring Paxos / Multi-Ring Paxos) experiment
-//! deployments, so the equivalence is exercised through the full
-//! protocol stacks — multicast fan-out, TCP client channels, disk-backed
-//! acceptors, timers, and the coalesced delivery path — not just through
-//! synthetic traffic.
+//! The thread axis gates the determinism-mode contract from
+//! [`simnet::threaded`]: in [`ExecMode::Determinism`] the configured
+//! thread count must be *ignored* (the engine keeps the serial
+//! global-min merge), so every `(partition, threads)` combination below
+//! must observe bit-identically. The scenarios are miniatures of the
+//! chapter 4 (SMR over the B⁺-tree service) and chapter 5 (Ring Paxos /
+//! Multi-Ring Paxos) experiment deployments, so the equivalence is
+//! exercised through the full protocol stacks — multicast fan-out, TCP
+//! client channels, disk-backed acceptors, timers, and the coalesced
+//! delivery path — not just through synthetic traffic.
+//!
+//! A final (non-property) test drives the chapter 9 unplanned-crash
+//! schedule — coordinator crash, loss burst, CPU straggler, respawn —
+//! under the *fast-mode* threaded executor and checks that the run is
+//! thread-count invariant and still heals the ring.
 
 use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_smr, SmrOptions};
 use multiring::{deploy_multiring, MultiRingOptions};
 use proptest::prelude::*;
-use ringpaxos::cluster::{deploy_mring, MRingOptions};
+use recovery::NullApp;
+use ringpaxos::cluster::{
+    deploy_mring, deploy_uring_recoverable, respawn_uring, MRingOptions, URingOptions,
+    URingRecoveryOptions,
+};
 use simnet::prelude::*;
+use simnet::ExecMode;
 
 /// Everything observable about a finished run: virtual end time, event
 /// count, and every non-zero counter in deterministic order.
@@ -29,16 +43,34 @@ fn observe(sim: &Sim) -> Observed {
     (sim.now().as_nanos(), sim.events_processed(), counters)
 }
 
-/// A fresh sim with `shards` executor shards (nodes home round-robin as
-/// the deploy adds them; `shards == 1` is the identity partition).
-fn sim_with(seed: u64, shards: usize) -> Sim {
+/// A fresh determinism-mode sim with `shards` executor shards and
+/// `threads` configured workers (nodes home round-robin as the deploy
+/// adds them; `shards == 1` is the identity partition; the thread count
+/// must be a no-op in this mode).
+fn sim_with(seed: u64, shards: usize, threads: usize) -> Sim {
     let mut cfg = SimConfig::default();
     cfg.seed = seed;
-    let mut sim = Sim::new(cfg);
-    if shards > 1 {
-        sim.set_partition(Partition::modulo(0, shards));
-    }
+    let mut sim = if shards > 1 {
+        Sim::with_partition(cfg, Partition::modulo(0, shards))
+    } else {
+        Sim::new(cfg)
+    };
+    sim.set_threads(threads);
     sim
+}
+
+/// The `(shards, threads)` grid a scenario must be invariant over:
+/// identity first, then every k ∈ 2..=4 at 1, 2, and k workers.
+fn grid() -> Vec<(usize, usize)> {
+    let mut g = vec![(1, 1)];
+    for k in 2..=4usize {
+        for t in [1, 2, k] {
+            if !g.contains(&(k, t)) {
+                g.push((k, t));
+            }
+        }
+    }
+    g
 }
 
 /// Chapter 4 miniature: SMR over the B⁺-tree service.
@@ -48,8 +80,9 @@ fn run_smr(
     replicas: usize,
     workload: WorkloadKind,
     shards: usize,
+    threads: usize,
 ) -> Observed {
-    let mut sim = sim_with(seed, shards);
+    let mut sim = sim_with(seed, shards, threads);
     let opts =
         SmrOptions { n_replicas: replicas, n_clients: clients, workload, ..SmrOptions::default() };
     let _d = deploy_smr(&mut sim, &opts);
@@ -58,8 +91,14 @@ fn run_smr(
 }
 
 /// Chapter 5 miniature: one Ring Paxos ring with loss injection.
-fn run_mring(seed: u64, ring_size: usize, rate_mbps: u64, shards: usize) -> Observed {
-    let mut sim = sim_with(seed, shards);
+fn run_mring(
+    seed: u64,
+    ring_size: usize,
+    rate_mbps: u64,
+    shards: usize,
+    threads: usize,
+) -> Observed {
+    let mut sim = sim_with(seed, shards, threads);
     let opts = MRingOptions {
         ring_size,
         n_learners: 2,
@@ -74,8 +113,8 @@ fn run_mring(seed: u64, ring_size: usize, rate_mbps: u64, shards: usize) -> Obse
 }
 
 /// Chapter 5 miniature: Multi-Ring Paxos, two rings, one merge learner.
-fn run_multiring(seed: u64, rate_mbps: u64, shards: usize) -> Observed {
-    let mut sim = sim_with(seed, shards);
+fn run_multiring(seed: u64, rate_mbps: u64, shards: usize, threads: usize) -> Observed {
+    let mut sim = sim_with(seed, shards, threads);
     let opts = MultiRingOptions {
         n_rings: 2,
         ring_size: 2,
@@ -92,7 +131,8 @@ fn run_multiring(seed: u64, rate_mbps: u64, shards: usize) -> Observed {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
 
-    /// Ch. 4 SMR scenarios are partition-invariant for every k in 1..=4.
+    /// Ch. 4 SMR scenarios are invariant over the whole
+    /// (partition, threads) grid in determinism mode.
     #[test]
     fn smr_scenarios_are_partition_invariant(
         seed in 0u64..1000,
@@ -104,39 +144,96 @@ proptest! {
             Just(WorkloadKind::InsDelBatch),
         ],
     ) {
-        let identity = run_smr(seed, clients, replicas, wk, 1);
-        for k in 2..=4usize {
-            let sharded = run_smr(seed, clients, replicas, wk, k);
-            prop_assert_eq!(&sharded, &identity, "SMR run diverged under k={}", k);
+        let identity = run_smr(seed, clients, replicas, wk, 1, 1);
+        for (k, t) in grid().into_iter().skip(1) {
+            let sharded = run_smr(seed, clients, replicas, wk, k, t);
+            prop_assert_eq!(&sharded, &identity, "SMR run diverged under k={} threads={}", k, t);
         }
     }
 
-    /// Ch. 5 Ring Paxos scenarios are partition-invariant for every k in
-    /// 1..=4.
+    /// Ch. 5 Ring Paxos scenarios are invariant over the whole
+    /// (partition, threads) grid in determinism mode.
     #[test]
     fn mring_scenarios_are_partition_invariant(
         seed in 0u64..1000,
         ring_size in 2usize..5,
         rate_mbps in 20u64..120,
     ) {
-        let identity = run_mring(seed, ring_size, rate_mbps, 1);
-        for k in 2..=4usize {
-            let sharded = run_mring(seed, ring_size, rate_mbps, k);
-            prop_assert_eq!(&sharded, &identity, "M-Ring run diverged under k={}", k);
+        let identity = run_mring(seed, ring_size, rate_mbps, 1, 1);
+        for (k, t) in grid().into_iter().skip(1) {
+            let sharded = run_mring(seed, ring_size, rate_mbps, k, t);
+            prop_assert_eq!(&sharded, &identity, "M-Ring run diverged under k={} threads={}", k, t);
         }
     }
 
-    /// Ch. 5 Multi-Ring Paxos scenarios are partition-invariant for
-    /// every k in 1..=4.
+    /// Ch. 5 Multi-Ring Paxos scenarios are invariant over the whole
+    /// (partition, threads) grid in determinism mode.
     #[test]
     fn multiring_scenarios_are_partition_invariant(
         seed in 0u64..1000,
         rate_mbps in 20u64..100,
     ) {
-        let identity = run_multiring(seed, rate_mbps, 1);
-        for k in 2..=4usize {
-            let sharded = run_multiring(seed, rate_mbps, k);
-            prop_assert_eq!(&sharded, &identity, "Multi-Ring run diverged under k={}", k);
+        let identity = run_multiring(seed, rate_mbps, 1, 1);
+        for (k, t) in grid().into_iter().skip(1) {
+            let sharded = run_multiring(seed, rate_mbps, k, t);
+            prop_assert_eq!(&sharded, &identity, "Multi-Ring run diverged under k={} threads={}", k, t);
         }
+    }
+}
+
+/// The ch. 9 unplanned-crash schedule under the fast-mode threaded
+/// executor: a recoverable U-Ring loses its coordinator at 1.0s inside
+/// a loss burst (0.4–1.6s) with a CPU straggler on a survivor
+/// (0.5–1.5s); the old coordinator respawns over its disk at 2.2s.
+/// FaultPlan drives the run in 250ms control-plane segments — each
+/// segment executes on the worker pool, fault actions apply serially
+/// between segments. The run must (a) be identical at 2, 3, and 4
+/// workers, and (b) still fail over and deliver through the outage.
+#[test]
+fn ch9_fault_schedule_is_thread_count_invariant_in_fast_mode() {
+    fn run(threads: usize) -> Observed {
+        let mut sim = Sim::with_partition(SimConfig::default(), Partition::modulo(0, 4));
+        sim.set_exec_mode(ExecMode::Fast);
+        sim.set_threads(threads);
+        let opts = URingOptions {
+            ring_len: 5,
+            n_acceptors: 3,
+            proposer_positions: vec![1, 2],
+            proposer_rate_bps: 60_000_000,
+            msg_bytes: 16 * 1024,
+            burst: 1,
+            proposer_stop: Some(Time::from_millis(2800)),
+        };
+        let rec = URingRecoveryOptions { checkpoint_interval: 256, ..Default::default() };
+        let ru = deploy_uring_recoverable(
+            &mut sim,
+            &opts,
+            rec,
+            |cfg| cfg.suspicion_timeout = Some(Dur::millis(40)),
+            |_| Some(Box::new(NullApp::default())),
+        );
+        let coord = ru.d.ring[0];
+        let mut plan = FaultPlan::new()
+            .loss_burst(Time::from_millis(400), Time::from_millis(1600), 0.002)
+            .straggler(ru.d.ring[2], Time::from_millis(500), Time::from_millis(1500), 2.0)
+            .at(Time::from_millis(1000), FaultAction::Crash(coord))
+            .at(Time::from_millis(2200), FaultAction::Respawn(coord));
+        let step = Dur::millis(250);
+        for i in 1..=12u64 {
+            plan.step(&mut sim, Time::ZERO + step * i, &mut |sim, _| {
+                respawn_uring(sim, &ru, 0, Some(Box::new(NullApp::default())))
+            });
+        }
+        let takeovers: u64 =
+            (1..5).map(|p| sim.metrics().counter(ru.d.ring[p], "rp.became_coord")).sum();
+        assert!(takeovers >= 1, "no survivor took over after the coordinator crash");
+        let delivered = sim.metrics().counter(ru.d.ring[3], "abcast.delivered_bytes");
+        assert!(delivered > 0, "observer delivered nothing through the fault schedule");
+        observe(&sim)
+    }
+
+    let two = run(2);
+    for threads in [3, 4] {
+        assert_eq!(run(threads), two, "fast-mode fault run diverged at {threads} workers");
     }
 }

@@ -177,7 +177,7 @@ impl<S: Service> SmrReplica<S> {
     fn drain(&mut self, ctx: &mut Ctx) {
         loop {
             let next = {
-                let log = self.log.borrow();
+                let log = self.log.lock().unwrap();
                 let seq = log.sequence(self.log_index);
                 if self.cursor >= seq.len() {
                     break;

@@ -11,9 +11,9 @@
 //! it up at delivery. This is simulation plumbing, not a hidden channel —
 //! the modelled network carries the command's full byte size.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use abcast::MsgId;
 use btree::{TreeCommand, TreeService};
@@ -21,9 +21,9 @@ use simnet::ids::NodeId;
 use simnet::time::Dur;
 
 /// A deterministic state machine the SMR layer can replicate.
-pub trait Service {
+pub trait Service: Send {
     /// Command type.
-    type Command: Clone + 'static;
+    type Command: Clone + Send + Sync + 'static;
 
     /// Executes one command, returning its modelled execution time.
     /// Implementations must be deterministic.
@@ -80,7 +80,7 @@ pub struct StoredCommand<C> {
 }
 
 /// Shared command store keyed by message id.
-pub struct Registry<C>(Rc<RefCell<HashMap<MsgId, StoredCommand<C>>>>);
+pub struct Registry<C>(Arc<Mutex<HashMap<MsgId, StoredCommand<C>>>>);
 
 impl<C> Clone for Registry<C> {
     fn clone(&self) -> Self {
@@ -90,7 +90,7 @@ impl<C> Clone for Registry<C> {
 
 impl<C> Default for Registry<C> {
     fn default() -> Self {
-        Registry(Rc::new(RefCell::new(HashMap::new())))
+        Registry(Arc::new(Mutex::new(HashMap::new())))
     }
 }
 
@@ -102,27 +102,27 @@ impl<C: Clone> Registry<C> {
 
     /// Registers `cmd` under `id`.
     pub fn put(&self, id: MsgId, cmd: StoredCommand<C>) {
-        self.0.borrow_mut().insert(id, cmd);
+        self.0.lock().unwrap().insert(id, cmd);
     }
 
     /// Fetches the command registered under `id`.
     pub fn get(&self, id: MsgId) -> Option<StoredCommand<C>> {
-        self.0.borrow().get(&id).cloned()
+        self.0.lock().unwrap().get(&id).cloned()
     }
 
     /// Removes a completed command (clients prune after the last reply).
     pub fn remove(&self, id: MsgId) {
-        self.0.borrow_mut().remove(&id);
+        self.0.lock().unwrap().remove(&id);
     }
 
     /// Number of registered commands.
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.0.lock().unwrap().len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.0.lock().unwrap().is_empty()
     }
 }
 

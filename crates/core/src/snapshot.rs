@@ -15,7 +15,7 @@
 //! state from the same delivery sequence.
 
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use btree::{TreeCommand, TreeService};
 use recovery::RecoveredApp;
@@ -26,7 +26,7 @@ use crate::service::Service;
 /// A [`Service`] whose full state can be checkpointed and restored.
 pub trait Snapshot: Service {
     /// The externalized state. `Default` is the empty (fresh) state.
-    type State: Clone + Default + 'static;
+    type State: Clone + Default + Send + Sync + 'static;
 
     /// Captures the current state.
     fn snapshot(&self) -> Self::State;
@@ -156,12 +156,12 @@ impl<S: Snapshot> RecoveredApp for ServiceApp<S> {
         self.service.commit();
     }
 
-    fn snapshot(&mut self) -> (u64, Option<Rc<dyn Any>>) {
+    fn snapshot(&mut self) -> (u64, Option<Arc<dyn Any + Send + Sync>>) {
         let state = self.service.snapshot();
-        (S::state_bytes(&state), Some(Rc::new(state)))
+        (S::state_bytes(&state), Some(Arc::new(state)))
     }
 
-    fn restore(&mut self, state: Option<&Rc<dyn Any>>) {
+    fn restore(&mut self, state: Option<&Arc<dyn Any + Send + Sync>>) {
         match state {
             Some(blob) => {
                 let state = blob

@@ -5,8 +5,8 @@
 //! the same tree as a learner that never crashed.
 
 use std::any::Any;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use btree::TreeService;
 use hpsmr_core::snapshot::{ServiceApp, Snapshot};
@@ -19,23 +19,23 @@ use simnet::prelude::*;
 /// A shared handle over the service app so the test can inspect the
 /// tree after the run (the actor owns its `RecoveredApp` box).
 #[derive(Clone)]
-struct Shared(Rc<RefCell<ServiceApp<TreeService>>>);
+struct Shared(Arc<Mutex<ServiceApp<TreeService>>>);
 
 impl Shared {
     fn new() -> Shared {
-        Shared(Rc::new(RefCell::new(ServiceApp::tree())))
+        Shared(Arc::new(Mutex::new(ServiceApp::tree())))
     }
 }
 
 impl RecoveredApp for Shared {
     fn apply(&mut self, proposer: u64, seq: u64, bytes: u32) {
-        self.0.borrow_mut().apply(proposer, seq, bytes);
+        self.0.lock().unwrap().apply(proposer, seq, bytes);
     }
-    fn snapshot(&mut self) -> (u64, Option<Rc<dyn Any>>) {
-        self.0.borrow_mut().snapshot()
+    fn snapshot(&mut self) -> (u64, Option<Arc<dyn Any + Send + Sync>>) {
+        self.0.lock().unwrap().snapshot()
     }
-    fn restore(&mut self, state: Option<&Rc<dyn Any>>) {
-        self.0.borrow_mut().restore(state);
+    fn restore(&mut self, state: Option<&Arc<dyn Any + Send + Sync>>) {
+        self.0.lock().unwrap().restore(state);
     }
 }
 
@@ -86,20 +86,20 @@ fn recovered_tree_service_matches_uninterrupted_replica() {
     respawn_uring(&mut sim, &ru, victim_pos, Some(Box::new(r2)));
     sim.run_until(Time::from_secs(6));
 
-    ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
+    ru.d.log.lock().unwrap().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
 
-    let witness_state = witness.0.borrow().service().snapshot();
-    let recovered_state = recovered.0.borrow().service().snapshot();
+    let witness_state = witness.0.lock().unwrap().service().snapshot();
+    let recovered_state = recovered.0.lock().unwrap().service().snapshot();
     assert!(!witness_state.is_empty(), "the witness applied real load");
     assert_eq!(
         recovered_state, witness_state,
         "the recovered tree equals the uninterrupted replica's"
     );
     // The checkpoint carried real tree state, not just metadata.
-    let cp = ru.stores[victim_pos].borrow().checkpoint.clone().expect("checkpointed");
+    let cp = ru.stores[victim_pos].lock().unwrap().checkpoint.clone().expect("checkpointed");
     assert!(cp.state.is_some());
     assert!(cp.state_bytes > 4096, "snapshot grows with the tree ({} bytes)", cp.state_bytes);
     // The crashed incarnation's app kept only its pre-crash state; the
     // recovered one moved past it.
-    assert!(original.0.borrow().service().snapshot().len() <= witness_state.len());
+    assert!(original.0.lock().unwrap().service().snapshot().len() <= witness_state.len());
 }

@@ -66,7 +66,7 @@ fn replicas_deliver_identical_orders() {
     };
     let d = deploy_smr(&mut sim, &opts);
     sim.run_until(Time::from_secs(2));
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     assert!(log.total_deliveries() > 1000);
     log.check_total_order().expect("replicas must agree on the command order");
 }
@@ -106,7 +106,7 @@ fn speculative_replicas_actually_speculate_and_agree() {
     sim.run_until(Time::from_secs(2));
     let spec: u64 = d.all_replicas().iter().map(|&r| sim.metrics().counter(r, SMR_SPEC_EXEC)).sum();
     assert!(spec > 500, "replicas speculated only {spec} commands");
-    d.log.borrow().check_total_order().expect("order preserved under speculation");
+    d.log.lock().unwrap().check_total_order().expect("order preserved under speculation");
     // In stable runs the coordinator never changes, so the paper's claim
     // holds: the speculated order is always confirmed.
     let rollbacks: u64 =
@@ -159,7 +159,7 @@ fn cross_partition_queries_merge_and_preserve_order() {
     assert!(done > 2000, "only {done} cross-partition commands completed");
     // §4.2.2's state-partitioning ordering: common (cross-partition)
     // commands appear in the same relative order at every partition.
-    d.log.borrow().check_partial_order().expect("acyclic cross-partition order");
+    d.log.lock().unwrap().check_partial_order().expect("acyclic cross-partition order");
     let retries: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, "smr.retries")).sum();
     assert_eq!(retries, 0);
 }

@@ -1,9 +1,9 @@
 //! The Multi-Ring Paxos learner: follows several M-Ring Paxos rings and
 //! delivers their decided batches through the deterministic merge.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use abcast::{MsgId, SharedLog};
 use paxos::msg::{InstanceId, Round};
@@ -23,11 +23,11 @@ pub const MRP_STALLS: &str = "mrp.stalls";
 /// A ring-tagged delivery sequence: `(ring index, message)` in merge
 /// order. P-SMR (ch. 6) consumes this to route each delivery to the
 /// worker thread subscribed to the originating group.
-pub type RingSink = Rc<RefCell<Vec<(u8, MsgId)>>>;
+pub type RingSink = Arc<Mutex<Vec<(u8, MsgId)>>>;
 
 /// Creates an empty [`RingSink`].
 pub fn ring_sink() -> RingSink {
-    Rc::new(RefCell::new(Vec::new()))
+    Arc::new(Mutex::new(Vec::new()))
 }
 
 const T_RETRANS: u64 = 6 << 56;
@@ -254,10 +254,10 @@ impl MultiRingLearner {
         while let Some((ring, batch)) = self.merge.pop() {
             for v in batch.iter() {
                 if let Some(log) = self.log.as_ref() {
-                    log.borrow_mut().deliver(self.index, v.id);
+                    log.lock().unwrap().deliver(self.index, v.id);
                 }
                 if let Some(sink) = self.ring_sink.as_ref() {
-                    sink.borrow_mut().push((ring as u8, v.id));
+                    sink.lock().unwrap().push((ring as u8, v.id));
                 }
                 ctx.counter_add(abcast::metric::DELIVERED_BYTES, v.bytes as u64);
                 ctx.counter_add(abcast::metric::DELIVERED_MSGS, 1);

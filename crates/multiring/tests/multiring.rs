@@ -40,7 +40,7 @@ fn learners_with_shared_groups_respect_partial_order() {
     };
     let d = deploy_multiring(&mut sim, &opts);
     sim.run_until(Time::from_secs(1));
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     assert!(log.total_deliveries() > 1000);
     log.check_partial_order().expect("uniform partial order");
 }
@@ -56,7 +56,7 @@ fn same_subscriptions_mean_same_order() {
     };
     let d = deploy_multiring(&mut sim, &opts);
     sim.run_until(Time::from_secs(1));
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     // Learners with identical subscriptions see a total order.
     log.check_total_order().expect("identical subscriptions, identical order");
 }
@@ -177,7 +177,7 @@ fn coordinator_pause_stalls_then_recovers() {
     sim.run_until(Time::from_secs(3));
     let after = sim.metrics().counter(d.learners[0], metric::DELIVERED_MSGS);
     assert!(after > at_pause + 1000, "delivery must resume after recovery: {at_pause} -> {after}");
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     log.check_total_order().expect("order preserved across pause");
 }
 
@@ -242,7 +242,7 @@ fn lossy_network_keeps_learner_merges_identical() {
     }
     sim.run_until(Time::from_secs(4));
 
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     assert!(log.total_deliveries() > 1000, "too little delivered under loss");
     log.check_total_order().expect("learners' merged orders diverged under loss");
 }

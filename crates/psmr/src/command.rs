@@ -9,9 +9,9 @@
 //! conflict when they access a common variable and at least one updates
 //! it.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use abcast::MsgId;
 use simnet::ids::NodeId;
@@ -63,7 +63,7 @@ pub struct PStored {
 /// Shared command store keyed by message id (simulation plumbing: the
 /// network models the command's full byte size; replicas look the
 /// structured contents up at delivery).
-pub struct PRegistry(Rc<RefCell<HashMap<MsgId, PStored>>>);
+pub struct PRegistry(Arc<Mutex<HashMap<MsgId, PStored>>>);
 
 impl Clone for PRegistry {
     fn clone(&self) -> Self {
@@ -73,7 +73,7 @@ impl Clone for PRegistry {
 
 impl Default for PRegistry {
     fn default() -> Self {
-        PRegistry(Rc::new(RefCell::new(HashMap::new())))
+        PRegistry(Arc::new(Mutex::new(HashMap::new())))
     }
 }
 
@@ -85,27 +85,27 @@ impl PRegistry {
 
     /// Registers `cmd` under `id`.
     pub fn put(&self, id: MsgId, cmd: PStored) {
-        self.0.borrow_mut().insert(id, cmd);
+        self.0.lock().unwrap().insert(id, cmd);
     }
 
     /// Fetches the command registered under `id`.
     pub fn get(&self, id: MsgId) -> Option<PStored> {
-        self.0.borrow().get(&id).cloned()
+        self.0.lock().unwrap().get(&id).cloned()
     }
 
     /// Removes a completed command.
     pub fn remove(&self, id: MsgId) {
-        self.0.borrow_mut().remove(&id);
+        self.0.lock().unwrap().remove(&id);
     }
 
     /// Number of registered commands.
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.0.lock().unwrap().len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.0.lock().unwrap().is_empty()
     }
 }
 

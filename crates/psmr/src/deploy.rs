@@ -2,8 +2,8 @@
 //! single-ring execution models (sequential, pipelined, SDPE) and P-SMR
 //! over one M-Ring Paxos ring per multicast group.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use abcast::{shared_log, SharedLog};
 use multiring::{ring_sink, MultiRingLearner, RingSink};
@@ -75,7 +75,7 @@ pub struct ParallelDeployment {
     /// The shared command registry.
     pub registry: PRegistry,
     /// Each replica's service state, in `replicas` order.
-    pub stores: Vec<Rc<RefCell<ObjStore>>>,
+    pub stores: Vec<Arc<Mutex<ObjStore>>>,
     /// Each replica's ring-tagged delivery stream (P-SMR only; empty for
     /// the single-ring models). Exposed for cross-replica stream checks.
     pub sinks: Vec<RingSink>,
@@ -108,8 +108,8 @@ pub fn deploy_parallel(sim: &mut Sim, opts: &ParallelOptions) -> ParallelDeploym
     let registry = PRegistry::new();
     let log = shared_log(opts.n_replicas);
     let domains = opts.workload.n_groups;
-    let stores: Vec<Rc<RefCell<ObjStore>>> =
-        (0..opts.n_replicas).map(|_| Rc::new(RefCell::new(ObjStore::new(domains)))).collect();
+    let stores: Vec<Arc<Mutex<ObjStore>>> =
+        (0..opts.n_replicas).map(|_| Arc::new(Mutex::new(ObjStore::new(domains)))).collect();
 
     let n_rings = match opts.model {
         ExecModel::Psmr { workers } => workers,

@@ -42,7 +42,7 @@
 //! };
 //! let d = deploy_parallel(&mut sim, &opts);
 //! sim.run_until(Time::from_millis(300));
-//! assert!(d.stores[0].borrow().executed() > 0);
+//! assert!(d.stores[0].lock().unwrap().executed() > 0);
 //! ```
 
 pub mod client;

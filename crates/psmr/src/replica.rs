@@ -7,9 +7,9 @@
 //! Multi-Ring Paxos learner and reads the ring-tagged merge stream, so
 //! each delivery is routed to the worker thread of its group.
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use abcast::{MsgId, SharedLog};
 use multiring::RingSink;
@@ -78,7 +78,7 @@ pub struct ParallelReplica<I: Actor> {
     peers: Vec<NodeId>,
     registry: PRegistry,
     engine: Engine,
-    store: Rc<RefCell<ObjStore>>,
+    store: Arc<Mutex<ObjStore>>,
     dep_execs_reported: u64,
     resp_q: VecDeque<(Time, MsgId, NodeId, u32)>,
 }
@@ -92,7 +92,7 @@ impl<I: Actor> ParallelReplica<I> {
         peers: Vec<NodeId>,
         registry: PRegistry,
         engine: Engine,
-        store: Rc<RefCell<ObjStore>>,
+        store: Arc<Mutex<ObjStore>>,
     ) -> ParallelReplica<I> {
         ParallelReplica {
             inner,
@@ -122,7 +122,7 @@ impl<I: Actor> ParallelReplica<I> {
     fn next_delivery(&mut self) -> Option<(Option<u8>, MsgId)> {
         match &self.source {
             DeliverySource::TotalOrder { log, log_index } => {
-                let log = log.borrow();
+                let log = log.lock().unwrap();
                 let seq = log.sequence(*log_index);
                 if self.cursor >= seq.len() {
                     return None;
@@ -130,7 +130,7 @@ impl<I: Actor> ParallelReplica<I> {
                 Some((None, seq[self.cursor]))
             }
             DeliverySource::RingTagged { sink } => {
-                let sink = sink.borrow();
+                let sink = sink.lock().unwrap();
                 if self.cursor >= sink.len() {
                     return None;
                 }
@@ -174,7 +174,7 @@ impl<I: Actor> ParallelReplica<I> {
                 ctx.charge_cpu(*core, *cost);
             }
             let Some(dstored) = self.registry.get(did) else { continue };
-            self.store.borrow_mut().apply(did, &dstored.cmd);
+            self.store.lock().unwrap().apply(did, &dstored.cmd);
             if self.is_designated(did) {
                 self.resp_q.push_back((sched.done, did, dstored.client, dstored.reply_bytes));
                 ctx.set_timer(sched.done.saturating_since(ctx.now()), TimerToken(T_PRESP));
@@ -205,7 +205,7 @@ impl<I: Actor> ParallelReplica<I> {
     }
 
     /// The replica's service state (shared handle for checks).
-    pub fn store(&self) -> Rc<RefCell<ObjStore>> {
+    pub fn store(&self) -> Arc<Mutex<ObjStore>> {
         self.store.clone()
     }
 }

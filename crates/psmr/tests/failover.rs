@@ -58,8 +58,8 @@ fn check_no_duplicate_apply(sim: &Sim, d: &ParallelDeployment) {
     // duplicate apply shows up either as a digest divergence or as more
     // executions than distinct submissions.
     let sub = submitted(sim, d);
-    let a = d.stores[0].borrow();
-    let b = d.stores[1].borrow();
+    let a = d.stores[0].lock().unwrap();
+    let b = d.stores[1].lock().unwrap();
     assert_eq!(a.executed(), b.executed(), "replica executed-count divergence");
     assert_eq!(a.digest(), b.digest(), "replica execution-order divergence");
     assert!(

@@ -56,8 +56,8 @@ fn replicas_agree_under_every_model() {
     let workload = PsmrWorkload { n_groups: 4, dep_pct: 20, ..PsmrWorkload::default() };
     for model in all_models(4) {
         let (_sim, d) = run_model(model, workload, 12, 150);
-        let a = d.stores[0].borrow();
-        let b = d.stores[1].borrow();
+        let a = d.stores[0].lock().unwrap();
+        let b = d.stores[1].lock().unwrap();
         assert!(a.executed() > 0, "{model:?} executed nothing");
         assert_eq!(a.executed(), b.executed(), "{model:?} executed-count divergence");
         assert_eq!(a.digest(), b.digest(), "{model:?} execution-order divergence");
@@ -71,8 +71,8 @@ fn conflict_domain_histories_match_across_replicas() {
         PsmrWorkload { n_groups: 4, dep_pct: 30, dep_span: 2, ..PsmrWorkload::default() };
     for model in all_models(4) {
         let (_sim, d) = run_model(model, workload, 10, 150);
-        let a = d.stores[0].borrow();
-        let b = d.stores[1].borrow();
+        let a = d.stores[0].lock().unwrap();
+        let b = d.stores[1].lock().unwrap();
         for g in 0..4 {
             assert_eq!(
                 a.history(g),
@@ -89,7 +89,7 @@ fn every_completed_command_was_executed_once() {
     for model in all_models(4) {
         let (sim, d) = run_model(model, workload, 8, 150);
         let done = completed(&sim, &d);
-        let store = d.stores[0].borrow();
+        let store = d.stores[0].lock().unwrap();
         assert!(done > 0, "{model:?}: no commands completed");
         // Replicas may have executed a few commands whose responses are
         // still in flight, but never fewer than the clients saw.
@@ -153,8 +153,8 @@ fn skewed_workload_is_safe_and_slower() {
     let u = completed(&usim, &ud);
     let s = completed(&ssim, &sd);
     // Safety under skew.
-    let a = sd.stores[0].borrow();
-    let b = sd.stores[1].borrow();
+    let a = sd.stores[0].lock().unwrap();
+    let b = sd.stores[1].lock().unwrap();
     assert_eq!(a.digest(), b.digest(), "skew broke replica agreement");
     // The hot worker serializes most of the load (§6.5.7).
     assert!(s > 0 && s < u, "skewed should underperform uniform: {s} vs {u}");
@@ -201,8 +201,8 @@ fn ev_scales_cleanly_but_collapses_under_conflicts() {
     let s = completed(&ssim, &sd);
     assert!(c as f64 > s as f64 * 2.0, "clean EV should scale past sequential: {c} vs {s}");
     assert!((d as f64) < c as f64 * 0.6, "conflict rollbacks should hurt EV badly: {d} !<< {c}");
-    let a = dd.stores[0].borrow();
-    let b = dd.stores[1].borrow();
+    let a = dd.stores[0].lock().unwrap();
+    let b = dd.stores[1].lock().unwrap();
     assert_eq!(a.digest(), b.digest(), "EV replicas diverged");
 }
 
@@ -230,10 +230,10 @@ fn ev_stays_consistent_under_message_loss() {
         d.clients.iter().map(|&c| sim.metrics().counter(c, "psmr.submitted")).sum();
     let done = completed(&sim, &d);
     assert_eq!(submitted, done, "EV lost commands under loss");
-    let a = d.stores[0].borrow();
+    let a = d.stores[0].lock().unwrap();
     assert!(a.executed() > 0);
     for st in &d.stores[1..] {
-        let b = st.borrow();
+        let b = st.lock().unwrap();
         assert_eq!(a.executed(), b.executed(), "EV replica count divergence");
         assert_eq!(a.digest(), b.digest(), "EV batch decisions diverged");
         assert_eq!(a.snapshot(), b.snapshot(), "EV state divergence");

@@ -10,10 +10,10 @@
 //! only the delivery watermark and dedup marks).
 
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// What a recovery-enabled learner asks of its replicated service.
-pub trait RecoveredApp {
+pub trait RecoveredApp: Send {
     /// Applies one delivered value (identified by proposer node id,
     /// per-proposer sequence, and payload size). Must be deterministic:
     /// every learner incarnation applying the same sequence reaches the
@@ -21,10 +21,10 @@ pub trait RecoveredApp {
     fn apply(&mut self, proposer: u64, seq: u64, bytes: u32);
 
     /// Snapshots the current state: `(modelled on-disk bytes, blob)`.
-    fn snapshot(&mut self) -> (u64, Option<Rc<dyn Any>>);
+    fn snapshot(&mut self) -> (u64, Option<Arc<dyn Any + Send + Sync>>);
 
     /// Restores state from a snapshot blob (`None` = the empty state).
-    fn restore(&mut self, state: Option<&Rc<dyn Any>>);
+    fn restore(&mut self, state: Option<&Arc<dyn Any + Send + Sync>>);
 }
 
 /// The stateless service: applying does nothing and a checkpoint
@@ -44,11 +44,11 @@ impl Default for NullApp {
 impl RecoveredApp for NullApp {
     fn apply(&mut self, _proposer: u64, _seq: u64, _bytes: u32) {}
 
-    fn snapshot(&mut self) -> (u64, Option<Rc<dyn Any>>) {
+    fn snapshot(&mut self) -> (u64, Option<Arc<dyn Any + Send + Sync>>) {
         (self.fixed_bytes, None)
     }
 
-    fn restore(&mut self, _state: Option<&Rc<dyn Any>>) {}
+    fn restore(&mut self, _state: Option<&Arc<dyn Any + Send + Sync>>) {}
 }
 
 #[cfg(test)]

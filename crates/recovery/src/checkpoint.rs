@@ -10,7 +10,7 @@
 //! `paxos::window::Window`).
 
 use std::any::Any;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use simnet::prelude::*;
 
@@ -35,7 +35,7 @@ impl<V> Checkpointer<V> {
     /// Creates a checkpointer writing through `store` under the host's
     /// `token_kind` timer namespace.
     pub fn new(store: StableHandle<V>, interval: u64, token_kind: u64) -> Checkpointer<V> {
-        let last = store.borrow().checkpoint.as_ref().map_or(InstanceId(0), |c| c.watermark);
+        let last = store.lock().unwrap().checkpoint.as_ref().map_or(InstanceId(0), |c| c.watermark);
         Checkpointer {
             store,
             interval: interval.max(1),
@@ -48,7 +48,7 @@ impl<V> Checkpointer<V> {
 
     /// The latest durable checkpoint, cloned for restore at start-up.
     pub fn recover(store: &StableHandle<V>) -> Option<Checkpoint> {
-        store.borrow().checkpoint.clone()
+        store.lock().unwrap().checkpoint.clone()
     }
 
     /// The checkpoint interval, in instances.
@@ -72,7 +72,7 @@ impl<V> Checkpointer<V> {
         log_pos: u64,
         marks: Vec<u64>,
         parked: Vec<(u64, u64)>,
-        snap: impl FnOnce() -> (u64, Option<Rc<dyn Any>>),
+        snap: impl FnOnce() -> (u64, Option<Arc<dyn Any + Send + Sync>>),
         ctx: &mut Ctx,
     ) -> bool {
         if self.inflight.is_some() || next_deliver.0 < self.last.0 + self.interval {
@@ -98,8 +98,8 @@ impl<V> Checkpointer<V> {
         match self.inflight.take() {
             Some((id, cp)) if id == payload => {
                 let watermark = cp.watermark;
-                self.store.borrow_mut().checkpoint = Some(cp);
-                self.store.borrow_mut().trim_votes_below(watermark);
+                self.store.lock().unwrap().checkpoint = Some(cp);
+                self.store.lock().unwrap().trim_votes_below(watermark);
                 Some(watermark)
             }
             other => {
@@ -117,15 +117,15 @@ mod tests {
     use simnet::config::SimConfig;
     use simnet::sim::{Actor, Envelope, Sim};
     use simnet::time::{Dur, Time};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     const KIND: u64 = 11 << 56;
 
     struct Ckpt {
         cp: Checkpointer<u32>,
         deliver_upto: u64,
-        trims: Rc<RefCell<Vec<(u64, Time)>>>,
+        trims: Arc<Mutex<Vec<(u64, Time)>>>,
     }
 
     impl Actor for Ckpt {
@@ -145,7 +145,7 @@ mod tests {
         fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
         fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
             if let Some(w) = self.cp.on_token(token.0 & !(0xff << 56)) {
-                self.trims.borrow_mut().push((w.0, ctx.now()));
+                self.trims.lock().unwrap().push((w.0, ctx.now()));
             }
         }
     }
@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn checkpoints_fire_at_interval_and_commit_on_disk_done() {
         let store = stable();
-        let trims = Rc::new(RefCell::new(Vec::new()));
+        let trims = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         sim.add_node(Box::new(Ckpt {
             cp: Checkpointer::new(store.clone(), 4, KIND),
@@ -165,12 +165,12 @@ mod tests {
         // in virtual terms only after DiskDone, but delivery here all
         // happens at t=0, so the second is suppressed while in flight)
         // the watermark ends at 4.
-        let trims = trims.borrow();
+        let trims = trims.lock().unwrap();
         assert_eq!(trims.len(), 1);
         assert_eq!(trims[0].0, 4);
         let want = SimConfig::default().disk_write_time(64 * 1024);
         assert_eq!(trims[0].1, Time::ZERO + want);
-        let cp = store.borrow().checkpoint.clone().expect("durable checkpoint");
+        let cp = store.lock().unwrap().checkpoint.clone().expect("durable checkpoint");
         assert_eq!(cp.watermark, InstanceId(4));
         assert_eq!(cp.log_pos, 40);
         assert_eq!(cp.marks, vec![4]);
@@ -179,9 +179,9 @@ mod tests {
     #[test]
     fn crash_mid_write_keeps_previous_checkpoint() {
         let store = stable();
-        store.borrow_mut().checkpoint =
+        store.lock().unwrap().checkpoint =
             Some(Checkpoint { watermark: InstanceId(2), log_pos: 20, ..Checkpoint::default() });
-        let trims = Rc::new(RefCell::new(Vec::new()));
+        let trims = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let n = sim.add_node(Box::new(Ckpt {
             cp: Checkpointer::new(store.clone(), 4, KIND),
@@ -192,8 +192,8 @@ mod tests {
         sim.run_until(Time::ZERO + Dur::micros(50)); // write takes ~1.5 ms
         sim.set_node_up(n, false);
         sim.run_to_idle();
-        assert!(trims.borrow().is_empty());
-        let cp = store.borrow().checkpoint.clone().expect("old checkpoint survives");
+        assert!(trims.lock().unwrap().is_empty());
+        let cp = store.lock().unwrap().checkpoint.clone().expect("old checkpoint survives");
         assert_eq!(cp.watermark, InstanceId(2), "torn write never becomes the checkpoint");
     }
 }

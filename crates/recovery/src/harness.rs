@@ -86,36 +86,36 @@ mod tests {
     use super::*;
     use simnet::config::SimConfig;
     use simnet::prelude::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
-    struct Counter(Rc<RefCell<u32>>);
+    struct Counter(Arc<Mutex<u32>>);
     // Default `on_batch` (loops `on_message`): the harness only counts
     // starts, so per-burst amortization has nothing to buy here.
     impl Actor for Counter {
         fn on_start(&mut self, _ctx: &mut Ctx) {
-            *self.0.borrow_mut() += 1;
+            *self.0.lock().unwrap() += 1;
         }
         fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
     }
 
     #[test]
     fn plan_applies_actions_in_time_order() {
-        let starts = Rc::new(RefCell::new(0));
+        let starts = Arc::new(Mutex::new(0));
         let mut sim = Sim::new(SimConfig::default());
         let n = sim.add_node(Box::new(Counter(starts.clone())));
-        let respawned = Rc::new(RefCell::new(false));
+        let respawned = Arc::new(Mutex::new(false));
         let r2 = respawned.clone();
         let s2 = starts.clone();
         CrashPlan::new()
             .at(Time::from_millis(30), n, CrashAction::Respawn)
             .at(Time::from_millis(10), n, CrashAction::Crash)
             .run(&mut sim, Time::from_millis(50), move |sim, node| {
-                *r2.borrow_mut() = true;
+                *r2.lock().unwrap() = true;
                 sim.replace_actor(node, Box::new(Counter(s2.clone())));
             });
-        assert!(*respawned.borrow());
-        assert_eq!(*starts.borrow(), 2, "original start + respawned start");
+        assert!(*respawned.lock().unwrap());
+        assert_eq!(*starts.lock().unwrap(), 2, "original start + respawned start");
         assert_eq!(sim.now(), Time::from_millis(50));
         assert!(sim.is_up(n));
     }

@@ -12,9 +12,9 @@
 //! [`checkpoint::Checkpointer`]: crate::checkpoint::Checkpointer
 
 use std::any::Any;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use paxos::msg::{InstanceId, Round};
 
@@ -39,7 +39,7 @@ pub struct Checkpoint {
     /// write was charged, and what a state transfer puts on the wire).
     pub state_bytes: u64,
     /// Opaque service snapshot (`None` for stateless learners).
-    pub state: Option<Rc<dyn Any>>,
+    pub state: Option<Arc<dyn Any + Send + Sync>>,
 }
 
 /// The logical durable contents of one node, generic over the vote
@@ -55,11 +55,11 @@ pub struct StableState<V> {
 }
 
 /// Shared handle to a node's stable store.
-pub type StableHandle<V> = Rc<RefCell<StableState<V>>>;
+pub type StableHandle<V> = Arc<Mutex<StableState<V>>>;
 
 /// Creates an empty stable store for one node.
 pub fn stable<V>() -> StableHandle<V> {
-    Rc::new(RefCell::new(StableState {
+    Arc::new(Mutex::new(StableState {
         promised: Round::ZERO,
         votes: BTreeMap::new(),
         checkpoint: None,
@@ -91,13 +91,13 @@ mod tests {
     fn trim_drops_only_below_watermark() {
         let s: StableHandle<u32> = stable();
         {
-            let mut s = s.borrow_mut();
+            let mut s = s.lock().unwrap();
             for i in 0..10 {
                 s.votes.insert(InstanceId(i), (Round::new(1, 0), i as u32));
             }
             s.trim_votes_below(InstanceId(4));
         }
-        let s = s.borrow();
+        let s = s.lock().unwrap();
         assert_eq!(s.votes.len(), 6);
         assert!(s.votes.contains_key(&InstanceId(4)));
         assert!(!s.votes.contains_key(&InstanceId(3)));
@@ -106,8 +106,8 @@ mod tests {
     #[test]
     fn promise_is_monotone() {
         let s: StableHandle<u32> = stable();
-        s.borrow_mut().log_promise(Round::new(3, 1));
-        s.borrow_mut().log_promise(Round::new(2, 0));
-        assert_eq!(s.borrow().promised, Round::new(3, 1));
+        s.lock().unwrap().log_promise(Round::new(3, 1));
+        s.lock().unwrap().log_promise(Round::new(2, 0));
+        assert_eq!(s.lock().unwrap().promised, Round::new(3, 1));
     }
 }

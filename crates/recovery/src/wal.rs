@@ -185,7 +185,7 @@ impl<V: Clone> VoteLog<V> {
             }
         }
         let (_, group) = self.inflight.pop_front().expect("checked front");
-        let mut store = self.store.borrow_mut();
+        let mut store = self.store.lock().unwrap();
         let mut durable = Vec::with_capacity(group.len());
         for e in group {
             store.votes.insert(e.instance, (e.round, e.value.clone()));
@@ -197,7 +197,7 @@ impl<V: Clone> VoteLog<V> {
     /// The durable log contents, for replay into a fresh acceptor
     /// (`paxos::acceptor::Acceptor::restore`).
     pub fn replay(&self) -> (Round, Vec<(InstanceId, Round, V)>) {
-        let store = self.store.borrow();
+        let store = self.store.lock().unwrap();
         let votes = store.votes.iter().map(|(&i, (r, v))| (i, *r, v.clone())).collect::<Vec<_>>();
         (store.promised, votes)
     }
@@ -210,8 +210,8 @@ mod tests {
     use simnet::config::SimConfig;
     use simnet::sim::{Actor, Envelope, Sim};
     use simnet::time::Time;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     const KIND: u64 = 9 << 56;
 
@@ -219,7 +219,7 @@ mod tests {
     struct Logger {
         wal: VoteLog<u32>,
         n: u64,
-        durable: Rc<RefCell<Vec<(u64, Time)>>>,
+        durable: Arc<Mutex<Vec<(u64, Time)>>>,
     }
 
     impl Actor for Logger {
@@ -231,14 +231,14 @@ mod tests {
         fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
         fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
             for (i, _, _) in self.wal.on_token(token.0 & !(0xff << 56), ctx) {
-                self.durable.borrow_mut().push((i.0, ctx.now()));
+                self.durable.lock().unwrap().push((i.0, ctx.now()));
             }
         }
     }
 
     fn run(mode: LogMode, n: u64) -> (Vec<(u64, Time)>, StableHandle<u32>) {
         let store = stable();
-        let durable = Rc::new(RefCell::new(Vec::new()));
+        let durable = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         sim.add_node(Box::new(Logger {
             wal: VoteLog::new(store.clone(), mode, 32 * 1024, KIND),
@@ -246,7 +246,7 @@ mod tests {
             durable: durable.clone(),
         }));
         sim.run_to_idle();
-        let d = durable.borrow().clone();
+        let d = durable.lock().unwrap().clone();
         (d, store)
     }
 
@@ -259,7 +259,7 @@ mod tests {
         let per = SimConfig::default().disk_write_time_coalesced(8192, 32 * 1024);
         assert_eq!(durable[0].1, Time::ZERO + per);
         assert!(durable[3].1 > durable[0].1);
-        assert_eq!(store.borrow().votes.len(), 4);
+        assert_eq!(store.lock().unwrap().votes.len(), 4);
     }
 
     #[test]
@@ -272,7 +272,7 @@ mod tests {
         // One device write commits the whole group: all four release at
         // the same completion time.
         assert!(durable.iter().all(|&(_, t)| t == durable[0].1));
-        assert_eq!(store.borrow().votes.len(), 4);
+        assert_eq!(store.lock().unwrap().votes.len(), 4);
     }
 
     #[test]
@@ -289,7 +289,7 @@ mod tests {
         // Issue 4 sync appends, crash the node before any DiskDone fires:
         // the stable store must contain nothing.
         let store = stable();
-        let durable = Rc::new(RefCell::new(Vec::new()));
+        let durable = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let n = sim.add_node(Box::new(Logger {
             wal: VoteLog::new(store.clone(), LogMode::Sync, 32 * 1024, KIND),
@@ -299,14 +299,14 @@ mod tests {
         sim.run_until(Time::ZERO + Dur::micros(100)); // first write needs ~600 us
         sim.set_node_up(n, false);
         sim.run_to_idle();
-        assert!(durable.borrow().is_empty());
-        assert!(store.borrow().votes.is_empty(), "nothing durable before DiskDone");
+        assert!(durable.lock().unwrap().is_empty());
+        assert!(store.lock().unwrap().votes.is_empty(), "nothing durable before DiskDone");
     }
 
     #[test]
     fn replay_returns_durable_state() {
         let (_, store) = run(LogMode::Sync, 3);
-        store.borrow_mut().log_promise(Round::new(2, 1));
+        store.lock().unwrap().log_promise(Round::new(2, 1));
         let wal: VoteLog<u32> = VoteLog::new(store, LogMode::Sync, 32 * 1024, KIND);
         let (promised, votes) = wal.replay();
         assert_eq!(promised, Round::new(2, 1));

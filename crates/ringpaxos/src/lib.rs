@@ -28,7 +28,7 @@
 //! let d = deploy_mring(&mut sim, &MRingOptions::default(), |_cfg| {});
 //! sim.run_until(Time::from_millis(500));
 //! assert!(sim.metrics().counter(d.learners[0], "abcast.delivered_msgs") > 0);
-//! assert!(d.log.borrow().check_total_order().is_ok());
+//! assert!(d.log.lock().unwrap().check_total_order().is_ok());
 //! ```
 
 pub mod cluster;

@@ -21,10 +21,10 @@
 //! failover (§3.3.5), window-based flow control with learner back-pressure
 //! (§3.3.6), and version-vector garbage collection (§3.3.7).
 
-use std::cell::Cell;
 use std::collections::VecDeque;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, Mutex};
 
 use abcast::{metric, MsgId, Pacer, SharedLog};
 use paxos::acceptor::Acceptor;
@@ -282,10 +282,10 @@ pub struct MRingProcess {
     total_acceptors: usize,
     /// Live control of the proposer's offered rate (bits/s); experiment
     /// drivers flip it mid-run (Fig. 5.9/5.10 oscillating workloads).
-    rate_ctl: Option<Rc<Cell<u64>>>,
+    rate_ctl: Option<Arc<AtomicU64>>,
     /// Live control of the learner's per-batch processing cost
     /// (Fig. 3.14's slow-learner trace).
-    cost_ctl: Option<Rc<Cell<Dur>>>,
+    cost_ctl: Option<Arc<Mutex<Dur>>>,
     /// Highest GC watermark already applied; re-announcements of the same
     /// watermark (it rides on every 2A) skip the tree-splitting work.
     gc_applied: InstanceId,
@@ -399,7 +399,7 @@ impl MRingProcess {
         if rec.resumed {
             if let Some(a) = self.acc.as_mut() {
                 let (promised, votes) = {
-                    let s = state.store.borrow();
+                    let s = state.store.lock().unwrap();
                     let votes: Vec<(InstanceId, Round, Batch)> =
                         s.votes.iter().map(|(&i, (r, v))| (i, *r, v.clone())).collect();
                     (s.promised, votes)
@@ -416,7 +416,7 @@ impl MRingProcess {
                     app.restore(cp.state.as_ref());
                 }
                 if let Some(log) = self.log.as_ref() {
-                    log.borrow_mut().mark_restart(l.index, cp.log_pos as usize);
+                    log.lock().unwrap().mark_restart(l.index, cp.log_pos as usize);
                 }
                 state.catching_up = true;
             }
@@ -427,13 +427,13 @@ impl MRingProcess {
 
     /// Attaches a live rate control for this proposer (bits per second;
     /// `0` pauses proposing).
-    pub fn with_rate_control(mut self, ctl: Rc<Cell<u64>>) -> MRingProcess {
+    pub fn with_rate_control(mut self, ctl: Arc<AtomicU64>) -> MRingProcess {
         self.rate_ctl = Some(ctl);
         self
     }
 
     /// Attaches a live control for the learner's per-batch cost.
-    pub fn with_cost_control(mut self, ctl: Rc<Cell<Dur>>) -> MRingProcess {
+    pub fn with_cost_control(mut self, ctl: Arc<Mutex<Dur>>) -> MRingProcess {
         self.cost_ctl = Some(ctl);
         self
     }
@@ -456,7 +456,7 @@ impl MRingProcess {
     // ------------------------------------------------------------------
 
     fn pace(&mut self, ctx: &mut Ctx) {
-        let ctl_rate = self.rate_ctl.as_ref().map(|c| c.get());
+        let ctl_rate = self.rate_ctl.as_ref().map(|c| c.load(AtomicOrdering::Relaxed));
         let Some(p) = self.prop.as_mut() else { return };
         let Some(pacer) = p.pacer.as_mut() else { return };
         if let Some(rate) = ctl_rate {
@@ -558,9 +558,9 @@ impl MRingProcess {
                 c.logical_count += 1;
                 let partitioned = self.cfg.partitions.is_some();
                 let decisions = if partitioned {
-                    Rc::new(Vec::new()) // no piggybacking in partitioned mode
+                    Arc::new(Vec::new()) // no piggybacking in partitioned mode
                 } else {
-                    Rc::new(std::mem::take(&mut c.decided_unsent))
+                    Arc::new(std::mem::take(&mut c.decided_unsent))
                 };
                 let gc_upto = c.gc_watermark;
                 c.last_mcast = ctx.now();
@@ -596,7 +596,7 @@ impl MRingProcess {
             }
             if decisions_only && force {
                 let c = self.coord.as_mut().expect("checked");
-                let decisions = Rc::new(std::mem::take(&mut c.decided_unsent));
+                let decisions = Arc::new(std::mem::take(&mut c.decided_unsent));
                 let gc_upto = c.gc_watermark;
                 c.last_mcast = ctx.now();
                 let group = self
@@ -678,7 +678,7 @@ impl MRingProcess {
         if c.decided_unsent.is_empty() {
             return;
         }
-        let decisions = Rc::new(std::mem::take(&mut c.decided_unsent));
+        let decisions = Arc::new(std::mem::take(&mut c.decided_unsent));
         let gc_upto = c.gc_watermark;
         c.last_mcast = ctx.now();
         let round = self.round;
@@ -869,8 +869,11 @@ impl MRingProcess {
     }
 
     fn try_deliver(&mut self, ctx: &mut Ctx) {
-        let batch_cost =
-            self.cost_ctl.as_ref().map(|c| c.get()).unwrap_or(self.cfg.learner_batch_cost);
+        let batch_cost = self
+            .cost_ctl
+            .as_ref()
+            .map(|c| *c.lock().unwrap())
+            .unwrap_or(self.cfg.learner_batch_cost);
         loop {
             let Some(l) = self.lrn.as_mut() else { return };
             let next = l.next_deliver;
@@ -911,7 +914,7 @@ impl MRingProcess {
                 delivered_here.push(*v);
             }
             if let Some(log) = self.log.as_ref() {
-                let mut log = log.borrow_mut();
+                let mut log = log.lock().unwrap();
                 for v in &delivered_here {
                     log.deliver(index, v.id);
                 }
@@ -1085,7 +1088,7 @@ impl MRingProcess {
             }
         }
         if let Some(log) = self.log.as_ref() {
-            log.borrow_mut().mark_state_transfer(index, cp.log_pos as usize);
+            log.lock().unwrap().mark_state_transfer(index, cp.log_pos as usize);
         }
         ctx.counter_add("rec.state_transfers", 1);
         ctx.counter_add("rec.transfer_bytes", cp.state_bytes);
@@ -1229,7 +1232,7 @@ impl MRingProcess {
             // acceptor never needs them either — without this trim the
             // stable store grows with run length.
             if let Some(rec) = self.rec.as_ref() {
-                rec.store.borrow_mut().trim_votes_below(upto);
+                rec.store.lock().unwrap().trim_votes_below(upto);
             }
         }
     }
@@ -1357,7 +1360,7 @@ impl MRingProcess {
                 instance,
                 round,
                 batch,
-                decisions: Rc::new(Vec::new()),
+                decisions: Arc::new(Vec::new()),
                 gc_upto: InstanceId(0),
                 skip,
                 mask,
@@ -1432,7 +1435,7 @@ impl MRingProcess {
     fn persist_promise(&self, round: Round) {
         if self.acc.is_some() {
             if let Some(rec) = self.rec.as_ref() {
-                rec.store.borrow_mut().log_promise(round);
+                rec.store.lock().unwrap().log_promise(round);
             }
         }
     }
@@ -1583,7 +1586,7 @@ impl MRingProcess {
                     instance,
                     round,
                     batch,
-                    decisions: Rc::new(Vec::new()),
+                    decisions: Arc::new(Vec::new()),
                     gc_upto: InstanceId(0),
                     skip: 0,
                     mask: ALL_PARTITIONS,
@@ -1673,7 +1676,7 @@ impl MRingProcess {
         let batch: Batch = BatchData::empty();
         c.outstanding.insert(instance, (batch.clone(), ctx.now(), ALL_PARTITIONS));
         c.logical_count += weight;
-        let decisions = Rc::new(std::mem::take(&mut c.decided_unsent));
+        let decisions = Arc::new(std::mem::take(&mut c.decided_unsent));
         let gc_upto = c.gc_watermark;
         c.last_mcast = ctx.now();
         if let Some(a) = self.acc.as_mut() {
@@ -1874,7 +1877,7 @@ impl Actor for MRingProcess {
             MMsg::SnapReq { from } => {
                 let from = *from;
                 if let Some(rec) = self.rec.as_ref() {
-                    let snap = rec.store.borrow().checkpoint.clone();
+                    let snap = rec.store.lock().unwrap().checkpoint.clone();
                     let wire = (self.cfg.ctl_bytes as u64
                         + snap.as_ref().map(|c| c.state_bytes).unwrap_or(0))
                     .min(u32::MAX as u64) as u32;
@@ -1953,7 +1956,7 @@ impl Actor for MRingProcess {
                             instance,
                             round,
                             batch,
-                            decisions: Rc::new(Vec::new()),
+                            decisions: Arc::new(Vec::new()),
                             gc_upto: InstanceId(0),
                             skip,
                             mask,
@@ -2004,7 +2007,8 @@ impl Actor for MRingProcess {
                 if let Some(rec) = self.rec.as_ref() {
                     if let Some(vote) = self.acc.as_ref().and_then(|a| a.paxos.vote(instance)) {
                         rec.store
-                            .borrow_mut()
+                            .lock()
+                            .unwrap()
                             .votes
                             .insert(instance, (vote.v_rnd, vote.v_val.clone()));
                     }

@@ -385,7 +385,7 @@ impl URingProcess {
                     app.restore(cp.state.as_ref());
                 }
                 if let Some(log) = self.log.as_ref() {
-                    log.borrow_mut().mark_restart(l.index, cp.log_pos as usize);
+                    log.lock().unwrap().mark_restart(l.index, cp.log_pos as usize);
                 }
                 state.catching_up = true;
             }
@@ -596,7 +596,7 @@ impl URingProcess {
             // Recovery-enabled: write-ahead log the vote; `vote_and_forward`
             // runs from the WAL completion (T_WAL). Re-proposals of an
             // already-durable vote skip the disk and vote immediately.
-            if rec.store.borrow().votes.contains_key(&instance) {
+            if rec.store.lock().unwrap().votes.contains_key(&instance) {
                 self.vote_and_forward(instance, round, batch, ctx);
             } else {
                 let bytes = (batch_bytes(&batch).min(u32::MAX as u64) as u32).max(1);
@@ -715,7 +715,7 @@ impl URingProcess {
                 rec.delivered_count += fresh.len() as u64;
             }
             if let Some(log) = self.log.as_ref() {
-                let mut log = log.borrow_mut();
+                let mut log = log.lock().unwrap();
                 for v in &fresh {
                     log.deliver(index, v.id);
                 }
@@ -772,7 +772,7 @@ impl URingProcess {
         let mut wire = self.cfg.ctl_bytes as u64;
         let mut eff = next;
         let snap = if next < rec.cache.base() {
-            let cp = rec.store.borrow().checkpoint.clone();
+            let cp = rec.store.lock().unwrap().checkpoint.clone();
             if let Some(cp) = cp.as_ref() {
                 eff = cp.watermark;
                 wire += cp.state_bytes;
@@ -818,7 +818,7 @@ impl URingProcess {
                         app.restore(cp.state.as_ref());
                     }
                     if let Some(log) = self.log.as_ref() {
-                        log.borrow_mut().mark_state_transfer(l.index, cp.log_pos as usize);
+                        log.lock().unwrap().mark_state_transfer(l.index, cp.log_pos as usize);
                     }
                     ctx.counter_add("rec.state_transfers", 1);
                     ctx.counter_add("rec.transfer_bytes", cp.state_bytes);
@@ -925,7 +925,7 @@ impl URingProcess {
     fn persist_promise(&mut self, round: Round) {
         if self.acceptor.is_some() {
             if let Some(rec) = self.rec.as_ref() {
-                rec.store.borrow_mut().log_promise(round);
+                rec.store.lock().unwrap().log_promise(round);
             }
         }
     }
@@ -971,7 +971,7 @@ impl URingProcess {
     fn mark_epoch(&mut self) {
         if let (Some(l), Some(log)) = (self.learner.as_ref(), self.log.as_ref()) {
             let epoch = (self.round.counter << 32) | self.round.owner as u64;
-            log.borrow_mut().mark_epoch(l.index, epoch);
+            log.lock().unwrap().mark_epoch(l.index, epoch);
         }
     }
 

@@ -56,7 +56,7 @@ fn restarted_learner_recovers_from_checkpoint_plus_suffix() {
     sim.run_until(Time::from_millis(1300));
 
     // The victim's own durable checkpoint was taken before the crash.
-    let own_cp = ru.stores[victim].borrow().checkpoint.clone().expect("checkpointed");
+    let own_cp = ru.stores[victim].lock().unwrap().checkpoint.clone().expect("checkpointed");
     assert!(own_cp.watermark.0 > 0);
     assert!(own_cp.log_pos > 0);
 
@@ -64,7 +64,7 @@ fn restarted_learner_recovers_from_checkpoint_plus_suffix() {
     sim.run_until(Time::from_secs(6));
 
     // No lost, no duplicated deliveries across the restart.
-    let log = ru.d.log.borrow();
+    let log = ru.d.log.lock().unwrap();
     log.check_crash_agreement(&[0, 1, 2, 3, 4]).expect("crash-aware agreement");
 
     // The restart was recorded with the checkpoint's resume basis.
@@ -114,7 +114,7 @@ fn restarted_acceptor_replays_wal_and_ring_resumes() {
     );
 
     // Votes are durable: the WAL has content to replay.
-    assert!(!ru.stores[victim].borrow().votes.is_empty(), "write-ahead log survived");
+    assert!(!ru.stores[victim].lock().unwrap().votes.is_empty(), "write-ahead log survived");
 
     respawn_uring(&mut sim, &ru, victim, Some(Box::new(NullApp::default())));
     sim.run_until(Time::from_secs(6));
@@ -126,7 +126,7 @@ fn restarted_acceptor_replays_wal_and_ring_resumes() {
         during2[0],
         after[0]
     );
-    ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
+    ru.d.log.lock().unwrap().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
 }
 
 /// A long outage with a small retention slack forces the state-transfer
@@ -155,7 +155,7 @@ fn long_outage_falls_back_to_state_transfer() {
         sim.metrics().counter(v, "rec.state_transfers") > 0,
         "a peer checkpoint was transferred"
     );
-    let log = ru.d.log.borrow();
+    let log = ru.d.log.lock().unwrap();
     log.check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement with state transfer");
     assert!(
         log.restarts_of(victim).iter().any(|&(_, _, transferred)| transferred),
@@ -190,13 +190,13 @@ fn mring_learner_recovers_from_checkpoint_and_tcp_catchup() {
     sim.run_until(Time::from_millis(1000));
     sim.set_node_up(victim, false);
     sim.run_until(Time::from_millis(1400));
-    let cp = rm.store_of(victim).borrow().checkpoint.clone().expect("checkpointed");
+    let cp = rm.store_of(victim).lock().unwrap().checkpoint.clone().expect("checkpointed");
     assert!(cp.watermark.0 > 0 && cp.log_pos > 0);
 
     respawn_mring(&mut sim, &rm, victim, Some(Box::new(NullApp::default())));
     sim.run_until(Time::from_secs(6));
 
-    let log = rm.d.log.borrow();
+    let log = rm.d.log.lock().unwrap();
     let all: Vec<usize> = (0..rm.d.all_learners.len()).collect();
     log.check_crash_agreement(&all).expect("crash-aware agreement");
     let marks = log.restarts_of(0);
@@ -209,7 +209,7 @@ fn mring_learner_recovers_from_checkpoint_and_tcp_catchup() {
     );
     assert_eq!(sim.metrics().latency("rec.ttr").count, 1);
     // Vote durability: the acceptors' stable stores hold votes.
-    assert!(!rm.store_of(rm.d.ring[0]).borrow().votes.is_empty());
+    assert!(!rm.store_of(rm.d.ring[0]).lock().unwrap().votes.is_empty());
 }
 
 /// Crashing the recovering learner's catch-up peer as well must not
@@ -234,7 +234,7 @@ fn double_crash_of_victim_and_catchup_peer_still_recovers() {
     respawn_uring(&mut sim, &ru, victim, Some(Box::new(NullApp::default())));
     sim.run_until(Time::from_secs(8));
 
-    ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
+    ru.d.log.lock().unwrap().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
 }
 
 /// M-Ring coordinator failover with recovery enabled: the promises the
@@ -258,12 +258,12 @@ fn mring_failover_persists_promises() {
     sim.set_node_up(coord, false);
     sim.run_until(Time::from_secs(5));
 
-    rm.d.log.borrow().check_total_order().expect("order across failover");
+    rm.d.log.lock().unwrap().check_total_order().expect("order across failover");
     let promised: Vec<u64> =
         rm.d.ring
             .iter()
             .filter(|&&n| n != coord)
-            .map(|&n| rm.store_of(n).borrow().promised.counter)
+            .map(|&n| rm.store_of(n).lock().unwrap().promised.counter)
             .collect();
     assert!(
         promised.iter().any(|&c| c >= 2),
@@ -306,7 +306,7 @@ fn mring_gcd_suffix_falls_back_to_peer_state_transfer() {
         sim.metrics().counter(victim, "rec.state_transfers") > 0,
         "a peer learner's checkpoint was transferred"
     );
-    let log = rm.d.log.borrow();
+    let log = rm.d.log.lock().unwrap();
     let all: Vec<usize> = (0..rm.d.all_learners.len()).collect();
     log.check_crash_agreement(&all).expect("agreement with state transfer");
     assert!(log.restarts_of(0).iter().any(|&(_, _, transferred)| transferred));
@@ -328,8 +328,14 @@ fn group_commit_wal_reaches_agreement_with_fewer_disk_ops() {
     let (group_delivered, group_sim, group_ru) =
         run(LogMode::Group { interval: Dur::millis(5), max_bytes: 256 * 1024 });
     assert!(sync_delivered > 0 && group_delivered > 0);
-    sync_ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("sync agreement");
-    group_ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("group agreement");
+    sync_ru.d.log.lock().unwrap().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("sync agreement");
+    group_ru
+        .d
+        .log
+        .lock()
+        .unwrap()
+        .check_crash_agreement(&[0, 1, 2, 3, 4])
+        .expect("group agreement");
     // Same vote volume, different write pattern: both modes must have
     // written every vote to disk.
     assert!(sync_sim.metrics().sum("disk.written_bytes") > 0);

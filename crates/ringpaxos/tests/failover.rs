@@ -80,7 +80,7 @@ fn coordinator_crash_recovers_via_epoch_takeover() {
     respawn_uring(&mut sim, &ru, 0, Some(Box::new(NullApp::default())));
     sim.run_until(Time::from_secs(6));
 
-    let log = ru.d.log.borrow();
+    let log = ru.d.log.lock().unwrap();
     log.check_crash_agreement(&[0, 1, 2, 3, 4]).expect("epoch-aware crash agreement");
     // Surviving learners recorded the configuration change(s).
     for l in 1..5 {
@@ -90,7 +90,7 @@ fn coordinator_crash_recovers_via_epoch_takeover() {
         );
     }
     // The takeover round was durably promised by surviving acceptors.
-    let promised = (1..3).map(|p| ru.stores[p].borrow().promised.counter).max().unwrap_or(0);
+    let promised = (1..3).map(|p| ru.stores[p].lock().unwrap().promised.counter).max().unwrap_or(0);
     assert!(promised >= 2, "takeover promises must be persisted (got counter {promised})");
 }
 
@@ -125,7 +125,11 @@ fn stale_coordinator_2ab_traffic_is_fenced() {
         "the stale coordinator must learn it was deposed"
     );
     // Zero agreement/ordering violations, epochs monotonic per learner.
-    ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement with fencing");
+    ru.d.log
+        .lock()
+        .unwrap()
+        .check_crash_agreement(&[0, 1, 2, 3, 4])
+        .expect("agreement with fencing");
 }
 
 /// Ring repair (Fig. 7.5): a crashed mid-ring learner stalls decision
@@ -158,7 +162,11 @@ fn crashed_member_is_spliced_out_and_rejoins() {
     sim.run_until(Time::from_secs(6));
 
     assert!(sim.metrics().sum("rp.joins") >= 1, "the respawned member must rejoin");
-    ru.d.log.borrow().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement after rejoin");
+    ru.d.log
+        .lock()
+        .unwrap()
+        .check_crash_agreement(&[0, 1, 2, 3, 4])
+        .expect("agreement after rejoin");
 }
 
 /// Failover machinery is inert when disabled: a config without

@@ -47,7 +47,7 @@ fn run_mring_cell(seed: u64, plan: FaultPlan) -> usize {
     let d = deploy_mring(&mut sim, &opts, |_| {});
     plan.run(&mut sim, Time::from_millis(2500), |_, _| {});
 
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     let all: Vec<usize> = (0..d.all_learners.len()).collect();
     log.check_total_order().expect("total order under faults");
     log.check_agreement_at_quiescence(&all).expect("agreement at quiescence");
@@ -81,7 +81,7 @@ fn run_uring_cell(seed: u64, plan: FaultPlan) {
     );
     plan.run(&mut sim, Time::from_secs(4), |_, _| {});
 
-    let log = ru.d.log.borrow();
+    let log = ru.d.log.lock().unwrap();
     log.check_crash_agreement(&[0, 1, 2, 3, 4]).expect("crash-aware agreement under faults");
     assert!(log.total_deliveries() > 100, "the cell must make progress");
 }
@@ -128,7 +128,7 @@ fn mring_duplication_burst_is_deduplicated() {
 
     let dups: u64 = sim.metrics().sum("net.duplicated");
     assert!(dups > 0, "the duplication knob must have fired");
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     let all: Vec<usize> = (0..d.all_learners.len()).collect();
     log.check_integrity(&mring_broadcast_set(&sim, &d.proposers))
         .expect("duplicated datagrams must not cause duplicate deliveries");

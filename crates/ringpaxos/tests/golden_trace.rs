@@ -11,9 +11,13 @@
 //! The expected values were captured from the engine before the hot-path
 //! overhaul (interned metrics, dense TCP tables, cached batch routing);
 //! the overhauled engine must reproduce them bit for bit. Every scenario
-//! runs twice — under the identity partition and under a 2-shard
-//! partition — against the *same* pinned values: the sharded executor's
-//! cross-shard handoff must be trace-invisible. To re-capture after an
+//! runs several times — under the identity partition, under 2- and
+//! 4-shard partitions, and with the determinism-mode executor asked for
+//! multiple threads — against the *same* pinned values: the sharded
+//! executor's cross-shard handoff must be trace-invisible, and
+//! determinism mode must produce the serial schedule for *any*
+//! configured thread count (the thread count is definitionally ignored;
+//! this pins that contract). To re-capture after an
 //! *intentional* semantic change:
 //!
 //! ```text
@@ -84,7 +88,7 @@ fn harvest(sim: &Sim, learners: &[NodeId]) -> Golden {
 
 #[test]
 fn mring_golden_trace() {
-    let run = |shards: usize| {
+    let run = |shards: usize, threads: usize| {
         let mut cfg = SimConfig::default();
         cfg.seed = 0x601D;
         let mut sim = Sim::new(cfg);
@@ -101,6 +105,8 @@ fn mring_golden_trace() {
             // are added.
             sim.set_partition(Partition::modulo(0, shards));
         }
+        // Determinism mode must ignore the thread count entirely.
+        sim.set_threads(threads);
         let d = deploy_mring(&mut sim, &opts, |_| {});
         sim.run_until(Time::from_millis(800));
         harvest(&sim, &d.all_learners)
@@ -112,13 +118,15 @@ fn mring_golden_trace() {
         latency_count: 3664,
         latency_mean_ns: 881880,
     };
-    report("mring", &run(1), &want);
-    report("mring k=2", &run(2), &want);
+    report("mring", &run(1, 1), &want);
+    report("mring k=2", &run(2, 1), &want);
+    report("mring k=2 t=2", &run(2, 2), &want);
+    report("mring k=4 t=4", &run(4, 4), &want);
 }
 
 #[test]
 fn mring_lossy_golden_trace() {
-    let run = |shards: usize| {
+    let run = |shards: usize, threads: usize| {
         let mut cfg = SimConfig::default();
         cfg.seed = 0xA5A5;
         cfg.random_loss = 0.002;
@@ -134,6 +142,7 @@ fn mring_lossy_golden_trace() {
         if shards > 1 {
             sim.set_partition(Partition::modulo(0, shards));
         }
+        sim.set_threads(threads);
         let d = deploy_mring(&mut sim, &opts, |_| {});
         sim.run_until(Time::from_millis(800));
         harvest(&sim, &d.all_learners)
@@ -150,13 +159,14 @@ fn mring_lossy_golden_trace() {
         latency_count: 2743,
         latency_mean_ns: 86146672,
     };
-    report("mring_lossy", &run(1), &want);
-    report("mring_lossy k=2", &run(2), &want);
+    report("mring_lossy", &run(1, 1), &want);
+    report("mring_lossy k=2", &run(2, 1), &want);
+    report("mring_lossy k=2 t=2", &run(2, 2), &want);
 }
 
 #[test]
 fn uring_golden_trace() {
-    let run = |shards: usize| {
+    let run = |shards: usize, threads: usize| {
         let mut cfg = SimConfig::default();
         cfg.seed = 0x0451;
         let mut sim = Sim::new(cfg);
@@ -170,6 +180,7 @@ fn uring_golden_trace() {
         if shards > 1 {
             sim.set_partition(Partition::modulo(0, shards));
         }
+        sim.set_threads(threads);
         let d = deploy_uring(&mut sim, &opts, |_| {});
         sim.run_until(Time::from_millis(800));
         harvest(&sim, &d.ring)
@@ -181,6 +192,8 @@ fn uring_golden_trace() {
         latency_count: 1375,
         latency_mean_ns: 4462429,
     };
-    report("uring", &run(1), &want);
-    report("uring k=2", &run(2), &want);
+    report("uring", &run(1, 1), &want);
+    report("uring k=2", &run(2, 1), &want);
+    report("uring k=2 t=2", &run(2, 2), &want);
+    report("uring k=4 t=4", &run(4, 4), &want);
 }

@@ -31,7 +31,7 @@ fn orders_and_delivers_under_load() {
     let d = deploy_mring(&mut sim, &opts, |_| {});
     sim.run_until(Time::from_secs(2));
 
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     assert!(log.total_deliveries() > 1000, "only {} deliveries", log.total_deliveries());
     log.check_total_order().expect("uniform total order");
     let broadcast = broadcast_set(&sim, &d.proposers);
@@ -53,7 +53,7 @@ fn all_learners_catch_up_at_quiescence() {
     // Run well past the stop time so everything drains.
     sim.run_until(Time::from_secs(2));
 
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     // Dedicated learners (indexes 0..4) must agree exactly with each other;
     // the proposer-learner delivers the same stream.
     let all: Vec<usize> = (0..d.all_learners.len()).collect();
@@ -119,7 +119,7 @@ fn recovers_from_random_message_loss() {
     let d = deploy_mring(&mut sim, &opts, |_| {});
     sim.run_until(Time::from_secs(3));
 
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     log.check_total_order().expect("order despite loss");
     assert!(log.total_deliveries() > 1000);
     // Retransmissions must actually have happened for this test to bite.
@@ -147,7 +147,7 @@ fn slow_learner_triggers_flow_control() {
     let slowdowns: u64 =
         d.all_learners.iter().map(|&l| sim.metrics().counter(l, "rp.slowdown")).sum();
     assert!(slowdowns > 0, "learners should have asked the ring to slow down");
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     log.check_total_order().expect("order under back-pressure");
     assert!(log.total_deliveries() > 500, "delivery must continue while throttled");
 }
@@ -219,7 +219,7 @@ fn coordinator_failover_resumes_delivery_without_violations() {
         d.learners.iter().map(|&l| sim.metrics().counter(l, metric::DELIVERED_MSGS)).sum();
     assert!(delivered_after > 500, "delivery stalled after failover: {delivered_after}");
 
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     log.check_total_order().expect("total order across failover");
     let broadcast = broadcast_set(&sim, &d.proposers);
     log.check_integrity(&broadcast).expect("no duplicates after resubmission");
@@ -283,7 +283,7 @@ fn mid_ring_acceptor_crash_triggers_ring_repair() {
     // 200 Mbps offered at 8 KB messages ≈ 3. 05 k msgs/s.
     assert!(rate > 2000.0, "delivery did not recover after ring repair: {rate:.0}/s");
 
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     log.check_total_order().expect("total order across ring repair");
     let broadcast = broadcast_set(&sim, &d.proposers);
     log.check_integrity(&broadcast).expect("no duplicates after repair");
@@ -313,7 +313,7 @@ fn ring_repair_without_spares_shrinks_to_majority() {
     sim.run_until(Time::from_millis(1700));
     let after = sim.metrics().counter(d.learners[0], metric::DELIVERED_MSGS);
     assert!(after > before + 500, "majority ring did not resume delivery");
-    d.log.borrow().check_total_order().expect("total order across repair");
+    d.log.lock().unwrap().check_total_order().expect("total order across repair");
 }
 
 #[test]
@@ -362,5 +362,5 @@ fn paused_learner_catches_up_within_gc_retention() {
     let slow = sim.metrics().counter(straggler, metric::DELIVERED_MSGS);
     assert!(fast > 500, "too little traffic for the scenario");
     assert_eq!(fast, slow, "straggler failed to catch up after its pause");
-    d.log.borrow().check_total_order().expect("orders agree");
+    d.log.lock().unwrap().check_total_order().expect("orders agree");
 }

@@ -74,7 +74,7 @@ proptest! {
         }
         sim.run_until(Time::from_secs(6));
 
-        let log = ru.d.log.borrow();
+        let log = ru.d.log.lock().unwrap();
         log.check_crash_agreement(&[0, 1, 2, 3, 4])
             .map_err(|e| TestCaseError::fail(e.to_string()))?;
         let mut broadcast = HashSet::new();
@@ -152,7 +152,7 @@ proptest! {
         }
         sim.run_until(Time::from_secs(8));
 
-        let log = ru.d.log.borrow();
+        let log = ru.d.log.lock().unwrap();
         log.check_crash_agreement(&[0, 1, 2, 3, 4])
             .map_err(|e| TestCaseError::fail(e.to_string()))?;
         prop_assert!(log.total_deliveries() > 0, "nothing delivered at all");
@@ -192,7 +192,7 @@ fn uring_tolerates_duplicate_timer_chains_after_restart_node() {
     sim.restart_node(ru.d.ring[1]);
     sim.run_until(Time::from_secs(4));
 
-    let log = ru.d.log.borrow();
+    let log = ru.d.log.lock().unwrap();
     log.check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement under duplicate timers");
     assert!(log.total_deliveries() > 0);
 }
@@ -218,7 +218,7 @@ fn mring_tolerates_duplicate_timer_chains_after_restart_node() {
     sim.restart_node(d.coordinator());
     sim.run_until(Time::from_secs(4));
 
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     log.check_total_order().expect("order under duplicate timers");
     assert!(log.total_deliveries() > 0);
 }

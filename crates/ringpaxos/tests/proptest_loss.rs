@@ -35,7 +35,7 @@ proptest! {
         let d = deploy_mring(&mut sim, &opts, |_| {});
         sim.run_until(Time::from_millis(1200));
 
-        let log = d.log.borrow();
+        let log = d.log.lock().unwrap();
         log.check_total_order().map_err(|e| TestCaseError::fail(e.to_string()))?;
         let mut broadcast = HashSet::new();
         for &p in &d.proposers {

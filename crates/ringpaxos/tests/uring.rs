@@ -30,7 +30,7 @@ fn orders_and_delivers_under_load() {
     };
     let d = deploy_uring(&mut sim, &opts, |_| {});
     sim.run_until(Time::from_secs(2));
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     assert!(log.total_deliveries() > 1000, "only {}", log.total_deliveries());
     log.check_total_order().expect("uniform total order");
     let broadcast = broadcast_set(&sim, &d.ring);
@@ -52,7 +52,7 @@ fn every_process_delivers_everything() {
     let d = deploy_uring(&mut sim, &opts, |_| {});
     // Run past the stop time so in-flight traffic drains completely.
     sim.run_until(Time::from_secs(2));
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     let all: Vec<usize> = (0..d.ring.len()).collect();
     log.check_agreement_at_quiescence(&all).expect("all processes deliver equally");
     log.check_total_order().expect("order");
@@ -194,7 +194,7 @@ fn ring_process_failure_stalls_delivery() {
     // crash; after that the ring is dead.
     assert!(later - at_break < 20, "broken ring kept delivering: {at_break} -> {later}");
     // What was delivered remains totally ordered.
-    d.log.borrow().check_total_order().expect("order before the crash holds");
+    d.log.lock().unwrap().check_total_order().expect("order before the crash holds");
 }
 
 #[test]

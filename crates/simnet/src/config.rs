@@ -240,13 +240,13 @@ mod tests {
     #[test]
     fn zero_bandwidth_simulation_still_delivers() {
         use crate::sim::{Actor, Ctx, Envelope, Sim};
-        use std::cell::RefCell;
-        use std::rc::Rc;
+        use std::sync::Arc;
+        use std::sync::Mutex;
 
-        struct Recorder(Rc<RefCell<u32>>);
+        struct Recorder(Arc<Mutex<u32>>);
         impl Actor for Recorder {
             fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {
-                *self.0.borrow_mut() += 1;
+                *self.0.lock().unwrap() += 1;
             }
         }
         struct Quiet;
@@ -257,7 +257,7 @@ mod tests {
         let mut cfg = SimConfig::default();
         cfg.link_bandwidth_bps = 0;
         cfg.disk_bandwidth_bps = 0;
-        let got = Rc::new(RefCell::new(0));
+        let got = Arc::new(Mutex::new(0));
         let mut sim = Sim::new(cfg);
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder(got.clone())));
@@ -267,7 +267,7 @@ mod tests {
             }
         });
         sim.run_to_idle();
-        assert_eq!(*got.borrow(), 10);
+        assert_eq!(*got.lock().unwrap(), 10);
     }
 
     #[test]

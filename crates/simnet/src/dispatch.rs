@@ -52,6 +52,16 @@ pub(crate) enum EventKind {
     TcpAck { src: NodeId, dst: NodeId, bytes: u32, seq: u64, epoch: u32 },
     /// A disk write issued by `node` completed.
     DiskDone { node: NodeId, token: TimerToken },
+    /// Fast mode only: switch egress toward `id`'s destination,
+    /// relocated from the sender's shard to the destination's so the
+    /// downlink port clock has a single writer. Scheduled at
+    /// `arrive + one_way_latency` (the earliest instant that respects
+    /// the lookahead bound); the handler reconstructs the true
+    /// switch-arrival instant from `arrive`, applies the backlog check
+    /// and port-clock advance there, and files `HostArrive` (plus a
+    /// duplicate copy when `dup`). `hold` is the reorder hold drawn at
+    /// the sender. Never created in determinism mode.
+    SwitchArrive { id: EnvId, arrive: Time, hold: crate::time::Dur, dup: bool },
 }
 
 impl SimInner {
@@ -113,7 +123,17 @@ impl SimInner {
         self.metrics.add_id(dst, mid::NET_RECV_BYTES, env.wire_bytes as u64);
         self.metrics.add_id(dst, mid::NET_RECV_PKTS, 1);
         if env.transport == Transport::Tcp {
-            match self.tcp_rx_slot(env.src, dst) {
+            let slot = match self.tcp_rx_slot(env.src, dst) {
+                Some(slot) => Some(slot),
+                // Fast mode creates tx halves sender-side only (the rx
+                // arena belongs to another worker); the rx half
+                // materializes here, at first delivery on the
+                // destination's own shard, paired to the epoch that
+                // transmitted the segment.
+                None if self.exec_fast => Some(self.tcp_rx_create(env.src, dst, env.tcp_epoch)),
+                None => None,
+            };
+            match slot {
                 Some(slot) => {
                     let ch = &mut self.shards[sh].tcp_rx[slot];
                     if env.tcp_epoch == ch.epoch {
@@ -154,7 +174,11 @@ impl Sim {
     /// deadline even if the queue drains first.
     pub fn run_until(&mut self, deadline: Time) {
         self.ensure_started();
-        while self.step(deadline) {}
+        if self.threaded_eligible() {
+            self.run_threaded(deadline);
+        } else {
+            while self.step(deadline) {}
+        }
         self.inner.now = self.inner.now.max(deadline);
     }
 
@@ -231,7 +255,7 @@ impl Sim {
         self.inbox = inbox;
     }
 
-    fn dispatch(&mut self, sh: usize, time: Time, kind: EventKind) {
+    pub(crate) fn dispatch(&mut self, sh: usize, time: Time, kind: EventKind) {
         match kind {
             EventKind::HostArrive(id) => self.inner.host_arrive(sh, id),
             EventKind::Deliver(id) => self.deliver_run(sh, time, id),
@@ -286,6 +310,9 @@ impl Sim {
                     actor.on_timer(token, &mut ctx);
                     self.actors[node.0] = Some(actor);
                 }
+            }
+            EventKind::SwitchArrive { id, arrive, hold, dup } => {
+                self.inner.switch_arrive(sh, id, arrive, hold, dup);
             }
         }
     }

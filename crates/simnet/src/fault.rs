@@ -190,13 +190,13 @@ mod tests {
     use super::*;
     use crate::config::SimConfig;
     use crate::prelude::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
-    struct Recorder(Rc<RefCell<Vec<u32>>>);
+    struct Recorder(Arc<Mutex<Vec<u32>>>);
     impl Actor for Recorder {
         fn on_message(&mut self, env: &Envelope, _ctx: &mut Ctx) {
-            self.0.borrow_mut().push(*env.payload.downcast_ref::<u32>().expect("u32"));
+            self.0.lock().unwrap().push(*env.payload.downcast_ref::<u32>().expect("u32"));
         }
     }
     struct Quiet;
@@ -224,7 +224,7 @@ mod tests {
 
     #[test]
     fn partition_burst_cuts_and_heals_udp() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let b = NodeId(1);
         let a = sim.add_node(Box::new(Ticker { dst: b, n: 0 }));
@@ -235,7 +235,7 @@ mod tests {
         assert!(sim.metrics().counter(b, "net.part_drop") > 0, "cut dropped datagrams");
         // Sequence numbers delivered: a gap where the cut was, traffic
         // on both sides of it.
-        let got = log.borrow();
+        let got = log.lock().unwrap();
         let max = *got.last().expect("deliveries");
         assert!((got.len() as u32) < max, "some datagrams were cut");
         assert!(max > 40, "traffic resumed after the heal");
@@ -243,7 +243,7 @@ mod tests {
 
     #[test]
     fn link_cut_drops_tcp_and_heal_resets_channel() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut cfg = SimConfig::default();
         cfg.tcp_window_bytes = 64 * 1024;
         let mut sim = Sim::new(cfg);
@@ -256,7 +256,7 @@ mod tests {
             }
         });
         sim.run_until(Time::from_millis(10));
-        assert!(log.borrow().is_empty(), "nothing crosses a cut link");
+        assert!(log.lock().unwrap().is_empty(), "nothing crosses a cut link");
         assert!(sim.metrics().counter(b, "net.part_drop") > 0);
         sim.set_link_cut(a, b, false);
         assert!(
@@ -269,7 +269,7 @@ mod tests {
             }
         });
         sim.run_to_idle();
-        assert_eq!(*log.borrow(), (100..105).collect::<Vec<_>>(), "post-heal traffic flows");
+        assert_eq!(*log.lock().unwrap(), (100..105).collect::<Vec<_>>(), "post-heal traffic flows");
     }
 
     #[test]
@@ -286,7 +286,7 @@ mod tests {
 
     #[test]
     fn reorder_knob_delivers_out_of_order_and_counts() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut cfg = SimConfig::default();
         cfg.random_reorder = 0.2;
         let mut sim = Sim::new(cfg);
@@ -298,7 +298,7 @@ mod tests {
             }
         });
         sim.run_to_idle();
-        let got = log.borrow();
+        let got = log.lock().unwrap();
         assert_eq!(got.len(), 200, "reordering loses nothing");
         assert!(got.windows(2).any(|w| w[0] > w[1]), "some pair arrived out of order");
         assert!(sim.metrics().counter(b, "net.reordered") > 0);
@@ -306,7 +306,7 @@ mod tests {
 
     #[test]
     fn duplication_knob_delivers_extra_copies_and_counts() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut cfg = SimConfig::default();
         cfg.random_duplication = 0.2;
         let mut sim = Sim::new(cfg);
@@ -320,7 +320,7 @@ mod tests {
         sim.run_to_idle();
         let dups = sim.metrics().counter(b, "net.duplicated");
         assert!(dups > 0, "some datagrams duplicated");
-        assert_eq!(log.borrow().len() as u64, 200 + dups, "every copy was delivered");
+        assert_eq!(log.lock().unwrap().len() as u64, 200 + dups, "every copy was delivered");
     }
 
     #[test]

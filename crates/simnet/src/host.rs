@@ -27,6 +27,7 @@ use crate::stats::mid;
 use crate::time::{Dur, Time};
 
 /// One CPU core: a busy-until clock plus cumulative busy time.
+#[derive(Clone)]
 pub(crate) struct Core {
     pub(crate) free_at: Time,
     pub(crate) busy: Dur,
@@ -34,6 +35,10 @@ pub(crate) struct Core {
 
 /// One simulated machine. Every field is a busy-until resource clock or
 /// a buffer occupancy; the actor running on the node lives in [`crate::sim::Sim`].
+/// `Clone` serves the threaded executor's worker split: each worker gets
+/// a full copy of the arena, writes only the nodes its shards own, and
+/// the owners' copies are merged back (foreign entries are frozen reads).
+#[derive(Clone)]
 pub(crate) struct Node {
     pub(crate) up: bool,
     pub(crate) uplink_free: Time,

@@ -42,9 +42,11 @@ pub mod payload;
 pub mod shard;
 pub mod sim;
 pub mod stats;
+pub mod threaded;
 pub mod time;
 
 pub use crate::shard::Partition;
+pub use crate::threaded::ExecMode;
 
 /// Convenient glob import for protocol crates and experiments.
 pub mod prelude {
@@ -55,5 +57,6 @@ pub mod prelude {
     pub use crate::shard::Partition;
     pub use crate::sim::{Actor, Ctx, Envelope, Sim, Transport};
     pub use crate::stats::{mbps, mid, per_sec, LatencyStats, MetricId, Metrics};
+    pub use crate::threaded::ExecMode;
     pub use crate::time::{Dur, Time};
 }

@@ -46,7 +46,7 @@ use std::collections::VecDeque;
 
 use rand::Rng;
 
-use crate::dispatch::EventKind;
+use crate::dispatch::{EnvId, EventKind};
 use crate::ids::{GroupId, NodeId};
 use crate::payload::Payload;
 use crate::shard::CrossShardEvent;
@@ -222,13 +222,20 @@ impl SimInner {
                 self.metrics.add_id(dst, mid::NET_RAND_DROP, 1);
                 return;
             }
-            // Switch egress port buffer (tail drop).
-            let backlog = self.node(dst).downlink_free.saturating_since(arrive_at_switch);
-            let queued = self.config.backlog_bytes(backlog);
-            if queued + costs.wire > self.config.switch_port_buffer as u64 {
-                self.metrics.add_id(dst, mid::NET_SWITCH_DROP, 1);
-                self.metrics.add_id(dst, mid::NET_SWITCH_DROP_BYTES, bytes as u64);
-                return;
+            // Switch egress port buffer (tail drop). In fast mode the
+            // destination's port clock has a single writer — its own
+            // shard — so the check runs in `switch_arrive` instead (the
+            // reorder/duplication draws below still run here: they come
+            // from the *source* stream, so each node's draw sequence
+            // stays a function of its own send order).
+            if !self.exec_fast {
+                let backlog = self.node(dst).downlink_free.saturating_since(arrive_at_switch);
+                let queued = self.config.backlog_bytes(backlog);
+                if queued + costs.wire > self.config.switch_port_buffer as u64 {
+                    self.metrics.add_id(dst, mid::NET_SWITCH_DROP, 1);
+                    self.metrics.add_id(dst, mid::NET_SWITCH_DROP_BYTES, bytes as u64);
+                    return;
+                }
             }
             let p_re = self.config.random_reorder;
             if p_re > 0.0 && self.rng_for(src).gen::<f64>() < p_re {
@@ -242,6 +249,22 @@ impl SimInner {
             duplicate = p_dup > 0.0 && self.rng_for(src).gen::<f64>() < p_dup;
         }
         let latency = self.config.one_way_latency;
+        if self.exec_fast {
+            // Fast mode: stop at the switch ingress. The egress-port
+            // math (backlog check, port-clock advance) relocates to the
+            // destination's shard via a `SwitchArrive` event, giving the
+            // port clock a single writer. Port contention therefore
+            // resolves in switch-arrival order — deterministic and
+            // thread-count invariant, though not necessarily the global
+            // send order determinism mode uses (shard module docs,
+            // "Executor modes").
+            if duplicate {
+                self.metrics.add_id(dst, mid::NET_DUPLICATED, 1);
+            }
+            let env = Envelope { src, dst, payload, wire_bytes: bytes, transport, tcp_epoch };
+            self.file_switch(arrive_at_switch, reorder_hold, duplicate, env);
+            return;
+        }
         // Cross-shard write when src and dst live on different shards:
         // the egress port is physically shared (see module docs).
         let down = self.node_mut(dst);
@@ -268,6 +291,10 @@ impl SimInner {
     /// The envelope is interned in the destination shard's slab; only
     /// its EnvId moves through the HostArrive → Deliver pipeline.
     fn file_arrival(&mut self, at_host: Time, env: Envelope) {
+        if self.first_event.is_none() {
+            self.first_event =
+                Some(format!("HostArrive {{ {:?} -> {:?} }} at {at_host}", env.src, env.dst));
+        }
         let seq = self.next_seq();
         let ss = self.shard_idx(env.src);
         let ds = self.shard_idx(env.dst);
@@ -279,7 +306,83 @@ impl SimInner {
             // is ≥ now + one_way_latency, which is what makes the
             // deploy-time lookahead matrix sound (see `shard`).
             self.cross_shard_events += 1;
-            self.shards[ds].inbox.push(CrossShardEvent::Arrive { time: at_host, seq, env });
+            self.shards[ds]
+                .inbox
+                .push((ss as u32, CrossShardEvent::Arrive { time: at_host, seq, env }));
+        }
+    }
+
+    /// Fast mode: files a datagram's switch egress at the destination —
+    /// local push when src and dst share a shard, handoff otherwise.
+    /// Both paths schedule processing at `arrive + one_way_latency`, so
+    /// every packet racing for the destination's egress port joins a
+    /// single arrival-ordered stream, and the handoff lands exactly one
+    /// lookahead in the future (the bound `drain` asserts).
+    fn file_switch(&mut self, arrive: Time, hold: Dur, dup: bool, env: Envelope) {
+        let at = arrive + self.config.one_way_latency;
+        let seq = self.next_seq();
+        let ss = self.shard_idx(env.src);
+        let ds = self.shard_idx(env.dst);
+        if ds == ss {
+            let id = self.shards[ds].envs.insert(env);
+            self.shards[ds].queue.push(at, seq, EventKind::SwitchArrive { id, arrive, hold, dup });
+        } else {
+            self.cross_shard_events += 1;
+            self.shards[ds].inbox.push((
+                ss as u32,
+                CrossShardEvent::Switch { time: at, seq, env, arrive, hold, dup },
+            ));
+        }
+    }
+
+    /// Fast mode: destination-side switch egress, dispatched one link
+    /// latency after the true switch-arrival instant `arrive`. Applies
+    /// the serial engine's exact port math — backlog tail-drop (never
+    /// for TCP), port-clock advance, host arrival at
+    /// `done + latency + hold` — plus the trailing duplicate copy when
+    /// the sender's duplication draw fired.
+    pub(crate) fn switch_arrive(
+        &mut self,
+        sh: usize,
+        id: EnvId,
+        arrive: Time,
+        hold: Dur,
+        dup: bool,
+    ) {
+        let env = self.shards[sh].envs.get(id);
+        let (dst, bytes, transport) = (env.dst, env.wire_bytes, env.transport);
+        let costs = self.costs_for(sh, bytes);
+        if transport != Transport::Tcp {
+            let backlog = self.node(dst).downlink_free.saturating_since(arrive);
+            let queued = self.config.backlog_bytes(backlog);
+            if queued + costs.wire > self.config.switch_port_buffer as u64 {
+                self.metrics.add_id(dst, mid::NET_SWITCH_DROP, 1);
+                self.metrics.add_id(dst, mid::NET_SWITCH_DROP_BYTES, bytes as u64);
+                drop(self.shards[sh].envs.take(id));
+                return;
+            }
+        }
+        let latency = self.config.one_way_latency;
+        let down = self.node_mut(dst);
+        let done = down.downlink_free.max(arrive) + costs.tx;
+        down.downlink_free = done;
+        let at_host = done + latency + hold;
+        let seq = self.next_seq();
+        self.shards[sh].queue.push(at_host, seq, EventKind::HostArrive(id));
+        if dup {
+            let env = self.shards[sh].envs.get(id);
+            let copy = Envelope {
+                src: env.src,
+                dst: env.dst,
+                payload: env.payload.clone(),
+                wire_bytes: env.wire_bytes,
+                transport: env.transport,
+                tcp_epoch: env.tcp_epoch,
+            };
+            let id2 = self.shards[sh].envs.insert(copy);
+            let seq2 = self.next_seq();
+            // The duplicate copy trails the original by one latency.
+            self.shards[sh].queue.push(at_host + latency, seq2, EventKind::HostArrive(id2));
         }
     }
 
@@ -317,6 +420,34 @@ impl SimInner {
     /// (and re-laying the dense index out if nodes were added since) as
     /// needed.
     fn tcp_slot_or_create(&mut self, src: NodeId, dst: NodeId) -> usize {
+        self.ensure_tcp_layout();
+        let n = self.tcp_nodes;
+        let cell = self.tcp_tx_index[src.0 * n + dst.0];
+        if cell != 0 {
+            return cell as usize - 1;
+        }
+        let ss = self.shard_idx(src);
+        let ds = self.shard_idx(dst);
+        let tx_slot = self.shards[ss].tcp_tx.len();
+        self.shards[ss].tcp_tx.push(TcpTx::new());
+        self.tcp_tx_index[src.0 * n + dst.0] = tx_slot as u32 + 1;
+        // Fast mode: a cross-shard rx arena belongs to another worker.
+        // The rx half materializes on the destination's shard at first
+        // delivery (`deliver_prework`) or is reconciled at worker merge;
+        // same-shard pairs keep the eager path.
+        if !self.exec_fast || ds == ss {
+            let rx_slot = self.shards[ds].tcp_rx.len();
+            self.shards[ds].tcp_rx.push(TcpRx::new());
+            self.tcp_rx_index[src.0 * n + dst.0] = rx_slot as u32 + 1;
+        }
+        tx_slot
+    }
+
+    /// Re-lays the dense TCP index tables out for the current node count
+    /// without creating any channel. The threaded executor calls this
+    /// before splitting workers so no worker ever resizes its private
+    /// index copy (merges stay cell-aligned).
+    pub(crate) fn ensure_tcp_layout(&mut self) {
         let n_now = self.nodes.len();
         if n_now != self.tcp_nodes {
             let old_n = self.tcp_nodes;
@@ -332,20 +463,23 @@ impl SimInner {
             self.tcp_rx_index = rx;
             self.tcp_nodes = n_now;
         }
+    }
+
+    /// Creates the rx half of `src -> dst` in `dst`'s shard with the
+    /// given starting epoch. Fast-mode paths only: lazy creation at
+    /// first delivery, and the post-run merge reconcile for channels
+    /// whose segments were all still in flight.
+    pub(crate) fn tcp_rx_create(&mut self, src: NodeId, dst: NodeId, epoch: u32) -> usize {
         let n = self.tcp_nodes;
-        let cell = self.tcp_tx_index[src.0 * n + dst.0];
-        if cell != 0 {
-            return cell as usize - 1;
-        }
-        let ss = self.shard_idx(src);
+        debug_assert!(src.0 < n && dst.0 < n, "tcp layout predates this node");
+        debug_assert_eq!(self.tcp_rx_index[src.0 * n + dst.0], 0, "rx half already exists");
         let ds = self.shard_idx(dst);
-        let tx_slot = self.shards[ss].tcp_tx.len();
-        self.shards[ss].tcp_tx.push(TcpTx::new());
-        let rx_slot = self.shards[ds].tcp_rx.len();
-        self.shards[ds].tcp_rx.push(TcpRx::new());
-        self.tcp_tx_index[src.0 * n + dst.0] = tx_slot as u32 + 1;
-        self.tcp_rx_index[src.0 * n + dst.0] = rx_slot as u32 + 1;
-        tx_slot
+        let slot = self.shards[ds].tcp_rx.len();
+        let mut rx = TcpRx::new();
+        rx.epoch = epoch;
+        self.shards[ds].tcp_rx.push(rx);
+        self.tcp_rx_index[src.0 * n + dst.0] = slot as u32 + 1;
+        slot
     }
 
     pub(crate) fn tcp_pump(&mut self, src: NodeId, dst: NodeId) {

@@ -36,18 +36,26 @@
 //! payloads (beyond the largest class) bypass the arena and use the
 //! global allocator directly.
 //!
-//! The simulation is single-threaded by design (determinism), so blocks
-//! use a plain (non-atomic) reference count and `Payload` is neither
-//! `Send` nor `Sync`, exactly like the `Rc` it replaces.
+//! # Thread safety
+//!
+//! The threaded shard executor (see `shard`/`threaded`) moves payloads
+//! between worker threads at cross-shard handoff boundaries, and an
+//! in-flight clone (e.g. a TCP retransmit copy) can be observed from two
+//! workers at once. Blocks therefore use an atomic reference count, the
+//! wrapped value must be `Send + Sync`, and `Payload` is `Send + Sync`,
+//! exactly like the `Arc` it now mirrors. Allocation stays thread-local
+//! (each worker bumps its own chunks); a block freed on a different
+//! thread than it was allocated on simply joins the freeing thread's
+//! free list — safe because chunks are never returned to the allocator,
+//! so the backing memory outlives every thread that can hold a handle.
 
 use std::alloc::{alloc, dealloc, handle_alloc_error, Layout};
 use std::any::{Any, TypeId};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::fmt;
-use std::marker::PhantomData;
 use std::mem::{align_of, size_of};
 use std::ptr::NonNull;
-use std::rc::Rc;
+use std::sync::atomic::{fence, AtomicU32, Ordering};
 
 /// Block size classes (bytes), header included. Chosen to cover the
 /// protocol message enums in use: most fit the first two classes.
@@ -64,7 +72,7 @@ const CHUNK_SIZE: usize = 64 * 1024;
 /// Header at the start of every payload block; the value lives at
 /// `offset` bytes from the block start.
 struct Header {
-    strong: Cell<u32>,
+    strong: AtomicU32,
     /// Size-class index, or [`CLASS_GLOBAL`].
     class: u8,
     /// Byte offset of the value within the block.
@@ -161,11 +169,18 @@ unsafe fn drop_value_of<T>(h: *mut Header) {
 
 /// A reference-counted, dynamically-typed message body backed by the
 /// thread-local payload arena.
-pub struct Payload(NonNull<Header>, PhantomData<Rc<()>>);
+pub struct Payload(NonNull<Header>);
+
+// SAFETY: the wrapped value is `Send + Sync` (enforced by `Payload::new`),
+// the reference count is atomic, and freed blocks point into chunks that
+// are never deallocated, so handles may move between and be shared across
+// the executor's worker threads (see module docs, "Thread safety").
+unsafe impl Send for Payload {}
+unsafe impl Sync for Payload {}
 
 impl Payload {
     /// Wraps a concrete message value.
-    pub fn new<T: Any>(value: T) -> Payload {
+    pub fn new<T: Any + Send + Sync>(value: T) -> Payload {
         let align = align_of::<T>().max(align_of::<Header>());
         let offset = round_up(size_of::<Header>(), align);
         let total = offset + size_of::<T>();
@@ -183,7 +198,7 @@ impl Payload {
         // disjoint by construction of `offset`.
         unsafe {
             header.write(Header {
-                strong: Cell::new(1),
+                strong: AtomicU32::new(1),
                 class,
                 offset: offset as u32,
                 size: total as u32,
@@ -192,7 +207,7 @@ impl Payload {
                 drop_value: drop_value_of::<T>,
             });
             (block.as_ptr().add(offset) as *mut T).write(value);
-            Payload(NonNull::new_unchecked(header), PhantomData)
+            Payload(NonNull::new_unchecked(header))
         }
     }
 
@@ -235,25 +250,27 @@ impl Payload {
 impl Clone for Payload {
     #[inline]
     fn clone(&self) -> Payload {
-        let strong = &self.header().strong;
-        let n = strong.get();
-        if n == u32::MAX {
-            // Like `Rc`, abort rather than wrap: a wrapped count would
-            // free the block under ~4 billion live handles.
+        // Relaxed suffices for an increment from a live handle (same
+        // argument as `Arc::clone`). Abort well before the count can
+        // wrap: a wrapped count would free the block under live handles.
+        let n = self.header().strong.fetch_add(1, Ordering::Relaxed);
+        if n > u32::MAX / 2 {
             std::process::abort();
         }
-        strong.set(n + 1);
-        Payload(self.0, PhantomData)
+        Payload(self.0)
     }
 }
 
 impl Drop for Payload {
     fn drop(&mut self) {
-        let strong = &self.header().strong;
-        strong.set(strong.get() - 1);
-        if strong.get() != 0 {
+        // Release on the decrement orders this handle's value accesses
+        // before the free; the Acquire fence on the last decrement
+        // orders the free after every other handle's accesses (the
+        // `Arc::drop` protocol).
+        if self.header().strong.fetch_sub(1, Ordering::Release) != 1 {
             return;
         }
+        fence(Ordering::Acquire);
         let header = self.0.as_ptr();
         // SAFETY: last reference; the block was produced by `new`, so the
         // stored drop fn matches the stored value.
@@ -305,20 +322,21 @@ mod tests {
 
     #[test]
     fn value_drops_exactly_once_on_last_handle() {
-        let alive = Rc::new(Cell::new(true));
-        struct Guard(Rc<Cell<bool>>);
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let alive = Arc::new(AtomicBool::new(true));
+        struct Guard(Arc<AtomicBool>);
         impl Drop for Guard {
             fn drop(&mut self) {
-                assert!(self.0.get(), "double drop");
-                self.0.set(false);
+                assert!(self.0.swap(false, Ordering::SeqCst), "double drop");
             }
         }
         let p = Payload::new(Guard(alive.clone()));
         let q = p.clone();
         drop(p);
-        assert!(alive.get(), "dropped while a clone was live");
+        assert!(alive.load(Ordering::SeqCst), "dropped while a clone was live");
         drop(q);
-        assert!(!alive.get(), "value not dropped with last handle");
+        assert!(!alive.load(Ordering::SeqCst), "value not dropped with last handle");
     }
 
     #[test]

@@ -69,12 +69,47 @@
 //! was generated (`HostArrive` adds downlink serialization on top; the
 //! TCP ack path is exactly `now + one_way_latency`). The per-shard-pair
 //! lookahead matrix is computed from that bound at deploy time, and
-//! [`Sim::safe_window`] exposes its minimum: a future threaded executor
-//! may run each shard independently for up to `safe_window()` of
-//! virtual time between synchronization barriers without risking a
-//! causality violation. This PR keeps execution single-threaded; the
-//! matrix and the inbox protocol are the scaffold the thread pool will
-//! stand on.
+//! [`Sim::safe_window`] exposes its minimum: the threaded executor runs
+//! each shard independently for up to `safe_window()` of virtual time
+//! between synchronization barriers without risking a causality
+//! violation. Handoff drains assert the bound in debug builds
+//! ([`SimInner::assert_lookahead`]), so a safe-window violation fails at
+//! the source instead of surfacing as trace divergence.
+//!
+//! # Executor modes
+//!
+//! Two executors share this scaffold, selected by
+//! [`crate::ExecMode`](crate::threaded::ExecMode) via
+//! [`Sim::set_exec_mode`](crate::sim::Sim) + `Sim::set_threads`:
+//!
+//! **Determinism** (the default) is the serial global-min merge above.
+//! Every event dispatches in global `(time, seq)` order on one thread,
+//! so golden traces, per-node RNG draw sequences, and counter checksums
+//! are bit-identical under *any* partition and any configured thread
+//! count (the thread count is simply ignored). This is the mode CI
+//! gates on. It is also the only mode whose trace is comparable across
+//! partitions: actors that share state across nodes (test recorders,
+//! checkers with an `Arc<Mutex<..>>` log) observe the full global
+//! interleaving, which no parallel schedule can reproduce exactly.
+//!
+//! **Fast** ([`crate::threaded::ThreadedExecutor`]) runs one worker per
+//! group of shards, each advancing its shards' queues up to the current
+//! conservative window `[gmin, gmin + safe_window())` between two-phase
+//! barriers. It guarantees: (a) full engine accuracy — every per-node
+//! resource clock, RNG stream, TCP window, and metric total evolves by
+//! the same rules as determinism mode; (b) reproducibility — the
+//! schedule is a pure function of `(seed, partition)`, independent of
+//! the thread count and of wall-clock timing (handoffs are sorted by
+//! `(time, origin shard, origin seq)` at each barrier and re-sequenced
+//! on the receiver); (c) monotone per-shard virtual time. It does *not*
+//! guarantee the global cross-shard interleaving of determinism mode:
+//! same-window events on different shards dispatch in wall-parallel,
+//! and cross-shard egress contention at a destination's downlink is
+//! resolved in switch-arrival order rather than global send order (see
+//! `net.rs`, fast-path notes). Counter checksums therefore match
+//! determinism mode only for workloads without cross-shard port
+//! contention or random drops; traces are compared *within* fast mode
+//! across thread counts instead.
 
 use crate::dispatch::EventKind;
 use crate::event_queue::{EventQueue, MinPos, Slab};
@@ -158,9 +193,40 @@ pub(crate) enum CrossShardEvent {
     /// body travels with the handoff and is interned in the destination
     /// shard's slab on drain.
     Arrive { time: Time, seq: u64, env: Envelope },
+    /// Fast mode only: a datagram handed off *before* switch egress, so
+    /// the destination shard serializes its own downlink port
+    /// ([`crate::dispatch::EventKind::SwitchArrive`]). `time` is the
+    /// switch-arrival instant plus one link latency (the processing
+    /// instant that satisfies the lookahead bound); `arrive` is the true
+    /// switch-arrival instant the egress math uses.
+    Switch { time: Time, seq: u64, env: Envelope, arrive: Time, hold: Dur, dup: bool },
     /// Any other cross-boundary completion (today: the TCP ack returning
     /// to a sender on another shard).
     Event { time: Time, seq: u64, kind: EventKind },
+}
+
+impl CrossShardEvent {
+    /// The instant the receiving shard processes this handoff.
+    #[inline]
+    pub(crate) fn time(&self) -> Time {
+        match *self {
+            CrossShardEvent::Arrive { time, .. }
+            | CrossShardEvent::Switch { time, .. }
+            | CrossShardEvent::Event { time, .. } => time,
+        }
+    }
+
+    /// The origin shard's sequence number at generation time (a
+    /// barrier-sort tiebreaker in fast mode, the global key in
+    /// determinism mode).
+    #[inline]
+    pub(crate) fn seq(&self) -> u64 {
+        match *self {
+            CrossShardEvent::Arrive { seq, .. }
+            | CrossShardEvent::Switch { seq, .. }
+            | CrossShardEvent::Event { seq, .. } => seq,
+        }
+    }
 }
 
 /// The per-shard arena: the per-node engine structures a worker thread
@@ -186,9 +252,11 @@ pub(crate) struct ShardState {
     /// canonical stream — but a node's stream only ever *advances* in
     /// its owning shard (draws happen in the sender's context).
     pub(crate) rngs: Vec<rand::rngs::SmallRng>,
-    /// Cross-shard handoff buffer, drained into `queue` at the top of
-    /// each executor step.
-    pub(crate) inbox: Vec<CrossShardEvent>,
+    /// Cross-shard handoff buffer, tagged with the origin shard, drained
+    /// into `queue` at the top of each executor step (determinism mode)
+    /// or at each barrier (fast mode). In a fast-mode worker the entries
+    /// of *foreign* shards double as outboxes, exchanged at the barrier.
+    pub(crate) inbox: Vec<(u32, CrossShardEvent)>,
 }
 
 impl SimInner {
@@ -213,6 +281,7 @@ impl SimInner {
     /// [`SimInner::push_routed`].
     #[inline]
     pub(crate) fn push_to_node(&mut self, node: NodeId, at: Time, kind: EventKind) {
+        self.note_first_event(at, &kind);
         let seq = self.next_seq();
         let sh = self.shard_idx(node);
         self.shards[sh].queue.push(at, seq, kind);
@@ -229,13 +298,41 @@ impl SimInner {
         at: Time,
         kind: EventKind,
     ) {
+        self.note_first_event(at, &kind);
         let seq = self.next_seq();
         let sh = self.shard_idx(node);
         if sh == from_shard {
             self.shards[sh].queue.push(at, seq, kind);
         } else {
             self.cross_shard_events += 1;
-            self.shards[sh].inbox.push(CrossShardEvent::Event { time: at, seq, kind });
+            self.shards[sh]
+                .inbox
+                .push((from_shard as u32, CrossShardEvent::Event { time: at, seq, kind }));
+        }
+    }
+
+    /// Debug check of the conservative-lookahead invariant at the drain:
+    /// a handoff from `origin` may never land below the receiving
+    /// shard's local clock minus the matrix entry `lookahead[sh][origin]`.
+    /// Violations here are safe-window bugs at the source; catching them
+    /// at the drain beats diagnosing them later as trace divergence.
+    #[inline]
+    pub(crate) fn assert_lookahead(&self, sh: usize, origin: u32, time: Time, local_clock: Time) {
+        #[cfg(debug_assertions)]
+        {
+            let k = self.partition.shards();
+            let la = self.lookahead[sh * k + origin as usize];
+            if la != Dur::MAX {
+                debug_assert!(
+                    time + la >= local_clock,
+                    "cross-shard handoff lands in shard {sh}'s past: event at {time} from \
+                     shard {origin}, local clock {local_clock}, lookahead {la}"
+                );
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = (sh, origin, time, local_clock);
         }
     }
 
@@ -252,11 +349,20 @@ impl SimInner {
             // Take the buffer out to appease the borrow checker, put it
             // back drained so its capacity is reused.
             let mut inbox = std::mem::take(&mut self.shards[sh].inbox);
-            for ev in inbox.drain(..) {
+            for (origin, ev) in inbox.drain(..) {
+                self.assert_lookahead(sh, origin, ev.time(), self.now);
                 match ev {
                     CrossShardEvent::Arrive { time, seq, env } => {
                         let id = self.shards[sh].envs.insert(env);
                         self.shards[sh].queue.push(time, seq, EventKind::HostArrive(id));
+                    }
+                    CrossShardEvent::Switch { time, seq, env, arrive, hold, dup } => {
+                        let id = self.shards[sh].envs.insert(env);
+                        self.shards[sh].queue.push(
+                            time,
+                            seq,
+                            EventKind::SwitchArrive { id, arrive, hold, dup },
+                        );
                     }
                     CrossShardEvent::Event { time, seq, kind } => {
                         self.shards[sh].queue.push(time, seq, kind);
@@ -294,6 +400,16 @@ impl SimInner {
     /// destination's shard).
     #[inline]
     pub(crate) fn earlier_event_elsewhere(&mut self, sh: usize, time: Time, seq: u64) -> bool {
+        // Fast mode: a shard's coalescing decision must depend only on
+        // its own queue — a worker that happens to own a neighboring
+        // shard must not break runs that a worker owning just this shard
+        // would have coalesced, or the schedule would depend on the
+        // thread count. Handoffs can never be same-instant candidates
+        // (they land at least one lookahead in the future), so ignoring
+        // other shards is safe, not just invariant.
+        if self.exec_fast {
+            return false;
+        }
         for other in 0..self.shards.len() {
             if other == sh {
                 continue;
@@ -353,14 +469,34 @@ impl Sim {
     /// # Panics
     ///
     /// If the map's node count differs from the cluster's, or if any
-    /// event has already been scheduled or dispatched.
+    /// event has already been scheduled or dispatched — the panic names
+    /// the first-scheduled event so the offending deploy step is obvious.
     pub fn set_partition(&mut self, p: Partition) {
         assert_eq!(p.len(), self.inner.nodes.len(), "partition must cover every node");
         assert!(
             self.inner.seq == 0 && self.inner.events == 0,
-            "set_partition must run before any event is scheduled"
+            "set_partition must run before any event is scheduled, but one already was: \
+             {} (use Sim::with_partition, or partition before deploying actors)",
+            self.inner.first_event.as_deref().unwrap_or("<unknown event>")
         );
         self.inner.install_partition(p);
+    }
+
+    /// Builds a simulation already partitioned over `k` shards, closing
+    /// the [`Sim::set_partition`] ordering footgun: deploy helpers that
+    /// seed timers or client traffic while adding nodes simply work,
+    /// because the partition is in place before the first node exists.
+    /// `p` must be an empty map (e.g. `Partition::modulo(0, k)`); nodes
+    /// home round-robin over its shards as they are added.
+    pub fn with_partition(config: crate::config::SimConfig, p: Partition) -> Sim {
+        assert!(
+            p.is_empty(),
+            "with_partition takes an empty map (e.g. Partition::modulo(0, k)); \
+             nodes home round-robin as they are added"
+        );
+        let mut sim = Sim::new(config);
+        sim.inner.install_partition(p);
+        sim
     }
 
     /// The active node → shard partition.

@@ -130,6 +130,7 @@ use crate::ids::{GroupId, NodeId, TimerToken};
 use crate::payload::Payload;
 use crate::shard::{Partition, ShardState};
 use crate::stats::{MetricId, Metrics};
+use crate::threaded::ExecMode;
 use crate::time::{Dur, Time};
 
 /// How a message travelled, as seen by the receiving actor.
@@ -166,7 +167,12 @@ pub struct Envelope {
 
 /// A process deployed on a node. All interaction with the outside world
 /// happens through the [`Ctx`] passed to each callback.
-pub trait Actor {
+///
+/// Actors are `Send`: the threaded shard executor moves each node's actor
+/// to the worker that owns the node's shard for the duration of a run.
+/// Only one worker touches an actor at a time (`&mut` discipline is
+/// preserved), so `Sync` is not required.
+pub trait Actor: Send {
     /// Called once when the simulation starts (or the actor is installed).
     fn on_start(&mut self, _ctx: &mut Ctx) {}
     /// Called when a message is delivered to this node.
@@ -242,8 +248,37 @@ pub struct SimInner {
     /// Control-plane state, written only between events
     /// ([`Sim::set_link_cut`]).
     pub(crate) cut_links: std::collections::HashSet<(u32, u32)>,
+    /// Whether this inner is executing inside a fast-mode worker. Flips
+    /// the `net`/`dispatch` layers onto the destination-side egress path
+    /// ([`crate::dispatch::EventKind::SwitchArrive`]) and relaxes the
+    /// cross-shard coalescing guard. Always `false` on the control-plane
+    /// inner; set only on the worker copies the threaded executor splits
+    /// off ([`crate::threaded`]).
+    pub(crate) exec_fast: bool,
+    /// Debug description of the first event ever scheduled, captured so
+    /// [`Sim::set_partition`]'s ordering panic can name the offender.
+    pub(crate) first_event: Option<String>,
     /// Public metrics registry; actors record through [`Ctx`].
     pub metrics: Metrics,
+}
+
+impl SimInner {
+    /// Captures the descriptor of the first-scheduled event (cold: runs
+    /// at most once per simulation).
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn record_first_event(&mut self, at: Time, kind: &crate::dispatch::EventKind) {
+        self.first_event = Some(format!("{kind:?} at {at}"));
+    }
+
+    /// Hook on every event-origination path: remembers what was
+    /// scheduled first. One predictable null-check on the hot path.
+    #[inline]
+    pub(crate) fn note_first_event(&mut self, at: Time, kind: &crate::dispatch::EventKind) {
+        if self.first_event.is_none() {
+            self.record_first_event(at, kind);
+        }
+    }
 }
 
 /// Derives the RNG seed for one node's stream from the cluster seed: a
@@ -326,7 +361,7 @@ impl Ctx<'_> {
     }
 
     /// Sends an unreliable unicast datagram.
-    pub fn udp_send<T: 'static>(&mut self, dst: NodeId, msg: T, bytes: u32) {
+    pub fn udp_send<T: Send + Sync + 'static>(&mut self, dst: NodeId, msg: T, bytes: u32) {
         self.inner.udp_send_from(self.node, dst, Payload::new(msg), bytes);
     }
 
@@ -337,7 +372,7 @@ impl Ctx<'_> {
     }
 
     /// Multicasts to every subscriber of `group`.
-    pub fn mcast<T: 'static>(&mut self, group: GroupId, msg: T, bytes: u32) {
+    pub fn mcast<T: Send + Sync + 'static>(&mut self, group: GroupId, msg: T, bytes: u32) {
         self.inner.mcast_from(self.node, group, Payload::new(msg), bytes);
     }
 
@@ -347,7 +382,7 @@ impl Ctx<'_> {
     }
 
     /// Sends over the reliable ordered channel to `dst`.
-    pub fn tcp_send<T: 'static>(&mut self, dst: NodeId, msg: T, bytes: u32) {
+    pub fn tcp_send<T: Send + Sync + 'static>(&mut self, dst: NodeId, msg: T, bytes: u32) {
         self.inner.tcp_send_from(self.node, dst, Payload::new(msg), bytes);
     }
 
@@ -434,6 +469,12 @@ pub struct Sim {
     /// Reusable buffer the current delivery run is collected into before
     /// the actor callback (module docs, "Batched delivery dispatch").
     pub(crate) inbox: Vec<Envelope>,
+    /// Executor selection (see [`crate::shard`] module docs, "Executor
+    /// modes"). Determinism mode ignores `threads`.
+    pub(crate) mode: ExecMode,
+    /// Worker-thread cap for fast mode; the effective worker count is
+    /// `min(threads, shards)`.
+    pub(crate) threads: usize,
 }
 
 impl Sim {
@@ -460,12 +501,39 @@ impl Sim {
                 tcp_rx_index: Vec::new(),
                 tcp_nodes: 0,
                 cut_links: std::collections::HashSet::new(),
+                exec_fast: false,
+                first_event: None,
                 metrics: Metrics::new(),
             },
             actors: Vec::new(),
             started: Vec::new(),
             inbox: Vec::new(),
+            mode: ExecMode::Determinism,
+            threads: 1,
         }
+    }
+
+    /// Selects the executor (see [`crate::shard`] module docs, "Executor
+    /// modes"). [`ExecMode::Determinism`] — the default — is the serial
+    /// global-min merge with bit-identical traces under any partition;
+    /// [`ExecMode::Fast`] runs shards wall-parallel inside conservative
+    /// lookahead windows once [`Sim::set_threads`] grants more than one
+    /// worker. Control-plane: call between runs, not from actors.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.mode = mode;
+    }
+
+    /// The active executor mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Caps the fast-mode worker count (effective workers =
+    /// `min(threads, shards)`). Determinism mode ignores this: its
+    /// schedule is definitionally single-threaded. Values below 1 clamp
+    /// to 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Adds a node running `actor`, returning its id. The node is homed
@@ -670,21 +738,21 @@ impl Sim {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::Arc;
+    use std::sync::Mutex;
 
     #[derive(Debug)]
     struct Note(&'static str, u32);
 
     /// Records every delivery it sees into a shared log.
     struct Recorder {
-        log: Rc<RefCell<Vec<(Time, &'static str, u32)>>>,
+        log: Arc<Mutex<Vec<(Time, &'static str, u32)>>>,
     }
 
     impl Actor for Recorder {
         fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
             let n = env.payload.downcast_ref::<Note>().expect("Note");
-            self.log.borrow_mut().push((ctx.now(), n.0, n.1));
+            self.log.lock().unwrap().push((ctx.now(), n.0, n.1));
         }
     }
 
@@ -693,8 +761,8 @@ mod tests {
         fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
     }
 
-    fn two_nodes() -> (Sim, NodeId, NodeId, Rc<RefCell<Vec<(Time, &'static str, u32)>>>) {
-        let log = Rc::new(RefCell::new(Vec::new()));
+    fn two_nodes() -> (Sim, NodeId, NodeId, Arc<Mutex<Vec<(Time, &'static str, u32)>>>) {
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -706,7 +774,7 @@ mod tests {
         let (mut sim, a, b, log) = two_nodes();
         sim.with_ctx(a, |ctx| ctx.udp_send(b, Note("hi", 1), 1000));
         sim.run_to_idle();
-        let log = log.borrow();
+        let log = log.lock().unwrap();
         assert_eq!(log.len(), 1);
         // tx twice (up+down) + 50us prop + cpu costs: strictly more than 50us.
         assert!(log[0].0 > Time::ZERO + Dur::micros(60));
@@ -722,13 +790,13 @@ mod tests {
             }
         });
         sim.run_to_idle();
-        let seen: Vec<u32> = log.borrow().iter().map(|e| e.2).collect();
+        let seen: Vec<u32> = log.lock().unwrap().iter().map(|e| e.2).collect();
         assert_eq!(seen, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn multicast_reaches_all_subscribers_except_sender() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -739,7 +807,7 @@ mod tests {
         sim.subscribe(c, g);
         sim.with_ctx(a, |ctx| ctx.mcast(g, Note("mc", 0), 512));
         sim.run_to_idle();
-        assert_eq!(log.borrow().len(), 2);
+        assert_eq!(log.lock().unwrap().len(), 2);
     }
 
     #[test]
@@ -807,7 +875,7 @@ mod tests {
 
     #[test]
     fn switch_port_buffer_drops_on_contention() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut cfg = SimConfig::default();
         cfg.switch_port_buffer = 64 * 1024;
         let mut sim = Sim::new(cfg);
@@ -830,7 +898,7 @@ mod tests {
     fn tcp_never_drops_and_stays_ordered() {
         let mut cfg = SimConfig::default();
         cfg.tcp_window_bytes = 64 * 1024; // small window forces queueing
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(cfg);
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -840,7 +908,7 @@ mod tests {
             }
         });
         sim.run_to_idle();
-        let seen: Vec<u32> = log.borrow().iter().map(|e| e.2).collect();
+        let seen: Vec<u32> = log.lock().unwrap().iter().map(|e| e.2).collect();
         assert_eq!(seen, (0..200).collect::<Vec<_>>());
     }
 
@@ -850,7 +918,7 @@ mod tests {
         let run = |window: u32| -> f64 {
             let mut cfg = SimConfig::default();
             cfg.tcp_window_bytes = window;
-            let log = Rc::new(RefCell::new(Vec::new()));
+            let log = Arc::new(Mutex::new(Vec::new()));
             let mut sim = Sim::new(cfg);
             let a = sim.add_node(Box::new(Quiet));
             let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -877,7 +945,7 @@ mod tests {
     fn tcp_channel_reset_on_crash_unsticks_window() {
         let mut cfg = SimConfig::default();
         cfg.tcp_window_bytes = 64 * 1024; // fills fast once acks stop
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(cfg);
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -891,15 +959,18 @@ mod tests {
         sim.set_node_up(b, false);
         sim.run_until(Time::from_millis(10));
         sim.set_node_up(b, true);
-        let before_restart = log.borrow().len();
+        let before_restart = log.lock().unwrap().len();
         sim.with_ctx(a, |ctx| {
             for i in 0..5 {
                 ctx.tcp_send(b, Note("post", i), 32 * 1024);
             }
         });
         sim.run_to_idle();
-        let post: Vec<u32> =
-            log.borrow()[before_restart..].iter().filter(|e| e.1 == "post").map(|e| e.2).collect();
+        let post: Vec<u32> = log.lock().unwrap()[before_restart..]
+            .iter()
+            .filter(|e| e.1 == "post")
+            .map(|e| e.2)
+            .collect();
         assert_eq!(post, (0..5).collect::<Vec<_>>(), "post-recovery traffic must flow");
         assert!(
             sim.metrics().counter(a, "net.tcp_reset_bytes") > 0,
@@ -912,7 +983,7 @@ mod tests {
     /// reset channel's window accounting.
     #[test]
     fn tcp_stale_acks_across_crash_are_dropped() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -924,7 +995,7 @@ mod tests {
         // Step until the first delivery lands; its ack trails one-way
         // latency behind, so crashing now leaves it in flight.
         let mut t = Dur::micros(10);
-        while log.borrow().is_empty() {
+        while log.lock().unwrap().is_empty() {
             sim.run_until(Time::ZERO + t);
             t += Dur::micros(10);
             assert!(t < Dur::millis(10), "first delivery never happened");
@@ -940,7 +1011,7 @@ mod tests {
     #[test]
     fn timers_fire_in_order() {
         struct T {
-            log: Rc<RefCell<Vec<u64>>>,
+            log: Arc<Mutex<Vec<u64>>>,
         }
         impl Actor for T {
             fn on_start(&mut self, ctx: &mut Ctx) {
@@ -950,14 +1021,14 @@ mod tests {
             }
             fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
             fn on_timer(&mut self, token: TimerToken, _ctx: &mut Ctx) {
-                self.log.borrow_mut().push(token.0);
+                self.log.lock().unwrap().push(token.0);
             }
         }
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         sim.add_node(Box::new(T { log: log.clone() }));
         sim.run_to_idle();
-        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 3]);
     }
 
     #[test]
@@ -966,18 +1037,18 @@ mod tests {
         sim.set_node_up(b, false);
         sim.with_ctx(a, |ctx| ctx.udp_send(b, Note("lost", 0), 100));
         sim.run_until(Time::from_millis(10));
-        assert!(log.borrow().is_empty());
+        assert!(log.lock().unwrap().is_empty());
         sim.set_node_up(b, true);
         sim.with_ctx(a, |ctx| ctx.udp_send(b, Note("ok", 1), 100));
         sim.run_to_idle();
-        assert_eq!(log.borrow().len(), 1);
-        assert_eq!(log.borrow()[0].1, "ok");
+        assert_eq!(log.lock().unwrap().len(), 1);
+        assert_eq!(log.lock().unwrap()[0].1, "ok");
     }
 
     #[test]
     fn disk_writes_serialize_and_complete() {
         struct D {
-            done: Rc<RefCell<Vec<Time>>>,
+            done: Arc<Mutex<Vec<Time>>>,
         }
         impl Actor for D {
             fn on_start(&mut self, ctx: &mut Ctx) {
@@ -986,14 +1057,14 @@ mod tests {
             }
             fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
             fn on_timer(&mut self, _token: TimerToken, ctx: &mut Ctx) {
-                self.done.borrow_mut().push(ctx.now());
+                self.done.lock().unwrap().push(ctx.now());
             }
         }
-        let done = Rc::new(RefCell::new(Vec::new()));
+        let done = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         sim.add_node(Box::new(D { done: done.clone() }));
         sim.run_to_idle();
-        let d = done.borrow();
+        let d = done.lock().unwrap();
         assert_eq!(d.len(), 2);
         let per = SimConfig::default().disk_write_time(32 * 1024);
         assert_eq!(d[0], Time::ZERO + per);
@@ -1019,7 +1090,8 @@ mod tests {
                 }
             });
             sim.run_to_idle();
-            let v: Vec<(u64, u32)> = log.borrow().iter().map(|e| (e.0.as_nanos(), e.2)).collect();
+            let v: Vec<(u64, u32)> =
+                log.lock().unwrap().iter().map(|e| (e.0.as_nanos(), e.2)).collect();
             v
         };
         assert_eq!(run(), run());
@@ -1029,7 +1101,7 @@ mod tests {
     fn random_loss_drops_some() {
         let mut cfg = SimConfig::default();
         cfg.random_loss = 0.5;
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(cfg);
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -1039,7 +1111,7 @@ mod tests {
             }
         });
         sim.run_to_idle();
-        let got = log.borrow().len();
+        let got = log.lock().unwrap().len();
         assert!(got > 50 && got < 150, "got {got}");
         assert!(sim.metrics().counter(b, "net.rand_drop") > 0);
     }
@@ -1060,15 +1132,15 @@ mod tests {
     #[test]
     fn overflow_event_not_skipped_after_scan_rewind() {
         struct T {
-            log: Rc<RefCell<Vec<(u64, Time)>>>,
+            log: Arc<Mutex<Vec<(u64, Time)>>>,
         }
         impl Actor for T {
             fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
             fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
-                self.log.borrow_mut().push((token.0, ctx.now()));
+                self.log.lock().unwrap().push((token.0, ctx.now()));
             }
         }
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let n = sim.add_node(Box::new(T { log: log.clone() }));
         sim.with_ctx(n, |ctx| ctx.set_timer(Dur::millis(4100), TimerToken(1)));
@@ -1081,7 +1153,7 @@ mod tests {
             ctx.set_timer(Dur::millis(400), TimerToken(3));
         });
         sim.run_to_idle();
-        let got = log.borrow().clone();
+        let got = log.lock().unwrap().clone();
         assert_eq!(got.len(), 3);
         assert_eq!(got.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![2, 3, 1]);
         // Virtual time must be non-decreasing across pops.
@@ -1095,15 +1167,15 @@ mod tests {
     #[test]
     fn co_located_burst_survives_scan_rewind() {
         struct T {
-            log: Rc<RefCell<Vec<(u64, Time)>>>,
+            log: Arc<Mutex<Vec<(u64, Time)>>>,
         }
         impl Actor for T {
             fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
             fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
-                self.log.borrow_mut().push((token.0, ctx.now()));
+                self.log.lock().unwrap().push((token.0, ctx.now()));
             }
         }
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let n = sim.add_node(Box::new(T { log: log.clone() }));
         // A co-located burst at 30 ms.
@@ -1122,7 +1194,7 @@ mod tests {
             ctx.set_timer(Dur::millis(9), TimerToken(500)); // fires at 10 ms
         });
         sim.run_to_idle();
-        let got = log.borrow().clone();
+        let got = log.lock().unwrap().clone();
         assert_eq!(got.len(), 74);
         assert!(
             got.windows(2).all(|w| w[0].1 <= w[1].1),
@@ -1165,15 +1237,15 @@ mod tests {
     #[test]
     fn rewind_then_second_burst_pops_cleanly() {
         struct T {
-            log: Rc<RefCell<Vec<(u64, Time)>>>,
+            log: Arc<Mutex<Vec<(u64, Time)>>>,
         }
         impl Actor for T {
             fn on_message(&mut self, _env: &Envelope, _ctx: &mut Ctx) {}
             fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
-                self.log.borrow_mut().push((token.0, ctx.now()));
+                self.log.lock().unwrap().push((token.0, ctx.now()));
             }
         }
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let n = sim.add_node(Box::new(T { log: log.clone() }));
         // Dense burst at 30 ms; the scan parks on its slot.
@@ -1192,7 +1264,7 @@ mod tests {
             ctx.set_timer(Dur::millis(14), TimerToken(999)); // fires at 15 ms
         });
         sim.run_to_idle();
-        let got = log.borrow().clone();
+        let got = log.lock().unwrap().clone();
         assert_eq!(got.len(), 77);
         assert!(got.windows(2).all(|w| w[0].1 <= w[1].1), "time ran backwards: {got:?}");
         let pos_999 = got.iter().position(|&(t, _)| t == 999).expect("15 ms timer fired");
@@ -1211,7 +1283,7 @@ mod tests {
     /// `net.tcp_orphan_seg` on the receiver and no ack event exists.
     #[test]
     fn orphan_tcp_segments_after_sender_crash_get_no_ack() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -1224,10 +1296,10 @@ mod tests {
         // flight immediately; the first delivery needs >100 us of
         // uplink serialization + latency + receive processing.
         sim.run_until(Time::ZERO + Dur::micros(40));
-        assert!(log.borrow().is_empty(), "no segment delivered before the crash");
+        assert!(log.lock().unwrap().is_empty(), "no segment delivered before the crash");
         sim.set_node_up(a, false); // resets a->b: bytes written off, epoch bumped
         sim.run_to_idle();
-        let delivered = log.borrow().len() as u64;
+        let delivered = log.lock().unwrap().len() as u64;
         assert_eq!(delivered, 8, "in-flight segments still reach the live receiver");
         assert_eq!(
             sim.metrics().counter(b, "net.tcp_orphan_seg"),
@@ -1256,25 +1328,25 @@ mod tests {
     /// timers, a crash) on 4 nodes, run under `partition`.
     fn mixed_workload(partition: Option<Partition>) -> Observed {
         struct Echo {
-            log: Rc<RefCell<Vec<(Time, &'static str, u32)>>>,
+            log: Arc<Mutex<Vec<(Time, &'static str, u32)>>>,
         }
         impl Actor for Echo {
             fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
                 let n = env.payload.downcast_ref::<Note>().expect("Note");
-                self.log.borrow_mut().push((ctx.now(), n.0, n.1));
+                self.log.lock().unwrap().push((ctx.now(), n.0, n.1));
                 // Reply to some traffic so cross-shard paths run both ways.
                 if n.1.is_multiple_of(3) && n.0 == "u" {
                     ctx.udp_send(env.src, Note("r", n.1), 256);
                 }
             }
             fn on_timer(&mut self, token: TimerToken, ctx: &mut Ctx) {
-                self.log.borrow_mut().push((ctx.now(), "t", token.0 as u32));
+                self.log.lock().unwrap().push((ctx.now(), "t", token.0 as u32));
                 if token.0 < 3 {
                     ctx.set_timer(Dur::millis(1), TimerToken(token.0 + 1));
                 }
             }
         }
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut cfg = SimConfig::default();
         cfg.random_loss = 0.01; // exercise the shared rng path
         let mut sim = Sim::new(cfg);
@@ -1310,7 +1382,7 @@ mod tests {
         });
         sim.run_to_idle();
         let deliveries =
-            log.borrow().iter().map(|e| (e.0.as_nanos(), e.1, e.2)).collect::<Vec<_>>();
+            log.lock().unwrap().iter().map(|e| (e.0.as_nanos(), e.1, e.2)).collect::<Vec<_>>();
         let mut counters = Vec::new();
         sim.metrics().for_each_counter(|n, name, v| counters.push((n.0, name.to_string(), v)));
         (deliveries, sim.events_processed(), counters)
@@ -1332,7 +1404,7 @@ mod tests {
 
     #[test]
     fn cross_shard_traffic_uses_handoff_inboxes() {
-        let log = Rc::new(RefCell::new(Vec::new()));
+        let log = Arc::new(Mutex::new(Vec::new()));
         let mut sim = Sim::new(SimConfig::default());
         let a = sim.add_node(Box::new(Quiet));
         let b = sim.add_node(Box::new(Recorder { log: log.clone() }));
@@ -1344,7 +1416,7 @@ mod tests {
             ctx.tcp_send(b, Note("t", 99), 2000);
         });
         sim.run_to_idle();
-        assert_eq!(log.borrow().len(), 11);
+        assert_eq!(log.lock().unwrap().len(), 11);
         // Every datagram crossed a → b, and the TCP ack crossed back.
         assert!(sim.cross_shard_events() >= 12, "got {}", sim.cross_shard_events());
     }
@@ -1371,5 +1443,39 @@ mod tests {
         let n = sim.add_node(Box::new(Quiet));
         sim.with_ctx(n, |ctx| ctx.set_timer(Dur::millis(1), TimerToken(0)));
         sim.set_partition(Partition::modulo(1, 1));
+    }
+
+    /// The footgun panic must *name* the first-scheduled event so the
+    /// user can see which deploy line beat their `set_partition` call.
+    #[test]
+    #[should_panic(expected = "Timer")]
+    fn set_partition_panic_names_first_event() {
+        let mut sim = Sim::new(SimConfig::default());
+        let n = sim.add_node(Box::new(Quiet));
+        sim.with_ctx(n, |ctx| ctx.set_timer(Dur::millis(1), TimerToken(7)));
+        sim.set_partition(Partition::modulo(1, 1));
+    }
+
+    /// Same, for the datagram path: the descriptor shows src -> dst.
+    #[test]
+    #[should_panic(expected = "HostArrive { n0 -> n1 }")]
+    fn set_partition_panic_names_first_arrival() {
+        let mut sim = Sim::new(SimConfig::default());
+        let a = sim.add_node(Box::new(Quiet));
+        let b = sim.add_node(Box::new(Quiet));
+        sim.with_ctx(a, |ctx| ctx.udp_send(b, "x".to_string(), 64));
+        sim.set_partition(Partition::modulo(2, 2));
+    }
+
+    /// The panic-free way in: `with_partition` installs the partition
+    /// before any actor can schedule.
+    #[test]
+    fn with_partition_installs_before_deploy() {
+        let mut sim = Sim::with_partition(SimConfig::default(), Partition::modulo(0, 3));
+        let n = sim.add_node(Box::new(Quiet));
+        sim.with_ctx(n, |ctx| ctx.set_timer(Dur::millis(1), TimerToken(0)));
+        sim.run_until(Time::from_millis(2));
+        assert_eq!(sim.partition().shards(), 3);
+        assert!(sim.events_processed() >= 1);
     }
 }

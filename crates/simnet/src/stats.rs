@@ -318,6 +318,48 @@ impl Metrics {
         }
     }
 
+    /// Clones this registry's shape — intern table, bank layout, row
+    /// assignments — with every counter zeroed and no latency samples.
+    /// Workers of the threaded executor each write into a fork and the
+    /// deltas are folded back with [`Metrics::merge_from`]; because
+    /// counter addition and histogram merging are commutative, per-node
+    /// totals come out identical to serial execution regardless of which
+    /// worker charged them.
+    pub(crate) fn fork_zeroed(&self) -> Metrics {
+        Metrics {
+            names: self.names.clone(),
+            index: self.index.clone(),
+            banks: self
+                .banks
+                .iter()
+                .map(|bank| bank.iter().map(|row| vec![0; row.len()]).collect())
+                .collect(),
+            loc: self.loc.clone(),
+            latencies: HashMap::new(),
+        }
+    }
+
+    /// Adds every counter and latency sample of `other` into this
+    /// registry. `other` is typically a [`Metrics::fork_zeroed`] fork
+    /// holding one worker's deltas, but any registry with `'static`
+    /// names folds in correctly (names are re-interned by string).
+    pub(crate) fn merge_from(&mut self, other: &Metrics) {
+        for (n, l) in other.loc.iter().enumerate() {
+            if l.row == NO_ROW {
+                continue;
+            }
+            let row = &other.banks[l.bank as usize][l.row as usize];
+            for (i, &v) in row.iter().enumerate() {
+                if v != 0 {
+                    self.add(NodeId(n), other.names[i], v);
+                }
+            }
+        }
+        for (name, h) in &other.latencies {
+            self.latencies.entry(name).or_default().merge_from(h);
+        }
+    }
+
     /// Records one latency sample under `name`.
     pub fn record_latency(&mut self, name: &'static str, sample: Dur) {
         self.latencies.entry(name).or_default().record(sample.as_nanos());
@@ -399,6 +441,21 @@ fn bucket_value(idx: usize) -> u64 {
 }
 
 impl Histogram {
+    /// Folds `other`'s samples into this histogram. Bucket counts, the
+    /// running count/sum, and the max all combine exactly, so merging
+    /// per-worker histograms is order-independent.
+    fn merge_from(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (b, &c) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += c;
+        }
+    }
+
     #[inline]
     fn record(&mut self, v: u64) {
         self.count += 1;

@@ -1,0 +1,476 @@
+//! Threaded shard executor (fast mode): conservative-window parallel
+//! execution over the [`crate::shard`] scaffold.
+//!
+//! # Shape
+//!
+//! [`Sim::run_until`] routes here when fast mode is on and more than one
+//! worker is eligible. The run splits into `min(threads, shards)`
+//! workers; worker `w` owns every shard `sh` with `sh % workers == w`.
+//! Each worker receives a complete private [`SimInner`] — its owned
+//! [`crate::shard::ShardState`]s moved in, foreign slots left empty, a
+//! full clone of the flat node-clock arena (owner-written, foreign
+//! entries frozen reads), private TCP index copies, and a zeroed
+//! [`crate::stats::Metrics`] fork — plus the actors of its nodes. The
+//! workers then run a two-barrier round protocol until quiescence:
+//!
+//! 1. **Flush**: each worker moves the handoffs it generated (staged in
+//!    its *foreign* shards' inboxes, which double as outboxes) into the
+//!    shared per-destination-shard exchange cells. *Barrier.*
+//! 2. **Drain + post**: each worker drains its own shards' exchange
+//!    cells and same-worker inboxes — sorted by `(time, origin shard,
+//!    origin seq)` and re-sequenced with fresh local seqs, which is what
+//!    makes the schedule independent of the worker count — then posts
+//!    its local minimum event time. *Barrier.*
+//! 3. **Window**: every worker independently computes the identical
+//!    global minimum `gmin`; if `gmin` exceeds the deadline (or nothing
+//!    is queued anywhere) all workers break in lockstep. Otherwise each
+//!    advances its shards through `[gmin, gmin + safe_window())`,
+//!    dispatching through the exact serial handlers.
+//!
+//! The lookahead bound guarantees every handoff generated inside a
+//! window lands at or beyond the *next* window's start, so one exchange
+//! per round cannot lose or late-deliver an event
+//! ([`SimInner::assert_lookahead`] checks this at every drain in debug
+//! builds).
+//!
+//! # Merge
+//!
+//! After the scope joins, owned shards, node clocks, actors, and RNG
+//! streams move back; `events`/`dispatches` deltas are summed; metric
+//! forks fold together (commutative, so totals are schedule-independent);
+//! the TCP index tables merge cell-wise (each cell has exactly one
+//! writing worker) and rx halves that never saw a delivery are
+//! reconciled against their tx epoch. The merged `Sim` is
+//! indistinguishable from one that ran serially in fast mode — runs can
+//! freely alternate executors between control-plane phases.
+//!
+//! # What fast mode trades away
+//!
+//! See the [`crate::shard`] module docs ("Executor modes") for the
+//! precise guarantees. In short: full engine accuracy and per-`(seed,
+//! partition)` reproducibility at any thread count, but not the global
+//! cross-shard interleaving of determinism mode.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::dispatch::EventKind;
+use crate::shard::CrossShardEvent;
+use crate::sim::{Sim, SimInner};
+use crate::time::{Dur, Time};
+
+/// Executor selection for [`Sim::run_until`] (see [`crate::shard`]
+/// module docs, "Executor modes").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Serial global-min merge: golden traces, RNG draws, and counter
+    /// checksums bit-identical under any partition and thread count.
+    /// The default, and what CI gates on.
+    Determinism,
+    /// Conservative-window thread pool: wall-parallel shards, schedule a
+    /// pure function of `(seed, partition)` — identical at any thread
+    /// count — but not the serial global interleaving.
+    Fast,
+}
+
+/// A staged cross-shard handoff: `(origin shard, event)`.
+type Handoff = (u32, CrossShardEvent);
+
+impl Sim {
+    /// Whether `run_until` should use the thread pool: fast mode, at
+    /// least two workers' worth of shards and threads, and a finite
+    /// non-zero lookahead window (a zero-latency config has no
+    /// conservative window to exploit; a single shard has no one to
+    /// trade handoffs with).
+    pub(crate) fn threaded_eligible(&self) -> bool {
+        if self.mode != ExecMode::Fast || self.threads < 2 {
+            return false;
+        }
+        if self.inner.partition.shards() < 2 {
+            return false;
+        }
+        let w = self.safe_window();
+        w > Dur::ZERO && w != Dur::MAX
+    }
+
+    /// Runs the fast-mode thread pool until `deadline` (inclusive for
+    /// event dispatch; the caller advances `now` to the deadline after).
+    pub(crate) fn run_threaded(&mut self, deadline: Time) {
+        // Freeze the TCP index layout so every worker's private copy
+        // stays cell-aligned with the original through the merge.
+        self.inner.ensure_tcp_layout();
+        let k = self.inner.partition.shards();
+        let workers = self.threads.min(k);
+        let window = self.safe_window();
+        debug_assert!(workers >= 2);
+
+        let mut wsims = self.split_workers(workers);
+        let exchange: Vec<Mutex<Vec<Handoff>>> = (0..k).map(|_| Mutex::new(Vec::new())).collect();
+        let mins: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let barrier = Barrier::new(workers);
+        std::thread::scope(|s| {
+            for (w, ws) in wsims.iter_mut().enumerate() {
+                let (exchange, mins, barrier) = (&exchange, &mins, &barrier);
+                s.spawn(move || {
+                    ws.worker_loop(w, workers, deadline, window, exchange, mins, barrier)
+                });
+            }
+        });
+        self.merge_workers(wsims, workers);
+    }
+
+    /// Splits this simulation into `workers` private worker copies.
+    /// Owned state *moves* (shard arenas, actors); shared-but-frozen
+    /// state is cloned (node clocks, partition, TCP indexes, config);
+    /// accumulators start at zero so the merge sums pure deltas.
+    fn split_workers(&mut self, workers: usize) -> Vec<Sim> {
+        let k = self.inner.partition.shards();
+        let n = self.inner.nodes.len();
+        (0..workers)
+            .map(|w| {
+                let shards = (0..k)
+                    .map(|sh| {
+                        if sh % workers == w {
+                            std::mem::take(&mut self.inner.shards[sh])
+                        } else {
+                            Default::default()
+                        }
+                    })
+                    .collect();
+                let actors = (0..n)
+                    .map(|i| {
+                        if self.inner.partition.assignment()[i] as usize % workers == w {
+                            self.actors[i].take()
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                Sim {
+                    inner: SimInner {
+                        config: self.inner.config.clone(),
+                        now: self.inner.now,
+                        seq: self.inner.seq,
+                        events: 0,
+                        dispatches: 0,
+                        dispatched_msgs: 0,
+                        shards,
+                        nodes: self.inner.nodes.clone(),
+                        partition: self.inner.partition.clone(),
+                        lookahead: self.inner.lookahead.clone(),
+                        cross_shard_events: 0,
+                        groups: self.inner.groups.clone(),
+                        mcast_scratch: Vec::new(),
+                        tcp_tx_index: self.inner.tcp_tx_index.clone(),
+                        tcp_rx_index: self.inner.tcp_rx_index.clone(),
+                        tcp_nodes: self.inner.tcp_nodes,
+                        cut_links: self.inner.cut_links.clone(),
+                        exec_fast: true,
+                        first_event: self.inner.first_event.clone(),
+                        metrics: self.inner.metrics.fork_zeroed(),
+                    },
+                    actors,
+                    started: self.started.clone(),
+                    inbox: Vec::new(),
+                    mode: ExecMode::Determinism,
+                    threads: 1,
+                }
+            })
+            .collect()
+    }
+
+    /// Folds the worker copies back into this simulation after the
+    /// scope joins. See the module docs ("Merge") for why each piece is
+    /// conflict-free.
+    fn merge_workers(&mut self, wsims: Vec<Sim>, workers: usize) {
+        let k = self.inner.partition.shards();
+        for (w, mut ws) in wsims.into_iter().enumerate() {
+            let mut sh = w;
+            while sh < k {
+                self.inner.shards[sh] = std::mem::take(&mut ws.inner.shards[sh]);
+                sh += workers;
+            }
+            for (i, owner) in self.inner.partition.assignment().iter().enumerate() {
+                if *owner as usize % workers == w {
+                    self.inner.nodes[i] = ws.inner.nodes[i].clone();
+                    self.actors[i] = ws.actors[i].take();
+                }
+            }
+            self.inner.events += ws.inner.events;
+            self.inner.dispatches += ws.inner.dispatches;
+            self.inner.dispatched_msgs += ws.inner.dispatched_msgs;
+            self.inner.cross_shard_events += ws.inner.cross_shard_events;
+            self.inner.seq = self.inner.seq.max(ws.inner.seq);
+            self.inner.now = self.inner.now.max(ws.inner.now);
+            self.inner.metrics.merge_from(&ws.inner.metrics);
+            // Each index cell has exactly one writing worker (the tx
+            // cell's owner is src's worker; the rx cell's, dst's) and
+            // values only appear, never change — cell-wise max merges.
+            for (main, wv) in self.inner.tcp_tx_index.iter_mut().zip(&ws.inner.tcp_tx_index) {
+                *main = (*main).max(*wv);
+            }
+            for (main, wv) in self.inner.tcp_rx_index.iter_mut().zip(&ws.inner.tcp_rx_index) {
+                *main = (*main).max(*wv);
+            }
+        }
+        self.reconcile_tcp_rx();
+    }
+
+    /// Creates the rx half of any channel whose tx half exists but whose
+    /// segments were all still in flight at the end of the run (the
+    /// fast-mode lazy rx creation never fired). Pairing it to the tx
+    /// epoch preserves the `tx.epoch == rx.epoch` invariant the serial
+    /// engine's control plane asserts.
+    fn reconcile_tcp_rx(&mut self) {
+        use crate::ids::NodeId;
+        let n = self.inner.tcp_nodes;
+        for src in 0..n {
+            for dst in 0..n {
+                let cell = src * n + dst;
+                let tx = self.inner.tcp_tx_index[cell];
+                if tx != 0 && self.inner.tcp_rx_index[cell] == 0 {
+                    let ss = self.inner.shard_idx(NodeId(src));
+                    let epoch = self.inner.shards[ss].tcp_tx[tx as usize - 1].epoch;
+                    self.inner.tcp_rx_create(NodeId(src), NodeId(dst), epoch);
+                }
+            }
+        }
+    }
+
+    /// One worker's life: the two-barrier round protocol from the module
+    /// docs. `self` here is the worker's private `Sim` copy.
+    #[allow(clippy::too_many_arguments)]
+    fn worker_loop(
+        &mut self,
+        w: usize,
+        workers: usize,
+        deadline: Time,
+        window: Dur,
+        exchange: &[Mutex<Vec<Handoff>>],
+        mins: &[AtomicU64],
+        barrier: &Barrier,
+    ) {
+        let k = self.inner.shards.len();
+        loop {
+            // 1. Flush outboxes: handoffs this worker generated last
+            //    window, staged in its foreign shards' inbox slots.
+            for (sh, cell) in exchange.iter().enumerate() {
+                if sh % workers != w && !self.inner.shards[sh].inbox.is_empty() {
+                    let mut out = std::mem::take(&mut self.inner.shards[sh].inbox);
+                    cell.lock().unwrap().append(&mut out);
+                    self.inner.shards[sh].inbox = out;
+                }
+            }
+            barrier.wait();
+
+            // 2. Drain own shards (cross-worker exchange cells plus
+            //    same-worker staged handoffs), then post the local min.
+            //    The barrier above ordered every flush before every
+            //    drain; the barrier below orders every drain and post
+            //    before any read of `mins` — and, round over round,
+            //    keeps a fast worker from re-posting before a slow one
+            //    has read the previous round's minima.
+            let mut sh = w;
+            while sh < k {
+                let mut incoming = std::mem::take(&mut *exchange[sh].lock().unwrap());
+                incoming.append(&mut self.inner.shards[sh].inbox);
+                self.drain_worker_handoffs(sh, incoming);
+                sh += workers;
+            }
+            let mut lmin = u64::MAX;
+            let mut sh = w;
+            while sh < k {
+                if let Some(pos) = self.inner.shards[sh].queue.find_min() {
+                    lmin = lmin.min(pos.time.as_nanos());
+                }
+                sh += workers;
+            }
+            mins[w].store(lmin, Ordering::Relaxed);
+            barrier.wait();
+
+            // 3. Window: everyone computes the same global minimum and
+            //    either breaks in lockstep or advances one window.
+            let gmin = mins.iter().map(|m| m.load(Ordering::Relaxed)).min().unwrap_or(u64::MAX);
+            if gmin == u64::MAX || gmin > deadline.as_nanos() {
+                break;
+            }
+            let wend = gmin.saturating_add(window.as_nanos());
+            let mut sh = w;
+            while sh < k {
+                while let Some(pos) = self.inner.shards[sh].queue.find_min() {
+                    if pos.time.as_nanos() >= wend || pos.time > deadline {
+                        break;
+                    }
+                    let (time, kind) = self.inner.shards[sh].queue.take_at(pos);
+                    self.inner.now = time;
+                    self.inner.events += 1;
+                    self.dispatch(sh, time, kind);
+                }
+                sh += workers;
+            }
+        }
+    }
+
+    /// Folds one barrier's worth of handoffs into shard `sh`'s queue.
+    /// Sorted by `(time, origin shard, origin seq)` — a total order on
+    /// handoffs that every worker assignment produces identically — and
+    /// re-sequenced with fresh local seqs so queue keys stay unique
+    /// per-worker. Receiver-side seq assignment is what makes the
+    /// fast-mode schedule thread-count invariant: relative queue order
+    /// depends only on *which barrier* a handoff drained at, never on
+    /// which worker staged it.
+    fn drain_worker_handoffs(&mut self, sh: usize, mut incoming: Vec<Handoff>) {
+        if incoming.is_empty() {
+            return;
+        }
+        incoming.sort_by_key(|(origin, ev)| (ev.time(), *origin, ev.seq()));
+        for (origin, ev) in incoming {
+            self.inner.assert_lookahead(sh, origin, ev.time(), self.inner.now);
+            let seq = self.inner.next_seq();
+            match ev {
+                CrossShardEvent::Arrive { time, env, .. } => {
+                    let id = self.inner.shards[sh].envs.insert(env);
+                    self.inner.shards[sh].queue.push(time, seq, EventKind::HostArrive(id));
+                }
+                CrossShardEvent::Switch { time, env, arrive, hold, dup, .. } => {
+                    let id = self.inner.shards[sh].envs.insert(env);
+                    self.inner.shards[sh].queue.push(
+                        time,
+                        seq,
+                        EventKind::SwitchArrive { id, arrive, hold, dup },
+                    );
+                }
+                CrossShardEvent::Event { time, kind, .. } => {
+                    self.inner.shards[sh].queue.push(time, seq, kind);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::ids::{NodeId, TimerToken};
+    use crate::shard::Partition;
+    use crate::sim::{Actor, Ctx, Envelope};
+
+    /// Ring worker: every timer tick, send one UDP datagram to the next
+    /// node and one TCP segment to the node after that, then re-arm.
+    /// Exercises the datagram path, the TCP tx/lazy-rx/ack-handoff path,
+    /// and timers, with traffic crossing every shard boundary.
+    struct RingSender {
+        next: NodeId,
+        tcp_to: NodeId,
+        period: Dur,
+        ticks: u32,
+    }
+    impl Actor for RingSender {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer(self.period, TimerToken(1));
+        }
+        fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
+            // Count one app-level delivery per message, tagged by size so
+            // UDP and TCP arrivals checksum separately.
+            if env.wire_bytes > 900 {
+                ctx.counter_add("app.tcp_in", 1);
+            } else {
+                ctx.counter_add("app.udp_in", 1);
+            }
+        }
+        fn on_timer(&mut self, _token: TimerToken, ctx: &mut Ctx) {
+            ctx.udp_send(self.next, self.ticks, 700);
+            ctx.tcp_send(self.tcp_to, self.ticks, 1200);
+            self.ticks += 1;
+            if self.ticks < 40 {
+                ctx.set_timer(self.period, TimerToken(1));
+            }
+        }
+    }
+
+    fn build(shards: usize, threads: usize, fast: bool) -> Sim {
+        let mut sim = Sim::with_partition(SimConfig::default(), Partition::modulo(0, shards));
+        let n = 8;
+        for i in 0..n {
+            // Stagger periods so ticks interleave across nodes.
+            let period = Dur::micros(150 + 17 * i as u64);
+            sim.add_node(Box::new(RingSender {
+                next: NodeId((i + 1) % n),
+                tcp_to: NodeId((i + 2) % n),
+                period,
+                ticks: 0,
+            }));
+        }
+        if fast {
+            sim.set_exec_mode(ExecMode::Fast);
+            sim.set_threads(threads);
+        }
+        sim
+    }
+
+    fn observe(sim: &Sim) -> (Time, u64, Vec<(usize, String, u64)>) {
+        let mut counters = Vec::new();
+        sim.metrics().for_each_counter(|node, name, v| {
+            counters.push((node.0, name.to_string(), v));
+        });
+        (sim.now(), sim.events_processed(), counters)
+    }
+
+    #[test]
+    fn fast_mode_is_thread_count_invariant() {
+        let run = |threads| {
+            let mut sim = build(4, threads, true);
+            sim.run_until(Time::from_millis(30));
+            observe(&sim)
+        };
+        let two = run(2);
+        let three = run(3);
+        let four = run(4);
+        assert_eq!(two, three);
+        assert_eq!(two, four);
+        // The workload really crossed shard boundaries.
+        assert!(two.2.iter().any(|(_, name, _)| name == "app.udp_in"));
+        assert!(two.2.iter().any(|(_, name, _)| name == "app.tcp_in"));
+    }
+
+    #[test]
+    fn fast_mode_matches_determinism_totals_without_contention() {
+        // Staggered single-packet chains: no two packets contend for the
+        // same egress port at the same instant, so fast mode's
+        // arrival-order port serialization coincides with determinism
+        // mode's global order and every counter total must agree.
+        let mut serial = build(4, 1, false);
+        serial.run_until(Time::from_millis(30));
+        let mut fast = build(4, 4, true);
+        fast.run_until(Time::from_millis(30));
+        assert_eq!(observe(&serial).2, observe(&fast).2);
+    }
+
+    #[test]
+    fn fast_mode_resumes_cleanly_across_runs() {
+        // Alternate threaded windows with control-plane pauses; state
+        // merged back must keep the engine consistent (TCP reconcile,
+        // seq/now advance, queued tails surviving the merge).
+        let mut sim = build(3, 2, true);
+        for step in 1..=6 {
+            sim.run_until(Time::from_millis(5 * step));
+        }
+        let (_, events, counters) = observe(&sim);
+        let mut whole = build(3, 2, true);
+        whole.run_until(Time::from_millis(30));
+        let (_, events_whole, counters_whole) = observe(&whole);
+        assert_eq!(events, events_whole);
+        assert_eq!(counters, counters_whole);
+    }
+
+    #[test]
+    fn determinism_mode_ignores_thread_count() {
+        let mut serial = build(2, 1, false);
+        serial.run_until(Time::from_millis(20));
+        let mut threaded_config = build(2, 1, false);
+        threaded_config.set_threads(4); // no-op without fast mode
+        threaded_config.run_until(Time::from_millis(20));
+        assert_eq!(observe(&serial), observe(&threaded_config));
+    }
+}

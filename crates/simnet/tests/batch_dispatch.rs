@@ -3,8 +3,8 @@
 //! actors observe per-message semantics unchanged, and runs never merge
 //! across destinations or timestamps.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
+use std::sync::Mutex;
 
 use simnet::prelude::*;
 
@@ -27,28 +27,28 @@ fn instant_config() -> SimConfig {
 /// Records every `on_batch` slice as `(len, tags-in-order)`, routing
 /// singletons through `on_message` like the engine does.
 struct BatchRecorder {
-    bursts: Rc<RefCell<Vec<Vec<u32>>>>,
+    bursts: Arc<Mutex<Vec<Vec<u32>>>>,
 }
 
 impl Actor for BatchRecorder {
     fn on_message(&mut self, env: &Envelope, _ctx: &mut Ctx) {
         let t = env.payload.downcast_ref::<Tag>().expect("Tag").0;
-        self.bursts.borrow_mut().push(vec![t]);
+        self.bursts.lock().unwrap().push(vec![t]);
     }
     fn on_batch(&mut self, envs: &[Envelope], _ctx: &mut Ctx) {
         let tags = envs.iter().map(|e| e.payload.downcast_ref::<Tag>().expect("Tag").0).collect();
-        self.bursts.borrow_mut().push(tags);
+        self.bursts.lock().unwrap().push(tags);
     }
 }
 
 /// Default actor: only `on_message`, counting calls.
 struct PlainRecorder {
-    seen: Rc<RefCell<Vec<u32>>>,
+    seen: Arc<Mutex<Vec<u32>>>,
 }
 
 impl Actor for PlainRecorder {
     fn on_message(&mut self, env: &Envelope, _ctx: &mut Ctx) {
-        self.seen.borrow_mut().push(env.payload.downcast_ref::<Tag>().expect("Tag").0);
+        self.seen.lock().unwrap().push(env.payload.downcast_ref::<Tag>().expect("Tag").0);
     }
 }
 
@@ -59,7 +59,7 @@ impl Actor for Quiet {
 
 #[test]
 fn same_instant_run_reaches_on_batch_as_one_ordered_slice() {
-    let bursts = Rc::new(RefCell::new(Vec::new()));
+    let bursts = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Sim::new(instant_config());
     let a = sim.add_node(Box::new(Quiet));
     let b = sim.add_node(Box::new(BatchRecorder { bursts: bursts.clone() }));
@@ -69,7 +69,7 @@ fn same_instant_run_reaches_on_batch_as_one_ordered_slice() {
         }
     });
     sim.run_to_idle();
-    let got = bursts.borrow().clone();
+    let got = bursts.lock().unwrap().clone();
     assert_eq!(got, vec![(0..24).collect::<Vec<_>>()], "one slice, in exact send order");
     let (dispatches, msgs) = sim.delivery_dispatch_stats();
     assert_eq!((dispatches, msgs), (1, 24), "engine paid one actor dispatch for the run");
@@ -77,7 +77,7 @@ fn same_instant_run_reaches_on_batch_as_one_ordered_slice() {
 
 #[test]
 fn default_actors_see_identical_per_message_semantics() {
-    let seen = Rc::new(RefCell::new(Vec::new()));
+    let seen = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Sim::new(instant_config());
     let a = sim.add_node(Box::new(Quiet));
     let b = sim.add_node(Box::new(PlainRecorder { seen: seen.clone() }));
@@ -87,13 +87,17 @@ fn default_actors_see_identical_per_message_semantics() {
         }
     });
     sim.run_to_idle();
-    assert_eq!(*seen.borrow(), (0..24).collect::<Vec<_>>(), "default on_batch loops on_message");
+    assert_eq!(
+        *seen.lock().unwrap(),
+        (0..24).collect::<Vec<_>>(),
+        "default on_batch loops on_message"
+    );
 }
 
 #[test]
 fn runs_do_not_merge_across_destinations() {
-    let b1 = Rc::new(RefCell::new(Vec::new()));
-    let b2 = Rc::new(RefCell::new(Vec::new()));
+    let b1 = Arc::new(Mutex::new(Vec::new()));
+    let b2 = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Sim::new(instant_config());
     let a = sim.add_node(Box::new(Quiet));
     let r1 = sim.add_node(Box::new(BatchRecorder { bursts: b1.clone() }));
@@ -107,15 +111,15 @@ fn runs_do_not_merge_across_destinations() {
         }
     });
     sim.run_to_idle();
-    assert_eq!(*b1.borrow(), (0..6).map(|i| vec![i]).collect::<Vec<_>>());
-    assert_eq!(*b2.borrow(), (0..6).map(|i| vec![100 + i]).collect::<Vec<_>>());
+    assert_eq!(*b1.lock().unwrap(), (0..6).map(|i| vec![i]).collect::<Vec<_>>());
+    assert_eq!(*b2.lock().unwrap(), (0..6).map(|i| vec![100 + i]).collect::<Vec<_>>());
     let (dispatches, msgs) = sim.delivery_dispatch_stats();
     assert_eq!((dispatches, msgs), (12, 12), "no cross-destination coalescing");
 }
 
 #[test]
 fn runs_do_not_merge_across_timestamps() {
-    let bursts = Rc::new(RefCell::new(Vec::new()));
+    let bursts = Arc::new(Mutex::new(Vec::new()));
     // Real (non-zero) costs: consecutive receive completions happen at
     // distinct instants, so every delivery is its own run.
     let mut sim = Sim::new(SimConfig::default());
@@ -127,7 +131,7 @@ fn runs_do_not_merge_across_timestamps() {
         }
     });
     sim.run_to_idle();
-    let got = bursts.borrow().clone();
+    let got = bursts.lock().unwrap().clone();
     assert_eq!(
         got,
         (0..8).map(|i| vec![i]).collect::<Vec<_>>(),
@@ -140,7 +144,7 @@ fn multicast_fan_in_batches_per_subscriber() {
     // Two senders multicast into the same group at the same instant;
     // each subscriber sees one coalesced run per sender timestamp... but
     // both sends happen at t=0, so the whole fan-in lands as one run.
-    let bursts = Rc::new(RefCell::new(Vec::new()));
+    let bursts = Arc::new(Mutex::new(Vec::new()));
     let mut sim = Sim::new(instant_config());
     let s1 = sim.add_node(Box::new(Quiet));
     let s2 = sim.add_node(Box::new(Quiet));
@@ -150,5 +154,5 @@ fn multicast_fan_in_batches_per_subscriber() {
     sim.with_ctx(s1, |ctx| ctx.mcast(g, Tag(1), 256));
     sim.with_ctx(s2, |ctx| ctx.mcast(g, Tag(2), 256));
     sim.run_to_idle();
-    assert_eq!(*bursts.borrow(), vec![vec![1, 2]], "fan-in coalesced into one slice");
+    assert_eq!(*bursts.lock().unwrap(), vec![vec![1, 2]], "fan-in coalesced into one slice");
 }

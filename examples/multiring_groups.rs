@@ -44,6 +44,6 @@ fn main() {
 
     // Learners sharing groups must order common messages identically
     // (uniform partial order, thesis §2.2.4).
-    d.log.borrow().check_partial_order().expect("uniform partial order");
+    d.log.lock().unwrap().check_partial_order().expect("uniform partial order");
     println!("  uniform partial order: verified across subscription patterns");
 }

@@ -50,8 +50,8 @@ fn main() {
 
         // Replicas must agree on what ran, in which per-domain order,
         // and on the resulting state — the ch. 6 safety argument.
-        let a = d.stores[0].borrow();
-        let b = d.stores[1].borrow();
+        let a = d.stores[0].lock().unwrap();
+        let b = d.stores[1].lock().unwrap();
         assert_eq!(a.digest(), b.digest(), "replica execution orders diverged");
         assert_eq!(a.snapshot(), b.snapshot(), "replica states diverged");
     }

@@ -28,7 +28,7 @@ fn run(partitions: Option<PartitionOptions>, label: &str) -> f64 {
     let kcps = done as f64 / secs as f64 / 1e3;
     println!("  {label:<28}: {kcps:>6.1} Kcps");
     if partitions.is_some() {
-        d.log.borrow().check_partial_order().expect("cross-partition order acyclic");
+        d.log.lock().unwrap().check_partial_order().expect("cross-partition order acyclic");
     }
     kcps
 }

@@ -40,7 +40,7 @@ fn main() {
     );
 
     // The properties the protocol guarantees (thesis §2.2.3):
-    let log = d.log.borrow();
+    let log = d.log.lock().unwrap();
     log.check_total_order().expect("uniform total order");
     println!("  uniform total order    : verified across {} learners", log.learners());
 }

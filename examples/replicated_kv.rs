@@ -31,7 +31,7 @@ fn run_smr(clients: usize, secs: u64) -> (f64, Dur, bool) {
     let d = deploy_smr(&mut sim, &opts);
     sim.run_until(Time::from_secs(secs));
     let done: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, SMR_COMPLETED)).sum();
-    let ordered = d.log.borrow().check_total_order().is_ok();
+    let ordered = d.log.lock().unwrap().check_total_order().is_ok();
     (done as f64 / secs as f64 / 1e3, sim.metrics().latency(SMR_LATENCY).mean, ordered)
 }
 

@@ -19,9 +19,9 @@ fn both_ring_paxos_variants_order_the_same_workload() {
         |_| {},
     );
     sim.run_until(Time::from_millis(1500));
-    m.log.borrow().check_total_order().expect("M-Ring total order");
+    m.log.lock().unwrap().check_total_order().expect("M-Ring total order");
     let m_all: Vec<usize> = (0..m.all_learners.len()).collect();
-    m.log.borrow().check_agreement_at_quiescence(&m_all).expect("M-Ring agreement");
+    m.log.lock().unwrap().check_agreement_at_quiescence(&m_all).expect("M-Ring agreement");
 
     let mut sim = Sim::new(SimConfig::default());
     let u = deploy_uring(
@@ -30,9 +30,9 @@ fn both_ring_paxos_variants_order_the_same_workload() {
         |_| {},
     );
     sim.run_until(Time::from_millis(1500));
-    u.log.borrow().check_total_order().expect("U-Ring total order");
+    u.log.lock().unwrap().check_total_order().expect("U-Ring total order");
     let u_all: Vec<usize> = (0..u.ring.len()).collect();
-    u.log.borrow().check_agreement_at_quiescence(&u_all).expect("U-Ring agreement");
+    u.log.lock().unwrap().check_agreement_at_quiescence(&u_all).expect("U-Ring agreement");
 }
 
 #[test]
@@ -52,14 +52,14 @@ fn smr_on_top_of_the_full_stack_is_linearizable_under_failover() {
     sim.run_until(Time::from_millis(500));
     let before = d.clients.iter().map(|&c| sim.metrics().counter(c, SMR_COMPLETED)).sum::<u64>();
     assert!(before > 100, "warmup produced only {before} commands");
-    d.log.borrow().check_total_order().expect("order before crash");
+    d.log.lock().unwrap().check_total_order().expect("order before crash");
     // NOTE: coordinator failover with client redirection is exercised in
     // ringpaxos tests; here we verify the steady state stays correct
     // under continued load.
     sim.run_until(Time::from_secs(2));
     let after = d.clients.iter().map(|&c| sim.metrics().counter(c, SMR_COMPLETED)).sum::<u64>();
     assert!(after > 3 * before / 2, "throughput stalled: {before} -> {after}");
-    d.log.borrow().check_total_order().expect("order after");
+    d.log.lock().unwrap().check_total_order().expect("order after");
 }
 
 #[test]
@@ -81,7 +81,7 @@ fn partitioned_smr_with_speculation_under_message_loss() {
     sim.run_until(Time::from_secs(3));
     let done: u64 = d.clients.iter().map(|&c| sim.metrics().counter(c, SMR_COMPLETED)).sum();
     assert!(done > 2000, "only {done} commands completed under loss");
-    d.log.borrow().check_partial_order().expect("partition order under loss");
+    d.log.lock().unwrap().check_partial_order().expect("partition order under loss");
     let lat = sim.metrics().latency(SMR_LATENCY);
     assert!(lat.p99 < Dur::millis(500), "p99 {:?} suggests stalls", lat.p99);
 }
@@ -100,7 +100,7 @@ fn multiring_feeds_many_groups_deterministically() {
         };
         let d = deploy_multiring(&mut sim, &opts);
         sim.run_until(Time::from_secs(1));
-        d.log.borrow().check_partial_order().expect("partial order");
+        d.log.lock().unwrap().check_partial_order().expect("partial order");
         d.learners
             .iter()
             .map(|&l| sim.metrics().counter(l, "abcast.delivered_msgs"))
@@ -159,14 +159,14 @@ fn psmr_survives_a_ring_coordinator_crash() {
     let done: u64 =
         d.clients.iter().map(|&c| sim.metrics().counter(c, hpsmr::psmr::PSMR_COMPLETED)).sum();
     let executed_early = {
-        let s = d.stores[0].borrow();
+        let s = d.stores[0].lock().unwrap();
         s.executed()
     };
     assert!(done > 2000, "P-SMR stalled after the ring failover: {done} completed");
     assert!(executed_early > 0);
 
-    let a = d.stores[0].borrow();
-    let b = d.stores[1].borrow();
+    let a = d.stores[0].lock().unwrap();
+    let b = d.stores[1].lock().unwrap();
     assert_eq!(a.executed(), b.executed(), "replica divergence across failover");
     assert_eq!(a.digest(), b.digest(), "execution order divergence across failover");
     for g in 0..4 {
@@ -203,11 +203,11 @@ fn psmr_stays_consistent_under_random_message_loss() {
     let done: u64 =
         d.clients.iter().map(|&c| sim.metrics().counter(c, hpsmr::psmr::PSMR_COMPLETED)).sum();
     assert_eq!(submitted, done, "commands lost for good under loss");
-    let first = d.stores[0].borrow();
+    let first = d.stores[0].lock().unwrap();
     assert!(first.executed() >= done, "replicas executed less than clients completed");
     assert!(first.executed() > 100, "too little progress under loss: {}", first.executed());
     for store in &d.stores[1..] {
-        let s = store.borrow();
+        let s = store.lock().unwrap();
         assert_eq!(first.executed(), s.executed(), "replica count divergence under loss");
         assert_eq!(first.digest(), s.digest(), "order divergence under loss");
         assert_eq!(first.snapshot(), s.snapshot(), "state divergence under loss");
