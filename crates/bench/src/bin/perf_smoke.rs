@@ -61,6 +61,13 @@ struct RunResult {
     /// and the messages they carried (identical across repetitions).
     dispatches: u64,
     dispatched_msgs: u64,
+    /// Events that crossed a shard boundary (0 under the identity
+    /// partition; identical across repetitions).
+    cross_shard: u64,
+    /// Mean per-worker barrier wait, seconds of wall clock (0 in
+    /// determinism mode; from capacity-0 executor probes, so nothing is
+    /// buffered during the measured run).
+    barrier_wait_mean_s: f64,
 }
 
 impl RunResult {
@@ -68,7 +75,7 @@ impl RunResult {
         let samples =
             self.wall_samples.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>().join(",");
         format!(
-            "\"{}\":{{\"events\":{},\"wall_s\":{:.4},\"wall_s_samples\":[{}],\"events_per_sec\":{:.0},\"delivered_msgs\":{},\"delivered_per_wall_sec\":{:.0},\"virtual_ms\":{},\"delivery_dispatches\":{},\"delivery_msgs\":{},\"mean_batch\":{:.3}}}",
+            "\"{}\":{{\"events\":{},\"wall_s\":{:.4},\"wall_s_samples\":[{}],\"events_per_sec\":{:.0},\"delivered_msgs\":{},\"delivered_per_wall_sec\":{:.0},\"virtual_ms\":{},\"delivery_dispatches\":{},\"delivery_msgs\":{},\"mean_batch\":{:.3},\"cross_shard_events\":{},\"barrier_wait_mean_s\":{:.4}}}",
             self.name,
             self.events,
             self.wall_s,
@@ -80,6 +87,8 @@ impl RunResult {
             self.dispatches,
             self.dispatched_msgs,
             self.dispatched_msgs as f64 / self.dispatches.max(1) as f64,
+            self.cross_shard,
+            self.barrier_wait_mean_s,
         )
     }
 }
@@ -94,7 +103,19 @@ fn configure(sim: &mut Sim, shards: usize, threads: usize) {
     if threads > 1 {
         sim.set_exec_mode(ExecMode::Fast);
         sim.set_threads(threads);
+        // Capacity-0 executor probes: per-worker barrier-wait telemetry
+        // and the handoff aggregates without buffering a single event.
+        sim.set_probes(ProbeConfig::executor_only());
     }
+}
+
+/// Mean per-worker barrier wait in seconds (0 when no telemetry ran).
+fn barrier_wait_mean(sim: &Sim) -> f64 {
+    let tel = sim.worker_telemetry();
+    if tel.is_empty() {
+        return 0.0;
+    }
+    tel.iter().map(|w| w.barrier_wait.as_secs_f64()).sum::<f64>() / tel.len() as f64
 }
 
 fn run_uring(shards: usize, threads: usize) -> RunResult {
@@ -123,6 +144,8 @@ fn run_uring(shards: usize, threads: usize) -> RunResult {
         virtual_ms,
         dispatches,
         dispatched_msgs,
+        cross_shard: sim.cross_shard_events(),
+        barrier_wait_mean_s: barrier_wait_mean(&sim),
     }
 }
 
@@ -154,6 +177,8 @@ fn run_mring(shards: usize, threads: usize) -> RunResult {
         virtual_ms,
         dispatches,
         dispatched_msgs,
+        cross_shard: sim.cross_shard_events(),
+        barrier_wait_mean_s: barrier_wait_mean(&sim),
     }
 }
 

@@ -35,6 +35,11 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment { id: "fig3_14", title: "flow control under a slow learner", run: fig3_14 },
         Experiment { id: "tab3_03", title: "CPU and memory per role, M-Ring Paxos", run: tab3_03 },
         Experiment { id: "tab3_04", title: "CPU and memory per role, U-Ring Paxos", run: tab3_04 },
+        Experiment {
+            id: "probe3_uring",
+            title: "U-Ring latency decomposition (probe layer)",
+            run: crate::probes::probe3_uring,
+        },
     ]
 }
 

@@ -31,6 +31,11 @@ pub fn experiments() -> Vec<Experiment> {
         Experiment { id: "fig5_09", title: "impact of lambda, 2:1 rates", run: fig5_09 },
         Experiment { id: "fig5_10", title: "impact of lambda, oscillating rates", run: fig5_10 },
         Experiment { id: "fig5_11", title: "coordinator failure and recovery", run: fig5_11 },
+        Experiment {
+            id: "probe5_mring",
+            title: "M-Ring latency decomposition (probe layer)",
+            run: crate::probes::probe5_mring,
+        },
     ]
 }
 

@@ -22,7 +22,7 @@ use simnet::prelude::*;
 
 use abcast::metric;
 
-use crate::harness::{header, Window};
+use crate::harness::{header, throughput_trace, Window};
 use crate::Experiment;
 
 /// All ch. 7 experiments in paper order.
@@ -154,21 +154,20 @@ fn trace(
     observer: NodeId,
     steps: u64,
     step_len: Dur,
-    mut at_step: impl FnMut(&mut Sim, u64),
+    at_step: impl FnMut(&mut Sim, u64),
 ) {
     header(&["t (s)", "delivered Mbps"]);
-    let mut prev = sim.metrics().counter(observer, metric::DELIVERED_BYTES);
-    for step in 1..=steps {
-        at_step(sim, step);
-        sim.run_until(Time::ZERO + step_len * step);
-        let cur = sim.metrics().counter(observer, metric::DELIVERED_BYTES);
-        println!(
-            "  {:5.1} | {:14.0}",
-            (step_len * step).as_secs_f64(),
-            mbps(cur.saturating_sub(prev), step_len)
-        );
-        prev = cur;
-    }
+    throughput_trace(
+        sim,
+        observer,
+        metric::DELIVERED_BYTES,
+        steps,
+        step_len,
+        at_step,
+        |step, rate| {
+            println!("  {:5.1} | {rate:14.0}", (step_len * step).as_secs_f64());
+        },
+    );
 }
 
 fn fig7_03() {

@@ -14,7 +14,7 @@ use ringpaxos::cluster::{
 };
 use simnet::prelude::*;
 
-use crate::harness::header;
+use crate::harness::{header, throughput_trace};
 use crate::Experiment;
 
 /// All ch. 8 experiments in order.
@@ -107,32 +107,31 @@ fn fig8_02() {
     let ru = deploy(&mut sim, rec);
     let observer = ru.d.ring[3];
     let step = Dur::millis(250);
-    let mut prev = 0u64;
     let mut crashed = false;
     let mut respawned = false;
-    for i in 1..=16u64 {
-        // Apply the crash and the respawn at their exact times, even
-        // when they fall inside a trace bucket.
-        let target = step * i;
-        if !crashed && target >= Dur::millis(CRASH_AT) {
-            sim.run_until(Time::from_millis(CRASH_AT));
-            sim.set_node_up(ru.d.ring[VICTIM], false);
-            crashed = true;
-        }
-        if !respawned && target >= Dur::millis(RESTART_AT) {
-            sim.run_until(Time::from_millis(RESTART_AT));
-            respawn_uring(&mut sim, &ru, VICTIM, Some(Box::new(NullApp::default())));
-            respawned = true;
-        }
-        sim.run_until(Time::ZERO + step * i);
-        let cur = sim.metrics().counter(observer, "abcast.delivered_bytes");
-        println!(
-            "  {:5.2} | {:14.0}",
-            (step * i).as_secs_f64(),
-            simnet::stats::mbps(cur.saturating_sub(prev), step)
-        );
-        prev = cur;
-    }
+    throughput_trace(
+        &mut sim,
+        observer,
+        "abcast.delivered_bytes",
+        16,
+        step,
+        |sim, i| {
+            // Apply the crash and the respawn at their exact times, even
+            // when they fall inside a trace bucket.
+            let target = step * i;
+            if !crashed && target >= Dur::millis(CRASH_AT) {
+                sim.run_until(Time::from_millis(CRASH_AT));
+                sim.set_node_up(ru.d.ring[VICTIM], false);
+                crashed = true;
+            }
+            if !respawned && target >= Dur::millis(RESTART_AT) {
+                sim.run_until(Time::from_millis(RESTART_AT));
+                respawn_uring(sim, &ru, VICTIM, Some(Box::new(NullApp::default())));
+                respawned = true;
+            }
+        },
+        |i, rate| println!("  {:5.2} | {rate:14.0}", (step * i).as_secs_f64()),
+    );
     ru.d.log.lock().unwrap().check_crash_agreement(&[0, 1, 2, 3, 4]).expect("agreement");
     println!("  shape: the ring stalls while the process is down (U-Ring moves no traffic");
     println!("  through a dead member — Fig 7.5's lesson), then recovers past the restart:");

@@ -13,9 +13,8 @@ use ringpaxos::cluster::{
     deploy_uring_recoverable, respawn_uring, RecoverableURing, URingOptions, URingRecoveryOptions,
 };
 use simnet::prelude::*;
-use simnet::stats::mbps;
 
-use crate::harness::header;
+use crate::harness::{header, throughput_trace};
 use crate::Experiment;
 
 /// All ch. 9 experiments in order.
@@ -75,25 +74,30 @@ fn fig9_01() {
         .at(Time::from_millis(CRASH_AT), FaultAction::Crash(coord))
         .at(Time::from_millis(REJOIN_AT), FaultAction::Respawn(coord));
     let step = Dur::millis(250);
-    let mut prev = 0u64;
-    let mut series = Vec::new();
-    for i in 1..=16u64 {
-        plan.step(&mut sim, Time::ZERO + step * i, &mut |sim, _| {
-            respawn_uring(sim, &ru, 0, Some(Box::new(NullApp::default())))
-        });
-        let cur = sim.metrics().counter(observer, "abcast.delivered_bytes");
-        let rate = mbps(cur.saturating_sub(prev), step);
-        prev = cur;
-        let t_ms = 250 * i;
-        let event = match t_ms {
-            t if t == CRASH_AT => "<- coordinator crashes",
-            t if t == CRASH_AT + 250 => "   (takeover + ring repair)",
-            t if (REJOIN_AT..REJOIN_AT + 250).contains(&t) => "<- old coordinator rejoins",
-            _ => "",
-        };
-        println!("  {:5.2} | {rate:14.0} | {event}", (step * i).as_secs_f64());
-        series.push(rate);
-    }
+    let series = throughput_trace(
+        &mut sim,
+        observer,
+        "abcast.delivered_bytes",
+        16,
+        step,
+        |sim, i| {
+            // The fault plan advances the sim itself, applying each
+            // scheduled action at its exact time inside the bucket.
+            plan.step(sim, Time::ZERO + step * i, &mut |sim, _| {
+                respawn_uring(sim, &ru, 0, Some(Box::new(NullApp::default())))
+            });
+        },
+        |i, rate| {
+            let t_ms = 250 * i;
+            let event = match t_ms {
+                t if t == CRASH_AT => "<- coordinator crashes",
+                t if t == CRASH_AT + 250 => "   (takeover + ring repair)",
+                t if (REJOIN_AT..REJOIN_AT + 250).contains(&t) => "<- old coordinator rejoins",
+                _ => "",
+            };
+            println!("  {:5.2} | {rate:14.0} | {event}", (step * i).as_secs_f64());
+        },
+    );
     // Repair quality: the mean of the two buckets after the crash
     // bucket against the mean of the two before it.
     let before = (series[1] + series[2]) / 2.0;

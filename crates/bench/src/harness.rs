@@ -55,6 +55,38 @@ impl Window {
     }
 }
 
+/// Per-interval delivered-throughput trace, built on the probe layer's
+/// [`simnet::probe::CounterSampler`] — the one place the experiment
+/// chapters' "bucketed Mbps over time" figures sample counters.
+///
+/// Runs `steps` buckets of `step_len` from `Time::ZERO`, calling
+/// `at_step(sim, step)` *before* advancing each bucket (fault injection
+/// at exact intra-bucket times is the callback's job — it may freely
+/// `run_until` an instant inside the bucket), then samples the delta of
+/// `(observer, counter)` and hands each bucket's Mbps to `row` for
+/// chapter-specific formatting. Returns the full Mbps series.
+pub fn throughput_trace(
+    sim: &mut Sim,
+    observer: NodeId,
+    counter: &'static str,
+    steps: u64,
+    step_len: Dur,
+    mut at_step: impl FnMut(&mut Sim, u64),
+    mut row: impl FnMut(u64, f64),
+) -> Vec<f64> {
+    let mut sampler = simnet::probe::CounterSampler::new(counter, Some(observer));
+    sampler.rebase(sim);
+    let mut series = Vec::with_capacity(steps as usize);
+    for step in 1..=steps {
+        at_step(sim, step);
+        sim.run_until(Time::ZERO + step_len * step);
+        let rate = mbps(sampler.sample(sim), step_len);
+        row(step, rate);
+        series.push(rate);
+    }
+    series
+}
+
 /// CPU utilization (%) of one core over an interval, from busy-time diffs.
 pub fn cpu_pct(busy_before: Dur, busy_after: Dur, window: Dur) -> f64 {
     (busy_after.saturating_sub(busy_before)).as_secs_f64() / window.as_secs_f64() * 100.0

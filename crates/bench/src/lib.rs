@@ -25,6 +25,7 @@ pub mod ch7;
 pub mod ch8;
 pub mod ch9;
 pub mod harness;
+pub mod probes;
 
 /// One runnable experiment.
 pub struct Experiment {

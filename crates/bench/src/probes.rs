@@ -1,0 +1,130 @@
+//! Probe-layer reporting: per-instance latency decomposition over
+//! [`simnet::probe`]'s lifecycle spans.
+//!
+//! The ch. 3 and ch. 5 latency figures report one end-to-end number per
+//! configuration; the thesis's discussion of *where* that latency comes
+//! from (dissemination vs. voting vs. the learner's gap-free delivery
+//! wait, §3.4/§5.4) is qualitative. These runners make it quantitative:
+//! every consensus instance's propose→2A→2B→decide→deliver span is
+//! recorded by the protocol probes and decomposed into per-stage
+//! statistics. The same probed runs back the `trace_export` binary,
+//! which writes the spans as a Perfetto/Chrome `trace_event` file plus
+//! a machine-readable decomposition JSON for the CI artifacts.
+
+use ringpaxos::cluster::{deploy_mring, deploy_uring, MRingOptions, URingOptions};
+use simnet::prelude::*;
+use simnet::probe::{decompose, lifecycle_spans, LifecycleReport, StageStats};
+
+use crate::harness::header;
+
+/// A fixed-seed U-Ring deployment with lifecycle probes on, run to 2 s
+/// of virtual time (≈1.4 s of steady state past warmup).
+pub fn probed_uring(probes: ProbeConfig) -> Sim {
+    let mut cfg = SimConfig::default();
+    cfg.seed = 0x0451;
+    let mut sim = Sim::new(cfg);
+    sim.set_probes(probes);
+    let opts = URingOptions {
+        ring_len: 5,
+        n_acceptors: 3,
+        proposer_rate_bps: 120_000_000,
+        ..URingOptions::default()
+    };
+    deploy_uring(&mut sim, &opts, |_| {});
+    sim.run_until(Time::from_secs(2));
+    sim
+}
+
+/// A fixed-seed single-group M-Ring deployment with lifecycle probes
+/// on, run to 2 s of virtual time.
+pub fn probed_mring(probes: ProbeConfig) -> Sim {
+    let mut cfg = SimConfig::default();
+    cfg.seed = 0x601D;
+    let mut sim = Sim::new(cfg);
+    sim.set_probes(probes);
+    let opts = MRingOptions {
+        ring_size: 3,
+        n_learners: 2,
+        n_proposers: 2,
+        proposer_rate_bps: 200_000_000,
+        msg_bytes: 8192,
+        ..MRingOptions::default()
+    };
+    deploy_mring(&mut sim, &opts, |_| {});
+    sim.run_until(Time::from_secs(2));
+    sim
+}
+
+/// Decomposes a probed run's lifecycle stream into a report.
+pub fn report_of(sim: &Sim) -> LifecycleReport {
+    decompose(&lifecycle_spans(&sim.probe_events()))
+}
+
+fn row(label: &str, s: &StageStats) {
+    println!(
+        "  {label:<18} | {:>9} | {:>10} | {:>10} | {:>10} | {:>10}",
+        s.count,
+        format!("{}", s.mean),
+        format!("{}", s.p50),
+        format!("{}", s.p95),
+        format!("{}", s.max),
+    );
+}
+
+fn print_report(rep: &LifecycleReport) {
+    header(&[
+        "stage             ",
+        "instances",
+        "      mean",
+        "       p50",
+        "       p95",
+        "       max",
+    ]);
+    row("propose -> 2A", &rep.propose_to_2a);
+    row("2A -> 2B", &rep.a2_to_2b);
+    row("2B -> decide", &rep.b2_to_decide);
+    row("decide -> deliver", &rep.decide_to_deliver);
+    row("total", &rep.total);
+}
+
+/// `probe3_uring` — where U-Ring's delivery latency is spent.
+pub fn probe3_uring() {
+    println!("Probe report — U-Ring latency decomposition (companion to Fig 3.11's");
+    println!("  latency axis): per-instance propose→2A→2B→decide→deliver spans");
+    let sim = probed_uring(ProbeConfig::lifecycle());
+    let rep = report_of(&sim);
+    print_report(&rep);
+    println!("  shape: the ring trip dominates — a value circulates the full unicast ring");
+    println!("  before deciding, and delivery follows the decide almost immediately (the");
+    println!("  learner is on the ring); batching shows up as propose→2A queueing.");
+}
+
+/// `probe5_mring` — where M-Ring's delivery latency is spent.
+pub fn probe5_mring() {
+    println!("Probe report — M-Ring latency decomposition (companion to Fig 5.1's");
+    println!("  latency axis): per-instance propose→2A→2B→decide→deliver spans");
+    let sim = probed_mring(ProbeConfig::lifecycle());
+    let rep = report_of(&sim);
+    print_report(&rep);
+    println!("  shape: multicast dissemination makes 2A→2B the acceptor-ring vote trip");
+    println!("  only; decide→deliver stays small while a single group never waits on");
+    println!("  the deterministic round-robin merge (contrast ch. 5's multi-group runs).");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uring_decomposition_has_spans() {
+        let sim = probed_uring(ProbeConfig::lifecycle());
+        let rep = report_of(&sim);
+        assert!(rep.instances > 0);
+        assert!(rep.total.count > 0);
+        assert!(rep.total.mean >= rep.b2_to_decide.mean);
+        // The exported JSON is parseable enough to be an artifact.
+        let json = rep.to_json();
+        assert!(json.contains("\"instances\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

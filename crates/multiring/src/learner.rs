@@ -252,6 +252,13 @@ impl MultiRingLearner {
         }
         // Drain the merge in deterministic order.
         while let Some((ring, batch)) = self.merge.pop() {
+            if ctx.probes_enabled() {
+                // One merge-release event per popped batch: the ring's
+                // group id in the high word, the batch size in the low —
+                // the Perfetto track of the cross-ring merge order.
+                let group = self.followers[ring].cfg.group.0 as u64;
+                ctx.probe(probe::code::MERGE_DELIVER, (group << 32) | batch.values().len() as u64);
+            }
             for v in batch.iter() {
                 if let Some(log) = self.log.as_ref() {
                     log.lock().unwrap().deliver(self.index, v.id);

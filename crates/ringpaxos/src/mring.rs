@@ -551,6 +551,14 @@ impl MRingProcess {
                     bytes += v.bytes as u64;
                     vals.push(v);
                 }
+                // Probe stamp: a PROPOSE span opens at the earliest
+                // client submission in the batch (captured before
+                // `BatchData::new` consumes the values).
+                let first_submitted = if ctx.probes_enabled() {
+                    vals.iter().map(|v| v.submitted).min()
+                } else {
+                    None
+                };
                 let batch: Batch = BatchData::new(vals);
                 let instance = c.next_instance;
                 c.next_instance = instance.next();
@@ -585,6 +593,11 @@ impl MRingProcess {
                     mask,
                     decided_below,
                 };
+                if let Some(at) = first_submitted {
+                    let key = probe::span_key(self.cfg.group.0 as u32, instance.0);
+                    ctx.probe_at(probe::code::PROPOSE, key, at);
+                    ctx.probe(probe::code::PHASE2A, key);
+                }
                 self.mcast_2a(msg, mask, wire, ctx);
                 // Local loop-back when the coordinator is also a learner
                 // (multicast does not echo to the sender).
@@ -650,6 +663,10 @@ impl MRingProcess {
                     a.decided.insert(instance, ());
                 }
                 ctx.counter_add_id(metric::id::INSTANCES, 1);
+                if ctx.probes_enabled() {
+                    let key = probe::span_key(self.cfg.group.0 as u32, instance.0);
+                    ctx.probe(probe::code::DECIDE, key);
+                }
                 let round = self.round;
                 self.learner_decide(&[(instance, mask)], round);
                 self.try_deliver(ctx);
@@ -797,6 +814,9 @@ impl MRingProcess {
     }
 
     fn send_2b_to_successor(&mut self, instance: InstanceId, round: Round, ctx: &mut Ctx) {
+        if ctx.probes_enabled() {
+            ctx.probe(probe::code::PHASE2B, probe::span_key(self.cfg.group.0 as u32, instance.0));
+        }
         if let Some(succ) = self.cfg.successor(self.me) {
             ctx.udp_send(succ, MMsg::Phase2b { instance, round }, self.cfg.ctl_bytes);
         }
@@ -906,6 +926,9 @@ impl MRingProcess {
             let (_, batch) = slot.payload.expect("payload checked");
             l.next_deliver = next.next();
             let index = l.index;
+            if ctx.probes_enabled() {
+                ctx.probe(probe::code::DELIVER, probe::span_key(self.cfg.group.0 as u32, next.0));
+            }
             let mut delivered_here = Vec::new();
             for v in batch.iter() {
                 if !l.delivered.fresh(v.proposer, v.seq) {

@@ -524,6 +524,11 @@ impl URingProcess {
                 bytes += v.bytes as u64;
                 vals.push(v);
             }
+            // Probe stamp: a PROPOSE span opens at the earliest client
+            // submission the batch covers (captured before `pack`
+            // consumes the values).
+            let first_submitted =
+                if ctx.probes_enabled() { vals.iter().map(|v| v.submitted).min() } else { None };
             let batch: Batch = BatchData::pack(vals, &self.cfg.ring);
             let instance = c.next_instance;
             c.next_instance = instance.next();
@@ -532,6 +537,9 @@ impl URingProcess {
                 c.outstanding_batches.insert(instance, (batch.clone(), ctx.now()));
             }
             ctx.counter_add_id(metric::id::INSTANCES, 1);
+            if let Some(at) = first_submitted {
+                ctx.probe_at(probe::code::PROPOSE, probe::span_key(0, instance.0), at);
+            }
             self.send_2ab(instance, batch, ctx);
         }
     }
@@ -543,6 +551,9 @@ impl URingProcess {
     /// instances through a reformed ring and to re-propose the takeover
     /// window under a new epoch.
     fn send_2ab(&mut self, instance: InstanceId, batch: Batch, ctx: &mut Ctx) {
+        if ctx.probes_enabled() {
+            ctx.probe(probe::code::PHASE2A, probe::span_key(0, instance.0));
+        }
         // The coordinator is the first acceptor: vote locally.
         if let Some(a) = self.acceptor.as_mut() {
             let _ = a.receive_2a(instance, self.round, batch.clone());
@@ -554,6 +565,9 @@ impl URingProcess {
             // Degenerate single-acceptor ring: the coordinator is also
             // the last acceptor and decides immediately.
             let ring_len = self.cfg.ring.len() as u32;
+            if ctx.probes_enabled() {
+                ctx.probe(probe::code::DECIDE, probe::span_key(0, instance.0));
+            }
             self.learner_ready(instance, &batch, ctx);
             if ring_len > 1 {
                 ctx.tcp_send(
@@ -639,11 +653,17 @@ impl URingProcess {
                 return;
             }
         }
+        if ctx.probes_enabled() {
+            ctx.probe(probe::code::PHASE2B, probe::span_key(0, instance.0));
+        }
         let ring_len = self.cfg.ring.len() as u32;
         if self.pos == self.cfg.last_acceptor_pos() {
             // Task 4: the last acceptor detects the decision and starts
             // circulating it with the chosen batch.
             let id_hops = ring_len - 1;
+            if ctx.probes_enabled() {
+                ctx.probe(probe::code::DECIDE, probe::span_key(0, instance.0));
+            }
             self.learner_ready(instance, &batch, ctx);
             let wire = self.hop_bytes(&batch, self.next_pos(), true);
             ctx.tcp_send(
@@ -704,6 +724,9 @@ impl URingProcess {
             let delivered_instance = l.next_deliver;
             l.next_deliver = l.next_deliver.next();
             let index = l.index;
+            if ctx.probes_enabled() {
+                ctx.probe(probe::code::DELIVER, probe::span_key(0, delivered_instance.0));
+            }
             let mut fresh = Vec::new();
             for v in b.iter() {
                 if l.delivered.fresh(v.proposer, v.seq) {

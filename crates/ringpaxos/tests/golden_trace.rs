@@ -164,6 +164,79 @@ fn mring_lossy_golden_trace() {
     report("mring_lossy k=2 t=2", &run(2, 2), &want);
 }
 
+/// Probes are pure observation: running the U-Ring scenario with every
+/// probe category enabled must reproduce the exact same golden values
+/// as the probe-free runs above, while also yielding a non-empty
+/// lifecycle stream whose latency decomposition is well-formed.
+#[test]
+fn uring_probes_enabled_golden_trace() {
+    let run = |shards: usize, threads: usize| {
+        let mut cfg = SimConfig::default();
+        cfg.seed = 0x0451;
+        let mut sim = Sim::new(cfg);
+        let opts = URingOptions {
+            ring_len: 5,
+            n_acceptors: 3,
+            proposer_rate_bps: 120_000_000,
+            proposer_stop: Some(Time::from_millis(600)),
+            ..URingOptions::default()
+        };
+        if shards > 1 {
+            sim.set_partition(Partition::modulo(0, shards));
+        }
+        sim.set_threads(threads);
+        sim.set_probes(ProbeConfig::all());
+        let d = deploy_uring(&mut sim, &opts, |_| {});
+        sim.run_until(Time::from_millis(800));
+        (harvest(&sim, &d.ring), sim.probe_events())
+    };
+    let want = Golden {
+        events: 38835,
+        delivered: vec![1375, 1375, 1375, 1375, 1375],
+        checksum: 0x13a7cdb7b6ff35e1,
+        latency_count: 1375,
+        latency_mean_ns: 4462429,
+    };
+    let (got, events) = run(1, 1);
+    report("uring+probes", &got, &want);
+    let (got2, events2) = run(2, 1);
+    report("uring+probes k=2", &got2, &want);
+    let (got3, events3) = run(2, 2);
+    report("uring+probes k=2 t=2", &got3, &want);
+    // Per (seed, partition) the probe stream is thread-count invariant.
+    assert_eq!(simnet::probe::encode(&events2), simnet::probe::encode(&events3));
+    // Handoff events exist only under a real partition; everything else
+    // (protocol, net, host) is partition invariant in count.
+    let non_exec = |evs: &[simnet::probe::ProbeEvent]| {
+        evs.iter()
+            .filter(|e| simnet::probe::code::category_of(e.code) != simnet::probe::category::EXEC)
+            .count()
+    };
+    assert_eq!(non_exec(&events), non_exec(&events2));
+
+    let spans = simnet::probe::lifecycle_spans(&events);
+    let decided = spans.iter().filter(|s| s.decide.is_some()).count();
+    assert!(
+        decided as u64 >= want.latency_count as u64,
+        "every delivery implies a decided instance"
+    );
+    let rep = simnet::probe::decompose(&spans);
+    assert!(rep.instances > 0);
+    assert!(rep.total.count > 0);
+    // Each instance's recorded stages must be time-ordered.
+    for s in &spans {
+        let mut last = s.propose;
+        for stage in [s.phase2a, s.phase2b, s.decide, s.deliver] {
+            if let (Some(a), Some(b)) = (last, stage) {
+                assert!(a <= b, "lifecycle stages must be time-ordered");
+            }
+            if stage.is_some() {
+                last = stage;
+            }
+        }
+    }
+}
+
 #[test]
 fn uring_golden_trace() {
     let run = |shards: usize, threads: usize| {

@@ -122,6 +122,10 @@ impl SimInner {
         }
         self.metrics.add_id(dst, mid::NET_RECV_BYTES, env.wire_bytes as u64);
         self.metrics.add_id(dst, mid::NET_RECV_PKTS, 1);
+        if self.probe_on(crate::probe::category::NET) {
+            let arg = ((env.src.0 as u64) << 32) | env.wire_bytes as u64;
+            self.probe_record(dst, crate::probe::code::NET_RECV, arg);
+        }
         if env.transport == Transport::Tcp {
             let slot = match self.tcp_rx_slot(env.src, dst) {
                 Some(slot) => Some(slot),
@@ -263,6 +267,9 @@ impl Sim {
                 if !self.inner.node(node).up {
                     return;
                 }
+                if self.inner.probe_on(crate::probe::category::HOST) {
+                    self.inner.probe_record(node, crate::probe::code::HOST_TIMER, token.0);
+                }
                 if let Some(mut actor) = self.actors[node.0].take() {
                     let mut ctx = Ctx::new(node, &mut self.inner);
                     actor.on_timer(token, &mut ctx);
@@ -304,6 +311,9 @@ impl Sim {
             EventKind::DiskDone { node, token } => {
                 if !self.inner.node(node).up {
                     return;
+                }
+                if self.inner.probe_on(crate::probe::category::HOST) {
+                    self.inner.probe_record(node, crate::probe::code::HOST_DISK, token.0);
                 }
                 if let Some(mut actor) = self.actors[node.0].take() {
                     let mut ctx = Ctx::new(node, &mut self.inner);

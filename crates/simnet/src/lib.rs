@@ -39,6 +39,7 @@ mod host;
 pub mod ids;
 mod net;
 pub mod payload;
+pub mod probe;
 pub mod shard;
 pub mod sim;
 pub mod stats;
@@ -54,6 +55,7 @@ pub mod prelude {
     pub use crate::fault::{FaultAction, FaultPlan};
     pub use crate::ids::{GroupId, NodeId, TimerToken};
     pub use crate::payload::Payload;
+    pub use crate::probe::{self, ProbeConfig, ProbeEvent, WorkerTelemetry};
     pub use crate::shard::Partition;
     pub use crate::sim::{Actor, Ctx, Envelope, Sim, Transport};
     pub use crate::stats::{mbps, mid, per_sec, LatencyStats, MetricId, Metrics};

@@ -177,6 +177,10 @@ impl SimInner {
         up.uplink_free = up_done;
         self.metrics.add_id(src, mid::NET_SENT_BYTES, bytes as u64);
         self.metrics.add_id(src, mid::NET_SENT_PKTS, 1);
+        if self.probe_on(crate::probe::category::NET) {
+            let arg = ((dsts.len() as u64) << 32) | bytes as u64;
+            self.probe_record(src, crate::probe::code::NET_SEND, arg);
+        }
         // The last destination takes ownership of the caller's payload
         // handle: the clone-per-destination refcount bump only runs for
         // true multicast fan-out, never on the unicast fast path.
@@ -306,6 +310,9 @@ impl SimInner {
             // is ≥ now + one_way_latency, which is what makes the
             // deploy-time lookahead matrix sound (see `shard`).
             self.cross_shard_events += 1;
+            if self.probe_on(crate::probe::category::EXEC) {
+                self.probe_handoff(ss, ds, env.dst);
+            }
             self.shards[ds]
                 .inbox
                 .push((ss as u32, CrossShardEvent::Arrive { time: at_host, seq, env }));
@@ -328,6 +335,9 @@ impl SimInner {
             self.shards[ds].queue.push(at, seq, EventKind::SwitchArrive { id, arrive, hold, dup });
         } else {
             self.cross_shard_events += 1;
+            if self.probe_on(crate::probe::category::EXEC) {
+                self.probe_handoff(ss, ds, env.dst);
+            }
             self.shards[ds].inbox.push((
                 ss as u32,
                 CrossShardEvent::Switch { time: at, seq, env, arrive, hold, dup },

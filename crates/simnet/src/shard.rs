@@ -257,6 +257,12 @@ pub(crate) struct ShardState {
     /// or at each barrier (fast mode). In a fast-mode worker the entries
     /// of *foreign* shards double as outboxes, exchanged at the barrier.
     pub(crate) inbox: Vec<(u32, CrossShardEvent)>,
+    /// This shard's probe ring buffer ([`crate::probe`]). Living in the
+    /// arena, it travels with the shard through the threaded executor's
+    /// split/merge, keeping the probe layer `Send`-clean: a shard's
+    /// stream is written only by whichever worker owns the shard.
+    /// Dormant (capacity 0) until [`crate::sim::Sim::set_probes`].
+    pub(crate) tracer: crate::probe::ShardTracer,
 }
 
 impl SimInner {
@@ -305,6 +311,9 @@ impl SimInner {
             self.shards[sh].queue.push(at, seq, kind);
         } else {
             self.cross_shard_events += 1;
+            if self.probe_on(crate::probe::category::EXEC) {
+                self.probe_handoff(from_shard, sh, node);
+            }
             self.shards[sh]
                 .inbox
                 .push((from_shard as u32, CrossShardEvent::Event { time: at, seq, kind }));
@@ -436,6 +445,14 @@ impl SimInner {
         debug_assert!(self.tcp_tx_index.iter().all(|&c| c == 0));
         let k = p.shards();
         self.shards = (0..k).map(|_| ShardState::default()).collect();
+        if self.probe_capacity != 0 {
+            for sh in &mut self.shards {
+                sh.tracer.reset(self.probe_capacity);
+            }
+        }
+        if !self.probe_handoffs.is_empty() || self.probe_on(crate::probe::category::EXEC) {
+            self.probe_handoffs = vec![0; k * k];
+        }
         self.metrics.repartition(p.assignment(), k);
         self.lookahead = Self::lookahead_matrix(k, self.config.one_way_latency);
         self.partition = p;

@@ -258,6 +258,17 @@ pub struct SimInner {
     /// Debug description of the first event ever scheduled, captured so
     /// [`Sim::set_partition`]'s ordering panic can name the offender.
     pub(crate) first_event: Option<String>,
+    /// Enabled probe category bits ([`crate::probe::category`]); `0` —
+    /// the default — disables the probe layer entirely, leaving only
+    /// single predictable branches at the hook sites.
+    pub(crate) probe_mask: u8,
+    /// Per-shard tracer ring capacity in events (0 = aggregates only).
+    pub(crate) probe_capacity: usize,
+    /// Shard-pair cross-handoff matrix, `probe_handoffs[from * k + to]`,
+    /// maintained when the EXEC probe category is on. Merged across
+    /// fast-mode workers by element-wise summation (commutative, so
+    /// thread-count invariant).
+    pub(crate) probe_handoffs: Vec<u64>,
     /// Public metrics registry; actors record through [`Ctx`].
     pub metrics: Metrics,
 }
@@ -278,6 +289,64 @@ impl SimInner {
         if self.first_event.is_none() {
             self.record_first_event(at, kind);
         }
+    }
+
+    /// Whether any probe category in `mask` is enabled. The sole test on
+    /// every probe hook site — one `u8` AND plus a predictable branch,
+    /// so the hot loops are untouched when probes are off (the default).
+    #[inline]
+    pub(crate) fn probe_on(&self, mask: u8) -> bool {
+        self.probe_mask & mask != 0
+    }
+
+    /// Records a probe event at the current virtual time into the
+    /// recorded node's own shard tracer. Cold: only reached behind a
+    /// passing [`SimInner::probe_on`] check.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn probe_record(&mut self, node: NodeId, code: u16, arg: u64) {
+        let at = self.now;
+        self.probe_record_at(node, code, arg, at);
+    }
+
+    /// Records a probe event with an explicit (possibly earlier)
+    /// timestamp — e.g. [`crate::probe::code::PROPOSE`] stamps the
+    /// earliest client submission of a batch. Because of such events a
+    /// shard's stream is not guaranteed time-sorted; the merge in
+    /// [`Sim::probe_events`] performs a full sort.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn probe_record_at(&mut self, node: NodeId, code: u16, arg: u64, at: Time) {
+        let sh = self.shard_idx(node);
+        self.shards[sh].tracer.record(crate::probe::ProbeEvent {
+            time: at,
+            node: node.0 as u32,
+            code,
+            arg,
+        });
+    }
+
+    /// Records one cross-shard handoff: bumps the shard-pair matrix and
+    /// (when event buffering is on) logs an
+    /// [`crate::probe::code::EXEC_HANDOFF`] event into the *source*
+    /// shard's tracer — the generation site, which is always
+    /// worker-owned in fast mode. Cold: behind an EXEC
+    /// [`SimInner::probe_on`] check.
+    #[cold]
+    #[inline(never)]
+    pub(crate) fn probe_handoff(&mut self, from_shard: usize, to_shard: usize, node: NodeId) {
+        let k = self.partition.shards();
+        if self.probe_handoffs.len() == k * k {
+            self.probe_handoffs[from_shard * k + to_shard] += 1;
+        }
+        let arg = ((from_shard as u64) << 32) | to_shard as u64;
+        let at = self.now;
+        self.shards[from_shard].tracer.record(crate::probe::ProbeEvent {
+            time: at,
+            node: node.0 as u32,
+            code: crate::probe::code::EXEC_HANDOFF,
+            arg,
+        });
     }
 }
 
@@ -459,6 +528,36 @@ impl Ctx<'_> {
     pub fn record_latency(&mut self, name: &'static str, sample: Dur) {
         self.inner.metrics.record_latency(name, sample);
     }
+
+    /// Whether protocol-category probes are enabled. Actors with a
+    /// nontrivial argument to compute (e.g. a span key) should guard on
+    /// this so disabled runs pay only the one branch.
+    #[inline]
+    pub fn probes_enabled(&self) -> bool {
+        self.inner.probe_on(crate::probe::category::PROTOCOL)
+    }
+
+    /// Records a protocol probe event ([`crate::probe::code`]) at the
+    /// current virtual time. A no-op unless the protocol category is
+    /// enabled ([`Sim::set_probes`]). Recording is pure observation: no
+    /// RNG draw, no metrics counter, no scheduled event — enabling
+    /// probes cannot perturb the simulation.
+    #[inline]
+    pub fn probe(&mut self, code: u16, arg: u64) {
+        if self.inner.probe_on(crate::probe::category::PROTOCOL) {
+            self.inner.probe_record(self.node, code, arg);
+        }
+    }
+
+    /// Records a protocol probe event with an explicit timestamp at or
+    /// before the current time — e.g. a PROPOSE stamped with the
+    /// earliest client submission its batch covers.
+    #[inline]
+    pub fn probe_at(&mut self, code: u16, arg: u64, at: Time) {
+        if self.inner.probe_on(crate::probe::category::PROTOCOL) {
+            self.inner.probe_record_at(self.node, code, arg, at);
+        }
+    }
 }
 
 /// A simulated cluster: nodes, network, and the actors deployed on them.
@@ -475,6 +574,11 @@ pub struct Sim {
     /// Worker-thread cap for fast mode; the effective worker count is
     /// `min(threads, shards)`.
     pub(crate) threads: usize,
+    /// Per-worker executor telemetry accumulated by fast-mode runs when
+    /// the EXEC probe category is on, indexed by worker. Control-plane
+    /// state (the workers report at merge time); cleared by
+    /// [`Sim::set_probes`].
+    pub(crate) exec_telemetry: Vec<crate::probe::WorkerTelemetry>,
 }
 
 impl Sim {
@@ -503,6 +607,9 @@ impl Sim {
                 cut_links: std::collections::HashSet::new(),
                 exec_fast: false,
                 first_event: None,
+                probe_mask: 0,
+                probe_capacity: 0,
+                probe_handoffs: Vec::new(),
                 metrics: Metrics::new(),
             },
             actors: Vec::new(),
@@ -510,6 +617,7 @@ impl Sim {
             inbox: Vec::new(),
             mode: ExecMode::Determinism,
             threads: 1,
+            exec_telemetry: Vec::new(),
         }
     }
 
@@ -732,6 +840,62 @@ impl Sim {
     pub fn with_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut Ctx) -> R) -> R {
         let mut ctx = Ctx::new(node, &mut self.inner);
         f(&mut ctx)
+    }
+
+    /// Arms (or disarms) the probe layer ([`crate::probe`]). Resets the
+    /// per-shard tracers, the handoff matrix, and accumulated executor
+    /// telemetry. Control-plane: call between runs, not from actors.
+    /// Probes default to [`crate::probe::ProbeConfig::disabled`].
+    pub fn set_probes(&mut self, cfg: crate::probe::ProbeConfig) {
+        self.inner.probe_mask = cfg.categories;
+        self.inner.probe_capacity = if cfg.enabled() { cfg.capacity } else { 0 };
+        let k = self.inner.partition.shards();
+        self.inner.probe_handoffs = if cfg.categories & crate::probe::category::EXEC != 0 {
+            vec![0; k * k]
+        } else {
+            Vec::new()
+        };
+        let capacity = self.inner.probe_capacity;
+        for sh in &mut self.inner.shards {
+            sh.tracer.reset(capacity);
+        }
+        self.exec_telemetry.clear();
+    }
+
+    /// The merged probe stream: every shard tracer's events, sorted by
+    /// `(time, shard, per-shard record index)`. All three keys are
+    /// thread-count invariant within an executor mode, so the merged
+    /// stream is too ([`crate::probe`] module docs, "Determinism").
+    pub fn probe_events(&self) -> Vec<crate::probe::ProbeEvent> {
+        let mut keyed: Vec<(Time, usize, u64, crate::probe::ProbeEvent)> = Vec::new();
+        for (sh, state) in self.inner.shards.iter().enumerate() {
+            keyed.extend(state.tracer.chronological().map(|(idx, ev)| (ev.time, sh, idx, ev)));
+        }
+        // Unstable sort is safe: (time, shard, idx) keys are unique.
+        keyed.sort_unstable_by_key(|&(t, sh, idx, _)| (t, sh, idx));
+        keyed.into_iter().map(|(_, _, _, ev)| ev).collect()
+    }
+
+    /// Events overwritten after a shard's tracer ring filled (0 when
+    /// every recorded event is still buffered).
+    pub fn probe_dropped(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.tracer.dropped()).sum()
+    }
+
+    /// The shard-pair cross-handoff matrix, `matrix[from * k + to]`
+    /// (empty unless the EXEC probe category is enabled). The input the
+    /// ROADMAP's topology-aware-partition item needs: which shard pairs
+    /// actually exchange events.
+    pub fn handoff_matrix(&self) -> &[u64] {
+        &self.inner.probe_handoffs
+    }
+
+    /// Per-worker executor telemetry accumulated by fast-mode runs since
+    /// the last [`Sim::set_probes`] (empty unless the EXEC probe
+    /// category is on). Wall-clock fields measure the host; the
+    /// schedule fields (rounds, events, windows) are deterministic.
+    pub fn worker_telemetry(&self) -> &[crate::probe::WorkerTelemetry] {
+        &self.exec_telemetry
     }
 }
 

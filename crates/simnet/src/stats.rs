@@ -376,6 +376,18 @@ impl Metrics {
         self.latencies.remove(name).map_or_else(LatencyStats::default, |h| h.stats())
     }
 
+    /// The `frac` quantile of the samples recorded under `name`, or
+    /// `None` when nothing has been recorded — an empty recorder has no
+    /// percentile, and the old bucket-midpoint `0` was indistinguishable
+    /// from a genuine sub-nanosecond sample.
+    pub fn percentile(&self, name: &'static str, frac: f64) -> Option<Dur> {
+        let h = self.latencies.get(name)?;
+        if h.count == 0 {
+            return None;
+        }
+        Some(Dur::nanos(h.quantile(frac)))
+    }
+
     /// Empirical CDF of samples under `name` at the given number of points.
     /// Returns `(latency, fraction <= latency)` pairs.
     pub fn latency_cdf(&self, name: &'static str, points: usize) -> Vec<(Dur, f64)> {
@@ -744,5 +756,61 @@ mod tests {
         let s = m.take_latency("w");
         assert_eq!(s.count, 1);
         assert_eq!(m.latency("w").count, 0);
+    }
+
+    #[test]
+    fn percentile_of_empty_recorder_is_none() {
+        let mut m = Metrics::new();
+        assert_eq!(m.percentile("never", 0.5), None);
+        // A counter under the same name still has no latency samples.
+        m.add(NodeId(0), "never", 1);
+        assert_eq!(m.percentile("never", 0.5), None);
+        m.record_latency("some", Dur::micros(10));
+        let p = m.percentile("some", 0.5).expect("one sample recorded");
+        close(p, Dur::micros(10), 2.0);
+    }
+
+    #[test]
+    fn fork_merge_is_commutative_for_counters_and_latencies() {
+        // Two zeroed forks of the same registry, each with its own
+        // counters and latency samples, folded in both orders.
+        let mk_base = || {
+            let mut m = Metrics::new();
+            m.add(NodeId(0), "x", 1);
+            m.record_latency("l", Dur::micros(1));
+            m
+        };
+        let base = mk_base();
+        let mut fa = base.fork_zeroed();
+        let mut fb = base.fork_zeroed();
+        assert_eq!(fa.latency("l").count, 0, "fork must not inherit samples");
+        fa.add(NodeId(0), "x", 10);
+        fa.add(NodeId(1), "y", 3);
+        for i in 1..=50u64 {
+            fa.record_latency("l", Dur::micros(i));
+        }
+        fb.add(NodeId(0), "x", 20);
+        fb.add(NodeId(2), "z", 7);
+        for i in 51..=100u64 {
+            fb.record_latency("l", Dur::micros(i));
+        }
+
+        let mut ab = mk_base();
+        ab.merge_from(&fa);
+        ab.merge_from(&fb);
+        let mut ba = mk_base();
+        ba.merge_from(&fb);
+        ba.merge_from(&fa);
+
+        let snapshot = |m: &Metrics| {
+            let mut counters = Vec::new();
+            m.for_each_counter(|n, name, v| counters.push((n.0, name.to_string(), v)));
+            let l = m.latency("l");
+            (counters, l.count, l.mean, l.p50, l.p95, l.max)
+        };
+        assert_eq!(snapshot(&ab), snapshot(&ba));
+        assert_eq!(ab.counter(NodeId(0), "x"), 31);
+        assert_eq!(ab.latency("l").count, 101);
+        assert_eq!(ab.latency("l").max, Dur::micros(100));
     }
 }

@@ -167,6 +167,10 @@ impl Sim {
                         cut_links: self.inner.cut_links.clone(),
                         exec_fast: true,
                         first_event: self.inner.first_event.clone(),
+                        probe_mask: self.inner.probe_mask,
+                        probe_capacity: self.inner.probe_capacity,
+                        // Zeroed fork: the merge sums handoff deltas.
+                        probe_handoffs: vec![0; self.inner.probe_handoffs.len()],
                         metrics: self.inner.metrics.fork_zeroed(),
                     },
                     actors,
@@ -174,6 +178,7 @@ impl Sim {
                     inbox: Vec::new(),
                     mode: ExecMode::Determinism,
                     threads: 1,
+                    exec_telemetry: Vec::new(),
                 }
             })
             .collect()
@@ -211,6 +216,24 @@ impl Sim {
             }
             for (main, wv) in self.inner.tcp_rx_index.iter_mut().zip(&ws.inner.tcp_rx_index) {
                 *main = (*main).max(*wv);
+            }
+            // Handoff-matrix deltas sum element-wise (commutative, so
+            // the merged matrix is thread-count invariant); worker
+            // telemetry accumulates per worker index across runs.
+            for (main, wv) in self.inner.probe_handoffs.iter_mut().zip(&ws.inner.probe_handoffs) {
+                *main += *wv;
+            }
+            for t in &ws.exec_telemetry {
+                match self.exec_telemetry.iter_mut().find(|e| e.worker == t.worker) {
+                    Some(e) => {
+                        e.rounds += t.rounds;
+                        e.events += t.events;
+                        e.window_ns += t.window_ns;
+                        e.busy += t.busy;
+                        e.barrier_wait += t.barrier_wait;
+                    }
+                    None => self.exec_telemetry.push(*t),
+                }
             }
         }
         self.reconcile_tcp_rx();
@@ -251,7 +274,24 @@ impl Sim {
         barrier: &Barrier,
     ) {
         let k = self.inner.shards.len();
+        // Telemetry is wall-clock measurement of the host, kept outside
+        // the deterministic probe stream; armed by the EXEC category.
+        let telemetry = self.inner.probe_on(crate::probe::category::EXEC);
+        let run_start = telemetry.then(std::time::Instant::now);
+        let mut barrier_wait = std::time::Duration::ZERO;
+        let mut rounds = 0u64;
+        let mut window_ns = 0u128;
+        let mut timed_wait = |barrier: &Barrier| {
+            if telemetry {
+                let t0 = std::time::Instant::now();
+                barrier.wait();
+                barrier_wait += t0.elapsed();
+            } else {
+                barrier.wait();
+            }
+        };
         loop {
+            rounds += 1;
             // 1. Flush outboxes: handoffs this worker generated last
             //    window, staged in its foreign shards' inbox slots.
             for (sh, cell) in exchange.iter().enumerate() {
@@ -261,7 +301,7 @@ impl Sim {
                     self.inner.shards[sh].inbox = out;
                 }
             }
-            barrier.wait();
+            timed_wait(barrier);
 
             // 2. Drain own shards (cross-worker exchange cells plus
             //    same-worker staged handoffs), then post the local min.
@@ -286,7 +326,7 @@ impl Sim {
                 sh += workers;
             }
             mins[w].store(lmin, Ordering::Relaxed);
-            barrier.wait();
+            timed_wait(barrier);
 
             // 3. Window: everyone computes the same global minimum and
             //    either breaks in lockstep or advances one window.
@@ -295,6 +335,10 @@ impl Sim {
                 break;
             }
             let wend = gmin.saturating_add(window.as_nanos());
+            // Realized window width: the virtual span this worker's
+            // dispatches actually covered within [gmin, wend).
+            let mut round_last = gmin;
+            let mut dispatched = false;
             let mut sh = w;
             while sh < k {
                 while let Some(pos) = self.inner.shards[sh].queue.find_min() {
@@ -305,9 +349,27 @@ impl Sim {
                     self.inner.now = time;
                     self.inner.events += 1;
                     self.dispatch(sh, time, kind);
+                    if telemetry {
+                        round_last = round_last.max(time.as_nanos());
+                        dispatched = true;
+                    }
                 }
                 sh += workers;
             }
+            if dispatched {
+                window_ns += (round_last - gmin) as u128;
+            }
+        }
+        if let Some(start) = run_start {
+            let total = start.elapsed();
+            self.exec_telemetry.push(crate::probe::WorkerTelemetry {
+                worker: w,
+                rounds,
+                events: self.inner.events,
+                window_ns,
+                busy: total.saturating_sub(barrier_wait),
+                barrier_wait,
+            });
         }
     }
 
