@@ -5,7 +5,7 @@
 //!
 //! * [`checker`] — delivery logs plus checkers for the properties of
 //!   thesis §2.2.3 (atomic broadcast) and §2.2.4 (atomic multicast);
-//! * [`workload`] — open-loop pacing and the paper's B⁺-tree workloads;
+//! * [`workload`] — the paced open-loop submitter ([`Pacer`]);
 //! * standard metric names, so experiment drivers can read any protocol's
 //!   throughput and latency the same way.
 //!
@@ -49,4 +49,4 @@ pub mod metric {
 }
 
 pub use checker::{shared_log, DeliveryLog, MsgId, OrderViolation, SharedLog};
-pub use workload::{Pacer, TreeWorkload};
+pub use workload::Pacer;

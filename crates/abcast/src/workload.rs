@@ -4,7 +4,10 @@
 //! configured aggregate rate — the throughput experiments of ch. 3/5) and
 //! *closed loop* (a fixed number of clients each with one outstanding
 //! command — the latency/throughput curves of ch. 4). [`Pacer`] implements
-//! the open-loop side; closed-loop clients live with the SMR code.
+//! the paced open-loop side and lives here because the ordering
+//! protocols' own drivers use it; everything else client-side (keyed
+//! generators, Poisson arrivals, sessions) lives in the `workload`
+//! crate, which re-exports `Pacer` as part of the unified client tier.
 
 use simnet::time::{Dur, Time};
 
@@ -83,41 +86,6 @@ impl Pacer {
     }
 }
 
-/// The three B⁺-tree workloads of §4.4.2.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum TreeWorkload {
-    /// Range queries over intervals of 1000 keys.
-    Queries,
-    /// One insert-or-delete per command.
-    InsDelSingle,
-    /// Seven updates per command, batched into 8 KB packets.
-    InsDelBatch,
-}
-
-impl TreeWorkload {
-    /// Command size on the wire (the paper uses 256-byte commands).
-    pub fn command_bytes(self) -> u32 {
-        256
-    }
-
-    /// Reply size: 8 KB for range results, 256 B for update acks (§4.4.2).
-    pub fn reply_bytes(self) -> u32 {
-        match self {
-            TreeWorkload::Queries => 8192,
-            TreeWorkload::InsDelSingle | TreeWorkload::InsDelBatch => 256,
-        }
-    }
-
-    /// Updates carried per command.
-    pub fn updates_per_command(self) -> u32 {
-        match self {
-            TreeWorkload::Queries => 0,
-            TreeWorkload::InsDelSingle => 1,
-            TreeWorkload::InsDelBatch => 7,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,12 +133,5 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_rejected() {
         let _ = Pacer::new(0, 1000, 1);
-    }
-
-    #[test]
-    fn workload_shapes() {
-        assert_eq!(TreeWorkload::Queries.reply_bytes(), 8192);
-        assert_eq!(TreeWorkload::InsDelBatch.updates_per_command(), 7);
-        assert_eq!(TreeWorkload::InsDelSingle.command_bytes(), 256);
     }
 }

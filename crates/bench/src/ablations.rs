@@ -3,7 +3,6 @@
 //! and the speculation execution/ordering overlap window.
 
 use abcast::metric;
-use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_smr, SmrOptions};
 use hpsmr_core::{SMR_COMPLETED, SMR_LATENCY};
 use psmr::{
@@ -11,6 +10,7 @@ use psmr::{
 };
 use ringpaxos::cluster::{deploy_mring, MRingOptions};
 use simnet::prelude::*;
+use workload::WorkloadKind;
 
 use crate::harness::{header, Window};
 use crate::Experiment;

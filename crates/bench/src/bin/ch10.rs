@@ -1,0 +1,13 @@
+//! Runs the chapter 10 experiments — the unified client tier at scale
+//! (equivalent to `figures ch10`, as its own entry point so the
+//! million-session runs are one `cargo run --release -p bench --bin
+//! ch10` away).
+
+fn main() {
+    for e in bench::ch10::experiments() {
+        println!("\n================================================================");
+        println!("{} — {}", e.id, e.title);
+        println!("================================================================");
+        (e.run)();
+    }
+}

@@ -18,8 +18,8 @@ fn main() {
             for e in &experiments {
                 println!("  {:<8} {}", e.id, e.title);
             }
-            println!("  all      run everything");
-            println!("  ch3..ch9 run one chapter");
+            println!("  all       run everything");
+            println!("  ch3..ch10 run one chapter");
         }
         "all" => {
             for e in &experiments {
@@ -27,7 +27,7 @@ fn main() {
                 (e.run)();
             }
         }
-        ch @ ("ch3" | "ch4" | "ch5" | "ch6" | "ch7" | "ch8" | "ch9") => {
+        ch @ ("ch3" | "ch4" | "ch5" | "ch6" | "ch7" | "ch8" | "ch9" | "ch10") => {
             let prefix = format!("fig{}", &ch[2..]);
             let tprefix = format!("tab{}", &ch[2..]);
             for e in experiments

@@ -8,6 +8,7 @@
 //! cargo run --release -p bench --bin perf_smoke -- --partition 2  # 2-shard round-robin executor
 //! cargo run --release -p bench --bin perf_smoke -- --partition 4 --threads 4   # fast-mode pool
 //! cargo run --release -p bench --bin perf_smoke -- --no-write
+//! cargo run --release -p bench --bin perf_smoke -- --sessions 1_000_000   # session-table scale
 //! perf_smoke --paired "target/release/perf_smoke --threads 1" \
 //!                     "target/release/perf_smoke --threads 4"    # interleaved A/B
 //! ```
@@ -199,6 +200,104 @@ fn best_of(runs: usize, f: impl Fn() -> RunResult) -> RunResult {
     best
 }
 
+/// Peak resident set (MB) of this process, from `VmHWM` in
+/// `/proc/self/status`; `0` where procfs is unavailable.
+fn peak_rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).map(String::from))
+        })
+        .and_then(|kb| kb.parse::<f64>().ok())
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// Session-table scale smoke: hosts `target` open-loop Zipfian sessions
+/// over the partitioned B⁺-tree and runs until `target` requests have
+/// completed, reporting wall-clock sessions/s, the latency tail, and
+/// peak RSS as its own `BENCH_simcore.json` line.
+fn run_sessions(target: u64, rate_per_table: f64, no_write: bool) {
+    use hpsmr_core::deploy::{deploy_smr_sessions, PartitionOptions, SessionOptions};
+    use workload::{SESSIONS_COMPLETED, SESSIONS_SHED, SESSION_LATENCY};
+
+    let n_tables = 8u64;
+    let mut cfg = SimConfig::default();
+    cfg.seed = 0x5E55;
+    let mut sim = Sim::new(cfg);
+    let opts = SessionOptions {
+        n_tables: n_tables as usize,
+        sessions_per_table: target.div_ceil(n_tables),
+        rate_per_table,
+        // Spread execution over four partitions: mass-session traffic is
+        // replica-execution-bound long before the batched ring saturates.
+        partitions: Some(PartitionOptions { n: 4, replicas_per: 2, cross_pct: 0 }),
+        ..SessionOptions::default()
+    };
+    let d = deploy_smr_sessions(&mut sim, &opts);
+    let count = |sim: &Sim, name: &'static str| -> u64 {
+        d.tables.iter().map(|&t| sim.metrics().counter(t, name)).sum()
+    };
+    let completed = |sim: &Sim| count(sim, SESSIONS_COMPLETED);
+    let t = Instant::now();
+    // Step in coarse chunks until the target count lands. The ceiling is
+    // the open-loop drain time plus slack — reaching it means the system
+    // cannot sustain the offered rate, and the assert below fires.
+    let drain_s = target as f64 / (rate_per_table * n_tables as f64);
+    let cap = Time::ZERO + Dur::millis((drain_s * 2_000.0) as u64 + 4_000);
+    let mut now = Time::ZERO;
+    while completed(&sim) < target && now < cap {
+        now += Dur::millis(250);
+        sim.run_until(now);
+        if now.as_nanos().is_multiple_of(4_000_000_000) {
+            eprintln!(
+                "  t={:3.0}s submitted {} completed {} retries {} shed {}",
+                now.as_secs_f64(),
+                count(&sim, workload::SESSIONS_SUBMITTED),
+                completed(&sim),
+                count(&sim, workload::SESSIONS_RETRIES),
+                count(&sim, SESSIONS_SHED),
+            );
+        }
+    }
+    let wall_s = t.elapsed().as_secs_f64();
+    let done = completed(&sim);
+    let shed: u64 = d.tables.iter().map(|&t| sim.metrics().counter(t, SESSIONS_SHED)).sum();
+    let pctl_us = |frac: f64| -> f64 {
+        sim.metrics()
+            .percentile(SESSION_LATENCY, frac)
+            .map(|d| d.as_nanos() as f64 / 1e3)
+            .unwrap_or(0.0)
+    };
+    let line = format!(
+        "{{\"bench\":\"sessions\",\"target\":{target},\"hosted_sessions\":{},\"completed\":{done},\"shed\":{shed},\"virtual_ms\":{},\"wall_s\":{wall_s:.2},\"sessions_per_wall_sec\":{:.0},\"events\":{},\"events_per_sec\":{:.0},\"p50_us\":{:.0},\"p99_us\":{:.0},\"p999_us\":{:.0},\"peak_rss_mb\":{:.0}}}",
+        n_tables * opts.sessions_per_table,
+        now.as_nanos() / 1_000_000,
+        done as f64 / wall_s,
+        sim.events_processed(),
+        sim.events_processed() as f64 / wall_s,
+        pctl_us(0.50),
+        pctl_us(0.99),
+        pctl_us(0.999),
+        peak_rss_mb(),
+    );
+    println!("{line}");
+    assert!(done >= target, "sessions run fell short of the target: {done} < {target}");
+    if !no_write {
+        let path = artifact_path();
+        let body = std::fs::read_to_string(&path).unwrap_or_default();
+        // The sessions record is its own line; keep every other record.
+        let mut kept: Vec<&str> =
+            body.lines().filter(|l| !l.contains("\"bench\":\"sessions\"")).collect();
+        kept.push(&line);
+        if let Err(e) = std::fs::write(&path, format!("{}\n", kept.join("\n"))) {
+            eprintln!("could not write {path}: {e}");
+        }
+    }
+}
+
 /// Workspace-root artifact path (cwd fallback outside cargo).
 fn artifact_path() -> String {
     let dir = std::env::var("CARGO_MANIFEST_DIR")
@@ -296,6 +395,23 @@ fn main() {
         .and_then(|n| n.parse::<usize>().ok())
         .unwrap_or(3)
         .max(1);
+    if let Some(i) = args.iter().position(|a| a == "--sessions") {
+        let target = args
+            .get(i + 1)
+            .map(|n| n.replace('_', ""))
+            .and_then(|n| n.parse::<u64>().ok())
+            .expect("--sessions needs a count");
+        let rate = args
+            .iter()
+            .position(|a| a == "--rate")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|n| n.replace('_', "").parse::<f64>().ok())
+            // Default sits below the measured completion knee (~6k/s per
+            // table collapses into a retry storm; see ch. 10's figures).
+            .unwrap_or(4_000.0);
+        run_sessions(target.max(1), rate, no_write);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--paired") {
         let a = args.get(i + 1).expect("--paired needs two command operands").clone();
         let b = args.get(i + 2).expect("--paired needs two command operands").clone();

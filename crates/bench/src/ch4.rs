@@ -2,12 +2,12 @@
 //! replication, speculative execution, and state partitioning over the
 //! B⁺-tree service (Figs. 4.1, 4.3–4.10).
 
-use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_cs, deploy_smr, PartitionOptions, SmrOptions};
 use hpsmr_core::{SMR_COMPLETED, SMR_LATENCY};
 use simnet::prelude::*;
+use workload::WorkloadKind;
 
-use crate::harness::{cpu_pct, header, Window};
+use crate::harness::{cpu_pct, header, pctl_cell, Window};
 use crate::Experiment;
 
 /// All ch. 4 experiments in paper order.
@@ -44,6 +44,8 @@ pub fn experiments() -> Vec<Experiment> {
 struct Measured {
     kcps: f64,
     latency: Dur,
+    /// `p50/p99/p999` of the same window, preformatted for the tables.
+    pctls: String,
 }
 
 fn measure_cs(workload: WorkloadKind, clients: usize) -> Measured {
@@ -57,6 +59,7 @@ fn measure_cs(workload: WorkloadKind, clients: usize) -> Measured {
     Measured {
         kcps: done as f64 / w.len().as_secs_f64() / 1e3,
         latency: sim.metrics().latency(SMR_LATENCY).mean,
+        pctls: pctl_cell(&sim, SMR_LATENCY),
     }
 }
 
@@ -71,13 +74,14 @@ fn measure_smr(opts: &SmrOptions) -> Measured {
     Measured {
         kcps: done as f64 / w.len().as_secs_f64() / 1e3,
         latency: sim.metrics().latency(SMR_LATENCY).mean,
+        pctls: pctl_cell(&sim, SMR_LATENCY),
     }
 }
 
 fn fig4_01() {
     println!("Fig 4.1 — CS vs SMR with read-only commands");
     println!(" (left) latency vs clients:");
-    header(&["clients", "CS latency", "SMR latency"]);
+    header(&["clients", "CS latency", "CS p50/p99/p999", "SMR latency", "SMR p50/p99/p999"]);
     for &n in &[1usize, 2, 5, 10, 20, 40] {
         let cs = measure_cs(WorkloadKind::Queries, n);
         let smr = measure_smr(&SmrOptions {
@@ -86,7 +90,13 @@ fn fig4_01() {
             workload: WorkloadKind::Queries,
             ..SmrOptions::default()
         });
-        println!("  {n:7} | {:10} | {:11}", format!("{}", cs.latency), format!("{}", smr.latency));
+        println!(
+            "  {n:7} | {:10} | {:15} | {:11} | {}",
+            format!("{}", cs.latency),
+            cs.pctls,
+            format!("{}", smr.latency),
+            smr.pctls
+        );
     }
     println!(" (right) read-only throughput vs replicas (Kcps):");
     header(&["replicas", "Kcps"]);
@@ -112,7 +122,7 @@ fn fig4_03() {
         (WorkloadKind::InsDelBatch, "Ins/Del (batch)", vec![25, 50, 100, 200]),
     ] {
         println!(" {label}:");
-        header(&["clients", "CS Kcps", "SMR Kcps", "CS lat", "SMR lat"]);
+        header(&["clients", "CS Kcps", "SMR Kcps", "CS lat", "SMR lat", "SMR p50/p99/p999"]);
         for &n in &clients {
             let cs = measure_cs(wk, n);
             let smr = measure_smr(&SmrOptions {
@@ -122,11 +132,12 @@ fn fig4_03() {
                 ..SmrOptions::default()
             });
             println!(
-                "  {n:7} | {:7.1} | {:8.1} | {:7} | {:7}",
+                "  {n:7} | {:7.1} | {:8.1} | {:7} | {:7} | {}",
                 cs.kcps,
                 smr.kcps,
                 format!("{}", cs.latency),
-                format!("{}", smr.latency)
+                format!("{}", smr.latency),
+                smr.pctls
             );
         }
     }
@@ -163,7 +174,15 @@ fn fig4_04() {
 }
 
 fn speculation_sweep(workload: WorkloadKind, clients: &[usize]) {
-    header(&["replicas", "clients", "plain Kcps", "spec Kcps", "plain lat", "spec lat"]);
+    header(&[
+        "replicas",
+        "clients",
+        "plain Kcps",
+        "spec Kcps",
+        "plain lat",
+        "spec lat",
+        "spec p50/p99/p999",
+    ]);
     for &r in &[1usize, 2, 4, 8] {
         for &n in clients {
             let base =
@@ -171,11 +190,12 @@ fn speculation_sweep(workload: WorkloadKind, clients: &[usize]) {
             let plain = measure_smr(&SmrOptions { speculative: false, ..base.clone() });
             let spec = measure_smr(&SmrOptions { speculative: true, ..base });
             println!(
-                "  {r:8} | {n:7} | {:10.1} | {:9.1} | {:9} | {:8}",
+                "  {r:8} | {n:7} | {:10.1} | {:9.1} | {:9} | {:8} | {}",
                 plain.kcps,
                 spec.kcps,
                 format!("{}", plain.latency),
-                format!("{}", spec.latency)
+                format!("{}", spec.latency),
+                spec.pctls
             );
         }
     }
@@ -226,7 +246,15 @@ fn fig4_07() {
 }
 
 fn cross_partition_sweep(replicas_per: usize) {
-    header(&["cross %", "Kcps", "latency", "exec CPU %", "resp CPU %", "out Mbps/replica"]);
+    header(&[
+        "cross %",
+        "Kcps",
+        "latency",
+        "p50/p99/p999",
+        "exec CPU %",
+        "resp CPU %",
+        "out Mbps/replica",
+    ]);
     for &cross in &[0u32, 25, 50, 75, 100] {
         let mut sim = Sim::new(SimConfig::default());
         let opts = SmrOptions {
@@ -250,9 +278,10 @@ fn cross_partition_sweep(replicas_per: usize) {
         let resp = cpu_pct(resp0, sim.cpu_busy(replica, 2), w.len());
         let sent = sim.metrics().counter(replica, "net.sent_bytes");
         println!(
-            "  {cross:7} | {:4.1} | {:7} | {exec:10.0} | {resp:10.0} | {:6.0}",
+            "  {cross:7} | {:4.1} | {:7} | {:12} | {exec:10.0} | {resp:10.0} | {:6.0}",
             done as f64 / w.len().as_secs_f64() / 1e3,
             format!("{lat}"),
+            pctl_cell(&sim, SMR_LATENCY),
             w.mbps_of(sent0, sent)
         );
     }

@@ -7,7 +7,7 @@ use ringpaxos::cluster::{deploy_mring, MRingOptions};
 use ringpaxos::StorageMode;
 use simnet::prelude::*;
 
-use crate::harness::{cpu_pct, header, Window};
+use crate::harness::{cpu_pct, header, pctl_cell, Window};
 use crate::Experiment;
 
 /// All ch. 5 experiments in paper order.
@@ -41,7 +41,7 @@ pub fn experiments() -> Vec<Experiment> {
 
 fn fig5_01() {
     println!("Fig 5.1 — latency vs delivery throughput: In-memory vs Recoverable Ring Paxos");
-    header(&["mode", "offered Mbps", "delivered Mbps", "latency", "coord CPU %"]);
+    header(&["mode", "offered Mbps", "delivered Mbps", "latency", "p50/p99/p999", "coord CPU %"]);
     for (mode, label) in
         [(StorageMode::InMemory, "in-memory"), (StorageMode::AsyncDisk, "recoverable")]
     {
@@ -64,9 +64,10 @@ fn fig5_01() {
             let lat = sim.metrics().latency(metric::LATENCY).trimmed_mean_95;
             let cpu = cpu_pct(cpu0, sim.cpu_busy(d.coordinator(), 0), w.len());
             println!(
-                "  {label:<11} | {rate:12} | {:14.0} | {:7} | {cpu:11.0}",
+                "  {label:<11} | {rate:12} | {:14.0} | {:7} | {:12} | {cpu:11.0}",
                 w.mbps_of(b, a),
-                format!("{lat}")
+                format!("{lat}"),
+                pctl_cell(&sim, metric::LATENCY)
             );
         }
     }
@@ -148,7 +149,7 @@ fn fig5_05() {
 }
 
 fn delta_m_sweep(param: &str) {
-    header(&[param, "delivered Mbps", "latency"]);
+    header(&[param, "delivered Mbps", "latency", "p50/p99/p999"]);
     let values: &[u64] = &[1, 10, 100];
     for &v in values {
         let mut sim = Sim::new(SimConfig::default());
@@ -166,7 +167,7 @@ fn delta_m_sweep(param: &str) {
         w.close(&mut sim);
         let a = sim.metrics().counter(d.learners[0], metric::DELIVERED_BYTES);
         let lat = sim.metrics().latency(MRP_LATENCY).mean;
-        println!("  {v:8} | {:14.0} | {lat}", w.mbps_of(b, a));
+        println!("  {v:8} | {:14.0} | {lat} | {}", w.mbps_of(b, a), pctl_cell(&sim, MRP_LATENCY));
     }
 }
 
@@ -185,7 +186,7 @@ fn fig5_07() {
 fn lambda_trace(rates: (u64, u64), lambdas: &[u64], oscillate: bool, fig: &str) {
     for &lambda in lambdas {
         println!(" lambda = {lambda}/s:");
-        header(&["t (s)", "delivered Mbps", "latency (window)"]);
+        header(&["t (s)", "delivered Mbps", "latency (window)", "p50/p99 (window)"]);
         let mut sim = Sim::new(SimConfig::default());
         let opts = MultiRingOptions {
             n_rings: 2,
@@ -205,12 +206,16 @@ fn lambda_trace(rates: (u64, u64), lambdas: &[u64], oscillate: bool, fig: &str) 
             }
             sim.run_until(t);
             let cur = sim.metrics().counter(d.learners[0], metric::DELIVERED_BYTES);
+            // The per-window drain hands back summary stats, so the tail
+            // columns come from there rather than the live histogram.
             let lat = sim.metrics_mut().take_latency(MRP_LATENCY);
             println!(
-                "  {:5.1} | {:14.0} | {}",
+                "  {:5.1} | {:14.0} | {:16} | {}/{}",
                 t.as_secs_f64(),
                 mbps(cur - prev, Dur::millis(500)),
-                lat.mean
+                format!("{}", lat.mean),
+                lat.p50,
+                lat.p99
             );
             prev = cur;
         }

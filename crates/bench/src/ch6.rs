@@ -48,6 +48,8 @@ fn costs() -> EngineCosts {
 struct Measured {
     kcps: f64,
     latency: Dur,
+    /// `p50/p99/p999` of the same window, preformatted for the tables.
+    pctls: String,
 }
 
 fn measure(model: ExecModel, workload: PsmrWorkload, clients: usize) -> Measured {
@@ -71,6 +73,7 @@ fn measure(model: ExecModel, workload: PsmrWorkload, clients: usize) -> Measured
     Measured {
         kcps: done as f64 / w.len().as_secs_f64() / 1e3,
         latency: sim.metrics().latency(PSMR_LATENCY).mean,
+        pctls: crate::harness::pctl_cell(&sim, PSMR_LATENCY),
     }
 }
 
@@ -113,7 +116,7 @@ fn tab6_01() {
 
 fn fig6_03() {
     println!("Fig 6.3 — independent commands only (dep% = 0), throughput and latency");
-    header(&["workers", "model", "Kcps", "latency"]);
+    header(&["workers", "model", "Kcps", "latency", "p50/p99/p999"]);
     for &w in &[1usize, 2, 4, 8] {
         let workload = PsmrWorkload { n_groups: w.max(1), dep_pct: 0, ..PsmrWorkload::default() };
         for model in models_for(w) {
@@ -124,7 +127,13 @@ fn fig6_03() {
             }
             let clients = (25 * w).max(50);
             let m = measure(model, workload, clients);
-            println!("  {w:7} | {:<10} | {:6.1} | {}", model.label(), m.kcps, m.latency);
+            println!(
+                "  {w:7} | {:<10} | {:6.1} | {:8} | {}",
+                model.label(),
+                m.kcps,
+                format!("{}", m.latency),
+                m.pctls
+            );
         }
     }
     println!("  shape: P-SMR grows ~linearly with workers; SDPE plateaus at the scheduler's");
@@ -133,7 +142,7 @@ fn fig6_03() {
 
 fn fig6_04() {
     println!("Fig 6.4 — dependent commands only (dep% = 100, all groups)");
-    header(&["workers", "model", "Kcps", "latency"]);
+    header(&["workers", "model", "Kcps", "latency", "p50/p99/p999"]);
     for &w in &[2usize, 4, 8] {
         let workload = PsmrWorkload { n_groups: w, dep_pct: 100, ..PsmrWorkload::default() };
         for model in models_for(w) {
@@ -141,7 +150,13 @@ fn fig6_04() {
                 continue;
             }
             let m = measure(model, workload, 40);
-            println!("  {w:7} | {:<10} | {:6.1} | {}", model.label(), m.kcps, m.latency);
+            println!(
+                "  {w:7} | {:<10} | {:6.1} | {:8} | {}",
+                model.label(),
+                m.kcps,
+                format!("{}", m.latency),
+                m.pctls
+            );
         }
     }
     println!("  shape: every model collapses to a sequential execution rate — dependent");
@@ -185,12 +200,12 @@ fn fig6_06() {
 
 fn fig6_07() {
     println!("Fig 6.7 — P-SMR under skew, 8 workers: extra load on group 0");
-    header(&["hot %", "Kcps", "latency"]);
+    header(&["hot %", "Kcps", "latency", "p50/p99/p999"]);
     for &hot in &[0u32, 20, 40, 60, 80] {
         let workload =
             PsmrWorkload { n_groups: 8, dep_pct: 0, hot_pct: hot, ..PsmrWorkload::default() };
         let m = measure(ExecModel::Psmr { workers: 8 }, workload, 140);
-        println!("  {hot:5} | {:6.1} | {}", m.kcps, m.latency);
+        println!("  {hot:5} | {:6.1} | {:8} | {}", m.kcps, format!("{}", m.latency), m.pctls);
     }
     println!("  shape: throughput falls toward a single worker's rate as the hottest group");
     println!("  absorbs the load — parallelism is bounded by the busiest thread (paper Fig 6.7).");

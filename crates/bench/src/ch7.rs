@@ -112,20 +112,25 @@ fn deploy_stack(sim: &mut Sim, stack: &str, total_bps: u64) -> NodeId {
     }
 }
 
-/// Delivered throughput (Mbps) and mean latency at `total_bps` offered.
-fn measure_stack(stack: &str, total_bps: u64) -> (f64, Dur) {
+/// Delivered throughput (Mbps), mean latency, and the `p50/p99/p999`
+/// cell at `total_bps` offered.
+fn measure_stack(stack: &str, total_bps: u64) -> (f64, Dur, String) {
     let mut sim = Sim::new(SimConfig::default());
     let node = deploy_stack(&mut sim, stack, total_bps);
     let w = Window::open(&mut sim, Dur::secs(1), Dur::secs(2), &[metric::LATENCY]);
     let before = sim.metrics().counter(node, metric::DELIVERED_BYTES);
     w.close(&mut sim);
     let after = sim.metrics().counter(node, metric::DELIVERED_BYTES);
-    (w.mbps_of(before, after), sim.metrics().latency(metric::LATENCY).mean)
+    (
+        w.mbps_of(before, after),
+        sim.metrics().latency(metric::LATENCY).mean,
+        crate::harness::pctl_cell(&sim, metric::LATENCY),
+    )
 }
 
 fn fig7_02() {
     println!("Fig 7.2 — peak throughput (saturated) and latency at 70% of peak");
-    header(&["system", "peak Mbps", "latency @70%"]);
+    header(&["system", "peak Mbps", "latency @70%", "p50/p99/p999 @70%"]);
     for (label, stack, saturate_bps) in [
         ("S-Paxos", "spaxos", 450_000_000u64),
         ("OpenReplica*", "openreplica", 100_000_000),
@@ -137,11 +142,11 @@ fn fig7_02() {
         // throughput (§7.3.2's methodology; offering far beyond the
         // peak makes the weaker stacks collapse rather than saturate,
         // exactly the overload behaviour ch. 7 warns about).
-        let (peak_mbps, _) = measure_stack(stack, saturate_bps);
+        let (peak_mbps, _, _) = measure_stack(stack, saturate_bps);
         // Pass 2: latency at a sustainable fraction of the peak.
         let offered = ((peak_mbps * 0.7) as u64 * 1_000_000).max(5_000_000);
-        let (_, lat) = measure_stack(stack, offered);
-        println!("  {label:<16} | {peak_mbps:9.0} | {lat}");
+        let (_, lat, pctls) = measure_stack(stack, offered);
+        println!("  {label:<16} | {peak_mbps:9.0} | {:12} | {pctls}", format!("{lat}"));
     }
     println!("  shape: ring/multicast stacks sit near wire speed; leader-centric unicast");
     println!("  stacks an order of magnitude below (paper Fig 7.2's ranking).");

@@ -14,7 +14,7 @@ use ringpaxos::cluster::{
 };
 use simnet::prelude::*;
 
-use crate::harness::{header, throughput_trace};
+use crate::harness::{header, pctl_cell, throughput_trace};
 use crate::Experiment;
 
 /// All ch. 8 experiments in order.
@@ -140,7 +140,7 @@ fn fig8_02() {
 
 fn tab8_03() {
     println!("Table 8.3 — write-ahead vote log commit modes (§3.5.5 disk calibration)");
-    header(&["mode", "delivered Mbps", "disk MB written", "mean latency"]);
+    header(&["mode", "delivered Mbps", "disk MB written", "mean latency", "p50/p99/p999"]);
     for (label, mode) in [
         ("sync (per-vote)", LogMode::Sync),
         ("group 1 ms", LogMode::Group { interval: Dur::millis(1), max_bytes: 256 * 1024 }),
@@ -155,8 +155,10 @@ fn tab8_03() {
         let disk_mb = sim.metrics().sum("disk.written_bytes") as f64 / 1e6;
         let lat = sim.metrics().latency(abcast::metric::LATENCY).mean;
         println!(
-            "  {label:<15} | {:14.0} | {disk_mb:15.1} | {lat}",
-            simnet::stats::mbps(delivered, window)
+            "  {label:<15} | {:14.0} | {disk_mb:15.1} | {:12} | {}",
+            simnet::stats::mbps(delivered, window),
+            format!("{lat}"),
+            pctl_cell(&sim, abcast::metric::LATENCY)
         );
     }
     println!("  shape: group commit amortizes the per-operation latency across a whole");

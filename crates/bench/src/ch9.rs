@@ -14,7 +14,7 @@ use ringpaxos::cluster::{
 };
 use simnet::prelude::*;
 
-use crate::harness::{header, throughput_trace};
+use crate::harness::{header, pctl_cell, throughput_trace};
 use crate::Experiment;
 
 /// All ch. 9 experiments in order.
@@ -125,7 +125,7 @@ fn tab9_02() {
     println!("Table 9.2 — time from coordinator crash to epoch takeover at a survivor,");
     println!("  as the failure detector's suspicion timeout varies (crash at 1.0s; the");
     println!("  old coordinator stays down)");
-    header(&["suspicion", "takeover after", "epochs bumped", "delivered by 5s"]);
+    header(&["suspicion", "takeover after", "epochs bumped", "delivered by 5s", "p50/p99/p999"]);
     for timeout_ms in [20u64, 40, 80, 160] {
         let mut sim = Sim::new(SimConfig::default());
         let rec = URingRecoveryOptions { checkpoint_interval: 256, ..Default::default() };
@@ -153,11 +153,12 @@ fn tab9_02() {
         // over the survivors.
         ru.d.log.lock().unwrap().check_crash_agreement(&[1, 2, 3, 4]).expect("agreement");
         println!(
-            "  {:>6} ms | {:>11.0} ms | {:>13} | {:>15}",
+            "  {:>6} ms | {:>11.0} ms | {:>13} | {:>15} | {}",
             timeout_ms,
             gap.as_secs_f64() * 1e3,
             takeovers(&sim),
             sim.metrics().counter(observer, "abcast.delivered_msgs"),
+            pctl_cell(&sim, abcast::metric::LATENCY),
         );
     }
     println!("  shape: time-to-takeover tracks the suspicion timeout (detection dominates;");

@@ -92,6 +92,18 @@ pub fn cpu_pct(busy_before: Dur, busy_after: Dur, window: Dur) -> f64 {
     (busy_after.saturating_sub(busy_before)).as_secs_f64() / window.as_secs_f64() * 100.0
 }
 
+/// One table cell holding the p50/p99/p999 of the samples recorded
+/// under `name`, or `-` when nothing was recorded. Reads the live
+/// histogram, so call it before anything drains the name (e.g. a later
+/// [`Window::open`] listing it) and after the window of interest.
+pub fn pctl_cell(sim: &Sim, name: &'static str) -> String {
+    let p = |frac| sim.metrics().percentile(name, frac);
+    match (p(0.50), p(0.99), p(0.999)) {
+        (Some(p50), Some(p99), Some(p999)) => format!("{p50}/{p99}/{p999}"),
+        _ => "-".into(),
+    }
+}
+
 /// Prints a table header: `name | col col col`.
 pub fn header(cols: &[&str]) {
     println!("  {}", cols.join(" | "));

@@ -1,9 +1,12 @@
 //! # bench — the experiment harness
 //!
-//! One runner per table and figure of the thesis's ch. 3–5 evaluation.
-//! Each experiment deploys the relevant system on the simulated cluster,
-//! warms it up, measures a steady-state window, and prints the same rows
-//! or series the paper reports. Run them through the `figures` binary:
+//! One runner per table and figure of the thesis's ch. 3–5 evaluation,
+//! plus later chapters the thesis doesn't have (recovery, failover, and
+//! the ch. 10 million-session client tier). Each experiment deploys the
+//! relevant system on the simulated cluster, warms it up, measures a
+//! steady-state window, and prints the same rows or series the paper
+//! reports — latency columns carry p50/p99/p999 beside the means. Run
+//! them through the `figures` binary:
 //!
 //! ```text
 //! cargo run --release -p bench --bin figures -- list
@@ -14,9 +17,9 @@
 //! Absolute numbers come from a calibrated simulator, so they are not
 //! expected to equal the paper's testbed measurements; the *shapes* (who
 //! wins, scaling trends, crossover points) are the reproduction target.
-//! EXPERIMENTS.md records paper-vs-measured for every experiment.
 
 pub mod ablations;
+pub mod ch10;
 pub mod ch3;
 pub mod ch4;
 pub mod ch5;
@@ -47,6 +50,7 @@ pub fn all_experiments() -> Vec<Experiment> {
     v.extend(ch7::experiments());
     v.extend(ch8::experiments());
     v.extend(ch9::experiments());
+    v.extend(ch10::experiments());
     v.extend(ablations::experiments());
     v
 }

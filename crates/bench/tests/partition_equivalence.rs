@@ -21,7 +21,6 @@
 //! under the *fast-mode* threaded executor and checks that the run is
 //! thread-count invariant and still heals the ring.
 
-use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_smr, SmrOptions};
 use multiring::{deploy_multiring, MultiRingOptions};
 use proptest::prelude::*;
@@ -32,6 +31,7 @@ use ringpaxos::cluster::{
 };
 use simnet::prelude::*;
 use simnet::ExecMode;
+use workload::WorkloadKind;
 
 /// Everything observable about a finished run: virtual end time, event
 /// count, and every non-zero counter in deterministic order.

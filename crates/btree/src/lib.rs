@@ -10,9 +10,11 @@
 //!   the paper's speculative rollback) and a virtual-time cost model
 //!   calibrated against Fig. 4.3's single-server plateaus;
 //! * [`service::Partitioning`] — the key-range partitioning and
-//!   command-splitting rules of §4.2.2;
-//! * [`workload::WorkloadGen`] — the `Queries` / `Ins/Del (single)` /
-//!   `Ins/Del (batch)` client workloads.
+//!   command-splitting rules of §4.2.2.
+//!
+//! The client workload generators that used to live here (`Queries` /
+//! `Ins/Del (single)` / `Ins/Del (batch)`) moved to the `workload`
+//! crate, the unified client tier shared by every experiment layer.
 //!
 //! ```
 //! use btree::{TreeCommand, TreeOutput, TreeService};
@@ -28,8 +30,6 @@
 
 pub mod service;
 pub mod tree;
-pub mod workload;
 
 pub use service::{CostModel, Partitioning, TreeCommand, TreeOutput, TreeService, UndoOp};
 pub use tree::BPlusTree;
-pub use workload::{WorkloadGen, WorkloadKind};

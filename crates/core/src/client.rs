@@ -4,18 +4,33 @@
 use std::collections::HashMap;
 
 use abcast::MsgId;
-use btree::{Partitioning, TreeCommand, WorkloadGen};
+use btree::{Partitioning, TreeCommand};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use ringpaxos::msg::MMsg;
 use ringpaxos::value::{Value, ALL_PARTITIONS};
 use simnet::prelude::*;
+use workload::{RetryDecision, RetryPolicy, Session, WorkloadGen};
 
 use crate::msg::{CsRequest, SmrResponse};
 use crate::replica::{SMR_COMPLETED, SMR_LATENCY};
 use crate::service::{Registry, StoredCommand};
 
 const T_RETRY: u64 = 41 << 56;
+
+/// The retry behaviour this client has always had, expressed as a
+/// [`RetryPolicy`]: resubmit a command outstanding longer than 400 ms on
+/// each 500 ms check, with no backoff growth and no abandonment (the
+/// paper's proposers "submit new requests and re-submit pending
+/// requests", §3.5.8).
+fn resubmit_policy() -> RetryPolicy {
+    RetryPolicy {
+        base: Dur::millis(400),
+        cap: Dur::millis(400),
+        tick: Dur::millis(500),
+        max_attempts: u32::MAX,
+    }
+}
 
 /// Where the client sends its commands.
 #[derive(Clone, Copy, Debug)]
@@ -42,7 +57,8 @@ pub struct SmrClient {
     partitioning: Option<Partitioning>,
     /// Outstanding command and the replies still expected from partitions.
     expected: HashMap<MsgId, u32>,
-    outstanding: Option<(MsgId, Time)>,
+    policy: RetryPolicy,
+    outstanding: Option<Session>,
     next_seq: u64,
     stop_at: Option<Time>,
 }
@@ -66,6 +82,7 @@ impl SmrClient {
             rng: SmallRng::seed_from_u64(seed),
             partitioning,
             expected: HashMap::new(),
+            policy: resubmit_policy(),
             outstanding: None,
             next_seq: 0,
             stop_at,
@@ -103,7 +120,7 @@ impl SmrClient {
         self.registry
             .put(id, StoredCommand { ops, client: self.me, mask, reply_bytes: kind.reply_bytes() });
         self.expected.insert(id, replies);
-        self.outstanding = Some((id, ctx.now()));
+        self.outstanding = Some(Session::open(id, ctx.now(), &self.policy));
         self.submit(id, mask, kind.command_bytes(), ctx);
         ctx.counter_add("smr.submitted", 1);
     }
@@ -131,7 +148,7 @@ impl SmrClient {
 impl Actor for SmrClient {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.send_next(ctx);
-        ctx.set_timer(Dur::millis(500), TimerToken(T_RETRY));
+        ctx.set_timer(self.policy.tick, TimerToken(T_RETRY));
     }
 
     fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
@@ -145,11 +162,11 @@ impl Actor for SmrClient {
         }
         self.expected.remove(&id);
         self.registry.remove(id);
-        if let Some((oid, started)) = self.outstanding.take() {
-            if oid == id {
+        if let Some(s) = self.outstanding.take() {
+            if s.id == id {
                 // The reply strictly follows the request; `since`
                 // debug-asserts that instead of masking an inversion.
-                ctx.record_latency(SMR_LATENCY, ctx.now().since(started));
+                ctx.record_latency(SMR_LATENCY, ctx.now().since(s.started));
                 ctx.counter_add(SMR_COMPLETED, 1);
             }
         }
@@ -160,9 +177,12 @@ impl Actor for SmrClient {
         // Re-submit a command that has been outstanding implausibly long
         // (its proposal was dropped by an overloaded coordinator — the
         // paper's proposers "submit new requests and re-submit pending
-        // requests", §3.5.8).
-        if let Some((id, started)) = self.outstanding {
-            if ctx.now().saturating_since(started) > Dur::millis(400) {
+        // requests", §3.5.8). The policy never abandons, so `poll` only
+        // ever answers Wait or Resubmit here.
+        let policy = self.policy;
+        if let Some(s) = self.outstanding.as_mut() {
+            if let RetryDecision::Resubmit { .. } = s.poll(ctx.now(), &policy) {
+                let id = s.id;
                 if let Some(cmd) = self.registry.get(id) {
                     ctx.counter_add("smr.retries", 1);
                     let kind = self.workload.kind();
@@ -173,6 +193,6 @@ impl Actor for SmrClient {
             // Closed loop stalled (should not happen): restart it.
             self.send_next(ctx);
         }
-        ctx.set_timer(Dur::millis(500), TimerToken(T_RETRY));
+        ctx.set_timer(self.policy.tick, TimerToken(T_RETRY));
     }
 }

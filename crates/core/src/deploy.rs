@@ -3,15 +3,20 @@
 //! partitioned SMR over the modified M-Ring Paxos.
 
 use abcast::{shared_log, SharedLog};
-use btree::{Partitioning, TreeCommand, TreeService, WorkloadGen, WorkloadKind};
+use btree::{Partitioning, TreeCommand, TreeService};
 use ringpaxos::mring::MRingProcess;
 use ringpaxos::{MRingConfig, StorageMode};
 use simnet::prelude::*;
+use workload::{
+    Arrival, KeyedWorkload, Poisson, RetryPolicy, SessionTable, SessionTableConfig, WorkloadGen,
+    WorkloadKind,
+};
 
 use crate::client::{SmrClient, Target};
 use crate::cs::CsServer;
 use crate::replica::{ReplicaConfig, SmrReplica};
 use crate::service::Registry;
+use crate::session::TreeSessionDriver;
 
 struct Idle;
 impl Actor for Idle {
@@ -100,38 +105,59 @@ impl SmrDeployment {
     }
 }
 
-/// Deploys state-machine replication per `opts`.
-pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
-    let n_partitions = opts.partitions.map(|p| p.n).unwrap_or(1);
-    let replicas_per = opts.partitions.map(|p| p.replicas_per).unwrap_or(opts.n_replicas);
+/// The server half of an SMR deployment: ring, replicas, and the extra
+/// (still-Idle) nodes reserved for whichever client tier the caller
+/// installs — dedicated closed-loop clients or session tables.
+struct ServerSide {
+    ring: Vec<NodeId>,
+    replicas: Vec<Vec<NodeId>>,
+    /// Client-tier nodes, allocated after the replicas so node-id order
+    /// matches the historical `deploy_smr` layout exactly.
+    extras: Vec<NodeId>,
+    registry: Registry<TreeCommand>,
+    log: SharedLog,
+    partitioning: Option<Partitioning>,
+    cfg: MRingConfig,
+}
 
-    let ring: Vec<NodeId> = (0..opts.ring_size).map(|_| sim.add_node(Box::new(Idle))).collect();
+/// Brings up the ordering ring and the replicated B⁺-tree service.
+/// Node-id allocation order (ring, then replicas, then `n_extra` client
+/// nodes, then groups) is shared by every deployment flavour so golden
+/// traces of existing configs are unaffected by the factoring.
+fn deploy_servers(
+    sim: &mut Sim,
+    partitions: Option<PartitionOptions>,
+    n_replicas: usize,
+    ring_size: usize,
+    storage: StorageMode,
+    speculative: bool,
+    packet_bytes: u32,
+    n_extra: usize,
+) -> ServerSide {
+    let n_partitions = partitions.map(|p| p.n).unwrap_or(1);
+    let replicas_per = partitions.map(|p| p.replicas_per).unwrap_or(n_replicas);
+
+    let ring: Vec<NodeId> = (0..ring_size).map(|_| sim.add_node(Box::new(Idle))).collect();
     let replicas: Vec<Vec<NodeId>> = (0..n_partitions)
         .map(|_| (0..replicas_per).map(|_| sim.add_node(Box::new(Idle))).collect())
         .collect();
-    let clients: Vec<NodeId> = (0..opts.n_clients).map(|_| sim.add_node(Box::new(Idle))).collect();
+    let extras: Vec<NodeId> = (0..n_extra).map(|_| sim.add_node(Box::new(Idle))).collect();
 
     // Groups: the base group (heartbeats, NewRing) plus, when
     // partitioned, one group per partition and the decision group.
     let base_group = sim.add_group();
     let flat_replicas: Vec<NodeId> = replicas.iter().flatten().copied().collect();
     let mut cfg = MRingConfig::new(ring.clone(), flat_replicas.clone(), base_group);
-    cfg.storage = opts.storage;
-    // The single-update workload is not batched in the paper (§4.4.2);
-    // batching into 8 KB packets is specific to Ins/Del (batch). Queries
-    // (256 B commands) also go one per instance.
-    cfg.packet_bytes = match opts.workload {
-        WorkloadKind::InsDelBatch => 8192,
-        _ => 256,
-    };
+    cfg.storage = storage;
+    cfg.packet_bytes = packet_bytes;
     cfg.batch_timeout = Dur::micros(100);
 
     for &n in ring.iter().chain(&flat_replicas) {
         sim.subscribe(n, base_group);
     }
 
-    let partitioning = opts.partitions.map(|p| Partitioning::new(p.n));
-    if let Some(p) = opts.partitions {
+    let partitioning = partitions.map(|p| Partitioning::new(p.n));
+    if let Some(p) = partitions {
         let groups: Vec<GroupId> = (0..p.n).map(|_| sim.add_group()).collect();
         let decision_group = sim.add_group();
         for &a in &ring {
@@ -166,13 +192,9 @@ pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
             let service = TreeService::populated(pi as u64 * span, span, POPULATE_COUNT);
             let rcfg = ReplicaConfig {
                 partition: pi as u32,
-                mask: if opts.partitions.is_some() {
-                    1 << pi
-                } else {
-                    ringpaxos::value::ALL_PARTITIONS
-                },
+                mask: if partitions.is_some() { 1 << pi } else { ringpaxos::value::ALL_PARTITIONS },
                 peers: part.clone(),
-                speculative: opts.speculative,
+                speculative,
                 ..ReplicaConfig::default()
             };
             let actor =
@@ -181,6 +203,32 @@ pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
             log_index += 1;
         }
     }
+
+    ServerSide { ring, replicas, extras, registry, log, partitioning, cfg }
+}
+
+/// Deploys state-machine replication per `opts`.
+pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
+    // The single-update workload is not batched in the paper (§4.4.2);
+    // batching into 8 KB packets is specific to Ins/Del (batch). Queries
+    // (256 B commands) also go one per instance.
+    let packet_bytes = match opts.workload {
+        WorkloadKind::InsDelBatch => 8192,
+        _ => 256,
+    };
+    let ServerSide { ring, replicas, extras: clients, registry, log, partitioning, cfg } =
+        deploy_servers(
+            sim,
+            opts.partitions,
+            opts.n_replicas,
+            opts.ring_size,
+            opts.storage,
+            opts.speculative,
+            packet_bytes,
+            opts.n_clients,
+        );
+    let n_partitions = opts.partitions.map(|p| p.n).unwrap_or(1);
+    let span = Partitioning::new(n_partitions.max(1)).span;
 
     let coordinator = cfg.coordinator();
     let key_space = span * n_partitions as u64;
@@ -202,6 +250,139 @@ pub fn deploy_smr(sim: &mut Sim, opts: &SmrOptions) -> SmrDeployment {
     }
 
     SmrDeployment { ring, replicas, clients, registry, log, partitioning, cfg }
+}
+
+/// Options for [`deploy_smr_sessions`] — the opt-in mass-session tier
+/// (ch. 10): the ch. 4 server side driven by [`SessionTable`] actors
+/// instead of one actor per closed-loop client.
+#[derive(Clone, Debug)]
+pub struct SessionOptions {
+    /// Replicas (full replication) — ignored when `partitions` is set.
+    pub n_replicas: usize,
+    /// Ring acceptors, coordinator included.
+    pub ring_size: usize,
+    /// The command shape generated per session interaction.
+    pub kind: WorkloadKind,
+    /// Zipf exponent for key selection; `0.0` = uniform keys.
+    pub zipf_s: f64,
+    /// Session-table actors (each its own node; spread them to spread
+    /// client-side submission work across sim shards).
+    pub n_tables: usize,
+    /// Simulated sessions hosted *per table*.
+    pub sessions_per_table: u64,
+    /// Aggregate open-loop arrival rate *per table* (requests/s); `0.0`
+    /// runs the tables closed-loop instead.
+    pub rate_per_table: f64,
+    /// State partitioning (§4.2.2); `None` = full replication.
+    pub partitions: Option<PartitionOptions>,
+    /// Retry/backoff knobs shared by every session.
+    pub policy: RetryPolicy,
+    /// Per-table in-flight ceiling; open-loop arrivals beyond it shed.
+    pub max_in_flight: u32,
+    /// Stop issuing new requests at this time.
+    pub stop_at: Option<Time>,
+    /// Acceptor storage.
+    pub storage: StorageMode,
+    /// Execute speculatively on payload arrival (§4.2.1).
+    pub speculative: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            n_replicas: 2,
+            ring_size: 3,
+            kind: WorkloadKind::InsDelSingle,
+            zipf_s: 0.99,
+            n_tables: 4,
+            sessions_per_table: 250_000,
+            rate_per_table: 25_000.0,
+            partitions: None,
+            policy: RetryPolicy::default(),
+            max_in_flight: 1 << 20,
+            stop_at: None,
+            storage: StorageMode::InMemory,
+            speculative: false,
+        }
+    }
+}
+
+/// A deployed mass-session SMR system.
+pub struct SessionDeployment {
+    /// Ring acceptors (last = coordinator).
+    pub ring: Vec<NodeId>,
+    /// Replicas, grouped by partition (one group when unpartitioned).
+    pub replicas: Vec<Vec<NodeId>>,
+    /// Session-table nodes (read `workload`'s `sessions.*` metrics and
+    /// the [`workload::SESSION_LATENCY`] histogram here).
+    pub tables: Vec<NodeId>,
+    /// The shared command registry.
+    pub registry: Registry<TreeCommand>,
+    /// The ring's delivery log (per replica, in `cfg.learners` order).
+    pub log: SharedLog,
+    /// Key partitioning, when enabled.
+    pub partitioning: Option<Partitioning>,
+    /// The ring configuration.
+    pub cfg: MRingConfig,
+}
+
+impl SessionDeployment {
+    /// The ring coordinator.
+    pub fn coordinator(&self) -> NodeId {
+        self.cfg.coordinator()
+    }
+}
+
+/// Deploys the session-table client tier over the ch. 4 server side.
+/// Opt-in: [`deploy_smr`] and its traces are untouched by this path.
+pub fn deploy_smr_sessions(sim: &mut Sim, opts: &SessionOptions) -> SessionDeployment {
+    // Mass-session traffic is coordinator-bound; 8 KB packets let the
+    // ring batch many 256 B commands per instance (§3.5.4).
+    let ServerSide { ring, replicas, extras: tables, registry, log, partitioning, cfg } =
+        deploy_servers(
+            sim,
+            opts.partitions,
+            opts.n_replicas,
+            opts.ring_size,
+            opts.storage,
+            opts.speculative,
+            8192,
+            opts.n_tables,
+        );
+    let n_partitions = opts.partitions.map(|p| p.n).unwrap_or(1);
+    let key_space = Partitioning::new(n_partitions.max(1)).span * n_partitions as u64;
+
+    let coordinator = cfg.coordinator();
+    let members = cfg.ring.clone();
+    for &t in &tables {
+        let workload = if opts.zipf_s > 0.0 {
+            KeyedWorkload::zipfian(opts.kind, key_space, opts.zipf_s)
+        } else {
+            KeyedWorkload::uniform(opts.kind, key_space)
+        };
+        let driver = TreeSessionDriver::new(
+            t,
+            coordinator,
+            members.clone(),
+            registry.clone(),
+            workload,
+            partitioning,
+        );
+        let tcfg = SessionTableConfig {
+            sessions: opts.sessions_per_table,
+            arrival: if opts.rate_per_table > 0.0 {
+                Arrival::Poisson(Poisson::with_rate(opts.rate_per_table))
+            } else {
+                Arrival::Closed
+            },
+            policy: opts.policy,
+            max_in_flight: opts.max_in_flight,
+            stop_at: opts.stop_at,
+        };
+        sim.replace_actor(t, Box::new(SessionTable::new(t, tcfg, driver)));
+    }
+
+    SessionDeployment { ring, replicas, tables, registry, log, partitioning, cfg }
 }
 
 /// A deployed client-server baseline.

@@ -45,16 +45,19 @@ pub mod deploy;
 pub mod msg;
 pub mod replica;
 pub mod service;
+pub mod session;
 pub mod snapshot;
 
 pub use client::{SmrClient, Target};
 pub use cs::CsServer;
 pub use deploy::{
-    deploy_cs, deploy_smr, CsDeployment, PartitionOptions, SmrDeployment, SmrOptions,
+    deploy_cs, deploy_smr, deploy_smr_sessions, CsDeployment, PartitionOptions, SessionDeployment,
+    SessionOptions, SmrDeployment, SmrOptions,
 };
 pub use msg::{CsRequest, SmrResponse};
 pub use replica::{
     ReplicaConfig, SmrReplica, SMR_COMPLETED, SMR_LATENCY, SMR_ROLLBACKS, SMR_SPEC_EXEC,
 };
 pub use service::{Registry, Service, StoredCommand};
+pub use session::TreeSessionDriver;
 pub use snapshot::{NullService, ServiceApp, Snapshot};

@@ -1,0 +1,132 @@
+//! Session-tier gates (ISSUE 10): the open-loop arrival sequence is a
+//! pure function of `(seed, partition)` at any thread count, and mass
+//! sessions ride out a coordinator failover injected by a [`FaultPlan`].
+
+use hpsmr_core::deploy::{deploy_smr_sessions, SessionDeployment, SessionOptions};
+use simnet::prelude::*;
+use workload::{
+    SESSIONS_ARRIVAL_US, SESSIONS_COMPLETED, SESSIONS_RETRIES, SESSIONS_SHED, SESSIONS_SUBMITTED,
+    SESSION_LATENCY,
+};
+
+fn options() -> SessionOptions {
+    SessionOptions {
+        n_tables: 2,
+        sessions_per_table: 1_000,
+        rate_per_table: 5_000.0,
+        stop_at: Some(Time::from_millis(300)),
+        ..SessionOptions::default()
+    }
+}
+
+fn build(shards: usize, threads: usize, fast: bool) -> (Sim, SessionDeployment) {
+    let mut sim = Sim::with_partition(SimConfig::default(), Partition::modulo(0, shards));
+    let d = deploy_smr_sessions(&mut sim, &options());
+    if fast {
+        sim.set_exec_mode(ExecMode::Fast);
+        sim.set_threads(threads);
+    }
+    (sim, d)
+}
+
+/// The arrival pin: per-table `(submitted, Σ arrival µs)`. Together
+/// these commit to the whole arrival sequence — a single arrival moved,
+/// added, or dropped changes the sum.
+fn arrival_pin(sim: &Sim, d: &SessionDeployment) -> Vec<(u64, u64)> {
+    d.tables
+        .iter()
+        .map(|&t| {
+            (
+                sim.metrics().counter(t, SESSIONS_SUBMITTED),
+                sim.metrics().counter(t, SESSIONS_ARRIVAL_US),
+            )
+        })
+        .collect()
+}
+
+fn counters(sim: &Sim) -> Vec<(usize, String, u64)> {
+    let mut v = Vec::new();
+    sim.metrics().for_each_counter(|node, name, val| v.push((node.0, name.to_string(), val)));
+    v
+}
+
+fn run(shards: usize, threads: usize, fast: bool) -> (Sim, SessionDeployment) {
+    let (mut sim, d) = build(shards, threads, fast);
+    sim.run_until(Time::from_millis(400));
+    (sim, d)
+}
+
+#[test]
+fn open_loop_arrivals_are_pure_in_seed_and_partition() {
+    let (det1, d1) = run(1, 1, false);
+    let (det4, d4) = run(4, 1, false);
+    let (fast2, f2) = run(4, 2, true);
+    let (fast4, f4) = run(4, 4, true);
+
+    let pin = arrival_pin(&det1, &d1);
+    assert!(pin.iter().all(|&(sub, _)| sub > 500), "arrivals must flow: {pin:?}");
+    for (label, s, d) in [("det/4", &det4, &d4), ("fast/2", &fast2, &f2), ("fast/4", &fast4, &f4)] {
+        // No arrival may be shed (a shed skips the generator's RNG
+        // draws, which would legitimately fork the stream).
+        let shed: u64 = d.tables.iter().map(|&t| s.metrics().counter(t, SESSIONS_SHED)).sum();
+        assert_eq!(shed, 0, "{label}: shedding would perturb the pin");
+        assert_eq!(pin, arrival_pin(s, d), "{label}: arrival sequence diverged");
+    }
+
+    // Determinism mode is bit-identical under any partition: the whole
+    // counter surface matches, not just the node-local arrival pin.
+    assert_eq!(counters(&det1), counters(&det4));
+    // Fast mode is a pure function of (seed, partition): thread count
+    // must not show anywhere.
+    assert_eq!(counters(&fast2), counters(&fast4));
+}
+
+#[test]
+fn sessions_ride_out_coordinator_failover() {
+    let mut sim = Sim::new(SimConfig::default());
+    let opts = SessionOptions {
+        n_tables: 2,
+        sessions_per_table: 10_000,
+        rate_per_table: 5_000.0,
+        stop_at: Some(Time::from_millis(1800)),
+        ..SessionOptions::default()
+    };
+    let d = deploy_smr_sessions(&mut sim, &opts);
+    let completed = |sim: &Sim| -> u64 {
+        d.tables.iter().map(|&t| sim.metrics().counter(t, SESSIONS_COMPLETED)).sum()
+    };
+
+    sim.run_until(Time::from_millis(500));
+    let at_crash = completed(&sim);
+    assert!(at_crash > 0, "requests must flow before the crash");
+
+    // Scheduled mid-run crash of the ring coordinator: suspicion
+    // (200 ms) + M-Ring takeover + the tables' retry rotation across
+    // surviving ring members must get requests completing again.
+    FaultPlan::new().at(Time::from_millis(500), FaultAction::Crash(d.coordinator())).run(
+        &mut sim,
+        Time::from_millis(2500),
+        |_, _| {},
+    );
+
+    let after = completed(&sim);
+    assert!(
+        after > at_crash + 500,
+        "sessions must re-find the leader and keep completing: {at_crash} -> {after}"
+    );
+    let retries: u64 = d.tables.iter().map(|&t| sim.metrics().counter(t, SESSIONS_RETRIES)).sum();
+    assert!(retries > 0, "the outage must have triggered deadline retries");
+
+    // The latency histogram backs p50/p99/p999 reporting.
+    for frac in [0.50, 0.99, 0.999] {
+        assert!(
+            sim.metrics().percentile(SESSION_LATENCY, frac).is_some(),
+            "missing p{frac} of session latency"
+        );
+    }
+    let (p50, p99) = (
+        sim.metrics().percentile(SESSION_LATENCY, 0.50).unwrap(),
+        sim.metrics().percentile(SESSION_LATENCY, 0.99).unwrap(),
+    );
+    assert!(p50 <= p99, "quantiles must be monotone: {p50:?} > {p99:?}");
+}

@@ -1,10 +1,10 @@
 //! End-to-end tests of the DSN 2011 techniques: replication cost,
 //! speculative execution, and state partitioning.
 
-use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_cs, deploy_smr, PartitionOptions, SmrOptions};
 use hpsmr_core::{SMR_COMPLETED, SMR_LATENCY, SMR_SPEC_EXEC};
 use simnet::prelude::*;
+use workload::WorkloadKind;
 
 fn completed(sim: &Sim, clients: &[NodeId]) -> u64 {
     clients.iter().map(|&c| sim.metrics().counter(c, SMR_COMPLETED)).sum()

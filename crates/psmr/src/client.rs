@@ -15,23 +15,12 @@ use rand::{Rng, SeedableRng};
 use ringpaxos::msg::MMsg;
 use ringpaxos::value::{Value, ALL_PARTITIONS};
 use simnet::prelude::*;
+use workload::{rotation_pick, RetryDecision, RetryPolicy, Session};
 
 use crate::command::{PCommand, PRegistry, PStored};
 use crate::replica::{PReplyQuery, PResponse, PSMR_COMPLETED, PSMR_LATENCY, PSMR_SUBMITTED};
 
 const T_RETRY: u64 = 44 << 56;
-
-/// First resubmission deadline; doubles per attempt up to [`RETRY_CAP`].
-const RETRY_BASE: Dur = Dur::millis(200);
-/// Ceiling of the exponential backoff.
-const RETRY_CAP: Dur = Dur::millis(1600);
-/// Retry-check granularity (one periodic timer, not one per command).
-const RETRY_TICK: Dur = Dur::millis(100);
-/// Give up on a command after this many resubmissions and move on; the
-/// closed loop must not wedge on a value lost to a crashed client-side
-/// registry race. Replicas dedup by id, so an abandoned command that
-/// still executes is harmless (its late response is ignored as stale).
-const MAX_ATTEMPTS: u32 = 10;
 
 /// Workload of the §6.5 experiments.
 #[derive(Clone, Copy, Debug)]
@@ -144,11 +133,7 @@ impl PTarget {
             PTarget::SingleRing { coordinator, members } => (*coordinator, members),
             PTarget::MultiRing { coordinators, members } => (coordinators[group], &members[group]),
         };
-        if cursor == 0 || members.is_empty() {
-            coordinator
-        } else {
-            members[(cursor - 1) % members.len()]
-        }
+        rotation_pick(coordinator, members, cursor)
     }
 
     fn n_groups(&self) -> usize {
@@ -168,8 +153,11 @@ pub struct PsmrClient {
     replicas: Vec<NodeId>,
     registry: PRegistry,
     workload: PsmrWorkload,
+    /// Deadline/backoff/abandon knobs of the shared session tier; the
+    /// defaults are the constants this client used to hard-code.
+    policy: RetryPolicy,
     rng: SmallRng,
-    outstanding: Option<Pending>,
+    outstanding: Option<Session>,
     next_seq: u64,
     stop_at: Option<Time>,
     /// Per-group submission cursor into [`PTarget::pick`]'s rotation.
@@ -178,27 +166,6 @@ pub struct PsmrClient {
     /// coordinator failover new commands go straight to a live member
     /// instead of re-paying a timeout against the dead leader each time.
     cursors: Vec<usize>,
-}
-
-/// The one in-flight command of the closed loop.
-struct Pending {
-    id: MsgId,
-    started: Time,
-    /// Resubmissions so far; selects the retry target and backoff.
-    attempts: u32,
-    /// When the next resubmission is due.
-    deadline: Time,
-}
-
-/// Backoff before attempt `attempts + 1`: `RETRY_BASE << attempts`,
-/// capped at [`RETRY_CAP`].
-fn backoff(attempts: u32) -> Dur {
-    let d = RETRY_BASE * (1u64 << attempts.min(10));
-    if d > RETRY_CAP {
-        RETRY_CAP
-    } else {
-        d
-    }
 }
 
 impl PsmrClient {
@@ -219,12 +186,19 @@ impl PsmrClient {
             replicas,
             registry,
             workload,
+            policy: RetryPolicy::default(),
             rng: SmallRng::seed_from_u64(seed),
             outstanding: None,
             next_seq: 0,
             stop_at,
             cursors,
         }
+    }
+
+    /// Overrides the retry policy (builder style).
+    pub fn with_policy(mut self, policy: RetryPolicy) -> PsmrClient {
+        self.policy = policy;
+        self
     }
 
     fn send_next(&mut self, ctx: &mut Ctx) {
@@ -239,8 +213,7 @@ impl PsmrClient {
             id,
             PStored { cmd: cmd.clone(), client: self.me, reply_bytes: self.workload.reply_bytes },
         );
-        self.outstanding =
-            Some(Pending { id, started: ctx.now(), attempts: 0, deadline: ctx.now() + backoff(0) });
+        self.outstanding = Some(Session::open(id, ctx.now(), &self.policy));
         self.submit(id, &cmd, ctx);
         ctx.counter_add(PSMR_SUBMITTED, 1);
     }
@@ -270,21 +243,20 @@ impl PsmrClient {
     /// exponential backoff, rotating the target across ring members
     /// (leader re-lookup after a coordinator failover), paired with a
     /// reply query in case only the response was lost. Gives up after
-    /// [`MAX_ATTEMPTS`] so the closed loop keeps flowing.
+    /// [`RetryPolicy::max_attempts`] so the closed loop keeps flowing.
     fn retry_due(&mut self, ctx: &mut Ctx) {
+        let policy = self.policy;
         let Some(p) = self.outstanding.as_mut() else { return };
-        if ctx.now() < p.deadline {
-            return;
-        }
-        if p.attempts >= MAX_ATTEMPTS {
-            ctx.counter_add("psmr.abandoned", 1);
-            self.outstanding = None;
-            self.send_next(ctx);
-            return;
-        }
-        p.attempts += 1;
-        let (id, attempt) = (p.id, p.attempts);
-        p.deadline = ctx.now() + backoff(attempt);
+        let id = match p.poll(ctx.now(), &policy) {
+            RetryDecision::Wait => return,
+            RetryDecision::Abandon => {
+                ctx.counter_add("psmr.abandoned", 1);
+                self.outstanding = None;
+                self.send_next(ctx);
+                return;
+            }
+            RetryDecision::Resubmit { .. } => p.id,
+        };
         let Some(stored) = self.registry.get(id) else { return };
         ctx.counter_add("psmr.retries", 1);
         let cmd = stored.cmd.clone();
@@ -316,7 +288,7 @@ impl PsmrClient {
 impl Actor for PsmrClient {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.send_next(ctx);
-        ctx.set_timer(RETRY_TICK, TimerToken(T_RETRY));
+        ctx.set_timer(self.policy.tick, TimerToken(T_RETRY));
     }
 
     fn on_message(&mut self, env: &Envelope, ctx: &mut Ctx) {
@@ -346,7 +318,7 @@ impl Actor for PsmrClient {
         } else if self.stop_at.is_none_or(|t| ctx.now() < t) {
             self.send_next(ctx);
         }
-        ctx.set_timer(RETRY_TICK, TimerToken(T_RETRY));
+        ctx.set_timer(self.policy.tick, TimerToken(T_RETRY));
     }
 }
 

@@ -10,6 +10,7 @@ use multiring::{ring_sink, MultiRingLearner, RingSink};
 use ringpaxos::mring::MRingProcess;
 use ringpaxos::{MRingConfig, SkipConfig, StorageMode};
 use simnet::prelude::*;
+use workload::RetryPolicy;
 
 use crate::client::{PTarget, PsmrClient, PsmrWorkload};
 use crate::command::PRegistry;
@@ -43,6 +44,9 @@ pub struct ParallelOptions {
     pub stop_at: Option<Time>,
     /// Acceptor storage mode.
     pub storage: StorageMode,
+    /// Client retry policy (deadline, backoff, abandonment). The default
+    /// reproduces the constants the client historically hard-coded.
+    pub policy: RetryPolicy,
 }
 
 impl Default for ParallelOptions {
@@ -57,6 +61,7 @@ impl Default for ParallelOptions {
             lambda_per_sec: 10_000,
             stop_at: None,
             storage: StorageMode::InMemory,
+            policy: RetryPolicy::default(),
         }
     }
 }
@@ -203,7 +208,8 @@ pub fn deploy_parallel(sim: &mut Sim, opts: &ParallelOptions) -> ParallelDeploym
             opts.workload,
             0x9a7a11e1 + ci as u64,
             opts.stop_at,
-        );
+        )
+        .with_policy(opts.policy);
         sim.replace_actor(c, Box::new(client));
     }
 

@@ -45,6 +45,7 @@ pub mod sim;
 pub mod stats;
 pub mod threaded;
 pub mod time;
+pub mod wheel;
 
 pub use crate::shard::Partition;
 pub use crate::threaded::ExecMode;
@@ -61,4 +62,5 @@ pub mod prelude {
     pub use crate::stats::{mbps, mid, per_sec, LatencyStats, MetricId, Metrics};
     pub use crate::threaded::ExecMode;
     pub use crate::time::{Dur, Time};
+    pub use crate::wheel::TimerWheel;
 }

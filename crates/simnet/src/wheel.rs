@@ -1,0 +1,177 @@
+//! A hashed timer wheel for actors that multiplex huge numbers of
+//! deadlines onto a single simulator timer.
+//!
+//! [`crate::host`] charges one event-queue entry per [`Ctx::set_timer`]
+//! call, which is the right cost model for protocol actors with a
+//! handful of timers — and the wrong one for a session table hosting a
+//! million client sessions, each with its own retry deadline. The wheel
+//! inverts the arrangement: the actor keeps *one* periodic sim timer
+//! and stores every fine-grained deadline here, draining the due ones
+//! on each tick with [`TimerWheel::advance`].
+//!
+//! Cancellation is lazy, as in kernel timer wheels: callers never
+//! remove an entry, they let it fire and discard it if the state it
+//! points at has moved on (the session table checks the fired key's
+//! generation and current deadline). That keeps `schedule` O(1) with
+//! no lookup structure, at the cost of stale entries occupying slots
+//! until their time passes.
+//!
+//! The wheel is a plain data structure with no interior time source, so
+//! it stays out of the engine's event path entirely — golden traces are
+//! unaffected by its existence, and determinism reduces to "same
+//! schedule calls, same firing order", which holds because entries fire
+//! in slot order and, within a slot, insertion order.
+//!
+//! [`Ctx::set_timer`]: crate::sim::Ctx::set_timer
+
+use crate::time::{Dur, Time};
+
+/// A hashed timer wheel (module docs). Keys are opaque `u64`s chosen by
+/// the caller.
+#[derive(Debug)]
+pub struct TimerWheel {
+    tick_ns: u64,
+    slots: Vec<Vec<(u64, u64)>>,
+    /// Next wheel tick to drain; monotone.
+    next_tick: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel of `n_slots` buckets at `tick` resolution.
+    /// Deadlines hash to `(deadline / tick) % n_slots`; entries more
+    /// than `n_slots` ticks out share buckets with nearer ones and are
+    /// skipped (not fired) until their own time comes.
+    ///
+    /// # Panics
+    /// Panics if `tick` is zero or `n_slots` is zero.
+    pub fn new(tick: Dur, n_slots: usize) -> TimerWheel {
+        assert!(tick > Dur::ZERO && n_slots > 0, "wheel needs a positive tick and slots");
+        TimerWheel {
+            tick_ns: tick.as_nanos(),
+            slots: vec![Vec::new(); n_slots],
+            next_tick: 0,
+            len: 0,
+        }
+    }
+
+    /// Schedules `key` to fire at the first `advance` whose `now >= at`.
+    /// A deadline already in the past lands in the next tick drained.
+    ///
+    /// The tick index rounds *up*: a mid-tick deadline belongs to the
+    /// first tick boundary at or after it, so its slot is visited only
+    /// once the deadline can actually be due. Rounding down would let
+    /// the cursor pass the slot early (entry retained, not yet due) and
+    /// not return until a full rotation later.
+    pub fn schedule(&mut self, at: Time, key: u64) {
+        let tick = at.as_nanos().div_ceil(self.tick_ns).max(self.next_tick);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push((at.as_nanos(), key));
+        self.len += 1;
+    }
+
+    /// Fires (and removes) every entry with `at <= now`, in slot order
+    /// then insertion order, advancing the wheel's cursor to `now`.
+    pub fn advance(&mut self, now: Time, mut fire: impl FnMut(u64)) {
+        let now_ns = now.as_nanos();
+        let now_tick = now_ns / self.tick_ns;
+        if now_tick < self.next_tick {
+            return;
+        }
+        let n = self.slots.len() as u64;
+        let (first, last) = if now_tick - self.next_tick + 1 >= n {
+            // A full rotation (or more) elapsed: every slot is due a
+            // visit exactly once.
+            (0, n - 1)
+        } else {
+            (self.next_tick, now_tick)
+        };
+        for t in first..=last {
+            let slot = (t % n) as usize;
+            let len = &mut self.len;
+            self.slots[slot].retain(|&(at, key)| {
+                if at <= now_ns {
+                    fire(key);
+                    *len -= 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        self.next_tick = now_tick + 1;
+    }
+
+    /// Entries currently stored (due and not-yet-due).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the wheel holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel, now: Time) -> Vec<u64> {
+        let mut fired = Vec::new();
+        w.advance(now, |k| fired.push(k));
+        fired
+    }
+
+    #[test]
+    fn fires_due_entries_in_order() {
+        let mut w = TimerWheel::new(Dur::millis(1), 8);
+        w.schedule(Time::from_millis(3), 30);
+        w.schedule(Time::from_millis(1), 10);
+        w.schedule(Time::from_millis(1), 11);
+        assert_eq!(drain(&mut w, Time::from_millis(2)), vec![10, 11]);
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut w, Time::from_millis(3)), vec![30]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_entries_survive_a_shared_slot() {
+        let mut w = TimerWheel::new(Dur::millis(1), 4);
+        // 1 ms and 5 ms hash to the same slot of a 4-slot wheel.
+        w.schedule(Time::from_millis(1), 1);
+        w.schedule(Time::from_millis(5), 5);
+        assert_eq!(drain(&mut w, Time::from_millis(1)), vec![1]);
+        assert_eq!(drain(&mut w, Time::from_millis(4)), Vec::<u64>::new());
+        assert_eq!(drain(&mut w, Time::from_millis(5)), vec![5]);
+    }
+
+    #[test]
+    fn past_deadline_fires_on_next_advance() {
+        let mut w = TimerWheel::new(Dur::millis(1), 8);
+        let _ = drain(&mut w, Time::from_millis(10));
+        // Scheduled "in the past" relative to the cursor.
+        w.schedule(Time::from_millis(2), 2);
+        assert_eq!(drain(&mut w, Time::from_millis(11)), vec![2]);
+    }
+
+    #[test]
+    fn mid_tick_deadline_fires_on_the_next_pass_not_a_rotation_later() {
+        let mut w = TimerWheel::new(Dur::millis(100), 256);
+        // 723 ms is mid-tick; it must belong to the 800 ms tick, not the
+        // 700 ms one (which the cursor passes while the entry is not yet
+        // due and would only revisit 25.6 s later).
+        w.schedule(Time::from_millis(723), 7);
+        assert_eq!(drain(&mut w, Time::from_millis(700)), Vec::<u64>::new());
+        assert_eq!(drain(&mut w, Time::from_millis(800)), vec![7]);
+    }
+
+    #[test]
+    fn long_gap_costs_one_rotation() {
+        let mut w = TimerWheel::new(Dur::millis(1), 4);
+        w.schedule(Time::from_millis(2), 2);
+        w.schedule(Time::from_millis(1000), 1000);
+        // A gap of thousands of ticks visits each slot once.
+        assert_eq!(drain(&mut w, Time::from_secs(2)), vec![1000, 2]);
+    }
+}

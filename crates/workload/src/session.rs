@@ -1,0 +1,173 @@
+//! Session machinery, generalized from `psmr::client`: request
+//! deadlines, bounded exponential backoff, and sticky leader re-lookup
+//! by rotating resubmissions across ring members.
+//!
+//! A [`Session`] tracks one in-flight request; [`RetryPolicy`] carries
+//! the knobs that used to be hard-coded constants in the P-SMR client
+//! (whose values are the defaults here). Client actors poll their
+//! sessions from a periodic timer ([`RetryPolicy::tick`]) — or, at
+//! mass-session scale, from a [`simnet::wheel::TimerWheel`] entry per
+//! deadline — and act on the returned [`RetryDecision`].
+
+use abcast::MsgId;
+use simnet::ids::NodeId;
+use simnet::time::{Dur, Time};
+
+/// Retry/backoff configuration of one client tier. The defaults are
+/// the constants `psmr::client` shipped with, so existing deployments
+/// behave identically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// First resubmission deadline; doubles per attempt up to `cap`.
+    pub base: Dur,
+    /// Ceiling of the exponential backoff.
+    pub cap: Dur,
+    /// Retry-check granularity (one periodic timer, not one per
+    /// command).
+    pub tick: Dur,
+    /// Give up on a request after this many resubmissions. Replicas
+    /// dedup by id, so an abandoned command that still executes is
+    /// harmless (its late response is ignored as stale).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: Dur::millis(200),
+            cap: Dur::millis(1600),
+            tick: Dur::millis(100),
+            max_attempts: 10,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempts + 1`: `base << attempts`,
+    /// capped at `cap`.
+    pub fn backoff(&self, attempts: u32) -> Dur {
+        let d = self.base * (1u64 << attempts.min(10));
+        if d > self.cap {
+            self.cap
+        } else {
+            d
+        }
+    }
+}
+
+/// What to do with a session at a retry check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryDecision {
+    /// Deadline not reached; leave it in flight.
+    Wait,
+    /// Deadline blown: resubmit (this is resubmission number
+    /// `attempt`), rotating the submission target.
+    Resubmit {
+        /// Resubmissions so far, this one included.
+        attempt: u32,
+    },
+    /// `max_attempts` exhausted: drop the request and move on.
+    Abandon,
+}
+
+/// One in-flight request of a session.
+#[derive(Clone, Copy, Debug)]
+pub struct Session {
+    /// The request id responses are matched against.
+    pub id: MsgId,
+    /// Submission instant (latency measurement).
+    pub started: Time,
+    /// Resubmissions so far; selects the retry target and backoff.
+    pub attempts: u32,
+    /// When the next resubmission is due.
+    pub deadline: Time,
+}
+
+impl Session {
+    /// Opens a session for `id` submitted at `now`.
+    pub fn open(id: MsgId, now: Time, policy: &RetryPolicy) -> Session {
+        Session { id, started: now, attempts: 0, deadline: now + policy.backoff(0) }
+    }
+
+    /// Polls the session at `now`: on a blown deadline, advances the
+    /// attempt count and deadline and asks the caller to resubmit —
+    /// or to abandon once `policy.max_attempts` is exhausted.
+    pub fn poll(&mut self, now: Time, policy: &RetryPolicy) -> RetryDecision {
+        if now < self.deadline {
+            return RetryDecision::Wait;
+        }
+        if self.attempts >= policy.max_attempts {
+            return RetryDecision::Abandon;
+        }
+        self.attempts += 1;
+        self.deadline = now + policy.backoff(self.attempts);
+        RetryDecision::Resubmit { attempt: self.attempts }
+    }
+}
+
+/// The submission point at rotation `cursor`: the known coordinator
+/// first (cursor 0), then round-robin over the ring members — any live
+/// one relays the proposal to the coordinator of its current view, so
+/// rotating past a dead leader re-looks the new one up. Cursors are
+/// *sticky*: advance them on blown deadlines and leave them on success,
+/// so post-failover traffic skips the dead leader instead of re-paying
+/// a timeout per command.
+pub fn rotation_pick(coordinator: NodeId, members: &[NodeId], cursor: usize) -> NodeId {
+    if cursor == 0 || members.is_empty() {
+        coordinator
+    } else {
+        members[(cursor - 1) % members.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_matches_the_old_psmr_constants() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.base, Dur::millis(200));
+        assert_eq!(p.cap, Dur::millis(1600));
+        assert_eq!(p.tick, Dur::millis(100));
+        assert_eq!(p.max_attempts, 10);
+    }
+
+    #[test]
+    fn backoff_doubles_to_the_cap() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(0), Dur::millis(200));
+        assert_eq!(p.backoff(1), Dur::millis(400));
+        assert_eq!(p.backoff(2), Dur::millis(800));
+        assert_eq!(p.backoff(3), Dur::millis(1600));
+        assert_eq!(p.backoff(9), Dur::millis(1600));
+        assert_eq!(p.backoff(40), Dur::millis(1600), "shift clamped, no overflow");
+    }
+
+    #[test]
+    fn session_waits_then_retries_then_abandons() {
+        let policy = RetryPolicy { max_attempts: 2, ..RetryPolicy::default() };
+        let t0 = Time::ZERO + Dur::millis(5);
+        let mut s = Session::open(MsgId(7), t0, &policy);
+        assert_eq!(s.poll(t0 + Dur::millis(100), &policy), RetryDecision::Wait);
+        let t1 = t0 + Dur::millis(200);
+        assert_eq!(s.poll(t1, &policy), RetryDecision::Resubmit { attempt: 1 });
+        assert_eq!(s.deadline, t1 + Dur::millis(400));
+        let t2 = s.deadline;
+        assert_eq!(s.poll(t2, &policy), RetryDecision::Resubmit { attempt: 2 });
+        let t3 = s.deadline;
+        assert_eq!(s.poll(t3, &policy), RetryDecision::Abandon);
+        assert_eq!(s.started, t0, "latency baseline survives retries");
+    }
+
+    #[test]
+    fn rotation_starts_at_the_coordinator_and_wraps_members() {
+        let coord = NodeId(9);
+        let members = [NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(rotation_pick(coord, &members, 0), coord);
+        assert_eq!(rotation_pick(coord, &members, 1), NodeId(1));
+        assert_eq!(rotation_pick(coord, &members, 3), NodeId(3));
+        assert_eq!(rotation_pick(coord, &members, 4), NodeId(1));
+        assert_eq!(rotation_pick(coord, &[], 5), coord, "no members: stay on coordinator");
+    }
+}

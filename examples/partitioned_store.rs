@@ -7,10 +7,10 @@
 //! cargo run --release --example partitioned_store
 //! ```
 
-use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_smr, PartitionOptions, SmrOptions};
 use hpsmr_core::SMR_COMPLETED;
 use simnet::prelude::*;
+use workload::WorkloadKind;
 
 fn run(partitions: Option<PartitionOptions>, label: &str) -> f64 {
     let secs = 2;

@@ -7,10 +7,10 @@
 //! cargo run --release --example replicated_kv
 //! ```
 
-use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_cs, deploy_smr, SmrOptions};
 use hpsmr_core::{SMR_COMPLETED, SMR_LATENCY};
 use simnet::prelude::*;
+use workload::WorkloadKind;
 
 fn run_cs(clients: usize, secs: u64) -> (f64, Dur) {
     let mut sim = Sim::new(SimConfig::default());

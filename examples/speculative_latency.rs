@@ -7,10 +7,10 @@
 //! cargo run --release --example speculative_latency
 //! ```
 
-use btree::WorkloadKind;
 use hpsmr_core::deploy::{deploy_smr, SmrOptions};
 use hpsmr_core::{SMR_COMPLETED, SMR_LATENCY, SMR_ROLLBACKS, SMR_SPEC_EXEC};
 use simnet::prelude::*;
+use workload::WorkloadKind;
 
 fn run(speculative: bool, n_clients: usize) -> (Dur, f64, u64, u64) {
     let secs = 2;

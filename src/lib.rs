@@ -13,6 +13,7 @@
 //! | [`baselines`] | LCR, Libpaxos, S-Paxos, Spread/Totem, PFSB comparison protocols |
 //! | [`multiring`] | Multi-Ring Paxos atomic multicast (ch. 5) |
 //! | [`btree`] | the replicated B⁺-tree service (§4.4.2) |
+//! | [`workload`] | the unified client tier: arrival processes, keyed/Zipfian workloads, sessions, the million-session table |
 //! | [`hpsmr_core`] | speculation + state partitioning over M-Ring Paxos — the DSN 2011 contribution (ch. 4) |
 //! | [`psmr`] | parallel state-machine replication: P-SMR and the execution-model survey (ch. 6) |
 //!
@@ -29,3 +30,4 @@ pub use paxos;
 pub use psmr;
 pub use ringpaxos;
 pub use simnet;
+pub use workload;

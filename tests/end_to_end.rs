@@ -1,12 +1,12 @@
 //! Cross-crate integration tests: the whole stack — simulator, ordering
 //! protocols, SMR techniques — exercised together through the public API.
 
-use hpsmr::btree::WorkloadKind;
 use hpsmr::hpsmr_core::deploy::{deploy_smr, PartitionOptions, SmrOptions};
 use hpsmr::hpsmr_core::{SMR_COMPLETED, SMR_LATENCY};
 use hpsmr::multiring::{deploy_multiring, MultiRingOptions};
 use hpsmr::ringpaxos::cluster::{deploy_mring, deploy_uring, MRingOptions, URingOptions};
 use hpsmr::simnet::prelude::*;
+use hpsmr::workload::WorkloadKind;
 
 #[test]
 fn both_ring_paxos_variants_order_the_same_workload() {
